@@ -1,0 +1,194 @@
+//! Backscatter analysis (Moore, Voelker & Savage, USENIX Sec'01).
+//!
+//! A victim of a *randomly spoofed* SYN flood answers the spoofed sources,
+//! so its outbound SYN/ACKs spray across the address space uniformly.
+//! Given a candidate victim, this module tests (a) volume, (b) distinctness
+//! of the response destinations, and (c) uniformity of their distribution
+//! (χ² over the top octet) — the criteria the HiFIND paper uses in §5.4 to
+//! validate its detected SYN floodings.
+
+use hifind_flow::{Ip4, SegmentKind, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Verdict of a backscatter validation for one candidate victim.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BackscatterVerdict {
+    /// The candidate victim examined.
+    pub victim: Ip4,
+    /// Outbound SYN/ACKs (plus RSTs) the victim emitted.
+    pub responses: u64,
+    /// Distinct response destinations.
+    pub distinct_destinations: u64,
+    /// χ² statistic of the top-octet histogram against uniform (lower =
+    /// more uniform).
+    pub chi_square: f64,
+    /// χ² degrees of freedom used (bins − 1).
+    pub degrees_of_freedom: usize,
+    /// Whether all three criteria point at a spoofed flood victim.
+    pub spoofed_flood_confirmed: bool,
+}
+
+/// Minimum responses before a uniformity verdict is meaningful.
+pub const MIN_RESPONSES: u64 = 50;
+
+/// Validates a candidate spoofed-flood victim against the victim's
+/// response traffic in `trace`.
+///
+/// Confirmation requires at least [`MIN_RESPONSES`] responses, ≥ 90%
+/// distinct destinations, and a χ² statistic consistent with a roughly
+/// uniform top-octet spread (below `10 × dof` — deliberately loose because
+/// the one-shot filter admits some clustered benign stragglers; legitimate
+/// servers score 40–400× dof).
+pub fn backscatter_validate(trace: &Trace, victim: Ip4) -> BackscatterVerdict {
+    // Backscatter is response traffic to *unsolicited* (spoofed) sources.
+    // Moore et al. observe it at a telescope where only such traffic
+    // exists; on an edge trace we approximate the telescope by keeping
+    // only responses to one-shot destinations — addresses that sent at
+    // most one packet in the whole trace. A spoofed source is used for
+    // exactly one SYN; real clients send handshakes, retries and
+    // teardowns.
+    let mut sent: std::collections::HashMap<Ip4, u32> = std::collections::HashMap::new();
+    for p in trace.iter() {
+        *sent.entry(p.src).or_insert(0) += 1;
+    }
+    let mut destinations: Vec<Ip4> = Vec::new();
+    for p in trace.iter() {
+        if p.src == victim
+            && matches!(p.kind, SegmentKind::SynAck | SegmentKind::Rst)
+            && sent.get(&p.dst).copied().unwrap_or(0) <= 1
+        {
+            destinations.push(p.dst);
+        }
+    }
+    let responses = destinations.len() as u64;
+    let distinct: HashSet<Ip4> = destinations.iter().copied().collect();
+    // χ² over the top octet (224 routable-ish bins is overkill for short
+    // windows; 16 coarse bins keep expected counts reasonable).
+    const BINS: usize = 16;
+    let mut hist = [0u64; BINS];
+    for d in &destinations {
+        hist[(d.octets()[0] as usize * BINS) / 256] += 1;
+    }
+    let expected = responses as f64 / BINS as f64;
+    let chi_square = if responses == 0 {
+        f64::INFINITY
+    } else {
+        hist.iter()
+            .map(|&o| {
+                let diff = o as f64 - expected;
+                diff * diff / expected.max(1e-9)
+            })
+            .sum()
+    };
+    let dof = BINS - 1;
+    let distinct_ratio = if responses == 0 {
+        0.0
+    } else {
+        distinct.len() as f64 / responses as f64
+    };
+    BackscatterVerdict {
+        victim,
+        responses,
+        distinct_destinations: distinct.len() as u64,
+        chi_square,
+        degrees_of_freedom: dof,
+        spoofed_flood_confirmed: responses >= MIN_RESPONSES
+            && distinct_ratio >= 0.9
+            && chi_square < 10.0 * dof as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind_flow::rng::SplitMix64;
+    use hifind_flow::Packet;
+
+    fn victim() -> Ip4 {
+        [129, 105, 0, 80].into()
+    }
+
+    /// A victim answering a spoofed flood: SYN/ACKs to uniform random
+    /// destinations.
+    fn spoofed_backscatter(n: u32) -> Trace {
+        let mut t = Trace::new();
+        let mut rng = SplitMix64::new(1);
+        for i in 0..n {
+            let spoofed = Ip4::new(rng.next_u32());
+            t.push(Packet::syn_ack(i as u64, spoofed, 2000, victim(), 80));
+        }
+        t
+    }
+
+    /// A busy but legitimate server: responses to a clustered client
+    /// population.
+    fn legit_responses(n: u32) -> Trace {
+        let mut t = Trace::new();
+        let mut rng = SplitMix64::new(2);
+        for i in 0..n {
+            // Clients clustered in two /8s.
+            let base = if rng.chance(0.7) { 0x0C00_0000 } else { 0x3D00_0000 };
+            let client = Ip4::new(base | (rng.next_u32() & 0x00FF_FFFF));
+            t.push(Packet::syn_ack(i as u64, client, 2000, victim(), 80));
+        }
+        t
+    }
+
+    #[test]
+    fn confirms_spoofed_flood_victim() {
+        let v = backscatter_validate(&spoofed_backscatter(2000), victim());
+        assert!(v.spoofed_flood_confirmed, "verdict: {v:?}");
+        assert!(v.distinct_destinations > 1900);
+        assert!(v.chi_square < 40.0);
+    }
+
+    #[test]
+    fn rejects_legitimate_server() {
+        let v = backscatter_validate(&legit_responses(2000), victim());
+        assert!(!v.spoofed_flood_confirmed, "verdict: {v:?}");
+        assert!(v.chi_square > 10.0 * v.degrees_of_freedom as f64);
+    }
+
+    #[test]
+    fn rejects_quiet_host() {
+        let v = backscatter_validate(&spoofed_backscatter(10), victim());
+        assert!(!v.spoofed_flood_confirmed);
+        assert_eq!(v.responses, 10);
+    }
+
+    #[test]
+    fn ignores_other_hosts_traffic() {
+        let mut t = spoofed_backscatter(500);
+        // Noise from a different host must not count.
+        let other: Ip4 = [129, 105, 0, 81].into();
+        for i in 0..500u32 {
+            t.push(Packet::syn_ack(i as u64, [1, 1, 1, 1].into(), 2000, other, 80));
+        }
+        let v = backscatter_validate(&t, victim());
+        assert_eq!(v.responses, 500);
+    }
+
+    #[test]
+    fn empty_trace_gives_zero_confidence() {
+        let v = backscatter_validate(&Trace::new(), victim());
+        assert_eq!(v.responses, 0);
+        assert!(!v.spoofed_flood_confirmed);
+        assert!(v.chi_square.is_infinite());
+    }
+
+    #[test]
+    fn rst_responses_also_count() {
+        // A victim with a closed port RSTs the spoofed SYNs — still
+        // backscatter.
+        let mut t = Trace::new();
+        let mut rng = SplitMix64::new(3);
+        for i in 0..500 {
+            let spoofed = Ip4::new(rng.next_u32());
+            t.push(Packet::rst(i as u64, spoofed, 2000, victim(), 80));
+        }
+        let v = backscatter_validate(&t, victim());
+        assert_eq!(v.responses, 500);
+        assert!(v.spoofed_flood_confirmed);
+    }
+}

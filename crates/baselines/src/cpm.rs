@@ -1,0 +1,220 @@
+//! CPM: SYN flooding detection by non-parametric CUSUM over the aggregate
+//! SYN/FIN balance (Wang, Zhang & Shin, Infocom'02).
+//!
+//! CPM watches only two aggregate counters per interval — `#SYN` and
+//! `#FIN(+RST)` — normalizes their difference by the smoothed FIN rate,
+//! and applies a non-parametric CUSUM. It is cheap and per-flow-stateless,
+//! but because it sees only the aggregate it *cannot distinguish SYN
+//! flooding from port scans*: a lab trace full of scans (unterminated
+//! SYNs) alarms exactly like a flood — Table 6's LBL row, where CPM
+//! reports 1426 flooding intervals against zero true floodings.
+
+use hifind_flow::{SegmentKind, Trace};
+use serde::{Deserialize, Serialize};
+
+/// CPM parameters (notation follows the original paper).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CpmConfig {
+    /// Offset `a`: an upper bound on the normalized difference under
+    /// normal operation, subtracted so the drift is negative without
+    /// attacks (paper uses ~1).
+    pub a: f64,
+    /// CUSUM alarm threshold `n` (paper tunes for detection delay; a small
+    /// number of intervals).
+    pub threshold: f64,
+    /// EWMA factor for the smoothed FIN average.
+    pub fin_alpha: f64,
+}
+
+impl Default for CpmConfig {
+    fn default() -> Self {
+        CpmConfig {
+            a: 1.0,
+            threshold: 2.0,
+            fin_alpha: 0.2,
+        }
+    }
+}
+
+/// The CUSUM state machine. Feed per-interval counts with
+/// [`Cpm::step`]; `true` means the interval is flagged as under SYN
+/// flooding.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cpm {
+    config: CpmConfig,
+    fin_avg: Option<f64>,
+    cusum: f64,
+}
+
+impl Cpm {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold <= 0` or `fin_alpha` outside `[0, 1]`.
+    pub fn new(config: CpmConfig) -> Self {
+        assert!(config.threshold > 0.0, "threshold must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.fin_alpha),
+            "fin_alpha must be in [0, 1]"
+        );
+        Cpm {
+            config,
+            fin_avg: None,
+            cusum: 0.0,
+        }
+    }
+
+    /// Feeds one interval's aggregate `#SYN` and `#FIN+#RST` counts;
+    /// returns whether the interval is flagged.
+    pub fn step(&mut self, syn: u64, fin: u64) -> bool {
+        let fin_avg = match self.fin_avg {
+            None => {
+                self.fin_avg = Some(fin as f64);
+                fin as f64
+            }
+            Some(avg) => {
+                let next =
+                    self.config.fin_alpha * fin as f64 + (1.0 - self.config.fin_alpha) * avg;
+                self.fin_avg = Some(next);
+                next
+            }
+        }
+        .max(1.0);
+        let x = (syn as f64 - fin as f64) / fin_avg;
+        self.cusum = (self.cusum + x - self.config.a).max(0.0);
+        self.cusum > self.config.threshold
+    }
+
+    /// Current CUSUM value.
+    pub fn cusum(&self) -> f64 {
+        self.cusum
+    }
+
+    /// Runs over a trace with fixed intervals; returns the flagged interval
+    /// indices.
+    pub fn detect_intervals(trace: &Trace, interval_ms: u64, config: CpmConfig) -> Vec<u64> {
+        let mut cpm = Cpm::new(config);
+        let mut flagged = Vec::new();
+        for window in trace.intervals(interval_ms) {
+            let mut syn = 0u64;
+            let mut fin = 0u64;
+            for p in window.packets {
+                match p.kind {
+                    SegmentKind::Syn => syn += 1,
+                    SegmentKind::Fin | SegmentKind::Rst => fin += 1,
+                    _ => {}
+                }
+            }
+            if cpm.step(syn, fin) {
+                flagged.push(window.index);
+            }
+        }
+        flagged
+    }
+
+    /// Resets the CUSUM and the FIN average.
+    pub fn reset(&mut self) {
+        self.cusum = 0.0;
+        self.fin_avg = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind_flow::{Ip4, Packet};
+
+    /// Balanced traffic: every SYN eventually FINs.
+    fn balanced_intervals(cpm: &mut Cpm, n: usize) -> usize {
+        (0..n).filter(|_| cpm.step(1000, 980)).count()
+    }
+
+    #[test]
+    fn balanced_traffic_never_alarms() {
+        let mut cpm = Cpm::new(CpmConfig::default());
+        assert_eq!(balanced_intervals(&mut cpm, 50), 0);
+        assert!(cpm.cusum() < 1e-9);
+    }
+
+    #[test]
+    fn flood_alarms_within_a_few_intervals() {
+        let mut cpm = Cpm::new(CpmConfig::default());
+        balanced_intervals(&mut cpm, 10);
+        let mut first_alarm = None;
+        for i in 0..10 {
+            if cpm.step(6000, 980) {
+                first_alarm = Some(i);
+                break;
+            }
+        }
+        assert!(
+            matches!(first_alarm, Some(i) if i <= 3),
+            "flood should alarm quickly, got {first_alarm:?}"
+        );
+    }
+
+    #[test]
+    fn alarm_clears_after_attack_ends() {
+        let mut cpm = Cpm::new(CpmConfig::default());
+        balanced_intervals(&mut cpm, 10);
+        for _ in 0..5 {
+            cpm.step(6000, 980);
+        }
+        assert!(cpm.cusum() > 0.0);
+        // Normal traffic drains the CUSUM (drift is negative).
+        let mut cleared = false;
+        for _ in 0..50 {
+            if !cpm.step(1000, 980) {
+                cleared = true;
+                break;
+            }
+        }
+        assert!(cleared, "CUSUM should drain after the flood stops");
+    }
+
+    #[test]
+    fn scans_false_alarm_cpm() {
+        // The aggregate blind spot: a scan-heavy trace (SYNs, no FINs)
+        // looks exactly like a flood to CPM.
+        let mut t = Trace::new();
+        // Benign base load with teardowns.
+        for i in 0..2000u32 {
+            let c: Ip4 = [9, 9, (i >> 8) as u8, i as u8].into();
+            let s: Ip4 = [129, 105, 0, 1].into();
+            let ts = i as u64 * 50;
+            t.push(Packet::syn(ts, c, 2000, s, 80));
+            t.push(Packet::syn_ack(ts + 2, c, 2000, s, 80));
+            t.push(Packet::fin(ts + 20, c, 2000, s, 80));
+        }
+        // A horizontal scan — not a flood.
+        for i in 0..3000u32 {
+            let scanner: Ip4 = [6, 6, 6, 6].into();
+            let dst: Ip4 = [129, 105, (i >> 8) as u8, i as u8].into();
+            t.push(Packet::syn(40_000 + i as u64 * 10, scanner, 2000, dst, 445));
+        }
+        t.sort_by_time();
+        let flagged = Cpm::detect_intervals(&t, 10_000, CpmConfig::default());
+        assert!(
+            !flagged.is_empty(),
+            "CPM should (incorrectly) flag the scan as flooding"
+        );
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut cpm = Cpm::new(CpmConfig::default());
+        cpm.step(5000, 10);
+        cpm.reset();
+        assert_eq!(cpm.cusum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn rejects_bad_threshold() {
+        let _ = Cpm::new(CpmConfig {
+            threshold: 0.0,
+            ..CpmConfig::default()
+        });
+    }
+}

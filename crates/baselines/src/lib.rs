@@ -1,0 +1,46 @@
+//! Baseline detectors the paper compares HiFIND against (Table 1, §5.3).
+//!
+//! Every baseline is implemented from its original description:
+//!
+//! * [`trw`] — Threshold Random Walk portscan detection (Jung et al.,
+//!   Oakland'04): per-source sequential hypothesis testing over
+//!   first-contact connection outcomes. Keeps per-source state — the DoS
+//!   vulnerability §3.5 discusses.
+//! * [`trw_ac`] — TRW with Approximate Caches (Weaver et al., USENIX
+//!   Sec'04): fixed-memory connection cache whose aliasing makes it
+//!   resistant to memory exhaustion but lets spoofed floods *pollute* the
+//!   cache and mask real scanners.
+//! * [`cpm`] — SYN flooding detection via non-parametric CUSUM over the
+//!   aggregate SYN/FIN balance (Wang, Zhang & Shin, Infocom'02). Aggregate
+//!   only: cannot tell flooding from scans (Table 6, LBL row).
+//! * [`backscatter`] — victim-side uniformity analysis of response traffic
+//!   (Moore et al., USENIX Sec'01), used in §5.4 to validate detected
+//!   spoofed floodings.
+//! * [`superspreader`] — hash-sampled distinct-destination counting
+//!   (Venkataraman et al., NDSS'05).
+//! * [`pcf`] — Partial Completion Filters (Kompella et al., IMC'04):
+//!   multi-stage SYN−FIN counters that flag partial-completion behaviour
+//!   without identifying the attack type.
+//!
+//! The shared [`util`] module turns a packet trace into per-connection
+//! outcomes (success / failure / reset) the way an offline evaluator of
+//! these papers would.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backscatter;
+pub mod cpm;
+pub mod pcf;
+pub mod superspreader;
+pub mod trw;
+pub mod trw_ac;
+pub mod util;
+
+pub use backscatter::{backscatter_validate, BackscatterVerdict};
+pub use cpm::{Cpm, CpmConfig};
+pub use pcf::{Pcf, PcfConfig};
+pub use superspreader::{Superspreader, SuperspreaderConfig};
+pub use trw::{Trw, TrwAlert, TrwConfig};
+pub use trw_ac::{TrwAc, TrwAcConfig};
+pub use util::{connection_attempts, Attempt, Outcome};

@@ -1,0 +1,210 @@
+//! Partial Completion Filters (Kompella, Singh & Varghese, IMC'04).
+//!
+//! A PCF is a bank of hash stages of signed counters updated `+1` on SYN
+//! and `−1` on FIN: a key whose connections complete drives its buckets
+//! back toward zero, while *partial completions* (floods, scans — anything
+//! leaving handshakes open) accumulate. A key is flagged when **all**
+//! stages exceed the threshold (min-over-stages, like a count-min sketch).
+//!
+//! As Table 1 notes, PCF detects that *something* is partially completing
+//! at a key but does not differentiate attack types, and it is not
+//! reversible — you must already know which keys to check.
+
+use hifind_flow::rng::SplitMix64;
+use hifind_flow::{SegmentKind, Trace};
+use hifind_hashing::{BucketHasher, PairwiseHasher};
+use serde::{Deserialize, Serialize};
+
+/// PCF parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcfConfig {
+    /// Number of hash stages (paper uses ~3).
+    pub stages: usize,
+    /// Buckets per stage (power of two).
+    pub buckets: usize,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Default for PcfConfig {
+    fn default() -> Self {
+        PcfConfig {
+            stages: 3,
+            buckets: 1 << 12,
+            seed: 0x9CF,
+        }
+    }
+}
+
+/// A partial completion filter keyed by destination address (the paper's
+/// "victim detection" configuration).
+#[derive(Clone, Debug)]
+pub struct Pcf {
+    hashers: Vec<PairwiseHasher>,
+    counters: Vec<Vec<i64>>,
+    buckets: usize,
+}
+
+impl Pcf {
+    /// Creates an empty filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0` or `buckets` is not a power of two.
+    pub fn new(config: PcfConfig) -> Self {
+        assert!(config.stages > 0, "stages must be positive");
+        assert!(
+            config.buckets.is_power_of_two(),
+            "buckets must be a power of two"
+        );
+        let mut rng = SplitMix64::new(config.seed);
+        Pcf {
+            hashers: (0..config.stages)
+                .map(|i| PairwiseHasher::new(&mut rng.fork(i as u64), config.buckets))
+                .collect(),
+            counters: vec![vec![0; config.buckets]; config.stages],
+            buckets: config.buckets,
+        }
+    }
+
+    /// Adds a signed contribution under `key` (`+1` SYN, `−1` FIN).
+    #[inline]
+    pub fn update(&mut self, key: u64, delta: i64) {
+        for (stage, h) in self.hashers.iter().enumerate() {
+            self.counters[stage][h.bucket(key)] += delta;
+        }
+    }
+
+    /// The min-over-stages estimate of `key`'s partial-completion count.
+    pub fn estimate(&self, key: u64) -> i64 {
+        self.hashers
+            .iter()
+            .enumerate()
+            .map(|(stage, h)| self.counters[stage][h.bucket(key)])
+            .min()
+            .expect("at least one stage")
+    }
+
+    /// Whether `key` exceeds the threshold in **every** stage.
+    pub fn check(&self, key: u64, threshold: i64) -> bool {
+        self.estimate(key) >= threshold
+    }
+
+    /// Runs over a trace keyed by destination address, reporting whether
+    /// each given candidate key trips the filter. (PCFs cannot enumerate
+    /// keys — that is the reversibility HiFIND adds.)
+    pub fn detect_candidates(
+        trace: &Trace,
+        candidates: &[u64],
+        threshold: i64,
+        config: PcfConfig,
+    ) -> Vec<(u64, bool)> {
+        let mut pcf = Pcf::new(config);
+        for p in trace.iter() {
+            let o = p.orient().expect("TCP segments orient");
+            match o.kind {
+                SegmentKind::Syn => pcf.update(o.server.raw() as u64, 1),
+                SegmentKind::Fin | SegmentKind::Rst => pcf.update(o.server.raw() as u64, -1),
+                _ => {}
+            }
+        }
+        candidates
+            .iter()
+            .map(|&k| (k, pcf.check(k, threshold)))
+            .collect()
+    }
+
+    /// Zeroes the counters.
+    pub fn clear(&mut self) {
+        for stage in &mut self.counters {
+            stage.fill(0);
+        }
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.counters.len() * self.buckets * std::mem::size_of::<i64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completed_connections_cancel() {
+        let mut pcf = Pcf::new(PcfConfig::default());
+        for _ in 0..100 {
+            pcf.update(42, 1);
+            pcf.update(42, -1);
+        }
+        assert_eq!(pcf.estimate(42), 0);
+        assert!(!pcf.check(42, 10));
+    }
+
+    #[test]
+    fn partial_completions_accumulate() {
+        let mut pcf = Pcf::new(PcfConfig::default());
+        for _ in 0..500 {
+            pcf.update(42, 1);
+        }
+        assert!(pcf.estimate(42) >= 500);
+        assert!(pcf.check(42, 100));
+    }
+
+    #[test]
+    fn min_over_stages_limits_overestimate() {
+        let mut pcf = Pcf::new(PcfConfig::default());
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..20_000 {
+            pcf.update(rng.next_u64(), 1);
+        }
+        // An absent key can only be overestimated by its worst-stage
+        // collisions; min-over-stages keeps that small.
+        let est = pcf.estimate(0xDEAD_BEEF);
+        assert!(est < 50, "phantom estimate {est}");
+    }
+
+    #[test]
+    fn detect_candidates_flags_victims_only() {
+        use hifind_flow::{Ip4, Packet};
+        let victim: Ip4 = [129, 105, 0, 5].into();
+        let healthy: Ip4 = [129, 105, 0, 6].into();
+        let mut t = hifind_flow::Trace::new();
+        for i in 0..300u32 {
+            // Flooded victim: SYNs never complete.
+            t.push(Packet::syn(i as u64, Ip4::new(0x5000_0000 + i), 2000, victim, 80));
+            // Healthy server: SYN + FIN teardown.
+            let c: Ip4 = [9, 9, 9, (i % 200) as u8].into();
+            t.push(Packet::syn(i as u64, c, 2000 + (i % 100) as u16, healthy, 80));
+            t.push(Packet::fin(i as u64 + 10, c, 2000 + (i % 100) as u16, healthy, 80));
+        }
+        t.sort_by_time();
+        let results = Pcf::detect_candidates(
+            &t,
+            &[victim.raw() as u64, healthy.raw() as u64],
+            100,
+            PcfConfig::default(),
+        );
+        assert_eq!(results[0], (victim.raw() as u64, true));
+        assert_eq!(results[1], (healthy.raw() as u64, false));
+    }
+
+    #[test]
+    fn clear_and_memory() {
+        let mut pcf = Pcf::new(PcfConfig::default());
+        pcf.update(1, 100);
+        pcf.clear();
+        assert_eq!(pcf.estimate(1), 0);
+        assert_eq!(pcf.memory_bytes(), 3 * (1 << 12) * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_buckets() {
+        let _ = Pcf::new(PcfConfig {
+            buckets: 1000,
+            ..PcfConfig::default()
+        });
+    }
+}

@@ -1,0 +1,229 @@
+//! Superspreader detection (Venkataraman, Song, Gibbons & Blum, NDSS'05).
+//!
+//! A *superspreader* is a source contacting more than `k` distinct
+//! destinations. The one-level filtering algorithm samples (source,
+//! destination) pairs **by hash**, so duplicate packets of the same pair
+//! are sampled consistently and only distinct contacts count; a source is
+//! reported when its sampled-contact count implies > k distinct
+//! destinations.
+//!
+//! The HiFIND paper's critique (Table 1): destination-fan-out alone cannot
+//! tell scanning from legitimate fan-out (P2P clients contact hundreds of
+//! peers), so the detector has inherent false positives and cannot
+//! distinguish attack types — demonstrated in this module's tests.
+
+use hifind_flow::rng::SplitMix64;
+use hifind_flow::{Ip4, SegmentKind, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Superspreader parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SuperspreaderConfig {
+    /// Fan-out threshold `k`: sources contacting more than `k` distinct
+    /// destinations are superspreaders.
+    pub k: u64,
+    /// Sampling probability for (src, dst) pairs.
+    pub sample_prob: f64,
+    /// Hash seed for consistent pair sampling.
+    pub seed: u64,
+}
+
+impl Default for SuperspreaderConfig {
+    fn default() -> Self {
+        SuperspreaderConfig {
+            k: 200,
+            sample_prob: 0.1,
+            seed: 0x5550,
+        }
+    }
+}
+
+/// The one-level filtering superspreader detector.
+#[derive(Clone, Debug)]
+pub struct Superspreader {
+    config: SuperspreaderConfig,
+    hash_a: u64,
+    /// Per-source count of *sampled distinct* destinations.
+    counts: HashMap<u32, u64>,
+    /// Sampled pairs already counted (distinctness guard).
+    sampled_pairs: std::collections::HashSet<u64>,
+    threshold_count: u64,
+}
+
+impl Superspreader {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_prob` is outside `(0, 1]` or `k == 0`.
+    pub fn new(config: SuperspreaderConfig) -> Self {
+        assert!(
+            config.sample_prob > 0.0 && config.sample_prob <= 1.0,
+            "sample probability must be in (0, 1]"
+        );
+        assert!(config.k > 0, "fan-out threshold must be positive");
+        let mut rng = SplitMix64::new(config.seed);
+        Superspreader {
+            config,
+            hash_a: rng.next_u64() | 1,
+            counts: HashMap::new(),
+            sampled_pairs: std::collections::HashSet::new(),
+            // Expected sampled contacts at the threshold.
+            threshold_count: ((config.k as f64) * config.sample_prob).ceil() as u64,
+        }
+    }
+
+    /// Feeds one SYN's (source, destination) pair.
+    pub fn observe(&mut self, src: Ip4, dst: Ip4) {
+        // Hash-based sampling: the decision is a pure function of the pair,
+        // so duplicates never double-count.
+        let pair = ((src.raw() as u64) << 32) | dst.raw() as u64;
+        let h = pair.wrapping_mul(self.hash_a) >> 11;
+        let cut = (self.config.sample_prob * (1u64 << 53) as f64) as u64;
+        if h & ((1 << 53) - 1) < cut && self.sampled_pairs.insert(pair) {
+            *self.counts.entry(src.raw()).or_insert(0) += 1;
+        }
+    }
+
+    /// Sources whose estimated distinct fan-out exceeds `k`, with the
+    /// estimate (sampled count / sampling probability).
+    pub fn report(&self) -> Vec<(Ip4, u64)> {
+        let mut out: Vec<(Ip4, u64)> = self
+            .counts
+            .iter()
+            .filter(|&(_, &c)| c >= self.threshold_count.max(1))
+            .map(|(&s, &c)| {
+                (
+                    Ip4::new(s),
+                    (c as f64 / self.config.sample_prob).round() as u64,
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Runs over a trace (SYNs only) and reports superspreaders.
+    pub fn detect(trace: &Trace, config: SuperspreaderConfig) -> Vec<(Ip4, u64)> {
+        let mut ss = Superspreader::new(config);
+        for p in trace.iter() {
+            if p.kind == SegmentKind::Syn {
+                ss.observe(p.src, p.dst);
+            }
+        }
+        ss.report()
+    }
+
+    /// Tracked sources (memory proportional to sampled sources only).
+    pub fn tracked_sources(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl Default for Superspreader {
+    fn default() -> Self {
+        Superspreader::new(SuperspreaderConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind_flow::Packet;
+
+    fn fanout_trace(src: Ip4, dsts: u32, repeats: u32) -> Trace {
+        let mut t = Trace::new();
+        for r in 0..repeats {
+            for i in 0..dsts {
+                let dst: Ip4 = [10, (i >> 8) as u8, i as u8, 1].into();
+                t.push(Packet::syn((r * dsts + i) as u64, src, 2000, dst, 80));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn detects_high_fanout_source() {
+        let scanner: Ip4 = [6, 6, 6, 6].into();
+        let found = Superspreader::detect(
+            &fanout_trace(scanner, 5000, 1),
+            SuperspreaderConfig::default(),
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, scanner);
+        let est = found[0].1;
+        assert!(
+            (3500..6500).contains(&est),
+            "estimate {est} too far from 5000"
+        );
+    }
+
+    #[test]
+    fn low_fanout_source_not_reported() {
+        let client: Ip4 = [9, 9, 9, 9].into();
+        let found = Superspreader::detect(
+            &fanout_trace(client, 50, 1),
+            SuperspreaderConfig::default(),
+        );
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_estimate() {
+        let src: Ip4 = [7, 7, 7, 7].into();
+        let once = Superspreader::detect(
+            &fanout_trace(src, 5000, 1),
+            SuperspreaderConfig::default(),
+        );
+        let five_times = Superspreader::detect(
+            &fanout_trace(src, 5000, 5),
+            SuperspreaderConfig::default(),
+        );
+        assert_eq!(once, five_times, "hash sampling must be duplicate-stable");
+    }
+
+    #[test]
+    fn p2p_like_traffic_is_a_false_positive() {
+        // The paper's critique: a P2P host contacting many peers — with
+        // *successful* handshakes — still trips fan-out detection.
+        let peer: Ip4 = [8, 8, 8, 8].into();
+        let mut t = Trace::new();
+        for i in 0..3000u32 {
+            let dst: Ip4 = [10, (i >> 8) as u8, i as u8, 1].into();
+            t.push(Packet::syn(i as u64 * 2, peer, 2000, dst, 6881));
+            t.push(Packet::syn_ack(i as u64 * 2 + 1, peer, 2000, dst, 6881));
+        }
+        let found = Superspreader::detect(&t, SuperspreaderConfig::default());
+        assert!(
+            found.iter().any(|&(s, _)| s == peer),
+            "fan-out detection cannot exempt benign P2P fan-out"
+        );
+    }
+
+    #[test]
+    fn memory_tracks_only_sampled_sources() {
+        let mut ss = Superspreader::new(SuperspreaderConfig {
+            sample_prob: 0.01,
+            ..SuperspreaderConfig::default()
+        });
+        for i in 0..10_000u32 {
+            ss.observe(Ip4::new(0x5000_0000 + i), [10, 0, 0, 1].into());
+        }
+        // Each spoofed source has one pair; only ~1% get sampled.
+        assert!(
+            ss.tracked_sources() < 400,
+            "tracked {} sources",
+            ss.tracked_sources()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sample probability")]
+    fn rejects_zero_sampling() {
+        let _ = Superspreader::new(SuperspreaderConfig {
+            sample_prob: 0.0,
+            ..SuperspreaderConfig::default()
+        });
+    }
+}

@@ -1,0 +1,190 @@
+//! Connection-attempt reconstruction shared by the TRW-family baselines.
+
+use hifind_flow::{Ip4, SegmentKind, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The outcome of one connection attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The server answered with SYN/ACK.
+    Success,
+    /// The server refused with RST.
+    Refused,
+    /// Nothing came back (timeout / dead host / flooded backlog).
+    Timeout,
+}
+
+impl Outcome {
+    /// Whether TRW counts this outcome as a failed first contact.
+    pub fn is_failure(self) -> bool {
+        !matches!(self, Outcome::Success)
+    }
+}
+
+/// One reconstructed connection attempt (SYN retransmissions collapsed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attempt {
+    /// Initiating client.
+    pub client: Ip4,
+    /// Contacted server.
+    pub server: Ip4,
+    /// Client (ephemeral) port.
+    pub client_port: u16,
+    /// Server port.
+    pub server_port: u16,
+    /// Timestamp of the first SYN (ms).
+    pub ts_ms: u64,
+    /// How the attempt ended.
+    pub outcome: Outcome,
+}
+
+/// Reconstructs connection attempts from a trace.
+///
+/// Attempts are keyed by the full 4-tuple; a SYN/ACK anywhere after the
+/// first SYN marks success, an RST marks refusal, and anything else is a
+/// timeout. Attempts are returned ordered by first-SYN time, which is the
+/// order TRW's sequential test consumes them in.
+pub fn connection_attempts(trace: &Trace) -> Vec<Attempt> {
+    #[derive(Clone, Copy)]
+    struct Slot {
+        first_syn_ms: u64,
+        outcome: Outcome,
+        order: usize,
+    }
+    let mut slots: HashMap<(u32, u32, u16, u16), Slot> = HashMap::new();
+    let mut order = 0usize;
+    for p in trace.iter() {
+        let o = p.orient().expect("TCP segments orient");
+        let key = (
+            o.client.raw(),
+            o.server.raw(),
+            o.client_port,
+            o.server_port,
+        );
+        match o.kind {
+            SegmentKind::Syn => {
+                slots.entry(key).or_insert_with(|| {
+                    order += 1;
+                    Slot {
+                        first_syn_ms: o.ts_ms,
+                        outcome: Outcome::Timeout,
+                        order: order - 1,
+                    }
+                });
+            }
+            SegmentKind::SynAck => {
+                if let Some(s) = slots.get_mut(&key) {
+                    s.outcome = Outcome::Success;
+                }
+            }
+            SegmentKind::Rst => {
+                if let Some(s) = slots.get_mut(&key) {
+                    if s.outcome == Outcome::Timeout {
+                        s.outcome = Outcome::Refused;
+                    }
+                }
+            }
+            SegmentKind::Fin | SegmentKind::Other => {}
+        }
+    }
+    let mut attempts: Vec<(usize, Attempt)> = slots
+        .into_iter()
+        .map(|((c, s, cp, sp), slot)| {
+            (
+                slot.order,
+                Attempt {
+                    client: Ip4::new(c),
+                    server: Ip4::new(s),
+                    client_port: cp,
+                    server_port: sp,
+                    ts_ms: slot.first_syn_ms,
+                    outcome: slot.outcome,
+                },
+            )
+        })
+        .collect();
+    attempts.sort_by_key(|&(order, a)| (a.ts_ms, order));
+    attempts.into_iter().map(|(_, a)| a).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind_flow::Packet;
+
+    fn c() -> Ip4 {
+        [1, 1, 1, 1].into()
+    }
+    fn s() -> Ip4 {
+        [2, 2, 2, 2].into()
+    }
+
+    #[test]
+    fn success_refused_timeout() {
+        let mut t = Trace::new();
+        t.push(Packet::syn(0, c(), 1000, s(), 80));
+        t.push(Packet::syn_ack(5, c(), 1000, s(), 80));
+        t.push(Packet::syn(10, c(), 1001, s(), 22));
+        t.push(Packet::rst(12, c(), 1001, s(), 22));
+        t.push(Packet::syn(20, c(), 1002, s(), 443));
+        let attempts = connection_attempts(&t);
+        assert_eq!(attempts.len(), 3);
+        assert_eq!(attempts[0].outcome, Outcome::Success);
+        assert_eq!(attempts[1].outcome, Outcome::Refused);
+        assert_eq!(attempts[2].outcome, Outcome::Timeout);
+        assert!(attempts[1].outcome.is_failure());
+        assert!(attempts[2].outcome.is_failure());
+        assert!(!attempts[0].outcome.is_failure());
+    }
+
+    #[test]
+    fn retransmissions_collapse() {
+        let mut t = Trace::new();
+        t.push(Packet::syn(0, c(), 1000, s(), 80));
+        t.push(Packet::syn(3000, c(), 1000, s(), 80));
+        t.push(Packet::syn(9000, c(), 1000, s(), 80));
+        let attempts = connection_attempts(&t);
+        assert_eq!(attempts.len(), 1);
+        assert_eq!(attempts[0].ts_ms, 0);
+    }
+
+    #[test]
+    fn late_synack_still_success() {
+        let mut t = Trace::new();
+        t.push(Packet::syn(0, c(), 1000, s(), 80));
+        t.push(Packet::syn_ack(50_000, c(), 1000, s(), 80));
+        assert_eq!(connection_attempts(&t)[0].outcome, Outcome::Success);
+    }
+
+    #[test]
+    fn synack_beats_earlier_rst() {
+        let mut t = Trace::new();
+        t.push(Packet::syn(0, c(), 1000, s(), 80));
+        t.push(Packet::rst(2, c(), 1000, s(), 80));
+        t.push(Packet::syn_ack(4, c(), 1000, s(), 80));
+        // Success wins: the handshake eventually completed.
+        assert_eq!(connection_attempts(&t)[0].outcome, Outcome::Success);
+    }
+
+    #[test]
+    fn ordered_by_first_syn_time() {
+        let mut t = Trace::new();
+        t.push(Packet::syn(100, c(), 1001, s(), 81));
+        t.push(Packet::syn(50, c(), 1002, s(), 82));
+        t.push(Packet::syn(75, c(), 1003, s(), 83));
+        t.sort_by_time();
+        let attempts = connection_attempts(&t);
+        let times: Vec<u64> = attempts.iter().map(|a| a.ts_ms).collect();
+        assert_eq!(times, vec![50, 75, 100]);
+    }
+
+    #[test]
+    fn distinct_tuples_are_distinct_attempts() {
+        let mut t = Trace::new();
+        t.push(Packet::syn(0, c(), 1000, s(), 80));
+        t.push(Packet::syn(1, c(), 1000, s(), 81)); // different server port
+        t.push(Packet::syn(2, c(), 1001, s(), 80)); // different client port
+        assert_eq!(connection_attempts(&t).len(), 3);
+    }
+}

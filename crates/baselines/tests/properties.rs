@@ -1,0 +1,123 @@
+//! Property-based tests for the baseline detectors.
+
+use hifind_baselines::{
+    connection_attempts, Cpm, CpmConfig, Pcf, PcfConfig, Superspreader, SuperspreaderConfig, Trw,
+    TrwConfig,
+};
+use hifind_flow::{Ip4, Packet, Trace};
+use proptest::prelude::*;
+
+fn scan_trace(scanner: u32, probes: u32, answered_every: u32) -> Trace {
+    let mut t = Trace::new();
+    let src = Ip4::new(scanner);
+    for i in 0..probes {
+        let dst: Ip4 = [10, 0, (i >> 8) as u8, i as u8].into();
+        t.push(Packet::syn(i as u64 * 10, src, 2000, dst, 445));
+        if answered_every > 0 && i % answered_every == 0 {
+            t.push(Packet::syn_ack(i as u64 * 10 + 1, src, 2000, dst, 445));
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// TRW flags any pure-failure scanner with enough probes, and the
+    /// decision uses no more probes than the SPRT bound (≈ log η1 /
+    /// log((1−θ1)/(1−θ0)) consecutive failures).
+    #[test]
+    fn trw_decision_bound(scanner in 1u32..u32::MAX, probes in 20u32..200) {
+        let (alerts, _) = Trw::detect(&scan_trace(scanner, probes, 0), TrwConfig::default());
+        prop_assert_eq!(alerts.len(), 1);
+        let cfg = TrwConfig::default();
+        let bound = ((cfg.beta / cfg.alpha).ln()
+            / ((1.0 - cfg.theta1) / (1.0 - cfg.theta0)).ln())
+            .ceil() as u32;
+        prop_assert!(alerts[0].failures <= bound + 1, "{} > {}", alerts[0].failures, bound);
+    }
+
+    /// TRW never alerts on a source whose every first contact succeeds.
+    #[test]
+    fn trw_never_flags_perfect_source(scanner in 1u32..u32::MAX, probes in 1u32..300) {
+        let (alerts, _) = Trw::detect(&scan_trace(scanner, probes, 1), TrwConfig::default());
+        prop_assert!(alerts.is_empty());
+    }
+
+    /// TRW state grows linearly with distinct sources (the DoS surface).
+    #[test]
+    fn trw_state_tracks_sources(sources in 1usize..500) {
+        let mut t = Trace::new();
+        for i in 0..sources {
+            t.push(Packet::syn(
+                i as u64,
+                Ip4::new(0x5000_0000 + i as u32),
+                2000,
+                [10, 0, 0, 1].into(),
+                80,
+            ));
+        }
+        let (_, stats) = Trw::detect(&t, TrwConfig::default());
+        prop_assert_eq!(stats.peak_sources, sources);
+    }
+
+    /// CPM's CUSUM is non-negative and zero under SYN/FIN balance.
+    #[test]
+    fn cpm_cusum_invariants(intervals in prop::collection::vec((0u64..5000, 0u64..5000), 1..50)) {
+        let mut cpm = Cpm::new(CpmConfig::default());
+        for &(syn, fin) in &intervals {
+            cpm.step(syn, fin);
+            prop_assert!(cpm.cusum() >= 0.0);
+        }
+        let mut balanced = Cpm::new(CpmConfig::default());
+        for _ in 0..20 {
+            balanced.step(1000, 1000);
+            prop_assert!(balanced.cusum() < 1e-9);
+        }
+    }
+
+    /// PCF: min-over-stages estimate never underestimates a key's true
+    /// partial-completion count (non-negative updates).
+    #[test]
+    fn pcf_never_underestimates(key in any::<u64>(), value in 1i64..1000, noise in prop::collection::vec(any::<u64>(), 0..500)) {
+        let mut pcf = Pcf::new(PcfConfig::default());
+        for _ in 0..value {
+            pcf.update(key, 1);
+        }
+        for &n in &noise {
+            pcf.update(n, 1);
+        }
+        prop_assert!(pcf.estimate(key) >= value);
+    }
+
+    /// Superspreader estimates scale with true fan-out within sampling
+    /// tolerance.
+    #[test]
+    fn superspreader_estimate_tracks_fanout(fanout in 2000u32..8000) {
+        let src = Ip4::new(0x0808_0808);
+        let mut t = Trace::new();
+        for i in 0..fanout {
+            t.push(Packet::syn(i as u64, src, 1, Ip4::new(0x0A00_0000 + i), 80));
+        }
+        let found = Superspreader::detect(&t, SuperspreaderConfig::default());
+        let (_, est) = found.iter().find(|&&(s, _)| s == src).copied().expect("flagged");
+        let rel = est as f64 / fanout as f64;
+        prop_assert!((0.6..1.5).contains(&rel), "estimate {est} vs true {fanout}");
+    }
+
+    /// Attempt reconstruction: attempts ≤ SYN count, and every attempt's
+    /// timestamp comes from an observed SYN.
+    #[test]
+    fn attempts_are_consistent(packets in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u16>(), 0u64..100_000), 0..200)) {
+        let mut t = Trace::new();
+        for &(c, s, port, ts) in &packets {
+            t.push(Packet::syn(ts, Ip4::new(c), 1000, Ip4::new(s), port));
+        }
+        t.sort_by_time();
+        let attempts = connection_attempts(&t);
+        prop_assert!(attempts.len() <= t.len());
+        for w in attempts.windows(2) {
+            prop_assert!(w[0].ts_ms <= w[1].ts_ms);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Detection-path benchmarks (§5.5.3): EWMA forecasting over grids,
+//! reversible-sketch inference at varying numbers of heavy keys, 2D
+//! classification, and a full pipeline interval.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hifind::{HiFind, HiFindConfig};
+use hifind_flow::rng::SplitMix64;
+use hifind_flow::{Ip4, Packet};
+use hifind_forecast::{GridEwma, GridForecaster};
+use hifind_sketch::{InferOptions, ReversibleSketch, RsConfig, TwoDConfig, TwoDSketch};
+use std::hint::black_box;
+
+fn bench_forecast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forecast");
+    // The paper's 64-bit RS grid: 6 × 2^16 counters.
+    let rs = {
+        let mut rs = ReversibleSketch::new(RsConfig::paper_64bit(1)).unwrap();
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..100_000 {
+            rs.update(rng.next_u64(), 1);
+        }
+        rs
+    };
+    group.bench_function("grid_ewma_step_6x65536", |b| {
+        let mut ewma = GridEwma::new(0.5);
+        ewma.step(rs.grid());
+        ewma.step(rs.grid());
+        b.iter(|| black_box(ewma.step(rs.grid())))
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(20);
+    for heavy in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::new("heavy_keys", heavy), &heavy, |b, &heavy| {
+            let mut rs = ReversibleSketch::new(RsConfig::paper_48bit(3)).unwrap();
+            let mut rng = SplitMix64::new(4);
+            for _ in 0..heavy {
+                rs.update(rng.next_u64() & ((1 << 48) - 1), 1000);
+            }
+            for _ in 0..100_000 {
+                rs.update(rng.next_u64() & ((1 << 48) - 1), 1);
+            }
+            let opts = InferOptions::default();
+            b.iter(|| black_box(rs.infer(500, &opts)).keys.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classification");
+    let mut twod = TwoDSketch::new(TwoDConfig::paper(5)).unwrap();
+    let mut rng = SplitMix64::new(6);
+    for _ in 0..200_000 {
+        twod.update(rng.next_u64(), rng.below(65536), 1);
+    }
+    for _ in 0..2000 {
+        twod.update(0xF100D, 80, 1);
+    }
+    group.bench_function("twod_classify", |b| {
+        b.iter(|| black_box(twod.classify(black_box(0xF100D), 5, 0.8)))
+    });
+    group.finish();
+}
+
+fn bench_full_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    // One realistic interval: 50k packets with an ongoing flood and scan.
+    let mut rng = SplitMix64::new(7);
+    let packets: Vec<Packet> = (0..50_000usize)
+        .map(|i| {
+            let roll = rng.f64();
+            if roll < 0.02 {
+                Packet::syn(i as u64, Ip4::new(0x5000_0000 + i as u32), 2000, [129, 105, 0, 1].into(), 80)
+            } else if roll < 0.03 {
+                let dst = Ip4::new(0x8169_0000 + (i as u32 & 0xFFF));
+                Packet::syn(i as u64, [66, 6, 6, 6].into(), 2100, dst, 445)
+            } else {
+                let client = Ip4::new(rng.next_u32());
+                let server = Ip4::new(0x8169_0000 | (rng.next_u32() & 0x3FF));
+                if rng.chance(0.5) {
+                    Packet::syn(i as u64, client, 4000, server, 80)
+                } else {
+                    Packet::syn_ack(i as u64, client, 4000, server, 80)
+                }
+            }
+        })
+        .collect();
+    group.bench_function("record_50k_and_detect", |b| {
+        let mut ids = HiFind::new(HiFindConfig::paper(8)).unwrap();
+        // Warm the forecaster so inference actually runs.
+        for p in &packets {
+            ids.record(p);
+        }
+        ids.end_interval();
+        for p in &packets {
+            ids.record(p);
+        }
+        ids.end_interval();
+        b.iter(|| {
+            for p in &packets {
+                ids.record(p);
+            }
+            black_box(ids.end_interval().fin.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forecast,
+    bench_inference,
+    bench_classification,
+    bench_full_interval
+);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Recording-path benchmarks (§5.5.3): per-update cost of each sketch and
+//! of the full recorder, plus multi-threaded recording with per-thread
+//! sketches merged by linearity (the paper's "multi-processors recording
+//! multiple sketches simultaneously").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hifind::{HiFindConfig, SketchRecorder};
+use hifind_flow::rng::SplitMix64;
+use hifind_flow::{Ip4, Packet};
+use hifind_sketch::{KaryConfig, KarySketch, ReversibleSketch, RsConfig, TwoDConfig, TwoDSketch};
+use std::hint::black_box;
+
+fn keys(n: usize, bits: u32, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+    (0..n).map(|_| rng.next_u64() & mask).collect()
+}
+
+fn packets(n: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|i| {
+            let client = Ip4::new(rng.next_u32());
+            let server = Ip4::new(0x8169_0000 | (rng.next_u32() & 0xFFFF));
+            if rng.chance(0.45) {
+                Packet::syn_ack(i as u64, client, 4000, server, 80)
+            } else {
+                Packet::syn(i as u64, client, 4000, server, 80)
+            }
+        })
+        .collect()
+}
+
+fn bench_sketch_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update");
+    let ks = keys(4096, 48, 1);
+    group.throughput(Throughput::Elements(ks.len() as u64));
+
+    let mut rs48 = ReversibleSketch::new(RsConfig::paper_48bit(1)).unwrap();
+    group.bench_function("reversible_48bit", |b| {
+        b.iter(|| {
+            for &k in &ks {
+                rs48.update(black_box(k), 1);
+            }
+        })
+    });
+
+    let ks64 = keys(4096, 64, 2);
+    let mut rs64 = ReversibleSketch::new(RsConfig::paper_64bit(2)).unwrap();
+    group.bench_function("reversible_64bit", |b| {
+        b.iter(|| {
+            for &k in &ks64 {
+                rs64.update(black_box(k), 1);
+            }
+        })
+    });
+
+    let mut kary = KarySketch::new(KaryConfig::paper_os(3)).unwrap();
+    group.bench_function("kary", |b| {
+        b.iter(|| {
+            for &k in &ks {
+                kary.update(black_box(k), 1);
+            }
+        })
+    });
+
+    let mut twod = TwoDSketch::new(TwoDConfig::paper(4)).unwrap();
+    group.bench_function("twod", |b| {
+        b.iter(|| {
+            for &k in &ks {
+                twod.update(black_box(k), k & 0xFFFF, 1);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_recorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recorder");
+    let pkts = packets(4096, 5);
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+    let mut recorder = SketchRecorder::new(&HiFindConfig::paper(5)).unwrap();
+    group.bench_function("record_packet", |b| {
+        b.iter(|| {
+            for p in &pkts {
+                recorder.record(black_box(p));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallel_recording(c: &mut Criterion) {
+    // Per-thread recorders over disjoint packet shards, merged afterwards
+    // by sketch linearity — scaling shape for §5.5.3's multi-processor
+    // claim.
+    let mut group = c.benchmark_group("parallel_recording");
+    let pkts = packets(262_144, 6);
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                // Recorders are long-lived in a real deployment: build them
+                // once outside the measurement and only time record+merge.
+                let mut recorders: Vec<SketchRecorder> = (0..threads)
+                    .map(|_| SketchRecorder::new(&HiFindConfig::paper(7)).unwrap())
+                    .collect();
+                b.iter(|| {
+                    let shards: Vec<&[Packet]> =
+                        pkts.chunks(pkts.len().div_ceil(threads)).collect();
+                    let snaps = crossbeam::scope(|scope| {
+                        let handles: Vec<_> = recorders
+                            .iter_mut()
+                            .zip(&shards)
+                            .map(|(recorder, shard)| {
+                                scope.spawn(move |_| {
+                                    for p in *shard {
+                                        recorder.record(p);
+                                    }
+                                    recorder.take_snapshot()
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().unwrap())
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap();
+                    let mut snaps = snaps;
+                    let mut total = snaps.remove(0);
+                    for s in &snaps {
+                        total.combine_into(s).unwrap();
+                    }
+                    black_box(total.syn_count)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sketch_updates,
+    bench_recorder,
+    bench_parallel_recording
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! **§5.2** — sketches are highly accurate in recording traffic for
+//! detection: the same three-phase algorithm run over (a) sketches and
+//! (b) exact per-flow tables must find the same attacks, at wildly
+//! different memory costs.
+//!
+//! Run: `cargo run --release -p hifind-bench --bin sketch_vs_exact`
+
+use hifind::{HiFind, HiFindConfig};
+use hifind_bench::harness::{scale, section, seed, write_json};
+use hifind_bench::ExactHiFind;
+use hifind_trafficgen::presets;
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+#[derive(Serialize)]
+struct Comparison {
+    trace: String,
+    sketch_final: usize,
+    exact_final: usize,
+    identical: bool,
+    only_sketch: usize,
+    only_exact: usize,
+    sketch_memory_mb: f64,
+    exact_peak_memory_mb: f64,
+}
+
+fn run(name: &str, scenario: hifind_trafficgen::Scenario) -> Comparison {
+    eprintln!("[sketch_vs_exact] generating {name}...");
+    let (trace, _) = scenario.generate();
+    let cfg = HiFindConfig::paper(seed());
+
+    let mut sketch = HiFind::new(cfg).expect("paper config");
+    let sketch_log = sketch.run_trace(&trace);
+    let mut exact = ExactHiFind::new(cfg);
+    let exact_log = exact.run_trace(&trace);
+
+    let s: BTreeSet<_> = sketch_log.final_alerts().iter().map(|a| a.identity()).collect();
+    let e: BTreeSet<_> = exact_log.final_alerts().iter().map(|a| a.identity()).collect();
+
+    Comparison {
+        trace: name.to_string(),
+        sketch_final: s.len(),
+        exact_final: e.len(),
+        identical: s == e,
+        only_sketch: s.difference(&e).count(),
+        only_exact: e.difference(&s).count(),
+        sketch_memory_mb: sketch.recorder().memory_bytes() as f64 / 1e6,
+        exact_peak_memory_mb: exact.peak_memory_bytes() as f64 / 1e6,
+    }
+}
+
+fn main() {
+    let s = scale();
+    let results = vec![
+        run("NU-like", presets::nu_like(seed()).scaled(s)),
+        run("LBL-like", presets::lbl_like(seed()).scaled(s)),
+    ];
+
+    section("§5.2: sketch vs exact flow-table detection (same algorithm)");
+    for r in &results {
+        println!(
+            "{}: sketch found {}, exact found {} → identical: {} \
+             ({} only-sketch, {} only-exact)",
+            r.trace, r.sketch_final, r.exact_final, r.identical, r.only_sketch, r.only_exact
+        );
+        println!(
+            "    memory: sketches {:.1} MB (fixed) vs exact tables {:.1} MB (peak, grows with flows)",
+            r.sketch_memory_mb, r.exact_peak_memory_mb
+        );
+    }
+    println!(
+        "\npaper claim: identical attack sets from both recordings; small divergence\n\
+         (a few keys at the threshold boundary) is the expected estimation noise."
+    );
+    write_json("sketch_vs_exact", &results);
+}

@@ -1,0 +1,192 @@
+//! **Table 1** — functionality comparison: which detector catches which
+//! attack class, demonstrated empirically on four single-attack scenarios
+//! (spoofed DoS, non-spoofed DoS, horizontal scan, vertical scan).
+//!
+//! Paper shape: HiFIND = Yes on all four; TRW only on scans; CPM only on
+//! DoS (with FPs on scans, shown in Table 6); Backscatter only on spoofed
+//! DoS; Superspreader on none of them *as such* (it reports fan-out, not
+//! attack type).
+//!
+//! Run: `cargo run --release -p hifind-bench --bin table1`
+
+use hifind::{AlertKind, HiFind, HiFindConfig};
+use hifind_baselines::{
+    backscatter_validate, Cpm, CpmConfig, Superspreader, SuperspreaderConfig, Trw, TrwConfig,
+};
+use hifind_bench::harness::{row, section, seed, write_json};
+use hifind_flow::Trace;
+use hifind_trafficgen::{EventSpec, NetworkModel, Scenario};
+use hifind_trafficgen::{BackgroundProfile, EventClass};
+use serde::Serialize;
+
+fn scenario_with(net: &NetworkModel, event: EventSpec) -> Scenario {
+    Scenario {
+        name: "table1".into(),
+        network: net.clone(),
+        background: BackgroundProfile {
+            connections_per_sec: 100.0,
+            ..BackgroundProfile::default()
+        },
+        events: vec![event],
+        duration_ms: 8 * 60 * 1000,
+        seed: seed(),
+    }
+}
+
+struct Verdicts {
+    hifind: bool,
+    trw: bool,
+    cpm: bool,
+    backscatter: bool,
+    superspreader: bool,
+}
+
+fn evaluate_all(trace: &Trace, truth: &hifind_trafficgen::GroundTruth) -> Verdicts {
+    let entry = truth.attacks().next().expect("one injected attack");
+    let cfg = HiFindConfig::paper(seed());
+
+    let mut ids = HiFind::new(cfg).expect("paper config");
+    let log = ids.run_trace(trace);
+    let hifind = log.final_alerts().iter().any(|a| {
+        let kind_ok = match entry.class {
+            c if c.is_flooding() => a.kind == AlertKind::SynFlooding,
+            EventClass::HScan => a.kind == AlertKind::HScan,
+            EventClass::VScan => a.kind == AlertKind::VScan,
+            _ => false,
+        };
+        kind_ok && entry.matches(a.sip, a.dip, a.dport)
+    });
+
+    let (trw_alerts, _) = Trw::detect(trace, TrwConfig::default());
+    let trw = trw_alerts.iter().any(|a| Some(a.source) == entry.sip);
+
+    let cpm = !Cpm::detect_intervals(trace, cfg.interval_ms, CpmConfig::default()).is_empty();
+
+    let backscatter = entry
+        .dip
+        .map(|victim| backscatter_validate(trace, victim).spoofed_flood_confirmed)
+        .unwrap_or(false);
+
+    let ss = Superspreader::detect(trace, SuperspreaderConfig::default());
+    let superspreader = ss.iter().any(|&(s, _)| Some(s) == entry.sip);
+
+    Verdicts {
+        hifind,
+        trw,
+        cpm,
+        backscatter,
+        superspreader,
+    }
+}
+
+fn yn(b: bool) -> &'static str {
+    if b {
+        "Yes"
+    } else {
+        "No"
+    }
+}
+
+#[derive(Serialize)]
+struct Table1Row {
+    attack: String,
+    hifind: bool,
+    trw: bool,
+    cpm: bool,
+    backscatter: bool,
+    superspreader: bool,
+}
+
+fn main() {
+    let net = NetworkModel::campus();
+    // Victim services must be active: give them background traffic by
+    // using low-index servers (popular under the Zipf profile).
+    let attacks: Vec<(&str, EventSpec)> = vec![
+        (
+            "Spoofed DoS",
+            EventSpec::SynFlood {
+                attacker: None,
+                victim: net.server(0),
+                port: 80,
+                pps: 150.0,
+                start_ms: 120_000,
+                duration_ms: 300_000,
+                respond_prob: 0.05,
+                label: "spoofed flood".into(),
+            },
+        ),
+        (
+            "Non-spoofed DoS",
+            EventSpec::SynFlood {
+                attacker: Some([61, 1, 2, 3].into()),
+                victim: net.server(1),
+                port: 80,
+                pps: 150.0,
+                start_ms: 120_000,
+                duration_ms: 300_000,
+                respond_prob: 0.05,
+                label: "direct flood".into(),
+            },
+        ),
+        (
+            "Hscan",
+            EventSpec::HScan {
+                attacker: [62, 1, 2, 3].into(),
+                dport: 445,
+                victims: 2000,
+                pps: 6.0,
+                start_ms: 120_000,
+                duration_ms: 300_000,
+                hit_prob: 0.01,
+                rst_prob: 0.1,
+                label: "worm scan".into(),
+            },
+        ),
+        (
+            "Vscan",
+            EventSpec::VScan {
+                attacker: [63, 1, 2, 3].into(),
+                victim: net.server(2),
+                port_lo: 1,
+                port_hi: 2500,
+                pps: 8.0,
+                start_ms: 120_000,
+                open_ports: vec![22, 80],
+                label: "vertical scan".into(),
+            },
+        ),
+    ];
+
+    section("Table 1: functionality comparison (empirical)");
+    let widths = [16, 10, 8, 8, 13, 14];
+    row(
+        &["Attack", "HiFIND", "TRW", "CPM", "Backscatter", "Superspreader"],
+        &widths,
+    );
+    let mut rows = Vec::new();
+    for (label, event) in attacks {
+        eprintln!("[table1] running scenario: {label}...");
+        let (trace, truth) = scenario_with(&net, event).generate();
+        let v = evaluate_all(&trace, &truth);
+        row(
+            &[label, yn(v.hifind), yn(v.trw), yn(v.cpm), yn(v.backscatter), yn(v.superspreader)],
+            &widths,
+        );
+        rows.push(Table1Row {
+            attack: label.to_string(),
+            hifind: v.hifind,
+            trw: v.trw,
+            cpm: v.cpm,
+            backscatter: v.backscatter,
+            superspreader: v.superspreader,
+        });
+    }
+    println!(
+        "\npaper shape: HiFIND row of Yes; TRW detects scans only (spoofed sources\n\
+         never re-contact → no walk crosses); CPM fires on aggregate imbalance (both\n\
+         DoS rows, and — its weakness — also on scans, see Table 6); Backscatter\n\
+         confirms only the spoofed flood; Superspreader flags high fan-out sources\n\
+         (scans) but cannot tell attack types apart."
+    );
+    write_json("table1", &rows);
+}

@@ -1,0 +1,93 @@
+//! **Table 6** — TCP SYN flooding detection: HiFIND vs CPM, counted in
+//! flagged one-minute intervals, with the overlap.
+//!
+//! Paper shape: on the NU-like trace the two mostly agree (floodings
+//! dominate the aggregate); on the LBL-like trace CPM flags a large number
+//! of intervals although there is **no** flooding at all — its aggregate
+//! SYN/FIN balance cannot tell the heavy scanning apart — while HiFIND
+//! reports (near) zero.
+//!
+//! Run: `cargo run --release -p hifind-bench --bin table6`
+
+use hifind::{AlertKind, HiFind, HiFindConfig};
+use hifind_baselines::{Cpm, CpmConfig};
+use hifind_bench::harness::{row, scale, section, seed, write_json};
+use hifind_trafficgen::presets;
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+#[derive(Serialize)]
+struct Row {
+    data: String,
+    cpm_intervals: usize,
+    hifind_intervals: usize,
+    overlap: usize,
+}
+
+fn run(name: &str, scenario: hifind_trafficgen::Scenario) -> Row {
+    eprintln!("[table6] generating {name}...");
+    let (trace, _) = scenario.generate();
+    let cfg = HiFindConfig::paper(seed());
+
+    // HiFIND: intervals in which at least one (final) flooding alert fired.
+    // Final alerts are deduplicated per attack; we recover per-interval
+    // flagging by re-running detection per interval and recording alert
+    // intervals from the raw log restricted to confirmed attacks.
+    let mut ids = HiFind::new(cfg).expect("paper config");
+    let mut hifind_intervals: BTreeSet<u64> = BTreeSet::new();
+    for window in trace.intervals(cfg.interval_ms) {
+        for p in window.packets {
+            ids.record(p);
+        }
+        let outcome = ids.end_interval();
+        if outcome
+            .fin
+            .iter()
+            .any(|a| a.kind == AlertKind::SynFlooding)
+        {
+            hifind_intervals.insert(outcome.interval);
+        }
+    }
+
+    eprintln!("[table6]   running CPM...");
+    let cpm_intervals: BTreeSet<u64> =
+        Cpm::detect_intervals(&trace, cfg.interval_ms, CpmConfig::default())
+            .into_iter()
+            .collect();
+
+    Row {
+        data: name.to_string(),
+        cpm_intervals: cpm_intervals.len(),
+        hifind_intervals: hifind_intervals.len(),
+        overlap: cpm_intervals.intersection(&hifind_intervals).count(),
+    }
+}
+
+fn main() {
+    let s = scale();
+    let results = vec![
+        run("NU-like", presets::nu_like(seed()).scaled(s)),
+        run("LBL-like", presets::lbl_like(seed()).scaled(s)),
+    ];
+
+    section("Table 6: SYN flooding detection comparison (flagged intervals)");
+    let widths = [10, 8, 8, 16];
+    row(&["Data", "CPM", "HiFIND", "Overlap number"], &widths);
+    for r in &results {
+        row(
+            &[
+                &r.data,
+                &r.cpm_intervals.to_string(),
+                &r.hifind_intervals.to_string(),
+                &r.overlap.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\npaper shape: LBL row — CPM flags many intervals (scans inflate the aggregate\n\
+         SYN/FIN imbalance) while HiFIND, which detects at the flow level and filters\n\
+         false positives, reports (near) zero."
+    );
+    write_json("table6", &results);
+}

@@ -1,0 +1,92 @@
+//! **Tables 7 & 8** — the top-5 and bottom-5 detected horizontal scans by
+//! change difference, with their destination fan-out and cause label.
+//!
+//! Paper shape: the top of the list is dominated by large worm/botnet
+//! sweeps (SQLSnake on 1433, SSH scans, MySQL bots, Rahack) with tens of
+//! thousands of targets; the bottom consists of minimal worm probes
+//! (MSBlast/Nachi on 135, Sasser on 445/5554, NetBIOS on 139) that barely
+//! cross the threshold.
+//!
+//! Run: `cargo run --release -p hifind-bench --bin table7_8`
+
+use hifind::{AlertKind, HiFind, HiFindConfig};
+use hifind_bench::harness::{distinct_dips_per_scanner, row, scale, section, seed, write_json};
+use hifind_trafficgen::presets;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ScanRow {
+    sip: String,
+    dport: u16,
+    dips: usize,
+    change: i64,
+    cause: String,
+}
+
+fn main() {
+    let scenario = presets::nu_like(seed()).scaled(scale());
+    eprintln!("[table7_8] generating NU-like...");
+    let (trace, truth) = scenario.generate();
+    let mut ids = HiFind::new(HiFindConfig::paper(seed())).expect("paper config");
+    let log = ids.run_trace(&trace);
+
+    let fanout = distinct_dips_per_scanner(&trace);
+    let mut scans: Vec<ScanRow> = log
+        .final_alerts()
+        .iter()
+        .filter(|a| a.kind == AlertKind::HScan)
+        .map(|a| {
+            let sip = a.sip.expect("hscan sip");
+            let dport = a.dport.expect("hscan dport");
+            let cause = truth
+                .find_match(Some(sip), None, Some(dport))
+                .map(|e| e.label.clone())
+                .unwrap_or_else(|| "unknown".into());
+            ScanRow {
+                sip: sip.to_string(),
+                dport,
+                dips: fanout.get(&(sip.raw(), dport)).copied().unwrap_or(0),
+                change: a.magnitude,
+                cause,
+            }
+        })
+        .collect();
+    scans.sort_by(|a, b| b.change.cmp(&a.change));
+
+    let widths = [18, 8, 8, 8, 30];
+    section("Table 7: top-5 Hscans by change difference");
+    row(&["SIP", "Dport", "#DIP", "Δ", "Cause"], &widths);
+    for r in scans.iter().take(5) {
+        row(
+            &[
+                &r.sip,
+                &r.dport.to_string(),
+                &r.dips.to_string(),
+                &r.change.to_string(),
+                &r.cause,
+            ],
+            &widths,
+        );
+    }
+
+    section("Table 8: bottom-5 Hscans by change difference");
+    row(&["SIP", "Dport", "#DIP", "Δ", "Cause"], &widths);
+    for r in scans.iter().rev().take(5).collect::<Vec<_>>().iter().rev() {
+        row(
+            &[
+                &r.sip,
+                &r.dport.to_string(),
+                &r.dips.to_string(),
+                &r.change.to_string(),
+                &r.cause,
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\n({} Hscans detected in total; paper's NU experiment reports 936 at full\n\
+         trace scale — counts scale with HIFIND_SCALE, the ordering shape is the claim)",
+        scans.len()
+    );
+    write_json("table7_8", &scans);
+}

@@ -1,0 +1,86 @@
+//! **§5.4** — validating detected SYN floodings with backscatter analysis
+//! (Moore et al.): a spoofed-flood victim's responses spray uniformly over
+//! the address space.
+//!
+//! Paper shape: a majority of detected floodings are confirmed by
+//! backscatter; the unconfirmed remainder are dominated by non-spoofed
+//! attacks (no spray — responses go to the single real attacker) and
+//! threshold-boundary cases.
+//!
+//! Run: `cargo run --release -p hifind-bench --bin validate_backscatter`
+
+use hifind::{AlertKind, HiFind, HiFindConfig};
+use hifind_baselines::backscatter_validate;
+use hifind_bench::harness::{scale, section, seed, write_json};
+use hifind_trafficgen::{presets, EventClass};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Validation {
+    detected_floodings: usize,
+    confirmed_by_backscatter: usize,
+    unconfirmed_nonspoofed: usize,
+    unconfirmed_other: usize,
+}
+
+fn main() {
+    // Boost victim responsiveness slightly: backscatter validation needs
+    // the victim to answer *some* of the spoofed SYNs.
+    let scenario = presets::nu_like(seed()).scaled(scale());
+    eprintln!("[validate_backscatter] generating NU-like...");
+    let (trace, truth) = scenario.generate();
+    let mut ids = HiFind::new(HiFindConfig::paper(seed())).expect("paper config");
+    let log = ids.run_trace(&trace);
+
+    let floodings: Vec<_> = log
+        .final_alerts()
+        .iter()
+        .filter(|a| a.kind == AlertKind::SynFlooding)
+        .collect();
+
+    section("§5.4: backscatter validation of detected SYN floodings");
+    let mut confirmed = 0usize;
+    let mut unconfirmed_nonspoofed = 0usize;
+    let mut unconfirmed_other = 0usize;
+    for alert in &floodings {
+        let victim = alert.dip.expect("flooding alerts carry the victim");
+        let verdict = backscatter_validate(&trace, victim);
+        let truth_entry = truth.find_match(alert.sip, alert.dip, alert.dport);
+        let spoofed_truth = matches!(
+            truth_entry.map(|e| e.class),
+            Some(EventClass::SynFloodSpoofed)
+        );
+        let status = if verdict.spoofed_flood_confirmed {
+            confirmed += 1;
+            "confirmed (uniform backscatter)"
+        } else if !spoofed_truth {
+            unconfirmed_nonspoofed += 1;
+            "unconfirmed — non-spoofed (responses go to one attacker)"
+        } else {
+            unconfirmed_other += 1;
+            "unconfirmed — low/clustered response volume"
+        };
+        println!(
+            "  victim {victim}:{} — {} responses to {} destinations, χ²={:.1} → {status}",
+            alert.dport.expect("flooding port"),
+            verdict.responses,
+            verdict.distinct_destinations,
+            verdict.chi_square
+        );
+    }
+    println!(
+        "\n{} floodings detected: {confirmed} confirmed by backscatter, \
+         {unconfirmed_nonspoofed} non-spoofed, {unconfirmed_other} other \
+         (paper: 21 of 32 matched; the rest were non-spoofed or boundary cases)",
+        floodings.len()
+    );
+    write_json(
+        "validate_backscatter",
+        &Validation {
+            detected_floodings: floodings.len(),
+            confirmed_by_backscatter: confirmed,
+            unconfirmed_nonspoofed,
+            unconfirmed_other,
+        },
+    );
+}

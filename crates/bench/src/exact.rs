@@ -1,0 +1,350 @@
+//! The "non-sketch" reference pipeline (paper §5.2).
+//!
+//! Identical detection semantics to [`hifind::HiFind`] — the same three
+//! steps, the same EWMA recurrence, the same 2D classification criterion
+//! and the same phase-3 heuristics — but over *exact* per-key state:
+//! [`hifind_flowtable::ExactChangeTable`] instead of reversible sketches,
+//! [`hifind_flowtable::ExactDistribution`] instead of 2D sketches, and an
+//! exact hash-set instead of the active-service Bloom filter. §5.2's claim
+//! is that both configurations detect the same attacks; Table 9's claim is
+//! that this one does so in gigabytes instead of megabytes.
+
+use hifind::report::{Alert, AlertKind, AlertLog, Phase};
+use hifind::HiFindConfig;
+use hifind_flow::keys::{DipDport, SipDip, SipDport, SketchKey};
+use hifind_flow::{Packet, SegmentKind, Trace};
+use hifind_flowtable::{ExactChangeTable, ExactDistribution};
+use std::collections::{HashMap, HashSet};
+
+/// The exact-state HiFIND pipeline.
+#[derive(Clone, Debug)]
+pub struct ExactHiFind {
+    cfg: HiFindConfig,
+    sip_dport: ExactChangeTable,
+    dip_dport: ExactChangeTable,
+    sip_dip: ExactChangeTable,
+    /// Current-interval #SYN per service (the OS equivalent).
+    syn_counts: HashMap<u64, i64>,
+    /// Current-interval #SYN/ACK per service (for the exact ratio check).
+    syn_ack_counts: HashMap<u64, i64>,
+    /// Current-interval distributions for phase 2.
+    dist_sipdport_dip: ExactDistribution,
+    dist_sipdip_dport: ExactDistribution,
+    active_services: HashSet<u64>,
+    streaks: HashMap<(u32, u16), (u64, u32)>,
+    log: AlertLog,
+    interval: u64,
+    peak_memory: usize,
+}
+
+impl ExactHiFind {
+    /// Builds the exact pipeline from the same configuration as the
+    /// sketch-based system.
+    pub fn new(cfg: HiFindConfig) -> Self {
+        ExactHiFind {
+            cfg,
+            sip_dport: ExactChangeTable::new(cfg.ewma_alpha),
+            dip_dport: ExactChangeTable::new(cfg.ewma_alpha),
+            sip_dip: ExactChangeTable::new(cfg.ewma_alpha),
+            syn_counts: HashMap::new(),
+            syn_ack_counts: HashMap::new(),
+            dist_sipdport_dip: ExactDistribution::new(),
+            dist_sipdip_dport: ExactDistribution::new(),
+            active_services: HashSet::new(),
+            streaks: HashMap::new(),
+            log: AlertLog::new(),
+            interval: 0,
+            peak_memory: 0,
+        }
+    }
+
+    /// Records one packet.
+    pub fn record(&mut self, packet: &Packet) {
+        let Some(o) = packet.orient() else { return };
+        let v = match o.kind {
+            SegmentKind::Syn => 1,
+            SegmentKind::SynAck => -1,
+            _ => return,
+        };
+        let sip_dport = SipDport::new(o.client, o.server_port).to_u64();
+        let dip_dport = DipDport::new(o.server, o.server_port).to_u64();
+        let sip_dip = SipDip::new(o.client, o.server).to_u64();
+        self.sip_dport.add(sip_dport, v);
+        self.dip_dport.add(dip_dport, v);
+        self.sip_dip.add(sip_dip, v);
+        self.dist_sipdport_dip.add(sip_dport, o.server.raw() as u64, v);
+        self.dist_sipdip_dport.add(sip_dip, o.server_port as u64, v);
+        if o.kind == SegmentKind::Syn {
+            *self.syn_counts.entry(dip_dport).or_insert(0) += 1;
+        } else {
+            *self.syn_ack_counts.entry(dip_dport).or_insert(0) += 1;
+            self.active_services.insert(dip_dport);
+        }
+    }
+
+    /// Ends the interval: runs the full three-phase pipeline on exact
+    /// state.
+    pub fn end_interval(&mut self) {
+        self.track_memory();
+        let interval = self.interval;
+        self.interval += 1;
+        let threshold = self.cfg.interval_threshold();
+
+        // Phase 1: the three steps (identical logic to the sketch path).
+        let flooding: Vec<(DipDport, i64)> = self
+            .dip_dport
+            .end_interval_threshold(threshold)
+            .into_iter()
+            .map(|(k, e)| (DipDport::from_u64(k), e))
+            .collect();
+        let flooding_dip_set: HashSet<u32> =
+            flooding.iter().map(|(k, _)| k.dip().raw()).collect();
+
+        let pairs: Vec<(SipDip, i64)> = self
+            .sip_dip
+            .end_interval_threshold(threshold)
+            .into_iter()
+            .map(|(k, e)| (SipDip::from_u64(k), e))
+            .collect();
+        let mut flooding_sip_set: HashSet<u32> = HashSet::new();
+        let mut flooding_attacker: HashMap<u32, u32> = HashMap::new();
+        let mut vscans = Vec::new();
+        for (key, magnitude) in &pairs {
+            if flooding_dip_set.contains(&key.dip().raw()) {
+                flooding_sip_set.insert(key.sip().raw());
+                flooding_attacker.entry(key.dip().raw()).or_insert(key.sip().raw());
+            } else {
+                vscans.push(Alert {
+                    kind: AlertKind::VScan,
+                    sip: Some(key.sip()),
+                    dip: Some(key.dip()),
+                    dport: None,
+                    interval,
+                    magnitude: *magnitude,
+                    attacker_identified: true,
+                });
+            }
+        }
+
+        let mut hscans = Vec::new();
+        for (k, magnitude) in self.sip_dport.end_interval_threshold(threshold) {
+            let key = SipDport::from_u64(k);
+            if flooding_sip_set.contains(&key.sip().raw()) {
+                continue;
+            }
+            hscans.push(Alert {
+                kind: AlertKind::HScan,
+                sip: Some(key.sip()),
+                dip: None,
+                dport: Some(key.dport()),
+                interval,
+                magnitude,
+                attacker_identified: true,
+            });
+        }
+
+        let floodings: Vec<Alert> = flooding
+            .iter()
+            .map(|(key, magnitude)| {
+                let attacker = flooding_attacker.get(&key.dip().raw()).copied();
+                Alert {
+                    kind: AlertKind::SynFlooding,
+                    sip: attacker.map(hifind_flow::Ip4::new),
+                    dip: Some(key.dip()),
+                    dport: Some(key.dport()),
+                    interval,
+                    magnitude: *magnitude,
+                    attacker_identified: attacker.is_some(),
+                }
+            })
+            .collect();
+        for a in floodings.iter().chain(&vscans).chain(&hscans) {
+            self.log.record(Phase::Raw, *a);
+        }
+
+        // Phase 2: exact concentration test with the same (p, φ).
+        let p = self.cfg.classify_top_p;
+        let phi = self.cfg.classify_phi;
+        let vscans: Vec<Alert> = vscans
+            .into_iter()
+            .filter(|a| {
+                let x = SipDip::new(a.sip.expect("vscan sip"), a.dip.expect("vscan dip")).to_u64();
+                match self.dist_sipdip_dport.concentration(x, p) {
+                    Some(c) => c <= phi, // dispersed → genuine vertical scan
+                    None => true,
+                }
+            })
+            .collect();
+        let hscans: Vec<Alert> = hscans
+            .into_iter()
+            .filter(|a| {
+                let x =
+                    SipDport::new(a.sip.expect("hscan sip"), a.dport.expect("hscan port")).to_u64();
+                match self.dist_sipdport_dip.concentration(x, p) {
+                    Some(c) => c <= phi,
+                    None => true,
+                }
+            })
+            .collect();
+        for a in floodings.iter().chain(&vscans).chain(&hscans) {
+            self.log.record(Phase::AfterClassification, *a);
+        }
+
+        // Phase 3: exact ratio + persistence + active-service heuristics.
+        let mut fin: Vec<Alert> = Vec::new();
+        for a in &floodings {
+            let (dip, dport) = (a.dip.expect("flood dip"), a.dport.expect("flood port"));
+            let key = DipDport::new(dip, dport).to_u64();
+            if self.cfg.flood_require_active_service && !self.active_services.contains(&key) {
+                self.streaks.remove(&(dip.raw(), dport));
+                continue;
+            }
+            let syn = *self.syn_counts.get(&key).unwrap_or(&0);
+            let syn_ack = *self.syn_ack_counts.get(&key).unwrap_or(&0);
+            if (syn as f64) < self.cfg.flood_syn_ratio * syn_ack.max(1) as f64 {
+                self.streaks.remove(&(dip.raw(), dport));
+                continue;
+            }
+            let entry = self.streaks.entry((dip.raw(), dport)).or_insert((interval, 0));
+            let (last, count) = *entry;
+            let new_count = if interval == last || interval == last + 1 {
+                count + 1
+            } else {
+                1
+            };
+            *entry = (interval, new_count);
+            if new_count >= self.cfg.flood_persist_intervals {
+                fin.push(*a);
+            }
+        }
+        fin.extend(vscans);
+        fin.extend(hscans);
+        for a in &fin {
+            self.log.record(Phase::Final, *a);
+        }
+
+        // Per-interval state resets.
+        self.syn_counts.clear();
+        self.syn_ack_counts.clear();
+        self.dist_sipdport_dip.clear();
+        self.dist_sipdip_dport.clear();
+    }
+
+    /// Replays a whole trace with the configured interval.
+    pub fn run_trace(&mut self, trace: &Trace) -> AlertLog {
+        for window in trace.intervals(self.cfg.interval_ms) {
+            for p in window.packets {
+                self.record(p);
+            }
+            self.end_interval();
+        }
+        self.log.clone()
+    }
+
+    /// The deduplicated alert log.
+    pub fn log(&self) -> &AlertLog {
+        &self.log
+    }
+
+    /// Peak bytes of exact state observed across intervals — the number
+    /// that explodes in Table 9.
+    pub fn peak_memory_bytes(&self) -> usize {
+        self.peak_memory
+    }
+
+    fn track_memory(&mut self) {
+        let dist_cells = self.dist_sipdport_dip.memory_bytes()
+            + self.dist_sipdip_dport.memory_bytes();
+        let m = self.sip_dport.memory_bytes()
+            + self.dip_dport.memory_bytes()
+            + self.sip_dip.memory_bytes()
+            + self.syn_counts.len() * 32
+            + self.active_services.len() * 16
+            + dist_cells;
+        self.peak_memory = self.peak_memory.max(m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind_flow::Ip4;
+
+    fn flood_and_scan_trace(interval_ms: u64) -> Trace {
+        let victim: Ip4 = [129, 105, 0, 1].into();
+        let scanner: Ip4 = [66, 6, 6, 6].into();
+        let mut t = Trace::new();
+        for iv in 0..5u64 {
+            let base = iv * interval_ms;
+            for i in 0..30u32 {
+                let c: Ip4 = [9, 9, 9, (i % 100) as u8].into();
+                t.push(Packet::syn(base + i as u64 * 7, c, 4000 + i as u16, victim, 80));
+                t.push(Packet::syn_ack(base + i as u64 * 7 + 1, c, 4000 + i as u16, victim, 80));
+            }
+            if iv >= 1 {
+                for i in 0..300u32 {
+                    t.push(Packet::syn(
+                        base + 100 + i as u64,
+                        Ip4::new(0x5000_0000 + i),
+                        2000,
+                        victim,
+                        80,
+                    ));
+                    let dst: Ip4 = [129, 105, (i >> 8) as u8, i as u8].into();
+                    t.push(Packet::syn(base + 150 + i as u64, scanner, 2100, dst, 445));
+                }
+            }
+        }
+        t.sort_by_time();
+        t
+    }
+
+    #[test]
+    fn exact_pipeline_detects_flood_and_scan() {
+        let cfg = HiFindConfig::small(60);
+        let mut exact = ExactHiFind::new(cfg);
+        let log = exact.run_trace(&flood_and_scan_trace(cfg.interval_ms));
+        let finals = log.final_alerts();
+        assert!(finals.iter().any(|a| a.kind == AlertKind::SynFlooding));
+        assert!(finals.iter().any(|a| a.kind == AlertKind::HScan));
+    }
+
+    #[test]
+    fn exact_matches_sketch_pipeline_on_same_trace() {
+        // The §5.2 experiment in miniature.
+        let cfg = HiFindConfig::small(61);
+        let trace = flood_and_scan_trace(cfg.interval_ms);
+        let mut exact = ExactHiFind::new(cfg);
+        let exact_log = exact.run_trace(&trace);
+        let mut sketch = hifind::HiFind::new(cfg).unwrap();
+        let sketch_log = sketch.run_trace(&trace);
+        let mut e: Vec<_> = exact_log.final_alerts().iter().map(|a| a.identity()).collect();
+        let mut s: Vec<_> = sketch_log.final_alerts().iter().map(|a| a.identity()).collect();
+        e.sort();
+        s.sort();
+        assert_eq!(e, s, "sketch and exact pipelines must agree");
+    }
+
+    #[test]
+    fn peak_memory_grows_with_flows() {
+        let cfg = HiFindConfig::small(62);
+        let mut small = ExactHiFind::new(cfg);
+        let mut t1 = Trace::new();
+        for i in 0..100u32 {
+            t1.push(Packet::syn(i as u64, Ip4::new(0x100 + i), 1, [10, 0, 0, 1].into(), 80));
+        }
+        small.run_trace(&t1);
+        let mut big = ExactHiFind::new(cfg);
+        let mut t2 = Trace::new();
+        for i in 0..50_000u32 {
+            t2.push(Packet::syn(i as u64 / 100, Ip4::new(0x100 + i), 1, [10, 0, 0, 1].into(), 80));
+        }
+        big.run_trace(&t2);
+        assert!(
+            big.peak_memory_bytes() > 50 * small.peak_memory_bytes(),
+            "exact state must scale with flow count: {} vs {}",
+            big.peak_memory_bytes(),
+            small.peak_memory_bytes()
+        );
+    }
+}

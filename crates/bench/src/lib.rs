@@ -1,0 +1,21 @@
+//! Experiment harness reproducing every table and figure of the HiFIND
+//! paper (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+//! recorded results).
+//!
+//! Each `src/bin/table*.rs` / `src/bin/figure*.rs` binary regenerates one
+//! table or figure; the Criterion benches under `benches/` cover the
+//! performance results of §5.5. This library holds what they share:
+//!
+//! * [`exact::ExactHiFind`] — the paper's "non-sketch" method: the same
+//!   three-step detection algorithm over exact per-key tables (§5.2,
+//!   Table 9).
+//! * [`harness`] — scenario scaling, alert/truth set algebra, and table
+//!   printing helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod harness;
+
+pub use exact::ExactHiFind;

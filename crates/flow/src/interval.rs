@@ -1,0 +1,184 @@
+//! Fixed-width time windowing of packet streams.
+//!
+//! HiFIND's detection runs once per interval (default one minute in the
+//! paper). [`Intervalizer`] slices a time-ordered packet slice into
+//! consecutive `[k·T, (k+1)·T)` windows, yielding empty windows too so that
+//! time-series forecasting sees every tick.
+
+use crate::packet::Packet;
+
+/// An iterator over fixed-width time windows of a packet slice.
+///
+/// Windows are aligned to the first packet's timestamp rounded down to a
+/// multiple of the interval, and every window in the span is yielded —
+/// including empty ones — so EWMA forecasting advances uniformly in time.
+///
+/// # Example
+///
+/// ```
+/// use hifind_flow::{Packet, Trace};
+///
+/// let mut t = Trace::new();
+/// t.push(Packet::syn(0, [1, 1, 1, 1].into(), 1, [2, 2, 2, 2].into(), 80));
+/// t.push(Packet::syn(130_000, [1, 1, 1, 1].into(), 2, [2, 2, 2, 2].into(), 80));
+/// let windows: Vec<_> = t.intervals(60_000).collect();
+/// assert_eq!(windows.len(), 3); // minutes 0, 1 (empty), 2
+/// assert_eq!(windows[1].packets.len(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Intervalizer<'a> {
+    packets: &'a [Packet],
+    interval_ms: u64,
+    cursor: usize,
+    next_start: u64,
+    end: u64,
+    done: bool,
+}
+
+impl<'a> Intervalizer<'a> {
+    /// Creates a windower over a time-ordered packet slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_ms == 0`. Debug-asserts time order.
+    pub fn new(packets: &'a [Packet], interval_ms: u64) -> Self {
+        assert!(interval_ms > 0, "interval must be positive");
+        debug_assert!(
+            packets.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms),
+            "packets must be time ordered"
+        );
+        let (start, end) = match (packets.first(), packets.last()) {
+            (Some(f), Some(l)) => ((f.ts_ms / interval_ms) * interval_ms, l.ts_ms),
+            _ => (0, 0),
+        };
+        Intervalizer {
+            packets,
+            interval_ms,
+            cursor: 0,
+            next_start: start,
+            end,
+            done: packets.is_empty(),
+        }
+    }
+
+    /// The configured interval width in milliseconds.
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+}
+
+/// One time window produced by [`Intervalizer`].
+#[derive(Clone, Copy, Debug)]
+pub struct IntervalIter<'a> {
+    /// Window start (inclusive), milliseconds.
+    pub start_ms: u64,
+    /// Window end (exclusive), milliseconds.
+    pub end_ms: u64,
+    /// Zero-based window index since the start of the trace.
+    pub index: u64,
+    /// Packets whose timestamps fall in `[start_ms, end_ms)`.
+    pub packets: &'a [Packet],
+}
+
+impl<'a> Iterator for Intervalizer<'a> {
+    type Item = IntervalIter<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let start = self.next_start;
+        let end = start + self.interval_ms;
+        let lo = self.cursor;
+        let mut hi = lo;
+        while hi < self.packets.len() && self.packets[hi].ts_ms < end {
+            hi += 1;
+        }
+        self.cursor = hi;
+        let index = (start - (self.packets[0].ts_ms / self.interval_ms) * self.interval_ms)
+            / self.interval_ms;
+        let item = IntervalIter {
+            start_ms: start,
+            end_ms: end,
+            index,
+            packets: &self.packets[lo..hi],
+        };
+        if end > self.end {
+            self.done = true;
+        } else {
+            self.next_start = end;
+        }
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+
+    fn pkt(ts: u64) -> Packet {
+        Packet::syn(ts, [1, 1, 1, 1].into(), 1, [2, 2, 2, 2].into(), 80)
+    }
+
+    #[test]
+    fn empty_slice_yields_nothing() {
+        let mut it = Intervalizer::new(&[], 1000);
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn single_packet_single_window() {
+        let packets = [pkt(500)];
+        let windows: Vec<_> = Intervalizer::new(&packets, 1000).collect();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].start_ms, 0);
+        assert_eq!(windows[0].end_ms, 1000);
+        assert_eq!(windows[0].packets.len(), 1);
+        assert_eq!(windows[0].index, 0);
+    }
+
+    #[test]
+    fn windows_are_left_closed_right_open() {
+        let packets = [pkt(0), pkt(999), pkt(1000)];
+        let windows: Vec<_> = Intervalizer::new(&packets, 1000).collect();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].packets.len(), 2);
+        assert_eq!(windows[1].packets.len(), 1);
+    }
+
+    #[test]
+    fn empty_intermediate_windows_are_yielded() {
+        let packets = [pkt(0), pkt(3500)];
+        let windows: Vec<_> = Intervalizer::new(&packets, 1000).collect();
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[1].packets.len(), 0);
+        assert_eq!(windows[2].packets.len(), 0);
+        let indices: Vec<u64> = windows.iter().map(|w| w.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn alignment_to_interval_multiple() {
+        let packets = [pkt(61_500), pkt(62_000)];
+        let windows: Vec<_> = Intervalizer::new(&packets, 60_000).collect();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].start_ms, 60_000);
+        assert_eq!(windows[0].packets.len(), 2);
+    }
+
+    #[test]
+    fn all_packets_distributed_exactly_once() {
+        let packets: Vec<Packet> = (0..100).map(|i| pkt(i * 137)).collect();
+        let total: usize = Intervalizer::new(&packets, 500)
+            .map(|w| w.packets.len())
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        let _ = Intervalizer::new(&[], 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! A compact IPv4 address newtype.
+//!
+//! The sketches in this workspace treat addresses as raw 32-bit integers
+//! (they are hashed, split into 8-bit words, mangled, ...). [`Ip4`] wraps a
+//! `u32` in network order semantics while staying `Copy` and hashable, and
+//! converts losslessly to and from [`std::net::Ipv4Addr`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 address stored as a host-order `u32`.
+///
+/// # Example
+///
+/// ```
+/// use hifind_flow::Ip4;
+///
+/// let a: Ip4 = [10, 1, 2, 3].into();
+/// assert_eq!(a.octets(), [10, 1, 2, 3]);
+/// assert_eq!(a.to_string(), "10.1.2.3");
+/// assert_eq!(Ip4::from(u32::from(a)), a);
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Ip4(u32);
+
+impl Ip4 {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ip4 = Ip4(0);
+
+    /// Creates an address from a host-order `u32`.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        Ip4(raw)
+    }
+
+    /// Creates an address from four octets (most significant first).
+    #[inline]
+    pub const fn from_octets(o: [u8; 4]) -> Self {
+        Ip4(u32::from_be_bytes(o))
+    }
+
+    /// Returns the four octets, most significant first.
+    #[inline]
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns the raw host-order `u32`.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if the address lies inside `prefix/len`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hifind_flow::Ip4;
+    /// let net: Ip4 = [129, 105, 0, 0].into();
+    /// assert!(Ip4::from([129, 105, 9, 3]).in_prefix(net, 16));
+    /// assert!(!Ip4::from([129, 106, 9, 3]).in_prefix(net, 16));
+    /// ```
+    #[inline]
+    pub fn in_prefix(self, prefix: Ip4, len: u8) -> bool {
+        debug_assert!(len <= 32);
+        if len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - len as u32);
+        (self.0 & mask) == (prefix.0 & mask)
+    }
+}
+
+impl From<u32> for Ip4 {
+    #[inline]
+    fn from(raw: u32) -> Self {
+        Ip4(raw)
+    }
+}
+
+impl From<Ip4> for u32 {
+    #[inline]
+    fn from(ip: Ip4) -> Self {
+        ip.0
+    }
+}
+
+impl From<[u8; 4]> for Ip4 {
+    #[inline]
+    fn from(o: [u8; 4]) -> Self {
+        Ip4::from_octets(o)
+    }
+}
+
+impl From<Ipv4Addr> for Ip4 {
+    #[inline]
+    fn from(a: Ipv4Addr) -> Self {
+        Ip4::from_octets(a.octets())
+    }
+}
+
+impl From<Ip4> for Ipv4Addr {
+    #[inline]
+    fn from(ip: Ip4) -> Self {
+        Ipv4Addr::from(ip.octets())
+    }
+}
+
+impl fmt::Display for Ip4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// Error returned when parsing an [`Ip4`] from a string fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseIp4Error;
+
+impl fmt::Display for ParseIp4Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid IPv4 address syntax")
+    }
+}
+
+impl std::error::Error for ParseIp4Error {}
+
+impl FromStr for Ip4 {
+    type Err = ParseIp4Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ipv4Addr::from_str(s)
+            .map(Ip4::from)
+            .map_err(|_| ParseIp4Error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octet_round_trip() {
+        let a = Ip4::from_octets([1, 2, 3, 4]);
+        assert_eq!(a.octets(), [1, 2, 3, 4]);
+        assert_eq!(a.raw(), 0x0102_0304);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        let a: Ip4 = "129.105.56.7".parse().unwrap();
+        assert_eq!(a.to_string(), "129.105.56.7");
+        assert!("not-an-ip".parse::<Ip4>().is_err());
+        assert!("1.2.3.4.5".parse::<Ip4>().is_err());
+    }
+
+    #[test]
+    fn std_conversion_round_trip() {
+        let std_addr = Ipv4Addr::new(172, 16, 5, 9);
+        let ours = Ip4::from(std_addr);
+        assert_eq!(Ipv4Addr::from(ours), std_addr);
+    }
+
+    #[test]
+    fn prefix_membership() {
+        let net = Ip4::from([10, 20, 0, 0]);
+        assert!(Ip4::from([10, 20, 255, 1]).in_prefix(net, 16));
+        assert!(!Ip4::from([10, 21, 0, 1]).in_prefix(net, 16));
+        assert!(Ip4::from([99, 99, 99, 99]).in_prefix(net, 0));
+        let host = Ip4::from([10, 20, 1, 1]);
+        assert!(host.in_prefix(host, 32));
+        assert!(!Ip4::from([10, 20, 1, 2]).in_prefix(host, 32));
+    }
+
+    #[test]
+    fn ordering_matches_numeric() {
+        assert!(Ip4::from([1, 0, 0, 0]) < Ip4::from([2, 0, 0, 0]));
+        assert!(Ip4::from([10, 0, 0, 1]) < Ip4::from([10, 0, 0, 2]));
+    }
+}

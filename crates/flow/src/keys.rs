@@ -1,0 +1,388 @@
+//! Flow keys — the field combinations of Table 3 of the paper.
+//!
+//! HiFIND records three reversible sketches keyed by two-field combinations
+//! ([`SipDport`], [`DipDport`], [`SipDip`]) plus single-field keys used in
+//! analysis. Every key implements [`SketchKey`]: a fixed bit width and a
+//! lossless packing into the low bits of a `u64`. The packing is what the
+//! reversible sketch's modular hashing splits into 8-bit words, and what
+//! INFERENCE reconstructs, so `from_u64(to_u64(k)) == k` must hold exactly.
+
+use crate::ip::Ip4;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fixed-width key recordable into (and recoverable from) a reversible
+/// sketch.
+///
+/// Implementors pack into the **low `BITS` bits** of a `u64`; the upper bits
+/// of `to_u64` are always zero.
+pub trait SketchKey: Copy + Eq + std::hash::Hash + fmt::Debug {
+    /// Key width in bits. Must be a multiple of 8 and at most 64.
+    const BITS: u32;
+
+    /// Packs the key into the low [`Self::BITS`] bits of a `u64`.
+    fn to_u64(&self) -> u64;
+
+    /// Unpacks a key previously produced by [`SketchKey::to_u64`].
+    ///
+    /// Bits above [`Self::BITS`] are ignored.
+    fn from_u64(raw: u64) -> Self;
+}
+
+/// Identifies which key combination a sketch is keyed by (for reports and
+/// configuration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KeyKind {
+    /// `{SIP, Dport}` — 48 bits.
+    SipDport,
+    /// `{DIP, Dport}` — 48 bits.
+    DipDport,
+    /// `{SIP, DIP}` — 64 bits.
+    SipDip,
+    /// `{SIP}` — 32 bits.
+    Sip,
+    /// `{DIP}` — 32 bits.
+    Dip,
+    /// `{Dport}` — 16 bits.
+    Dport,
+}
+
+impl KeyKind {
+    /// Bit width of keys of this kind.
+    pub fn bits(self) -> u32 {
+        match self {
+            KeyKind::SipDport | KeyKind::DipDport => 48,
+            KeyKind::SipDip => 64,
+            KeyKind::Sip | KeyKind::Dip => 32,
+            KeyKind::Dport => 16,
+        }
+    }
+
+    /// The *uniqueness* score of Table 3: how many attack types the key can
+    /// discriminate (0.5 counted for non-spoofed-only coverage).
+    pub fn uniqueness(self) -> f64 {
+        match self {
+            KeyKind::SipDport => 1.5,
+            KeyKind::DipDport => 1.0,
+            KeyKind::SipDip => 1.5,
+            KeyKind::Sip => 2.5,
+            KeyKind::Dip => 2.0,
+            KeyKind::Dport => 2.0,
+        }
+    }
+}
+
+impl fmt::Display for KeyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            KeyKind::SipDport => "{SIP,Dport}",
+            KeyKind::DipDport => "{DIP,Dport}",
+            KeyKind::SipDip => "{SIP,DIP}",
+            KeyKind::Sip => "{SIP}",
+            KeyKind::Dip => "{DIP}",
+            KeyKind::Dport => "{Dport}",
+        })
+    }
+}
+
+macro_rules! display_pair {
+    ($ty:ty, $fmt:expr) => {
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, $fmt, self.0, self.1)
+            }
+        }
+    };
+}
+
+/// `{SIP, Dport}` key: source address × destination (service) port.
+///
+/// Detects horizontal scans and non-spoofed flooding (paper step 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SipDport(pub Ip4, pub u16);
+
+impl SipDport {
+    /// Creates a key from a source address and destination port.
+    pub fn new(sip: Ip4, dport: u16) -> Self {
+        SipDport(sip, dport)
+    }
+    /// The source address component.
+    pub fn sip(&self) -> Ip4 {
+        self.0
+    }
+    /// The destination port component.
+    pub fn dport(&self) -> u16 {
+        self.1
+    }
+}
+
+impl SketchKey for SipDport {
+    const BITS: u32 = 48;
+
+    #[inline]
+    fn to_u64(&self) -> u64 {
+        ((self.0.raw() as u64) << 16) | self.1 as u64
+    }
+
+    #[inline]
+    fn from_u64(raw: u64) -> Self {
+        SipDport(Ip4::new((raw >> 16) as u32), raw as u16)
+    }
+}
+
+display_pair!(SipDport, "SIP={} Dport={}");
+
+/// `{DIP, Dport}` key: the attacked service endpoint.
+///
+/// Detects SYN flooding (paper step 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DipDport(pub Ip4, pub u16);
+
+impl DipDport {
+    /// Creates a key from a destination address and destination port.
+    pub fn new(dip: Ip4, dport: u16) -> Self {
+        DipDport(dip, dport)
+    }
+    /// The destination address component.
+    pub fn dip(&self) -> Ip4 {
+        self.0
+    }
+    /// The destination port component.
+    pub fn dport(&self) -> u16 {
+        self.1
+    }
+}
+
+impl SketchKey for DipDport {
+    const BITS: u32 = 48;
+
+    #[inline]
+    fn to_u64(&self) -> u64 {
+        ((self.0.raw() as u64) << 16) | self.1 as u64
+    }
+
+    #[inline]
+    fn from_u64(raw: u64) -> Self {
+        DipDport(Ip4::new((raw >> 16) as u32), raw as u16)
+    }
+}
+
+display_pair!(DipDport, "DIP={} Dport={}");
+
+/// `{SIP, DIP}` key: attacker/victim host pair.
+///
+/// Detects vertical scans and non-spoofed flooding (paper step 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SipDip(pub Ip4, pub Ip4);
+
+impl SipDip {
+    /// Creates a key from source and destination addresses.
+    pub fn new(sip: Ip4, dip: Ip4) -> Self {
+        SipDip(sip, dip)
+    }
+    /// The source address component.
+    pub fn sip(&self) -> Ip4 {
+        self.0
+    }
+    /// The destination address component.
+    pub fn dip(&self) -> Ip4 {
+        self.1
+    }
+}
+
+impl SketchKey for SipDip {
+    const BITS: u32 = 64;
+
+    #[inline]
+    fn to_u64(&self) -> u64 {
+        ((self.0.raw() as u64) << 32) | self.1.raw() as u64
+    }
+
+    #[inline]
+    fn from_u64(raw: u64) -> Self {
+        SipDip(Ip4::new((raw >> 32) as u32), Ip4::new(raw as u32))
+    }
+}
+
+display_pair!(SipDip, "SIP={} DIP={}");
+
+/// `{SIP}` key — single source address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Sip(pub Ip4);
+
+impl SketchKey for Sip {
+    const BITS: u32 = 32;
+
+    #[inline]
+    fn to_u64(&self) -> u64 {
+        self.0.raw() as u64
+    }
+
+    #[inline]
+    fn from_u64(raw: u64) -> Self {
+        Sip(Ip4::new(raw as u32))
+    }
+}
+
+impl fmt::Display for Sip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SIP={}", self.0)
+    }
+}
+
+/// `{DIP}` key — single destination address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Dip(pub Ip4);
+
+impl SketchKey for Dip {
+    const BITS: u32 = 32;
+
+    #[inline]
+    fn to_u64(&self) -> u64 {
+        self.0.raw() as u64
+    }
+
+    #[inline]
+    fn from_u64(raw: u64) -> Self {
+        Dip(Ip4::new(raw as u32))
+    }
+}
+
+impl fmt::Display for Dip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DIP={}", self.0)
+    }
+}
+
+/// `{Dport}` key — single destination port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Dport(pub u16);
+
+impl SketchKey for Dport {
+    const BITS: u32 = 16;
+
+    #[inline]
+    fn to_u64(&self) -> u64 {
+        self.0 as u64
+    }
+
+    #[inline]
+    fn from_u64(raw: u64) -> Self {
+        Dport(raw as u16)
+    }
+}
+
+impl fmt::Display for Dport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dport={}", self.0)
+    }
+}
+
+/// A full connection 4-tuple (used by exact flow tables and baselines, never
+/// by sketches — the paper argues per-flow state is the DoS vulnerability).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowTuple {
+    /// Client address.
+    pub sip: Ip4,
+    /// Server address.
+    pub dip: Ip4,
+    /// Client port.
+    pub sport: u16,
+    /// Server port.
+    pub dport: u16,
+}
+
+impl FlowTuple {
+    /// Creates a 4-tuple.
+    pub fn new(sip: Ip4, dip: Ip4, sport: u16, dport: u16) -> Self {
+        FlowTuple {
+            sip,
+            dip,
+            sport,
+            dport,
+        }
+    }
+}
+
+impl fmt::Display for FlowTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{}",
+            self.sip, self.sport, self.dip, self.dport
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sip_dport_round_trip_and_width() {
+        let k = SipDport::new([200, 1, 2, 3].into(), 1433);
+        let raw = k.to_u64();
+        assert_eq!(raw >> SipDport::BITS, 0, "upper bits must be zero");
+        assert_eq!(SipDport::from_u64(raw), k);
+        assert_eq!(k.sip(), Ip4::from([200, 1, 2, 3]));
+        assert_eq!(k.dport(), 1433);
+    }
+
+    #[test]
+    fn dip_dport_round_trip() {
+        let k = DipDport::new([129, 105, 100, 5].into(), 80);
+        assert_eq!(DipDport::from_u64(k.to_u64()), k);
+        assert_eq!(k.to_u64() >> 48, 0);
+    }
+
+    #[test]
+    fn sip_dip_round_trip_uses_full_64_bits() {
+        let k = SipDip::new([255, 255, 255, 255].into(), [255, 255, 255, 254].into());
+        assert_eq!(SipDip::from_u64(k.to_u64()), k);
+        assert_eq!(k.to_u64(), 0xFFFF_FFFF_FFFF_FFFE);
+    }
+
+    #[test]
+    fn single_field_keys_round_trip() {
+        let s = Sip([9, 8, 7, 6].into());
+        assert_eq!(Sip::from_u64(s.to_u64()), s);
+        let d = Dip([6, 7, 8, 9].into());
+        assert_eq!(Dip::from_u64(d.to_u64()), d);
+        assert_eq!(d.to_string(), "DIP=6.7.8.9");
+        let p = Dport(65535);
+        assert_eq!(Dport::from_u64(p.to_u64()), p);
+    }
+
+    #[test]
+    fn from_u64_ignores_upper_bits() {
+        let k = SipDport::new([1, 1, 1, 1].into(), 80);
+        let noisy = k.to_u64() | 0xDEAD_0000_0000_0000u64.wrapping_shl(0) & !((1u64 << 48) - 1);
+        assert_eq!(SipDport::from_u64(noisy), k);
+    }
+
+    #[test]
+    fn uniqueness_table_matches_paper() {
+        assert_eq!(KeyKind::SipDport.uniqueness(), 1.5);
+        assert_eq!(KeyKind::DipDport.uniqueness(), 1.0);
+        assert_eq!(KeyKind::SipDip.uniqueness(), 1.5);
+        assert_eq!(KeyKind::Sip.uniqueness(), 2.5);
+        assert_eq!(KeyKind::Dip.uniqueness(), 2.0);
+        assert_eq!(KeyKind::Dport.uniqueness(), 2.0);
+    }
+
+    #[test]
+    fn key_kind_bits() {
+        assert_eq!(KeyKind::SipDport.bits(), 48);
+        assert_eq!(KeyKind::SipDip.bits(), 64);
+        assert_eq!(KeyKind::Dport.bits(), 16);
+    }
+
+    #[test]
+    fn display_formats() {
+        let k = SipDport::new([10, 0, 0, 1].into(), 22);
+        assert_eq!(k.to_string(), "SIP=10.0.0.1 Dport=22");
+        assert_eq!(KeyKind::SipDip.to_string(), "{SIP,DIP}");
+        let t = FlowTuple::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 1000, 80);
+        assert_eq!(t.to_string(), "1.1.1.1:1000 -> 2.2.2.2:80");
+    }
+}

@@ -1,0 +1,43 @@
+//! Packet/flow substrate for the HiFIND intrusion detection system.
+//!
+//! This crate defines the traffic model every other crate consumes:
+//!
+//! * [`Packet`] — a single observed TCP segment (the unit the paper's
+//!   sketches are updated with), together with its [`Direction`] relative to
+//!   the monitored edge and its [`SegmentKind`] (SYN, SYN/ACK, ...).
+//! * Flow keys ([`SipDport`], [`DipDport`], [`SipDip`], ...) — the key
+//!   combinations of Table 3 of the paper, each implementing [`SketchKey`]
+//!   so they can be recorded into (and recovered from) reversible sketches.
+//! * [`Trace`] — an in-memory, time-ordered packet trace with interval
+//!   iteration and a compact binary codec.
+//! * [`rng::SplitMix64`] — the deterministic PRNG used throughout the
+//!   workspace so that every experiment is bit-reproducible from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use hifind_flow::{Packet, SegmentKind, Direction, SipDport, SketchKey};
+//!
+//! let syn = Packet::syn(0, [10, 0, 0, 1].into(), 4242, [192, 168, 0, 7].into(), 80);
+//! assert_eq!(syn.kind, SegmentKind::Syn);
+//! let oriented = syn.orient().unwrap();
+//! let key = SipDport::new(oriented.client, oriented.server_port);
+//! assert_eq!(SipDport::from_u64(key.to_u64()), key);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interval;
+pub mod ip;
+pub mod keys;
+pub mod packet;
+pub mod rng;
+pub mod text;
+pub mod trace;
+
+pub use interval::{IntervalIter, Intervalizer};
+pub use ip::Ip4;
+pub use keys::{Dip, DipDport, Dport, FlowTuple, KeyKind, Sip, SipDip, SipDport, SketchKey};
+pub use packet::{Direction, Oriented, Packet, SegmentKind};
+pub use trace::{Trace, TraceCodecError, TraceStats};

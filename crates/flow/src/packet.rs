@@ -1,0 +1,351 @@
+//! The packet event model.
+//!
+//! HiFIND's data recording consumes a stream of TCP segments observed at an
+//! edge router. Only the fields the detectors use are modelled: timestamp,
+//! the 4-tuple, the segment kind derived from the TCP flag combination, and
+//! the direction of the packet relative to the monitored network.
+//!
+//! The crucial subtlety (paper §3.3) is *orientation*: the sketch keyed by
+//! `{DIP, Dport}` must be incremented by an inbound SYN at the service
+//! endpoint and decremented by the *outbound SYN/ACK from that same service
+//! endpoint* — whose source/destination fields are swapped on the wire.
+//! [`Packet::orient`] normalizes a segment into client/server form so that
+//! recorders never re-derive this logic.
+
+use crate::ip::Ip4;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of a packet relative to the monitored edge network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Entering the monitored network (e.g., Internet → campus).
+    Inbound,
+    /// Leaving the monitored network.
+    Outbound,
+}
+
+impl Direction {
+    /// Returns the opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Inbound => Direction::Outbound,
+            Direction::Outbound => Direction::Inbound,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::Inbound => "inbound",
+            Direction::Outbound => "outbound",
+        })
+    }
+}
+
+/// TCP segment classification, derived from the flag byte.
+///
+/// HiFIND only distinguishes the handshake/teardown segments its value
+/// definitions need (`#SYN`, `#SYN/ACK`, and `#FIN`/`#RST` for the CPM
+/// baseline); everything else is [`SegmentKind::Other`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// A connection request (SYN set, ACK clear).
+    Syn,
+    /// A connection accept (SYN and ACK set).
+    SynAck,
+    /// A FIN segment (normal teardown).
+    Fin,
+    /// An RST segment (reset / refusal).
+    Rst,
+    /// Any other segment (pure ACK, data, ...).
+    Other,
+}
+
+impl SegmentKind {
+    /// Classifies a raw TCP flag byte (`URG|ACK|PSH|RST|SYN|FIN` low bits).
+    ///
+    /// RST takes precedence over FIN, matching how monitors treat
+    /// simultaneous flags.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hifind_flow::SegmentKind;
+    /// assert_eq!(SegmentKind::from_flags(0b0000_0010), SegmentKind::Syn);
+    /// assert_eq!(SegmentKind::from_flags(0b0001_0010), SegmentKind::SynAck);
+    /// assert_eq!(SegmentKind::from_flags(0b0001_0000), SegmentKind::Other);
+    /// ```
+    #[inline]
+    pub fn from_flags(flags: u8) -> SegmentKind {
+        const FIN: u8 = 0x01;
+        const SYN: u8 = 0x02;
+        const RST: u8 = 0x04;
+        const ACK: u8 = 0x10;
+        if flags & SYN != 0 {
+            if flags & ACK != 0 {
+                SegmentKind::SynAck
+            } else {
+                SegmentKind::Syn
+            }
+        } else if flags & RST != 0 {
+            SegmentKind::Rst
+        } else if flags & FIN != 0 {
+            SegmentKind::Fin
+        } else {
+            SegmentKind::Other
+        }
+    }
+
+    /// The raw flag byte this kind canonically corresponds to.
+    #[inline]
+    pub fn to_flags(self) -> u8 {
+        match self {
+            SegmentKind::Syn => 0x02,
+            SegmentKind::SynAck => 0x12,
+            SegmentKind::Fin => 0x11,
+            SegmentKind::Rst => 0x14,
+            SegmentKind::Other => 0x10,
+        }
+    }
+}
+
+impl fmt::Display for SegmentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SegmentKind::Syn => "SYN",
+            SegmentKind::SynAck => "SYN/ACK",
+            SegmentKind::Fin => "FIN",
+            SegmentKind::Rst => "RST",
+            SegmentKind::Other => "OTHER",
+        })
+    }
+}
+
+/// A single observed TCP segment.
+///
+/// `src`/`dst` are as seen on the wire (so for a SYN/ACK, `src` is the
+/// server). Use [`Packet::orient`] to get the client/server view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Packet {
+    /// Observation timestamp in milliseconds since the trace epoch.
+    pub ts_ms: u64,
+    /// Source address as on the wire.
+    pub src: Ip4,
+    /// Destination address as on the wire.
+    pub dst: Ip4,
+    /// Source port as on the wire.
+    pub sport: u16,
+    /// Destination port as on the wire.
+    pub dport: u16,
+    /// Segment classification.
+    pub kind: SegmentKind,
+    /// Direction relative to the monitored edge.
+    pub direction: Direction,
+}
+
+impl Packet {
+    /// Builds an inbound SYN from `client:cport` to `server:sport`.
+    pub fn syn(ts_ms: u64, client: Ip4, cport: u16, server: Ip4, sport: u16) -> Packet {
+        Packet {
+            ts_ms,
+            src: client,
+            dst: server,
+            sport: cport,
+            dport: sport,
+            kind: SegmentKind::Syn,
+            direction: Direction::Inbound,
+        }
+    }
+
+    /// Builds the outbound SYN/ACK answering [`Packet::syn`] with the same
+    /// endpoint arguments (fields are swapped onto the wire).
+    pub fn syn_ack(ts_ms: u64, client: Ip4, cport: u16, server: Ip4, sport: u16) -> Packet {
+        Packet {
+            ts_ms,
+            src: server,
+            dst: client,
+            sport,
+            dport: cport,
+            kind: SegmentKind::SynAck,
+            direction: Direction::Outbound,
+        }
+    }
+
+    /// Builds an outbound RST from `server:sport` to `client:cport`
+    /// (connection refused).
+    pub fn rst(ts_ms: u64, client: Ip4, cport: u16, server: Ip4, sport: u16) -> Packet {
+        Packet {
+            ts_ms,
+            src: server,
+            dst: client,
+            sport,
+            dport: cport,
+            kind: SegmentKind::Rst,
+            direction: Direction::Outbound,
+        }
+    }
+
+    /// Builds an inbound FIN from `client:cport` to `server:sport`.
+    pub fn fin(ts_ms: u64, client: Ip4, cport: u16, server: Ip4, sport: u16) -> Packet {
+        Packet {
+            ts_ms,
+            src: client,
+            dst: server,
+            sport: cport,
+            dport: sport,
+            kind: SegmentKind::Fin,
+            direction: Direction::Inbound,
+        }
+    }
+
+    /// Normalizes this segment to client/server orientation.
+    ///
+    /// * For SYN (and FIN/Other) segments the wire source is the client.
+    /// * For SYN/ACK and RST segments the wire source is the server, so the
+    ///   endpoints are swapped back.
+    ///
+    /// Returns `None` only for kinds that carry no handshake meaning when a
+    /// caller asked for strict orientation — currently all kinds orient, so
+    /// this always returns `Some`; the `Option` is kept so that future kinds
+    /// (e.g. ICMP) can opt out without breaking callers.
+    #[inline]
+    pub fn orient(&self) -> Option<Oriented> {
+        let (client, server, client_port, server_port) = match self.kind {
+            SegmentKind::SynAck | SegmentKind::Rst => (self.dst, self.src, self.dport, self.sport),
+            SegmentKind::Syn | SegmentKind::Fin | SegmentKind::Other => {
+                (self.src, self.dst, self.sport, self.dport)
+            }
+        };
+        Some(Oriented {
+            client,
+            server,
+            client_port,
+            server_port,
+            kind: self.kind,
+            ts_ms: self.ts_ms,
+        })
+    }
+}
+
+/// A segment normalized to client/server orientation (see [`Packet::orient`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Oriented {
+    /// Connection initiator address.
+    pub client: Ip4,
+    /// Service address.
+    pub server: Ip4,
+    /// Initiator's (usually ephemeral) port.
+    pub client_port: u16,
+    /// Service port.
+    pub server_port: u16,
+    /// Segment classification.
+    pub kind: SegmentKind,
+    /// Observation timestamp (milliseconds).
+    pub ts_ms: u64,
+}
+
+impl Oriented {
+    /// Signed sketch contribution for the paper's `#SYN − #SYN/ACK` value:
+    /// `+1` for a SYN, `-1` for a SYN/ACK, `0` otherwise.
+    #[inline]
+    pub fn syn_minus_synack(&self) -> i64 {
+        match self.kind {
+            SegmentKind::Syn => 1,
+            SegmentKind::SynAck => -1,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c() -> Ip4 {
+        [1, 2, 3, 4].into()
+    }
+    fn s() -> Ip4 {
+        [129, 105, 0, 80].into()
+    }
+
+    #[test]
+    fn flag_classification_covers_all_combinations() {
+        assert_eq!(SegmentKind::from_flags(0x02), SegmentKind::Syn);
+        assert_eq!(SegmentKind::from_flags(0x12), SegmentKind::SynAck);
+        assert_eq!(SegmentKind::from_flags(0x11), SegmentKind::Fin);
+        assert_eq!(SegmentKind::from_flags(0x01), SegmentKind::Fin);
+        assert_eq!(SegmentKind::from_flags(0x14), SegmentKind::Rst);
+        assert_eq!(SegmentKind::from_flags(0x04), SegmentKind::Rst);
+        assert_eq!(SegmentKind::from_flags(0x10), SegmentKind::Other);
+        assert_eq!(SegmentKind::from_flags(0x00), SegmentKind::Other);
+        // RST wins over FIN when both set.
+        assert_eq!(SegmentKind::from_flags(0x05), SegmentKind::Rst);
+    }
+
+    #[test]
+    fn flag_round_trip() {
+        for kind in [
+            SegmentKind::Syn,
+            SegmentKind::SynAck,
+            SegmentKind::Fin,
+            SegmentKind::Rst,
+            SegmentKind::Other,
+        ] {
+            assert_eq!(SegmentKind::from_flags(kind.to_flags()), kind);
+        }
+    }
+
+    #[test]
+    fn syn_orientation_is_identity() {
+        let p = Packet::syn(10, c(), 4242, s(), 80);
+        let o = p.orient().unwrap();
+        assert_eq!(o.client, c());
+        assert_eq!(o.server, s());
+        assert_eq!(o.client_port, 4242);
+        assert_eq!(o.server_port, 80);
+        assert_eq!(o.syn_minus_synack(), 1);
+    }
+
+    #[test]
+    fn syn_ack_orientation_swaps_endpoints() {
+        let p = Packet::syn_ack(11, c(), 4242, s(), 80);
+        // On the wire the server is the source...
+        assert_eq!(p.src, s());
+        assert_eq!(p.sport, 80);
+        // ...but orientation recovers the canonical view.
+        let o = p.orient().unwrap();
+        assert_eq!(o.client, c());
+        assert_eq!(o.server, s());
+        assert_eq!(o.server_port, 80);
+        assert_eq!(o.syn_minus_synack(), -1);
+    }
+
+    #[test]
+    fn rst_orientation_matches_syn_ack() {
+        let p = Packet::rst(12, c(), 555, s(), 22);
+        let o = p.orient().unwrap();
+        assert_eq!(o.client, c());
+        assert_eq!(o.server, s());
+        assert_eq!(o.server_port, 22);
+        assert_eq!(o.syn_minus_synack(), 0);
+    }
+
+    #[test]
+    fn matched_syn_and_synack_cancel() {
+        let syn = Packet::syn(0, c(), 999, s(), 443).orient().unwrap();
+        let ack = Packet::syn_ack(1, c(), 999, s(), 443).orient().unwrap();
+        assert_eq!(syn.client, ack.client);
+        assert_eq!(syn.server, ack.server);
+        assert_eq!(syn.server_port, ack.server_port);
+        assert_eq!(syn.syn_minus_synack() + ack.syn_minus_synack(), 0);
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Inbound.reverse(), Direction::Outbound);
+        assert_eq!(Direction::Outbound.reverse(), Direction::Inbound);
+    }
+}

@@ -1,0 +1,336 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every randomized component in the workspace (traffic generation, hash
+//! seed derivation, the multi-router splitter) draws from [`SplitMix64`]
+//! seeded explicitly, so that every experiment in EXPERIMENTS.md is
+//! bit-reproducible. SplitMix64 passes BigCrush, has a full 2^64 period over
+//! its counter, and is a few ALU ops per draw — more than adequate for
+//! simulation (it is *not* a cryptographic generator; the sketches' security
+//! argument rests on their hash seeds being secret, not on this PRNG).
+
+use serde::{Deserialize, Serialize};
+
+/// A SplitMix64 pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use hifind_flow::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Distinct seeds give independent
+    /// streams for practical simulation purposes.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derives a child generator, useful to give each sub-component its own
+    /// independent stream without coupling their draw counts.
+    ///
+    /// The child seed mixes the label so `fork(1)` and `fork(2)` differ even
+    /// from the same parent state.
+    pub fn fork(&mut self, label: u64) -> SplitMix64 {
+        let mixed = self
+            .next_u64()
+            .wrapping_add(label.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        SplitMix64::new(mix(mixed))
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    /// Returns the next 32 uniformly distributed bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        // Lemire's multiply-shift rejection method: unbiased.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range() requires lo < hi");
+        lo + self.below(hi - lo)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // 53 mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Samples a geometric-ish exponential inter-arrival gap with the given
+    /// mean, truncated at `10 * mean` to keep traces bounded.
+    pub fn exp_gap(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u = self.f64().max(1e-12);
+        (-u.ln() * mean).min(mean * 10.0)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick() requires a non-empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A precomputed Zipf(α) sampler over ranks `0..n`.
+///
+/// Used to model realistic destination/service popularity skews in the
+/// traffic generator. Sampling is O(log n) by binary search over the CDF.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf over zero ranks");
+        assert!(alpha >= 0.0, "negative Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the sampler has no ranks (never true — `new`
+    /// rejects `n == 0`; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(3);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..50 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn below_zero_panics() {
+        SplitMix64::new(0).below(0);
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..100 {
+            let v = rng.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..1000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = SplitMix64::new(6);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 10.0;
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.05,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_streams() {
+        let mut parent = SplitMix64::new(11);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+        // Deterministic: same construction gives same children.
+        let mut parent2 = SplitMix64::new(11);
+        let mut d1 = parent2.fork(1);
+        c1 = SplitMix64::new(11).fork(1);
+        assert_eq!(c1.next_u64(), d1.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(8);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = SplitMix64::new(9);
+        let mut head = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With alpha=1 over 1000 ranks the top-10 mass is ~39%.
+        assert!(head > n / 4, "head mass too small: {head}");
+    }
+
+    #[test]
+    fn zipf_zero_alpha_is_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = SplitMix64::new(10);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5000.0).abs() < 500.0);
+        }
+    }
+
+    #[test]
+    fn exp_gap_positive_and_bounded() {
+        let mut rng = SplitMix64::new(12);
+        for _ in 0..1000 {
+            let g = rng.exp_gap(5.0);
+            assert!(g >= 0.0 && g <= 50.0);
+        }
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut rng = SplitMix64::new(13);
+        let items = [1, 2, 3];
+        for _ in 0..20 {
+            assert!(items.contains(rng.pick(&items)));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Human-readable CSV trace interchange.
+//!
+//! The binary codec in [`crate::trace`] is compact but opaque; exporting
+//! and ingesting traces as CSV makes the workloads inspectable with
+//! standard tooling and lets external flow records (e.g. converted
+//! netflow dumps) be replayed through the IDS. Format, one packet per
+//! line, header required:
+//!
+//! ```csv
+//! ts_ms,src,sport,dst,dport,kind,direction
+//! 1500,12.0.7.9,4242,129.105.0.80,80,SYN,in
+//! ```
+//!
+//! `kind` ∈ {SYN, SYNACK, FIN, RST, OTHER}; `direction` ∈ {in, out}.
+
+use crate::ip::Ip4;
+use crate::packet::{Direction, Packet, SegmentKind};
+use crate::trace::Trace;
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// Error from [`parse_csv`], carrying the 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseCsvError {
+    /// 1-based line the error occurred on.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+const HEADER: &str = "ts_ms,src,sport,dst,dport,kind,direction";
+
+fn kind_str(kind: SegmentKind) -> &'static str {
+    match kind {
+        SegmentKind::Syn => "SYN",
+        SegmentKind::SynAck => "SYNACK",
+        SegmentKind::Fin => "FIN",
+        SegmentKind::Rst => "RST",
+        SegmentKind::Other => "OTHER",
+    }
+}
+
+/// Renders a trace as CSV (with header).
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::with_capacity(32 + trace.len() * 48);
+    out.push_str(HEADER);
+    out.push('\n');
+    for p in trace.iter() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            p.ts_ms,
+            p.src,
+            p.sport,
+            p.dst,
+            p.dport,
+            kind_str(p.kind),
+            match p.direction {
+                Direction::Inbound => "in",
+                Direction::Outbound => "out",
+            }
+        );
+    }
+    out
+}
+
+/// Parses a CSV trace produced by [`to_csv`] (or hand-written in the same
+/// format). Blank lines are ignored; the header line is required.
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] with the offending line number for a missing
+/// or wrong header, wrong field count, or any unparseable field.
+pub fn parse_csv(text: &str) -> Result<Trace, ParseCsvError> {
+    let mut lines = text.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((i, l)) if l.trim().is_empty() => {
+                let _ = i;
+            }
+            Some((i, l)) => break (i, l),
+            None => {
+                return Err(ParseCsvError {
+                    line: 1,
+                    reason: "empty input (header required)".into(),
+                })
+            }
+        }
+    };
+    if header.1.trim() != HEADER {
+        return Err(ParseCsvError {
+            line: header.0 + 1,
+            reason: format!("expected header '{HEADER}'"),
+        });
+    }
+    let mut trace = Trace::new();
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |reason: String| ParseCsvError {
+            line: i + 1,
+            reason,
+        };
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 7 {
+            return Err(err(format!("expected 7 fields, got {}", fields.len())));
+        }
+        let ts_ms: u64 = fields[0]
+            .parse()
+            .map_err(|_| err(format!("bad timestamp '{}'", fields[0])))?;
+        let src = Ip4::from_str(fields[1])
+            .map_err(|_| err(format!("bad source address '{}'", fields[1])))?;
+        let sport: u16 = fields[2]
+            .parse()
+            .map_err(|_| err(format!("bad source port '{}'", fields[2])))?;
+        let dst = Ip4::from_str(fields[3])
+            .map_err(|_| err(format!("bad destination address '{}'", fields[3])))?;
+        let dport: u16 = fields[4]
+            .parse()
+            .map_err(|_| err(format!("bad destination port '{}'", fields[4])))?;
+        let kind = match fields[5] {
+            "SYN" => SegmentKind::Syn,
+            "SYNACK" => SegmentKind::SynAck,
+            "FIN" => SegmentKind::Fin,
+            "RST" => SegmentKind::Rst,
+            "OTHER" => SegmentKind::Other,
+            other => return Err(err(format!("unknown segment kind '{other}'"))),
+        };
+        let direction = match fields[6] {
+            "in" => Direction::Inbound,
+            "out" => Direction::Outbound,
+            other => return Err(err(format!("unknown direction '{other}'"))),
+        };
+        trace.push(Packet {
+            ts_ms,
+            src,
+            dst,
+            sport,
+            dport,
+            kind,
+            direction,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let c: Ip4 = [12, 0, 7, 9].into();
+        let s: Ip4 = [129, 105, 0, 80].into();
+        let mut t = Trace::new();
+        t.push(Packet::syn(1500, c, 4242, s, 80));
+        t.push(Packet::syn_ack(1520, c, 4242, s, 80));
+        t.push(Packet::rst(2000, c, 4243, s, 22));
+        t.push(Packet::fin(9000, c, 4242, s, 80));
+        t
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        let csv = to_csv(&t);
+        assert!(csv.starts_with(HEADER));
+        let back = parse_csv(&csv).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn accepts_blank_lines_and_whitespace() {
+        let csv = format!(
+            "\n{HEADER}\n\n  1 , 1.2.3.4 , 10 , 5.6.7.8 , 80 , SYN , in  \n\n"
+        );
+        let t = parse_csv(&csv).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.as_slice()[0].ts_ms, 1);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let e = parse_csv("1,1.2.3.4,10,5.6.7.8,80,SYN,in").unwrap_err();
+        assert!(e.reason.contains("header"));
+        let e = parse_csv("").unwrap_err();
+        assert!(e.reason.contains("empty input"));
+    }
+
+    #[test]
+    fn rejects_bad_fields_with_line_numbers() {
+        let bad_ts = format!("{HEADER}\nxx,1.2.3.4,10,5.6.7.8,80,SYN,in");
+        let e = parse_csv(&bad_ts).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.reason.contains("timestamp"));
+
+        let bad_kind = format!("{HEADER}\n1,1.2.3.4,10,5.6.7.8,80,ACK,in");
+        assert!(parse_csv(&bad_kind).unwrap_err().reason.contains("kind"));
+
+        let bad_dir = format!("{HEADER}\n1,1.2.3.4,10,5.6.7.8,80,SYN,sideways");
+        assert!(parse_csv(&bad_dir).unwrap_err().reason.contains("direction"));
+
+        let short = format!("{HEADER}\n1,1.2.3.4,10");
+        assert!(parse_csv(&short).unwrap_err().reason.contains("7 fields"));
+
+        let bad_port = format!("{HEADER}\n1,1.2.3.4,99999,5.6.7.8,80,SYN,in");
+        assert!(parse_csv(&bad_port).unwrap_err().reason.contains("port"));
+    }
+
+    #[test]
+    fn error_display_contains_line() {
+        let e = ParseCsvError {
+            line: 7,
+            reason: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "line 7: boom");
+    }
+}

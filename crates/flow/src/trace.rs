@@ -1,0 +1,399 @@
+//! In-memory packet traces with a compact binary codec.
+//!
+//! A [`Trace`] is a time-ordered sequence of [`Packet`]s. Traces are the
+//! interchange format between the traffic generator, the detectors, and the
+//! experiment harness. The binary codec writes fixed 24-byte records behind
+//! a small header, standing in for the netflow dumps the paper replays.
+
+use crate::interval::Intervalizer;
+use crate::packet::{Direction, Packet, SegmentKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+const MAGIC: u32 = 0x4846_4E44; // "HFND"
+const VERSION: u16 = 1;
+const RECORD_BYTES: usize = 24;
+
+/// A time-ordered packet trace.
+///
+/// # Example
+///
+/// ```
+/// use hifind_flow::{Packet, Trace};
+///
+/// let mut trace = Trace::new();
+/// trace.push(Packet::syn(5, [1, 1, 1, 1].into(), 1000, [2, 2, 2, 2].into(), 80));
+/// trace.push(Packet::syn_ack(6, [1, 1, 1, 1].into(), 1000, [2, 2, 2, 2].into(), 80));
+/// assert_eq!(trace.len(), 2);
+/// let bytes = trace.to_bytes();
+/// assert_eq!(Trace::from_bytes(&bytes).unwrap(), trace);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    packets: Vec<Packet>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an empty trace with capacity for `n` packets.
+    pub fn with_capacity(n: usize) -> Self {
+        Trace {
+            packets: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a packet. Callers should append in time order; use
+    /// [`Trace::sort_by_time`] after bulk out-of-order construction.
+    #[inline]
+    pub fn push(&mut self, p: Packet) {
+        self.packets.push(p);
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Returns `true` if the trace holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Iterates over the packets in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Packet> {
+        self.packets.iter()
+    }
+
+    /// Borrows the packets as a slice.
+    pub fn as_slice(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Stable-sorts packets by timestamp (stable so that a SYN emitted at
+    /// the same millisecond as its SYN/ACK keeps its causal order).
+    pub fn sort_by_time(&mut self) {
+        self.packets.sort_by_key(|p| p.ts_ms);
+    }
+
+    /// Returns `true` if timestamps are non-decreasing.
+    pub fn is_time_ordered(&self) -> bool {
+        self.packets.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms)
+    }
+
+    /// Splits the trace into fixed `interval_ms` windows (see
+    /// [`Intervalizer`]).
+    pub fn intervals(&self, interval_ms: u64) -> Intervalizer<'_> {
+        Intervalizer::new(&self.packets, interval_ms)
+    }
+
+    /// Merges another trace into this one, restoring time order.
+    pub fn merge(&mut self, other: &Trace) {
+        self.packets.extend_from_slice(&other.packets);
+        self.sort_by_time();
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> TraceStats {
+        let mut stats = TraceStats::default();
+        let mut sips = HashSet::new();
+        let mut dips = HashSet::new();
+        for p in &self.packets {
+            match p.kind {
+                SegmentKind::Syn => stats.syn += 1,
+                SegmentKind::SynAck => stats.syn_ack += 1,
+                SegmentKind::Fin => stats.fin += 1,
+                SegmentKind::Rst => stats.rst += 1,
+                SegmentKind::Other => stats.other += 1,
+            }
+            sips.insert(p.src);
+            dips.insert(p.dst);
+        }
+        stats.packets = self.packets.len() as u64;
+        stats.unique_src = sips.len() as u64;
+        stats.unique_dst = dips.len() as u64;
+        stats.duration_ms = match (self.packets.first(), self.packets.last()) {
+            (Some(a), Some(b)) => b.ts_ms.saturating_sub(a.ts_ms),
+            _ => 0,
+        };
+        stats
+    }
+
+    /// Serializes to the compact binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.packets.len() * RECORD_BYTES);
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION);
+        buf.put_u16(0); // reserved
+        buf.put_u64(self.packets.len() as u64);
+        for p in &self.packets {
+            buf.put_u64(p.ts_ms);
+            buf.put_u32(p.src.raw());
+            buf.put_u32(p.dst.raw());
+            buf.put_u16(p.sport);
+            buf.put_u16(p.dport);
+            buf.put_u8(p.kind.to_flags());
+            buf.put_u8(match p.direction {
+                Direction::Inbound => 0,
+                Direction::Outbound => 1,
+            });
+            buf.put_u16(0); // reserved / alignment
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from the compact binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceCodecError`] if the header or length is malformed.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Trace, TraceCodecError> {
+        if data.len() < 16 {
+            return Err(TraceCodecError::Truncated);
+        }
+        let magic = data.get_u32();
+        if magic != MAGIC {
+            return Err(TraceCodecError::BadMagic(magic));
+        }
+        let version = data.get_u16();
+        if version != VERSION {
+            return Err(TraceCodecError::UnsupportedVersion(version));
+        }
+        let _reserved = data.get_u16();
+        let count = data.get_u64() as usize;
+        if data.remaining() != count * RECORD_BYTES {
+            return Err(TraceCodecError::Truncated);
+        }
+        let mut packets = Vec::with_capacity(count);
+        for _ in 0..count {
+            let ts_ms = data.get_u64();
+            let src = data.get_u32().into();
+            let dst = data.get_u32().into();
+            let sport = data.get_u16();
+            let dport = data.get_u16();
+            let kind = SegmentKind::from_flags(data.get_u8());
+            let direction = match data.get_u8() {
+                0 => Direction::Inbound,
+                1 => Direction::Outbound,
+                d => return Err(TraceCodecError::BadDirection(d)),
+            };
+            let _pad = data.get_u16();
+            packets.push(Packet {
+                ts_ms,
+                src,
+                dst,
+                sport,
+                dport,
+                kind,
+                direction,
+            });
+        }
+        Ok(Trace { packets })
+    }
+}
+
+impl FromIterator<Packet> for Trace {
+    fn from_iter<I: IntoIterator<Item = Packet>>(iter: I) -> Self {
+        Trace {
+            packets: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Packet> for Trace {
+    fn extend<I: IntoIterator<Item = Packet>>(&mut self, iter: I) {
+        self.packets.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Packet;
+    type IntoIter = std::slice::Iter<'a, Packet>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Packet;
+    type IntoIter = std::vec::IntoIter<Packet>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.into_iter()
+    }
+}
+
+/// Summary statistics over a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total packet count.
+    pub packets: u64,
+    /// SYN segments.
+    pub syn: u64,
+    /// SYN/ACK segments.
+    pub syn_ack: u64,
+    /// FIN segments.
+    pub fin: u64,
+    /// RST segments.
+    pub rst: u64,
+    /// Other segments.
+    pub other: u64,
+    /// Distinct wire source addresses.
+    pub unique_src: u64,
+    /// Distinct wire destination addresses.
+    pub unique_dst: u64,
+    /// Span from first to last timestamp.
+    pub duration_ms: u64,
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pkts ({} SYN, {} SYN/ACK, {} FIN, {} RST) over {:.1}s, {} srcs, {} dsts",
+            self.packets,
+            self.syn,
+            self.syn_ack,
+            self.fin,
+            self.rst,
+            self.duration_ms as f64 / 1000.0,
+            self.unique_src,
+            self.unique_dst
+        )
+    }
+}
+
+/// Errors from [`Trace::from_bytes`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceCodecError {
+    /// Input shorter than the declared record count requires.
+    Truncated,
+    /// Header magic did not match.
+    BadMagic(u32),
+    /// Unknown format version.
+    UnsupportedVersion(u16),
+    /// Direction byte was neither 0 nor 1.
+    BadDirection(u8),
+}
+
+impl fmt::Display for TraceCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceCodecError::Truncated => f.write_str("trace data truncated"),
+            TraceCodecError::BadMagic(m) => write!(f, "bad trace magic {m:#010x}"),
+            TraceCodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace version {v}")
+            }
+            TraceCodecError::BadDirection(d) => write!(f, "invalid direction byte {d}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceCodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::Ip4;
+
+    fn sample_trace() -> Trace {
+        let c: Ip4 = [1, 2, 3, 4].into();
+        let s: Ip4 = [5, 6, 7, 8].into();
+        let mut t = Trace::new();
+        t.push(Packet::syn(100, c, 4000, s, 80));
+        t.push(Packet::syn_ack(105, c, 4000, s, 80));
+        t.push(Packet::rst(200, c, 4001, s, 22));
+        t.push(Packet::fin(900, c, 4000, s, 80));
+        t
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let t = sample_trace();
+        let bytes = t.to_bytes();
+        let back = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn codec_rejects_bad_magic() {
+        let mut bytes = sample_trace().to_bytes().to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Trace::from_bytes(&bytes),
+            Err(TraceCodecError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn codec_rejects_truncation() {
+        let bytes = sample_trace().to_bytes();
+        assert_eq!(
+            Trace::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(TraceCodecError::Truncated)
+        );
+        assert_eq!(Trace::from_bytes(&bytes[..4]), Err(TraceCodecError::Truncated));
+    }
+
+    #[test]
+    fn codec_rejects_bad_version() {
+        let mut bytes = sample_trace().to_bytes().to_vec();
+        bytes[5] = 99;
+        assert!(matches!(
+            Trace::from_bytes(&bytes),
+            Err(TraceCodecError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn empty_trace_round_trip() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(Trace::from_bytes(&t.to_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn stats_count_kinds() {
+        let stats = sample_trace().stats();
+        assert_eq!(stats.packets, 4);
+        assert_eq!(stats.syn, 1);
+        assert_eq!(stats.syn_ack, 1);
+        assert_eq!(stats.rst, 1);
+        assert_eq!(stats.fin, 1);
+        assert_eq!(stats.duration_ms, 800);
+        // Display should not be empty.
+        assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn sort_and_order_check() {
+        let mut t = sample_trace();
+        assert!(t.is_time_ordered());
+        t.push(Packet::syn(1, [9, 9, 9, 9].into(), 1, [8, 8, 8, 8].into(), 2));
+        assert!(!t.is_time_ordered());
+        t.sort_by_time();
+        assert!(t.is_time_ordered());
+    }
+
+    #[test]
+    fn merge_restores_order() {
+        let mut a = sample_trace();
+        let b = sample_trace();
+        a.merge(&b);
+        assert_eq!(a.len(), 8);
+        assert!(a.is_time_ordered());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Trace = sample_trace().into_iter().collect();
+        assert_eq!(t.len(), 4);
+        let mut t2 = Trace::new();
+        t2.extend(sample_trace());
+        assert_eq!(t2.len(), 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the flow substrate.
+
+use hifind_flow::keys::{DipDport, Sip, SipDip, SipDport, SketchKey};
+use hifind_flow::rng::{SplitMix64, Zipf};
+use hifind_flow::{Direction, Ip4, Packet, SegmentKind, Trace};
+use proptest::prelude::*;
+
+fn arb_ip() -> impl Strategy<Value = Ip4> {
+    any::<u32>().prop_map(Ip4::new)
+}
+
+fn arb_kind() -> impl Strategy<Value = SegmentKind> {
+    prop_oneof![
+        Just(SegmentKind::Syn),
+        Just(SegmentKind::SynAck),
+        Just(SegmentKind::Fin),
+        Just(SegmentKind::Rst),
+        Just(SegmentKind::Other),
+    ]
+}
+
+prop_compose! {
+    fn arb_packet()(
+        ts_ms in 0u64..10_000_000,
+        src in arb_ip(),
+        dst in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        kind in arb_kind(),
+        inbound in any::<bool>(),
+    ) -> Packet {
+        Packet {
+            ts_ms, src, dst, sport, dport, kind,
+            direction: if inbound { Direction::Inbound } else { Direction::Outbound },
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn key_packing_round_trips(sip in arb_ip(), dip in arb_ip(), port in any::<u16>()) {
+        let k = SipDport::new(sip, port);
+        prop_assert_eq!(SipDport::from_u64(k.to_u64()), k);
+        prop_assert_eq!(k.to_u64() >> SipDport::BITS, 0);
+        let k = DipDport::new(dip, port);
+        prop_assert_eq!(DipDport::from_u64(k.to_u64()), k);
+        let k = SipDip::new(sip, dip);
+        prop_assert_eq!(SipDip::from_u64(k.to_u64()), k);
+        let k = Sip(sip);
+        prop_assert_eq!(Sip::from_u64(k.to_u64()), k);
+    }
+
+    #[test]
+    fn distinct_keys_pack_distinctly(
+        a in (arb_ip(), any::<u16>()),
+        b in (arb_ip(), any::<u16>()),
+    ) {
+        let ka = SipDport::new(a.0, a.1);
+        let kb = SipDport::new(b.0, b.1);
+        prop_assert_eq!(ka == kb, ka.to_u64() == kb.to_u64());
+    }
+
+    #[test]
+    fn trace_codec_round_trips(packets in prop::collection::vec(arb_packet(), 0..200)) {
+        let mut trace: Trace = packets.into_iter().collect();
+        trace.sort_by_time();
+        let decoded = Trace::from_bytes(&trace.to_bytes()).expect("decodes");
+        // SegmentKind::from_flags(to_flags(k)) is the identity, so the
+        // decoded trace equals the original exactly.
+        prop_assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn codec_never_panics_on_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Trace::from_bytes(&data); // must return Err, not panic
+    }
+
+    #[test]
+    fn orientation_is_stable_under_reply(
+        client in arb_ip(), server in arb_ip(),
+        cport in any::<u16>(), sport in any::<u16>(), ts in any::<u64>(),
+    ) {
+        // A SYN and the SYN/ACK answering it orient to the same endpoints.
+        let syn = Packet::syn(ts, client, cport, server, sport).orient().unwrap();
+        let ack = Packet::syn_ack(ts, client, cport, server, sport).orient().unwrap();
+        prop_assert_eq!(syn.client, ack.client);
+        prop_assert_eq!(syn.server, ack.server);
+        prop_assert_eq!(syn.client_port, ack.client_port);
+        prop_assert_eq!(syn.server_port, ack.server_port);
+        prop_assert_eq!(syn.syn_minus_synack() + ack.syn_minus_synack(), 0);
+    }
+
+    #[test]
+    fn intervals_partition_packets(
+        packets in prop::collection::vec(arb_packet(), 1..300),
+        interval_ms in 50_000u64..1_000_000,
+    ) {
+        let mut trace: Trace = packets.into_iter().collect();
+        trace.sort_by_time();
+        let windows: Vec<_> = trace.intervals(interval_ms).collect();
+        let total: usize = windows.iter().map(|w| w.packets.len()).sum();
+        prop_assert_eq!(total, trace.len());
+        // Windows tile the time axis contiguously.
+        for pair in windows.windows(2) {
+            prop_assert_eq!(pair[0].end_ms, pair[1].start_ms);
+        }
+        // Every packet lies in its window.
+        for w in &windows {
+            for p in w.packets {
+                prop_assert!(p.ts_ms >= w.start_ms && p.ts_ms < w.end_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_below_is_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..20 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn zipf_sample_in_range(seed in any::<u64>(), n in 1usize..500, alpha in 0.0f64..3.0) {
+        let zipf = Zipf::new(n, alpha);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..20 {
+            prop_assert!(zipf.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn ip_prefix_is_reflexive_and_monotone(ip in arb_ip(), len in 0u8..=32) {
+        prop_assert!(ip.in_prefix(ip, len));
+        // A longer matching prefix implies all shorter ones match.
+        if ip.in_prefix(Ip4::new(0x8169_0000), 16) {
+            prop_assert!(ip.in_prefix(Ip4::new(0x8169_0000), 8));
+        }
+    }
+}

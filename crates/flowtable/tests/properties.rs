@@ -1,0 +1,97 @@
+//! Property-based tests for the exact flow-table substrate.
+
+use hifind_flowtable::{ExactChangeTable, ExactDistribution};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// The table's per-key error equals the scalar EWMA recurrence run on
+    /// that key's series alone (keys are independent).
+    #[test]
+    fn per_key_independence(
+        alpha in 0.0f64..=1.0,
+        series_a in prop::collection::vec(-1000i64..1000, 1..20),
+        series_b in prop::collection::vec(-1000i64..1000, 1..20),
+    ) {
+        let n = series_a.len().max(series_b.len());
+        let mut joint = ExactChangeTable::new(alpha);
+        let mut solo_a = ExactChangeTable::new(alpha);
+        for t in 0..n {
+            let va = series_a.get(t).copied().unwrap_or(0);
+            let vb = series_b.get(t).copied().unwrap_or(0);
+            joint.add(1, va);
+            joint.add(2, vb);
+            solo_a.add(1, va);
+            let je: HashMap<u64, i64> =
+                joint.end_interval_threshold(i64::MIN + 1).into_iter().collect();
+            let se: HashMap<u64, i64> =
+                solo_a.end_interval_threshold(i64::MIN + 1).into_iter().collect();
+            prop_assert_eq!(je.get(&1), se.get(&1), "key 1 diverged at t={}", t);
+        }
+    }
+
+    /// The first interval never reports, whatever the values.
+    #[test]
+    fn warmup_never_reports(values in prop::collection::vec((any::<u64>(), -10_000i64..10_000), 0..100)) {
+        let mut t = ExactChangeTable::new(0.5);
+        for &(k, v) in &values {
+            t.add(k, v);
+        }
+        prop_assert!(t.end_interval_threshold(1).is_empty());
+    }
+
+    /// Reported errors are sorted descending and all clear the threshold.
+    #[test]
+    fn reports_sorted_and_thresholded(
+        values in prop::collection::vec((0u64..50, 1i64..5000), 1..100),
+        threshold in 1i64..1000,
+    ) {
+        let mut t = ExactChangeTable::new(0.5);
+        t.end_interval(); // warm up
+        for &(k, v) in &values {
+            t.add(k, v);
+        }
+        let heavy = t.end_interval_threshold(threshold);
+        for w in heavy.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        for &(_, e) in &heavy {
+            prop_assert!(e >= threshold);
+        }
+    }
+
+    /// Distribution concentration is 1.0 when a single y value holds all
+    /// positive mass, and decreases monotonically as mass spreads.
+    #[test]
+    fn concentration_bounds(x in any::<u64>(), ys in prop::collection::hash_map(any::<u64>(), 1i64..100, 1..50)) {
+        let mut d = ExactDistribution::new();
+        for (&y, &v) in &ys {
+            d.add(x, y, v);
+        }
+        let c_all = d.concentration(x, ys.len()).unwrap();
+        prop_assert!((c_all - 1.0).abs() < 1e-9, "top-n covers everything");
+        let c1 = d.concentration(x, 1).unwrap();
+        prop_assert!(c1 > 0.0 && c1 <= 1.0);
+        if ys.len() == 1 {
+            prop_assert!((c1 - 1.0).abs() < 1e-9);
+        }
+        // Monotone in p.
+        let mut prev = 0.0;
+        for p in 1..=ys.len() {
+            let c = d.concentration(x, p).unwrap();
+            prop_assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+    }
+
+    /// `distinct_positive_y` counts exactly the positive-mass y values.
+    #[test]
+    fn distinct_positive_counting(x in any::<u64>(), ys in prop::collection::hash_map(0u64..100, -50i64..50, 0..60)) {
+        let mut d = ExactDistribution::new();
+        for (&y, &v) in &ys {
+            d.add(x, y, v);
+        }
+        let expected = ys.values().filter(|&&v| v > 0).count();
+        prop_assert_eq!(d.distinct_positive_y(x), expected);
+    }
+}

@@ -1,0 +1,326 @@
+//! Element-wise forecasting over sketch counter grids.
+
+use hifind_sketch::CounterGrid;
+use serde::{Deserialize, Serialize};
+
+/// A forecasting model applied element-wise to counter grids.
+///
+/// `step(observed)` consumes the grid recorded in the current interval and
+/// returns the *forecast-error grid* `observed − forecast` (rounded to
+/// integers), or `None` while warming up. The error grid is what
+/// `ReversibleSketch::infer_grid` runs INFERENCE over.
+pub trait GridForecaster {
+    /// Feeds one interval's recorded grid; returns the error grid once a
+    /// forecast exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid shape changes between calls.
+    fn step(&mut self, observed: &CounterGrid) -> Option<CounterGrid>;
+
+    /// Resets to the untrained state.
+    fn reset(&mut self);
+}
+
+/// Element-wise EWMA over grids (paper eq. 1). Forecast state is kept in
+/// `f64` so repeated smoothing does not accumulate integer rounding error;
+/// only the returned error grid is rounded.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GridEwma {
+    alpha: f64,
+    prev_observed: Option<Vec<f64>>,
+    prev_forecast: Option<Vec<f64>>,
+    shape: Option<(usize, usize)>,
+}
+
+impl GridEwma {
+    /// Creates an element-wise EWMA with smoothing factor `alpha ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]` or not finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && (0.0..=1.0).contains(&alpha),
+            "alpha must be in [0, 1], got {alpha}"
+        );
+        GridEwma {
+            alpha,
+            prev_observed: None,
+            prev_forecast: None,
+            shape: None,
+        }
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn check_shape(&mut self, g: &CounterGrid) {
+        let shape = (g.stages(), g.buckets());
+        match self.shape {
+            None => self.shape = Some(shape),
+            Some(s) => assert_eq!(s, shape, "grid shape changed mid-stream"),
+        }
+    }
+}
+
+fn to_f64(g: &CounterGrid) -> Vec<f64> {
+    let mut out = Vec::with_capacity(g.stages() * g.buckets());
+    for s in 0..g.stages() {
+        out.extend(g.stage(s).iter().map(|&v| v as f64));
+    }
+    out
+}
+
+fn error_grid(g: &CounterGrid, forecast: &[f64]) -> CounterGrid {
+    let mut out = CounterGrid::new(g.stages(), g.buckets());
+    let buckets = g.buckets();
+    for s in 0..g.stages() {
+        let stage = g.stage(s);
+        for (b, &v) in stage.iter().enumerate() {
+            let f = forecast[s * buckets + b];
+            let e = (v as f64 - f).round() as i64;
+            if e != 0 {
+                out.add(s, b, e);
+            }
+        }
+    }
+    out
+}
+
+impl GridForecaster for GridEwma {
+    fn step(&mut self, observed: &CounterGrid) -> Option<CounterGrid> {
+        self.check_shape(observed);
+        let forecast: Option<Vec<f64>> = match (&self.prev_observed, &self.prev_forecast) {
+            (None, _) => None,
+            (Some(po), None) => Some(po.clone()),
+            (Some(po), Some(pf)) => Some(
+                po.iter()
+                    .zip(pf)
+                    .map(|(&o, &f)| self.alpha * o + (1.0 - self.alpha) * f)
+                    .collect(),
+            ),
+        };
+        let result = forecast.as_ref().map(|f| error_grid(observed, f));
+        if forecast.is_some() {
+            self.prev_forecast = forecast;
+        }
+        self.prev_observed = Some(to_f64(observed));
+        result
+    }
+
+    fn reset(&mut self) {
+        self.prev_observed = None;
+        self.prev_forecast = None;
+        self.shape = None;
+    }
+}
+
+/// Element-wise Holt (double exponential smoothing) over grids — the
+/// forecasting-model ablation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GridHolt {
+    alpha: f64,
+    beta: f64,
+    level: Option<Vec<f64>>,
+    trend: Option<Vec<f64>>,
+    warm: Option<Vec<f64>>,
+    shape: Option<(usize, usize)>,
+}
+
+impl GridHolt {
+    /// Creates an element-wise Holt model; both factors in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is outside `[0, 1]` or not finite.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha.is_finite() && (0.0..=1.0).contains(&alpha));
+        assert!(beta.is_finite() && (0.0..=1.0).contains(&beta));
+        GridHolt {
+            alpha,
+            beta,
+            level: None,
+            trend: None,
+            warm: None,
+            shape: None,
+        }
+    }
+}
+
+impl GridForecaster for GridHolt {
+    fn step(&mut self, observed: &CounterGrid) -> Option<CounterGrid> {
+        let shape = (observed.stages(), observed.buckets());
+        match self.shape {
+            None => self.shape = Some(shape),
+            Some(s) => assert_eq!(s, shape, "grid shape changed mid-stream"),
+        }
+        let obs = to_f64(observed);
+        match (self.level.take(), self.warm.take()) {
+            (None, None) => {
+                self.warm = Some(obs);
+                None
+            }
+            (None, Some(first)) => {
+                let error = error_grid(observed, &first);
+                let level: Vec<f64> = obs
+                    .iter()
+                    .zip(&first)
+                    .map(|(&o, &f)| self.alpha * o + (1.0 - self.alpha) * f)
+                    .collect();
+                let trend: Vec<f64> = obs.iter().zip(&first).map(|(&o, &f)| o - f).collect();
+                self.level = Some(level);
+                self.trend = Some(trend);
+                Some(error)
+            }
+            (Some(level), _) => {
+                let trend = self.trend.take().expect("trend exists with level");
+                let forecast: Vec<f64> =
+                    level.iter().zip(&trend).map(|(&l, &t)| l + t).collect();
+                let error = error_grid(observed, &forecast);
+                let new_level: Vec<f64> = obs
+                    .iter()
+                    .zip(&forecast)
+                    .map(|(&o, &f)| self.alpha * o + (1.0 - self.alpha) * f)
+                    .collect();
+                let new_trend: Vec<f64> = new_level
+                    .iter()
+                    .zip(&level)
+                    .zip(&trend)
+                    .map(|((&nl, &l), &t)| self.beta * (nl - l) + (1.0 - self.beta) * t)
+                    .collect();
+                self.level = Some(new_level);
+                self.trend = Some(new_trend);
+                Some(error)
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.level = None;
+        self.trend = None;
+        self.warm = None;
+        self.shape = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(vals: &[i64]) -> CounterGrid {
+        let mut g = CounterGrid::new(1, vals.len().next_power_of_two());
+        for (i, &v) in vals.iter().enumerate() {
+            g.add(0, i, v);
+        }
+        g
+    }
+
+    #[test]
+    fn warmup_then_error() {
+        let mut f = GridEwma::new(0.5);
+        assert!(f.step(&grid(&[10, 20])).is_none());
+        let e = f.step(&grid(&[12, 20])).unwrap();
+        assert_eq!(e.get(0, 0), 2);
+        assert_eq!(e.get(0, 1), 0);
+    }
+
+    #[test]
+    fn matches_scalar_recurrence_per_bucket() {
+        use crate::scalar::{Ewma, ScalarForecaster};
+        let mut gf = GridEwma::new(0.3);
+        let mut sf = Ewma::new(0.3);
+        let series = [5i64, 8, 2, 14, 7, 7, 100, 3];
+        for &v in &series {
+            let ge = gf.step(&grid(&[v, 0]));
+            let se = sf.step(v as f64);
+            match (ge, se) {
+                (None, None) => {}
+                (Some(g), Some(s)) => {
+                    assert_eq!(g.get(0, 0), s.round() as i64);
+                    assert_eq!(g.get(0, 1), 0);
+                }
+                other => panic!("divergent warmup: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn constant_traffic_zero_error() {
+        let mut f = GridEwma::new(0.5);
+        let g = grid(&[100, 200, 300, 0]);
+        f.step(&g);
+        for _ in 0..10 {
+            let e = f.step(&g).unwrap();
+            assert!(e.is_zero(), "expected zero error for constant traffic");
+        }
+    }
+
+    #[test]
+    fn surge_appears_in_error_grid() {
+        let mut f = GridEwma::new(0.5);
+        let quiet = grid(&[10, 10, 10, 10]);
+        f.step(&quiet);
+        for _ in 0..5 {
+            f.step(&quiet);
+        }
+        let e = f.step(&grid(&[10, 510, 10, 10])).unwrap();
+        assert!((e.get(0, 1) - 500).abs() <= 1);
+        assert_eq!(e.get(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape changed")]
+    fn shape_change_panics() {
+        let mut f = GridEwma::new(0.5);
+        f.step(&CounterGrid::new(1, 4));
+        f.step(&CounterGrid::new(2, 4));
+    }
+
+    #[test]
+    fn reset_restarts_warmup() {
+        let mut f = GridEwma::new(0.5);
+        f.step(&grid(&[1, 2]));
+        f.step(&grid(&[1, 2]));
+        f.reset();
+        assert!(f.step(&grid(&[9, 9])).is_none());
+    }
+
+    #[test]
+    fn holt_grid_tracks_ramp_better_than_ewma() {
+        let mut h = GridHolt::new(0.5, 0.5);
+        let mut e = GridEwma::new(0.5);
+        let mut herr = 0i64;
+        let mut eerr = 0i64;
+        for t in 0..30i64 {
+            let g = grid(&[10 * t, 0]);
+            if let Some(err) = h.step(&g) {
+                herr += err.get(0, 0).abs();
+            }
+            if let Some(err) = e.step(&g) {
+                eerr += err.get(0, 0).abs();
+            }
+        }
+        assert!(herr < eerr, "holt {herr} vs ewma {eerr}");
+    }
+
+    #[test]
+    fn holt_grid_warmup_and_reset() {
+        let mut h = GridHolt::new(0.5, 0.5);
+        assert!(h.step(&grid(&[1, 1])).is_none());
+        assert!(h.step(&grid(&[1, 1])).is_some());
+        h.reset();
+        assert!(h.step(&grid(&[1, 1])).is_none());
+    }
+
+    #[test]
+    fn error_grids_preserve_negative_changes() {
+        // Traffic dropping (e.g. flooding stops) gives negative error.
+        let mut f = GridEwma::new(0.5);
+        f.step(&grid(&[100, 0]));
+        let e = f.step(&grid(&[0, 0])).unwrap();
+        assert_eq!(e.get(0, 0), -100);
+    }
+}

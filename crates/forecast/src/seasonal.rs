@@ -1,0 +1,242 @@
+//! Additive Holt-Winters (triple exponential smoothing) — the seasonal
+//! extension.
+//!
+//! Network traffic has strong diurnal/weekly cycles; with one-minute
+//! intervals a day is a 1440-tick season. The sketch pipeline keeps the
+//! memory-cheap EWMA (per-bucket seasonal state would multiply the grid by
+//! the period, defeating the small-memory goal), but per-*service* scalar
+//! series — e.g. the unresponded-SYN count of a protected service — can
+//! afford the seasonal model, and it removes the morning-ramp false
+//! positives EWMA produces. This is the "future work" style extension
+//! DESIGN.md §8 lists alongside the Holt ablation.
+
+use crate::scalar::ScalarForecaster;
+use serde::{Deserialize, Serialize};
+
+/// Additive Holt-Winters forecasting with period `m`:
+///
+/// ```text
+/// forecast(t) = level + trend + season[t mod m]
+/// level  ← α (x − season) + (1 − α)(level + trend)
+/// trend  ← β (level − level₋₁) + (1 − β) trend
+/// season ← γ (x − level) + (1 − γ) season
+/// ```
+///
+/// Warm-up: the first full period initializes the seasonal profile (no
+/// error output), matching the paper's "no detection at t = 1" convention
+/// stretched to one season.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HoltWinters {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    period: usize,
+    /// Observations collected during the first season.
+    warmup: Vec<f64>,
+    level: f64,
+    trend: f64,
+    season: Vec<f64>,
+    t: usize,
+    initialized: bool,
+}
+
+impl HoltWinters {
+    /// Creates a model with smoothing factors in `[0, 1]` and a seasonal
+    /// period of at least 2 ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any factor is outside `[0, 1]` or `period < 2`.
+    pub fn new(alpha: f64, beta: f64, gamma: f64, period: usize) -> Self {
+        for v in [alpha, beta, gamma] {
+            assert!(
+                v.is_finite() && (0.0..=1.0).contains(&v),
+                "smoothing factors must be in [0, 1], got {v}"
+            );
+        }
+        assert!(period >= 2, "seasonal period must be at least 2");
+        HoltWinters {
+            alpha,
+            beta,
+            gamma,
+            period,
+            warmup: Vec::with_capacity(period),
+            level: 0.0,
+            trend: 0.0,
+            season: vec![0.0; period],
+            t: 0,
+            initialized: false,
+        }
+    }
+
+    /// The seasonal period.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// The current seasonal profile (empty before initialization).
+    pub fn seasonal_profile(&self) -> &[f64] {
+        if self.initialized {
+            &self.season
+        } else {
+            &[]
+        }
+    }
+}
+
+impl ScalarForecaster for HoltWinters {
+    fn step(&mut self, observed: f64) -> Option<f64> {
+        if !self.initialized {
+            self.warmup.push(observed);
+            if self.warmup.len() == self.period {
+                let mean = self.warmup.iter().sum::<f64>() / self.period as f64;
+                self.level = mean;
+                self.trend = 0.0;
+                for (i, &v) in self.warmup.iter().enumerate() {
+                    self.season[i] = v - mean;
+                }
+                self.initialized = true;
+                self.t = 0;
+            }
+            return None;
+        }
+        let s = self.t % self.period;
+        let forecast = self.level + self.trend + self.season[s];
+        let error = observed - forecast;
+        let prev_level = self.level;
+        self.level =
+            self.alpha * (observed - self.season[s]) + (1.0 - self.alpha) * (self.level + self.trend);
+        self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+        self.season[s] =
+            self.gamma * (observed - self.level) + (1.0 - self.gamma) * self.season[s];
+        self.t += 1;
+        Some(error)
+    }
+
+    fn next_forecast(&self) -> Option<f64> {
+        if !self.initialized {
+            return None;
+        }
+        Some(self.level + self.trend + self.season[self.t % self.period])
+    }
+
+    fn reset(&mut self) {
+        self.warmup.clear();
+        self.level = 0.0;
+        self.trend = 0.0;
+        self.season.fill(0.0);
+        self.t = 0;
+        self.initialized = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Ewma;
+
+    /// A clean daily-ish pattern: sine over a 24-tick period.
+    fn seasonal_series(periods: usize, period: usize) -> Vec<f64> {
+        (0..periods * period)
+            .map(|t| {
+                let phase = (t % period) as f64 / period as f64 * std::f64::consts::TAU;
+                1000.0 + 400.0 * phase.sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn warmup_lasts_one_period() {
+        let mut hw = HoltWinters::new(0.3, 0.1, 0.3, 24);
+        for (t, &v) in seasonal_series(2, 24).iter().enumerate() {
+            let out = hw.step(v);
+            assert_eq!(out.is_none(), t < 24, "tick {t}");
+        }
+        assert_eq!(hw.seasonal_profile().len(), 24);
+    }
+
+    #[test]
+    fn beats_ewma_on_seasonal_traffic() {
+        let series = seasonal_series(6, 24);
+        let mut hw = HoltWinters::new(0.3, 0.05, 0.4, 24);
+        let mut ewma = Ewma::new(0.5);
+        let (mut hw_err, mut ewma_err) = (0.0, 0.0);
+        // Score only the last two periods (both models fully warmed).
+        for (t, &v) in series.iter().enumerate() {
+            let he = hw.step(v);
+            let ee = ewma.step(v);
+            if t >= 4 * 24 {
+                hw_err += he.unwrap().abs();
+                ewma_err += ee.unwrap().abs();
+            }
+        }
+        assert!(
+            hw_err < ewma_err * 0.35,
+            "Holt-Winters {hw_err:.0} should beat EWMA {ewma_err:.0} on cycles"
+        );
+    }
+
+    #[test]
+    fn attack_spike_still_stands_out() {
+        let mut series = seasonal_series(8, 24);
+        let n = series.len();
+        series[n - 10] += 5000.0; // the attack
+        let mut hw = HoltWinters::new(0.3, 0.05, 0.4, 24);
+        let mut spike_error = 0.0;
+        let mut background_max: f64 = 0.0;
+        for (t, &v) in series.iter().enumerate() {
+            if let Some(e) = hw.step(v) {
+                if t == n - 10 {
+                    spike_error = e;
+                } else if t > 5 * 24 {
+                    // Score background only once level/trend/season have
+                    // converged (the first post-warm-up periods still
+                    // carry initialization transients).
+                    background_max = background_max.max(e.abs());
+                }
+            }
+        }
+        assert!(
+            spike_error > 2.5 * background_max && spike_error > 3000.0,
+            "spike {spike_error:.0} vs background {background_max:.0}"
+        );
+    }
+
+    #[test]
+    fn constant_series_converges_to_zero_error() {
+        let mut hw = HoltWinters::new(0.3, 0.1, 0.3, 4);
+        let mut last = f64::MAX;
+        for t in 0..200 {
+            if let Some(e) = hw.step(42.0) {
+                if t > 100 {
+                    last = e.abs();
+                }
+            }
+        }
+        assert!(last < 1e-6, "residual {last}");
+    }
+
+    #[test]
+    fn reset_restarts_warmup() {
+        let mut hw = HoltWinters::new(0.3, 0.1, 0.3, 4);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            hw.step(v);
+        }
+        assert!(hw.next_forecast().is_some());
+        hw.reset();
+        assert!(hw.next_forecast().is_none());
+        assert!(hw.step(1.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "seasonal period")]
+    fn rejects_tiny_period() {
+        let _ = HoltWinters::new(0.3, 0.1, 0.3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factors")]
+    fn rejects_bad_gamma() {
+        let _ = HoltWinters::new(0.3, 0.1, 1.5, 24);
+    }
+}

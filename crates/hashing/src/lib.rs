@@ -1,0 +1,59 @@
+//! Hashing substrate for HiFIND's sketches.
+//!
+//! Three building blocks:
+//!
+//! * [`PairwiseHasher`] — a seeded multiply-shift universal hash from a
+//!   64-bit key to a power-of-two bucket range. Used by the plain k-ary
+//!   sketch, the verification sketches, and both axes of the 2D sketch.
+//! * [`ModularHash`] — the *modular hashing* of the reversible sketch
+//!   (Schweller et al.): the key is split into `q` 8-bit words, each word is
+//!   hashed independently through a random table to a small chunk of index
+//!   bits, and the bucket index is the concatenation of the chunks. Because
+//!   each word is hashed independently, the mapping can be run backwards
+//!   word-by-word during INFERENCE.
+//! * [`Mangler`] — the bijective *IP mangling* transform applied before
+//!   modular hashing so that structured key spaces (sequential addresses,
+//!   shared prefixes) do not concentrate in a few buckets. It is invertible,
+//!   so inferred keys can be un-mangled back to real addresses/ports.
+//!
+//! All constructions are deterministic from explicit `u64` seeds (via
+//! [`hifind_flow::rng::SplitMix64`]), which makes experiments reproducible
+//! while keeping the seeds secret-capable: an attacker who cannot read the
+//! seeds cannot engineer collisions (paper §3.5).
+//!
+//! # Example
+//!
+//! ```
+//! use hifind_hashing::{BucketHasher, PairwiseHasher};
+//!
+//! let h = PairwiseHasher::from_seed(0xC0FFEE, 1 << 12);
+//! let b = h.bucket(0xDEAD_BEEF);
+//! assert!(b < h.num_buckets());
+//! assert_eq!(b, h.bucket(0xDEAD_BEEF)); // deterministic
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod mangle;
+pub mod modular;
+pub mod pairwise;
+
+pub use bloom::BloomFilter;
+pub use mangle::Mangler;
+pub use modular::{ModularHash, ModularHashError};
+pub use pairwise::PairwiseHasher;
+
+/// A hash from a packed key to a bucket index in `[0, num_buckets)`.
+///
+/// Implemented by [`PairwiseHasher`] and [`ModularHash`]; sketches are
+/// generic over it so the same k-ary machinery serves both plain and
+/// reversible configurations.
+pub trait BucketHasher {
+    /// Maps a packed key to a bucket index.
+    fn bucket(&self, key: u64) -> usize;
+
+    /// Number of buckets (always a power of two).
+    fn num_buckets(&self) -> usize;
+}

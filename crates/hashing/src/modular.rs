@@ -1,0 +1,327 @@
+//! Modular (word-wise) hashing for reversible sketches.
+//!
+//! A reversible sketch must support INFERENCE: given the set of heavy
+//! buckets, recover the keys that were updated into them. A monolithic hash
+//! would force enumerating the whole key space. Modular hashing (Schweller
+//! et al., IMC'04 / Infocom'06) instead splits the `n`-bit key into `q`
+//! words of 8 bits and hashes each word *independently* through a random
+//! table into `r = log2(m)/q` index bits; the bucket index is the
+//! concatenation of the per-word chunks:
+//!
+//! ```text
+//! key  = w_{q-1} | ... | w_1 | w_0          (8 bits each)
+//! idx  = T_{q-1}[w_{q-1}] | ... | T_0[w_0]  (r bits each)
+//! ```
+//!
+//! Inference then works word-by-word: for each word position, only the 256
+//! possible byte values need to be tested against the heavy buckets' index
+//! chunks, and candidates are intersected across the `H` independent stages
+//! (see `hifind_sketch::reversible`).
+
+use crate::BucketHasher;
+use hifind_flow::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from [`ModularHash::new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModularHashError {
+    /// Key width must be a non-zero multiple of 8 and at most 64.
+    BadKeyBits(u32),
+    /// Bucket count must be a power of two.
+    BadBucketCount(usize),
+    /// `log2(num_buckets)` must be divisible by the number of key words so
+    /// every word gets the same number of index bits.
+    IndivisibleIndexBits {
+        /// log2 of the bucket count.
+        index_bits: u32,
+        /// Number of 8-bit key words.
+        words: u32,
+    },
+}
+
+impl fmt::Display for ModularHashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModularHashError::BadKeyBits(b) => {
+                write!(f, "key width {b} is not a multiple of 8 in 8..=64")
+            }
+            ModularHashError::BadBucketCount(m) => {
+                write!(f, "bucket count {m} is not a power of two")
+            }
+            ModularHashError::IndivisibleIndexBits { index_bits, words } => write!(
+                f,
+                "index bits {index_bits} not divisible by {words} key words"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModularHashError {}
+
+/// One stage of modular hashing: per-word random tables plus precomputed
+/// reverse tables for inference.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModularHash {
+    key_bits: u32,
+    words: u32,
+    chunk_bits: u32,
+    num_buckets: usize,
+    /// `tables[j][w]` = index chunk for byte value `w` at word position `j`
+    /// (position 0 = least significant byte).
+    tables: Vec<Vec<u16>>,
+    /// `reverse[j][c]` = all byte values mapping to chunk `c` at position `j`.
+    reverse: Vec<Vec<Vec<u8>>>,
+}
+
+impl ModularHash {
+    /// Creates a modular hash for `key_bits`-wide keys into `num_buckets`
+    /// buckets, with randomness drawn from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModularHashError`] for the validity conditions. The paper's
+    /// configurations — 48-bit keys into 2^12 buckets (6 words × 2 bits) and
+    /// 64-bit keys into 2^16 buckets (8 words × 2 bits) — are both valid.
+    pub fn new(
+        rng: &mut SplitMix64,
+        key_bits: u32,
+        num_buckets: usize,
+    ) -> Result<Self, ModularHashError> {
+        if key_bits == 0 || key_bits > 64 || key_bits % 8 != 0 {
+            return Err(ModularHashError::BadKeyBits(key_bits));
+        }
+        if !num_buckets.is_power_of_two() || num_buckets < 2 {
+            return Err(ModularHashError::BadBucketCount(num_buckets));
+        }
+        let words = key_bits / 8;
+        let index_bits = num_buckets.trailing_zeros();
+        if index_bits % words != 0 {
+            return Err(ModularHashError::IndivisibleIndexBits { index_bits, words });
+        }
+        let chunk_bits = index_bits / words;
+        let chunk_count = 1usize << chunk_bits;
+        let mut tables = Vec::with_capacity(words as usize);
+        let mut reverse = Vec::with_capacity(words as usize);
+        for _ in 0..words {
+            let mut table = Vec::with_capacity(256);
+            let mut rev = vec![Vec::new(); chunk_count];
+            // Balanced random table: each chunk value receives exactly
+            // 256 / 2^chunk_bits byte values (a random balanced function
+            // keeps per-stage bucket loads even and caps the reverse-set
+            // size, which bounds inference work).
+            let mut assignment: Vec<u16> = (0..256u32)
+                .map(|i| (i % chunk_count as u32) as u16)
+                .collect();
+            rng.shuffle(&mut assignment);
+            for (byte, &chunk) in assignment.iter().enumerate() {
+                table.push(chunk);
+                rev[chunk as usize].push(byte as u8);
+            }
+            tables.push(table);
+            reverse.push(rev);
+        }
+        Ok(ModularHash {
+            key_bits,
+            words,
+            chunk_bits,
+            num_buckets,
+            tables,
+            reverse,
+        })
+    }
+
+    /// Key width in bits.
+    pub fn key_bits(&self) -> u32 {
+        self.key_bits
+    }
+
+    /// Number of 8-bit words the key splits into.
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+
+    /// Index bits contributed by each word.
+    pub fn chunk_bits(&self) -> u32 {
+        self.chunk_bits
+    }
+
+    /// The index chunk a byte value maps to at a word position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_pos >= self.words()`.
+    #[inline]
+    pub fn chunk(&self, word_pos: u32, byte: u8) -> u16 {
+        self.tables[word_pos as usize][byte as usize]
+    }
+
+    /// All byte values mapping to `chunk` at `word_pos` — the inference
+    /// primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_pos >= self.words()` or `chunk` exceeds the chunk
+    /// range.
+    #[inline]
+    pub fn bytes_for_chunk(&self, word_pos: u32, chunk: u16) -> &[u8] {
+        &self.reverse[word_pos as usize][chunk as usize]
+    }
+
+    /// Extracts the index chunk for `word_pos` from a full bucket index.
+    #[inline]
+    pub fn index_chunk(&self, bucket: usize, word_pos: u32) -> u16 {
+        ((bucket >> (self.chunk_bits * word_pos)) & ((1 << self.chunk_bits) - 1)) as u16
+    }
+}
+
+impl BucketHasher for ModularHash {
+    #[inline]
+    fn bucket(&self, key: u64) -> usize {
+        debug_assert!(
+            self.key_bits == 64 || key >> self.key_bits == 0,
+            "key wider than configured width"
+        );
+        let mut idx = 0usize;
+        for j in 0..self.words {
+            let byte = ((key >> (8 * j)) & 0xFF) as u8;
+            idx |= (self.tables[j as usize][byte as usize] as usize) << (self.chunk_bits * j);
+        }
+        idx
+    }
+
+    #[inline]
+    fn num_buckets(&self) -> usize {
+        self.num_buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(key_bits: u32, m: usize, seed: u64) -> ModularHash {
+        ModularHash::new(&mut SplitMix64::new(seed), key_bits, m).unwrap()
+    }
+
+    #[test]
+    fn paper_configurations_are_valid() {
+        // 48-bit RS: 2^12 buckets (6 words x 2 bits).
+        let h48 = mk(48, 1 << 12, 1);
+        assert_eq!(h48.words(), 6);
+        assert_eq!(h48.chunk_bits(), 2);
+        // 64-bit RS: 2^16 buckets (8 words x 2 bits).
+        let h64 = mk(64, 1 << 16, 2);
+        assert_eq!(h64.words(), 8);
+        assert_eq!(h64.chunk_bits(), 2);
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let mut rng = SplitMix64::new(0);
+        assert!(matches!(
+            ModularHash::new(&mut rng, 12, 1 << 12),
+            Err(ModularHashError::BadKeyBits(12))
+        ));
+        assert!(matches!(
+            ModularHash::new(&mut rng, 0, 1 << 12),
+            Err(ModularHashError::BadKeyBits(0))
+        ));
+        assert!(matches!(
+            ModularHash::new(&mut rng, 48, 1000),
+            Err(ModularHashError::BadBucketCount(1000))
+        ));
+        // 2^13 bits over 6 words: 13 % 6 != 0.
+        assert!(matches!(
+            ModularHash::new(&mut rng, 48, 1 << 13),
+            Err(ModularHashError::IndivisibleIndexBits { .. })
+        ));
+        // Error messages are non-empty and lowercase-ish.
+        let e = ModularHash::new(&mut rng, 48, 1000).unwrap_err();
+        assert!(e.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn bucket_in_range_and_deterministic() {
+        let h = mk(48, 1 << 12, 7);
+        let h2 = mk(48, 1 << 12, 7);
+        for k in [0u64, 1, (1 << 48) - 1, 0x1234_5678_9ABC] {
+            let b = h.bucket(k);
+            assert!(b < 1 << 12);
+            assert_eq!(b, h2.bucket(k));
+        }
+    }
+
+    #[test]
+    fn index_is_concatenation_of_chunks() {
+        let h = mk(48, 1 << 12, 3);
+        let key = 0x0102_0304_0506u64;
+        let bucket = h.bucket(key);
+        for j in 0..h.words() {
+            let byte = ((key >> (8 * j)) & 0xFF) as u8;
+            assert_eq!(h.index_chunk(bucket, j), h.chunk(j, byte));
+        }
+    }
+
+    #[test]
+    fn reverse_tables_are_exact_preimages() {
+        let h = mk(48, 1 << 12, 4);
+        for j in 0..h.words() {
+            let mut seen = 0usize;
+            for chunk in 0..(1u16 << h.chunk_bits()) {
+                for &b in h.bytes_for_chunk(j, chunk) {
+                    assert_eq!(h.chunk(j, b), chunk);
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen, 256, "every byte value appears exactly once");
+        }
+    }
+
+    #[test]
+    fn tables_are_balanced() {
+        let h = mk(64, 1 << 16, 5);
+        let per_chunk = 256 >> h.chunk_bits();
+        for j in 0..h.words() {
+            for chunk in 0..(1u16 << h.chunk_bits()) {
+                assert_eq!(h.bytes_for_chunk(j, chunk).len(), per_chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn word_locality_affects_only_its_chunk() {
+        // Changing one key byte must change only that word's index chunk.
+        let h = mk(48, 1 << 12, 6);
+        let k1 = 0x0000_0000_0000u64;
+        let k2 = 0x0000_0000_00FFu64; // differs in word 0 only
+        let b1 = h.bucket(k1);
+        let b2 = h.bucket(k2);
+        for j in 1..h.words() {
+            assert_eq!(h.index_chunk(b1, j), h.index_chunk(b2, j));
+        }
+    }
+
+    #[test]
+    fn distribution_over_buckets_is_reasonable() {
+        let h = mk(48, 1 << 12, 8);
+        let mut counts = vec![0u32; 1 << 12];
+        let mut rng = SplitMix64::new(99);
+        let n = 1 << 18;
+        for _ in 0..n {
+            counts[h.bucket(rng.next_u64() & ((1 << 48) - 1))] += 1;
+        }
+        let mean = n as f64 / (1 << 12) as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max < mean * 3.0, "max load {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn small_key_config() {
+        // 16-bit keys (Dport) into 2^12 buckets: 2 words x 6 bits.
+        let h = mk(16, 1 << 12, 9);
+        assert_eq!(h.words(), 2);
+        assert_eq!(h.chunk_bits(), 6);
+        assert!(h.bucket(65535) < 1 << 12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Seeded multiply-shift universal hashing.
+
+use crate::BucketHasher;
+use hifind_flow::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// A 64-bit multiply-shift hash into a power-of-two bucket range.
+///
+/// `h(k) = ((a·k + b) mod 2^64) >> (64 − log2 m)` with odd `a`. This family
+/// is universal for the top bits, which is what the k-ary sketch's accuracy
+/// analysis needs, and it is 2–3 ALU ops per packet — consistent with the
+/// paper's "small number of memory accesses per packet" constraint (the hash
+/// itself touches no memory).
+///
+/// An extra finalizing mix is applied before the multiply so that keys that
+/// differ only in high bits still spread over buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairwiseHasher {
+    a: u64,
+    b: u64,
+    shift: u32,
+    num_buckets: usize,
+}
+
+impl PairwiseHasher {
+    /// Creates a hasher into `num_buckets` buckets using randomness from
+    /// `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_buckets` is not a power of two or is zero.
+    pub fn new(rng: &mut SplitMix64, num_buckets: usize) -> Self {
+        assert!(
+            num_buckets.is_power_of_two(),
+            "bucket count must be a power of two, got {num_buckets}"
+        );
+        let log_m = num_buckets.trailing_zeros();
+        PairwiseHasher {
+            a: rng.next_u64() | 1, // odd
+            b: rng.next_u64(),
+            shift: 64 - log_m,
+            num_buckets,
+        }
+    }
+
+    /// Creates a hasher directly from a seed (convenience over [`Self::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_buckets` is not a power of two.
+    pub fn from_seed(seed: u64, num_buckets: usize) -> Self {
+        PairwiseHasher::new(&mut SplitMix64::new(seed), num_buckets)
+    }
+}
+
+impl BucketHasher for PairwiseHasher {
+    #[inline]
+    fn bucket(&self, key: u64) -> usize {
+        // Pre-mix so low-entropy keys (ports, small counters) spread.
+        let mut k = key;
+        k ^= k >> 33;
+        k = k.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        let h = k.wrapping_mul(self.a).wrapping_add(self.b);
+        if self.shift >= 64 {
+            0
+        } else {
+            (h >> self.shift) as usize
+        }
+    }
+
+    #[inline]
+    fn num_buckets(&self) -> usize {
+        self.num_buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_in_range() {
+        let h = PairwiseHasher::from_seed(1, 1 << 12);
+        for k in 0..10_000u64 {
+            assert!(h.bucket(k) < 1 << 12);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let h1 = PairwiseHasher::from_seed(9, 256);
+        let h2 = PairwiseHasher::from_seed(9, 256);
+        for k in [0u64, 1, u64::MAX, 0x1234_5678] {
+            assert_eq!(h1.bucket(k), h2.bucket(k));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let h1 = PairwiseHasher::from_seed(1, 1 << 16);
+        let h2 = PairwiseHasher::from_seed(2, 1 << 16);
+        let diffs = (0..1000u64).filter(|&k| h1.bucket(k) != h2.bucket(k)).count();
+        assert!(diffs > 900, "only {diffs} of 1000 keys differ");
+    }
+
+    #[test]
+    fn sequential_keys_spread_evenly() {
+        // Sequential IPs are the adversarial-ish structured input; the
+        // pre-mix must spread them.
+        let m = 1 << 10;
+        let h = PairwiseHasher::from_seed(42, m);
+        let mut counts = vec![0u32; m];
+        let n = 100 * m as u64;
+        for k in 0..n {
+            counts[h.bucket(k)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = n as f64 / m as f64;
+        assert!(max < mean * 2.0, "max load {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn single_bucket_degenerate_case() {
+        let h = PairwiseHasher::from_seed(5, 1);
+        assert_eq!(h.bucket(123), 0);
+        assert_eq!(h.num_buckets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = PairwiseHasher::from_seed(1, 1000);
+    }
+}

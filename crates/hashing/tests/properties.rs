@@ -1,0 +1,80 @@
+//! Property-based tests for the hashing substrate.
+
+use hifind_flow::rng::SplitMix64;
+use hifind_hashing::{BloomFilter, BucketHasher, Mangler, ModularHash, PairwiseHasher};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn mangler_round_trips_any_key(seed in any::<u64>(), key in any::<u64>(), bits in 1u32..=64) {
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let m = Mangler::new(&mut SplitMix64::new(seed), bits);
+        let k = key & mask;
+        prop_assert_eq!(m.unmangle(m.mangle(k)), k);
+        prop_assert!(m.mangle(k) <= mask);
+    }
+
+    #[test]
+    fn mangler_is_injective_on_pairs(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        let m = Mangler::new(&mut SplitMix64::new(seed), 48);
+        let mask = (1u64 << 48) - 1;
+        let (a, b) = (a & mask, b & mask);
+        prop_assert_eq!(a == b, m.mangle(a) == m.mangle(b));
+    }
+
+    #[test]
+    fn pairwise_bucket_in_range(seed in any::<u64>(), key in any::<u64>(), log_m in 0u32..20) {
+        let h = PairwiseHasher::from_seed(seed, 1 << log_m);
+        prop_assert!(h.bucket(key) < 1 << log_m);
+    }
+
+    #[test]
+    fn modular_index_is_word_local(seed in any::<u64>(), key in any::<u64>(), word in 0u32..6, byte in any::<u8>()) {
+        // Changing one key byte changes only that word's index chunk.
+        let h = ModularHash::new(&mut SplitMix64::new(seed), 48, 1 << 12).unwrap();
+        let key = key & ((1 << 48) - 1);
+        let mutated = (key & !(0xFFu64 << (8 * word))) | (byte as u64) << (8 * word);
+        let b1 = h.bucket(key);
+        let b2 = h.bucket(mutated);
+        for w in 0..6u32 {
+            if w != word {
+                prop_assert_eq!(h.index_chunk(b1, w), h.index_chunk(b2, w));
+            }
+        }
+    }
+
+    #[test]
+    fn modular_reverse_tables_are_exact(seed in any::<u64>(), byte in any::<u8>(), word in 0u32..6) {
+        let h = ModularHash::new(&mut SplitMix64::new(seed), 48, 1 << 12).unwrap();
+        let chunk = h.chunk(word, byte);
+        prop_assert!(h.bytes_for_chunk(word, chunk).contains(&byte));
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives(seed in any::<u64>(), keys in prop::collection::hash_set(any::<u64>(), 1..200)) {
+        let mut b = BloomFilter::new(1 << 14, 4, seed);
+        for &k in &keys {
+            b.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(b.contains(k));
+        }
+    }
+
+    #[test]
+    fn bloom_union_is_superset(
+        seed in any::<u64>(),
+        left in prop::collection::vec(any::<u64>(), 0..100),
+        right in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut a = BloomFilter::new(1 << 12, 3, seed);
+        let mut b = BloomFilter::new(1 << 12, 3, seed);
+        for &k in &left { a.insert(k); }
+        for &k in &right { b.insert(k); }
+        let mut u = a.clone();
+        u.union(&b);
+        for &k in left.iter().chain(&right) {
+            prop_assert!(u.contains(k));
+        }
+    }
+}

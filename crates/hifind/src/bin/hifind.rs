@@ -1,0 +1,297 @@
+//! `hifind` — command-line front end for the HiFIND IDS.
+//!
+//! ```console
+//! $ hifind generate --preset nu --scale 0.05 --seed 7 --out campus.hfnd
+//! $ hifind info     --trace campus.hfnd
+//! $ hifind detect   --trace campus.hfnd --mitigate
+//! ```
+
+use hifind::mitigate::{plan, MitigationPolicy};
+use hifind::postprocess::correlate_block_scans;
+use hifind::{AlertKind, HiFind, HiFindConfig, Phase};
+use hifind_flow::Trace;
+use hifind_trafficgen::presets;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hifind — DoS-resilient flow-level intrusion detection (ICDCS'06 reproduction)
+
+USAGE:
+    hifind generate --preset <nu|lbl|dos> [--scale F] [--seed N] --out FILE
+    hifind info     --trace FILE
+    hifind detect   --trace FILE [--seed N] [--interval-secs N] [--threshold-per-sec F]
+                    [--phases] [--mitigate]
+
+    Trace files ending in .csv use the human-readable CSV format
+    (ts_ms,src,sport,dst,dport,kind,direction); anything else uses the
+    compact binary .hfnd format.
+
+COMMANDS:
+    generate   synthesize a workload trace (binary .hfnd format)
+    info       print trace statistics
+    detect     run the full three-phase pipeline and print final alerts
+
+OPTIONS:
+    --preset             workload preset: nu (campus mix), lbl (scan-heavy lab),
+                         dos (spoofed smokescreen + real scan)
+    --scale F            workload intensity multiplier (default 0.1)
+    --seed N             deterministic seed (default 2026)
+    --interval-secs N    detection interval (default 60)
+    --threshold-per-sec F  unresponded SYNs per second to alert on (default 1)
+    --phases             also print per-phase alert counts (Table 4 style)
+    --mitigate           print the derived mitigation plan
+";
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let value = argv.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            }
+            i += 1;
+        }
+        Args { flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {raw}")),
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        return Err(USAGE.into());
+    };
+    let args = Args::parse(&argv[1..]);
+    match command.as_str() {
+        "generate" => generate(&args),
+        "info" => info(&args),
+        "detect" => detect(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn load_trace(args: &Args) -> Result<Trace, String> {
+    let path = args.get("trace").ok_or("missing --trace FILE")?;
+    if path.ends_with(".csv") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        hifind_flow::text::parse_csv(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    } else {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Trace::from_bytes(&bytes).map_err(|e| format!("cannot decode {path}: {e}"))
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let preset = args.get("preset").ok_or("missing --preset <nu|lbl|dos>")?;
+    let scale: f64 = args.get_parsed("scale", 0.1)?;
+    let seed: u64 = args.get_parsed("seed", 2026)?;
+    let out = args.get("out").ok_or("missing --out FILE")?;
+    let scenario = match preset {
+        "nu" => presets::nu_like(seed),
+        "lbl" => presets::lbl_like(seed),
+        "dos" => presets::dos_resilience(seed),
+        other => return Err(format!("unknown preset '{other}' (use nu, lbl or dos)")),
+    }
+    .scaled(scale);
+    eprintln!("generating {} at scale {scale}...", scenario.name);
+    let (trace, truth) = scenario.generate();
+    if out.ends_with(".csv") {
+        std::fs::write(out, hifind_flow::text::to_csv(&trace))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+    } else {
+        std::fs::write(out, trace.to_bytes()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
+    println!("{}", trace.stats());
+    println!(
+        "{} attack campaigns, {} benign anomalies; written to {out}",
+        truth.attacks().count(),
+        truth.benign().count()
+    );
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    println!("{}", trace.stats());
+    Ok(())
+}
+
+fn detect(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let seed: u64 = args.get_parsed("seed", 2026)?;
+    let interval_secs: u64 = args.get_parsed("interval-secs", 60)?;
+    let threshold: f64 = args.get_parsed("threshold-per-sec", 1.0)?;
+    let mut cfg = HiFindConfig::paper(seed);
+    cfg.interval_ms = interval_secs.max(1) * 1000;
+    cfg.threshold_per_sec = threshold;
+    cfg.validate()?;
+    let mut ids = HiFind::new(cfg).map_err(|e| e.to_string())?;
+    let log = ids.run_trace(&trace);
+
+    if args.has("phases") {
+        println!("{:<18}{:>6}{:>10}{:>8}", "type", "raw", "after-2D", "final");
+        for kind in [AlertKind::SynFlooding, AlertKind::HScan, AlertKind::VScan] {
+            println!(
+                "{:<18}{:>6}{:>10}{:>8}",
+                kind.to_string(),
+                log.count(Phase::Raw, kind),
+                log.count(Phase::AfterClassification, kind),
+                log.count(Phase::Final, kind),
+            );
+        }
+        println!();
+    }
+
+    if log.final_alerts().is_empty() {
+        println!("no intrusions detected");
+    } else {
+        println!("{} final alerts:", log.final_alerts().len());
+        for alert in log.final_alerts() {
+            println!("  {alert}");
+        }
+        let blocks = correlate_block_scans(log.final_alerts(), 3, 3);
+        for b in &blocks {
+            println!("  {b}");
+        }
+    }
+
+    if args.has("mitigate") {
+        let actions = plan(log.final_alerts(), &MitigationPolicy::default());
+        println!("\nmitigation plan ({} actions):", actions.len());
+        for a in &actions {
+            println!("  {a}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_flags_with_and_without_values() {
+        let a = args(&["--preset", "nu", "--phases", "--scale", "0.5"]);
+        assert_eq!(a.get("preset"), Some("nu"));
+        assert!(a.has("phases"));
+        assert_eq!(a.get_parsed::<f64>("scale", 1.0).unwrap(), 0.5);
+        assert_eq!(a.get_parsed::<u64>("seed", 7).unwrap(), 7); // default
+    }
+
+    #[test]
+    fn flag_followed_by_flag_has_no_value() {
+        let a = args(&["--phases", "--mitigate"]);
+        assert!(a.has("phases"));
+        assert!(a.has("mitigate"));
+        assert_eq!(a.get("phases"), None);
+    }
+
+    #[test]
+    fn invalid_numeric_value_is_an_error() {
+        let a = args(&["--scale", "abc"]);
+        let err = a.get_parsed::<f64>("scale", 1.0).unwrap_err();
+        assert!(err.contains("--scale"));
+    }
+
+    #[test]
+    fn generate_requires_preset_and_out() {
+        assert!(generate(&args(&[])).unwrap_err().contains("--preset"));
+        assert!(generate(&args(&["--preset", "nu"]))
+            .unwrap_err()
+            .contains("--out"));
+        assert!(generate(&args(&["--preset", "bogus", "--out", "/tmp/x"]))
+            .unwrap_err()
+            .contains("unknown preset"));
+    }
+
+    #[test]
+    fn detect_requires_trace() {
+        assert!(detect(&args(&[])).unwrap_err().contains("--trace"));
+        assert!(detect(&args(&["--trace", "/nonexistent/file.hfnd"]))
+            .unwrap_err()
+            .contains("cannot read"));
+    }
+
+    #[test]
+    fn csv_trace_round_trip_through_cli() {
+        let dir = std::env::temp_dir().join(format!("hifind-cli-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("t.csv");
+        let out_str = out.to_str().unwrap();
+        generate(&args(&[
+            "--preset", "dos", "--scale", "0.02", "--seed", "6", "--out", out_str,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.starts_with("ts_ms,src,sport"));
+        info(&args(&["--trace", out_str])).unwrap();
+        detect(&args(&["--trace", out_str])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_info_detect_round_trip() {
+        let dir = std::env::temp_dir().join(format!("hifind-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("t.hfnd");
+        let out_str = out.to_str().unwrap();
+        generate(&args(&[
+            "--preset", "dos", "--scale", "0.03", "--seed", "5", "--out", out_str,
+        ]))
+        .unwrap();
+        info(&args(&["--trace", out_str])).unwrap();
+        detect(&args(&[
+            "--trace", out_str, "--phases", "--mitigate", "--interval-secs", "60",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,293 @@
+//! Alert ↔ ground-truth matching for the experiment harness.
+//!
+//! Maps HiFIND (and baseline) alerts onto
+//! [`hifind_trafficgen::GroundTruth`] records and computes the
+//! detected / false-positive / missed counts the paper's tables report.
+
+use crate::report::{Alert, AlertKind};
+use hifind_trafficgen::{EventClass, GroundTruth, TruthEntry};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Evaluation of one alert kind against ground truth.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindEval {
+    /// Distinct true attacks matched by at least one alert.
+    pub detected: usize,
+    /// Total true attacks of the kind in the ground truth.
+    pub total_true: usize,
+    /// Alerts matching a benign anomaly (classic false positives).
+    pub benign_matches: usize,
+    /// Alerts matching nothing in the ground truth at all.
+    pub unmatched: usize,
+}
+
+impl KindEval {
+    /// Detection rate in `[0, 1]` (1 when there is nothing to detect).
+    pub fn recall(&self) -> f64 {
+        if self.total_true == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.total_true as f64
+        }
+    }
+
+    /// False positives (benign + unmatched alerts).
+    pub fn false_positives(&self) -> usize {
+        self.benign_matches + self.unmatched
+    }
+}
+
+impl fmt::Display for KindEval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} detected, {} FP ({} benign, {} unmatched)",
+            self.detected,
+            self.total_true,
+            self.false_positives(),
+            self.benign_matches,
+            self.unmatched
+        )
+    }
+}
+
+/// Full evaluation summary across alert kinds.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalSummary {
+    /// SYN flooding evaluation.
+    pub flooding: KindEval,
+    /// Horizontal-scan evaluation.
+    pub hscan: KindEval,
+    /// Vertical-scan evaluation.
+    pub vscan: KindEval,
+}
+
+impl fmt::Display for EvalSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SYN flooding: {}", self.flooding)?;
+        writeln!(f, "Hscan:        {}", self.hscan)?;
+        write!(f, "Vscan:        {}", self.vscan)
+    }
+}
+
+/// Whether an alert kind can legitimately match a truth class.
+fn kind_matches_class(kind: AlertKind, class: EventClass) -> bool {
+    match kind {
+        AlertKind::SynFlooding => class.is_flooding(),
+        AlertKind::HScan => matches!(class, EventClass::HScan | EventClass::BlockScan),
+        AlertKind::VScan => matches!(class, EventClass::VScan | EventClass::BlockScan),
+    }
+}
+
+/// Finds the truth entry an alert corresponds to, preferring true attacks
+/// of the matching class, then benign events sharing the identifying
+/// fields.
+pub fn match_alert<'t>(alert: &Alert, truth: &'t GroundTruth) -> Option<&'t TruthEntry> {
+    let mut best: Option<&TruthEntry> = None;
+    for e in truth.iter() {
+        if !e.matches(alert.sip, alert.dip, alert.dport) {
+            continue;
+        }
+        let class_ok = kind_matches_class(alert.kind, e.class);
+        match best {
+            None => best = Some(e),
+            Some(b) => {
+                let b_ok = kind_matches_class(alert.kind, b.class);
+                // Prefer class-consistent attacks over anything else.
+                if (class_ok && e.class.is_attack()) && !(b_ok && b.class.is_attack()) {
+                    best = Some(e);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Evaluates a set of alerts (typically [`crate::AlertLog::final_alerts`])
+/// against the scenario's ground truth.
+pub fn evaluate(alerts: &[Alert], truth: &GroundTruth) -> EvalSummary {
+    let mut summary = EvalSummary::default();
+    let mut matched_truth: HashSet<usize> = HashSet::new();
+
+    for alert in alerts {
+        let eval = match alert.kind {
+            AlertKind::SynFlooding => &mut summary.flooding,
+            AlertKind::HScan => &mut summary.hscan,
+            AlertKind::VScan => &mut summary.vscan,
+        };
+        match match_alert(alert, truth) {
+            Some(e) if e.class.is_attack() && kind_matches_class(alert.kind, e.class) => {
+                // Count each true attack once.
+                let idx = truth
+                    .iter()
+                    .position(|x| std::ptr::eq(x, e))
+                    .expect("entry from this truth");
+                if matched_truth.insert(idx) {
+                    eval.detected += 1;
+                }
+            }
+            Some(_) => eval.benign_matches += 1,
+            None => eval.unmatched += 1,
+        }
+    }
+
+    for e in truth.attacks() {
+        match e.class {
+            c if c.is_flooding() => summary.flooding.total_true += 1,
+            EventClass::HScan => summary.hscan.total_true += 1,
+            EventClass::VScan => summary.vscan.total_true += 1,
+            EventClass::BlockScan => summary.hscan.total_true += 1,
+            _ => {}
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind_flow::Ip4;
+    use hifind_trafficgen::TruthEntry;
+
+    fn truth() -> GroundTruth {
+        let mut gt = GroundTruth::new();
+        gt.push(TruthEntry {
+            class: EventClass::SynFloodSpoofed,
+            sip: None,
+            dip: Some([129, 105, 0, 1].into()),
+            dport: Some(80),
+            start_ms: 0,
+            end_ms: 300_000,
+            label: "flood".into(),
+            packets: 10_000,
+        });
+        gt.push(TruthEntry {
+            class: EventClass::HScan,
+            sip: Some([66, 6, 6, 6].into()),
+            dip: None,
+            dport: Some(445),
+            start_ms: 0,
+            end_ms: 300_000,
+            label: "scan".into(),
+            packets: 3000,
+        });
+        gt.push(TruthEntry {
+            class: EventClass::Congestion,
+            sip: None,
+            dip: Some([129, 105, 0, 2].into()),
+            dport: Some(443),
+            start_ms: 0,
+            end_ms: 60_000,
+            label: "congestion".into(),
+            packets: 200,
+        });
+        gt
+    }
+
+    fn alert(kind: AlertKind, sip: Option<Ip4>, dip: Option<Ip4>, dport: Option<u16>) -> Alert {
+        Alert {
+            kind,
+            sip,
+            dip,
+            dport,
+            interval: 1,
+            magnitude: 100,
+            attacker_identified: sip.is_some(),
+        }
+    }
+
+    #[test]
+    fn true_positive_counted_once() {
+        let gt = truth();
+        let alerts = vec![
+            alert(AlertKind::SynFlooding, None, Some([129, 105, 0, 1].into()), Some(80)),
+            alert(AlertKind::SynFlooding, None, Some([129, 105, 0, 1].into()), Some(80)),
+        ];
+        let s = evaluate(&alerts, &gt);
+        assert_eq!(s.flooding.detected, 1);
+        assert_eq!(s.flooding.total_true, 1);
+        assert_eq!(s.flooding.false_positives(), 0);
+        assert_eq!(s.flooding.recall(), 1.0);
+    }
+
+    #[test]
+    fn benign_match_is_false_positive() {
+        let gt = truth();
+        let alerts = vec![alert(
+            AlertKind::SynFlooding,
+            None,
+            Some([129, 105, 0, 2].into()),
+            Some(443),
+        )];
+        let s = evaluate(&alerts, &gt);
+        assert_eq!(s.flooding.detected, 0);
+        assert_eq!(s.flooding.benign_matches, 1);
+        assert_eq!(s.flooding.false_positives(), 1);
+    }
+
+    #[test]
+    fn unmatched_alert_is_false_positive() {
+        let gt = truth();
+        let alerts = vec![alert(
+            AlertKind::VScan,
+            Some([1, 2, 3, 4].into()),
+            Some([5, 6, 7, 8].into()),
+            None,
+        )];
+        let s = evaluate(&alerts, &gt);
+        assert_eq!(s.vscan.unmatched, 1);
+    }
+
+    #[test]
+    fn scan_detection_matched_by_source_and_port() {
+        let gt = truth();
+        let alerts = vec![alert(
+            AlertKind::HScan,
+            Some([66, 6, 6, 6].into()),
+            None,
+            Some(445),
+        )];
+        let s = evaluate(&alerts, &gt);
+        assert_eq!(s.hscan.detected, 1);
+        assert_eq!(s.hscan.total_true, 1);
+    }
+
+    #[test]
+    fn missed_attacks_lower_recall() {
+        let gt = truth();
+        let s = evaluate(&[], &gt);
+        assert_eq!(s.flooding.detected, 0);
+        assert_eq!(s.flooding.recall(), 0.0);
+        assert_eq!(s.hscan.recall(), 0.0);
+        // No vscans in truth → vacuous recall of 1.
+        assert_eq!(s.vscan.recall(), 1.0);
+    }
+
+    #[test]
+    fn wrong_kind_does_not_steal_match() {
+        // A vscan alert naming the flood victim must not count as
+        // detecting the flood.
+        let gt = truth();
+        let alerts = vec![alert(
+            AlertKind::VScan,
+            Some([7, 7, 7, 7].into()),
+            Some([129, 105, 0, 1].into()),
+            None,
+        )];
+        let s = evaluate(&alerts, &gt);
+        assert_eq!(s.flooding.detected, 0);
+        // It matches the flood entry by dip but with the wrong kind →
+        // counted as a (benign-ish) mismatch FP.
+        assert_eq!(s.vscan.false_positives(), 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = evaluate(&[], &truth());
+        let text = s.to_string();
+        assert!(text.contains("SYN flooding"));
+        assert!(text.contains("0/1 detected"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Memory and access-count models (paper §5.5, Table 9).
+//!
+//! Table 9 compares the fixed sketch memory against what per-flow state
+//! costs under worst-case traffic: 100%-utilized links of all-40-byte SYN
+//! packets, each packet a new flow (a spoofed flood). The analytical
+//! models here regenerate that table for any link speed / interval.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware counter width used by the paper's memory figure (bytes).
+pub const PAPER_COUNTER_BYTES: usize = 4;
+
+/// Worst-case packet size (bytes) for line-rate flow arrival.
+pub const WORST_CASE_PACKET_BYTES: f64 = 40.0;
+
+/// Breakdown of HiFIND's fixed sketch memory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SketchMemoryModel {
+    /// Two 48-bit reversible sketches (6 × 2^12 buckets each).
+    pub rs48_bytes: usize,
+    /// One 64-bit reversible sketch (6 × 2^16 buckets).
+    pub rs64_bytes: usize,
+    /// Three verification sketches (6 × 2^14 buckets each).
+    pub verifier_bytes: usize,
+    /// The original sketch (6 × 2^14 buckets).
+    pub os_bytes: usize,
+    /// Two 2D sketches (5 × 2^12 × 64 buckets each).
+    pub twod_bytes: usize,
+}
+
+impl SketchMemoryModel {
+    /// The paper's §5.1 configuration with `counter_bytes`-wide counters.
+    pub fn paper(counter_bytes: usize) -> Self {
+        SketchMemoryModel {
+            rs48_bytes: 2 * 6 * (1 << 12) * counter_bytes,
+            rs64_bytes: 6 * (1 << 16) * counter_bytes,
+            verifier_bytes: 3 * 6 * (1 << 14) * counter_bytes,
+            os_bytes: 6 * (1 << 14) * counter_bytes,
+            twod_bytes: 2 * 5 * (1 << 12) * 64 * counter_bytes,
+        }
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.rs48_bytes + self.rs64_bytes + self.verifier_bytes + self.os_bytes + self.twod_bytes
+    }
+
+    /// Total in megabytes (10^6 bytes, as the paper quotes "13.2MB").
+    pub fn total_mb(&self) -> f64 {
+        self.total_bytes() as f64 / 1e6
+    }
+}
+
+/// Worst-case flow arrivals for a link speed and measurement window:
+/// all-40-byte packets at 100% utilization, every packet a distinct flow.
+pub fn worst_case_flows(gbps: f64, seconds: f64) -> f64 {
+    let packets_per_sec = gbps * 1e9 / 8.0 / WORST_CASE_PACKET_BYTES;
+    packets_per_sec * seconds
+}
+
+/// Memory for the "HiFIND with complete information" row of Table 9: the
+/// three per-key exact tables the three reversible sketches replace.
+///
+/// `bytes_per_entry` covers key + counter + hash-table overhead; the paper
+/// implies ~14.7 bytes per entry per table under worst-case traffic
+/// (10.3 GB at 2.5 Gbps × 60 s across three tables).
+pub fn complete_info_bytes(gbps: f64, seconds: f64, bytes_per_entry: f64) -> f64 {
+    3.0 * worst_case_flows(gbps, seconds) * bytes_per_entry
+}
+
+/// Memory for the TRW row of Table 9: per-source connection state.
+///
+/// The paper's 5.63 GB at 2.5 Gbps × 60 s corresponds to ~12 bytes per
+/// worst-case flow (source entry + connection record amortized).
+pub fn trw_bytes(gbps: f64, seconds: f64, bytes_per_flow: f64) -> f64 {
+    worst_case_flows(gbps, seconds) * bytes_per_flow
+}
+
+/// Per-packet counter memory accesses (§5.5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessModel {
+    /// Accesses for one 48-bit reversible sketch update (paper: 15 with
+    /// its hardware layout; software: stages + verifier stages).
+    pub rs48: usize,
+    /// Accesses for one 64-bit reversible sketch update (paper: 16).
+    pub rs64: usize,
+    /// Accesses for one 2D sketch update (paper: 5).
+    pub twod: usize,
+}
+
+impl AccessModel {
+    /// The paper's reported hardware numbers.
+    pub fn paper_hardware() -> Self {
+        AccessModel {
+            rs48: 15,
+            rs64: 16,
+            twod: 5,
+        }
+    }
+
+    /// This implementation's software numbers (6 sketch stages + 6
+    /// verifier stages; 5 matrices for the 2D sketch).
+    pub fn this_implementation() -> Self {
+        AccessModel {
+            rs48: 12,
+            rs64: 12,
+            twod: 5,
+        }
+    }
+
+    /// Total accesses for the full recorder (3 reversible + OS + two 2D),
+    /// assuming the OS costs one access per stage (6).
+    pub fn recorder_total(&self) -> usize {
+        2 * self.rs48 + self.rs64 + 6 + 2 * self.twod
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_memory_is_about_13mb() {
+        let m = SketchMemoryModel::paper(PAPER_COUNTER_BYTES);
+        let mb = m.total_mb();
+        assert!(
+            (12.0..15.0).contains(&mb),
+            "expected ~13.2 MB, modelled {mb:.1} MB"
+        );
+    }
+
+    #[test]
+    fn memory_is_independent_of_link_speed() {
+        // The point of Table 9: the sketch row does not change with Gbps.
+        let m = SketchMemoryModel::paper(PAPER_COUNTER_BYTES);
+        assert_eq!(m.total_bytes(), m.total_bytes());
+        let flows_2_5 = worst_case_flows(2.5, 60.0);
+        let flows_10 = worst_case_flows(10.0, 60.0);
+        assert!(flows_10 > 3.9 * flows_2_5);
+    }
+
+    #[test]
+    fn worst_case_flow_arithmetic() {
+        // 2.5 Gbps / 8 / 40 B = 7.8125 Mpps; × 60 s = 468.75 M flows.
+        let flows = worst_case_flows(2.5, 60.0);
+        assert!((flows - 468.75e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn complete_info_matches_paper_order_of_magnitude() {
+        // Paper: 10.3 GB at 2.5 Gbps, 1 min.
+        let bytes = complete_info_bytes(2.5, 60.0, 7.33);
+        let gb = bytes / 1e9;
+        assert!((9.0..12.0).contains(&gb), "modelled {gb:.1} GB");
+        // Paper: 206 GB at 10 Gbps, 5 min.
+        let gb5 = complete_info_bytes(10.0, 300.0, 7.33) / 1e9;
+        assert!((190.0..220.0).contains(&gb5), "modelled {gb5:.1} GB");
+    }
+
+    #[test]
+    fn trw_matches_paper_order_of_magnitude() {
+        // Paper: 5.63 GB at 2.5 Gbps, 1 min.
+        let gb = trw_bytes(2.5, 60.0, 12.0) / 1e9;
+        assert!((5.0..6.5).contains(&gb), "modelled {gb:.1} GB");
+        // Paper: 112.5 GB at 10 Gbps, 5 min.
+        let gb5 = trw_bytes(10.0, 300.0, 12.0) / 1e9;
+        assert!((105.0..120.0).contains(&gb5), "modelled {gb5:.1} GB");
+    }
+
+    #[test]
+    fn access_models() {
+        let hw = AccessModel::paper_hardware();
+        assert_eq!(hw.rs48, 15);
+        assert_eq!(hw.twod, 5);
+        let sw = AccessModel::this_implementation();
+        assert_eq!(sw.recorder_total(), 2 * 12 + 12 + 6 + 10);
+        // Either way: a constant few dozen accesses per packet.
+        assert!(hw.recorder_total() < 100);
+    }
+}

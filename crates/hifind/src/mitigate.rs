@@ -1,0 +1,224 @@
+//! Attack mitigation: turning alerts into enforcement actions.
+//!
+//! The paper's third requirement (§1) is *attack root cause analysis for
+//! mitigation*: because the reversible sketches name the culprit flow keys
+//! and the 2D sketches name the attack type, each alert maps directly to a
+//! concrete countermeasure — and to a *different* one per attack type,
+//! which is why distinguishing flooding from scans matters:
+//!
+//! | Attack | Action |
+//! |--------|--------|
+//! | spoofed SYN flooding | deploy a SYN proxy/cookie in front of the victim service |
+//! | non-spoofed SYN flooding | block the attacker address at the border |
+//! | horizontal scan | block the scanner address (it probes many hosts) |
+//! | vertical scan | block the scanner address and watch the probed host |
+//!
+//! This module derives those actions from an [`Alert`] stream, deduplicates
+//! them, and renders them in a firewall-ish textual form for operators.
+
+use crate::report::{Alert, AlertKind};
+use hifind_flow::Ip4;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A concrete mitigation action derived from one or more alerts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Action {
+    /// Drop all traffic from this source at the border.
+    BlockSource(Ip4),
+    /// Answer SYNs for this service from a SYN proxy (cookies) until the
+    /// flood subsides.
+    SynProxy {
+        /// Protected service address.
+        dip: Ip4,
+        /// Protected service port.
+        dport: u16,
+    },
+    /// Rate-limit new connections to this service (fallback when the
+    /// flooding source is unknown and a proxy is unavailable).
+    RateLimit {
+        /// Throttled service address.
+        dip: Ip4,
+        /// Throttled service port.
+        dport: u16,
+        /// Permitted new connections per second.
+        per_sec: u32,
+    },
+    /// Flag a host for compromise review (it was vertically scanned; a
+    /// follow-up intrusion may use discovered ports).
+    WatchHost(Ip4),
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::BlockSource(s) => write!(f, "deny from {s} any"),
+            Action::SynProxy { dip, dport } => {
+                write!(f, "syn-proxy protect {dip} port {dport}")
+            }
+            Action::RateLimit { dip, dport, per_sec } => {
+                write!(f, "rate-limit to {dip} port {dport} {per_sec}/s")
+            }
+            Action::WatchHost(h) => write!(f, "audit host {h}"),
+        }
+    }
+}
+
+/// Mitigation policy knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MitigationPolicy {
+    /// New-connection budget used for [`Action::RateLimit`] fallbacks.
+    pub rate_limit_per_sec: u32,
+    /// Whether vertically scanned hosts get an audit action.
+    pub audit_scanned_hosts: bool,
+}
+
+impl Default for MitigationPolicy {
+    fn default() -> Self {
+        MitigationPolicy {
+            rate_limit_per_sec: 100,
+            audit_scanned_hosts: true,
+        }
+    }
+}
+
+/// Derives the deduplicated action set for a batch of (final-phase)
+/// alerts.
+///
+/// Actions are returned sorted (stable output for diffing / tests).
+pub fn plan(alerts: &[Alert], policy: &MitigationPolicy) -> Vec<Action> {
+    let mut actions: BTreeSet<Action> = BTreeSet::new();
+    for alert in alerts {
+        match alert.kind {
+            AlertKind::SynFlooding => {
+                if let (true, Some(sip)) = (alert.attacker_identified, alert.sip) {
+                    // Non-spoofed: cut the attacker off.
+                    actions.insert(Action::BlockSource(sip));
+                } else if let (Some(dip), Some(dport)) = (alert.dip, alert.dport) {
+                    // Spoofed: blocking sources is useless; shield the
+                    // victim instead.
+                    actions.insert(Action::SynProxy { dip, dport });
+                    actions.insert(Action::RateLimit {
+                        dip,
+                        dport,
+                        per_sec: policy.rate_limit_per_sec,
+                    });
+                }
+            }
+            AlertKind::HScan => {
+                if let Some(sip) = alert.sip {
+                    actions.insert(Action::BlockSource(sip));
+                }
+            }
+            AlertKind::VScan => {
+                if let Some(sip) = alert.sip {
+                    actions.insert(Action::BlockSource(sip));
+                }
+                if policy.audit_scanned_hosts {
+                    if let Some(dip) = alert.dip {
+                        actions.insert(Action::WatchHost(dip));
+                    }
+                }
+            }
+        }
+    }
+    actions.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(kind: AlertKind, sip: Option<[u8; 4]>, dip: Option<[u8; 4]>, dport: Option<u16>, identified: bool) -> Alert {
+        Alert {
+            kind,
+            sip: sip.map(Ip4::from),
+            dip: dip.map(Ip4::from),
+            dport,
+            interval: 1,
+            magnitude: 100,
+            attacker_identified: identified,
+        }
+    }
+
+    #[test]
+    fn spoofed_flood_gets_proxy_not_block() {
+        let alerts = [alert(
+            AlertKind::SynFlooding,
+            None,
+            Some([129, 105, 0, 1]),
+            Some(80),
+            false,
+        )];
+        let actions = plan(&alerts, &MitigationPolicy::default());
+        assert!(actions.contains(&Action::SynProxy {
+            dip: [129, 105, 0, 1].into(),
+            dport: 80
+        }));
+        assert!(
+            !actions.iter().any(|a| matches!(a, Action::BlockSource(_))),
+            "there is no source to block in a spoofed flood"
+        );
+    }
+
+    #[test]
+    fn direct_flood_blocks_attacker() {
+        let alerts = [alert(
+            AlertKind::SynFlooding,
+            Some([66, 6, 6, 6]),
+            Some([129, 105, 0, 1]),
+            Some(80),
+            true,
+        )];
+        let actions = plan(&alerts, &MitigationPolicy::default());
+        assert_eq!(actions, vec![Action::BlockSource([66, 6, 6, 6].into())]);
+    }
+
+    #[test]
+    fn scans_block_scanner_and_audit_target() {
+        let alerts = [
+            alert(AlertKind::HScan, Some([7, 7, 7, 7]), None, Some(445), true),
+            alert(AlertKind::VScan, Some([8, 8, 8, 8]), Some([129, 105, 0, 9]), None, true),
+        ];
+        let actions = plan(&alerts, &MitigationPolicy::default());
+        assert!(actions.contains(&Action::BlockSource([7, 7, 7, 7].into())));
+        assert!(actions.contains(&Action::BlockSource([8, 8, 8, 8].into())));
+        assert!(actions.contains(&Action::WatchHost([129, 105, 0, 9].into())));
+        // Audit disabled by policy.
+        let no_audit = plan(
+            &alerts,
+            &MitigationPolicy {
+                audit_scanned_hosts: false,
+                ..MitigationPolicy::default()
+            },
+        );
+        assert!(!no_audit.iter().any(|a| matches!(a, Action::WatchHost(_))));
+    }
+
+    #[test]
+    fn actions_are_deduplicated_and_sorted() {
+        let alerts = [
+            alert(AlertKind::HScan, Some([7, 7, 7, 7]), None, Some(445), true),
+            alert(AlertKind::HScan, Some([7, 7, 7, 7]), None, Some(139), true),
+        ];
+        let actions = plan(&alerts, &MitigationPolicy::default());
+        assert_eq!(actions.len(), 1);
+        let twice = plan(&alerts, &MitigationPolicy::default());
+        assert_eq!(actions, twice);
+    }
+
+    #[test]
+    fn display_is_firewall_like() {
+        assert_eq!(
+            Action::BlockSource([1, 2, 3, 4].into()).to_string(),
+            "deny from 1.2.3.4 any"
+        );
+        assert!(Action::SynProxy {
+            dip: [5, 6, 7, 8].into(),
+            dport: 443
+        }
+        .to_string()
+        .contains("port 443"));
+    }
+}

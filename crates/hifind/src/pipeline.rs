@@ -1,0 +1,419 @@
+//! The assembled HiFIND system (paper Figure 2).
+
+use crate::classify::{classify, ClassifiedDetections};
+use crate::config::HiFindConfig;
+use crate::detector::{Detector, ErrorGrids};
+use crate::fp_filter::FloodFpFilter;
+use crate::recorder::{IntervalSnapshot, SketchRecorder};
+use crate::report::{Alert, AlertLog, Phase};
+use hifind_flow::Trace;
+use hifind_forecast::{GridEwma, GridForecaster};
+use hifind_sketch::SketchError;
+
+/// The interval-level detection engine: forecasting + three-step detection
+/// + 2D classification + flooding heuristics, fed one
+/// [`IntervalSnapshot`] per interval.
+///
+/// [`HiFind`] wraps it with a recorder for the single-router case;
+/// [`crate::HiFindAggregator`] feeds it combined snapshots from many
+/// routers.
+#[derive(Clone, Debug)]
+pub struct DetectionCore {
+    detector: Detector,
+    forecasters: [GridEwma; 6],
+    flood_filter: FloodFpFilter,
+    log: AlertLog,
+    interval: u64,
+}
+
+/// What one interval produced at each phase.
+#[derive(Clone, Debug, Default)]
+pub struct IntervalOutcome {
+    /// Interval index.
+    pub interval: u64,
+    /// Phase-1 raw alerts.
+    pub raw: Vec<Alert>,
+    /// Phase-2 survivors (scan FPs removed).
+    pub classified: Vec<Alert>,
+    /// Phase-3 final alerts.
+    pub fin: Vec<Alert>,
+    /// Scan candidates phase 2 reclassified as flooding-like.
+    pub reclassified: Vec<Alert>,
+}
+
+impl DetectionCore {
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the sketch constructors, and
+    /// rejects configurations failing [`HiFindConfig::validate`].
+    pub fn new(cfg: HiFindConfig) -> Result<Self, SketchError> {
+        cfg.validate().map_err(SketchError::BadConfig)?;
+        let alpha = cfg.ewma_alpha;
+        Ok(DetectionCore {
+            detector: Detector::new(&cfg)?,
+            forecasters: std::array::from_fn(|_| GridEwma::new(alpha)),
+            flood_filter: FloodFpFilter::new(),
+            log: AlertLog::new(),
+            interval: 0,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HiFindConfig {
+        self.detector.config()
+    }
+
+    /// Processes one interval's snapshot through all phases.
+    pub fn process_snapshot(&mut self, snapshot: &IntervalSnapshot) -> IntervalOutcome {
+        let interval = self.interval;
+        self.interval += 1;
+        let errors = [
+            self.forecasters[0].step(&snapshot.rs_sip_dport),
+            self.forecasters[1].step(&snapshot.rs_sip_dport_verifier),
+            self.forecasters[2].step(&snapshot.rs_dip_dport),
+            self.forecasters[3].step(&snapshot.rs_dip_dport_verifier),
+            self.forecasters[4].step(&snapshot.rs_sip_dip),
+            self.forecasters[5].step(&snapshot.rs_sip_dip_verifier),
+        ];
+        if errors.iter().any(Option::is_none) {
+            // Warm-up interval: no forecast yet (paper eq. 1, t = 1).
+            return IntervalOutcome {
+                interval,
+                ..IntervalOutcome::default()
+            };
+        }
+        let mut it = errors.into_iter().map(Option::unwrap);
+        let grids = ErrorGrids {
+            rs_sip_dport: it.next().expect("six error grids"),
+            rs_sip_dport_verifier: it.next().expect("six error grids"),
+            rs_dip_dport: it.next().expect("six error grids"),
+            rs_dip_dport_verifier: it.next().expect("six error grids"),
+            rs_sip_dip: it.next().expect("six error grids"),
+            rs_sip_dip_verifier: it.next().expect("six error grids"),
+        };
+
+        // Phase 1: raw three-step detection.
+        let raw = self.detector.detect(interval, &grids);
+        for a in raw.all() {
+            self.log.record(Phase::Raw, *a);
+        }
+
+        // Phase 2: 2D-sketch classification.
+        let classified: ClassifiedDetections = classify(&self.detector, snapshot, &raw);
+        for a in classified
+            .floodings
+            .iter()
+            .chain(&classified.vscans)
+            .chain(&classified.hscans)
+        {
+            self.log.record(Phase::AfterClassification, *a);
+        }
+
+        // Phase 3: flooding heuristics; scans pass through.
+        let filtered =
+            self.flood_filter
+                .filter(&self.detector, snapshot, interval, &classified.floodings);
+        let mut fin = filtered.confirmed.clone();
+        fin.extend(classified.vscans.iter().copied());
+        fin.extend(classified.hscans.iter().copied());
+        for a in &fin {
+            self.log.record(Phase::Final, *a);
+        }
+
+        IntervalOutcome {
+            interval,
+            raw: raw.all().copied().collect(),
+            classified: classified
+                .floodings
+                .iter()
+                .chain(&classified.vscans)
+                .chain(&classified.hscans)
+                .copied()
+                .collect(),
+            fin,
+            reclassified: classified.reclassified,
+        }
+    }
+
+    /// The deduplicated alert log across all processed intervals.
+    pub fn log(&self) -> &AlertLog {
+        &self.log
+    }
+
+    /// Intervals processed so far.
+    pub fn intervals_processed(&self) -> u64 {
+        self.interval
+    }
+}
+
+/// The complete single-router HiFIND system: recorder + detection engine.
+///
+/// See the [crate-level example](crate) for usage; the data-plane
+/// operation is [`HiFind::record`], and [`HiFind::end_interval`] runs the
+/// background detection once per interval. For live streams where the
+/// caller does not want to manage interval boundaries,
+/// [`HiFind::record_streaming`] rolls intervals over automatically from
+/// packet timestamps.
+#[derive(Clone, Debug)]
+pub struct HiFind {
+    recorder: SketchRecorder,
+    core: DetectionCore,
+    /// Start of the current streaming interval (None until first packet).
+    stream_window_start: Option<u64>,
+}
+
+impl HiFind {
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn new(cfg: HiFindConfig) -> Result<Self, SketchError> {
+        Ok(HiFind {
+            recorder: SketchRecorder::new(&cfg)?,
+            core: DetectionCore::new(cfg)?,
+            stream_window_start: None,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HiFindConfig {
+        self.core.config()
+    }
+
+    /// Records one packet (the per-packet hot path).
+    #[inline]
+    pub fn record(&mut self, packet: &hifind_flow::Packet) {
+        self.recorder.record(packet);
+    }
+
+    /// Ends the current interval: snapshots the sketches and runs the
+    /// detection pipeline.
+    pub fn end_interval(&mut self) -> IntervalOutcome {
+        let snapshot = self.recorder.take_snapshot();
+        self.core.process_snapshot(&snapshot)
+    }
+
+    /// Records a packet in *streaming mode*: interval boundaries are
+    /// derived from packet timestamps (`config.interval_ms`-wide windows
+    /// aligned to the first packet's window). When a packet's timestamp
+    /// crosses into a new window, all elapsed intervals are closed first
+    /// (including empty ones, so the forecaster ticks uniformly) and their
+    /// outcomes returned.
+    ///
+    /// Packets must arrive in non-decreasing timestamp order; late packets
+    /// are counted into the *current* interval rather than dropped.
+    pub fn record_streaming(&mut self, packet: &hifind_flow::Packet) -> Vec<IntervalOutcome> {
+        let width = self.core.config().interval_ms;
+        let window = packet.ts_ms / width;
+        let mut outcomes = Vec::new();
+        match self.stream_window_start {
+            None => self.stream_window_start = Some(window),
+            Some(current) if window > current => {
+                for _ in current..window {
+                    outcomes.push(self.end_interval());
+                }
+                self.stream_window_start = Some(window);
+            }
+            Some(_) => {}
+        }
+        self.recorder.record(packet);
+        outcomes
+    }
+
+    /// Flushes the in-progress streaming interval (call at end of stream).
+    pub fn finish_stream(&mut self) -> Option<IntervalOutcome> {
+        self.stream_window_start.take().map(|_| self.end_interval())
+    }
+
+    /// Convenience: replays a whole trace with the configured interval
+    /// width and returns the final alert log.
+    pub fn run_trace(&mut self, trace: &Trace) -> AlertLog {
+        let interval_ms = self.core.config().interval_ms;
+        for window in trace.intervals(interval_ms) {
+            for p in window.packets {
+                self.record(p);
+            }
+            self.end_interval();
+        }
+        self.core.log().clone()
+    }
+
+    /// The deduplicated alert log.
+    pub fn log(&self) -> &AlertLog {
+        self.core.log()
+    }
+
+    /// Borrows the recorder (memory accounting, snapshots).
+    pub fn recorder(&self) -> &SketchRecorder {
+        &self.recorder
+    }
+
+    /// Intervals processed so far.
+    pub fn intervals_processed(&self) -> u64 {
+        self.core.intervals_processed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::AlertKind;
+    use hifind_flow::{Ip4, Packet};
+
+    fn cfg() -> HiFindConfig {
+        HiFindConfig::small(40)
+    }
+
+    /// Builds a trace where a service is alive in interval 0, then flooded
+    /// in intervals 1..4, with background handshakes throughout.
+    fn flood_trace(interval_ms: u64) -> (Trace, Ip4) {
+        let victim: Ip4 = [129, 105, 0, 1].into();
+        let mut t = Trace::new();
+        for iv in 0..5u64 {
+            let base = iv * interval_ms;
+            for i in 0..25u32 {
+                let c: Ip4 = [9, 9, 9, (i % 100) as u8].into();
+                t.push(Packet::syn(base + i as u64 * 7, c, 4000 + i as u16, victim, 80));
+                t.push(Packet::syn_ack(base + i as u64 * 7 + 1, c, 4000 + i as u16, victim, 80));
+            }
+            if iv >= 1 {
+                for i in 0..300u32 {
+                    t.push(Packet::syn(
+                        base + 100 + i as u64,
+                        Ip4::new(0x5000_0000 + (iv as u32) << 20 | i),
+                        2000,
+                        victim,
+                        80,
+                    ));
+                }
+            }
+        }
+        t.sort_by_time();
+        (t, victim)
+    }
+
+    #[test]
+    fn end_to_end_flood_detection() {
+        let config = cfg();
+        let (trace, victim) = flood_trace(config.interval_ms);
+        let mut ids = HiFind::new(config).unwrap();
+        let log = ids.run_trace(&trace);
+        let finals = log.final_alerts();
+        assert!(
+            finals
+                .iter()
+                .any(|a| a.kind == AlertKind::SynFlooding && a.dip == Some(victim)),
+            "final alerts: {finals:?}"
+        );
+        assert!(ids.intervals_processed() >= 5);
+    }
+
+    #[test]
+    fn quiet_trace_raises_nothing() {
+        let config = cfg();
+        let mut t = Trace::new();
+        for iv in 0..4u64 {
+            for i in 0..40u32 {
+                let c: Ip4 = [9, 9, (i % 3) as u8, (i % 100) as u8].into();
+                let s: Ip4 = [129, 105, 0, (i % 5) as u8].into();
+                let ts = iv * config.interval_ms + i as u64 * 11;
+                t.push(Packet::syn(ts, c, 4000 + i as u16, s, 80));
+                t.push(Packet::syn_ack(ts + 1, c, 4000 + i as u16, s, 80));
+            }
+        }
+        t.sort_by_time();
+        let mut ids = HiFind::new(config).unwrap();
+        let log = ids.run_trace(&t);
+        assert!(log.final_alerts().is_empty(), "{:?}", log.final_alerts());
+        assert!(log.alerts(Phase::Raw).is_empty());
+    }
+
+    #[test]
+    fn first_interval_is_warmup() {
+        let config = cfg();
+        let mut ids = HiFind::new(config).unwrap();
+        // Even a blatant flood in interval 0 cannot alert (no forecast).
+        for i in 0..500u32 {
+            ids.record(&Packet::syn(
+                i as u64,
+                Ip4::new(0x5000_0000 + i),
+                2000,
+                [129, 105, 0, 1].into(),
+                80,
+            ));
+        }
+        let outcome = ids.end_interval();
+        assert!(outcome.raw.is_empty());
+        assert_eq!(outcome.interval, 0);
+    }
+
+    #[test]
+    fn phase_counts_are_monotone_decreasing_for_floodings() {
+        let config = cfg();
+        let (trace, _) = flood_trace(config.interval_ms);
+        let mut ids = HiFind::new(config).unwrap();
+        let log = ids.run_trace(&trace);
+        let raw = log.count(Phase::Raw, AlertKind::SynFlooding);
+        let classified = log.count(Phase::AfterClassification, AlertKind::SynFlooding);
+        let fin = log.count(Phase::Final, AlertKind::SynFlooding);
+        assert!(raw >= classified);
+        assert!(classified >= fin);
+        assert!(fin >= 1);
+    }
+
+    #[test]
+    fn streaming_mode_matches_batch_mode() {
+        let config = cfg();
+        let (trace, _) = flood_trace(config.interval_ms);
+
+        let mut batch = HiFind::new(config).unwrap();
+        let batch_log = batch.run_trace(&trace);
+
+        let mut stream = HiFind::new(config).unwrap();
+        for p in trace.iter() {
+            stream.record_streaming(p);
+        }
+        stream.finish_stream();
+
+        assert_eq!(
+            batch_log.final_alerts(),
+            stream.log().final_alerts(),
+            "streaming and batch interval boundaries must agree"
+        );
+    }
+
+    #[test]
+    fn streaming_closes_empty_gap_intervals() {
+        let config = cfg();
+        let mut ids = HiFind::new(config).unwrap();
+        let p1 = Packet::syn(0, [1, 1, 1, 1].into(), 1, [2, 2, 2, 2].into(), 80);
+        // Next packet three intervals later: two elapsed + the gap close.
+        let p2 = Packet::syn(
+            3 * config.interval_ms + 5,
+            [1, 1, 1, 1].into(),
+            2,
+            [2, 2, 2, 2].into(),
+            80,
+        );
+        assert!(ids.record_streaming(&p1).is_empty());
+        let outcomes = ids.record_streaming(&p2);
+        assert_eq!(outcomes.len(), 3, "intervals 0..3 must all close");
+        assert!(ids.finish_stream().is_some());
+        assert_eq!(ids.intervals_processed(), 4);
+    }
+
+    #[test]
+    fn core_can_be_driven_by_snapshots_directly() {
+        let config = cfg();
+        let mut rec = SketchRecorder::new(&config).unwrap();
+        let mut core = DetectionCore::new(config).unwrap();
+        for _ in 0..3 {
+            let snap = rec.take_snapshot();
+            core.process_snapshot(&snap);
+        }
+        assert_eq!(core.intervals_processed(), 3);
+    }
+}

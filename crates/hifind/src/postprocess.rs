@@ -1,0 +1,237 @@
+//! Alert post-processing: block-scan correlation.
+//!
+//! The paper's threat model (§3.2) includes *block scans* — one source
+//! sweeping many ports across many destinations. The three-step algorithm
+//! reports such behaviour as several horizontal-scan alerts (one per
+//! scanned port) and/or several vertical-scan alerts (one per scanned
+//! host) from the same source. This module correlates final alerts by
+//! source to synthesize block-scan reports, giving operators one incident
+//! instead of a page of related alerts.
+
+use crate::report::{Alert, AlertKind};
+use hifind_flow::Ip4;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A correlated block-scan incident.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockScanReport {
+    /// The scanning source.
+    pub sip: Ip4,
+    /// Ports covered by this source's horizontal-scan alerts.
+    pub ports: Vec<u16>,
+    /// Hosts covered by this source's vertical-scan alerts.
+    pub hosts: Vec<Ip4>,
+    /// Sum of the underlying alerts' magnitudes.
+    pub total_magnitude: i64,
+    /// Earliest interval any constituent alert fired in.
+    pub first_interval: u64,
+}
+
+impl fmt::Display for BlockScanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block scan from {}: {} ports x {} hosts (Δ = {}, first interval {})",
+            self.sip,
+            self.ports.len(),
+            self.hosts.len(),
+            self.total_magnitude,
+            self.first_interval
+        )
+    }
+}
+
+/// Correlates scan alerts by source into block-scan incidents.
+///
+/// A source qualifies when its alerts cover at least `min_ports` distinct
+/// ports **or** at least `min_hosts` distinct vertical-scan targets (a
+/// block scan shows up on both axes, but sketch thresholds may surface
+/// only one).
+///
+/// # Panics
+///
+/// Panics if `min_ports == 0` or `min_hosts == 0` (a block scan needs at
+/// least some extent on an axis).
+pub fn correlate_block_scans(
+    alerts: &[Alert],
+    min_ports: usize,
+    min_hosts: usize,
+) -> Vec<BlockScanReport> {
+    assert!(min_ports > 0, "min_ports must be positive");
+    assert!(min_hosts > 0, "min_hosts must be positive");
+    #[derive(Default)]
+    struct Acc {
+        ports: Vec<u16>,
+        hosts: Vec<Ip4>,
+        magnitude: i64,
+        first_interval: u64,
+    }
+    let mut per_source: BTreeMap<u32, Acc> = BTreeMap::new();
+    for a in alerts {
+        let Some(sip) = a.sip else { continue };
+        match a.kind {
+            AlertKind::HScan => {
+                let acc = per_source.entry(sip.raw()).or_insert_with(|| Acc {
+                    first_interval: a.interval,
+                    ..Acc::default()
+                });
+                if let Some(p) = a.dport {
+                    if !acc.ports.contains(&p) {
+                        acc.ports.push(p);
+                    }
+                }
+                acc.magnitude += a.magnitude;
+                acc.first_interval = acc.first_interval.min(a.interval);
+            }
+            AlertKind::VScan => {
+                let acc = per_source.entry(sip.raw()).or_insert_with(|| Acc {
+                    first_interval: a.interval,
+                    ..Acc::default()
+                });
+                if let Some(d) = a.dip {
+                    if !acc.hosts.contains(&d) {
+                        acc.hosts.push(d);
+                    }
+                }
+                acc.magnitude += a.magnitude;
+                acc.first_interval = acc.first_interval.min(a.interval);
+            }
+            AlertKind::SynFlooding => {}
+        }
+    }
+    let mut out: Vec<BlockScanReport> = per_source
+        .into_iter()
+        .filter(|(_, acc)| acc.ports.len() >= min_ports || acc.hosts.len() >= min_hosts)
+        .map(|(sip, mut acc)| {
+            acc.ports.sort_unstable();
+            acc.hosts.sort();
+            BlockScanReport {
+                sip: Ip4::new(sip),
+                ports: acc.ports,
+                hosts: acc.hosts,
+                total_magnitude: acc.magnitude,
+                first_interval: acc.first_interval,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.total_magnitude.cmp(&a.total_magnitude));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hscan(sip: [u8; 4], dport: u16, interval: u64) -> Alert {
+        Alert {
+            kind: AlertKind::HScan,
+            sip: Some(sip.into()),
+            dip: None,
+            dport: Some(dport),
+            interval,
+            magnitude: 100,
+            attacker_identified: true,
+        }
+    }
+
+    fn vscan(sip: [u8; 4], dip: [u8; 4], interval: u64) -> Alert {
+        Alert {
+            kind: AlertKind::VScan,
+            sip: Some(sip.into()),
+            dip: Some(dip.into()),
+            dport: None,
+            interval,
+            magnitude: 100,
+            attacker_identified: true,
+        }
+    }
+
+    #[test]
+    fn multi_port_source_becomes_block_scan() {
+        let alerts = vec![
+            hscan([6, 6, 6, 6], 135, 2),
+            hscan([6, 6, 6, 6], 139, 1),
+            hscan([6, 6, 6, 6], 445, 3),
+            hscan([7, 7, 7, 7], 22, 1), // single-port scanner: not a block scan
+        ];
+        let reports = correlate_block_scans(&alerts, 3, 3);
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.sip, Ip4::from([6, 6, 6, 6]));
+        assert_eq!(r.ports, vec![135, 139, 445]);
+        assert_eq!(r.first_interval, 1);
+        assert_eq!(r.total_magnitude, 300);
+        assert!(r.to_string().contains("3 ports"));
+    }
+
+    #[test]
+    fn multi_host_vertical_scans_also_qualify() {
+        let alerts = vec![
+            vscan([8, 8, 8, 8], [10, 0, 0, 1], 1),
+            vscan([8, 8, 8, 8], [10, 0, 0, 2], 1),
+            vscan([8, 8, 8, 8], [10, 0, 0, 3], 2),
+        ];
+        let reports = correlate_block_scans(&alerts, 5, 3);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].hosts.len(), 3);
+    }
+
+    #[test]
+    fn mixed_axes_accumulate_per_source() {
+        let alerts = vec![
+            hscan([9, 9, 9, 9], 80, 1),
+            hscan([9, 9, 9, 9], 443, 1),
+            vscan([9, 9, 9, 9], [10, 0, 0, 1], 2),
+        ];
+        // Neither axis alone qualifies at (3, 3)...
+        assert!(correlate_block_scans(&alerts, 3, 3).is_empty());
+        // ...but at (2, _) the port axis does, and both axes are reported.
+        let reports = correlate_block_scans(&alerts, 2, 3);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].ports.len(), 2);
+        assert_eq!(reports[0].hosts.len(), 1);
+    }
+
+    #[test]
+    fn flooding_alerts_are_ignored() {
+        let alerts = vec![Alert {
+            kind: AlertKind::SynFlooding,
+            sip: Some([5, 5, 5, 5].into()),
+            dip: Some([10, 0, 0, 1].into()),
+            dport: Some(80),
+            interval: 0,
+            magnitude: 9999,
+            attacker_identified: true,
+        }];
+        assert!(correlate_block_scans(&alerts, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn sorted_by_magnitude() {
+        let mut alerts = vec![
+            hscan([1, 1, 1, 1], 80, 1),
+            hscan([1, 1, 1, 1], 81, 1),
+        ];
+        alerts.push({
+            let mut a = hscan([2, 2, 2, 2], 90, 1);
+            a.magnitude = 500;
+            a
+        });
+        alerts.push({
+            let mut a = hscan([2, 2, 2, 2], 91, 1);
+            a.magnitude = 500;
+            a
+        });
+        let reports = correlate_block_scans(&alerts, 2, 2);
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].total_magnitude >= reports[1].total_magnitude);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_ports")]
+    fn zero_min_ports_panics() {
+        let _ = correlate_block_scans(&[], 0, 1);
+    }
+}

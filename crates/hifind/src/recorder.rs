@@ -1,0 +1,374 @@
+//! The per-packet data plane: six sketches plus the active-service filter.
+
+use crate::config::HiFindConfig;
+use hifind_flow::keys::{DipDport, SipDip, SipDport, SketchKey};
+use hifind_flow::{Packet, SegmentKind};
+use hifind_hashing::BloomFilter;
+use hifind_sketch::{CounterGrid, KarySketch, ReversibleSketch, SketchError, TwoDSketch};
+use serde::{Deserialize, Serialize};
+
+/// Everything one router records during one detection interval, in
+/// combinable (linear) form.
+///
+/// Snapshots are what routers ship to the aggregation site (§3.1): pure
+/// counter grids plus the active-service Bloom filter — no keys, no
+/// per-flow state. [`IntervalSnapshot::combine_into`] is the paper's
+/// `COMBINE` applied across vantage points.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IntervalSnapshot {
+    /// `{SIP,Dport}` reversible-sketch grid (value `#SYN − #SYN/ACK`).
+    pub rs_sip_dport: CounterGrid,
+    /// Verifier grid for [`IntervalSnapshot::rs_sip_dport`].
+    pub rs_sip_dport_verifier: CounterGrid,
+    /// `{DIP,Dport}` reversible-sketch grid.
+    pub rs_dip_dport: CounterGrid,
+    /// Verifier grid for [`IntervalSnapshot::rs_dip_dport`].
+    pub rs_dip_dport_verifier: CounterGrid,
+    /// `{SIP,DIP}` reversible-sketch grid.
+    pub rs_sip_dip: CounterGrid,
+    /// Verifier grid for [`IntervalSnapshot::rs_sip_dip`].
+    pub rs_sip_dip_verifier: CounterGrid,
+    /// Original-sketch grid (`#SYN` per `{DIP,Dport}`).
+    pub os: CounterGrid,
+    /// 2D grid for `{SIP,Dport} × {DIP}`.
+    pub twod_sipdport_dip: CounterGrid,
+    /// 2D grid for `{SIP,DIP} × {Dport}`.
+    pub twod_sipdip_dport: CounterGrid,
+    /// Cumulative active-service filter (services that ever SYN/ACKed).
+    pub active_services: BloomFilter,
+    /// Total SYNs this interval.
+    pub syn_count: u64,
+    /// Total SYN/ACKs this interval.
+    pub syn_ack_count: u64,
+    /// Total FIN+RST this interval (for the CPM comparison harness).
+    pub fin_rst_count: u64,
+}
+
+impl IntervalSnapshot {
+    /// Adds another router's snapshot into this one (sketch linearity +
+    /// Bloom union).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::CombineMismatch`] if grid shapes differ
+    /// (recorders built from different configurations).
+    pub fn combine_into(&mut self, other: &IntervalSnapshot) -> Result<(), SketchError> {
+        self.rs_sip_dport.add_assign(&other.rs_sip_dport)?;
+        self.rs_sip_dport_verifier
+            .add_assign(&other.rs_sip_dport_verifier)?;
+        self.rs_dip_dport.add_assign(&other.rs_dip_dport)?;
+        self.rs_dip_dport_verifier
+            .add_assign(&other.rs_dip_dport_verifier)?;
+        self.rs_sip_dip.add_assign(&other.rs_sip_dip)?;
+        self.rs_sip_dip_verifier
+            .add_assign(&other.rs_sip_dip_verifier)?;
+        self.os.add_assign(&other.os)?;
+        self.twod_sipdport_dip.add_assign(&other.twod_sipdport_dip)?;
+        self.twod_sipdip_dport.add_assign(&other.twod_sipdip_dport)?;
+        self.active_services.union(&other.active_services);
+        self.syn_count += other.syn_count;
+        self.syn_ack_count += other.syn_ack_count;
+        self.fin_rst_count += other.fin_rst_count;
+        Ok(())
+    }
+
+    /// Serialized size estimate in bytes (what a router ships per
+    /// interval).
+    pub fn wire_size_bytes(&self) -> usize {
+        [
+            &self.rs_sip_dport,
+            &self.rs_sip_dport_verifier,
+            &self.rs_dip_dport,
+            &self.rs_dip_dport_verifier,
+            &self.rs_sip_dip,
+            &self.rs_sip_dip_verifier,
+            &self.os,
+            &self.twod_sipdport_dip,
+            &self.twod_sipdip_dport,
+        ]
+        .iter()
+        .map(|g| g.memory_bytes())
+        .sum::<usize>()
+            + self.active_services.memory_bytes()
+    }
+}
+
+/// The streaming data-recording module of Figure 2.
+///
+/// `record` is the only per-packet operation in HiFIND; everything else
+/// runs once per interval in the background. Per SYN or SYN/ACK it touches
+/// `3 × (6 + 6)` reversible-sketch counters, `6` k-ary counters and
+/// `2 × 5` 2D cells — constant work, independent of the number of flows,
+/// which is the DoS-resilience property (§3.5).
+#[derive(Clone, Debug)]
+pub struct SketchRecorder {
+    rs_sip_dport: ReversibleSketch,
+    rs_dip_dport: ReversibleSketch,
+    rs_sip_dip: ReversibleSketch,
+    os: KarySketch,
+    twod_sipdport_dip: TwoDSketch,
+    twod_sipdip_dport: TwoDSketch,
+    active_services: BloomFilter,
+    syn_count: u64,
+    syn_ack_count: u64,
+    fin_rst_count: u64,
+}
+
+impl SketchRecorder {
+    /// Builds the recorder from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sketch construction errors (invalid stage/bucket
+    /// combinations).
+    pub fn new(cfg: &HiFindConfig) -> Result<Self, SketchError> {
+        Ok(SketchRecorder {
+            rs_sip_dport: ReversibleSketch::new(cfg.rs_sip_dport_config())?,
+            rs_dip_dport: ReversibleSketch::new(cfg.rs_dip_dport_config())?,
+            rs_sip_dip: ReversibleSketch::new(cfg.rs_sip_dip_config())?,
+            os: KarySketch::new(cfg.os)?,
+            twod_sipdport_dip: TwoDSketch::new(cfg.twod_sipdport_dip_config())?,
+            twod_sipdip_dport: TwoDSketch::new(cfg.twod_sipdip_dport_config())?,
+            active_services: BloomFilter::new(cfg.active_service_bloom_bits, 4, cfg.seed ^ 0xB100),
+            syn_count: 0,
+            syn_ack_count: 0,
+            fin_rst_count: 0,
+        })
+    }
+
+    /// Records one packet (the hot path).
+    #[inline]
+    pub fn record(&mut self, packet: &Packet) {
+        let Some(o) = packet.orient() else { return };
+        match o.kind {
+            SegmentKind::Syn | SegmentKind::SynAck => {}
+            SegmentKind::Fin | SegmentKind::Rst => {
+                self.fin_rst_count += 1;
+                return;
+            }
+            SegmentKind::Other => return,
+        }
+        let v = o.syn_minus_synack();
+        let sip_dport = SipDport::new(o.client, o.server_port).to_u64();
+        let dip_dport = DipDport::new(o.server, o.server_port).to_u64();
+        let sip_dip = SipDip::new(o.client, o.server).to_u64();
+        self.rs_sip_dport.update(sip_dport, v);
+        self.rs_dip_dport.update(dip_dport, v);
+        self.rs_sip_dip.update(sip_dip, v);
+        self.twod_sipdport_dip.update(sip_dport, o.server.raw() as u64, v);
+        self.twod_sipdip_dport.update(sip_dip, o.server_port as u64, v);
+        if o.kind == SegmentKind::Syn {
+            self.os.update(dip_dport, 1);
+            self.syn_count += 1;
+        } else {
+            self.active_services.insert(dip_dport);
+            self.syn_ack_count += 1;
+        }
+    }
+
+    /// Ends the interval: returns the snapshot and clears the per-interval
+    /// counters (the active-service filter is cumulative and persists).
+    pub fn take_snapshot(&mut self) -> IntervalSnapshot {
+        let snap = IntervalSnapshot {
+            rs_sip_dport: self.rs_sip_dport.grid().clone(),
+            rs_sip_dport_verifier: self
+                .rs_sip_dport
+                .verifier()
+                .expect("paper config has verifiers")
+                .grid()
+                .clone(),
+            rs_dip_dport: self.rs_dip_dport.grid().clone(),
+            rs_dip_dport_verifier: self
+                .rs_dip_dport
+                .verifier()
+                .expect("paper config has verifiers")
+                .grid()
+                .clone(),
+            rs_sip_dip: self.rs_sip_dip.grid().clone(),
+            rs_sip_dip_verifier: self
+                .rs_sip_dip
+                .verifier()
+                .expect("paper config has verifiers")
+                .grid()
+                .clone(),
+            os: self.os.grid().clone(),
+            twod_sipdport_dip: self.twod_sipdport_dip.grid().clone(),
+            twod_sipdip_dport: self.twod_sipdip_dport.grid().clone(),
+            active_services: self.active_services.clone(),
+            syn_count: self.syn_count,
+            syn_ack_count: self.syn_ack_count,
+            fin_rst_count: self.fin_rst_count,
+        };
+        self.rs_sip_dport.clear();
+        self.rs_dip_dport.clear();
+        self.rs_sip_dip.clear();
+        self.os.clear();
+        self.twod_sipdport_dip.clear();
+        self.twod_sipdip_dport.clear();
+        self.syn_count = 0;
+        self.syn_ack_count = 0;
+        self.fin_rst_count = 0;
+        snap
+    }
+
+    /// Total recording memory in bytes (§5.5.1; the Table 9 model applies
+    /// hardware counter widths to the same bucket counts).
+    pub fn memory_bytes(&self) -> usize {
+        self.rs_sip_dport.memory_bytes()
+            + self.rs_dip_dport.memory_bytes()
+            + self.rs_sip_dip.memory_bytes()
+            + self.os.memory_bytes()
+            + self.twod_sipdport_dip.memory_bytes()
+            + self.twod_sipdip_dport.memory_bytes()
+            + self.active_services.memory_bytes()
+    }
+
+    /// Counter memory accesses per recorded SYN/SYN-ACK (§5.5.2).
+    pub fn accesses_per_packet(&self) -> usize {
+        self.rs_sip_dport.accesses_per_update()
+            + self.rs_dip_dport.accesses_per_update()
+            + self.rs_sip_dip.accesses_per_update()
+            + self.os.accesses_per_update()
+            + self.twod_sipdport_dip.accesses_per_update()
+            + self.twod_sipdip_dport.accesses_per_update()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind_flow::{Ip4, Packet};
+
+    fn cfg() -> HiFindConfig {
+        HiFindConfig::small(5)
+    }
+
+    fn syn(ts: u64) -> Packet {
+        Packet::syn(ts, [1, 2, 3, 4].into(), 999, [129, 105, 0, 1].into(), 80)
+    }
+
+    #[test]
+    fn syn_and_synack_cancel_in_all_value_sketches() {
+        let mut r = SketchRecorder::new(&cfg()).unwrap();
+        let c: Ip4 = [1, 2, 3, 4].into();
+        let s: Ip4 = [129, 105, 0, 1].into();
+        for i in 0..50 {
+            r.record(&Packet::syn(i, c, 999, s, 80));
+            r.record(&Packet::syn_ack(i, c, 999, s, 80));
+        }
+        let snap = r.take_snapshot();
+        assert!(snap.rs_sip_dport.is_zero());
+        assert!(snap.rs_dip_dport.is_zero());
+        assert!(snap.rs_sip_dip.is_zero());
+        assert!(snap.twod_sipdip_dport.is_zero());
+        // The OS records #SYN only, so it is NOT zero.
+        assert!(!snap.os.is_zero());
+        assert_eq!(snap.syn_count, 50);
+        assert_eq!(snap.syn_ack_count, 50);
+    }
+
+    #[test]
+    fn active_services_learns_from_synacks_only() {
+        let mut r = SketchRecorder::new(&cfg()).unwrap();
+        let c: Ip4 = [1, 2, 3, 4].into();
+        let live: Ip4 = [129, 105, 0, 1].into();
+        let dead: Ip4 = [129, 105, 0, 2].into();
+        r.record(&Packet::syn(0, c, 999, live, 80));
+        r.record(&Packet::syn_ack(1, c, 999, live, 80));
+        r.record(&Packet::syn(2, c, 998, dead, 80));
+        let snap = r.take_snapshot();
+        assert!(snap
+            .active_services
+            .contains(DipDport::new(live, 80).to_u64()));
+        assert!(!snap
+            .active_services
+            .contains(DipDport::new(dead, 80).to_u64()));
+    }
+
+    #[test]
+    fn snapshot_clears_interval_state_but_keeps_bloom() {
+        let mut r = SketchRecorder::new(&cfg()).unwrap();
+        let c: Ip4 = [1, 2, 3, 4].into();
+        let s: Ip4 = [129, 105, 0, 1].into();
+        r.record(&Packet::syn(0, c, 999, s, 80));
+        r.record(&Packet::syn_ack(1, c, 999, s, 80));
+        let _ = r.take_snapshot();
+        let snap2 = r.take_snapshot();
+        assert!(snap2.rs_dip_dport.is_zero());
+        assert!(snap2.os.is_zero());
+        assert_eq!(snap2.syn_count, 0);
+        // Bloom is cumulative.
+        assert!(snap2
+            .active_services
+            .contains(DipDport::new(s, 80).to_u64()));
+    }
+
+    #[test]
+    fn fins_and_rsts_do_not_touch_sketches() {
+        let mut r = SketchRecorder::new(&cfg()).unwrap();
+        let c: Ip4 = [1, 2, 3, 4].into();
+        let s: Ip4 = [129, 105, 0, 1].into();
+        r.record(&Packet::fin(0, c, 999, s, 80));
+        r.record(&Packet::rst(1, c, 999, s, 80));
+        let snap = r.take_snapshot();
+        assert!(snap.rs_dip_dport.is_zero());
+        assert!(snap.os.is_zero());
+        assert_eq!(snap.fin_rst_count, 2);
+    }
+
+    #[test]
+    fn combine_equals_single_recorder() {
+        let config = cfg();
+        let mut merged = SketchRecorder::new(&config).unwrap();
+        let mut a = SketchRecorder::new(&config).unwrap();
+        let mut b = SketchRecorder::new(&config).unwrap();
+        for i in 0..500u64 {
+            let p = syn(i);
+            merged.record(&p);
+            if i % 2 == 0 {
+                a.record(&p);
+            } else {
+                b.record(&p);
+            }
+        }
+        let mut sa = a.take_snapshot();
+        let sb = b.take_snapshot();
+        sa.combine_into(&sb).unwrap();
+        let sm = merged.take_snapshot();
+        assert_eq!(sa.rs_dip_dport, sm.rs_dip_dport);
+        assert_eq!(sa.rs_sip_dip, sm.rs_sip_dip);
+        assert_eq!(sa.os, sm.os);
+        assert_eq!(sa.twod_sipdip_dport, sm.twod_sipdip_dport);
+        assert_eq!(sa.syn_count, sm.syn_count);
+    }
+
+    #[test]
+    fn combine_rejects_mismatched_configs() {
+        let mut a = SketchRecorder::new(&HiFindConfig::small(1)).unwrap();
+        let mut big = HiFindConfig::small(1);
+        big.rs48.buckets = 1 << 6;
+        let mut b = SketchRecorder::new(&big).unwrap();
+        let mut sa = a.take_snapshot();
+        let sb = b.take_snapshot();
+        assert!(sa.combine_into(&sb).is_err());
+    }
+
+    #[test]
+    fn memory_and_accesses_are_reported() {
+        let r = SketchRecorder::new(&HiFindConfig::paper(0)).unwrap();
+        // 3 RS × (6 + 6 verifier) + 6 OS + 2 × 5 2D = 52 counter accesses.
+        assert_eq!(r.accesses_per_packet(), 3 * 12 + 6 + 10);
+        assert!(r.memory_bytes() > 1 << 20);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let mut r = SketchRecorder::new(&cfg()).unwrap();
+        r.record(&syn(3));
+        let snap = r.take_snapshot();
+        let json = serde_json::to_vec(&snap).unwrap();
+        let back: IntervalSnapshot = serde_json::from_slice(&json).unwrap();
+        assert_eq!(back, snap);
+        assert!(snap.wire_size_bytes() > 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Alert types and the phased alert log.
+
+use hifind_flow::Ip4;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What kind of intrusion an alert reports.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum AlertKind {
+    /// TCP SYN flooding against `{dip, dport}`.
+    SynFlooding,
+    /// Horizontal scan from `sip` on `dport`.
+    HScan,
+    /// Vertical scan from `sip` against `dip`.
+    VScan,
+}
+
+impl AlertKind {
+    /// Whether the kind is a port scan (horizontal or vertical).
+    pub fn is_scan(self) -> bool {
+        matches!(self, AlertKind::HScan | AlertKind::VScan)
+    }
+}
+
+impl fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AlertKind::SynFlooding => "SYN flooding",
+            AlertKind::HScan => "horizontal scan",
+            AlertKind::VScan => "vertical scan",
+        })
+    }
+}
+
+/// The pipeline phase an alert survived to (paper Table 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Raw three-step sketch detection (§3.3).
+    Raw,
+    /// After 2D-sketch port-scan false-positive reduction (§4).
+    AfterClassification,
+    /// After the SYN-flooding heuristics (§3.4) — the final output.
+    Final,
+}
+
+/// One intrusion alert.
+///
+/// The identifying fields depend on the kind: flooding fills `dip`/`dport`
+/// (and `sip` when a non-spoofed attacker was pinned down), horizontal
+/// scans fill `sip`/`dport`, vertical scans fill `sip`/`dip`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Alert kind.
+    pub kind: AlertKind,
+    /// Attacking source, when known (non-spoofed flooding, scans).
+    pub sip: Option<Ip4>,
+    /// Victim address, when the attack targets one.
+    pub dip: Option<Ip4>,
+    /// Targeted port, when the attack targets one.
+    pub dport: Option<u16>,
+    /// Interval index the alert (first) fired in.
+    pub interval: u64,
+    /// Forecast-error magnitude that triggered the alert.
+    pub magnitude: i64,
+    /// `true` if the flooding attacker's source was identified
+    /// (non-spoofed); meaningless for scans.
+    pub attacker_identified: bool,
+}
+
+impl Alert {
+    /// The alert's deduplication identity: kind + identifying fields
+    /// (repeated alerts for the same attack across intervals collapse, as
+    /// in the paper's evaluation).
+    pub fn identity(&self) -> (AlertKind, Option<u32>, Option<u32>, Option<u16>) {
+        (
+            self.kind,
+            self.sip.map(Ip4::raw),
+            self.dip.map(Ip4::raw),
+            self.dport,
+        )
+    }
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[interval {}] {}", self.interval, self.kind)?;
+        if let Some(s) = self.sip {
+            write!(f, " from {s}")?;
+        }
+        if let Some(d) = self.dip {
+            write!(f, " against {d}")?;
+        }
+        if let Some(p) = self.dport {
+            write!(f, " port {p}")?;
+        }
+        write!(f, " (Δ = {})", self.magnitude)
+    }
+}
+
+/// Accumulates alerts per phase over a run, deduplicating repeats of the
+/// same attack.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AlertLog {
+    raw: Vec<Alert>,
+    after_classification: Vec<Alert>,
+    fin: Vec<Alert>,
+    #[serde(skip)]
+    seen_raw: HashMap<(AlertKind, Option<u32>, Option<u32>, Option<u16>), usize>,
+    #[serde(skip)]
+    seen_classified: HashMap<(AlertKind, Option<u32>, Option<u32>, Option<u16>), usize>,
+    #[serde(skip)]
+    seen_final: HashMap<(AlertKind, Option<u32>, Option<u32>, Option<u16>), usize>,
+}
+
+impl AlertLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        AlertLog::default()
+    }
+
+    /// Records an alert at a phase, deduplicated by [`Alert::identity`]
+    /// (repeated alerts for the same attack collapse, as in the paper's
+    /// evaluation). The stored alert keeps the *first* firing interval and
+    /// the *maximum* observed magnitude — a multi-interval attack's change
+    /// difference is its largest forecast error, not the partial-interval
+    /// onset. Returns `true` if the attack was new for that phase.
+    pub fn record(&mut self, phase: Phase, alert: Alert) -> bool {
+        let id = alert.identity();
+        let (seen, list) = match phase {
+            Phase::Raw => (&mut self.seen_raw, &mut self.raw),
+            Phase::AfterClassification => {
+                (&mut self.seen_classified, &mut self.after_classification)
+            }
+            Phase::Final => (&mut self.seen_final, &mut self.fin),
+        };
+        match seen.entry(id) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(list.len());
+                list.push(alert);
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(o) => {
+                let stored = &mut list[*o.get()];
+                stored.magnitude = stored.magnitude.max(alert.magnitude);
+                stored.attacker_identified |= alert.attacker_identified;
+                if stored.sip.is_none() {
+                    stored.sip = alert.sip;
+                }
+                false
+            }
+        }
+    }
+
+    /// Unique alerts at a phase.
+    pub fn alerts(&self, phase: Phase) -> &[Alert] {
+        match phase {
+            Phase::Raw => &self.raw,
+            Phase::AfterClassification => &self.after_classification,
+            Phase::Final => &self.fin,
+        }
+    }
+
+    /// The final (phase-3) alerts.
+    pub fn final_alerts(&self) -> &[Alert] {
+        &self.fin
+    }
+
+    /// Count of unique alerts of one kind at one phase — a Table 4 cell.
+    pub fn count(&self, phase: Phase, kind: AlertKind) -> usize {
+        self.alerts(phase).iter().filter(|a| a.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flood_alert(interval: u64) -> Alert {
+        Alert {
+            kind: AlertKind::SynFlooding,
+            sip: None,
+            dip: Some([129, 105, 0, 1].into()),
+            dport: Some(80),
+            interval,
+            magnitude: 500,
+            attacker_identified: false,
+        }
+    }
+
+    #[test]
+    fn dedup_across_intervals() {
+        let mut log = AlertLog::new();
+        assert!(log.record(Phase::Raw, flood_alert(1)));
+        let mut repeat = flood_alert(2);
+        repeat.magnitude = 900;
+        assert!(!log.record(Phase::Raw, repeat), "same attack repeats");
+        assert_eq!(log.count(Phase::Raw, AlertKind::SynFlooding), 1);
+        let stored = log.alerts(Phase::Raw)[0];
+        assert_eq!(stored.interval, 1, "first firing kept");
+        assert_eq!(stored.magnitude, 900, "maximum magnitude kept");
+    }
+
+    #[test]
+    fn phases_are_independent() {
+        let mut log = AlertLog::new();
+        log.record(Phase::Raw, flood_alert(1));
+        assert_eq!(log.count(Phase::Final, AlertKind::SynFlooding), 0);
+        log.record(Phase::Final, flood_alert(3));
+        assert_eq!(log.final_alerts().len(), 1);
+    }
+
+    #[test]
+    fn identity_distinguishes_kinds_and_keys() {
+        let a = flood_alert(1);
+        let mut b = a;
+        b.kind = AlertKind::VScan;
+        assert_ne!(a.identity(), b.identity());
+        let mut c = a;
+        c.dport = Some(443);
+        assert_ne!(a.identity(), c.identity());
+        // Magnitude and interval do not affect identity.
+        let mut d = a;
+        d.magnitude = 9;
+        d.interval = 99;
+        assert_eq!(a.identity(), d.identity());
+    }
+
+    #[test]
+    fn kind_predicates_and_display() {
+        assert!(AlertKind::HScan.is_scan());
+        assert!(AlertKind::VScan.is_scan());
+        assert!(!AlertKind::SynFlooding.is_scan());
+        let s = flood_alert(4).to_string();
+        assert!(s.contains("SYN flooding"));
+        assert!(s.contains("129.105.0.1"));
+        assert!(s.contains("port 80"));
+    }
+}

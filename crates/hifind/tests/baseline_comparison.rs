@@ -1,0 +1,140 @@
+//! Integration tests pinning the HiFIND-vs-baseline relationships the
+//! paper's evaluation section claims (Tables 1, 5, 6 and §3.5), at test
+//! scale.
+
+use hifind::{AlertKind, HiFind, HiFindConfig};
+use hifind_baselines::{Cpm, CpmConfig, Trw, TrwAc, TrwAcConfig, TrwConfig};
+use hifind_flow::{Ip4, Packet, Trace};
+use hifind_trafficgen::presets;
+
+fn cfg() -> HiFindConfig {
+    HiFindConfig::paper(0xBA5E)
+}
+
+/// A scan whose probes mostly *succeed* — TRW's sequential test reaches
+/// the benign decision and stops; HiFIND still counts the unanswered rest.
+#[test]
+fn half_successful_scan_hifind_yes_trw_no() {
+    let mut t = Trace::new();
+    let scanner: Ip4 = [66, 1, 1, 1].into();
+    // Background so the interval isn't empty.
+    for iv in 0..4u64 {
+        for i in 0..20u32 {
+            let c: Ip4 = [9, 9, 9, (i % 50) as u8].into();
+            let s: Ip4 = [129, 105, 0, 1].into();
+            let ts = iv * 60_000 + i as u64 * 13;
+            t.push(Packet::syn(ts, c, 4000 + i as u16, s, 80));
+            t.push(Packet::syn_ack(ts + 1, c, 4000 + i as u16, s, 80));
+        }
+    }
+    // The scan: from minute 2, ~200 probes/minute, 60% answered.
+    let mut k = 0u32;
+    for iv in 2..4u64 {
+        for i in 0..200u32 {
+            let dst: Ip4 = [129, 105, (k >> 8) as u8, k as u8].into();
+            let ts = iv * 60_000 + i as u64 * 290;
+            t.push(Packet::syn(ts, scanner, 2000, dst, 80));
+            if k % 5 < 3 {
+                t.push(Packet::syn_ack(ts + 2, scanner, 2000, dst, 80));
+            }
+            k += 1;
+        }
+    }
+    t.sort_by_time();
+
+    let mut ids = HiFind::new(cfg()).unwrap();
+    let log = ids.run_trace(&t);
+    assert!(
+        log.final_alerts()
+            .iter()
+            .any(|a| a.kind == AlertKind::HScan && a.sip == Some(scanner)),
+        "HiFIND must flag the 40%-unanswered scan: {:?}",
+        log.final_alerts()
+    );
+
+    let (trw_alerts, _) = Trw::detect(&t, TrwConfig::default());
+    assert!(
+        !trw_alerts.iter().any(|a| a.source == scanner),
+        "TRW should reach the benign decision on a mostly-successful source"
+    );
+}
+
+/// A slow scan below HiFIND's per-interval threshold — TRW accumulates the
+/// evidence across the trace; HiFIND (per the paper) misses it.
+#[test]
+fn slow_scan_trw_yes_hifind_no() {
+    let mut t = Trace::new();
+    let scanner: Ip4 = [66, 2, 2, 2].into();
+    for iv in 0..10u64 {
+        for i in 0..20u32 {
+            let c: Ip4 = [9, 9, 9, (i % 50) as u8].into();
+            let s: Ip4 = [129, 105, 0, 1].into();
+            let ts = iv * 60_000 + i as u64 * 13;
+            t.push(Packet::syn(ts, c, 4000 + i as u16, s, 80));
+            t.push(Packet::syn_ack(ts + 1, c, 4000 + i as u16, s, 80));
+        }
+        // 10 unanswered probes per minute: far below 60/interval.
+        for i in 0..10u32 {
+            let id = iv as u32 * 10 + i;
+            let dst: Ip4 = [129, 105, (id >> 8) as u8, id as u8].into();
+            t.push(Packet::syn(iv * 60_000 + 500 + i as u64 * 97, scanner, 2000, dst, 23));
+        }
+    }
+    t.sort_by_time();
+
+    let mut ids = HiFind::new(cfg()).unwrap();
+    let log = ids.run_trace(&t);
+    assert!(
+        !log.final_alerts().iter().any(|a| a.sip == Some(scanner)),
+        "10 probes/minute is under HiFIND's threshold by design"
+    );
+
+    let (trw_alerts, _) = Trw::detect(&t, TrwConfig::default());
+    assert!(
+        trw_alerts.iter().any(|a| a.source == scanner),
+        "TRW accumulates evidence across intervals"
+    );
+}
+
+/// CPM flags scan-heavy traffic as flooding; HiFIND does not (Table 6).
+#[test]
+fn cpm_false_alarms_on_scans_hifind_does_not() {
+    let (trace, truth) = presets::lbl_like(7).scaled(0.03).generate();
+    assert_eq!(truth.iter().filter(|e| e.class.is_flooding()).count(), 0);
+
+    let cfg = cfg();
+    let cpm_flagged = Cpm::detect_intervals(&trace, cfg.interval_ms, CpmConfig::default());
+    assert!(
+        !cpm_flagged.is_empty(),
+        "CPM should false-alarm on the scan-heavy trace"
+    );
+
+    let mut ids = HiFind::new(cfg).unwrap();
+    let log = ids.run_trace(&trace);
+    assert!(
+        log.count(hifind::Phase::Final, AlertKind::SynFlooding) <= 1,
+        "HiFIND must not report flooding on the floodless trace"
+    );
+}
+
+/// §3.5: the spoofed flood pollutes TRW-AC's connection cache; HiFIND's
+/// memory and detection are unaffected.
+#[test]
+fn spoofed_flood_pollutes_trw_ac_cache() {
+    let (trace, _) = presets::dos_resilience(8).scaled(0.15).generate();
+    let ac_cfg = TrwAcConfig {
+        conn_cache_entries: 1 << 14,
+        addr_cache_entries: 1 << 12,
+        ..TrwAcConfig::default()
+    };
+    let (_, stats) = TrwAc::detect(&trace, ac_cfg);
+    assert!(
+        stats.cache_occupancy > 0.8,
+        "flood should saturate the cache: {:.2}",
+        stats.cache_occupancy
+    );
+    assert!(
+        stats.aliased_attempts > stats.total_attempts / 4,
+        "a large share of attempts must alias: {stats:?}"
+    );
+}

@@ -1,0 +1,124 @@
+//! Property-based tests over the assembled pipeline.
+
+use hifind::{HiFind, HiFindConfig, SketchRecorder};
+use hifind_flow::rng::SplitMix64;
+use hifind_flow::{Ip4, Packet, Trace};
+use proptest::prelude::*;
+
+/// Builds a small mixed trace from a seed: benign handshakes plus a flood
+/// and a scan with seed-dependent parameters.
+fn arb_trace(seed: u64) -> Trace {
+    let mut rng = SplitMix64::new(seed);
+    let cfg = HiFindConfig::small(0);
+    let mut t = Trace::new();
+    let victim: Ip4 = [129, 105, 0, 1].into();
+    let scanner = Ip4::new(0x4200_0000 | rng.next_u32() & 0xFFFF);
+    for iv in 0..4u64 {
+        let base = iv * cfg.interval_ms;
+        for i in 0..30u32 {
+            let c = Ip4::new(0x0C00_0000 | rng.next_u32() & 0xFFFF);
+            let ts = base + rng.below(cfg.interval_ms);
+            t.push(Packet::syn(ts, c, 4000 + i as u16, victim, 80));
+            t.push(Packet::syn_ack(ts + 1, c, 4000 + i as u16, victim, 80));
+        }
+        if iv >= 2 {
+            for i in 0..(120 + rng.below(120) as u32) {
+                t.push(Packet::syn(
+                    base + rng.below(cfg.interval_ms),
+                    Ip4::new(0x5000_0000 + i),
+                    2000,
+                    victim,
+                    80,
+                ));
+                let dst: Ip4 = [129, 105, (i >> 8) as u8, i as u8].into();
+                t.push(Packet::syn(
+                    base + rng.below(cfg.interval_ms),
+                    scanner,
+                    2100,
+                    dst,
+                    445,
+                ));
+            }
+        }
+    }
+    t.sort_by_time();
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Detection is invariant to packet order *within* an interval: sketch
+    /// updates commute, so shuffling packets inside each window must give
+    /// bit-identical alerts.
+    #[test]
+    fn order_invariance_within_intervals(seed in any::<u64>(), shuffle_seed in any::<u64>()) {
+        let cfg = HiFindConfig::small(7);
+        let trace = arb_trace(seed);
+
+        let mut ordered = HiFind::new(cfg).unwrap();
+        let ordered_log = ordered.run_trace(&trace);
+
+        // Shuffle within each interval, keeping interval membership.
+        let mut rng = SplitMix64::new(shuffle_seed);
+        let mut shuffled = Trace::new();
+        for window in trace.intervals(cfg.interval_ms) {
+            let mut packets: Vec<Packet> = window.packets.to_vec();
+            rng.shuffle(&mut packets);
+            shuffled.extend(packets);
+        }
+        // NOTE: shuffled is not time-ordered inside windows, so drive the
+        // recorder manually with the same window boundaries.
+        let mut manual = HiFind::new(cfg).unwrap();
+        let mut idx = 0usize;
+        for window in trace.intervals(cfg.interval_ms) {
+            for _ in 0..window.packets.len() {
+                manual.record(&shuffled.as_slice()[idx]);
+                idx += 1;
+            }
+            manual.end_interval();
+        }
+        prop_assert_eq!(ordered_log.final_alerts(), manual.log().final_alerts());
+    }
+
+    /// Pipeline determinism: identical trace and config → identical alerts,
+    /// run-to-run.
+    #[test]
+    fn pipeline_is_deterministic(seed in any::<u64>()) {
+        let cfg = HiFindConfig::small(9);
+        let trace = arb_trace(seed);
+        let mut a = HiFind::new(cfg).unwrap();
+        let mut b = HiFind::new(cfg).unwrap();
+        let log_a = a.run_trace(&trace);
+        let log_b = b.run_trace(&trace);
+        prop_assert_eq!(log_a.final_alerts(), log_b.final_alerts());
+    }
+
+    /// Recorder snapshots are additive across arbitrary packet splits: any
+    /// 2-way partition of an interval's packets combines to the unsplit
+    /// snapshot.
+    #[test]
+    fn snapshots_additive_under_any_partition(seed in any::<u64>(), mask in any::<u64>()) {
+        let cfg = HiFindConfig::small(11);
+        let trace = arb_trace(seed);
+        let packets = trace.as_slice();
+        let mut whole = SketchRecorder::new(&cfg).unwrap();
+        let mut left = SketchRecorder::new(&cfg).unwrap();
+        let mut right = SketchRecorder::new(&cfg).unwrap();
+        for (i, p) in packets.iter().enumerate().take(2000) {
+            whole.record(p);
+            if mask >> (i % 64) & 1 == 0 {
+                left.record(p);
+            } else {
+                right.record(p);
+            }
+        }
+        let mut combined = left.take_snapshot();
+        combined.combine_into(&right.take_snapshot()).unwrap();
+        let expected = whole.take_snapshot();
+        prop_assert_eq!(combined.rs_dip_dport, expected.rs_dip_dport);
+        prop_assert_eq!(combined.rs_sip_dip, expected.rs_sip_dip);
+        prop_assert_eq!(combined.os, expected.os);
+        prop_assert_eq!(combined.syn_count, expected.syn_count);
+    }
+}

@@ -1,0 +1,274 @@
+//! The counter storage shared by all sketch variants.
+
+use crate::SketchError;
+use serde::{Deserialize, Serialize};
+
+/// A dense `stages × buckets` grid of signed 64-bit counters with linear
+/// operations.
+///
+/// The grid is the *state* of a sketch; the hash structure lives in the
+/// sketch types. Keeping them separate lets forecasting produce derived
+/// grids (forecasts, forecast errors) that are then interpreted through the
+/// same hash structure for estimation and inference.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterGrid {
+    stages: usize,
+    buckets: usize,
+    /// Row-major: `data[stage * buckets + bucket]`.
+    data: Vec<i64>,
+}
+
+impl CounterGrid {
+    /// Creates a zeroed grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` or `buckets` is zero.
+    pub fn new(stages: usize, buckets: usize) -> Self {
+        assert!(stages > 0, "grid needs at least one stage");
+        assert!(buckets > 0, "grid needs at least one bucket");
+        CounterGrid {
+            stages,
+            buckets,
+            data: vec![0; stages * buckets],
+        }
+    }
+
+    /// Number of hash stages.
+    #[inline]
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Buckets per stage.
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Reads one counter.
+    #[inline]
+    pub fn get(&self, stage: usize, bucket: usize) -> i64 {
+        self.data[stage * self.buckets + bucket]
+    }
+
+    /// Adds `delta` to one counter.
+    #[inline]
+    pub fn add(&mut self, stage: usize, bucket: usize, delta: i64) {
+        self.data[stage * self.buckets + bucket] += delta;
+    }
+
+    /// Borrows one stage's counters.
+    #[inline]
+    pub fn stage(&self, stage: usize) -> &[i64] {
+        &self.data[stage * self.buckets..(stage + 1) * self.buckets]
+    }
+
+    /// Sum of one stage's counters (the total update mass; identical across
+    /// stages for a single sketch, used by the unbiased estimator).
+    pub fn stage_sum(&self, stage: usize) -> i64 {
+        self.stage(stage).iter().sum()
+    }
+
+    /// Zeroes all counters.
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+
+    /// Returns `true` if every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&v| v == 0)
+    }
+
+    /// `self += other` element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::CombineMismatch`] on shape mismatch.
+    pub fn add_assign(&mut self, other: &CounterGrid) -> Result<(), SketchError> {
+        self.check_shape(other)?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// `self -= other` element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::CombineMismatch`] on shape mismatch.
+    pub fn sub_assign(&mut self, other: &CounterGrid) -> Result<(), SketchError> {
+        self.check_shape(other)?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+        Ok(())
+    }
+
+    /// Returns `self − other` as a new grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::CombineMismatch`] on shape mismatch.
+    pub fn difference(&self, other: &CounterGrid) -> Result<CounterGrid, SketchError> {
+        let mut out = self.clone();
+        out.sub_assign(other)?;
+        Ok(out)
+    }
+
+    /// Linear combination `Σ cᵢ · gridᵢ`, rounding each element to the
+    /// nearest integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::CombineEmpty`] for an empty list and
+    /// [`SketchError::CombineMismatch`] on shape mismatch.
+    pub fn linear_combination(terms: &[(f64, &CounterGrid)]) -> Result<CounterGrid, SketchError> {
+        let (_, first) = terms.first().ok_or(SketchError::CombineEmpty)?;
+        let mut acc = vec![0.0f64; first.data.len()];
+        for (c, g) in terms {
+            first.check_shape(g)?;
+            for (a, &v) in acc.iter_mut().zip(&g.data) {
+                *a += c * v as f64;
+            }
+        }
+        Ok(CounterGrid {
+            stages: first.stages,
+            buckets: first.buckets,
+            data: acc.into_iter().map(|v| v.round() as i64).collect(),
+        })
+    }
+
+    /// Iterates `(stage, bucket, value)` over non-zero counters.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, i64)> + '_ {
+        let buckets = self.buckets;
+        self.data.iter().enumerate().filter_map(move |(i, &v)| {
+            if v != 0 {
+                Some((i / buckets, i % buckets, v))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Heap + inline memory in bytes (for the Table 9 memory model).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.data.len() * std::mem::size_of::<i64>()
+    }
+
+    fn check_shape(&self, other: &CounterGrid) -> Result<(), SketchError> {
+        if self.stages != other.stages || self.buckets != other.buckets {
+            Err(SketchError::CombineMismatch)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_grid_is_zero() {
+        let g = CounterGrid::new(3, 8);
+        assert!(g.is_zero());
+        assert_eq!(g.stages(), 3);
+        assert_eq!(g.buckets(), 8);
+        assert_eq!(g.get(2, 7), 0);
+    }
+
+    #[test]
+    fn add_and_get() {
+        let mut g = CounterGrid::new(2, 4);
+        g.add(0, 1, 5);
+        g.add(0, 1, -2);
+        g.add(1, 3, 7);
+        assert_eq!(g.get(0, 1), 3);
+        assert_eq!(g.get(1, 3), 7);
+        assert_eq!(g.stage_sum(0), 3);
+        assert_eq!(g.stage_sum(1), 7);
+    }
+
+    #[test]
+    fn linearity_add_sub() {
+        let mut a = CounterGrid::new(2, 4);
+        let mut b = CounterGrid::new(2, 4);
+        a.add(0, 0, 10);
+        b.add(0, 0, 5);
+        b.add(1, 2, -3);
+        let mut sum = a.clone();
+        sum.add_assign(&b).unwrap();
+        assert_eq!(sum.get(0, 0), 15);
+        assert_eq!(sum.get(1, 2), -3);
+        let diff = sum.difference(&b).unwrap();
+        assert_eq!(diff, a);
+        sum.sub_assign(&a).unwrap();
+        assert_eq!(sum, b);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut a = CounterGrid::new(2, 4);
+        let b = CounterGrid::new(2, 8);
+        assert_eq!(a.add_assign(&b), Err(SketchError::CombineMismatch));
+        let c = CounterGrid::new(3, 4);
+        assert_eq!(a.sub_assign(&c), Err(SketchError::CombineMismatch));
+    }
+
+    #[test]
+    fn linear_combination_weights() {
+        let mut a = CounterGrid::new(1, 2);
+        let mut b = CounterGrid::new(1, 2);
+        a.add(0, 0, 10);
+        b.add(0, 0, 4);
+        b.add(0, 1, 2);
+        let lc = CounterGrid::linear_combination(&[(0.5, &a), (2.0, &b)]).unwrap();
+        assert_eq!(lc.get(0, 0), 13); // 5 + 8
+        assert_eq!(lc.get(0, 1), 4);
+        assert_eq!(
+            CounterGrid::linear_combination(&[]),
+            Err(SketchError::CombineEmpty)
+        );
+    }
+
+    #[test]
+    fn linear_combination_rounds() {
+        let mut a = CounterGrid::new(1, 1);
+        a.add(0, 0, 3);
+        let lc = CounterGrid::linear_combination(&[(0.5, &a)]).unwrap();
+        assert_eq!(lc.get(0, 0), 2); // 1.5 rounds to 2
+    }
+
+    #[test]
+    fn iter_nonzero_reports_coordinates() {
+        let mut g = CounterGrid::new(2, 3);
+        g.add(0, 2, 1);
+        g.add(1, 0, -4);
+        let items: Vec<_> = g.iter_nonzero().collect();
+        assert_eq!(items, vec![(0, 2, 1), (1, 0, -4)]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut g = CounterGrid::new(1, 2);
+        g.add(0, 0, 9);
+        g.clear();
+        assert!(g.is_zero());
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_size() {
+        let small = CounterGrid::new(1, 16);
+        let large = CounterGrid::new(6, 1 << 12);
+        assert!(large.memory_bytes() > small.memory_bytes());
+        assert!(large.memory_bytes() >= 6 * (1 << 12) * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_panics() {
+        let _ = CounterGrid::new(0, 4);
+    }
+}

@@ -1,0 +1,118 @@
+//! Sketch data structures for high-speed network monitoring.
+//!
+//! This crate implements the three sketch variants HiFIND records traffic
+//! with (paper Table 2 and §4):
+//!
+//! * [`KarySketch`] — the original k-ary sketch: `H` hash stages over `m`
+//!   buckets, supporting `UPDATE`, `ESTIMATE` (median of per-stage unbiased
+//!   estimators) and `COMBINE` (linear combination, the basis of multi-router
+//!   aggregation).
+//! * [`ReversibleSketch`] — a k-ary sketch whose stages use *modular
+//!   hashing* over a *mangled* key so that `INFERENCE` can recover the heavy
+//!   keys from the sketch alone, without ever storing keys.
+//! * [`TwoDSketch`] — the paper's novel two-dimensional sketch: `H` hash
+//!   matrices indexed by an x-key and a y-key; after detection, the column
+//!   selected by a detected x-key reveals the *distribution* of the y
+//!   dimension (concentrated → SYN flooding, dispersed → scan).
+//!
+//! All sketches are linear: `combine` of per-router sketches equals the
+//! sketch of the merged traffic, which is what makes HiFIND robust to
+//! asymmetric routing (paper §3.1, §5.3.2).
+//!
+//! # Example
+//!
+//! ```
+//! use hifind_sketch::{ReversibleSketch, RsConfig, InferOptions};
+//!
+//! let cfg = RsConfig::paper_48bit(0xFEED);
+//! let mut rs = ReversibleSketch::new(cfg).unwrap();
+//! // One heavy key among background noise.
+//! rs.update(0xABCD_1234_5678, 500);
+//! for k in 0..1000 {
+//!     rs.update(k, 1);
+//! }
+//! let result = rs.infer(100, &InferOptions::default());
+//! assert!(result.keys.iter().any(|hk| hk.key == 0xABCD_1234_5678));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod kary;
+pub mod reversible;
+pub mod twod;
+
+pub use grid::CounterGrid;
+pub use kary::{KaryConfig, KarySketch};
+pub use reversible::{
+    HeavyKey, InferOptions, InferStats, InferenceResult, ReversibleSketch, RsConfig,
+};
+pub use twod::{ColumnShape, TwoDConfig, TwoDSketch};
+
+use std::fmt;
+
+/// Errors shared by the sketch types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SketchError {
+    /// Invalid configuration (wraps the specific reason).
+    BadConfig(String),
+    /// Attempted to combine sketches with different configurations/seeds.
+    CombineMismatch,
+    /// Attempted to combine an empty list of sketches.
+    CombineEmpty,
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::BadConfig(why) => write!(f, "invalid sketch configuration: {why}"),
+            SketchError::CombineMismatch => {
+                f.write_str("sketches must share configuration and seed to be combined")
+            }
+            SketchError::CombineEmpty => f.write_str("cannot combine zero sketches"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+/// Returns the median of a scratch slice (averaging the two middle elements
+/// for even lengths, rounding toward zero).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub(crate) fn median_i64(values: &mut [i64]) -> i64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    values.sort_unstable();
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        let a = values[n / 2 - 1];
+        let b = values[n / 2];
+        // Average without overflow.
+        a / 2 + b / 2 + (a % 2 + b % 2) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median_i64(&mut [3, 1, 2]), 2);
+        assert_eq!(median_i64(&mut [4, 1, 2, 3]), 2);
+        assert_eq!(median_i64(&mut [5]), 5);
+        assert_eq!(median_i64(&mut [-10, 10]), 0);
+        assert_eq!(median_i64(&mut [i64::MAX, i64::MAX]), i64::MAX);
+    }
+
+    #[test]
+    fn error_display_non_empty() {
+        assert!(!SketchError::CombineMismatch.to_string().is_empty());
+        assert!(SketchError::BadConfig("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,869 @@
+//! The reversible sketch: UPDATE + COMBINE + INFERENCE.
+//!
+//! A reversible sketch (Schweller et al., IMC'04; Infocom'06) is a k-ary
+//! sketch whose per-stage hash functions are *modular*
+//! ([`hifind_hashing::ModularHash`]) over a *mangled* key
+//! ([`hifind_hashing::Mangler`]). Because every 8-bit key word is hashed
+//! independently into its own slice of the bucket index, the heavy keys can
+//! be reconstructed from the heavy buckets word-by-word:
+//!
+//! 1. In every stage, find the buckets whose (forecast-error) value exceeds
+//!    the threshold.
+//! 2. For word position 0, keep the byte values whose index chunk matches a
+//!    heavy bucket's chunk in at least `min_stages` stages; extend each
+//!    survivor with word position 1, and so on. A candidate's compatible
+//!    bucket set is tracked *per stage* so chunks must agree with a single
+//!    bucket per stage, not a mixture.
+//! 3. Un-mangle the reconstructed keys and verify their estimates (median
+//!    over stages, plus an optional separate verification k-ary sketch)
+//!    against the threshold.
+//!
+//! The search is output-sensitive: with balanced hash tables a candidate
+//! byte survives a random stage with probability `2^-chunk_bits`, so
+//! requiring agreement in `H−1` of `H` stages prunes almost everything that
+//! is not actually heavy.
+
+use crate::grid::CounterGrid;
+use crate::kary::{KaryConfig, KarySketch};
+use crate::{median_i64, SketchError};
+use hifind_flow::keys::SketchKey;
+use hifind_flow::rng::SplitMix64;
+use hifind_hashing::{BucketHasher, Mangler, ModularHash};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a [`ReversibleSketch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RsConfig {
+    /// Key width in bits (multiple of 8, ≤ 64).
+    pub key_bits: u32,
+    /// Number of hash stages (`H`; the paper uses 6).
+    pub stages: usize,
+    /// Buckets per stage (`m`, a power of two whose log is divisible by
+    /// `key_bits / 8`).
+    pub buckets: usize,
+    /// Master seed for manglers and hash tables.
+    pub seed: u64,
+    /// Whether to apply IP mangling (on in the paper; off only for
+    /// ablation).
+    pub mangle: bool,
+    /// Bucket count of the attached verification k-ary sketch, or `None`
+    /// to disable it (the paper uses 2^14).
+    pub verifier_buckets: Option<usize>,
+}
+
+impl RsConfig {
+    /// Paper configuration for 48-bit keys ({SIP,Dport} / {DIP,Dport}):
+    /// 6 stages × 2^12 buckets, 2^14-bucket verifier.
+    pub fn paper_48bit(seed: u64) -> Self {
+        RsConfig {
+            key_bits: 48,
+            stages: 6,
+            buckets: 1 << 12,
+            seed,
+            mangle: true,
+            verifier_buckets: Some(1 << 14),
+        }
+    }
+
+    /// Paper configuration for 64-bit keys ({SIP,DIP}): 6 stages × 2^16
+    /// buckets, 2^14-bucket verifier.
+    pub fn paper_64bit(seed: u64) -> Self {
+        RsConfig {
+            key_bits: 64,
+            stages: 6,
+            buckets: 1 << 16,
+            seed,
+            mangle: true,
+            verifier_buckets: Some(1 << 14),
+        }
+    }
+}
+
+/// Tuning knobs for [`ReversibleSketch::infer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferOptions {
+    /// How many of the `H` stages a candidate may miss (have no compatible
+    /// heavy bucket in) and still survive. `1` tolerates a single stage
+    /// where the true key was pushed below threshold by colliding negative
+    /// mass; `0` requires perfect agreement.
+    pub miss_stages: usize,
+    /// Hard cap on simultaneously-live candidates; the search reports
+    /// truncation instead of exploding when an adversary (or a pathological
+    /// threshold) makes everything heavy. The cap also bounds work: each
+    /// word position examines at most `256 × max_candidates` extensions.
+    pub max_candidates: usize,
+    /// Whether to require the verification sketch (if the sketch has one)
+    /// to confirm each output key's estimate.
+    pub use_verifier: bool,
+}
+
+impl Default for InferOptions {
+    fn default() -> Self {
+        InferOptions {
+            miss_stages: 1,
+            max_candidates: 1 << 19,
+            use_verifier: true,
+        }
+    }
+}
+
+/// A key recovered by inference, with its estimated value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeavyKey {
+    /// The reconstructed (un-mangled) key, packed as by
+    /// [`SketchKey::to_u64`].
+    pub key: u64,
+    /// The unbiased median estimate of the key's value in the queried grid.
+    pub estimate: i64,
+}
+
+/// Search statistics from one inference run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferStats {
+    /// Heavy buckets found per stage.
+    pub heavy_buckets: Vec<usize>,
+    /// Total candidate extensions examined.
+    pub candidates_explored: u64,
+    /// Whether the candidate cap was hit (results may be incomplete).
+    pub truncated: bool,
+    /// Reconstructed keys discarded because their estimate fell below the
+    /// threshold.
+    pub rejected_by_estimate: usize,
+    /// Reconstructed keys discarded by the verification sketch.
+    pub rejected_by_verifier: usize,
+}
+
+/// The outcome of [`ReversibleSketch::infer`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceResult {
+    /// Recovered heavy keys, sorted by descending estimate.
+    pub keys: Vec<HeavyKey>,
+    /// Search statistics.
+    pub stats: InferStats,
+}
+
+impl InferenceResult {
+    /// Decodes the recovered keys into a typed flow key.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `K::BITS` disagrees with the sketch width
+    /// the result came from (the raw keys would be misinterpreted).
+    pub fn typed<K: SketchKey>(&self) -> Vec<(K, i64)> {
+        self.keys
+            .iter()
+            .map(|hk| (K::from_u64(hk.key), hk.estimate))
+            .collect()
+    }
+}
+
+/// A reversible sketch over packed keys of a fixed bit width.
+///
+/// See the [module documentation](self) for the algorithm; see
+/// [`RsConfig::paper_48bit`] / [`RsConfig::paper_64bit`] for the paper's
+/// parameterizations.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReversibleSketch {
+    config: RsConfig,
+    mangler: Mangler,
+    hashes: Vec<ModularHash>,
+    grid: CounterGrid,
+    verifier: Option<KarySketch>,
+    total: i64,
+}
+
+impl ReversibleSketch {
+    /// Creates an empty reversible sketch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::BadConfig`] if the key width / bucket count
+    /// combination is not modular-hashable (see
+    /// [`hifind_hashing::ModularHashError`]) or `stages == 0`.
+    pub fn new(config: RsConfig) -> Result<Self, SketchError> {
+        if config.stages == 0 {
+            return Err(SketchError::BadConfig("stages must be positive".into()));
+        }
+        let mut rng = SplitMix64::new(config.seed);
+        let mangler = if config.mangle {
+            Mangler::new(&mut rng.fork(0x4D41_4E47), config.key_bits)
+        } else {
+            Mangler::identity(config.key_bits)
+        };
+        let hashes = (0..config.stages)
+            .map(|i| {
+                ModularHash::new(&mut rng.fork(i as u64 + 1), config.key_bits, config.buckets)
+                    .map_err(|e| SketchError::BadConfig(e.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let verifier = match config.verifier_buckets {
+            Some(buckets) => Some(KarySketch::new(KaryConfig {
+                stages: config.stages,
+                buckets,
+                seed: rng.fork(0xBEEF).next_u64(),
+            })?),
+            None => None,
+        };
+        Ok(ReversibleSketch {
+            config,
+            mangler,
+            hashes,
+            grid: CounterGrid::new(config.stages, config.buckets),
+            verifier,
+            total: 0,
+        })
+    }
+
+    /// The configuration this sketch was built with.
+    pub fn config(&self) -> &RsConfig {
+        &self.config
+    }
+
+    /// UPDATE: adds `delta` under the packed key.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `key` has bits above the configured width.
+    #[inline]
+    pub fn update(&mut self, key: u64, delta: i64) {
+        let mangled = self.mangler.mangle(key);
+        for (stage, h) in self.hashes.iter().enumerate() {
+            self.grid.add(stage, h.bucket(mangled), delta);
+        }
+        if let Some(v) = &mut self.verifier {
+            v.update(key, delta);
+        }
+        self.total += delta;
+    }
+
+    /// UPDATE with a typed flow key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `K::BITS` differs from the configured key width.
+    #[inline]
+    pub fn update_key<K: SketchKey>(&mut self, key: &K, delta: i64) {
+        assert_eq!(
+            K::BITS,
+            self.config.key_bits,
+            "flow key width does not match sketch"
+        );
+        self.update(key.to_u64(), delta);
+    }
+
+    /// ESTIMATE from the sketch's own counters.
+    pub fn estimate(&self, key: u64) -> i64 {
+        self.estimate_grid(&self.grid, key)
+    }
+
+    /// ESTIMATE against an external grid (e.g. a forecast-error grid)
+    /// interpreted through this sketch's hash functions: the median over
+    /// stages of the unbiased per-stage estimator.
+    pub fn estimate_grid(&self, grid: &CounterGrid, key: u64) -> i64 {
+        debug_assert_eq!(grid.stages(), self.config.stages);
+        debug_assert_eq!(grid.buckets(), self.config.buckets);
+        let mangled = self.mangler.mangle(key);
+        let m = self.config.buckets as f64;
+        let mut estimates: Vec<i64> = Vec::with_capacity(self.config.stages);
+        for (stage, h) in self.hashes.iter().enumerate() {
+            let v = grid.get(stage, h.bucket(mangled)) as f64;
+            let sum = grid.stage_sum(stage) as f64;
+            estimates.push(((v - sum / m) / (1.0 - 1.0 / m)).round() as i64);
+        }
+        median_i64(&mut estimates)
+    }
+
+    /// INFERENCE over the sketch's own counters: recover all keys whose
+    /// value is at least `threshold`.
+    pub fn infer(&self, threshold: i64, opts: &InferOptions) -> InferenceResult {
+        let verifier_grid = self.verifier.as_ref().map(|v| v.grid().clone());
+        self.infer_grid(&self.grid, verifier_grid.as_ref(), threshold, opts)
+    }
+
+    /// INFERENCE over an external grid (typically the forecast-error grid)
+    /// with an optional matching external verifier grid.
+    ///
+    /// `verifier_grid`, when given, must have the shape of this sketch's
+    /// verification sketch; keys whose verifier estimate falls below the
+    /// threshold are dropped and counted in
+    /// [`InferStats::rejected_by_verifier`].
+    pub fn infer_grid(
+        &self,
+        grid: &CounterGrid,
+        verifier_grid: Option<&CounterGrid>,
+        threshold: i64,
+        opts: &InferOptions,
+    ) -> InferenceResult {
+        debug_assert_eq!(grid.stages(), self.config.stages);
+        debug_assert_eq!(grid.buckets(), self.config.buckets);
+        assert!(threshold > 0, "inference threshold must be positive");
+        let stages = self.config.stages;
+        let min_stages = stages.saturating_sub(opts.miss_stages).max(1);
+        let mut stats = InferStats::default();
+
+        // 1. Heavy buckets per stage.
+        let heavy: Vec<Vec<u32>> = (0..stages)
+            .map(|s| {
+                grid.stage(s)
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(b, &v)| if v >= threshold { Some(b as u32) } else { None })
+                    .collect()
+            })
+            .collect();
+        stats.heavy_buckets = heavy.iter().map(Vec::len).collect();
+        let nonempty_stages = heavy.iter().filter(|h| !h.is_empty()).count();
+        if nonempty_stages < min_stages {
+            return InferenceResult {
+                keys: Vec::new(),
+                stats,
+            };
+        }
+
+        // 2. Per stage / word / chunk: bitset of compatible heavy buckets.
+        let words = (self.config.key_bits / 8) as usize;
+        let chunk_bits = self.hashes[0].chunk_bits();
+        let chunk_count = 1usize << chunk_bits;
+        // masks[stage][word][chunk]
+        let masks: Vec<Vec<Vec<BitSet>>> = (0..stages)
+            .map(|s| {
+                let hb = &heavy[s];
+                (0..words as u32)
+                    .map(|w| {
+                        let mut per_chunk = vec![BitSet::empty(hb.len()); chunk_count];
+                        for (i, &b) in hb.iter().enumerate() {
+                            let chunk = self.hashes[s].index_chunk(b as usize, w);
+                            per_chunk[chunk as usize].set(i);
+                        }
+                        per_chunk
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // 3. Word-by-word candidate extension.
+        let mut candidates = vec![Candidate {
+            key: 0,
+            masks: heavy.iter().map(|hb| BitSet::full(hb.len())).collect(),
+            alive: nonempty_stages,
+        }];
+        // Reusable scratch masks: the hot loop allocates only for
+        // surviving extensions, and a per-word flattened chunk table keeps
+        // the stage hash lookups out of the inner loop.
+        let mut scratch: Vec<BitSet> = heavy.iter().map(|hb| BitSet::empty(hb.len())).collect();
+        let allowed_dead = stages - min_stages;
+        for word in 0..words {
+            let chunk_of: Vec<[u16; 256]> = (0..stages)
+                .map(|s| {
+                    let mut row = [0u16; 256];
+                    for (b, slot) in row.iter_mut().enumerate() {
+                        *slot = self.hashes[s].chunk(word as u32, b as u8);
+                    }
+                    row
+                })
+                .collect();
+            let mut next = Vec::new();
+            'outer: for cand in &candidates {
+                for byte in 0usize..256 {
+                    stats.candidates_explored += 1;
+                    let mut alive = 0usize;
+                    let mut dead = 0usize;
+                    for s in 0..stages {
+                        let m = &masks[s][word][chunk_of[s][byte] as usize];
+                        if cand.masks[s].and_into(m, &mut scratch[s]) {
+                            alive += 1;
+                        } else {
+                            dead += 1;
+                            if dead > allowed_dead {
+                                // Cannot reach min_stages any more.
+                                break;
+                            }
+                        }
+                    }
+                    if alive >= min_stages {
+                        next.push(Candidate {
+                            key: cand.key | (byte as u64) << (8 * word),
+                            masks: scratch.clone(),
+                            alive,
+                        });
+                        if next.len() > opts.max_candidates {
+                            stats.truncated = true;
+                            // Under adversarial load everything looks
+                            // heavy; prefer candidates alive in *every*
+                            // stage — true keys are, while spurious byte
+                            // combinations usually sit at exactly
+                            // `min_stages`.
+                            next.retain(|c| c.alive == stages);
+                            if next.len() > opts.max_candidates {
+                                next.truncate(opts.max_candidates);
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            candidates = next;
+            if candidates.is_empty() {
+                break;
+            }
+        }
+
+        // 4. Un-mangle, estimate, verify, sort.
+        let mut keys = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for cand in candidates {
+            let key = self.mangler.unmangle(cand.key);
+            if !seen.insert(key) {
+                continue;
+            }
+            let estimate = self.estimate_grid(grid, key);
+            if estimate < threshold {
+                stats.rejected_by_estimate += 1;
+                continue;
+            }
+            if opts.use_verifier {
+                if let (Some(v), Some(vg)) = (&self.verifier, verifier_grid) {
+                    if v.estimate_grid(vg, key) < threshold {
+                        stats.rejected_by_verifier += 1;
+                        continue;
+                    }
+                }
+            }
+            keys.push(HeavyKey { key, estimate });
+        }
+        keys.sort_by(|a, b| b.estimate.cmp(&a.estimate).then(a.key.cmp(&b.key)));
+        InferenceResult { keys, stats }
+    }
+
+    /// COMBINE: linear combination of reversible sketches sharing a
+    /// configuration (verifiers are combined too).
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::CombineMismatch`] on configuration/seed mismatch;
+    /// [`SketchError::CombineEmpty`] for an empty list.
+    pub fn combine(terms: &[(f64, &ReversibleSketch)]) -> Result<ReversibleSketch, SketchError> {
+        let (_, first) = terms.first().ok_or(SketchError::CombineEmpty)?;
+        for (_, s) in terms {
+            if s.config != first.config {
+                return Err(SketchError::CombineMismatch);
+            }
+        }
+        let grids: Vec<(f64, &CounterGrid)> = terms.iter().map(|(c, s)| (*c, &s.grid)).collect();
+        let grid = CounterGrid::linear_combination(&grids)?;
+        let verifier = match &first.verifier {
+            Some(_) => {
+                let vs: Vec<(f64, &KarySketch)> = terms
+                    .iter()
+                    .map(|(c, s)| {
+                        (
+                            *c,
+                            s.verifier.as_ref().expect("same config implies verifier"),
+                        )
+                    })
+                    .collect();
+                Some(KarySketch::combine(&vs)?)
+            }
+            None => None,
+        };
+        let total = terms
+            .iter()
+            .map(|(c, s)| c * s.total as f64)
+            .sum::<f64>()
+            .round() as i64;
+        Ok(ReversibleSketch {
+            config: first.config,
+            mangler: first.mangler,
+            hashes: first.hashes.clone(),
+            grid,
+            verifier,
+            total,
+        })
+    }
+
+    /// Borrows the main counter grid.
+    pub fn grid(&self) -> &CounterGrid {
+        &self.grid
+    }
+
+    /// Borrows the verification sketch, if configured.
+    pub fn verifier(&self) -> Option<&KarySketch> {
+        self.verifier.as_ref()
+    }
+
+    /// Total update mass.
+    pub fn total(&self) -> i64 {
+        self.total
+    }
+
+    /// Zeroes all counters, keeping hash structure.
+    pub fn clear(&mut self) {
+        self.grid.clear();
+        if let Some(v) = &mut self.verifier {
+            v.clear();
+        }
+        self.total = 0;
+    }
+
+    /// Memory footprint in bytes (grid + verifier grid), for Table 9.
+    pub fn memory_bytes(&self) -> usize {
+        self.grid.memory_bytes()
+            + self
+                .verifier
+                .as_ref()
+                .map(|v| v.memory_bytes())
+                .unwrap_or(0)
+    }
+
+    /// Counter memory accesses per update: one per stage, plus the
+    /// verification sketch's stages. The paper reports 15 for its 48-bit
+    /// and 16 for its 64-bit hardware configuration; the software
+    /// equivalent here is `2 × stages` when a verifier is attached.
+    pub fn accesses_per_update(&self) -> usize {
+        self.config.stages
+            + self
+                .verifier
+                .as_ref()
+                .map(|v| v.accesses_per_update())
+                .unwrap_or(0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Candidate {
+    key: u64,
+    masks: Vec<BitSet>,
+    /// Stages whose compatible-bucket mask is still non-empty.
+    alive: usize,
+}
+
+/// Minimal fixed-capacity bitset for tracking compatible heavy buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn empty(bits: usize) -> Self {
+        BitSet {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    fn full(bits: usize) -> Self {
+        let mut words = vec![u64::MAX; bits.div_ceil(64)];
+        let rem = bits % 64;
+        if rem != 0 {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << rem) - 1;
+            }
+        }
+        BitSet { words }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Allocating variant kept for tests; the hot path uses
+    /// [`BitSet::and_into`].
+    #[cfg(test)]
+    #[inline]
+    fn and(&self, other: &BitSet) -> BitSet {
+        BitSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Writes `self & other` into `out` (same capacity) and returns
+    /// whether the result is non-empty. Allocation-free hot-loop variant
+    /// of [`BitSet::and`].
+    #[inline]
+    fn and_into(&self, other: &BitSet, out: &mut BitSet) -> bool {
+        let mut any = 0u64;
+        for ((a, b), o) in self.words.iter().zip(&other.words).zip(&mut out.words) {
+            *o = a & b;
+            any |= *o;
+        }
+        any != 0
+    }
+
+    #[cfg(test)]
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind_flow::keys::{SipDip, SipDport};
+
+    fn small_cfg(seed: u64) -> RsConfig {
+        RsConfig {
+            key_bits: 48,
+            stages: 6,
+            buckets: 1 << 12,
+            seed,
+            mangle: true,
+            verifier_buckets: Some(1 << 12),
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let mut cfg = small_cfg(0);
+        cfg.stages = 0;
+        assert!(ReversibleSketch::new(cfg).is_err());
+        let mut cfg = small_cfg(0);
+        cfg.key_bits = 13;
+        assert!(ReversibleSketch::new(cfg).is_err());
+        let mut cfg = small_cfg(0);
+        cfg.buckets = 1 << 13; // 13 bits not divisible by 6 words
+        assert!(ReversibleSketch::new(cfg).is_err());
+    }
+
+    #[test]
+    fn recovers_single_heavy_key() {
+        let mut rs = ReversibleSketch::new(small_cfg(1)).unwrap();
+        rs.update(0x0102_0304_0506, 1000);
+        let result = rs.infer(500, &InferOptions::default());
+        assert_eq!(result.keys.len(), 1);
+        assert_eq!(result.keys[0].key, 0x0102_0304_0506);
+        assert!(result.keys[0].estimate >= 990);
+    }
+
+    #[test]
+    fn recovers_heavy_keys_among_noise() {
+        let mut rs = ReversibleSketch::new(small_cfg(2)).unwrap();
+        let heavy = [0xAA01_0203_0405u64, 0x0BB0_0102_0304, 0x00CC_0099_1122];
+        for (i, &k) in heavy.iter().enumerate() {
+            rs.update(k, 500 + 100 * i as i64);
+        }
+        let mut rng = SplitMix64::new(77);
+        for _ in 0..20_000 {
+            rs.update(rng.next_u64() & ((1 << 48) - 1), 1);
+        }
+        let result = rs.infer(300, &InferOptions::default());
+        for &k in &heavy {
+            assert!(
+                result.keys.iter().any(|hk| hk.key == k),
+                "missing key {k:#x}; got {:?}",
+                result.keys
+            );
+        }
+        // No more than a couple of false keys.
+        assert!(result.keys.len() <= heavy.len() + 2);
+    }
+
+    #[test]
+    fn no_heavy_keys_yields_empty() {
+        let mut rs = ReversibleSketch::new(small_cfg(3)).unwrap();
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..5000 {
+            rs.update(rng.next_u64() & ((1 << 48) - 1), 1);
+        }
+        let result = rs.infer(100, &InferOptions::default());
+        assert!(result.keys.is_empty(), "got {:?}", result.keys);
+    }
+
+    #[test]
+    fn negative_mass_does_not_mask_heavy_key() {
+        // The #SYN − #SYN/ACK value goes negative for well-behaved flows;
+        // inference must still find attack keys.
+        let mut rs = ReversibleSketch::new(small_cfg(4)).unwrap();
+        rs.update(0x0666_0000_0050, 800); // attack
+        let mut rng = SplitMix64::new(6);
+        for _ in 0..2000 {
+            // benign flows oscillate around 0
+            let k = rng.next_u64() & ((1 << 48) - 1);
+            rs.update(k, 1);
+            rs.update(k, -1);
+        }
+        let result = rs.infer(400, &InferOptions::default());
+        assert!(result.keys.iter().any(|hk| hk.key == 0x0666_0000_0050));
+    }
+
+    #[test]
+    fn typed_inference_round_trips_flow_keys() {
+        let mut rs = ReversibleSketch::new(small_cfg(7)).unwrap();
+        let key = SipDport::new([204, 10, 110, 38].into(), 1433);
+        rs.update_key(&key, 900);
+        let result = rs.infer(100, &InferOptions::default());
+        let typed = result.typed::<SipDport>();
+        assert_eq!(typed.len(), 1);
+        assert_eq!(typed[0].0, key);
+    }
+
+    #[test]
+    fn sixty_four_bit_config_works() {
+        let cfg = RsConfig {
+            key_bits: 64,
+            stages: 6,
+            buckets: 1 << 16,
+            seed: 11,
+            mangle: true,
+            verifier_buckets: Some(1 << 12),
+        };
+        let mut rs = ReversibleSketch::new(cfg).unwrap();
+        let key = SipDip::new([1, 2, 3, 4].into(), [5, 6, 7, 8].into());
+        rs.update_key(&key, 700);
+        let mut rng = SplitMix64::new(12);
+        for _ in 0..10_000 {
+            rs.update(rng.next_u64(), 1);
+        }
+        let result = rs.infer(300, &InferOptions::default());
+        assert!(result.typed::<SipDip>().iter().any(|(k, _)| *k == key));
+    }
+
+    #[test]
+    #[should_panic(expected = "flow key width")]
+    fn update_key_rejects_wrong_width() {
+        let mut rs = ReversibleSketch::new(small_cfg(8)).unwrap();
+        let key = SipDip::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into()); // 64-bit
+        rs.update_key(&key, 1);
+    }
+
+    #[test]
+    fn combine_equals_merged_stream() {
+        let mut a = ReversibleSketch::new(small_cfg(9)).unwrap();
+        let mut b = ReversibleSketch::new(small_cfg(9)).unwrap();
+        let mut merged = ReversibleSketch::new(small_cfg(9)).unwrap();
+        let mut rng = SplitMix64::new(13);
+        for i in 0..2000 {
+            let k = rng.next_u64() & ((1 << 48) - 1);
+            let v = rng.below(5) as i64;
+            if i % 2 == 0 {
+                a.update(k, v)
+            } else {
+                b.update(k, v)
+            }
+            merged.update(k, v);
+        }
+        let combined = ReversibleSketch::combine(&[(1.0, &a), (1.0, &b)]).unwrap();
+        assert_eq!(combined.grid(), merged.grid());
+        assert_eq!(combined.total(), merged.total());
+        // And inference on the combination behaves like on the merged one.
+        a.update(0x0042_0042_0042, 600);
+        let combined = ReversibleSketch::combine(&[(1.0, &a), (1.0, &b)]).unwrap();
+        let result = combined.infer(500, &InferOptions::default());
+        assert!(result.keys.iter().any(|hk| hk.key == 0x0042_0042_0042));
+    }
+
+    #[test]
+    fn combine_rejects_mismatch() {
+        let a = ReversibleSketch::new(small_cfg(1)).unwrap();
+        let b = ReversibleSketch::new(small_cfg(2)).unwrap();
+        assert_eq!(
+            ReversibleSketch::combine(&[(1.0, &a), (1.0, &b)]).unwrap_err(),
+            SketchError::CombineMismatch
+        );
+        assert_eq!(
+            ReversibleSketch::combine(&[]).unwrap_err(),
+            SketchError::CombineEmpty
+        );
+    }
+
+    #[test]
+    fn infer_grid_on_difference_detects_change() {
+        // Simulates change detection: previous interval vs current.
+        let mut prev = ReversibleSketch::new(small_cfg(20)).unwrap();
+        let mut curr = ReversibleSketch::new(small_cfg(20)).unwrap();
+        let mut rng = SplitMix64::new(21);
+        for _ in 0..3000 {
+            let k = rng.next_u64() & ((1 << 48) - 1);
+            prev.update(k, 1);
+            curr.update(k, 1);
+        }
+        // New heavy key only in the current interval.
+        curr.update(0x0777_0000_1389, 500);
+        let error = curr.grid().difference(prev.grid()).unwrap();
+        let verr = curr
+            .verifier()
+            .unwrap()
+            .grid()
+            .difference(prev.verifier().unwrap().grid())
+            .unwrap();
+        let result = curr.infer_grid(&error, Some(&verr), 250, &InferOptions::default());
+        assert_eq!(result.keys.len(), 1);
+        assert_eq!(result.keys[0].key, 0x0777_0000_1389);
+    }
+
+    #[test]
+    fn truncation_reported_under_candidate_explosion() {
+        let mut rs = ReversibleSketch::new(small_cfg(30)).unwrap();
+        let mut rng = SplitMix64::new(31);
+        // Make very many keys heavy.
+        for _ in 0..3000 {
+            rs.update(rng.next_u64() & ((1 << 48) - 1), 100);
+        }
+        let opts = InferOptions {
+            max_candidates: 64,
+            ..InferOptions::default()
+        };
+        let result = rs.infer(50, &opts);
+        assert!(result.stats.truncated);
+    }
+
+    #[test]
+    fn mangling_ablation_still_infers() {
+        let mut cfg = small_cfg(40);
+        cfg.mangle = false;
+        let mut rs = ReversibleSketch::new(cfg).unwrap();
+        rs.update(0x0101_0101_0101, 400);
+        let result = rs.infer(200, &InferOptions::default());
+        assert!(result.keys.iter().any(|hk| hk.key == 0x0101_0101_0101));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut rs = ReversibleSketch::new(small_cfg(50)).unwrap();
+        rs.update(1, 100);
+        rs.clear();
+        assert_eq!(rs.total(), 0);
+        assert!(rs.grid().is_zero());
+        assert!(rs.infer(50, &InferOptions::default()).keys.is_empty());
+    }
+
+    #[test]
+    fn memory_matches_paper_scale() {
+        // 48-bit paper config: 6 stages x 2^12 buckets x 8B = 192 KiB main
+        // grid (the paper uses narrower hardware counters; Table 9's model
+        // accounts for that separately).
+        let rs = ReversibleSketch::new(RsConfig::paper_48bit(0)).unwrap();
+        let main = 6 * (1 << 12) * 8;
+        assert!(rs.grid().memory_bytes() >= main);
+        assert!(rs.memory_bytes() >= main);
+    }
+
+    #[test]
+    fn stats_track_search_effort() {
+        let mut rs = ReversibleSketch::new(small_cfg(60)).unwrap();
+        rs.update(0x00AB_CDEF_0123, 300);
+        let result = rs.infer(100, &InferOptions::default());
+        assert_eq!(result.stats.heavy_buckets.len(), 6);
+        assert!(result.stats.candidates_explored > 0);
+        assert!(!result.stats.truncated);
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut a = BitSet::empty(70);
+        assert!(a.is_empty());
+        a.set(0);
+        a.set(69);
+        let full = BitSet::full(70);
+        assert_eq!(a.and(&full), a);
+        let b = BitSet::empty(70);
+        assert!(a.and(&b).is_empty());
+        assert!(!BitSet::full(1).is_empty());
+        assert!(BitSet::full(0).is_empty());
+    }
+}

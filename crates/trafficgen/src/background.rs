@@ -1,0 +1,212 @@
+//! Benign background traffic generation.
+
+use crate::model::{BackgroundProfile, NetworkModel};
+use hifind_flow::rng::{SplitMix64, Zipf};
+use hifind_flow::{Packet, Trace};
+
+/// Generates benign background connections over `[0, duration_ms)`.
+///
+/// Each connection is an inbound SYN from an external client to a
+/// popularity-weighted internal server/port; depending on the profile it is
+/// answered with a SYN/ACK (possibly followed by a FIN), refused with an
+/// RST, or lost (in which case the client retransmits a few SYNs — exactly
+/// the benign unanswered-SYN noise the detectors must not trip on).
+pub fn generate_background(
+    net: &NetworkModel,
+    profile: &BackgroundProfile,
+    duration_ms: u64,
+    rng: &mut SplitMix64,
+) -> Trace {
+    let mut trace = Trace::new();
+    if profile.connections_per_sec <= 0.0 || duration_ms == 0 {
+        return trace;
+    }
+    let server_zipf = Zipf::new(net.server_count as usize, profile.server_zipf_alpha);
+    let port_zipf = Zipf::new(net.service_ports.len(), profile.port_zipf_alpha);
+    let diurnal = profile.diurnal_amplitude.clamp(0.0, 0.99);
+    // Arrivals are sampled at the *peak* rate and thinned to the
+    // instantaneous rate (inhomogeneous-Poisson thinning); with zero
+    // amplitude this degenerates to the plain homogeneous process.
+    let peak_gap_ms = 1000.0 / (profile.connections_per_sec * (1.0 + diurnal));
+    let mut t = rng.exp_gap(peak_gap_ms);
+    while (t as u64) < duration_ms {
+        let ts = t as u64;
+        if diurnal > 0.0 {
+            let phase =
+                ts as f64 / profile.diurnal_period_ms.max(1) as f64 * std::f64::consts::TAU;
+            let relative = (1.0 + diurnal * phase.sin()) / (1.0 + diurnal);
+            if !rng.chance(relative) {
+                t += rng.exp_gap(peak_gap_ms);
+                continue;
+            }
+        }
+        let client = net.external_client(rng);
+        let cport = 1024 + rng.below(64512) as u16;
+        let server = net.server(server_zipf.sample(rng) as u32);
+        let sport = net.service_ports[port_zipf.sample(rng)];
+        trace.push(Packet::syn(ts, client, cport, server, sport));
+        let roll = rng.f64();
+        if roll < profile.failure_prob {
+            // Unanswered: client retransmits with backoff.
+            let retries = rng.below(profile.max_retries as u64 + 1);
+            let mut rt = ts;
+            for r in 0..retries {
+                rt += 3000 << r; // 3s, 6s, 12s backoff
+                if rt < duration_ms {
+                    trace.push(Packet::syn(rt, client, cport, server, sport));
+                }
+            }
+        } else if roll < profile.failure_prob + profile.rst_prob {
+            let delay = rng.range(profile.synack_delay_ms.0, profile.synack_delay_ms.1 + 1);
+            trace.push(Packet::rst(ts + delay, client, cport, server, sport));
+        } else {
+            let delay = rng.range(profile.synack_delay_ms.0, profile.synack_delay_ms.1 + 1);
+            trace.push(Packet::syn_ack(ts + delay, client, cport, server, sport));
+            if rng.chance(profile.fin_prob) {
+                let fin_at = ts + delay + rng.below(30_000);
+                if fin_at < duration_ms {
+                    trace.push(Packet::fin(fin_at, client, cport, server, sport));
+                }
+            }
+        }
+        t += rng.exp_gap(peak_gap_ms);
+    }
+    trace.sort_by_time();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind_flow::SegmentKind;
+
+    fn gen(seed: u64) -> Trace {
+        generate_background(
+            &NetworkModel::campus(),
+            &BackgroundProfile::default(),
+            60_000,
+            &mut SplitMix64::new(seed),
+        )
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        let t = gen(1);
+        let stats = t.stats();
+        // 300 conn/s for 60s: SYN count within 3x window either way
+        // (retransmissions add, failures subtract nothing).
+        assert!(
+            (10_000..30_000).contains(&stats.syn),
+            "unexpected SYN count {}",
+            stats.syn
+        );
+    }
+
+    #[test]
+    fn most_connections_complete() {
+        let t = gen(2);
+        let s = t.stats();
+        let ratio = s.syn_ack as f64 / s.syn as f64;
+        assert!(
+            ratio > 0.9,
+            "completion ratio {ratio} too low for benign traffic"
+        );
+    }
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(gen(7), gen(8));
+    }
+
+    #[test]
+    fn time_ordered_and_bounded() {
+        let t = gen(3);
+        assert!(t.is_time_ordered());
+        assert!(t.iter().all(|p| p.ts_ms < 60_000 + 30_000 + 200));
+    }
+
+    #[test]
+    fn syns_go_to_internal_servers() {
+        let net = NetworkModel::campus();
+        let t = gen(4);
+        for p in t.iter().filter(|p| p.kind == SegmentKind::Syn) {
+            assert!(net.is_internal(p.dst));
+            assert!(!net.is_internal(p.src));
+            assert!(net.service_ports.contains(&p.dport));
+        }
+    }
+
+    #[test]
+    fn zero_rate_or_duration_is_empty() {
+        let net = NetworkModel::lab();
+        let mut profile = BackgroundProfile::default();
+        profile.connections_per_sec = 0.0;
+        let t = generate_background(&net, &profile, 60_000, &mut SplitMix64::new(0));
+        assert!(t.is_empty());
+        let t = generate_background(
+            &net,
+            &BackgroundProfile::default(),
+            0,
+            &mut SplitMix64::new(0),
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn diurnal_modulation_shapes_the_rate() {
+        let net = NetworkModel::campus();
+        let mut profile = BackgroundProfile {
+            connections_per_sec: 100.0,
+            diurnal_amplitude: 0.8,
+            diurnal_period_ms: 200_000,
+            ..BackgroundProfile::default()
+        };
+        let t = generate_background(&net, &profile, 200_000, &mut SplitMix64::new(9));
+        // First quarter-period (rising sine, rate ≈ 1+0.8·sin) should be
+        // markedly busier than the third quarter (rate ≈ 1−0.8·sin).
+        let q1 = t
+            .iter()
+            .filter(|p| p.kind == SegmentKind::Syn && p.ts_ms < 50_000)
+            .count();
+        let q3 = t
+            .iter()
+            .filter(|p| {
+                p.kind == SegmentKind::Syn && (100_000..150_000).contains(&p.ts_ms)
+            })
+            .count();
+        assert!(
+            q1 as f64 > q3 as f64 * 1.5,
+            "rising phase {q1} should outweigh falling phase {q3}"
+        );
+        // With zero amplitude the quarters balance.
+        profile.diurnal_amplitude = 0.0;
+        let flat = generate_background(&net, &profile, 200_000, &mut SplitMix64::new(9));
+        let f1 = flat.iter().filter(|p| p.ts_ms < 50_000).count();
+        let f3 = flat
+            .iter()
+            .filter(|p| (100_000..150_000).contains(&p.ts_ms))
+            .count();
+        let ratio = f1 as f64 / f3.max(1) as f64;
+        assert!((0.7..1.4).contains(&ratio), "flat profile skewed: {ratio}");
+    }
+
+    #[test]
+    fn unanswered_rate_stays_low_per_service() {
+        // The per-{DIP,Dport} unanswered-SYN rate must stay well under the
+        // paper's one-per-second detection threshold for benign traffic.
+        use std::collections::HashMap;
+        let t = gen(5);
+        let mut unanswered: HashMap<(u32, u16), i64> = HashMap::new();
+        for p in t.iter() {
+            let o = p.orient().unwrap();
+            *unanswered.entry((o.server.raw(), o.server_port)).or_insert(0) +=
+                o.syn_minus_synack();
+        }
+        let worst = unanswered.values().copied().max().unwrap_or(0);
+        assert!(
+            worst < 60,
+            "benign service accumulated {worst} unanswered SYNs in one minute"
+        );
+    }
+}

@@ -1,0 +1,630 @@
+//! Attack and benign-anomaly injectors.
+
+use crate::model::NetworkModel;
+use crate::truth::{EventClass, TruthEntry};
+use hifind_flow::rng::SplitMix64;
+use hifind_flow::{Ip4, Packet, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Specification of one injected event (attack or benign anomaly).
+///
+/// Every variant carries `start_ms` / `duration_ms` and an intensity; the
+/// generator is a pure function of the spec, the network model, and the
+/// RNG.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EventSpec {
+    /// TCP SYN flooding against one service endpoint.
+    SynFlood {
+        /// Fixed attacker address, or `None` for per-packet spoofed sources.
+        attacker: Option<Ip4>,
+        /// Victim address.
+        victim: Ip4,
+        /// Victim port.
+        port: u16,
+        /// Attack packets per second.
+        pps: f64,
+        /// Start time (ms).
+        start_ms: u64,
+        /// Duration (ms).
+        duration_ms: u64,
+        /// Probability the overwhelmed victim still answers a given SYN
+        /// (small: the victim's backlog is full — that is the attack).
+        respond_prob: f64,
+        /// Cause label for reports.
+        label: String,
+    },
+    /// Horizontal scan: one source probes one port across many addresses.
+    HScan {
+        /// Scanner address.
+        attacker: Ip4,
+        /// Scanned port.
+        dport: u16,
+        /// Number of addresses probed.
+        victims: u32,
+        /// Probes per second.
+        pps: f64,
+        /// Start time (ms).
+        start_ms: u64,
+        /// Duration (ms).
+        duration_ms: u64,
+        /// Fraction of probed addresses that answer (open port).
+        hit_prob: f64,
+        /// Fraction of probed addresses that refuse with RST (live host,
+        /// closed port).
+        rst_prob: f64,
+        /// Cause label ("SQLSnake scan", "Sasser worm", ...).
+        label: String,
+    },
+    /// Vertical scan: one source probes many ports on one address.
+    VScan {
+        /// Scanner address.
+        attacker: Ip4,
+        /// Scanned address.
+        victim: Ip4,
+        /// First port probed.
+        port_lo: u16,
+        /// Last port probed (inclusive).
+        port_hi: u16,
+        /// Probes per second.
+        pps: f64,
+        /// Start time (ms).
+        start_ms: u64,
+        /// Ports that are actually open (answered with SYN/ACK).
+        open_ports: Vec<u16>,
+        /// Cause label.
+        label: String,
+    },
+    /// Block scan: many ports across many addresses.
+    BlockScan {
+        /// Scanner address.
+        attacker: Ip4,
+        /// First port probed.
+        port_lo: u16,
+        /// Last port probed (inclusive).
+        port_hi: u16,
+        /// Number of addresses probed.
+        victims: u32,
+        /// Probes per second.
+        pps: f64,
+        /// Start time (ms).
+        start_ms: u64,
+        /// Duration (ms).
+        duration_ms: u64,
+        /// Cause label.
+        label: String,
+    },
+    /// Benign: a previously active server stops answering (congestion or
+    /// crash); legitimate clients keep trying.
+    Congestion {
+        /// The affected server.
+        server: Ip4,
+        /// The affected port.
+        port: u16,
+        /// Client SYNs per second during the episode.
+        pps: f64,
+        /// Start time (ms).
+        start_ms: u64,
+        /// Duration (ms).
+        duration_ms: u64,
+    },
+    /// Benign: clients persistently SYN a dead address (stale DNS entry or
+    /// misconfiguration). The target was never active.
+    Misconfig {
+        /// The dead target address.
+        target: Ip4,
+        /// The targeted port.
+        port: u16,
+        /// Number of distinct misconfigured clients.
+        clients: u32,
+        /// Aggregate SYNs per second.
+        pps: f64,
+        /// Start time (ms).
+        start_ms: u64,
+        /// Duration (ms).
+        duration_ms: u64,
+    },
+    /// Benign: a flash crowd — many distinct legitimate clients hit one
+    /// service; most are answered, some time out under load.
+    FlashCrowd {
+        /// The popular server.
+        server: Ip4,
+        /// The popular port.
+        port: u16,
+        /// Connections per second at the peak.
+        pps: f64,
+        /// Start time (ms).
+        start_ms: u64,
+        /// Duration (ms).
+        duration_ms: u64,
+        /// Fraction of connections that go unanswered under load.
+        drop_prob: f64,
+    },
+}
+
+impl EventSpec {
+    /// The event class this spec generates.
+    pub fn class(&self) -> EventClass {
+        match self {
+            EventSpec::SynFlood { attacker: None, .. } => EventClass::SynFloodSpoofed,
+            EventSpec::SynFlood { .. } => EventClass::SynFloodDirect,
+            EventSpec::HScan { .. } => EventClass::HScan,
+            EventSpec::VScan { .. } => EventClass::VScan,
+            EventSpec::BlockScan { .. } => EventClass::BlockScan,
+            EventSpec::Congestion { .. } => EventClass::Congestion,
+            EventSpec::Misconfig { .. } => EventClass::Misconfig,
+            EventSpec::FlashCrowd { .. } => EventClass::FlashCrowd,
+        }
+    }
+
+    /// Generates the packets and the ground-truth record for this event.
+    pub fn generate(&self, net: &NetworkModel, rng: &mut SplitMix64) -> (Trace, TruthEntry) {
+        let mut trace = Trace::new();
+        let entry = match self {
+            EventSpec::SynFlood {
+                attacker,
+                victim,
+                port,
+                pps,
+                start_ms,
+                duration_ms,
+                respond_prob,
+                label,
+            } => {
+                let mut t = *start_ms as f64;
+                let end = start_ms + duration_ms;
+                let gap = 1000.0 / pps.max(1e-9);
+                while (t as u64) < end {
+                    let ts = t as u64;
+                    let src = match attacker {
+                        Some(a) => *a,
+                        None => net.spoofed_source(rng),
+                    };
+                    let cport = 1024 + rng.below(64512) as u16;
+                    trace.push(Packet::syn(ts, src, cport, *victim, *port));
+                    if rng.chance(*respond_prob) {
+                        trace.push(Packet::syn_ack(ts + 2, src, cport, *victim, *port));
+                    }
+                    t += rng.exp_gap(gap);
+                }
+                TruthEntry {
+                    class: self.class(),
+                    sip: *attacker,
+                    dip: Some(*victim),
+                    dport: Some(*port),
+                    start_ms: *start_ms,
+                    end_ms: end,
+                    label: label.clone(),
+                    packets: trace.len() as u64,
+                }
+            }
+            EventSpec::HScan {
+                attacker,
+                dport,
+                victims,
+                pps,
+                start_ms,
+                duration_ms,
+                hit_prob,
+                rst_prob,
+                label,
+            } => {
+                let end = start_ms + duration_ms;
+                let mut t = *start_ms as f64;
+                let gap = 1000.0 / pps.max(1e-9);
+                // Scans walk the target space quasi-sequentially.
+                let base = net.random_internal(rng).raw() & !0xFF;
+                let mut probed = 0u32;
+                while (t as u64) < end && probed < *victims {
+                    let ts = t as u64;
+                    let dst = Ip4::new(
+                        (base.wrapping_add(probed)) & !0u32, // sequential walk
+                    );
+                    let dst = if net.is_internal(dst) {
+                        dst
+                    } else {
+                        net.random_internal(rng)
+                    };
+                    let cport = 1024 + rng.below(64512) as u16;
+                    trace.push(Packet::syn(ts, *attacker, cport, dst, *dport));
+                    let roll = rng.f64();
+                    if roll < *hit_prob {
+                        trace.push(Packet::syn_ack(ts + 3, *attacker, cport, dst, *dport));
+                    } else if roll < hit_prob + rst_prob {
+                        trace.push(Packet::rst(ts + 3, *attacker, cport, dst, *dport));
+                    }
+                    probed += 1;
+                    t += rng.exp_gap(gap);
+                }
+                TruthEntry {
+                    class: EventClass::HScan,
+                    sip: Some(*attacker),
+                    dip: None,
+                    dport: Some(*dport),
+                    start_ms: *start_ms,
+                    end_ms: end,
+                    label: label.clone(),
+                    packets: trace.len() as u64,
+                }
+            }
+            EventSpec::VScan {
+                attacker,
+                victim,
+                port_lo,
+                port_hi,
+                pps,
+                start_ms,
+                open_ports,
+                label,
+            } => {
+                let mut t = *start_ms as f64;
+                let gap = 1000.0 / pps.max(1e-9);
+                for port in *port_lo..=*port_hi {
+                    let ts = t as u64;
+                    let cport = 1024 + rng.below(64512) as u16;
+                    trace.push(Packet::syn(ts, *attacker, cport, *victim, port));
+                    if open_ports.contains(&port) {
+                        trace.push(Packet::syn_ack(ts + 3, *attacker, cport, *victim, port));
+                    } else if rng.chance(0.3) {
+                        // Live host: closed ports mostly RST.
+                        trace.push(Packet::rst(ts + 3, *attacker, cport, *victim, port));
+                    }
+                    t += rng.exp_gap(gap);
+                }
+                TruthEntry {
+                    class: EventClass::VScan,
+                    sip: Some(*attacker),
+                    dip: Some(*victim),
+                    dport: None,
+                    start_ms: *start_ms,
+                    end_ms: t as u64,
+                    label: label.clone(),
+                    packets: trace.len() as u64,
+                }
+            }
+            EventSpec::BlockScan {
+                attacker,
+                port_lo,
+                port_hi,
+                victims,
+                pps,
+                start_ms,
+                duration_ms,
+                label,
+            } => {
+                let end = start_ms + duration_ms;
+                let mut t = *start_ms as f64;
+                let gap = 1000.0 / pps.max(1e-9);
+                let base = net.random_internal(rng).raw() & !0xFF;
+                'outer: for v in 0..*victims {
+                    let dst = Ip4::new(base.wrapping_add(v));
+                    let dst = if net.is_internal(dst) {
+                        dst
+                    } else {
+                        net.random_internal(rng)
+                    };
+                    for port in *port_lo..=*port_hi {
+                        let ts = t as u64;
+                        if ts >= end {
+                            break 'outer;
+                        }
+                        let cport = 1024 + rng.below(64512) as u16;
+                        trace.push(Packet::syn(ts, *attacker, cport, dst, port));
+                        t += rng.exp_gap(gap);
+                    }
+                }
+                TruthEntry {
+                    class: EventClass::BlockScan,
+                    sip: Some(*attacker),
+                    dip: None,
+                    dport: None,
+                    start_ms: *start_ms,
+                    end_ms: end,
+                    label: label.clone(),
+                    packets: trace.len() as u64,
+                }
+            }
+            EventSpec::Congestion {
+                server,
+                port,
+                pps,
+                start_ms,
+                duration_ms,
+            } => {
+                let end = start_ms + duration_ms;
+                let mut t = *start_ms as f64;
+                let gap = 1000.0 / pps.max(1e-9);
+                while (t as u64) < end {
+                    let ts = t as u64;
+                    let client = net.external_client(rng);
+                    let cport = 1024 + rng.below(64512) as u16;
+                    trace.push(Packet::syn(ts, client, cport, *server, *port));
+                    // Congested: almost nothing answered, occasional late
+                    // SYN/ACK as the server gasps.
+                    if rng.chance(0.05) {
+                        trace.push(Packet::syn_ack(ts + 900, client, cport, *server, *port));
+                    }
+                    t += rng.exp_gap(gap);
+                }
+                TruthEntry {
+                    class: EventClass::Congestion,
+                    sip: None,
+                    dip: Some(*server),
+                    dport: Some(*port),
+                    start_ms: *start_ms,
+                    end_ms: end,
+                    label: "server congestion/failure".into(),
+                    packets: trace.len() as u64,
+                }
+            }
+            EventSpec::Misconfig {
+                target,
+                port,
+                clients,
+                pps,
+                start_ms,
+                duration_ms,
+            } => {
+                let end = start_ms + duration_ms;
+                let mut t = *start_ms as f64;
+                let gap = 1000.0 / pps.max(1e-9);
+                let client_ids: Vec<u32> =
+                    (0..*clients).map(|_| rng.next_u32() % net.external_hosts).collect();
+                while (t as u64) < end {
+                    let ts = t as u64;
+                    let client = net.external_client_by_id(*rng.pick(&client_ids));
+                    let cport = 1024 + rng.below(64512) as u16;
+                    trace.push(Packet::syn(ts, client, cport, *target, *port));
+                    t += rng.exp_gap(gap);
+                }
+                TruthEntry {
+                    class: EventClass::Misconfig,
+                    sip: None,
+                    dip: Some(*target),
+                    dport: Some(*port),
+                    start_ms: *start_ms,
+                    end_ms: end,
+                    label: "stale DNS / misconfiguration".into(),
+                    packets: trace.len() as u64,
+                }
+            }
+            EventSpec::FlashCrowd {
+                server,
+                port,
+                pps,
+                start_ms,
+                duration_ms,
+                drop_prob,
+            } => {
+                let end = start_ms + duration_ms;
+                let mut t = *start_ms as f64;
+                let gap = 1000.0 / pps.max(1e-9);
+                while (t as u64) < end {
+                    let ts = t as u64;
+                    let client = net.external_client(rng);
+                    let cport = 1024 + rng.below(64512) as u16;
+                    trace.push(Packet::syn(ts, client, cport, *server, *port));
+                    if !rng.chance(*drop_prob) {
+                        trace.push(Packet::syn_ack(
+                            ts + rng.range(1, 400),
+                            client,
+                            cport,
+                            *server,
+                            *port,
+                        ));
+                    }
+                    t += rng.exp_gap(gap);
+                }
+                TruthEntry {
+                    class: EventClass::FlashCrowd,
+                    sip: None,
+                    dip: Some(*server),
+                    dport: Some(*port),
+                    start_ms: *start_ms,
+                    end_ms: end,
+                    label: "flash crowd".into(),
+                    packets: trace.len() as u64,
+                }
+            }
+        };
+        trace.sort_by_time();
+        (trace, entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind_flow::SegmentKind;
+    use std::collections::HashSet;
+
+    fn net() -> NetworkModel {
+        NetworkModel::campus()
+    }
+
+    #[test]
+    fn spoofed_flood_has_distinct_sources() {
+        let spec = EventSpec::SynFlood {
+            attacker: None,
+            victim: net().server(0),
+            port: 80,
+            pps: 500.0,
+            start_ms: 0,
+            duration_ms: 10_000,
+            respond_prob: 0.0,
+            label: "flood".into(),
+        };
+        let (trace, truth) = spec.generate(&net(), &mut SplitMix64::new(1));
+        assert_eq!(truth.class, EventClass::SynFloodSpoofed);
+        let sources: HashSet<_> = trace.iter().map(|p| p.src).collect();
+        // ~5000 packets, nearly all distinct spoofed sources.
+        assert!(sources.len() > trace.len() * 9 / 10);
+        assert!(trace.stats().syn_ack == 0);
+    }
+
+    #[test]
+    fn direct_flood_single_source() {
+        let attacker: Ip4 = [66, 66, 66, 66].into();
+        let spec = EventSpec::SynFlood {
+            attacker: Some(attacker),
+            victim: net().server(1),
+            port: 443,
+            pps: 200.0,
+            start_ms: 5_000,
+            duration_ms: 20_000,
+            respond_prob: 0.05,
+            label: "direct flood".into(),
+        };
+        let (trace, truth) = spec.generate(&net(), &mut SplitMix64::new(2));
+        assert_eq!(truth.class, EventClass::SynFloodDirect);
+        assert!(trace
+            .iter()
+            .filter(|p| p.kind == SegmentKind::Syn)
+            .all(|p| p.src == attacker));
+        let s = trace.stats();
+        assert!(s.syn_ack > 0 && s.syn_ack < s.syn / 10);
+        assert!(trace.iter().all(|p| p.ts_ms >= 5_000 && p.ts_ms < 25_100));
+    }
+
+    #[test]
+    fn hscan_covers_many_destinations_one_port() {
+        let attacker: Ip4 = [204, 10, 110, 38].into();
+        let spec = EventSpec::HScan {
+            attacker,
+            dport: 1433,
+            victims: 800,
+            pps: 100.0,
+            start_ms: 0,
+            duration_ms: 60_000,
+            hit_prob: 0.02,
+            rst_prob: 0.1,
+            label: "SQLSnake scan".into(),
+        };
+        let (trace, truth) = spec.generate(&net(), &mut SplitMix64::new(3));
+        assert_eq!(truth.dport, Some(1433));
+        let dsts: HashSet<_> = trace
+            .iter()
+            .filter(|p| p.kind == SegmentKind::Syn)
+            .map(|p| p.dst)
+            .collect();
+        assert!(dsts.len() > 500, "only {} distinct targets", dsts.len());
+        assert!(trace
+            .iter()
+            .filter(|p| p.kind == SegmentKind::Syn)
+            .all(|p| p.dport == 1433));
+    }
+
+    #[test]
+    fn vscan_covers_many_ports_one_destination() {
+        let spec = EventSpec::VScan {
+            attacker: [95, 30, 62, 202].into(),
+            victim: net().server(5),
+            port_lo: 1,
+            port_hi: 1024,
+            pps: 50.0,
+            start_ms: 0,
+            open_ports: vec![22, 80],
+            label: "vscan".into(),
+        };
+        let (trace, truth) = spec.generate(&net(), &mut SplitMix64::new(4));
+        assert_eq!(truth.class, EventClass::VScan);
+        let ports: HashSet<_> = trace
+            .iter()
+            .filter(|p| p.kind == SegmentKind::Syn)
+            .map(|p| p.dport)
+            .collect();
+        assert_eq!(ports.len(), 1024);
+        let synacks = trace.stats().syn_ack;
+        assert_eq!(synacks, 2); // exactly the open ports
+    }
+
+    #[test]
+    fn block_scan_covers_both_dimensions() {
+        let spec = EventSpec::BlockScan {
+            attacker: [7, 7, 7, 7].into(),
+            port_lo: 100,
+            port_hi: 110,
+            victims: 50,
+            pps: 1000.0,
+            start_ms: 0,
+            duration_ms: 60_000,
+            label: "block".into(),
+        };
+        let (trace, _) = spec.generate(&net(), &mut SplitMix64::new(5));
+        let ports: HashSet<_> = trace.iter().map(|p| p.dport).collect();
+        let dsts: HashSet<_> = trace.iter().map(|p| p.dst).collect();
+        assert!(ports.len() >= 11);
+        assert!(dsts.len() >= 40);
+    }
+
+    #[test]
+    fn congestion_is_mostly_unanswered_but_benign() {
+        let spec = EventSpec::Congestion {
+            server: net().server(2),
+            port: 80,
+            pps: 50.0,
+            start_ms: 0,
+            duration_ms: 30_000,
+        };
+        let (trace, truth) = spec.generate(&net(), &mut SplitMix64::new(6));
+        assert!(!truth.class.is_attack());
+        let s = trace.stats();
+        assert!(s.syn_ack < s.syn / 5);
+        // Many *distinct* clients — unlike a single-source attack.
+        let srcs: HashSet<_> = trace.iter().map(|p| p.src).collect();
+        assert!(srcs.len() > 100);
+    }
+
+    #[test]
+    fn misconfig_targets_dead_address() {
+        let n = net();
+        let spec = EventSpec::Misconfig {
+            target: n.dead_address(0),
+            port: 8080,
+            clients: 5,
+            pps: 10.0,
+            start_ms: 0,
+            duration_ms: 60_000,
+        };
+        let (trace, truth) = spec.generate(&n, &mut SplitMix64::new(7));
+        assert_eq!(truth.class, EventClass::Misconfig);
+        assert_eq!(trace.stats().syn_ack, 0);
+        let srcs: HashSet<_> = trace.iter().map(|p| p.src).collect();
+        assert!(srcs.len() <= 5);
+    }
+
+    #[test]
+    fn flash_crowd_mostly_answered() {
+        let spec = EventSpec::FlashCrowd {
+            server: net().server(3),
+            port: 80,
+            pps: 200.0,
+            start_ms: 0,
+            duration_ms: 20_000,
+            drop_prob: 0.15,
+        };
+        let (trace, truth) = spec.generate(&net(), &mut SplitMix64::new(8));
+        assert_eq!(truth.class, EventClass::FlashCrowd);
+        let s = trace.stats();
+        let ratio = s.syn_ack as f64 / s.syn as f64;
+        assert!((0.7..0.95).contains(&ratio), "answer ratio {ratio}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = EventSpec::HScan {
+            attacker: [1, 2, 3, 4].into(),
+            dport: 22,
+            victims: 100,
+            pps: 10.0,
+            start_ms: 0,
+            duration_ms: 30_000,
+            hit_prob: 0.1,
+            rst_prob: 0.1,
+            label: "ssh scan".into(),
+        };
+        let (a, ta) = spec.generate(&net(), &mut SplitMix64::new(9));
+        let (b, tb) = spec.generate(&net(), &mut SplitMix64::new(9));
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+    }
+}

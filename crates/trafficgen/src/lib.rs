@@ -1,0 +1,48 @@
+//! Deterministic synthetic traffic generation with ground truth.
+//!
+//! The paper evaluates HiFIND on edge-router traces from Northwestern
+//! University and Lawrence Berkeley National Laboratory. Those traces are
+//! not publicly available, so this crate builds the closest synthetic
+//! equivalent (see DESIGN.md §5): a background population of TCP
+//! connections with realistic completion behaviour, benign anomaly
+//! episodes (congestion/failure bursts, misconfigured clients hammering
+//! dead addresses — the false-positive sources §3.4 is about), and injected
+//! attack campaigns (spoofed/non-spoofed SYN flooding, horizontal /
+//! vertical / block scans) with exact [`GroundTruth`] records.
+//!
+//! Everything is driven by explicit seeds through
+//! [`hifind_flow::rng::SplitMix64`], so a [`Scenario`] is a pure function
+//! from its description to a [`hifind_flow::Trace`].
+//!
+//! The [`splitter`] module simulates the multi-router topology of paper
+//! Figure 3: per-packet random assignment of each packet to one of `n` edge
+//! routers, which breaks per-flow locality exactly like per-packet load
+//! balancing does.
+//!
+//! # Example
+//!
+//! ```
+//! use hifind_trafficgen::presets;
+//!
+//! let scenario = presets::nu_like(42).scaled(0.05); // 5% size for tests
+//! let (trace, truth) = scenario.generate();
+//! assert!(trace.len() > 0);
+//! assert!(truth.attacks().count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod events;
+pub mod model;
+pub mod presets;
+pub mod scenario;
+pub mod splitter;
+pub mod truth;
+
+pub use events::EventSpec;
+pub use model::{BackgroundProfile, NetworkModel};
+pub use scenario::Scenario;
+pub use splitter::split_per_packet;
+pub use truth::{EventClass, GroundTruth, TruthEntry};

@@ -1,0 +1,237 @@
+//! The simulated network: the monitored edge and its traffic profile.
+
+use hifind_flow::rng::SplitMix64;
+use hifind_flow::Ip4;
+use serde::{Deserialize, Serialize};
+
+/// The monitored edge network and the populations talking to it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// The campus/lab prefix the IDS sits in front of.
+    pub edge_prefix: Ip4,
+    /// Prefix length of the monitored network.
+    pub edge_prefix_len: u8,
+    /// Number of live servers inside the edge network.
+    pub server_count: u32,
+    /// Service ports offered (popularity-weighted by index order).
+    pub service_ports: Vec<u16>,
+    /// Number of external client addresses drawn from.
+    pub external_hosts: u32,
+}
+
+impl NetworkModel {
+    /// A campus-like /16 network (the paper's NU has several class-B
+    /// networks; one /16 preserves the detection-relevant structure).
+    pub fn campus() -> Self {
+        NetworkModel {
+            edge_prefix: [129, 105, 0, 0].into(),
+            edge_prefix_len: 16,
+            server_count: 400,
+            service_ports: vec![80, 443, 22, 25, 53, 110, 143, 993, 3306, 8080],
+            external_hosts: 50_000,
+        }
+    }
+
+    /// A smaller lab-like /16 network.
+    pub fn lab() -> Self {
+        NetworkModel {
+            edge_prefix: [131, 243, 0, 0].into(),
+            edge_prefix_len: 16,
+            server_count: 150,
+            service_ports: vec![80, 443, 22, 25, 53, 8000, 8081],
+            external_hosts: 20_000,
+        }
+    }
+
+    /// The `i`-th server address (deterministic spread over the prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= server_count`.
+    pub fn server(&self, i: u32) -> Ip4 {
+        assert!(i < self.server_count, "server index out of range");
+        // Spread servers over the low /24s of the prefix, skipping .0/.255.
+        let host = 256 + i * 7 % (1 << (32 - self.edge_prefix_len as u32) - 1);
+        Ip4::new(self.edge_prefix.raw() | (host & self.host_mask()))
+    }
+
+    /// A deterministic *dead* address inside the edge (no server listens):
+    /// used by misconfiguration episodes. Distinct from every
+    /// [`NetworkModel::server`] output.
+    pub fn dead_address(&self, i: u32) -> Ip4 {
+        // Servers live in hosts ≡ 256 + 7k; dead addresses use a high,
+        // odd-offset range.
+        let span = self.host_span();
+        let host = span - 2 - (i * 13 % (span / 4));
+        Ip4::new(self.edge_prefix.raw() | (host & self.host_mask()))
+    }
+
+    /// A uniformly random address inside the edge network.
+    pub fn random_internal(&self, rng: &mut SplitMix64) -> Ip4 {
+        let host = rng.below(self.host_span() as u64) as u32;
+        Ip4::new(self.edge_prefix.raw() | (host & self.host_mask()))
+    }
+
+    /// A uniformly random *external* client address (guaranteed outside the
+    /// edge prefix), drawn from a bounded population so flows repeat.
+    pub fn external_client(&self, rng: &mut SplitMix64) -> Ip4 {
+        let id = rng.below(self.external_hosts as u64) as u32;
+        self.external_client_by_id(id)
+    }
+
+    /// The `id`-th external client address (stable mapping).
+    pub fn external_client_by_id(&self, id: u32) -> Ip4 {
+        // Scatter clients over 12.0.0.0/6-ish space, avoiding the edge.
+        let mut addr = 0x0C00_0000u32.wrapping_add(id.wrapping_mul(2654435761) >> 4);
+        if Ip4::new(addr).in_prefix(self.edge_prefix, self.edge_prefix_len) {
+            addr ^= 0x4000_0000;
+        }
+        Ip4::new(addr)
+    }
+
+    /// A fully random spoofed source address (the DoS-resilience threat:
+    /// each packet a fresh source).
+    pub fn spoofed_source(&self, rng: &mut SplitMix64) -> Ip4 {
+        loop {
+            let a = Ip4::new(rng.next_u32());
+            if !a.in_prefix(self.edge_prefix, self.edge_prefix_len) {
+                return a;
+            }
+        }
+    }
+
+    /// Returns `true` if the address is inside the monitored network.
+    pub fn is_internal(&self, a: Ip4) -> bool {
+        a.in_prefix(self.edge_prefix, self.edge_prefix_len)
+    }
+
+    fn host_mask(&self) -> u32 {
+        (1u32 << (32 - self.edge_prefix_len as u32)) - 1
+    }
+
+    fn host_span(&self) -> u32 {
+        1u32 << (32 - self.edge_prefix_len as u32)
+    }
+}
+
+/// Parameters of the benign background connection mix.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundProfile {
+    /// Mean new connections per second arriving at the edge.
+    pub connections_per_sec: f64,
+    /// Probability a benign connection gets no answer at all (transient
+    /// loss, host asleep, ...). Each such connection still retries.
+    pub failure_prob: f64,
+    /// Probability the server refuses with RST instead of answering.
+    pub rst_prob: f64,
+    /// Probability a completed connection also emits a FIN teardown within
+    /// the trace.
+    pub fin_prob: f64,
+    /// SYN→SYN/ACK latency range in milliseconds.
+    pub synack_delay_ms: (u64, u64),
+    /// Zipf exponent of server popularity.
+    pub server_zipf_alpha: f64,
+    /// Zipf exponent of service-port popularity.
+    pub port_zipf_alpha: f64,
+    /// Maximum extra SYN retransmissions for unanswered connections.
+    pub max_retries: u32,
+    /// Diurnal modulation amplitude in `[0, 1)`: the arrival rate swings
+    /// between `(1−A)` and `(1+A)` times the base rate over one period.
+    /// Zero (the default) keeps the rate flat.
+    pub diurnal_amplitude: f64,
+    /// Diurnal period in milliseconds (ignored when amplitude is zero).
+    pub diurnal_period_ms: u64,
+}
+
+impl Default for BackgroundProfile {
+    fn default() -> Self {
+        BackgroundProfile {
+            connections_per_sec: 300.0,
+            failure_prob: 0.02,
+            rst_prob: 0.01,
+            fin_prob: 0.7,
+            synack_delay_ms: (1, 120),
+            server_zipf_alpha: 1.0,
+            port_zipf_alpha: 1.2,
+            max_retries: 2,
+            diurnal_amplitude: 0.0,
+            diurnal_period_ms: 24 * 60 * 60 * 1000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn servers_are_internal_and_distinct() {
+        let net = NetworkModel::campus();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..net.server_count {
+            let s = net.server(i);
+            assert!(net.is_internal(s), "server {s} outside edge");
+            seen.insert(s);
+        }
+        assert!(seen.len() as u32 > net.server_count * 9 / 10);
+    }
+
+    #[test]
+    fn dead_addresses_do_not_collide_with_servers() {
+        let net = NetworkModel::campus();
+        let servers: std::collections::HashSet<Ip4> =
+            (0..net.server_count).map(|i| net.server(i)).collect();
+        for i in 0..100 {
+            let d = net.dead_address(i);
+            assert!(net.is_internal(d));
+            assert!(!servers.contains(&d), "dead address {d} is a server");
+        }
+    }
+
+    #[test]
+    fn external_clients_are_external_and_stable() {
+        let net = NetworkModel::campus();
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let c = net.external_client(&mut rng);
+            assert!(!net.is_internal(c), "client {c} inside edge");
+        }
+        assert_eq!(
+            net.external_client_by_id(17),
+            net.external_client_by_id(17)
+        );
+    }
+
+    #[test]
+    fn spoofed_sources_are_external() {
+        let net = NetworkModel::lab();
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..1000 {
+            assert!(!net.is_internal(net.spoofed_source(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn random_internal_in_prefix() {
+        let net = NetworkModel::lab();
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..100 {
+            assert!(net.is_internal(net.random_internal(&mut rng)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "server index")]
+    fn server_index_out_of_range_panics() {
+        let net = NetworkModel::lab();
+        let _ = net.server(net.server_count);
+    }
+
+    #[test]
+    fn default_profile_is_sane() {
+        let p = BackgroundProfile::default();
+        assert!(p.connections_per_sec > 0.0);
+        assert!(p.failure_prob < 0.1);
+        assert!(p.synack_delay_ms.0 <= p.synack_delay_ms.1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Scenario composition: background + events → trace + ground truth.
+
+use crate::background::generate_background;
+use crate::events::EventSpec;
+use crate::model::{BackgroundProfile, NetworkModel};
+use crate::truth::GroundTruth;
+use hifind_flow::rng::SplitMix64;
+use hifind_flow::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A complete experiment workload: a network, a background profile, a list
+/// of injected events, a duration, and a seed.
+///
+/// `generate` is a pure function of this description, so scenarios can be
+/// shared between tests, examples and benchmark binaries and always produce
+/// the same packets.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (used in reports).
+    pub name: String,
+    /// The simulated network.
+    pub network: NetworkModel,
+    /// Benign background parameters.
+    pub background: BackgroundProfile,
+    /// Injected attacks and anomalies.
+    pub events: Vec<EventSpec>,
+    /// Trace length in milliseconds.
+    pub duration_ms: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Generates the packet trace and its ground truth.
+    pub fn generate(&self) -> (Trace, GroundTruth) {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut trace = generate_background(
+            &self.network,
+            &self.background,
+            self.duration_ms,
+            &mut rng.fork(0),
+        );
+        let mut truth = GroundTruth::new();
+        for (i, spec) in self.events.iter().enumerate() {
+            let (event_trace, entry) = spec.generate(&self.network, &mut rng.fork(i as u64 + 1));
+            trace.extend(event_trace);
+            truth.push(entry);
+        }
+        trace.sort_by_time();
+        (trace, truth)
+    }
+
+    /// Returns a scaled copy: background rate and event intensities are
+    /// multiplied by `factor` (duration is unchanged), so unit tests can
+    /// run a cheap variant of a preset while benches run it at full size.
+    ///
+    /// Scaling clamps so every event still crosses the paper's detection
+    /// threshold of one unresponded SYN per second.
+    pub fn scaled(&self, factor: f64) -> Scenario {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let mut s = self.clone();
+        s.background.connections_per_sec *= factor;
+        for e in &mut s.events {
+            match e {
+                EventSpec::SynFlood { pps, .. }
+                | EventSpec::Congestion { pps, .. }
+                | EventSpec::FlashCrowd { pps, .. }
+                | EventSpec::Misconfig { pps, .. } => *pps = (*pps * factor).max(2.0),
+                EventSpec::HScan { pps, victims, .. } => {
+                    *pps = (*pps * factor).max(2.0);
+                    *victims = ((*victims as f64 * factor) as u32).max(120);
+                }
+                EventSpec::BlockScan { pps, victims, .. } => {
+                    *pps = (*pps * factor).max(2.0);
+                    *victims = ((*victims as f64 * factor) as u32).max(20);
+                }
+                EventSpec::VScan { pps, .. } => *pps = (*pps * factor).max(2.0),
+            }
+        }
+        s
+    }
+
+    /// Compresses time by `factor` (the paper's stress test compresses the
+    /// NU day by 60): all packets of the generated trace land `factor`×
+    /// closer together.
+    pub fn time_compressed(trace: &Trace, factor: u64) -> Trace {
+        assert!(factor > 0, "compression factor must be positive");
+        let mut out = Trace::with_capacity(trace.len());
+        for p in trace.iter() {
+            let mut q = *p;
+            q.ts_ms /= factor;
+            out.push(q);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::EventClass;
+
+    fn tiny_scenario() -> Scenario {
+        let net = NetworkModel::campus();
+        let server = net.server(0);
+        Scenario {
+            name: "tiny".into(),
+            network: net.clone(),
+            background: BackgroundProfile {
+                connections_per_sec: 20.0,
+                ..BackgroundProfile::default()
+            },
+            events: vec![
+                EventSpec::SynFlood {
+                    attacker: None,
+                    victim: server,
+                    port: 80,
+                    pps: 50.0,
+                    start_ms: 60_000,
+                    duration_ms: 60_000,
+                    respond_prob: 0.0,
+                    label: "test flood".into(),
+                },
+                EventSpec::HScan {
+                    attacker: [4, 4, 4, 4].into(),
+                    dport: 22,
+                    victims: 300,
+                    pps: 5.0,
+                    start_ms: 0,
+                    duration_ms: 180_000,
+                    hit_prob: 0.02,
+                    rst_prob: 0.1,
+                    label: "ssh scan".into(),
+                },
+            ],
+            duration_ms: 180_000,
+            seed: 33,
+        }
+    }
+
+    #[test]
+    fn generates_background_plus_events() {
+        let (trace, truth) = tiny_scenario().generate();
+        assert!(trace.is_time_ordered());
+        assert_eq!(truth.len(), 2);
+        assert_eq!(truth.of_class(EventClass::SynFloodSpoofed).count(), 1);
+        assert_eq!(truth.of_class(EventClass::HScan).count(), 1);
+        // Flood contributes ~3000 SYNs on top of ~3600 background conns.
+        assert!(trace.len() > 5000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = tiny_scenario();
+        assert_eq!(s.generate().0, s.generate().0);
+        let mut s2 = s.clone();
+        s2.seed = 34;
+        assert_ne!(s.generate().0, s2.generate().0);
+    }
+
+    #[test]
+    fn scaled_reduces_volume_but_keeps_events_detectable() {
+        let full = tiny_scenario();
+        let small = full.scaled(0.5);
+        let (ft, _) = full.generate();
+        let (st, struth) = small.generate();
+        assert!(st.len() < ft.len());
+        assert_eq!(struth.len(), 2);
+        // Every attack still contributes enough packets to cross the
+        // one-per-second threshold in some interval.
+        for e in struth.attacks() {
+            assert!(e.packets >= 60, "{} only {} packets", e.label, e.packets);
+        }
+    }
+
+    #[test]
+    fn time_compression_divides_timestamps() {
+        let (trace, _) = tiny_scenario().generate();
+        let fast = Scenario::time_compressed(&trace, 60);
+        assert_eq!(fast.len(), trace.len());
+        let last_slow = trace.iter().last().unwrap().ts_ms;
+        let last_fast = fast.iter().last().unwrap().ts_ms;
+        assert_eq!(last_fast, last_slow / 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        let _ = tiny_scenario().scaled(0.0);
+    }
+}

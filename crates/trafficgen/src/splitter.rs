@@ -1,0 +1,146 @@
+//! Multi-router traffic splitting (paper Figure 3 / §5.3.2).
+//!
+//! To evaluate aggregated detection under asymmetric and multi-path
+//! routing, the paper splits a single edge trace across three routers
+//! *per packet*, so a connection's SYN and its SYN/ACK have a 2/3 chance of
+//! traversing different routers. [`split_per_packet`] reproduces exactly
+//! that: uniform, independent, per-packet router assignment.
+
+use hifind_flow::rng::SplitMix64;
+use hifind_flow::Trace;
+
+/// Splits a trace across `routers` edge routers with independent uniform
+/// per-packet assignment.
+///
+/// # Panics
+///
+/// Panics if `routers == 0`.
+pub fn split_per_packet(trace: &Trace, routers: usize, seed: u64) -> Vec<Trace> {
+    assert!(routers > 0, "need at least one router");
+    let mut rng = SplitMix64::new(seed);
+    let mut out = vec![Trace::new(); routers];
+    for p in trace.iter() {
+        out[rng.below(routers as u64) as usize].push(*p);
+    }
+    out
+}
+
+/// Splits a trace across routers *per flow* (hash of the 4-tuple), modelling
+/// flow-sticky load balancing — the easier case the paper contrasts with.
+pub fn split_per_flow(trace: &Trace, routers: usize, seed: u64) -> Vec<Trace> {
+    assert!(routers > 0, "need at least one router");
+    let mut out = vec![Trace::new(); routers];
+    for p in trace.iter() {
+        let o = p.orient().expect("all TCP segments orient");
+        // Canonical flow identity so SYN and SYN/ACK land together.
+        let id = (o.client.raw() as u64) << 32
+            ^ (o.server.raw() as u64)
+            ^ (o.client_port as u64) << 48
+            ^ (o.server_port as u64) << 16;
+        let mut h = SplitMix64::new(seed ^ id);
+        out[h.below(routers as u64) as usize].push(*p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind_flow::{Packet, SegmentKind};
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..3000u64 {
+            let client = [1, 1, (i >> 8) as u8, i as u8].into();
+            let server = [129, 105, 0, 1].into();
+            t.push(Packet::syn(i, client, 2000 + (i % 100) as u16, server, 80));
+            t.push(Packet::syn_ack(i + 1, client, 2000 + (i % 100) as u16, server, 80));
+        }
+        t.sort_by_time();
+        t
+    }
+
+    #[test]
+    fn per_packet_split_partitions_trace() {
+        let t = sample();
+        let parts = split_per_packet(&t, 3, 7);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(Trace::len).sum();
+        assert_eq!(total, t.len());
+        // Roughly even split.
+        for p in &parts {
+            let share = p.len() as f64 / t.len() as f64;
+            assert!((0.25..0.42).contains(&share), "share {share}");
+        }
+    }
+
+    #[test]
+    fn per_packet_split_separates_flows() {
+        // The point of the exercise: many SYNs land on a different router
+        // than their SYN/ACK.
+        let t = sample();
+        let parts = split_per_packet(&t, 3, 8);
+        // Count connections whose SYN and SYN/ACK are in different parts.
+        let mut separated = 0;
+        let mut total = 0;
+        for (i, p) in t.iter().enumerate() {
+            if p.kind == SegmentKind::Syn {
+                let syn_router = parts
+                    .iter()
+                    .position(|part| part.iter().any(|q| q == p))
+                    .unwrap();
+                // SYN/ACK is the next packet in the sample trace.
+                let ack = t.as_slice()[i + 1];
+                let ack_router = parts
+                    .iter()
+                    .position(|part| part.iter().any(|q| *q == ack))
+                    .unwrap();
+                total += 1;
+                if syn_router != ack_router {
+                    separated += 1;
+                }
+                if total >= 200 {
+                    break;
+                }
+            }
+        }
+        let frac = separated as f64 / total as f64;
+        assert!(
+            (0.5..0.85).contains(&frac),
+            "expected ~2/3 separated, got {frac}"
+        );
+    }
+
+    #[test]
+    fn per_flow_split_keeps_flows_together() {
+        let t = sample();
+        let parts = split_per_flow(&t, 3, 9);
+        let total: usize = parts.iter().map(Trace::len).sum();
+        assert_eq!(total, t.len());
+        // Every SYN/ACK shares a router with its SYN: check by orienting.
+        for part in &parts {
+            for p in part.iter().filter(|p| p.kind == SegmentKind::SynAck) {
+                let o = p.orient().unwrap();
+                let has_syn = part.iter().any(|q| {
+                    q.kind == SegmentKind::Syn
+                        && q.orient().unwrap().client == o.client
+                        && q.orient().unwrap().client_port == o.client_port
+                });
+                assert!(has_syn, "orphan SYN/ACK in per-flow split");
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let t = sample();
+        assert_eq!(split_per_packet(&t, 3, 1), split_per_packet(&t, 3, 1));
+        assert_ne!(split_per_packet(&t, 3, 1), split_per_packet(&t, 3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one router")]
+    fn zero_routers_panics() {
+        let _ = split_per_packet(&Trace::new(), 0, 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Ground-truth records for generated events.
+
+use hifind_flow::Ip4;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of event a truth entry describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventClass {
+    /// SYN flooding with randomly spoofed sources.
+    SynFloodSpoofed,
+    /// SYN flooding from a fixed attacker address.
+    SynFloodDirect,
+    /// Horizontal scan: one source, one port, many destinations.
+    HScan,
+    /// Vertical scan: one source, one destination, many ports.
+    VScan,
+    /// Block scan: many destinations × many ports.
+    BlockScan,
+    /// Benign congestion/failure episode (server stops answering).
+    Congestion,
+    /// Benign misconfiguration (clients hammering a dead address — stale
+    /// DNS, typo'd config).
+    Misconfig,
+    /// Benign flash crowd (many distinct legitimate clients, mostly
+    /// answered).
+    FlashCrowd,
+}
+
+impl EventClass {
+    /// Whether this class is a real attack (vs a benign anomaly a detector
+    /// should *not* alert on after false-positive reduction).
+    pub fn is_attack(self) -> bool {
+        matches!(
+            self,
+            EventClass::SynFloodSpoofed
+                | EventClass::SynFloodDirect
+                | EventClass::HScan
+                | EventClass::VScan
+                | EventClass::BlockScan
+        )
+    }
+
+    /// Whether the class is a flavour of SYN flooding.
+    pub fn is_flooding(self) -> bool {
+        matches!(
+            self,
+            EventClass::SynFloodSpoofed | EventClass::SynFloodDirect
+        )
+    }
+}
+
+impl fmt::Display for EventClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EventClass::SynFloodSpoofed => "SYN flooding (spoofed)",
+            EventClass::SynFloodDirect => "SYN flooding (direct)",
+            EventClass::HScan => "horizontal scan",
+            EventClass::VScan => "vertical scan",
+            EventClass::BlockScan => "block scan",
+            EventClass::Congestion => "congestion episode",
+            EventClass::Misconfig => "misconfiguration",
+            EventClass::FlashCrowd => "flash crowd",
+        })
+    }
+}
+
+/// One generated event with its identifying fields.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TruthEntry {
+    /// Event class.
+    pub class: EventClass,
+    /// Attacker / initiating source, when the class has a single one.
+    pub sip: Option<Ip4>,
+    /// Victim address, when the class targets a single one.
+    pub dip: Option<Ip4>,
+    /// Targeted port, when the class targets a single one.
+    pub dport: Option<u16>,
+    /// Event start (ms).
+    pub start_ms: u64,
+    /// Event end (ms).
+    pub end_ms: u64,
+    /// Human-readable cause ("SQLSnake scan", "Sasser worm", ...).
+    pub label: String,
+    /// Approximate packets this event contributed.
+    pub packets: u64,
+}
+
+impl TruthEntry {
+    /// Whether an alert identified by `(sip, dip, dport)` (any subset)
+    /// matches this event: all fields present on *both* sides must agree,
+    /// and at least one field must be compared.
+    pub fn matches(&self, sip: Option<Ip4>, dip: Option<Ip4>, dport: Option<u16>) -> bool {
+        let mut compared = 0;
+        for (mine, theirs) in [(self.sip, sip)] {
+            if let (Some(a), Some(b)) = (mine, theirs) {
+                if a != b {
+                    return false;
+                }
+                compared += 1;
+            }
+        }
+        if let (Some(a), Some(b)) = (self.dip, dip) {
+            if a != b {
+                return false;
+            }
+            compared += 1;
+        }
+        if let (Some(a), Some(b)) = (self.dport, dport) {
+            if a != b {
+                return false;
+            }
+            compared += 1;
+        }
+        compared > 0
+    }
+}
+
+impl fmt::Display for TruthEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.class)?;
+        if let Some(s) = self.sip {
+            write!(f, " from {s}")?;
+        }
+        if let Some(d) = self.dip {
+            write!(f, " to {d}")?;
+        }
+        if let Some(p) = self.dport {
+            write!(f, " port {p}")?;
+        }
+        write!(
+            f,
+            " [{:.0}s..{:.0}s] ({})",
+            self.start_ms as f64 / 1000.0,
+            self.end_ms as f64 / 1000.0,
+            self.label
+        )
+    }
+}
+
+/// The full ground truth of a generated trace.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    entries: Vec<TruthEntry>,
+}
+
+impl GroundTruth {
+    /// Creates an empty ground truth.
+    pub fn new() -> Self {
+        GroundTruth::default()
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, e: TruthEntry) {
+        self.entries.push(e);
+    }
+
+    /// All entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, TruthEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Only the real attacks.
+    pub fn attacks(&self) -> impl Iterator<Item = &TruthEntry> {
+        self.entries.iter().filter(|e| e.class.is_attack())
+    }
+
+    /// Only the benign anomaly episodes.
+    pub fn benign(&self) -> impl Iterator<Item = &TruthEntry> {
+        self.entries.iter().filter(|e| !e.class.is_attack())
+    }
+
+    /// Entries of one class.
+    pub fn of_class(&self, class: EventClass) -> impl Iterator<Item = &TruthEntry> {
+        self.entries.iter().filter(move |e| e.class == class)
+    }
+
+    /// Finds the entry matching an alert's identifying fields, preferring
+    /// attacks over benign events.
+    pub fn find_match(
+        &self,
+        sip: Option<Ip4>,
+        dip: Option<Ip4>,
+        dport: Option<u16>,
+    ) -> Option<&TruthEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.matches(sip, dip, dport))
+            .max_by_key(|e| e.class.is_attack())
+    }
+}
+
+impl FromIterator<TruthEntry> for GroundTruth {
+    fn from_iter<I: IntoIterator<Item = TruthEntry>>(iter: I) -> Self {
+        GroundTruth {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(class: EventClass, sip: Option<[u8; 4]>, dip: Option<[u8; 4]>, dport: Option<u16>) -> TruthEntry {
+        TruthEntry {
+            class,
+            sip: sip.map(Ip4::from),
+            dip: dip.map(Ip4::from),
+            dport,
+            start_ms: 0,
+            end_ms: 60_000,
+            label: "test".into(),
+            packets: 100,
+        }
+    }
+
+    #[test]
+    fn class_attack_flags() {
+        assert!(EventClass::HScan.is_attack());
+        assert!(EventClass::SynFloodSpoofed.is_attack());
+        assert!(EventClass::SynFloodSpoofed.is_flooding());
+        assert!(!EventClass::HScan.is_flooding());
+        assert!(!EventClass::Congestion.is_attack());
+        assert!(!EventClass::Misconfig.is_attack());
+    }
+
+    #[test]
+    fn matching_requires_agreement_on_shared_fields() {
+        let e = entry(EventClass::HScan, Some([1, 1, 1, 1]), None, Some(1433));
+        assert!(e.matches(Some([1, 1, 1, 1].into()), None, Some(1433)));
+        assert!(e.matches(Some([1, 1, 1, 1].into()), None, None));
+        // dip is unconstrained on the truth side.
+        assert!(e.matches(Some([1, 1, 1, 1].into()), Some([9, 9, 9, 9].into()), None));
+        assert!(!e.matches(Some([2, 2, 2, 2].into()), None, None));
+        assert!(!e.matches(Some([1, 1, 1, 1].into()), None, Some(80)));
+        // Nothing to compare → no match.
+        assert!(!e.matches(None, Some([3, 3, 3, 3].into()), None) || e.dip.is_some());
+        assert!(!e.matches(None, None, None));
+    }
+
+    #[test]
+    fn find_match_prefers_attacks() {
+        let mut gt = GroundTruth::new();
+        gt.push(entry(EventClass::Congestion, None, Some([5, 5, 5, 5]), Some(80)));
+        gt.push(entry(
+            EventClass::SynFloodDirect,
+            Some([6, 6, 6, 6]),
+            Some([5, 5, 5, 5]),
+            Some(80),
+        ));
+        let m = gt
+            .find_match(None, Some([5, 5, 5, 5].into()), Some(80))
+            .unwrap();
+        assert_eq!(m.class, EventClass::SynFloodDirect);
+    }
+
+    #[test]
+    fn filters_by_kind() {
+        let gt: GroundTruth = vec![
+            entry(EventClass::HScan, Some([1, 1, 1, 1]), None, Some(22)),
+            entry(EventClass::Congestion, None, Some([2, 2, 2, 2]), Some(80)),
+            entry(EventClass::VScan, Some([3, 3, 3, 3]), Some([4, 4, 4, 4]), None),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(gt.attacks().count(), 2);
+        assert_eq!(gt.benign().count(), 1);
+        assert_eq!(gt.of_class(EventClass::VScan).count(), 1);
+        assert_eq!(gt.len(), 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = entry(EventClass::HScan, Some([1, 2, 3, 4]), None, Some(1433));
+        let s = e.to_string();
+        assert!(s.contains("horizontal scan"));
+        assert!(s.contains("1.2.3.4"));
+        assert!(s.contains("1433"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the traffic generator.
+
+use hifind_flow::SegmentKind;
+use hifind_trafficgen::{
+    BackgroundProfile, EventSpec, NetworkModel, Scenario,
+};
+use hifind_trafficgen::splitter::{split_per_flow, split_per_packet};
+use proptest::prelude::*;
+
+fn tiny_scenario(seed: u64, conn_rate: f64, flood_pps: f64) -> Scenario {
+    let net = NetworkModel::campus();
+    let victim = net.server(0);
+    Scenario {
+        name: "prop".into(),
+        network: net,
+        background: BackgroundProfile {
+            connections_per_sec: conn_rate,
+            ..BackgroundProfile::default()
+        },
+        events: vec![EventSpec::SynFlood {
+            attacker: None,
+            victim,
+            port: 80,
+            pps: flood_pps,
+            start_ms: 30_000,
+            duration_ms: 60_000,
+            respond_prob: 0.0,
+            label: "flood".into(),
+        }],
+        duration_ms: 120_000,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Scenario generation is a pure function of its description.
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>(), rate in 1.0f64..50.0, pps in 5.0f64..100.0) {
+        let s = tiny_scenario(seed, rate, pps);
+        let (t1, g1) = s.generate();
+        let (t2, g2) = s.generate();
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(g1, g2);
+    }
+
+    /// Generated traces are time-ordered and confined to the configured
+    /// window (plus bounded retry/teardown tails).
+    #[test]
+    fn traces_are_ordered_and_bounded(seed in any::<u64>(), rate in 1.0f64..50.0) {
+        let s = tiny_scenario(seed, rate, 20.0);
+        let (trace, _) = s.generate();
+        prop_assert!(trace.is_time_ordered());
+        let limit = s.duration_ms + 40_000; // retry backoff tail
+        prop_assert!(trace.iter().all(|p| p.ts_ms < limit));
+    }
+
+    /// Every SYN targets the monitored edge network; responses come from
+    /// inside it.
+    #[test]
+    fn traffic_respects_edge_topology(seed in any::<u64>()) {
+        let s = tiny_scenario(seed, 20.0, 20.0);
+        let (trace, _) = s.generate();
+        for p in trace.iter() {
+            match p.kind {
+                SegmentKind::Syn => {
+                    prop_assert!(s.network.is_internal(p.dst));
+                    prop_assert!(!s.network.is_internal(p.src));
+                }
+                SegmentKind::SynAck | SegmentKind::Rst => {
+                    prop_assert!(s.network.is_internal(p.src));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Truth packet counts match the injected events' actual contribution:
+    /// total trace size ≥ sum of event packets.
+    #[test]
+    fn truth_accounts_for_injected_packets(seed in any::<u64>(), pps in 10.0f64..200.0) {
+        let s = tiny_scenario(seed, 5.0, pps);
+        let (trace, truth) = s.generate();
+        let injected: u64 = truth.iter().map(|e| e.packets).sum();
+        prop_assert!(injected > 0);
+        prop_assert!(trace.len() as u64 >= injected);
+    }
+
+    /// Splitters partition the trace exactly, regardless of router count.
+    #[test]
+    fn splits_partition(seed in any::<u64>(), routers in 1usize..8) {
+        let s = tiny_scenario(seed, 20.0, 20.0);
+        let (trace, _) = s.generate();
+        for parts in [split_per_packet(&trace, routers, seed), split_per_flow(&trace, routers, seed)] {
+            let total: usize = parts.iter().map(|t| t.len()).sum();
+            prop_assert_eq!(total, trace.len());
+            prop_assert_eq!(parts.len(), routers);
+        }
+    }
+
+    /// Scaling by 1.0 changes nothing except clamped minimums.
+    #[test]
+    fn scale_identity(seed in any::<u64>()) {
+        let s = tiny_scenario(seed, 20.0, 20.0);
+        let scaled = s.scaled(1.0);
+        prop_assert_eq!(s.background.connections_per_sec, scaled.background.connections_per_sec);
+        prop_assert_eq!(s.duration_ms, scaled.duration_ms);
+    }
+}

@@ -1,0 +1,79 @@
+//! Seasonal forecasting extension: on traffic with a strong diurnal cycle,
+//! plain EWMA mistakes every morning ramp for a change, while the additive
+//! Holt-Winters model learns the cycle and keeps the detection signal
+//! quiet until a real attack arrives.
+//!
+//! Run with: `cargo run --release --example seasonal_forecasting`
+
+use hifind_flow::rng::SplitMix64;
+use hifind_forecast::{Ewma, HoltWinters, ScalarForecaster};
+use hifind_trafficgen::{BackgroundProfile, NetworkModel};
+
+fn main() {
+    // A "day" compressed to 24 five-second ticks × many cycles; per-tick
+    // series = unresponded SYNs at one watched service.
+    let net = NetworkModel::campus();
+    let profile = BackgroundProfile {
+        connections_per_sec: 400.0,
+        diurnal_amplitude: 0.7,
+        diurnal_period_ms: 120_000, // one "day" = 24 ticks of 5 s
+        ..BackgroundProfile::default()
+    };
+    let duration = 10 * 120_000; // ten days
+    let trace = hifind_trafficgen::background::generate_background(
+        &net,
+        &profile,
+        duration,
+        &mut SplitMix64::new(42),
+    );
+
+    // Per-tick aggregate SYN counts (the signal a per-service monitor
+    // would forecast), with a synthetic flood spike near the end.
+    let tick_ms = 5_000u64;
+    let ticks = (duration / tick_ms) as usize;
+    let mut series = vec![0f64; ticks];
+    for p in trace.iter() {
+        if p.kind == hifind_flow::SegmentKind::Syn {
+            series[(p.ts_ms / tick_ms) as usize % ticks] += 1.0;
+        }
+    }
+    let attack_tick = ticks - 30;
+    series[attack_tick] += 3000.0;
+
+    let mut ewma = Ewma::new(0.5);
+    let mut hw = HoltWinters::new(0.3, 0.05, 0.4, 24);
+    let mut ewma_background_max = 0f64;
+    let mut hw_background_max = 0f64;
+    let mut ewma_attack = 0f64;
+    let mut hw_attack = 0f64;
+    for (t, &v) in series.iter().enumerate() {
+        let e = ewma.step(v);
+        let h = hw.step(v);
+        if t == attack_tick {
+            ewma_attack = e.unwrap_or(0.0);
+            hw_attack = h.unwrap_or(0.0);
+        } else if t > 3 * 24 {
+            if let Some(e) = e {
+                ewma_background_max = ewma_background_max.max(e.abs());
+            }
+            if let Some(h) = h {
+                hw_background_max = hw_background_max.max(h.abs());
+            }
+        }
+    }
+
+    println!("forecast errors on ten diurnal 'days' of traffic:");
+    println!(
+        "  EWMA α=0.5:          background max |error| = {ewma_background_max:>7.0}   attack spike = {ewma_attack:>7.0}   S/N = {:.1}",
+        ewma_attack / ewma_background_max.max(1.0)
+    );
+    println!(
+        "  Holt-Winters (24):   background max |error| = {hw_background_max:>7.0}   attack spike = {hw_attack:>7.0}   S/N = {:.1}",
+        hw_attack / hw_background_max.max(1.0)
+    );
+    println!(
+        "\nthe seasonal model soaks up the daily ramp, so the same detection\n\
+         threshold can be set ~{:.0}x tighter before the morning rush trips it.",
+        ewma_background_max / hw_background_max.max(1.0)
+    );
+}
