@@ -128,7 +128,11 @@ mod tests {
         let mut rng = SplitMix64::new(2);
         for i in 0..n {
             // Clients clustered in two /8s.
-            let base = if rng.chance(0.7) { 0x0C00_0000 } else { 0x3D00_0000 };
+            let base = if rng.chance(0.7) {
+                0x0C00_0000
+            } else {
+                0x3D00_0000
+            };
             let client = Ip4::new(base | (rng.next_u32() & 0x00FF_FFFF));
             t.push(Packet::syn_ack(i as u64, client, 2000, victim(), 80));
         }
@@ -163,7 +167,13 @@ mod tests {
         // Noise from a different host must not count.
         let other: Ip4 = [129, 105, 0, 81].into();
         for i in 0..500u32 {
-            t.push(Packet::syn_ack(i as u64, [1, 1, 1, 1].into(), 2000, other, 80));
+            t.push(Packet::syn_ack(
+                i as u64,
+                [1, 1, 1, 1].into(),
+                2000,
+                other,
+                80,
+            ));
         }
         let v = backscatter_validate(&t, victim());
         assert_eq!(v.responses, 500);

@@ -74,8 +74,7 @@ impl Cpm {
                 fin as f64
             }
             Some(avg) => {
-                let next =
-                    self.config.fin_alpha * fin as f64 + (1.0 - self.config.fin_alpha) * avg;
+                let next = self.config.fin_alpha * fin as f64 + (1.0 - self.config.fin_alpha) * avg;
                 self.fin_avg = Some(next);
                 next
             }

@@ -173,11 +173,29 @@ mod tests {
         let mut t = hifind_flow::Trace::new();
         for i in 0..300u32 {
             // Flooded victim: SYNs never complete.
-            t.push(Packet::syn(i as u64, Ip4::new(0x5000_0000 + i), 2000, victim, 80));
+            t.push(Packet::syn(
+                i as u64,
+                Ip4::new(0x5000_0000 + i),
+                2000,
+                victim,
+                80,
+            ));
             // Healthy server: SYN + FIN teardown.
             let c: Ip4 = [9, 9, 9, (i % 200) as u8].into();
-            t.push(Packet::syn(i as u64, c, 2000 + (i % 100) as u16, healthy, 80));
-            t.push(Packet::fin(i as u64 + 10, c, 2000 + (i % 100) as u16, healthy, 80));
+            t.push(Packet::syn(
+                i as u64,
+                c,
+                2000 + (i % 100) as u16,
+                healthy,
+                80,
+            ));
+            t.push(Packet::fin(
+                i as u64 + 10,
+                c,
+                2000 + (i % 100) as u16,
+                healthy,
+                80,
+            ));
         }
         t.sort_by_time();
         let results = Pcf::detect_candidates(

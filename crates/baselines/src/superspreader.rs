@@ -162,24 +162,18 @@ mod tests {
     #[test]
     fn low_fanout_source_not_reported() {
         let client: Ip4 = [9, 9, 9, 9].into();
-        let found = Superspreader::detect(
-            &fanout_trace(client, 50, 1),
-            SuperspreaderConfig::default(),
-        );
+        let found =
+            Superspreader::detect(&fanout_trace(client, 50, 1), SuperspreaderConfig::default());
         assert!(found.is_empty());
     }
 
     #[test]
     fn duplicates_do_not_inflate_estimate() {
         let src: Ip4 = [7, 7, 7, 7].into();
-        let once = Superspreader::detect(
-            &fanout_trace(src, 5000, 1),
-            SuperspreaderConfig::default(),
-        );
-        let five_times = Superspreader::detect(
-            &fanout_trace(src, 5000, 5),
-            SuperspreaderConfig::default(),
-        );
+        let once =
+            Superspreader::detect(&fanout_trace(src, 5000, 1), SuperspreaderConfig::default());
+        let five_times =
+            Superspreader::detect(&fanout_trace(src, 5000, 5), SuperspreaderConfig::default());
         assert_eq!(once, five_times, "hash sampling must be duplicate-stable");
     }
 

@@ -112,8 +112,7 @@ impl TrwAc {
     pub fn observe(&mut self, attempt: &Attempt) {
         self.total_attempts += 1;
         let pair_key = ((attempt.client.raw() as u64) << 32) | attempt.server.raw() as u64;
-        let idx =
-            (pair_key.wrapping_mul(self.hash_a) >> 40) as usize % self.conn_cache_entries();
+        let idx = (pair_key.wrapping_mul(self.hash_a) >> 40) as usize % self.conn_cache_entries();
         let tag = pair_key.wrapping_mul(self.hash_b);
         let d_conn = self.config.d_conn_ms;
         let slot = &mut self.conn_cache[idx];
@@ -241,7 +240,13 @@ mod tests {
         let mut t = Trace::new();
         for i in 0..probes {
             let dst: Ip4 = [129, 105, (i >> 8) as u8, i as u8].into();
-            t.push(Packet::syn(start_ms + i as u64 * 100, scanner, 2000, dst, 445));
+            t.push(Packet::syn(
+                start_ms + i as u64 * 100,
+                scanner,
+                2000,
+                dst,
+                445,
+            ));
         }
         t
     }
@@ -261,7 +266,13 @@ mod tests {
         let mut t = Trace::new();
         for i in 0..50_000u32 {
             let spoofed = Ip4::new(0x5000_0000 + i);
-            t.push(Packet::syn(i as u64, spoofed, 2000, [129, 105, 0, 1].into(), 80));
+            t.push(Packet::syn(
+                i as u64,
+                spoofed,
+                2000,
+                [129, 105, 0, 1].into(),
+                80,
+            ));
         }
         let (_, stats) = TrwAc::detect(&t, cfg);
         assert_eq!(
@@ -332,7 +343,13 @@ mod tests {
         for i in 0..100u32 {
             let dst: Ip4 = [129, 105, 1, (i % 200) as u8].into();
             t.push(Packet::syn(i as u64 * 50, client, 3000 + i as u16, dst, 80));
-            t.push(Packet::syn_ack(i as u64 * 50 + 3, client, 3000 + i as u16, dst, 80));
+            t.push(Packet::syn_ack(
+                i as u64 * 50 + 3,
+                client,
+                3000 + i as u16,
+                dst,
+                80,
+            ));
         }
         let (alerts, _) = TrwAc::detect(&t, small_config());
         assert!(alerts.is_empty());

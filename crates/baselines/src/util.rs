@@ -56,12 +56,7 @@ pub fn connection_attempts(trace: &Trace) -> Vec<Attempt> {
     let mut order = 0usize;
     for p in trace.iter() {
         let o = p.orient().expect("TCP segments orient");
-        let key = (
-            o.client.raw(),
-            o.server.raw(),
-            o.client_port,
-            o.server_port,
-        );
+        let key = (o.client.raw(), o.server.raw(), o.client_port, o.server_port);
         match o.kind {
             SegmentKind::Syn => {
                 slots.entry(key).or_insert_with(|| {

@@ -13,18 +13,28 @@ fn bench_hash_families(c: &mut Criterion) {
     let mut group = c.benchmark_group("hash");
     let keys: Vec<u64> = {
         let mut rng = SplitMix64::new(1);
-        (0..4096).map(|_| rng.next_u64() & ((1 << 48) - 1)).collect()
+        (0..4096)
+            .map(|_| rng.next_u64() & ((1 << 48) - 1))
+            .collect()
     };
     group.throughput(Throughput::Elements(keys.len() as u64));
 
     let pairwise = PairwiseHasher::from_seed(2, 1 << 12);
     group.bench_function("pairwise", |b| {
-        b.iter(|| keys.iter().map(|&k| pairwise.bucket(black_box(k))).sum::<usize>())
+        b.iter(|| {
+            keys.iter()
+                .map(|&k| pairwise.bucket(black_box(k)))
+                .sum::<usize>()
+        })
     });
 
     let modular = ModularHash::new(&mut SplitMix64::new(3), 48, 1 << 12).unwrap();
     group.bench_function("modular_48bit", |b| {
-        b.iter(|| keys.iter().map(|&k| modular.bucket(black_box(k))).sum::<usize>())
+        b.iter(|| {
+            keys.iter()
+                .map(|&k| modular.bucket(black_box(k)))
+                .sum::<usize>()
+        })
     });
 
     let mangler = Mangler::new(&mut SplitMix64::new(4), 48);
@@ -42,26 +52,32 @@ fn bench_stage_count(c: &mut Criterion) {
     let mut group = c.benchmark_group("stages");
     let keys: Vec<u64> = {
         let mut rng = SplitMix64::new(5);
-        (0..4096).map(|_| rng.next_u64() & ((1 << 48) - 1)).collect()
+        (0..4096)
+            .map(|_| rng.next_u64() & ((1 << 48) - 1))
+            .collect()
     };
     group.throughput(Throughput::Elements(keys.len() as u64));
     for stages in [4usize, 6, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &stages| {
-            let mut rs = ReversibleSketch::new(RsConfig {
-                key_bits: 48,
-                stages,
-                buckets: 1 << 12,
-                seed: 6,
-                mangle: true,
-                verifier_buckets: None,
-            })
-            .unwrap();
-            b.iter(|| {
-                for &k in &keys {
-                    rs.update(black_box(k), 1);
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stages),
+            &stages,
+            |b, &stages| {
+                let mut rs = ReversibleSketch::new(RsConfig {
+                    key_bits: 48,
+                    stages,
+                    buckets: 1 << 12,
+                    seed: 6,
+                    mangle: true,
+                    verifier_buckets: None,
+                })
+                .unwrap();
+                b.iter(|| {
+                    for &k in &keys {
+                        rs.update(black_box(k), 1);
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -81,13 +97,17 @@ fn bench_combine(c: &mut Criterion) {
         .collect();
     group.bench_function("three_routers_48bit", |b| {
         b.iter(|| {
-            let terms: Vec<(f64, &ReversibleSketch)> =
-                sketches.iter().map(|s| (1.0, s)).collect();
+            let terms: Vec<(f64, &ReversibleSketch)> = sketches.iter().map(|s| (1.0, s)).collect();
             black_box(ReversibleSketch::combine(&terms).unwrap().total())
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_hash_families, bench_stage_count, bench_combine);
+criterion_group!(
+    benches,
+    bench_hash_families,
+    bench_stage_count,
+    bench_combine
+);
 criterion_main!(benches);

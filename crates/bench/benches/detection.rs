@@ -34,18 +34,22 @@ fn bench_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference");
     group.sample_size(20);
     for heavy in [1usize, 10, 100] {
-        group.bench_with_input(BenchmarkId::new("heavy_keys", heavy), &heavy, |b, &heavy| {
-            let mut rs = ReversibleSketch::new(RsConfig::paper_48bit(3)).unwrap();
-            let mut rng = SplitMix64::new(4);
-            for _ in 0..heavy {
-                rs.update(rng.next_u64() & ((1 << 48) - 1), 1000);
-            }
-            for _ in 0..100_000 {
-                rs.update(rng.next_u64() & ((1 << 48) - 1), 1);
-            }
-            let opts = InferOptions::default();
-            b.iter(|| black_box(rs.infer(500, &opts)).keys.len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("heavy_keys", heavy),
+            &heavy,
+            |b, &heavy| {
+                let mut rs = ReversibleSketch::new(RsConfig::paper_48bit(3)).unwrap();
+                let mut rng = SplitMix64::new(4);
+                for _ in 0..heavy {
+                    rs.update(rng.next_u64() & ((1 << 48) - 1), 1000);
+                }
+                for _ in 0..100_000 {
+                    rs.update(rng.next_u64() & ((1 << 48) - 1), 1);
+                }
+                let opts = InferOptions::default();
+                b.iter(|| black_box(rs.infer(500, &opts)).keys.len())
+            },
+        );
     }
     group.finish();
 }
@@ -75,7 +79,13 @@ fn bench_full_interval(c: &mut Criterion) {
         .map(|i| {
             let roll = rng.f64();
             if roll < 0.02 {
-                Packet::syn(i as u64, Ip4::new(0x5000_0000 + i as u32), 2000, [129, 105, 0, 1].into(), 80)
+                Packet::syn(
+                    i as u64,
+                    Ip4::new(0x5000_0000 + i as u32),
+                    2000,
+                    [129, 105, 0, 1].into(),
+                    80,
+                )
             } else if roll < 0.03 {
                 let dst = Ip4::new(0x8169_0000 + (i as u32 & 0xFFF));
                 Packet::syn(i as u64, [66, 6, 6, 6].into(), 2100, dst, 445)

@@ -12,7 +12,11 @@ use std::hint::black_box;
 
 fn keys(n: usize, bits: u32, seed: u64) -> Vec<u64> {
     let mut rng = SplitMix64::new(seed);
-    let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1 << bits) - 1
+    };
     (0..n).map(|_| rng.next_u64() & mask).collect()
 }
 

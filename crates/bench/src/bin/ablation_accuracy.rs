@@ -75,7 +75,10 @@ fn inference_fp(mangle: bool, use_verifier: bool, seed: u64) -> (usize, usize) {
         .iter()
         .filter(|hk| !heavy.contains(&hk.key))
         .count();
-    (found, survivors_fp + result.stats.rejected_by_estimate + result.stats.rejected_by_verifier)
+    (
+        found,
+        survivors_fp + result.stats.rejected_by_estimate + result.stats.rejected_by_verifier,
+    )
 }
 
 fn main() {
@@ -105,8 +108,13 @@ fn main() {
     section("Ablation: stages H × buckets m (mean |estimate error| on 50 keys)");
     let widths = [22, 22, 14];
     row(&["config", "mean abs est. error", "memory KB"], &widths);
-    for (stages, buckets) in [(4usize, 1 << 12), (6, 1 << 12), (8, 1 << 12), (6, 1 << 6), (6, 1 << 18)]
-    {
+    for (stages, buckets) in [
+        (4usize, 1 << 12),
+        (6, 1 << 12),
+        (8, 1 << 12),
+        (6, 1 << 6),
+        (6, 1 << 18),
+    ] {
         let cfg = RsConfig {
             key_bits: 48,
             stages,
@@ -120,7 +128,12 @@ fn main() {
         };
         let mut rng = SplitMix64::new(s ^ 3);
         let truth: Vec<(u64, i64)> = (0..50)
-            .map(|_| (rng.next_u64() & ((1 << 48) - 1), 100 + rng.below(900) as i64))
+            .map(|_| {
+                (
+                    rng.next_u64() & ((1 << 48) - 1),
+                    100 + rng.below(900) as i64,
+                )
+            })
             .collect();
         for &(k, v) in &truth {
             rs.update(k, v);
@@ -135,7 +148,11 @@ fn main() {
             / truth.len() as f64;
         let label = format!("H={stages}, m=2^{}", buckets.trailing_zeros());
         row(
-            &[&label, &format!("{err:.1}"), &format!("{}", rs.memory_bytes() / 1024)],
+            &[
+                &label,
+                &format!("{err:.1}"),
+                &format!("{}", rs.memory_bytes() / 1024),
+            ],
             &widths,
         );
         out.geometry.push((label, err, rs.memory_bytes() / 1024));
@@ -175,7 +192,11 @@ fn main() {
             / 100.0;
         let label = format!("(p={p}, φ={phi})");
         row(
-            &[&label, &format!("{flood_acc:.2}"), &format!("{scan_acc:.2}")],
+            &[
+                &label,
+                &format!("{flood_acc:.2}"),
+                &format!("{scan_acc:.2}"),
+            ],
             &widths,
         );
         out.classifier.push((label, flood_acc, scan_acc));
@@ -189,8 +210,14 @@ fn main() {
         g
     };
     for (label, mut model) in [
-        ("EWMA α=0.5 (paper)", Box::new(GridEwma::new(0.5)) as Box<dyn GridForecaster>),
-        ("Holt α=0.5 β=0.5", Box::new(GridHolt::new(0.5, 0.5)) as Box<dyn GridForecaster>),
+        (
+            "EWMA α=0.5 (paper)",
+            Box::new(GridEwma::new(0.5)) as Box<dyn GridForecaster>,
+        ),
+        (
+            "Holt α=0.5 β=0.5",
+            Box::new(GridHolt::new(0.5, 0.5)) as Box<dyn GridForecaster>,
+        ),
     ] {
         let mut total = 0.0;
         let mut n = 0;

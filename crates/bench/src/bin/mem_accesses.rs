@@ -32,17 +32,32 @@ fn main() {
 
     section("§5.5.2: counter memory accesses per packet");
     let widths = [30, 18, 22];
-    row(&["Structure", "Paper (hardware)", "This impl (software)"], &widths);
     row(
-        &["48-bit reversible sketch", &hw.rs48.to_string(), &sw.rs48.to_string()],
+        &["Structure", "Paper (hardware)", "This impl (software)"],
         &widths,
     );
     row(
-        &["64-bit reversible sketch", &hw.rs64.to_string(), &sw.rs64.to_string()],
+        &[
+            "48-bit reversible sketch",
+            &hw.rs48.to_string(),
+            &sw.rs48.to_string(),
+        ],
         &widths,
     );
     row(
-        &["2D sketch (per matrix bank)", &hw.twod.to_string(), &sw.twod.to_string()],
+        &[
+            "64-bit reversible sketch",
+            &hw.rs64.to_string(),
+            &sw.rs64.to_string(),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            "2D sketch (per matrix bank)",
+            &hw.twod.to_string(),
+            &sw.twod.to_string(),
+        ],
         &widths,
     );
     row(

@@ -63,8 +63,17 @@ fn main() {
         site.process_interval(&snaps).expect("same configuration");
     }
 
-    let s: BTreeSet<_> = single_log.final_alerts().iter().map(|a| a.identity()).collect();
-    let a: BTreeSet<_> = site.log().final_alerts().iter().map(|a| a.identity()).collect();
+    let s: BTreeSet<_> = single_log
+        .final_alerts()
+        .iter()
+        .map(|a| a.identity())
+        .collect();
+    let a: BTreeSet<_> = site
+        .log()
+        .final_alerts()
+        .iter()
+        .map(|a| a.identity())
+        .collect();
 
     // TRW: whole-trace reference vs per-router detection summed up.
     eprintln!("[multi_router] running TRW (single + per-router)...");
@@ -77,10 +86,7 @@ fn main() {
     }
 
     section("§5.3.2: aggregated detection over 3 routers (per-packet load balancing)");
-    println!(
-        "HiFIND single router:      {} final alerts",
-        s.len()
-    );
+    println!("HiFIND single router:      {} final alerts", s.len());
     println!(
         "HiFIND aggregated sketches: {} final alerts → identical: {}",
         a.len(),

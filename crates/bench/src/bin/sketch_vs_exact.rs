@@ -34,8 +34,16 @@ fn run(name: &str, scenario: hifind_trafficgen::Scenario) -> Comparison {
     let mut exact = ExactHiFind::new(cfg);
     let exact_log = exact.run_trace(&trace);
 
-    let s: BTreeSet<_> = sketch_log.final_alerts().iter().map(|a| a.identity()).collect();
-    let e: BTreeSet<_> = exact_log.final_alerts().iter().map(|a| a.identity()).collect();
+    let s: BTreeSet<_> = sketch_log
+        .final_alerts()
+        .iter()
+        .map(|a| a.identity())
+        .collect();
+    let e: BTreeSet<_> = exact_log
+        .final_alerts()
+        .iter()
+        .map(|a| a.identity())
+        .collect();
 
     Comparison {
         trace: name.to_string(),

@@ -15,8 +15,8 @@ use hifind_baselines::{
 };
 use hifind_bench::harness::{row, section, seed, write_json};
 use hifind_flow::Trace;
-use hifind_trafficgen::{EventSpec, NetworkModel, Scenario};
 use hifind_trafficgen::{BackgroundProfile, EventClass};
+use hifind_trafficgen::{EventSpec, NetworkModel, Scenario};
 use serde::Serialize;
 
 fn scenario_with(net: &NetworkModel, event: EventSpec) -> Scenario {
@@ -160,7 +160,14 @@ fn main() {
     section("Table 1: functionality comparison (empirical)");
     let widths = [16, 10, 8, 8, 13, 14];
     row(
-        &["Attack", "HiFIND", "TRW", "CPM", "Backscatter", "Superspreader"],
+        &[
+            "Attack",
+            "HiFIND",
+            "TRW",
+            "CPM",
+            "Backscatter",
+            "Superspreader",
+        ],
         &widths,
     );
     let mut rows = Vec::new();
@@ -169,7 +176,14 @@ fn main() {
         let (trace, truth) = scenario_with(&net, event).generate();
         let v = evaluate_all(&trace, &truth);
         row(
-            &[label, yn(v.hifind), yn(v.trw), yn(v.cpm), yn(v.backscatter), yn(v.superspreader)],
+            &[
+                label,
+                yn(v.hifind),
+                yn(v.trw),
+                yn(v.cpm),
+                yn(v.backscatter),
+                yn(v.superspreader),
+            ],
             &widths,
         );
         rows.push(Table1Row {

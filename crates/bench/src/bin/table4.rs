@@ -69,14 +69,26 @@ fn main() {
     section("Table 4: detection results under three phases");
     let widths = [10, 14, 14, 18, 16];
     row(
-        &["Trace", "Attack type", "Phase1: raw", "Phase2: port scan", "Phase3: flooding"],
+        &[
+            "Trace",
+            "Attack type",
+            "Phase1: raw",
+            "Phase2: port scan",
+            "Phase3: flooding",
+        ],
         &widths,
     );
     for r in &results {
         for (i, (label, raw, p2, p3)) in r.rows.iter().enumerate() {
             let trace = if i == 0 { r.trace.as_str() } else { "" };
             row(
-                &[trace, label, &raw.to_string(), &p2.to_string(), &p3.to_string()],
+                &[
+                    trace,
+                    label,
+                    &raw.to_string(),
+                    &p2.to_string(),
+                    &p3.to_string(),
+                ],
                 &widths,
             );
         }

@@ -40,11 +40,7 @@ fn run(name: &str, scenario: hifind_trafficgen::Scenario) -> Row {
             ids.record(p);
         }
         let outcome = ids.end_interval();
-        if outcome
-            .fin
-            .iter()
-            .any(|a| a.kind == AlertKind::SynFlooding)
-        {
+        if outcome.fin.iter().any(|a| a.kind == AlertKind::SynFlooding) {
             hifind_intervals.insert(outcome.interval);
         }
     }

@@ -51,7 +51,7 @@ fn main() {
             }
         })
         .collect();
-    scans.sort_by(|a, b| b.change.cmp(&a.change));
+    scans.sort_by_key(|s| std::cmp::Reverse(s.change));
 
     let widths = [18, 8, 8, 8, 30];
     section("Table 7: top-5 Hscans by change difference");

@@ -37,7 +37,13 @@ fn main() {
     let victim: Ip4 = [129, 105, 0, 1].into();
     const FLOWS: u32 = 100_000;
     for i in 0..FLOWS {
-        t.push(Packet::syn(i as u64 / 50, Ip4::new(0x5000_0000 + i), 2000, victim, 80));
+        t.push(Packet::syn(
+            i as u64 / 50,
+            Ip4::new(0x5000_0000 + i),
+            2000,
+            victim,
+            80,
+        ));
     }
     exact.run_trace(&t);
     let measured_per_flow = exact.peak_memory_bytes() as f64 / FLOWS as f64;
@@ -48,12 +54,24 @@ fn main() {
     section("Table 9: memory comparison (bytes), worst-case 40-byte-packet traffic");
     let widths = [26, 14, 14, 14, 14];
     row(
-        &["Method", "2.5Gbps 1min", "2.5Gbps 5min", "10Gbps 1min", "10Gbps 5min"],
+        &[
+            "Method",
+            "2.5Gbps 1min",
+            "2.5Gbps 5min",
+            "10Gbps 1min",
+            "10Gbps 5min",
+        ],
         &widths,
     );
     let sketch_cell = format!("{:.1}M", sketch.total_mb());
     row(
-        &["HiFIND w/ sketch", &sketch_cell, &sketch_cell, &sketch_cell, &sketch_cell],
+        &[
+            "HiFIND w/ sketch",
+            &sketch_cell,
+            &sketch_cell,
+            &sketch_cell,
+            &sketch_cell,
+        ],
         &widths,
     );
     let complete: Vec<String> = configs
@@ -61,7 +79,13 @@ fn main() {
         .map(|&(g, s)| gb(complete_info_bytes(g, s, 7.33)))
         .collect();
     row(
-        &["HiFIND w/ complete info", &complete[0], &complete[1], &complete[2], &complete[3]],
+        &[
+            "HiFIND w/ complete info",
+            &complete[0],
+            &complete[1],
+            &complete[2],
+            &complete[3],
+        ],
         &widths,
     );
     let trw: Vec<String> = configs
@@ -74,7 +98,13 @@ fn main() {
         .map(|&(g, s)| gb(3.0 * worst_case_flows(g, s) * measured_per_flow))
         .collect();
     row(
-        &["(measured exact pipeline)", &measured[0], &measured[1], &measured[2], &measured[3]],
+        &[
+            "(measured exact pipeline)",
+            &measured[0],
+            &measured[1],
+            &measured[2],
+            &measured[3],
+        ],
         &widths,
     );
 

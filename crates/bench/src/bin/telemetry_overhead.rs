@@ -1,0 +1,35 @@
+//! Telemetry record-path overhead: instrumented vs. uninstrumented
+//! recording throughput, written to `results/BENCH_telemetry_overhead.json`.
+//!
+//! The `telemetry` feature adds a branch and a 1-in-64 sampled latency
+//! observation to [`hifind::HiFind::record`]; the budget is < 5% of
+//! recording throughput (enforced by a test in `src/overhead.rs`). This
+//! binary records the measured numbers so regressions show up as a diff.
+//!
+//! Run: `cargo run --release -p hifind-bench --features telemetry --bin telemetry_overhead`
+//!
+//! Without `--features telemetry` only the baseline side is measured.
+
+use hifind_bench::harness::{section, write_json};
+use hifind_bench::overhead::measure_overhead;
+
+fn main() {
+    section("telemetry overhead on the record path");
+    let report = measure_overhead(500_000, 5);
+    println!(
+        "baseline:     {:>7.2}M packets/s (best of {} runs, {} packets each)",
+        report.baseline_pps / 1e6,
+        report.runs,
+        report.packets
+    );
+    if report.telemetry_compiled {
+        println!(
+            "instrumented: {:>7.2}M packets/s",
+            report.instrumented_pps / 1e6
+        );
+        println!("overhead:     {:>7.2}% (budget: 5%)", report.overhead_pct);
+    } else {
+        println!("instrumented: not compiled (re-run with --features telemetry)");
+    }
+    write_json("BENCH_telemetry_overhead", &report);
+}

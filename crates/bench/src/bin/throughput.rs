@@ -33,7 +33,9 @@ fn main() {
     // --- Single reversible-sketch insertion throughput -----------------
     let mut rs = ReversibleSketch::new(RsConfig::paper_48bit(seed())).expect("paper config");
     let mut rng = SplitMix64::new(1);
-    let keys: Vec<u64> = (0..1_000_000).map(|_| rng.next_u64() & ((1 << 48) - 1)).collect();
+    let keys: Vec<u64> = (0..1_000_000)
+        .map(|_| rng.next_u64() & ((1 << 48) - 1))
+        .collect();
     // Warm up, then measure.
     for &k in keys.iter().take(100_000) {
         rs.update(k, 1);
@@ -77,21 +79,24 @@ fn main() {
     );
 
     // --- Detection time per interval ------------------------------------
+    // RunReport times each pipeline phase internally, so the harness reads
+    // the numbers off the report instead of stopwatching end_interval().
     let mut ids = HiFind::new(cfg).expect("paper config");
-    let mut times = Vec::new();
-    for window in trace.intervals(cfg.interval_ms) {
-        for p in window.packets {
-            ids.record(p);
-        }
-        let t0 = Instant::now();
-        ids.end_interval();
-        times.push(t0.elapsed().as_secs_f64());
-    }
-    let avg = times.iter().sum::<f64>() / times.len().max(1) as f64;
-    let max = times.iter().copied().fold(0.0, f64::max);
+    let (_, report) = ids.run_trace_with_report(&trace);
+    let total = &report.phase_latency.total;
+    let avg = total.mean_ns() as f64 / 1e9;
+    let max = total.max_ns as f64 / 1e9;
     println!(
         "\ndetection per one-minute interval: avg {avg:.3} s, max {max:.3} s over {} intervals",
-        times.len()
+        report.intervals.len()
+    );
+    println!(
+        "phase means: forecast {:.1} ms, detect {:.1} ms, classify {:.1} ms, \
+         flood-filter {:.1} ms",
+        report.phase_latency.forecast.mean_ns() as f64 / 1e6,
+        report.phase_latency.detect.mean_ns() as f64 / 1e6,
+        report.phase_latency.classify.mean_ns() as f64 / 1e6,
+        report.phase_latency.flood_filter.mean_ns() as f64 / 1e6,
     );
     println!("paper reference: avg 0.34 s, max 12.91 s — well under the interval");
 
@@ -102,22 +107,16 @@ fn main() {
     // concurrent anomalies.
     let compressed = Scenario::time_compressed(&trace, 10);
     let mut ids = HiFind::new(cfg).expect("paper config");
-    let mut ctimes = Vec::new();
-    for window in compressed.intervals(cfg.interval_ms) {
-        for p in window.packets {
-            ids.record(p);
-        }
-        let t0 = Instant::now();
-        ids.end_interval();
-        ctimes.push(t0.elapsed().as_secs_f64());
-    }
-    let cavg = ctimes.iter().sum::<f64>() / ctimes.len().max(1) as f64;
-    let cmax = ctimes.iter().copied().fold(0.0, f64::max);
-    println!(
-        "stress (trace time-compressed ×10): avg {cavg:.3} s, max {cmax:.3} s per interval"
-    );
+    let (_, creport) = ids.run_trace_with_report(&compressed);
+    let cavg = creport.phase_latency.total.mean_ns() as f64 / 1e9;
+    let cmax = creport.phase_latency.total.max_ns as f64 / 1e9;
+    println!("stress (trace time-compressed ×10): avg {cavg:.3} s, max {cmax:.3} s per interval");
     println!("paper reference: avg 35.61 s, max 46.90 s — still under one minute");
 
+    // The full per-interval report (phase latencies, alert counts, sketch
+    // health) in the same machine-readable shape `hifind detect
+    // --metrics-json` emits.
+    write_json("throughput_run_report", &report);
     write_json(
         "throughput",
         &Throughput {

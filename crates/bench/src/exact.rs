@@ -72,7 +72,8 @@ impl ExactHiFind {
         self.sip_dport.add(sip_dport, v);
         self.dip_dport.add(dip_dport, v);
         self.sip_dip.add(sip_dip, v);
-        self.dist_sipdport_dip.add(sip_dport, o.server.raw() as u64, v);
+        self.dist_sipdport_dip
+            .add(sip_dport, o.server.raw() as u64, v);
         self.dist_sipdip_dport.add(sip_dip, o.server_port as u64, v);
         if o.kind == SegmentKind::Syn {
             *self.syn_counts.entry(dip_dport).or_insert(0) += 1;
@@ -97,8 +98,7 @@ impl ExactHiFind {
             .into_iter()
             .map(|(k, e)| (DipDport::from_u64(k), e))
             .collect();
-        let flooding_dip_set: HashSet<u32> =
-            flooding.iter().map(|(k, _)| k.dip().raw()).collect();
+        let flooding_dip_set: HashSet<u32> = flooding.iter().map(|(k, _)| k.dip().raw()).collect();
 
         let pairs: Vec<(SipDip, i64)> = self
             .sip_dip
@@ -112,7 +112,9 @@ impl ExactHiFind {
         for (key, magnitude) in &pairs {
             if flooding_dip_set.contains(&key.dip().raw()) {
                 flooding_sip_set.insert(key.sip().raw());
-                flooding_attacker.entry(key.dip().raw()).or_insert(key.sip().raw());
+                flooding_attacker
+                    .entry(key.dip().raw())
+                    .or_insert(key.sip().raw());
             } else {
                 vscans.push(Alert {
                     kind: AlertKind::VScan,
@@ -205,7 +207,10 @@ impl ExactHiFind {
                 self.streaks.remove(&(dip.raw(), dport));
                 continue;
             }
-            let entry = self.streaks.entry((dip.raw(), dport)).or_insert((interval, 0));
+            let entry = self
+                .streaks
+                .entry((dip.raw(), dport))
+                .or_insert((interval, 0));
             let (last, count) = *entry;
             let new_count = if interval == last || interval == last + 1 {
                 count + 1
@@ -253,8 +258,8 @@ impl ExactHiFind {
     }
 
     fn track_memory(&mut self) {
-        let dist_cells = self.dist_sipdport_dip.memory_bytes()
-            + self.dist_sipdip_dport.memory_bytes();
+        let dist_cells =
+            self.dist_sipdport_dip.memory_bytes() + self.dist_sipdip_dport.memory_bytes();
         let m = self.sip_dport.memory_bytes()
             + self.dip_dport.memory_bytes()
             + self.sip_dip.memory_bytes()
@@ -278,8 +283,20 @@ mod tests {
             let base = iv * interval_ms;
             for i in 0..30u32 {
                 let c: Ip4 = [9, 9, 9, (i % 100) as u8].into();
-                t.push(Packet::syn(base + i as u64 * 7, c, 4000 + i as u16, victim, 80));
-                t.push(Packet::syn_ack(base + i as u64 * 7 + 1, c, 4000 + i as u16, victim, 80));
+                t.push(Packet::syn(
+                    base + i as u64 * 7,
+                    c,
+                    4000 + i as u16,
+                    victim,
+                    80,
+                ));
+                t.push(Packet::syn_ack(
+                    base + i as u64 * 7 + 1,
+                    c,
+                    4000 + i as u16,
+                    victim,
+                    80,
+                ));
             }
             if iv >= 1 {
                 for i in 0..300u32 {
@@ -318,8 +335,16 @@ mod tests {
         let exact_log = exact.run_trace(&trace);
         let mut sketch = hifind::HiFind::new(cfg).unwrap();
         let sketch_log = sketch.run_trace(&trace);
-        let mut e: Vec<_> = exact_log.final_alerts().iter().map(|a| a.identity()).collect();
-        let mut s: Vec<_> = sketch_log.final_alerts().iter().map(|a| a.identity()).collect();
+        let mut e: Vec<_> = exact_log
+            .final_alerts()
+            .iter()
+            .map(|a| a.identity())
+            .collect();
+        let mut s: Vec<_> = sketch_log
+            .final_alerts()
+            .iter()
+            .map(|a| a.identity())
+            .collect();
         e.sort();
         s.sort();
         assert_eq!(e, s, "sketch and exact pipelines must agree");
@@ -331,13 +356,25 @@ mod tests {
         let mut small = ExactHiFind::new(cfg);
         let mut t1 = Trace::new();
         for i in 0..100u32 {
-            t1.push(Packet::syn(i as u64, Ip4::new(0x100 + i), 1, [10, 0, 0, 1].into(), 80));
+            t1.push(Packet::syn(
+                i as u64,
+                Ip4::new(0x100 + i),
+                1,
+                [10, 0, 0, 1].into(),
+                80,
+            ));
         }
         small.run_trace(&t1);
         let mut big = ExactHiFind::new(cfg);
         let mut t2 = Trace::new();
         for i in 0..50_000u32 {
-            t2.push(Packet::syn(i as u64 / 100, Ip4::new(0x100 + i), 1, [10, 0, 0, 1].into(), 80));
+            t2.push(Packet::syn(
+                i as u64 / 100,
+                Ip4::new(0x100 + i),
+                1,
+                [10, 0, 0, 1].into(),
+                80,
+            ));
         }
         big.run_trace(&t2);
         assert!(

@@ -11,11 +11,14 @@
 //!   Table 9).
 //! * [`harness`] — scenario scaling, alert/truth set algebra, and table
 //!   printing helpers.
+//! * [`overhead`] — instrumented-vs-uninstrumented recording throughput
+//!   (the `telemetry` feature's < 5% record-path budget).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exact;
 pub mod harness;
+pub mod overhead;
 
 pub use exact::ExactHiFind;

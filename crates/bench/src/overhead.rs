@@ -1,0 +1,143 @@
+//! Telemetry-overhead measurement on the record path.
+//!
+//! The `telemetry` feature adds one branch plus a 1-in-64 sampled timer to
+//! [`hifind::HiFind::record`]; the acceptance bar is that this costs less
+//! than 5% of recording throughput. This module measures both sides so the
+//! `telemetry_overhead` binary can record a baseline
+//! (`results/BENCH_telemetry_overhead.json`) and a feature-gated test can
+//! enforce the bar.
+//!
+//! Without the `telemetry` feature the instrumented side cannot be built,
+//! so [`measure_overhead`] reports the baseline only.
+
+use hifind::{HiFind, HiFindConfig};
+use hifind_flow::rng::SplitMix64;
+use hifind_flow::{Ip4, Packet};
+use serde::Serialize;
+use std::time::Instant;
+
+/// A synthetic SYN/SYN-ACK mix sized for throughput measurement (the same
+/// shape `benches/recording.rs` uses).
+pub fn synthetic_packets(n: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|i| {
+            let client = Ip4::new(rng.next_u32());
+            let server = Ip4::new(0x8169_0000 | (rng.next_u32() & 0xFFFF));
+            if rng.chance(0.45) {
+                Packet::syn_ack(i as u64, client, 4000, server, 80)
+            } else {
+                Packet::syn(i as u64, client, 4000, server, 80)
+            }
+        })
+        .collect()
+}
+
+/// One timed pass over `pkts` through [`HiFind::record`]. Returns packets
+/// per second.
+fn timed_pass(ids: &mut HiFind, pkts: &[Packet]) -> f64 {
+    let start = Instant::now();
+    for p in pkts {
+        ids.record(std::hint::black_box(p));
+    }
+    pkts.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Best-of-`runs` packets-per-second for the baseline and instrumented
+/// sides.
+///
+/// Both sides run over the *same* long-lived pipeline, toggling telemetry
+/// on and off between passes, so the sketch arrays sit on the same pages
+/// for every measurement — only the record code path differs. (Separate
+/// objects proved to differ by ±8% for a whole process lifetime purely on
+/// page placement.) Passes alternate sides so machine-wide drift hits
+/// both equally, and each side's *maximum* is kept: throughput noise is
+/// one-sided (preemption only ever slows a run down), so best-of
+/// estimates the noise-free capability better than mean or median.
+/// Without the `telemetry` feature the instrumented side mirrors the
+/// baseline.
+pub fn paired_record_pps(pkts: &[Packet], runs: usize) -> (f64, f64) {
+    let mut ids = HiFind::new(HiFindConfig::paper(9)).expect("paper config");
+    #[cfg(feature = "telemetry")]
+    let registry = hifind::telemetry::Registry::new();
+
+    // One full untimed pass warms caches, branch predictors, and every
+    // page of the sketch arrays.
+    timed_pass(&mut ids, pkts);
+
+    let mut baseline = 0.0f64;
+    #[allow(unused_mut)]
+    let mut instrumented = 0.0f64;
+    for _i in 0..runs {
+        baseline = baseline.max(timed_pass(&mut ids, pkts));
+        #[cfg(feature = "telemetry")]
+        {
+            ids.attach_telemetry(registry.clone());
+            instrumented = instrumented.max(timed_pass(&mut ids, pkts));
+            ids.detach_telemetry();
+        }
+    }
+    if !cfg!(feature = "telemetry") {
+        instrumented = baseline;
+    }
+    (baseline, instrumented)
+}
+
+/// The result blob written to `results/BENCH_telemetry_overhead.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct OverheadReport {
+    /// Packets per timed pass.
+    pub packets: usize,
+    /// Timed passes per side (best-of taken, interleaved).
+    pub runs: usize,
+    /// Whether the instrumented side was compiled (`telemetry` feature).
+    pub telemetry_compiled: bool,
+    /// Best-of recording throughput with telemetry detached.
+    pub baseline_pps: f64,
+    /// Best-of recording throughput with a live registry attached
+    /// (equals the baseline when the feature is off and nothing was
+    /// measured).
+    pub instrumented_pps: f64,
+    /// `(baseline − instrumented) / baseline`, in percent. Negative means
+    /// the instrumented side happened to run faster (noise).
+    pub overhead_pct: f64,
+}
+
+/// Measures baseline vs. instrumented recording throughput.
+pub fn measure_overhead(packets: usize, runs: usize) -> OverheadReport {
+    let pkts = synthetic_packets(packets, 6);
+    let (baseline_pps, instrumented_pps) = paired_record_pps(&pkts, runs);
+    let telemetry_compiled = cfg!(feature = "telemetry");
+    OverheadReport {
+        packets,
+        runs,
+        telemetry_compiled,
+        baseline_pps,
+        instrumented_pps,
+        overhead_pct: (baseline_pps - instrumented_pps) / baseline_pps * 100.0,
+    }
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+
+    /// Acceptance bar: the telemetry feature costs < 5% on the record
+    /// path. Batched packet counting plus sampled timing (1 packet in 64)
+    /// keeps the true cost near 1%, so 5% leaves headroom for machine
+    /// noise; interleaved best-of runs absorb the rest.
+    #[test]
+    fn telemetry_overhead_is_under_five_percent() {
+        // Many short runs: best-of converges on each side's capability
+        // even when single runs wobble by ±10% on a busy machine.
+        let report = measure_overhead(100_000, 15);
+        assert!(
+            report.overhead_pct < 5.0,
+            "telemetry overhead {:.2}% exceeds the 5% budget \
+             (baseline {:.2}M pps, instrumented {:.2}M pps)",
+            report.overhead_pct,
+            report.baseline_pps / 1e6,
+            report.instrumented_pps / 1e6,
+        );
+    }
+}

@@ -321,7 +321,7 @@ mod tests {
         let mut rng = SplitMix64::new(12);
         for _ in 0..1000 {
             let g = rng.exp_gap(5.0);
-            assert!(g >= 0.0 && g <= 50.0);
+            assert!((0.0..=50.0).contains(&g));
         }
     }
 

@@ -180,9 +180,7 @@ mod tests {
 
     #[test]
     fn accepts_blank_lines_and_whitespace() {
-        let csv = format!(
-            "\n{HEADER}\n\n  1 , 1.2.3.4 , 10 , 5.6.7.8 , 80 , SYN , in  \n\n"
-        );
+        let csv = format!("\n{HEADER}\n\n  1 , 1.2.3.4 , 10 , 5.6.7.8 , 80 , SYN , in  \n\n");
         let t = parse_csv(&csv).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.as_slice()[0].ts_ms, 1);
@@ -207,7 +205,10 @@ mod tests {
         assert!(parse_csv(&bad_kind).unwrap_err().reason.contains("kind"));
 
         let bad_dir = format!("{HEADER}\n1,1.2.3.4,10,5.6.7.8,80,SYN,sideways");
-        assert!(parse_csv(&bad_dir).unwrap_err().reason.contains("direction"));
+        assert!(parse_csv(&bad_dir)
+            .unwrap_err()
+            .reason
+            .contains("direction"));
 
         let short = format!("{HEADER}\n1,1.2.3.4,10");
         assert!(parse_csv(&short).unwrap_err().reason.contains("7 fields"));

@@ -336,7 +336,10 @@ mod tests {
             Trace::from_bytes(&bytes[..bytes.len() - 1]),
             Err(TraceCodecError::Truncated)
         );
-        assert_eq!(Trace::from_bytes(&bytes[..4]), Err(TraceCodecError::Truncated));
+        assert_eq!(
+            Trace::from_bytes(&bytes[..4]),
+            Err(TraceCodecError::Truncated)
+        );
     }
 
     #[test]
@@ -373,7 +376,13 @@ mod tests {
     fn sort_and_order_check() {
         let mut t = sample_trace();
         assert!(t.is_time_ordered());
-        t.push(Packet::syn(1, [9, 9, 9, 9].into(), 1, [8, 8, 8, 8].into(), 2));
+        t.push(Packet::syn(
+            1,
+            [9, 9, 9, 9].into(),
+            1,
+            [8, 8, 8, 8].into(),
+            2,
+        ));
         assert!(!t.is_time_ordered());
         t.sort_by_time();
         assert!(t.is_time_ordered());

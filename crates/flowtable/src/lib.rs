@@ -154,7 +154,9 @@ impl ExactChangeTable {
     /// Largest number of simultaneously tracked entries seen — the number
     /// Table 9's "complete information" memory column is built from.
     pub fn peak_entries(&self) -> usize {
-        self.peak_entries.max(self.current.len()).max(self.state.len())
+        self.peak_entries
+            .max(self.current.len())
+            .max(self.state.len())
     }
 
     /// Approximate bytes held: key + value + two forecast floats per entry
@@ -189,12 +191,7 @@ impl ExactDistribution {
 
     /// Adds `delta` at `(x_key, y_key)`.
     pub fn add(&mut self, x_key: u64, y_key: u64, delta: i64) {
-        *self
-            .map
-            .entry(x_key)
-            .or_default()
-            .entry(y_key)
-            .or_insert(0) += delta;
+        *self.map.entry(x_key).or_default().entry(y_key).or_insert(0) += delta;
     }
 
     /// Number of distinct y values with positive mass under `x_key`.

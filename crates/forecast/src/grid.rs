@@ -177,8 +177,7 @@ impl GridForecaster for GridHolt {
             }
             (Some(level), _) => {
                 let trend = self.trend.take().expect("trend exists with level");
-                let forecast: Vec<f64> =
-                    level.iter().zip(&trend).map(|(&l, &t)| l + t).collect();
+                let forecast: Vec<f64> = level.iter().zip(&trend).map(|(&l, &t)| l + t).collect();
                 let error = error_grid(observed, &forecast);
                 let new_level: Vec<f64> = obs
                     .iter()

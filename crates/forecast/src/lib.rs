@@ -40,7 +40,9 @@
 pub mod grid;
 pub mod scalar;
 pub mod seasonal;
+pub mod stats;
 
 pub use grid::{GridEwma, GridForecaster, GridHolt};
 pub use scalar::{Ewma, Holt, ScalarForecaster};
 pub use seasonal::HoltWinters;
+pub use stats::ErrorStats;

@@ -56,8 +56,8 @@ impl Ewma {
 impl ScalarForecaster for Ewma {
     fn step(&mut self, observed: f64) -> Option<f64> {
         let forecast = match (self.prev_observed, self.prev_forecast) {
-            (None, _) => None,                 // t = 1
-            (Some(po), None) => Some(po),      // t = 2: M_f(2) = M_0(1)
+            (None, _) => None,            // t = 1
+            (Some(po), None) => Some(po), // t = 2: M_f(2) = M_0(1)
             (Some(po), Some(pf)) => Some(self.alpha * po + (1.0 - self.alpha) * pf),
         };
         if let Some(f) = forecast {
@@ -137,8 +137,7 @@ impl ScalarForecaster for Holt {
             (Some((level, trend)), _) => {
                 let forecast = level + trend;
                 let new_level = self.alpha * observed + (1.0 - self.alpha) * forecast;
-                let new_trend =
-                    self.beta * (new_level - level) + (1.0 - self.beta) * trend;
+                let new_trend = self.beta * (new_level - level) + (1.0 - self.beta) * trend;
                 self.state = Some((new_level, new_trend));
                 Some(observed - forecast)
             }

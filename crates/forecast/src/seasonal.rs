@@ -104,11 +104,10 @@ impl ScalarForecaster for HoltWinters {
         let forecast = self.level + self.trend + self.season[s];
         let error = observed - forecast;
         let prev_level = self.level;
-        self.level =
-            self.alpha * (observed - self.season[s]) + (1.0 - self.alpha) * (self.level + self.trend);
+        self.level = self.alpha * (observed - self.season[s])
+            + (1.0 - self.alpha) * (self.level + self.trend);
         self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
-        self.season[s] =
-            self.gamma * (observed - self.level) + (1.0 - self.gamma) * self.season[s];
+        self.season[s] = self.gamma * (observed - self.level) + (1.0 - self.gamma) * self.season[s];
         self.t += 1;
         Some(error)
     }

@@ -1,0 +1,100 @@
+//! Forecast-error magnitude summaries.
+//!
+//! Detection quality hinges on the forecast-error grids staying
+//! small-and-centered for benign traffic; a drifting EWMA shows up here
+//! (growing mean absolute error) intervals before it shows up as false
+//! alerts. [`ErrorStats::measure`] condenses one error grid into a few
+//! numbers the telemetry layer reports per interval.
+
+use hifind_sketch::CounterGrid;
+use serde::{Deserialize, Serialize};
+
+/// Magnitude summary of one forecast-error grid.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ErrorStats {
+    /// Number of grid cells.
+    pub cells: usize,
+    /// Cells with non-zero error.
+    pub nonzero: usize,
+    /// Mean of `|error|` over all cells.
+    pub mean_abs: f64,
+    /// Root mean square error over all cells.
+    pub rms: f64,
+    /// Largest `|error|`.
+    pub max_abs: i64,
+    /// Sum of signed errors (bias; near zero for a well-tracking model).
+    pub bias: i64,
+}
+
+impl ErrorStats {
+    /// Measures an error grid (as returned by
+    /// [`crate::GridForecaster::step`]).
+    pub fn measure(error_grid: &CounterGrid) -> Self {
+        let mut nonzero = 0usize;
+        let mut abs_sum = 0.0f64;
+        let mut sq_sum = 0.0f64;
+        let mut max_abs = 0i64;
+        let mut bias = 0i64;
+        let mut cells = 0usize;
+        for stage in 0..error_grid.stages() {
+            for &v in error_grid.stage(stage) {
+                cells += 1;
+                if v != 0 {
+                    nonzero += 1;
+                }
+                abs_sum += v.abs() as f64;
+                sq_sum += (v as f64) * (v as f64);
+                max_abs = max_abs.max(v.abs());
+                bias += v;
+            }
+        }
+        if cells == 0 {
+            return ErrorStats::default();
+        }
+        ErrorStats {
+            cells,
+            nonzero,
+            mean_abs: abs_sum / cells as f64,
+            rms: (sq_sum / cells as f64).sqrt(),
+            max_abs,
+            bias,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_small_grid() {
+        let mut g = CounterGrid::new(1, 4);
+        g.add(0, 0, 3);
+        g.add(0, 1, -4);
+        let s = ErrorStats::measure(&g);
+        assert_eq!(s.cells, 4);
+        assert_eq!(s.nonzero, 2);
+        assert_eq!(s.max_abs, 4);
+        assert_eq!(s.bias, -1);
+        assert!((s.mean_abs - 7.0 / 4.0).abs() < 1e-12);
+        assert!((s.rms - (25.0f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_grid_is_all_zeros() {
+        let s = ErrorStats::measure(&CounterGrid::new(2, 8));
+        assert_eq!(s.nonzero, 0);
+        assert_eq!(s.mean_abs, 0.0);
+        assert_eq!(s.bias, 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut g = CounterGrid::new(1, 2);
+        g.add(0, 0, 9);
+        let s = ErrorStats::measure(&g);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ErrorStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -46,7 +46,7 @@ impl Mangler {
     /// Panics if `key_bits` is 0 or greater than 64.
     pub fn new(rng: &mut SplitMix64, key_bits: u32) -> Self {
         assert!(
-            key_bits >= 1 && key_bits <= 64,
+            (1..=64).contains(&key_bits),
             "key width must be in 1..=64, got {key_bits}"
         );
         let mask = if key_bits == 64 {
@@ -62,7 +62,7 @@ impl Mangler {
 
     /// The identity mangler (for ablations with mangling disabled).
     pub fn identity(key_bits: u32) -> Self {
-        assert!(key_bits >= 1 && key_bits <= 64);
+        assert!((1..=64).contains(&key_bits));
         let mask = if key_bits == 64 {
             u64::MAX
         } else {
@@ -87,10 +87,7 @@ impl Mangler {
     /// in-width `k`.
     #[inline]
     pub fn unmangle(&self, mangled: u64) -> u64 {
-        mangled
-            .wrapping_sub(self.b)
-            .wrapping_mul(self.a_inv)
-            & self.mask
+        mangled.wrapping_sub(self.b).wrapping_mul(self.a_inv) & self.mask
     }
 }
 
@@ -123,7 +120,11 @@ mod tests {
         let mut rng = SplitMix64::new(2);
         for bits in [8u32, 16, 32, 48, 64] {
             let m = Mangler::new(&mut rng, bits);
-            let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1 << bits) - 1
+            };
             for _ in 0..1000 {
                 let k = rng.next_u64() & mask;
                 assert_eq!(m.unmangle(m.mangle(k)), k, "width {bits}");

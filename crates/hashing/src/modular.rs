@@ -88,7 +88,7 @@ impl ModularHash {
         key_bits: u32,
         num_buckets: usize,
     ) -> Result<Self, ModularHashError> {
-        if key_bits == 0 || key_bits > 64 || key_bits % 8 != 0 {
+        if key_bits == 0 || key_bits > 64 || !key_bits.is_multiple_of(8) {
             return Err(ModularHashError::BadKeyBits(key_bits));
         }
         if !num_buckets.is_power_of_two() || num_buckets < 2 {
@@ -96,7 +96,7 @@ impl ModularHash {
         }
         let words = key_bits / 8;
         let index_bits = num_buckets.trailing_zeros();
-        if index_bits % words != 0 {
+        if !index_bits.is_multiple_of(words) {
             return Err(ModularHashError::IndivisibleIndexBits { index_bits, words });
         }
         let chunk_bits = index_bits / words;

@@ -99,7 +99,9 @@ mod tests {
     fn different_seeds_give_different_functions() {
         let h1 = PairwiseHasher::from_seed(1, 1 << 16);
         let h2 = PairwiseHasher::from_seed(2, 1 << 16);
-        let diffs = (0..1000u64).filter(|&k| h1.bucket(k) != h2.bucket(k)).count();
+        let diffs = (0..1000u64)
+            .filter(|&k| h1.bucket(k) != h2.bucket(k))
+            .count();
         assert!(diffs > 900, "only {diffs} of 1000 keys differ");
     }
 

@@ -101,8 +101,20 @@ mod tests {
             let base = iv * cfg.interval_ms;
             for i in 0..30u32 {
                 let c: Ip4 = [9, 9, 9, (i % 100) as u8].into();
-                t.push(Packet::syn(base + i as u64 * 7, c, 4000 + i as u16, victim, 80));
-                t.push(Packet::syn_ack(base + i as u64 * 7 + 1, c, 4000 + i as u16, victim, 80));
+                t.push(Packet::syn(
+                    base + i as u64 * 7,
+                    c,
+                    4000 + i as u16,
+                    victim,
+                    80,
+                ));
+                t.push(Packet::syn_ack(
+                    base + i as u64 * 7 + 1,
+                    c,
+                    4000 + i as u16,
+                    victim,
+                    80,
+                ));
             }
             if iv >= 1 {
                 for i in 0..250u32 {
@@ -138,9 +150,8 @@ mod tests {
         let single_log = single.run_trace(&merged);
 
         // Distributed run: three recorders, one aggregator.
-        let mut routers: Vec<SketchRecorder> = (0..3)
-            .map(|_| SketchRecorder::new(&cfg).unwrap())
-            .collect();
+        let mut routers: Vec<SketchRecorder> =
+            (0..3).map(|_| SketchRecorder::new(&cfg).unwrap()).collect();
         let mut site = HiFindAggregator::new(cfg).unwrap();
         let mut windows: Vec<Vec<&[Packet]>> = Vec::new();
         let per_router: Vec<Vec<_>> = parts

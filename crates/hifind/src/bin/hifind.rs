@@ -8,7 +8,7 @@
 
 use hifind::mitigate::{plan, MitigationPolicy};
 use hifind::postprocess::correlate_block_scans;
-use hifind::{AlertKind, HiFind, HiFindConfig, Phase};
+use hifind::{AlertKind, HiFind, HiFindConfig, Phase, RunReport};
 use hifind_flow::Trace;
 use hifind_trafficgen::presets;
 use std::process::ExitCode;
@@ -18,9 +18,9 @@ hifind — DoS-resilient flow-level intrusion detection (ICDCS'06 reproduction)
 
 USAGE:
     hifind generate --preset <nu|lbl|dos> [--scale F] [--seed N] --out FILE
-    hifind info     --trace FILE
+    hifind info     --trace FILE [--metrics-json FILE]
     hifind detect   --trace FILE [--seed N] [--interval-secs N] [--threshold-per-sec F]
-                    [--phases] [--mitigate]
+                    [--phases] [--mitigate] [--stats] [--metrics-json FILE]
 
     Trace files ending in .csv use the human-readable CSV format
     (ts_ms,src,sport,dst,dport,kind,direction); anything else uses the
@@ -40,6 +40,10 @@ OPTIONS:
     --threshold-per-sec F  unresponded SYNs per second to alert on (default 1)
     --phases             also print per-phase alert counts (Table 4 style)
     --mitigate           print the derived mitigation plan
+    --stats              print the run telemetry summary (phase latencies,
+                         alert funnel, sketch health)
+    --metrics-json FILE  write machine-readable run telemetry (detect) or
+                         trace statistics (info) as JSON
 ";
 
 struct Args {
@@ -106,8 +110,7 @@ fn run() -> Result<(), String> {
 fn load_trace(args: &Args) -> Result<Trace, String> {
     let path = args.get("trace").ok_or("missing --trace FILE")?;
     if path.ends_with(".csv") {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         hifind_flow::text::parse_csv(&text).map_err(|e| format!("cannot parse {path}: {e}"))
     } else {
         let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -144,13 +147,34 @@ fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The value of `--metrics-json`, or an error if the flag is present
+/// without a file operand.
+fn metrics_json_path(args: &Args) -> Result<Option<String>, String> {
+    if args.has("metrics-json") && args.get("metrics-json").is_none() {
+        return Err("--metrics-json needs a FILE operand".into());
+    }
+    Ok(args.get("metrics-json").map(String::from))
+}
+
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let bytes = serde_json::to_vec_pretty(value).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(path, bytes).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
 fn info(args: &Args) -> Result<(), String> {
+    let metrics_json = metrics_json_path(args)?;
     let trace = load_trace(args)?;
-    println!("{}", trace.stats());
+    let stats = trace.stats();
+    println!("{stats}");
+    if let Some(path) = metrics_json {
+        write_json(&path, &stats)?;
+        eprintln!("trace statistics written to {path}");
+    }
     Ok(())
 }
 
 fn detect(args: &Args) -> Result<(), String> {
+    let metrics_json = metrics_json_path(args)?;
     let trace = load_trace(args)?;
     let seed: u64 = args.get_parsed("seed", 2026)?;
     let interval_secs: u64 = args.get_parsed("interval-secs", 60)?;
@@ -159,8 +183,30 @@ fn detect(args: &Args) -> Result<(), String> {
     cfg.interval_ms = interval_secs.max(1) * 1000;
     cfg.threshold_per_sec = threshold;
     cfg.validate()?;
+    let interval_ms = cfg.interval_ms;
+    let saturation_threshold = cfg.interval_threshold();
     let mut ids = HiFind::new(cfg).map_err(|e| e.to_string())?;
-    let log = ids.run_trace(&trace);
+
+    // Telemetry is collected whenever someone will consume it.
+    let mut report = (metrics_json.is_some() || args.has("stats")).then(RunReport::new);
+    if let Some(r) = &mut report {
+        r.sketch_memory_bytes = ids.recorder().memory_bytes();
+    }
+    for window in trace.intervals(interval_ms) {
+        for p in window.packets {
+            ids.record(p);
+        }
+        match &mut report {
+            Some(r) => {
+                let (outcome, snapshot) = ids.end_interval_with_snapshot();
+                r.record_interval(&outcome, &snapshot, saturation_threshold);
+            }
+            None => {
+                ids.end_interval();
+            }
+        }
+    }
+    let log = ids.log().clone();
 
     if args.has("phases") {
         println!("{:<18}{:>6}{:>10}{:>8}", "type", "raw", "after-2D", "final");
@@ -194,6 +240,16 @@ fn detect(args: &Args) -> Result<(), String> {
         println!("\nmitigation plan ({} actions):", actions.len());
         for a in &actions {
             println!("  {a}");
+        }
+    }
+
+    if let Some(report) = &report {
+        if args.has("stats") {
+            println!("\n{}", report.summary_text());
+        }
+        if let Some(path) = &metrics_json {
+            write_json(path, report)?;
+            eprintln!("run telemetry written to {path}");
         }
     }
     Ok(())
@@ -261,6 +317,132 @@ mod tests {
     }
 
     #[test]
+    fn malformed_binary_trace_is_a_clean_error() {
+        let dir = std::env::temp_dir().join(format!("hifind-cli-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Garbage bytes: wrong magic.
+        let garbage = dir.join("garbage.hfnd");
+        std::fs::write(&garbage, b"this is not a trace file at all").unwrap();
+        let err = detect(&args(&["--trace", garbage.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("cannot decode"), "{err}");
+
+        // Truncated: valid header claiming more records than present.
+        let full = dir.join("full.hfnd");
+        generate(&args(&[
+            "--preset",
+            "dos",
+            "--scale",
+            "0.02",
+            "--seed",
+            "3",
+            "--out",
+            full.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let bytes = std::fs::read(&full).unwrap();
+        let truncated = dir.join("truncated.hfnd");
+        std::fs::write(&truncated, &bytes[..bytes.len() - 7]).unwrap();
+        let err = detect(&args(&["--trace", truncated.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("cannot decode"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_csv_trace_is_a_clean_error() {
+        let dir = std::env::temp_dir().join(format!("hifind-cli-badcsv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.csv");
+        std::fs::write(
+            &bad,
+            "ts_ms,src,sport,dst,dport,kind,direction\nnot,a,valid,row\n",
+        )
+        .unwrap();
+        let err = detect(&args(&["--trace", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("cannot parse"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_json_needs_a_file_operand() {
+        let err = detect(&args(&["--trace", "/tmp/x.hfnd", "--metrics-json"])).unwrap_err();
+        assert!(err.contains("--metrics-json"), "{err}");
+    }
+
+    #[test]
+    fn detect_writes_run_report_json() {
+        let dir = std::env::temp_dir().join(format!("hifind-cli-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.hfnd");
+        let metrics = dir.join("metrics.json");
+        generate(&args(&[
+            "--preset",
+            "dos",
+            "--scale",
+            "0.03",
+            "--seed",
+            "9",
+            "--out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        detect(&args(&[
+            "--trace",
+            trace.to_str().unwrap(),
+            "--stats",
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        let report: RunReport = serde_json::from_str(&json).unwrap();
+        assert!(!report.intervals.is_empty());
+        assert_eq!(
+            report.phase_latency.total.count,
+            report.intervals.len() as u64
+        );
+        assert!(report.phase_latency.total.sum_ns > 0);
+        assert!(report.sketch_memory_bytes > 0);
+        // Every interval carries the health of all six sketch grids.
+        assert!(report
+            .intervals
+            .iter()
+            .all(|iv| iv.sketch_health.len() == 6));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn info_writes_trace_stats_json() {
+        let dir = std::env::temp_dir().join(format!("hifind-cli-info-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.hfnd");
+        let stats = dir.join("stats.json");
+        generate(&args(&[
+            "--preset",
+            "nu",
+            "--scale",
+            "0.02",
+            "--seed",
+            "4",
+            "--out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        info(&args(&[
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics-json",
+            stats.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&stats).unwrap();
+        assert!(json.contains("packets"), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn csv_trace_round_trip_through_cli() {
         let dir = std::env::temp_dir().join(format!("hifind-cli-csv-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -289,7 +471,12 @@ mod tests {
         .unwrap();
         info(&args(&["--trace", out_str])).unwrap();
         detect(&args(&[
-            "--trace", out_str, "--phases", "--mitigate", "--interval-secs", "60",
+            "--trace",
+            out_str,
+            "--phases",
+            "--mitigate",
+            "--interval-secs",
+            "60",
         ]))
         .unwrap();
         std::fs::remove_dir_all(&dir).ok();

@@ -160,7 +160,10 @@ mod tests {
             ..RawDetections::default()
         };
         let classified = classify(&det, &snap, &raw);
-        assert!(classified.vscans.is_empty(), "flooding must not stay a vscan");
+        assert!(
+            classified.vscans.is_empty(),
+            "flooding must not stay a vscan"
+        );
         assert_eq!(classified.reclassified.len(), 1);
     }
 

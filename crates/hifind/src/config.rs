@@ -182,7 +182,10 @@ mod tests {
 
     #[test]
     fn seeds_differentiate_instances() {
-        assert_ne!(HiFindConfig::paper(1).rs48.seed, HiFindConfig::paper(2).rs48.seed);
+        assert_ne!(
+            HiFindConfig::paper(1).rs48.seed,
+            HiFindConfig::paper(2).rs48.seed
+        );
         // Sub-seeds differ from each other too.
         let cfg = HiFindConfig::paper(1);
         assert_ne!(cfg.rs48.seed, cfg.rs64.seed);

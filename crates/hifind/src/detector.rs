@@ -113,8 +113,7 @@ impl Detector {
             opts,
         );
         let flooding_keys: Vec<(DipDport, i64)> = flooding.typed::<DipDport>();
-        let flooding_dip_set: HashSet<Ip4> =
-            flooding_keys.iter().map(|(k, _)| k.dip()).collect();
+        let flooding_dip_set: HashSet<Ip4> = flooding_keys.iter().map(|(k, _)| k.dip()).collect();
 
         // Step 2: vertical scans vs non-spoofed flooding attackers.
         let pairs = self.ref_sip_dip.infer_grid(
@@ -268,7 +267,13 @@ mod tests {
             let c: Ip4 = [9, 9, 9, (i % 50) as u8].into();
             let s: Ip4 = [129, 105, 0, 10].into();
             v.push(Packet::syn(i as u64 * 10, c, 4000 + i as u16, s, 80));
-            v.push(Packet::syn_ack(i as u64 * 10 + 1, c, 4000 + i as u16, s, 80));
+            v.push(Packet::syn_ack(
+                i as u64 * 10 + 1,
+                c,
+                4000 + i as u16,
+                s,
+                80,
+            ));
         }
         v
     }
@@ -342,7 +347,13 @@ mod tests {
         let attacker: Ip4 = [66, 7, 8, 9].into();
         let victim: Ip4 = [129, 105, 0, 60].into();
         for i in 0..300u32 {
-            flood.push(Packet::syn(i as u64, attacker, 2000 + (i % 1000) as u16, victim, 80));
+            flood.push(Packet::syn(
+                i as u64,
+                attacker,
+                2000 + (i % 1000) as u16,
+                victim,
+                80,
+            ));
         }
         let (d, _) = detect_last(&cfg, vec![quiet_interval(), quiet_interval(), flood]);
         assert_eq!(d.floodings.len(), 1);
@@ -372,7 +383,13 @@ mod tests {
         let victim: Ip4 = [129, 105, 0, 99].into();
         let mut flood = quiet_interval();
         for i in 0..500u32 {
-            flood.push(Packet::syn(i as u64, Ip4::new(0x5100_0000 + i), 2000, victim, 443));
+            flood.push(Packet::syn(
+                i as u64,
+                Ip4::new(0x5100_0000 + i),
+                2000,
+                victim,
+                443,
+            ));
         }
         let (_, snap) = detect_last(&cfg, vec![quiet_interval(), flood]);
         let det = Detector::new(&cfg).unwrap();
@@ -380,6 +397,9 @@ mod tests {
         let syn = det.syn_estimate(&snap, key);
         let unresp = det.unresponded_estimate(&snap, key);
         assert!((450..600).contains(&syn), "syn estimate {syn}");
-        assert!((450..600).contains(&unresp), "unresponded estimate {unresp}");
+        assert!(
+            (450..600).contains(&unresp),
+            "unresponded estimate {unresp}"
+        );
     }
 }

@@ -202,8 +202,18 @@ mod tests {
     fn true_positive_counted_once() {
         let gt = truth();
         let alerts = vec![
-            alert(AlertKind::SynFlooding, None, Some([129, 105, 0, 1].into()), Some(80)),
-            alert(AlertKind::SynFlooding, None, Some([129, 105, 0, 1].into()), Some(80)),
+            alert(
+                AlertKind::SynFlooding,
+                None,
+                Some([129, 105, 0, 1].into()),
+                Some(80),
+            ),
+            alert(
+                AlertKind::SynFlooding,
+                None,
+                Some([129, 105, 0, 1].into()),
+                Some(80),
+            ),
         ];
         let s = evaluate(&alerts, &gt);
         assert_eq!(s.flooding.detected, 1);

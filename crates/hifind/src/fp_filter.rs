@@ -71,8 +71,7 @@ impl FloodFpFilter {
             let key = DipDport::new(dip, dport);
 
             // Heuristic 2: the victim must be (have been) a real service.
-            if cfg.flood_require_active_service
-                && !snapshot.active_services.contains(key.to_u64())
+            if cfg.flood_require_active_service && !snapshot.active_services.contains(key.to_u64())
             {
                 self.streaks.remove(&(dip.raw(), dport));
                 out.dropped_inactive.push(*alert);
@@ -92,7 +91,10 @@ impl FloodFpFilter {
             }
 
             // Heuristic 1b: persistence — attacks last some time.
-            let entry = self.streaks.entry((dip.raw(), dport)).or_insert((interval, 0));
+            let entry = self
+                .streaks
+                .entry((dip.raw(), dport))
+                .or_insert((interval, 0));
             let (last, count) = *entry;
             let new_count = if interval == last || interval == last + 1 {
                 count + 1

@@ -74,6 +74,9 @@ pub mod pipeline;
 pub mod postprocess;
 pub mod recorder;
 pub mod report;
+pub mod run_report;
+#[cfg(feature = "telemetry")]
+pub mod telemetry_ext;
 
 pub use aggregate::HiFindAggregator;
 pub use config::HiFindConfig;
@@ -83,3 +86,10 @@ pub use pipeline::{HiFind, IntervalOutcome};
 pub use postprocess::{correlate_block_scans, BlockScanReport};
 pub use recorder::{IntervalSnapshot, SketchRecorder};
 pub use report::{Alert, AlertKind, AlertLog, Phase};
+pub use run_report::{IntervalReport, PhaseAlertCounts, PhaseNanos, RunReport};
+
+/// The live-metrics crate, re-exported so downstream users of
+/// [`HiFind::attach_telemetry`] (the CLI, the bench harness) can name
+/// [`hifind_telemetry::Registry`] without a direct dependency.
+#[cfg(feature = "telemetry")]
+pub use hifind_telemetry as telemetry;

@@ -57,7 +57,11 @@ impl fmt::Display for Action {
             Action::SynProxy { dip, dport } => {
                 write!(f, "syn-proxy protect {dip} port {dport}")
             }
-            Action::RateLimit { dip, dport, per_sec } => {
+            Action::RateLimit {
+                dip,
+                dport,
+                per_sec,
+            } => {
                 write!(f, "rate-limit to {dip} port {dport} {per_sec}/s")
             }
             Action::WatchHost(h) => write!(f, "audit host {h}"),
@@ -130,7 +134,13 @@ pub fn plan(alerts: &[Alert], policy: &MitigationPolicy) -> Vec<Action> {
 mod tests {
     use super::*;
 
-    fn alert(kind: AlertKind, sip: Option<[u8; 4]>, dip: Option<[u8; 4]>, dport: Option<u16>, identified: bool) -> Alert {
+    fn alert(
+        kind: AlertKind,
+        sip: Option<[u8; 4]>,
+        dip: Option<[u8; 4]>,
+        dport: Option<u16>,
+        identified: bool,
+    ) -> Alert {
         Alert {
             kind,
             sip: sip.map(Ip4::from),
@@ -179,7 +189,13 @@ mod tests {
     fn scans_block_scanner_and_audit_target() {
         let alerts = [
             alert(AlertKind::HScan, Some([7, 7, 7, 7]), None, Some(445), true),
-            alert(AlertKind::VScan, Some([8, 8, 8, 8]), Some([129, 105, 0, 9]), None, true),
+            alert(
+                AlertKind::VScan,
+                Some([8, 8, 8, 8]),
+                Some([129, 105, 0, 9]),
+                None,
+                true,
+            ),
         ];
         let actions = plan(&alerts, &MitigationPolicy::default());
         assert!(actions.contains(&Action::BlockSource([7, 7, 7, 7].into())));

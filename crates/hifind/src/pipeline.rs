@@ -6,12 +6,14 @@ use crate::detector::{Detector, ErrorGrids};
 use crate::fp_filter::FloodFpFilter;
 use crate::recorder::{IntervalSnapshot, SketchRecorder};
 use crate::report::{Alert, AlertLog, Phase};
+use crate::run_report::PhaseNanos;
 use hifind_flow::Trace;
-use hifind_forecast::{GridEwma, GridForecaster};
+use hifind_forecast::{ErrorStats, GridEwma, GridForecaster};
 use hifind_sketch::SketchError;
+use std::time::Instant;
 
-/// The interval-level detection engine: forecasting + three-step detection
-/// + 2D classification + flooding heuristics, fed one
+/// The interval-level detection engine: forecasting, three-step detection,
+/// 2D classification, and flooding heuristics, fed one
 /// [`IntervalSnapshot`] per interval.
 ///
 /// [`HiFind`] wraps it with a recorder for the single-router case;
@@ -39,6 +41,13 @@ pub struct IntervalOutcome {
     pub fin: Vec<Alert>,
     /// Scan candidates phase 2 reclassified as flooding-like.
     pub reclassified: Vec<Alert>,
+    /// Wall time spent in each phase (per-interval, measured with
+    /// `std::time`; feeds [`crate::RunReport`]).
+    pub phase_ns: PhaseNanos,
+    /// Forecast-error magnitudes for the three primary reversible-sketch
+    /// grids (`{SIP,Dport}`, `{DIP,Dport}`, `{SIP,DIP}`); empty during
+    /// warm-up.
+    pub forecast_error: Vec<ErrorStats>,
 }
 
 impl DetectionCore {
@@ -69,6 +78,8 @@ impl DetectionCore {
     pub fn process_snapshot(&mut self, snapshot: &IntervalSnapshot) -> IntervalOutcome {
         let interval = self.interval;
         self.interval += 1;
+        let started = Instant::now();
+        let mut phase_ns = PhaseNanos::default();
         let errors = [
             self.forecasters[0].step(&snapshot.rs_sip_dport),
             self.forecasters[1].step(&snapshot.rs_sip_dport_verifier),
@@ -77,10 +88,13 @@ impl DetectionCore {
             self.forecasters[4].step(&snapshot.rs_sip_dip),
             self.forecasters[5].step(&snapshot.rs_sip_dip_verifier),
         ];
+        phase_ns.forecast = started.elapsed().as_nanos() as u64;
         if errors.iter().any(Option::is_none) {
             // Warm-up interval: no forecast yet (paper eq. 1, t = 1).
+            phase_ns.total = started.elapsed().as_nanos() as u64;
             return IntervalOutcome {
                 interval,
+                phase_ns,
                 ..IntervalOutcome::default()
             };
         }
@@ -94,14 +108,24 @@ impl DetectionCore {
             rs_sip_dip_verifier: it.next().expect("six error grids"),
         };
 
+        let forecast_error = vec![
+            ErrorStats::measure(&grids.rs_sip_dport),
+            ErrorStats::measure(&grids.rs_dip_dport),
+            ErrorStats::measure(&grids.rs_sip_dip),
+        ];
+
         // Phase 1: raw three-step detection.
+        let phase_start = Instant::now();
         let raw = self.detector.detect(interval, &grids);
+        phase_ns.detect = phase_start.elapsed().as_nanos() as u64;
         for a in raw.all() {
             self.log.record(Phase::Raw, *a);
         }
 
         // Phase 2: 2D-sketch classification.
+        let phase_start = Instant::now();
         let classified: ClassifiedDetections = classify(&self.detector, snapshot, &raw);
+        phase_ns.classify = phase_start.elapsed().as_nanos() as u64;
         for a in classified
             .floodings
             .iter()
@@ -112,9 +136,11 @@ impl DetectionCore {
         }
 
         // Phase 3: flooding heuristics; scans pass through.
+        let phase_start = Instant::now();
         let filtered =
             self.flood_filter
                 .filter(&self.detector, snapshot, interval, &classified.floodings);
+        phase_ns.flood_filter = phase_start.elapsed().as_nanos() as u64;
         let mut fin = filtered.confirmed.clone();
         fin.extend(classified.vscans.iter().copied());
         fin.extend(classified.hscans.iter().copied());
@@ -122,6 +148,7 @@ impl DetectionCore {
             self.log.record(Phase::Final, *a);
         }
 
+        phase_ns.total = started.elapsed().as_nanos() as u64;
         IntervalOutcome {
             interval,
             raw: raw.all().copied().collect(),
@@ -134,6 +161,8 @@ impl DetectionCore {
                 .collect(),
             fin,
             reclassified: classified.reclassified,
+            phase_ns,
+            forecast_error,
         }
     }
 
@@ -162,6 +191,9 @@ pub struct HiFind {
     core: DetectionCore,
     /// Start of the current streaming interval (None until first packet).
     stream_window_start: Option<u64>,
+    /// Live metrics publisher (attached via [`HiFind::attach_telemetry`]).
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<crate::telemetry_ext::PipelineTelemetry>,
 }
 
 impl HiFind {
@@ -175,7 +207,24 @@ impl HiFind {
             recorder: SketchRecorder::new(&cfg)?,
             core: DetectionCore::new(cfg)?,
             stream_window_start: None,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
         })
+    }
+
+    /// Publishes live metrics (packet counts, sampled record latency,
+    /// phase latencies, alert counters, sketch-health gauges) into
+    /// `registry` from now on.
+    #[cfg(feature = "telemetry")]
+    pub fn attach_telemetry(&mut self, registry: hifind_telemetry::Registry) {
+        self.telemetry = Some(crate::telemetry_ext::PipelineTelemetry::new(registry));
+    }
+
+    /// Stops publishing live metrics; recording reverts to the
+    /// uninstrumented path. Already-published values stay in the registry.
+    #[cfg(feature = "telemetry")]
+    pub fn detach_telemetry(&mut self) {
+        self.telemetry = None;
     }
 
     /// The configuration in use.
@@ -186,14 +235,32 @@ impl HiFind {
     /// Records one packet (the per-packet hot path).
     #[inline]
     pub fn record(&mut self, packet: &hifind_flow::Packet) {
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = &mut self.telemetry {
+            t.record_packet(&mut self.recorder, packet);
+            return;
+        }
         self.recorder.record(packet);
     }
 
     /// Ends the current interval: snapshots the sketches and runs the
     /// detection pipeline.
     pub fn end_interval(&mut self) -> IntervalOutcome {
+        self.end_interval_with_snapshot().0
+    }
+
+    /// Like [`HiFind::end_interval`], but also hands back the interval's
+    /// snapshot so callers can inspect it (sketch health, wire size,
+    /// [`crate::RunReport::record_interval`]).
+    pub fn end_interval_with_snapshot(&mut self) -> (IntervalOutcome, IntervalSnapshot) {
         let snapshot = self.recorder.take_snapshot();
-        self.core.process_snapshot(&snapshot)
+        let outcome = self.core.process_snapshot(&snapshot);
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = &mut self.telemetry {
+            let threshold = self.core.config().interval_threshold();
+            t.publish_interval(&outcome, &snapshot, threshold);
+        }
+        (outcome, snapshot)
     }
 
     /// Records a packet in *streaming mode*: interval boundaries are
@@ -241,6 +308,25 @@ impl HiFind {
         self.core.log().clone()
     }
 
+    /// Like [`HiFind::run_trace`], but also builds the machine-readable
+    /// [`crate::RunReport`] (per-interval phase latencies, alert counts by
+    /// phase, sketch health) that `hifind detect --metrics-json` and the
+    /// bench harness both consume.
+    pub fn run_trace_with_report(&mut self, trace: &Trace) -> (AlertLog, crate::RunReport) {
+        let interval_ms = self.core.config().interval_ms;
+        let threshold = self.core.config().interval_threshold();
+        let mut report = crate::RunReport::new();
+        report.sketch_memory_bytes = self.recorder.memory_bytes();
+        for window in trace.intervals(interval_ms) {
+            for p in window.packets {
+                self.record(p);
+            }
+            let (outcome, snapshot) = self.end_interval_with_snapshot();
+            report.record_interval(&outcome, &snapshot, threshold);
+        }
+        (self.core.log().clone(), report)
+    }
+
     /// The deduplicated alert log.
     pub fn log(&self) -> &AlertLog {
         self.core.log()
@@ -276,14 +362,26 @@ mod tests {
             let base = iv * interval_ms;
             for i in 0..25u32 {
                 let c: Ip4 = [9, 9, 9, (i % 100) as u8].into();
-                t.push(Packet::syn(base + i as u64 * 7, c, 4000 + i as u16, victim, 80));
-                t.push(Packet::syn_ack(base + i as u64 * 7 + 1, c, 4000 + i as u16, victim, 80));
+                t.push(Packet::syn(
+                    base + i as u64 * 7,
+                    c,
+                    4000 + i as u16,
+                    victim,
+                    80,
+                ));
+                t.push(Packet::syn_ack(
+                    base + i as u64 * 7 + 1,
+                    c,
+                    4000 + i as u16,
+                    victim,
+                    80,
+                ));
             }
             if iv >= 1 {
                 for i in 0..300u32 {
                     t.push(Packet::syn(
                         base + 100 + i as u64,
-                        Ip4::new(0x5000_0000 + (iv as u32) << 20 | i),
+                        Ip4::new(((0x5000_0000 + (iv as u32)) << 20) | i),
                         2000,
                         victim,
                         80,

@@ -116,7 +116,7 @@ pub fn correlate_block_scans(
             }
         })
         .collect();
-    out.sort_by(|a, b| b.total_magnitude.cmp(&a.total_magnitude));
+    out.sort_by_key(|a| std::cmp::Reverse(a.total_magnitude));
     out
 }
 
@@ -210,10 +210,7 @@ mod tests {
 
     #[test]
     fn sorted_by_magnitude() {
-        let mut alerts = vec![
-            hscan([1, 1, 1, 1], 80, 1),
-            hscan([1, 1, 1, 1], 81, 1),
-        ];
+        let mut alerts = vec![hscan([1, 1, 1, 1], 80, 1), hscan([1, 1, 1, 1], 81, 1)];
         alerts.push({
             let mut a = hscan([2, 2, 2, 2], 90, 1);
             a.magnitude = 500;

@@ -63,8 +63,10 @@ impl IntervalSnapshot {
         self.rs_sip_dip_verifier
             .add_assign(&other.rs_sip_dip_verifier)?;
         self.os.add_assign(&other.os)?;
-        self.twod_sipdport_dip.add_assign(&other.twod_sipdport_dip)?;
-        self.twod_sipdip_dport.add_assign(&other.twod_sipdip_dport)?;
+        self.twod_sipdport_dip
+            .add_assign(&other.twod_sipdport_dip)?;
+        self.twod_sipdip_dport
+            .add_assign(&other.twod_sipdip_dport)?;
         self.active_services.union(&other.active_services);
         self.syn_count += other.syn_count;
         self.syn_ack_count += other.syn_ack_count;
@@ -155,8 +157,10 @@ impl SketchRecorder {
         self.rs_sip_dport.update(sip_dport, v);
         self.rs_dip_dport.update(dip_dport, v);
         self.rs_sip_dip.update(sip_dip, v);
-        self.twod_sipdport_dip.update(sip_dport, o.server.raw() as u64, v);
-        self.twod_sipdip_dport.update(sip_dip, o.server_port as u64, v);
+        self.twod_sipdport_dip
+            .update(sip_dport, o.server.raw() as u64, v);
+        self.twod_sipdip_dport
+            .update(sip_dip, o.server_port as u64, v);
         if o.kind == SegmentKind::Syn {
             self.os.update(dip_dport, 1);
             self.syn_count += 1;

@@ -6,9 +6,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// What kind of intrusion an alert reports.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AlertKind {
     /// TCP SYN flooding against `{dip, dport}`.
     SynFlooding,
@@ -108,12 +106,15 @@ pub struct AlertLog {
     after_classification: Vec<Alert>,
     fin: Vec<Alert>,
     #[serde(skip)]
-    seen_raw: HashMap<(AlertKind, Option<u32>, Option<u32>, Option<u16>), usize>,
+    seen_raw: SeenMap,
     #[serde(skip)]
-    seen_classified: HashMap<(AlertKind, Option<u32>, Option<u32>, Option<u16>), usize>,
+    seen_classified: SeenMap,
     #[serde(skip)]
-    seen_final: HashMap<(AlertKind, Option<u32>, Option<u32>, Option<u16>), usize>,
+    seen_final: SeenMap,
 }
+
+/// Alert identity → index of its first occurrence in the phase list.
+type SeenMap = HashMap<(AlertKind, Option<u32>, Option<u32>, Option<u16>), usize>;
 
 impl AlertLog {
     /// Creates an empty log.

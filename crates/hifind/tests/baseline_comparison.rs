@@ -77,7 +77,13 @@ fn slow_scan_trw_yes_hifind_no() {
         for i in 0..10u32 {
             let id = iv as u32 * 10 + i;
             let dst: Ip4 = [129, 105, (id >> 8) as u8, id as u8].into();
-            t.push(Packet::syn(iv * 60_000 + 500 + i as u64 * 97, scanner, 2000, dst, 23));
+            t.push(Packet::syn(
+                iv * 60_000 + 500 + i as u64 * 97,
+                scanner,
+                2000,
+                dst,
+                23,
+            ));
         }
     }
     t.sort_by_time();

@@ -100,8 +100,17 @@ fn aggregated_detection_equals_single_router_on_preset() {
         site.process_interval(&snaps).unwrap();
     }
 
-    let mut a: Vec<_> = single_log.final_alerts().iter().map(|x| x.identity()).collect();
-    let mut b: Vec<_> = site.log().final_alerts().iter().map(|x| x.identity()).collect();
+    let mut a: Vec<_> = single_log
+        .final_alerts()
+        .iter()
+        .map(|x| x.identity())
+        .collect();
+    let mut b: Vec<_> = site
+        .log()
+        .final_alerts()
+        .iter()
+        .map(|x| x.identity())
+        .collect();
     a.sort();
     b.sort();
     assert_eq!(a, b, "aggregate must equal single-router detection");
@@ -123,7 +132,9 @@ fn snapshots_survive_serialization_between_router_and_site() {
         let snap = recorder.take_snapshot();
         let wire = serde_json::to_vec(&snap).unwrap();
         let shipped: hifind::IntervalSnapshot = serde_json::from_slice(&wire).unwrap();
-        site_direct.process_interval(std::slice::from_ref(&snap)).unwrap();
+        site_direct
+            .process_interval(std::slice::from_ref(&snap))
+            .unwrap();
         site_wire.process_interval(&[shipped]).unwrap();
     }
     assert_eq!(

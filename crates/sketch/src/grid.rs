@@ -157,6 +157,37 @@ impl CounterGrid {
         std::mem::size_of::<Self>() + self.data.len() * std::mem::size_of::<i64>()
     }
 
+    /// Fraction of non-zero buckets in one stage, in `[0, 1]`.
+    pub fn stage_occupancy(&self, stage: usize) -> f64 {
+        let row = self.stage(stage);
+        row.iter().filter(|&&v| v != 0).count() as f64 / row.len() as f64
+    }
+
+    /// Per-stage fraction of non-zero buckets.
+    ///
+    /// High occupancy means most buckets carry several colliding flows and
+    /// per-key estimates degrade — the primary health signal for sizing
+    /// `buckets` against the traffic mix.
+    pub fn occupancy(&self) -> Vec<f64> {
+        (0..self.stages).map(|s| self.stage_occupancy(s)).collect()
+    }
+
+    /// Largest absolute counter value anywhere in the grid.
+    pub fn max_abs(&self) -> i64 {
+        self.data.iter().map(|v| v.abs()).max().unwrap_or(0)
+    }
+
+    /// Fraction of buckets whose absolute value is at least `threshold`,
+    /// in `[0, 1]`. With `threshold` near the detection threshold this
+    /// measures how much of the grid is "hot" — saturation close to 1.0
+    /// means the sketch can no longer separate heavy keys from noise.
+    pub fn saturation(&self, threshold: i64) -> f64 {
+        if self.data.is_empty() || threshold <= 0 {
+            return 0.0;
+        }
+        self.data.iter().filter(|v| v.abs() >= threshold).count() as f64 / self.data.len() as f64
+    }
+
     fn check_shape(&self, other: &CounterGrid) -> Result<(), SketchError> {
         if self.stages != other.stages || self.buckets != other.buckets {
             Err(SketchError::CombineMismatch)

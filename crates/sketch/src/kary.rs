@@ -254,10 +254,7 @@ mod tests {
             s.update(rng.next_u64(), 1);
         }
         let est = s.estimate(7777);
-        assert!(
-            (est - 1000).abs() < 100,
-            "estimate {est} too far from 1000"
-        );
+        assert!((est - 1000).abs() < 100, "estimate {est} too far from 1000");
     }
 
     #[test]

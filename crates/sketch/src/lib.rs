@@ -39,11 +39,13 @@
 #![warn(missing_docs)]
 
 pub mod grid;
+pub mod health;
 pub mod kary;
 pub mod reversible;
 pub mod twod;
 
 pub use grid::CounterGrid;
+pub use health::{DriftStats, GridHealth, InferenceHealth, SketchHealth};
 pub use kary::{KaryConfig, KarySketch};
 pub use reversible::{
     HeavyKey, InferOptions, InferStats, InferenceResult, ReversibleSketch, RsConfig,

@@ -352,6 +352,9 @@ impl ReversibleSketch {
         // the stage hash lookups out of the inner loop.
         let mut scratch: Vec<BitSet> = heavy.iter().map(|hb| BitSet::empty(hb.len())).collect();
         let allowed_dead = stages - min_stages;
+        // `word` indexes masks[s][word] *and* feeds the hash chunk lookup,
+        // so a range loop reads better than iterating one of them.
+        #[allow(clippy::needless_range_loop)]
         for word in 0..words {
             let chunk_of: Vec<[u16; 256]> = (0..stages)
                 .map(|s| {

@@ -146,7 +146,10 @@ impl TwoDSketch {
     /// shape (e.g. an aggregated or forecast-error grid).
     pub fn column_grid(&self, grid: &CounterGrid, stage: usize, x_key: u64) -> Vec<i64> {
         debug_assert_eq!(grid.stages(), self.config.stages);
-        debug_assert_eq!(grid.buckets(), self.config.x_buckets * self.config.y_buckets);
+        debug_assert_eq!(
+            grid.buckets(),
+            self.config.x_buckets * self.config.y_buckets
+        );
         let x = self.x_hashers[stage].bucket(x_key);
         let base = x * self.config.y_buckets;
         (0..self.config.y_buckets)

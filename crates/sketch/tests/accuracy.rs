@@ -96,9 +96,7 @@ fn unbiased_estimator_centers_on_truth() {
 fn inference_recall_and_precision_at_paper_config() {
     let mut rs = ReversibleSketch::new(RsConfig::paper_48bit(5)).unwrap();
     let mut rng = SplitMix64::new(6);
-    let heavy: Vec<u64> = (0..25)
-        .map(|_| rng.next_u64() & ((1 << 48) - 1))
-        .collect();
+    let heavy: Vec<u64> = (0..25).map(|_| rng.next_u64() & ((1 << 48) - 1)).collect();
     for &k in &heavy {
         rs.update(k, 500);
     }
@@ -135,9 +133,7 @@ fn inference_recall_and_precision_at_paper_config() {
 fn inference_handles_many_heavy_keys() {
     let mut rs = ReversibleSketch::new(RsConfig::paper_48bit(7)).unwrap();
     let mut rng = SplitMix64::new(8);
-    let heavy: Vec<u64> = (0..30)
-        .map(|_| rng.next_u64() & ((1 << 48) - 1))
-        .collect();
+    let heavy: Vec<u64> = (0..30).map(|_| rng.next_u64() & ((1 << 48) - 1)).collect();
     for &k in &heavy {
         rs.update(k, 1000);
     }

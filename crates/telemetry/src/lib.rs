@@ -1,0 +1,156 @@
+//! Pipeline telemetry: a lightweight metrics registry for the HiFIND stack.
+//!
+//! Three metric kinds, all lock-free on the update path:
+//!
+//! * [`Counter`] — monotone event count, striped across cache lines so
+//!   concurrent recorder threads do not contend.
+//! * [`Gauge`] — last-written integer value (sketch occupancy, saturation
+//!   in parts-per-million, inference success rate, ...).
+//! * [`Histogram`] — fixed-bucket distribution with atomic bucket counts,
+//!   used for per-phase latencies. Bucket layout is chosen at registration
+//!   (see [`exponential_buckets`]) and never reallocates, so `observe` is a
+//!   single atomic add off the packet hot path.
+//!
+//! A [`Registry`] owns named metrics behind `Arc`s; handles are cheap to
+//! clone into the pipeline. [`Registry::snapshot`] produces a serializable
+//! [`RegistrySnapshot`] for `--metrics-json`, and
+//! [`RegistrySnapshot::to_prometheus_text`] renders the Prometheus text
+//! exposition format for scraping setups.
+//!
+//! Timing uses [`ScopeTimer`] (RAII: observes elapsed time into a histogram
+//! on drop) or the sampling variant the recorder hot path uses via
+//! [`Histogram::observe_duration`].
+
+pub mod metrics;
+pub mod registry;
+pub mod timer;
+
+pub use metrics::{exponential_buckets, linear_buckets, Counter, Gauge, Histogram};
+pub use registry::{MetricSnapshot, Registry, RegistrySnapshot};
+pub use timer::ScopeTimer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn concurrent_counter_increments_are_all_counted() {
+        let registry = Registry::new();
+        let counter = registry.counter("packets_total", "Packets recorded");
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn histogram_buckets_split_at_boundaries() {
+        let h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        // Upper bounds are inclusive, like Prometheus `le`.
+        h.observe(0.5);
+        h.observe(1.0);
+        h.observe(5.0);
+        h.observe(10.0);
+        h.observe(99.9);
+        h.observe(100.1);
+        let snap = h.snapshot();
+        assert_eq!(snap.bucket_counts, vec![2, 2, 1, 1]);
+        assert_eq!(snap.count, 6);
+        assert!((snap.sum - (0.5 + 1.0 + 5.0 + 10.0 + 99.9 + 100.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_buckets_grow_geometrically() {
+        let b = exponential_buckets(1.0, 2.0, 4);
+        assert_eq!(b, vec![1.0, 2.0, 4.0, 8.0]);
+        let l = linear_buckets(0.0, 5.0, 3);
+        assert_eq!(l, vec![0.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn gauge_stores_last_value() {
+        let g = Gauge::new();
+        g.set(42);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+        g.add(10);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn scope_timer_observes_on_drop() {
+        let h = Arc::new(Histogram::new(vec![1e9]));
+        {
+            let _t = ScopeTimer::new(Arc::clone(&h));
+        }
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn registry_snapshot_serde_round_trip() {
+        let registry = Registry::new();
+        registry.counter("alerts_total", "Alerts emitted").add(17);
+        registry
+            .gauge("occupancy_ppm", "Bucket occupancy")
+            .set(250_000);
+        registry
+            .histogram(
+                "detect_seconds",
+                "Detect phase latency",
+                vec![0.001, 0.01, 0.1],
+            )
+            .observe(0.005);
+
+        let snap = registry.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn prometheus_text_golden() {
+        let registry = Registry::new();
+        registry
+            .counter("hifind_packets_total", "Packets recorded")
+            .add(3);
+        registry
+            .gauge("hifind_saturation_ppm", "Sketch saturation")
+            .set(1200);
+        let h = registry.histogram(
+            "hifind_detect_seconds",
+            "Detect phase latency",
+            vec![0.01, 0.1],
+        );
+        h.observe(0.005);
+        h.observe(0.05);
+        h.observe(0.5);
+
+        let text = registry.snapshot().to_prometheus_text();
+        let expected = "\
+# HELP hifind_detect_seconds Detect phase latency
+# TYPE hifind_detect_seconds histogram
+hifind_detect_seconds_bucket{le=\"0.01\"} 1
+hifind_detect_seconds_bucket{le=\"0.1\"} 2
+hifind_detect_seconds_bucket{le=\"+Inf\"} 3
+hifind_detect_seconds_sum 0.555
+hifind_detect_seconds_count 3
+# HELP hifind_packets_total Packets recorded
+# TYPE hifind_packets_total counter
+hifind_packets_total 3
+# HELP hifind_saturation_ppm Sketch saturation
+# TYPE hifind_saturation_ppm gauge
+hifind_saturation_ppm 1200
+";
+        assert_eq!(text, expected);
+    }
+}

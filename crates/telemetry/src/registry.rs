@@ -1,0 +1,183 @@
+//! Named metric registry and its serializable snapshot.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// Owns named metrics; clone handles out to the pipeline.
+///
+/// Registration takes a short lock; updates through the returned `Arc`
+/// handles are lock-free. Registering the same name twice returns the
+/// existing metric (and panics if the kind differs — that is always a bug).
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Entry>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or fetches) a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut map = self.inner.lock().unwrap();
+        let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Counter(Arc::new(Counter::new())),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or fetches) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut map = self.inner.lock().unwrap();
+        let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Gauge(Arc::new(Gauge::new())),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or fetches) a histogram with the given bucket bounds.
+    /// Bounds are fixed at first registration; later calls ignore theirs.
+    pub fn histogram(&self, name: &str, help: &str, upper_bounds: Vec<f64>) -> Arc<Histogram> {
+        let mut map = self.inner.lock().unwrap();
+        let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Histogram(Arc::new(Histogram::new(upper_bounds))),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.inner.lock().unwrap();
+        let metrics = map
+            .iter()
+            .map(|(name, entry)| {
+                let value = match &entry.metric {
+                    Metric::Counter(c) => MetricValue::Counter { value: c.get() },
+                    Metric::Gauge(g) => MetricValue::Gauge { value: g.get() },
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                MetricSnapshot {
+                    name: name.clone(),
+                    help: entry.help.clone(),
+                    value,
+                }
+            })
+            .collect();
+        RegistrySnapshot { metrics }
+    }
+}
+
+/// One metric's state inside a [`RegistrySnapshot`].
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum MetricValue {
+    /// Monotone count.
+    Counter {
+        /// Current total.
+        value: u64,
+    },
+    /// Last-written value.
+    Gauge {
+        /// Current value.
+        value: i64,
+    },
+    /// Bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A named metric with its help text and value.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricSnapshot {
+    /// Metric name (Prometheus-style, e.g. `hifind_detect_seconds`).
+    pub name: String,
+    /// One-line description.
+    pub help: String,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// Serializable copy of a whole [`Registry`], sorted by metric name.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RegistrySnapshot {
+    /// All metrics, name-ordered.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+/// Formats an `f64` the way Prometheus expects (no trailing `.0` on
+/// integral values is fine, but exponents are avoided for readability).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v}");
+        s
+    }
+}
+
+impl RegistrySnapshot {
+    /// Renders the Prometheus text exposition format.
+    pub fn to_prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for m in &self.metrics {
+            let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+            match &m.value {
+                MetricValue::Counter { value } => {
+                    let _ = writeln!(out, "# TYPE {} counter", m.name);
+                    let _ = writeln!(out, "{} {}", m.name, value);
+                }
+                MetricValue::Gauge { value } => {
+                    let _ = writeln!(out, "# TYPE {} gauge", m.name);
+                    let _ = writeln!(out, "{} {}", m.name, value);
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {} histogram", m.name);
+                    let cumulative = h.cumulative();
+                    for (ub, c) in h.upper_bounds.iter().zip(&cumulative) {
+                        let _ =
+                            writeln!(out, "{}_bucket{{le=\"{}\"}} {}", m.name, fmt_f64_le(*ub), c);
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{{le=\"+Inf\"}} {}",
+                        m.name,
+                        cumulative.last().copied().unwrap_or(0)
+                    );
+                    let _ = writeln!(out, "{}_sum {}", m.name, fmt_f64(h.sum));
+                    let _ = writeln!(out, "{}_count {}", m.name, h.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `le` labels keep their natural float rendering (`0.01`, not `1e-2`).
+fn fmt_f64_le(v: f64) -> String {
+    format!("{v}")
+}

@@ -1,0 +1,44 @@
+//! RAII scope timing into a histogram.
+
+use crate::metrics::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Observes elapsed wall time into a [`Histogram`] when dropped.
+///
+/// ```
+/// use hifind_telemetry::{Histogram, ScopeTimer};
+/// use std::sync::Arc;
+///
+/// let latency = Arc::new(Histogram::new(vec![0.001, 0.01, 0.1]));
+/// {
+///     let _timer = ScopeTimer::new(Arc::clone(&latency));
+///     // ... phase work ...
+/// } // elapsed seconds observed here
+/// assert_eq!(latency.snapshot().count, 1);
+/// ```
+pub struct ScopeTimer {
+    histogram: Arc<Histogram>,
+    start: Instant,
+}
+
+impl ScopeTimer {
+    /// Starts timing now.
+    pub fn new(histogram: Arc<Histogram>) -> Self {
+        ScopeTimer {
+            histogram,
+            start: Instant::now(),
+        }
+    }
+
+    /// Stops early and records, consuming the timer.
+    pub fn stop(self) {
+        // Dropping does the observation.
+    }
+}
+
+impl Drop for ScopeTimer {
+    fn drop(&mut self) {
+        self.histogram.observe_duration(self.start.elapsed());
+    }
+}

@@ -32,8 +32,7 @@ pub fn generate_background(
     while (t as u64) < duration_ms {
         let ts = t as u64;
         if diurnal > 0.0 {
-            let phase =
-                ts as f64 / profile.diurnal_period_ms.max(1) as f64 * std::f64::consts::TAU;
+            let phase = ts as f64 / profile.diurnal_period_ms.max(1) as f64 * std::f64::consts::TAU;
             let relative = (1.0 + diurnal * phase.sin()) / (1.0 + diurnal);
             if !rng.chance(relative) {
                 t += rng.exp_gap(peak_gap_ms);
@@ -140,8 +139,10 @@ mod tests {
     #[test]
     fn zero_rate_or_duration_is_empty() {
         let net = NetworkModel::lab();
-        let mut profile = BackgroundProfile::default();
-        profile.connections_per_sec = 0.0;
+        let profile = BackgroundProfile {
+            connections_per_sec: 0.0,
+            ..Default::default()
+        };
         let t = generate_background(&net, &profile, 60_000, &mut SplitMix64::new(0));
         assert!(t.is_empty());
         let t = generate_background(
@@ -171,9 +172,7 @@ mod tests {
             .count();
         let q3 = t
             .iter()
-            .filter(|p| {
-                p.kind == SegmentKind::Syn && (100_000..150_000).contains(&p.ts_ms)
-            })
+            .filter(|p| p.kind == SegmentKind::Syn && (100_000..150_000).contains(&p.ts_ms))
             .count();
         assert!(
             q1 as f64 > q3 as f64 * 1.5,
@@ -200,8 +199,9 @@ mod tests {
         let mut unanswered: HashMap<(u32, u16), i64> = HashMap::new();
         for p in t.iter() {
             let o = p.orient().unwrap();
-            *unanswered.entry((o.server.raw(), o.server_port)).or_insert(0) +=
-                o.syn_minus_synack();
+            *unanswered
+                .entry((o.server.raw(), o.server_port))
+                .or_insert(0) += o.syn_minus_synack();
         }
         let worst = unanswered.values().copied().max().unwrap_or(0);
         assert!(

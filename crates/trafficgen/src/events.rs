@@ -216,9 +216,7 @@ impl EventSpec {
                 let mut probed = 0u32;
                 while (t as u64) < end && probed < *victims {
                     let ts = t as u64;
-                    let dst = Ip4::new(
-                        (base.wrapping_add(probed)) & !0u32, // sequential walk
-                    );
+                    let dst = Ip4::new(base.wrapping_add(probed)); // sequential walk
                     let dst = if net.is_internal(dst) {
                         dst
                     } else {
@@ -367,8 +365,9 @@ impl EventSpec {
                 let end = start_ms + duration_ms;
                 let mut t = *start_ms as f64;
                 let gap = 1000.0 / pps.max(1e-9);
-                let client_ids: Vec<u32> =
-                    (0..*clients).map(|_| rng.next_u32() % net.external_hosts).collect();
+                let client_ids: Vec<u32> = (0..*clients)
+                    .map(|_| rng.next_u32() % net.external_hosts)
+                    .collect();
                 while (t as u64) < end {
                     let ts = t as u64;
                     let client = net.external_client_by_id(*rng.pick(&client_ids));

@@ -51,7 +51,7 @@ impl NetworkModel {
     pub fn server(&self, i: u32) -> Ip4 {
         assert!(i < self.server_count, "server index out of range");
         // Spread servers over the low /24s of the prefix, skipping .0/.255.
-        let host = 256 + i * 7 % (1 << (32 - self.edge_prefix_len as u32) - 1);
+        let host = 256 + (i * 7) % (1 << ((32 - self.edge_prefix_len as u32) - 1));
         Ip4::new(self.edge_prefix.raw() | (host & self.host_mask()))
     }
 
@@ -196,10 +196,7 @@ mod tests {
             let c = net.external_client(&mut rng);
             assert!(!net.is_internal(c), "client {c} inside edge");
         }
-        assert_eq!(
-            net.external_client_by_id(17),
-            net.external_client_by_id(17)
-        );
+        assert_eq!(net.external_client_by_id(17), net.external_client_by_id(17));
     }
 
     #[test]

@@ -144,7 +144,10 @@ pub fn nu_like(seed: u64) -> Scenario {
             duration_ms: dur / 2,
             hit_prob: 0.01,
             rst_prob: 0.1,
-            label: format!("worm scan #{i} (port {})", worm_ports[i as usize % worm_ports.len()]),
+            label: format!(
+                "worm scan #{i} (port {})",
+                worm_ports[i as usize % worm_ports.len()]
+            ),
         });
     }
     // HiFIND-favoured scans: a small majority of probes succeed, so TRW's
@@ -263,7 +266,7 @@ pub fn nu_like(seed: u64) -> Scenario {
 /// detectors like CPM.
 pub fn lbl_like(seed: u64) -> Scenario {
     let net = NetworkModel::lab();
-    let mut rng = SplitMix64::new(seed ^ 0x4C42_4C);
+    let mut rng = SplitMix64::new(seed ^ 0x4C_42_4C);
     let mut events = Vec::new();
     let dur = PRESET_DURATION_MS;
 
@@ -278,7 +281,10 @@ pub fn lbl_like(seed: u64) -> Scenario {
             duration_ms: dur * 3 / 4,
             hit_prob: 0.005,
             rst_prob: 0.12,
-            label: format!("lab scan #{i} (port {})", worm_ports[i as usize % worm_ports.len()]),
+            label: format!(
+                "lab scan #{i} (port {})",
+                worm_ports[i as usize % worm_ports.len()]
+            ),
         });
     }
     // The single validated vertical scan of §5.4.2: well-known web-proxy

@@ -54,7 +54,13 @@ mod tests {
             let client = [1, 1, (i >> 8) as u8, i as u8].into();
             let server = [129, 105, 0, 1].into();
             t.push(Packet::syn(i, client, 2000 + (i % 100) as u16, server, 80));
-            t.push(Packet::syn_ack(i + 1, client, 2000 + (i % 100) as u16, server, 80));
+            t.push(Packet::syn_ack(
+                i + 1,
+                client,
+                2000 + (i % 100) as u16,
+                server,
+                80,
+            ));
         }
         t.sort_by_time();
         t

@@ -212,7 +212,12 @@ impl FromIterator<TruthEntry> for GroundTruth {
 mod tests {
     use super::*;
 
-    fn entry(class: EventClass, sip: Option<[u8; 4]>, dip: Option<[u8; 4]>, dport: Option<u16>) -> TruthEntry {
+    fn entry(
+        class: EventClass,
+        sip: Option<[u8; 4]>,
+        dip: Option<[u8; 4]>,
+        dport: Option<u16>,
+    ) -> TruthEntry {
         TruthEntry {
             class,
             sip: sip.map(Ip4::from),
@@ -252,7 +257,12 @@ mod tests {
     #[test]
     fn find_match_prefers_attacks() {
         let mut gt = GroundTruth::new();
-        gt.push(entry(EventClass::Congestion, None, Some([5, 5, 5, 5]), Some(80)));
+        gt.push(entry(
+            EventClass::Congestion,
+            None,
+            Some([5, 5, 5, 5]),
+            Some(80),
+        ));
         gt.push(entry(
             EventClass::SynFloodDirect,
             Some([6, 6, 6, 6]),
@@ -270,7 +280,12 @@ mod tests {
         let gt: GroundTruth = vec![
             entry(EventClass::HScan, Some([1, 1, 1, 1]), None, Some(22)),
             entry(EventClass::Congestion, None, Some([2, 2, 2, 2]), Some(80)),
-            entry(EventClass::VScan, Some([3, 3, 3, 3]), Some([4, 4, 4, 4]), None),
+            entry(
+                EventClass::VScan,
+                Some([3, 3, 3, 3]),
+                Some([4, 4, 4, 4]),
+                None,
+            ),
         ]
         .into_iter()
         .collect();

@@ -1,10 +1,8 @@
 //! Property-based tests for the traffic generator.
 
 use hifind_flow::SegmentKind;
-use hifind_trafficgen::{
-    BackgroundProfile, EventSpec, NetworkModel, Scenario,
-};
 use hifind_trafficgen::splitter::{split_per_flow, split_per_packet};
+use hifind_trafficgen::{BackgroundProfile, EventSpec, NetworkModel, Scenario};
 use proptest::prelude::*;
 
 fn tiny_scenario(seed: u64, conn_rate: f64, flood_pps: f64) -> Scenario {

@@ -16,8 +16,7 @@ fn main() {
     // Note what it does NOT store: any key. 2^12 buckets × 6 stages, full
     // stop.
     let mut rs = ReversibleSketch::new(RsConfig::paper_48bit(99)).expect("paper config");
-    let mut twod =
-        TwoDSketch::new(TwoDConfig::paper(99)).expect("paper config");
+    let mut twod = TwoDSketch::new(TwoDConfig::paper(99)).expect("paper config");
 
     // 100k benign flows (mostly completing → values hover around zero).
     let mut rng = SplitMix64::new(1);
@@ -33,8 +32,18 @@ fn main() {
 
     // Three attackers hide in the stream.
     let attackers = [
-        (Ip4::from([204, 10, 110, 38]), 1433u16, 900i64, "SQLSnake-style Hscan"),
-        (Ip4::from([15, 192, 50, 153]), 4899, 650, "Rahack-style Hscan"),
+        (
+            Ip4::from([204, 10, 110, 38]),
+            1433u16,
+            900i64,
+            "SQLSnake-style Hscan",
+        ),
+        (
+            Ip4::from([15, 192, 50, 153]),
+            4899,
+            650,
+            "Rahack-style Hscan",
+        ),
         (Ip4::from([95, 30, 62, 202]), 3306, 420, "MySQL bot scan"),
     ];
     for &(sip, dport, count, _) in &attackers {
@@ -71,7 +80,11 @@ fn main() {
             .iter()
             .find(|&&(s, p, _, _)| s == key.sip() && p == key.dport())
             .map(|&(_, _, _, label)| label)
-            .unwrap_or(if key.sip() == flood.0 { "non-spoofed flood" } else { "?" });
+            .unwrap_or(if key.sip() == flood.0 {
+                "non-spoofed flood"
+            } else {
+                "?"
+            });
         println!("  {key}  Δ≈{estimate:<5}  2D verdict: {verdict:<35} truth: {truth}");
     }
     println!(

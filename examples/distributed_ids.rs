@@ -49,11 +49,21 @@ fn main() {
             shipped_bytes += snap.wire_size_bytes();
             snapshots.push(snap);
         }
-        site.process_interval(&snapshots).expect("same configuration");
+        site.process_interval(&snapshots)
+            .expect("same configuration");
     }
 
-    let mut single_ids: Vec<_> = single_log.final_alerts().iter().map(|a| a.identity()).collect();
-    let mut agg_ids: Vec<_> = site.log().final_alerts().iter().map(|a| a.identity()).collect();
+    let mut single_ids: Vec<_> = single_log
+        .final_alerts()
+        .iter()
+        .map(|a| a.identity())
+        .collect();
+    let mut agg_ids: Vec<_> = site
+        .log()
+        .final_alerts()
+        .iter()
+        .map(|a| a.identity())
+        .collect();
     single_ids.sort();
     agg_ids.sort();
 
@@ -61,7 +71,10 @@ fn main() {
         "\nsingle-router final alerts: {}",
         single_log.final_alerts().len()
     );
-    println!("aggregated  final alerts: {}", site.log().final_alerts().len());
+    println!(
+        "aggregated  final alerts: {}",
+        site.log().final_alerts().len()
+    );
     println!(
         "identical detections: {}",
         if single_ids == agg_ids { "YES" } else { "NO" }
@@ -72,7 +85,6 @@ fn main() {
          counters: {:.1} MB; a 10 Gbps router would otherwise ship ~75 GB of \
          packets per minute)",
         shipped_bytes as f64 / 1e6 / (3 * intervals.max(1)) as f64,
-        hifind::metrics::SketchMemoryModel::paper(hifind::metrics::PAPER_COUNTER_BYTES)
-            .total_mb(),
+        hifind::metrics::SketchMemoryModel::paper(hifind::metrics::PAPER_COUNTER_BYTES).total_mb(),
     );
 }

@@ -41,7 +41,10 @@ fn main() {
         .final_alerts()
         .iter()
         .any(|a| a.kind == AlertKind::SynFlooding);
-    println!("\nHiFIND (fixed {:.1} MB of sketches):", ids.recorder().memory_bytes() as f64 / 1e6);
+    println!(
+        "\nHiFIND (fixed {:.1} MB of sketches):",
+        ids.recorder().memory_bytes() as f64 / 1e6
+    );
     println!("  flood detected: {found_flood}");
     println!("  scan detected under smokescreen: {found_scan}");
 
@@ -67,7 +70,10 @@ fn main() {
         ..TrwAcConfig::default()
     };
     let (ac_alerts, ac_stats) = TrwAc::detect(&trace, cfg);
-    println!("\nTRW-AC (fixed {:.1} MB cache):", ac_stats.memory_bytes as f64 / 1e6);
+    println!(
+        "\nTRW-AC (fixed {:.1} MB cache):",
+        ac_stats.memory_bytes as f64 / 1e6
+    );
     println!(
         "  connection-cache occupancy after flood: {:.0}%",
         ac_stats.cache_occupancy * 100.0

@@ -26,14 +26,26 @@ fn main() {
         if minute >= 1 {
             for i in 0..400u32 {
                 let spoofed = Ip4::new(0x5000_0000 ^ ((minute as u32) << 16) ^ i);
-                trace.push(Packet::syn(base + 100 + i as u64 * 100, spoofed, 2000, victim, 80));
+                trace.push(Packet::syn(
+                    base + 100 + i as u64 * 100,
+                    spoofed,
+                    2000,
+                    victim,
+                    80,
+                ));
             }
         }
         // The horizontal scan: one source, one port, many addresses.
         if minute >= 2 {
             for i in 0..200u32 {
                 let dst: Ip4 = [129, 105, (i >> 8) as u8, i as u8].into();
-                trace.push(Packet::syn(base + 200 + i as u64 * 250, scanner, 2100, dst, 445));
+                trace.push(Packet::syn(
+                    base + 200 + i as u64 * 250,
+                    scanner,
+                    2100,
+                    dst,
+                    445,
+                ));
             }
         }
     }

@@ -1,0 +1,230 @@
+//! Minimal offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset of the API this workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`]
+//! (`throughput`/`sample_size`/`bench_function`/`bench_with_input`/`finish`),
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical analysis, each benchmark is warmed up
+//! briefly, then timed for a fixed wall-clock budget; the mean time per
+//! iteration (and derived throughput, when declared) is printed in a
+//! `cargo bench`-style line. Set `CRITERION_BUDGET_MS` to change the
+//! per-benchmark measurement budget (default 300 ms).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver; create groups via [`Criterion::benchmark_group`].
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            budget: budget_from_env(),
+        }
+    }
+}
+
+fn budget_from_env() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Declares how much work one benchmark iteration performs.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    budget: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration work declaration for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the time budget drives sampling here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark closure with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up and calibration: find an iteration count that takes a
+        // measurable slice of the budget.
+        f(&mut bencher);
+        let mut per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let slice = (self.budget / 10).max(Duration::from_millis(1));
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let n = (slice.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+            bencher.iters = n;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            total += bencher.elapsed;
+            total_iters += n;
+            per_iter = bencher.elapsed / n as u32;
+        }
+
+        let ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(e)) => {
+                format!("  {:>12.1} Melem/s", e as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:>12.1} MiB/s", b as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("  {}/{id:<32} {ns:>14.1} ns/iter{rate}", self.name);
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the hot code.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collects benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_trivial_routine() {
+        std::env::set_var("CRITERION_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.throughput(Throughput::Elements(4));
+        let mut ran = false;
+        group.bench_function("sum", |b| {
+            ran = true;
+            b.iter(|| (0u64..4).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("abc").to_string(), "abc");
+    }
+}

@@ -1,0 +1,141 @@
+//! Collection strategies: `vec`, `hash_set`, `hash_map`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// Anything usable as a collection size specification.
+pub trait SizeBounds {
+    /// Samples a concrete length.
+    fn sample(&self, rng: &mut TestRng) -> usize;
+    /// Upper bound (for duplicate-tolerant set/map generation).
+    fn upper(&self) -> usize;
+}
+
+impl SizeBounds for usize {
+    fn sample(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+    fn upper(&self) -> usize {
+        *self
+    }
+}
+
+impl SizeBounds for Range<usize> {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+    fn upper(&self) -> usize {
+        self.end.saturating_sub(1)
+    }
+}
+
+impl SizeBounds for RangeInclusive<usize> {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty size range");
+        lo + rng.below((hi - lo + 1) as u64) as usize
+    }
+    fn upper(&self) -> usize {
+        *self.end()
+    }
+}
+
+/// Vector of values from `elem`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl SizeBounds) -> VecStrategy<S, impl SizeBounds> {
+    VecStrategy { elem, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, Z> {
+    elem: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeBounds> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Hash set of values from `elem`; sizes below the requested minimum can
+/// occur only if the element domain is too small, matching proptest's
+/// duplicate-retry behaviour loosely.
+pub fn hash_set<S>(elem: S, size: impl SizeBounds) -> HashSetStrategy<S, impl SizeBounds>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { elem, size }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S, Z> {
+    elem: S,
+    size: Z,
+}
+
+impl<S, Z> Strategy for HashSetStrategy<S, Z>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+    Z: SizeBounds,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target.saturating_mul(20) + 100 {
+            out.insert(self.elem.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Hash map with keys from `key` and values from `value`.
+pub fn hash_map<K, V>(
+    key: K,
+    value: V,
+    size: impl SizeBounds,
+) -> HashMapStrategy<K, V, impl SizeBounds>
+where
+    K: Strategy,
+    K::Value: Eq + Hash,
+    V: Strategy,
+{
+    HashMapStrategy { key, value, size }
+}
+
+/// See [`hash_map`].
+pub struct HashMapStrategy<K, V, Z> {
+    key: K,
+    value: V,
+    size: Z,
+}
+
+impl<K, V, Z> Strategy for HashMapStrategy<K, V, Z>
+where
+    K: Strategy,
+    K::Value: Eq + Hash,
+    V: Strategy,
+    Z: SizeBounds,
+{
+    type Value = HashMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashMap<K::Value, V::Value> {
+        let target = self.size.sample(rng);
+        let mut out = HashMap::with_capacity(target);
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target.saturating_mul(20) + 100 {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}

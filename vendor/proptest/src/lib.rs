@@ -1,0 +1,228 @@
+//! Minimal offline reimplementation of the `proptest` API surface this
+//! workspace's property tests use.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message; cases are deterministic (seeded from the test
+//!   name), so failures reproduce exactly.
+//! * **Deterministic runs.** Every test derives its RNG seed from its own
+//!   name via FNV-1a, then walks cases sequentially. Set the
+//!   `PROPTEST_CASES` environment variable to change the case count
+//!   globally.
+//! * Strategies are simple generator objects: [`strategy::Strategy`] is
+//!   `generate(&self, &mut TestRng) -> Value` plus a `prop_map` adapter.
+//!
+//! Supported surface: `proptest!`, `prop_compose!`, `prop_oneof!`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, `any::<T>()`,
+//! `Just`, integer/float range strategies, tuple strategies, and
+//! `prop::collection::{vec, hash_set, hash_map}`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` paths used inside tests (`prop::collection::vec(...)`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property test needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// A deterministic splitmix64 RNG driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` (`bound` > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Widening-multiply rejection-free mapping; bias is negligible for
+        // test-data generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a of a test name — the per-test base seed.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `cases` deterministic cases of a property body (used by
+/// [`proptest!`]; not part of the public proptest API).
+pub fn run_cases(name: &str, cases: u32, mut body: impl FnMut(&mut TestRng, u32)) {
+    let base = fnv1a(name);
+    for case in 0..cases {
+        let mut rng = TestRng::new(base.wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9)));
+        body(&mut rng, case);
+    }
+}
+
+/// The `proptest! { ... }` block macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), config.cases, |rng, _case| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// The `prop_compose!` strategy-builder macro.
+#[macro_export]
+macro_rules! prop_compose {
+    ( $(#[$meta:meta])* $vis:vis fn $name:ident ( $($outer:tt)* ) ( $($field:ident in $strat:expr),+ $(,)? ) -> $ret:ty $body:block ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(move |rng: &mut $crate::TestRng| {
+                $(let $field = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Uniform choice among same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($s:expr),+ $(,)? ) => {{
+        let mut union = $crate::strategy::Union::new();
+        $( union.push($s); )+
+        union
+    }};
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        any::<u32>().prop_map(|v| u64::from(v) * 2)
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u64..100, b in 1u64..=10) -> (u64, u64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn maps_and_composes_work(e in arb_even(), p in arb_pair()) {
+            prop_assert_eq!(e % 2, 0);
+            prop_assert!(p.0 < 100 && (1..=10).contains(&p.1));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(any::<u8>(), 2..6),
+            s in prop::collection::hash_set(any::<u64>(), 1..4),
+            m in prop::collection::hash_map(any::<u16>(), 0i64..10, 0..5),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!((1..4).contains(&s.len()));
+            prop_assert!(m.len() < 5);
+        }
+
+        #[test]
+        fn oneof_picks_all_arms(choice in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&choice));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_override_applies(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut first = Vec::new();
+        super::run_cases("determinism", 8, |rng, _| first.push(rng.next_u64()));
+        let mut second = Vec::new();
+        super::run_cases("determinism", 8, |rng, _| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+        assert_ne!(first[0], first[1]);
+    }
+}

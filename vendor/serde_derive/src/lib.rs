@@ -1,0 +1,484 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! The registry is unreachable from this build environment, so `syn`/`quote`
+//! are unavailable; the input item is parsed directly from the
+//! `proc_macro::TokenStream`. Supported shapes — which cover every derived
+//! type in this workspace:
+//!
+//! * structs with named fields (`#[serde(skip)]`, `#[serde(transparent)]`),
+//! * tuple structs (single-field newtypes serialize as their inner value,
+//!   wider ones as sequences),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's JSON representation).
+//!
+//! Generics are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Named {
+        fields: Vec<Field>,
+        transparent: bool,
+    },
+    Tuple {
+        arity: usize,
+    },
+    Unit,
+    Enum {
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Consumes leading `#[...]` attributes; returns whether a
+/// `#[serde(<word>)]` attribute was among them, per requested word.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> (bool, bool) {
+    let (mut skip, mut transparent) = (false, false);
+    while *pos + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*pos] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*pos + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(w) = t {
+                            match w.to_string().as_str() {
+                                "skip" => skip = true,
+                                "transparent" => transparent = true,
+                                other => panic!("unsupported serde attribute `{other}`"),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *pos += 2;
+    }
+    (skip, transparent)
+}
+
+/// Consumes an optional visibility (`pub`, `pub(...)`).
+fn take_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type, stopping at a top-level `,` (consumed) or end of input.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    while *pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*pos] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts top-level comma-separated entries of a tuple body.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0usize;
+    let mut count = 0usize;
+    while pos < tokens.len() {
+        let (_, _) = take_attrs(&tokens, &mut pos);
+        take_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        count += 1;
+    }
+    count
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        let (skip, _) = take_attrs(&tokens, &mut pos);
+        take_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            panic!(
+                "expected field name, got {:?}",
+                tokens.get(pos).map(|t| t.to_string())
+            );
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!(
+                "expected `:` after field name, got {:?}",
+                other.map(|t| t.to_string())
+            ),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        let (_, _) = take_attrs(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            panic!("expected variant name");
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Struct(parse_named_fields(g).into_iter().map(|f| f.name).collect())
+            }
+            _ => VariantShape::Unit,
+        };
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("explicit enum discriminants are not supported")
+            }
+            other => panic!(
+                "expected `,` after variant, got {:?}",
+                other.map(|t| t.to_string())
+            ),
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    let (_, transparent) = take_attrs(&tokens, &mut pos);
+    take_vis(&tokens, &mut pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!(
+            "expected `struct` or `enum`, got {:?}",
+            other.map(|t| t.to_string())
+        ),
+    };
+    pos += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("generic types are not supported by the vendored serde derive");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Named {
+                fields: parse_named_fields(g),
+                transparent,
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Tuple {
+                arity: count_tuple_fields(g),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!(
+                "unsupported struct body: {:?}",
+                other.map(|t| t.to_string())
+            ),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                variants: parse_variants(g),
+            },
+            _ => panic!("expected enum body"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named {
+            fields,
+            transparent,
+        } => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if *transparent {
+                assert!(live.len() == 1, "transparent struct must have one field");
+                format!("::serde::Serialize::to_value(&self.{})", live[0].name)
+            } else {
+                let mut s =
+                    String::from("let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+                for f in &live {
+                    s.push_str(&format!(
+                        "m.push((String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Map(m)");
+                s
+            }
+        }
+        Shape::Tuple { arity } => {
+            if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+            }
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({bl}) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), {inner})]),\n",
+                            bl = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(field_names) => {
+                        let mut entries = String::new();
+                        for fname in field_names {
+                            entries.push_str(&format!(
+                                "(String::from(\"{fname}\"), ::serde::Serialize::to_value({fname})), "
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {bl} }} => ::serde::Value::Map(vec![(String::from(\"{vn}\"), ::serde::Value::Map(vec![{entries}]))]),\n",
+                            bl = field_names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named { fields, transparent } => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if *transparent {
+                assert!(live.len() == 1, "transparent struct must have one field");
+                let mut s = format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_value(v)?,\n",
+                    live[0].name
+                );
+                for f in fields.iter().filter(|f| f.skip) {
+                    s.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+                }
+                s.push_str("})");
+                s
+            } else {
+                let mut s = format!(
+                    "let m = v.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for {name}\"))?;\n\
+                     Ok({name} {{\n"
+                );
+                for f in fields {
+                    if f.skip {
+                        s.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+                    } else {
+                        s.push_str(&format!(
+                            "{0}: ::serde::Deserialize::from_value(::serde::value_get(m, \"{0}\")\
+                             .ok_or_else(|| ::serde::DeError::custom(\"missing field `{0}` in {name}\"))?)?,\n",
+                            f.name
+                        ));
+                    }
+                }
+                s.push_str("})");
+                s
+            }
+        }
+        Shape::Tuple { arity } => {
+            if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let mut s = format!(
+                    "let s = v.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence for {name}\"))?;\n\
+                     if s.len() != {arity} {{ return Err(::serde::DeError::custom(\"wrong length for {name}\")); }}\n\
+                     Ok({name}("
+                );
+                for i in 0..*arity {
+                    s.push_str(&format!("::serde::Deserialize::from_value(&s[{i}])?, "));
+                }
+                s.push_str("))");
+                s
+            }
+        }
+        Shape::Unit => format!("match v {{ ::serde::Value::Null => Ok({name}), _ => Err(::serde::DeError::custom(\"expected null for {name}\")) }}"),
+        Shape::Enum { variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        if *n == 1 {
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                            ));
+                        } else {
+                            let mut fields = String::new();
+                            for i in 0..*n {
+                                fields.push_str(&format!(
+                                    "::serde::Deserialize::from_value(&s[{i}])?, "
+                                ));
+                            }
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let s = payload.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence for {name}::{vn}\"))?;\n\
+                                 if s.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong length for {name}::{vn}\")); }}\n\
+                                 Ok({name}::{vn}({fields}))\n}},\n"
+                            ));
+                        }
+                    }
+                    VariantShape::Struct(field_names) => {
+                        let mut fields = String::new();
+                        for fname in field_names {
+                            fields.push_str(&format!(
+                                "{fname}: ::serde::Deserialize::from_value(::serde::value_get(fm, \"{fname}\")\
+                                 .ok_or_else(|| ::serde::DeError::custom(\"missing field `{fname}` in {name}::{vn}\"))?)?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let fm = payload.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for {name}::{vn}\"))?;\n\
+                             Ok({name}::{vn} {{ {fields} }})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::DeError::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (tag, payload) = (&m[0].0, &m[0].1);\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err(::serde::DeError::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+                 _ => Err(::serde::DeError::custom(\"expected string or single-key map for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         let _ = v;\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
