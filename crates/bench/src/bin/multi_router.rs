@@ -13,10 +13,36 @@
 use hifind::{HiFind, HiFindAggregator, HiFindConfig, SketchRecorder};
 use hifind_baselines::{Trw, TrwConfig};
 use hifind_bench::harness::{scale, section, seed, write_json};
-use hifind_flow::Ip4;
+use hifind_collect::{wire, AgentConfig, Collector, CollectorConfig, RouterAgent};
+use hifind_flow::{Ip4, Packet};
 use hifind_trafficgen::{presets, split_per_packet};
 use serde::Serialize;
 use std::collections::BTreeSet;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Snapshot shipping cost: raw in-memory counter size vs the varint-framed
+/// bytes that actually cross the wire.
+#[derive(Serialize)]
+struct WireStats {
+    snapshots: u64,
+    raw_bytes_total: u64,
+    framed_bytes_total: u64,
+    raw_bytes_per_interval: u64,
+    framed_bytes_per_interval: u64,
+    compression_ratio: f64,
+}
+
+/// End-to-end loopback collection: 3 TCP agents → collector → detection.
+#[derive(Serialize)]
+struct LoopbackStats {
+    elapsed_ms: u64,
+    frames: u64,
+    bytes: u64,
+    frames_per_sec: f64,
+    mbytes_per_sec: f64,
+    identical_to_single: bool,
+}
 
 #[derive(Serialize)]
 struct MultiRouter {
@@ -27,6 +53,8 @@ struct MultiRouter {
     trw_split_union: usize,
     trw_missed_vs_single: usize,
     trw_extra_vs_single: usize,
+    wire: WireStats,
+    loopback: LoopbackStats,
 }
 
 fn main() {
@@ -50,6 +78,9 @@ fn main() {
         .map(|t| t.intervals(cfg.interval_ms).collect())
         .collect();
     let intervals = windows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut raw_bytes_total = 0u64;
+    let mut framed_bytes_total = 0u64;
+    let mut snapshots = 0u64;
     for iv in 0..intervals {
         let mut snaps = Vec::new();
         for (router, wins) in routers.iter_mut().zip(&windows) {
@@ -59,6 +90,12 @@ fn main() {
                 }
             }
             snaps.push(router.take_snapshot());
+        }
+        for (router_id, snap) in snaps.iter().enumerate() {
+            raw_bytes_total += snap.wire_size_bytes() as u64;
+            framed_bytes_total +=
+                wire::encode_frame(router_id as u32, iv as u64, snap).len() as u64;
+            snapshots += 1;
         }
         site.process_interval(&snaps).expect("same configuration");
     }
@@ -106,8 +143,44 @@ fn main() {
          seen by different routers (a SYN without its SYN/ACK looks like a failure)."
     );
 
+    let per_iv = intervals.max(1) as u64;
+    let wire_stats = WireStats {
+        snapshots,
+        raw_bytes_total,
+        framed_bytes_total,
+        raw_bytes_per_interval: raw_bytes_total / per_iv,
+        framed_bytes_per_interval: framed_bytes_total / per_iv,
+        compression_ratio: raw_bytes_total as f64 / framed_bytes_total.max(1) as f64,
+    };
+    section("wire cost: raw snapshot vs varint-framed bytes");
+    println!(
+        "{} snapshots over {} intervals: {} raw bytes → {} framed ({}x smaller)",
+        wire_stats.snapshots,
+        intervals,
+        wire_stats.raw_bytes_total,
+        wire_stats.framed_bytes_total,
+        wire_stats.compression_ratio.round()
+    );
+    println!(
+        "per interval (all 3 routers): {} raw → {} framed",
+        wire_stats.raw_bytes_per_interval, wire_stats.framed_bytes_per_interval
+    );
+
+    eprintln!("[multi_router] running loopback TCP collection...");
+    let loopback = run_loopback(cfg, &windows_owned(&windows), intervals, &s);
+    section("end-to-end loopback collection (3 TCP agents → collector → detection)");
+    println!(
+        "{} frames / {} bytes in {} ms → {:.1} frames/s, {:.1} MB/s, identical: {}",
+        loopback.frames,
+        loopback.bytes,
+        loopback.elapsed_ms,
+        loopback.frames_per_sec,
+        loopback.mbytes_per_sec,
+        loopback.identical_to_single
+    );
+
     write_json(
-        "multi_router",
+        "BENCH_multi_router",
         &MultiRouter {
             single_final: s.len(),
             aggregated_final: a.len(),
@@ -116,6 +189,85 @@ fn main() {
             trw_split_union: trw_union.len(),
             trw_missed_vs_single: trw_single.difference(&trw_union).count(),
             trw_extra_vs_single: trw_union.difference(&trw_single).count(),
+            wire: wire_stats,
+            loopback,
         },
     );
+}
+
+type AlertIdentity = (
+    hifind::report::AlertKind,
+    Option<u32>,
+    Option<u32>,
+    Option<u16>,
+);
+
+/// Copies the borrowed per-router interval windows into owned packet
+/// vectors the agent threads can take with them.
+fn windows_owned(windows: &[Vec<hifind_flow::IntervalIter<'_>>]) -> Vec<Vec<Vec<Packet>>> {
+    windows
+        .iter()
+        .map(|wins| wins.iter().map(|w| w.packets.to_vec()).collect())
+        .collect()
+}
+
+/// Replays the same per-router windows over real loopback TCP and times
+/// the whole collection path: encode → ship → align → combine → detect.
+fn run_loopback(
+    cfg: HiFindConfig,
+    windows: &[Vec<Vec<Packet>>],
+    intervals: usize,
+    single_identities: &BTreeSet<AlertIdentity>,
+) -> LoopbackStats {
+    let mut ccfg = CollectorConfig::new(windows.len());
+    // The bench measures throughput, not degradation policy: no deadline
+    // or window pressure should ever force a partial flush here.
+    ccfg.straggler_deadline = Duration::from_secs(600);
+    ccfg.reorder_window = intervals as u64 + 1;
+    let handle = Collector::bind("127.0.0.1:0", cfg, ccfg, None).expect("bind loopback collector");
+    let addr = handle.local_addr().to_string();
+    let start = Instant::now();
+    let tick = Arc::new(Barrier::new(windows.len()));
+    let agents: Vec<_> = windows
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(id, wins)| {
+            let addr = addr.clone();
+            let tick = Arc::clone(&tick);
+            std::thread::spawn(move || {
+                let mut agent =
+                    RouterAgent::new(addr, &cfg, AgentConfig::new(id as u32)).expect("config");
+                for iv in 0..intervals {
+                    tick.wait();
+                    if let Some(w) = wins.get(iv) {
+                        for p in w {
+                            agent.record(p);
+                        }
+                    }
+                    agent.end_interval();
+                }
+                agent.finish()
+            })
+        })
+        .collect();
+    for agent in agents {
+        agent.join().expect("agent thread");
+    }
+    let report = handle.wait();
+    let elapsed = start.elapsed();
+    let networked: BTreeSet<AlertIdentity> = report
+        .log
+        .final_alerts()
+        .iter()
+        .map(|al| al.identity())
+        .collect();
+    LoopbackStats {
+        elapsed_ms: elapsed.as_millis() as u64,
+        frames: report.frames_received,
+        bytes: report.bytes_received,
+        frames_per_sec: report.frames_received as f64 / elapsed.as_secs_f64(),
+        mbytes_per_sec: report.bytes_received as f64 / elapsed.as_secs_f64() / 1e6,
+        identical_to_single: &networked == single_identities,
+    }
 }

@@ -72,7 +72,8 @@ pub fn paired_record_pps(pkts: &[Packet], runs: usize) -> (f64, f64) {
         baseline = baseline.max(timed_pass(&mut ids, pkts));
         #[cfg(feature = "telemetry")]
         {
-            ids.attach_telemetry(registry.clone());
+            ids.attach_telemetry(registry.clone())
+                .expect("fresh registry has no conflicting metrics");
             instrumented = instrumented.max(timed_pass(&mut ids, pkts));
             ids.detach_telemetry();
         }

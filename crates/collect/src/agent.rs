@@ -1,0 +1,262 @@
+//! The router side of networked collection.
+//!
+//! A [`RouterAgent`] wraps the per-packet [`SketchRecorder`] — the only
+//! thing HiFIND asks of an edge router — and turns each interval's
+//! snapshot into one wire frame. Shipping is engineered for an unreliable
+//! collector, because a detection site restart must never ripple back
+//! into the data plane:
+//!
+//! * frames queue in a **bounded backlog** (oldest dropped first on
+//!   overflow, since fresher intervals matter more to detection);
+//! * sends run with **bounded attempts** and **exponential backoff**, so
+//!   a dead collector costs a capped, predictable stall per interval;
+//! * every failure closes and later **reconnects** the socket, and the
+//!   backlog survives in between — a restarted collector receives the
+//!   missed intervals in order and realigns via the frame headers.
+
+use crate::wire;
+use hifind::{HiFindConfig, SketchRecorder};
+use hifind_flow::Packet;
+use hifind_sketch::SketchError;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Shipping policy of one router agent.
+#[derive(Clone, Debug)]
+pub struct AgentConfig {
+    /// This router's id in frame headers.
+    pub router_id: u32,
+    /// Encoded frames kept while the collector is unreachable; the oldest
+    /// interval is dropped when a new one would exceed this.
+    pub max_backlog_frames: usize,
+    /// Connect/send attempts per flush before giving up (the backlog
+    /// keeps the frames for the next flush).
+    pub max_attempts: u32,
+    /// First retry delay; doubles per failure.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Socket connect and write timeout.
+    pub io_timeout: Duration,
+}
+
+impl AgentConfig {
+    /// Sensible defaults for `router_id`.
+    pub fn new(router_id: u32) -> Self {
+        AgentConfig {
+            router_id,
+            max_backlog_frames: 64,
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Lifetime shipping counters of one agent.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct AgentStats {
+    /// Frames produced by [`RouterAgent::end_interval`].
+    pub frames_enqueued: u64,
+    /// Frames written to the collector.
+    pub frames_shipped: u64,
+    /// Frames dropped to backlog overflow.
+    pub frames_dropped: u64,
+    /// Bytes written to the collector.
+    pub bytes_shipped: u64,
+    /// Successful connections after the first.
+    pub reconnects: u64,
+    /// Failed connect or write attempts.
+    pub send_failures: u64,
+}
+
+/// What one flush (or interval end) managed to ship.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShipReport {
+    /// Frames written to the collector in this call.
+    pub shipped: usize,
+    /// Frames still queued when the attempt budget ran out.
+    pub queued: usize,
+    /// Frames evicted from the backlog in this call.
+    pub dropped: usize,
+}
+
+/// A router agent: records packets, ships one frame per interval.
+pub struct RouterAgent {
+    addr: String,
+    cfg: AgentConfig,
+    recorder: SketchRecorder,
+    interval: u64,
+    backlog: VecDeque<Vec<u8>>,
+    stream: Option<TcpStream>,
+    connected_before: bool,
+    stats: AgentStats,
+}
+
+impl std::fmt::Debug for RouterAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterAgent")
+            .field("addr", &self.addr)
+            .field("router_id", &self.cfg.router_id)
+            .field("interval", &self.interval)
+            .field("backlog", &self.backlog.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RouterAgent {
+    /// Builds an agent recording under `hifind_cfg`, shipping to `addr`.
+    /// No connection is made until the first flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recorder construction errors.
+    pub fn new(
+        addr: impl Into<String>,
+        hifind_cfg: &HiFindConfig,
+        cfg: AgentConfig,
+    ) -> Result<Self, SketchError> {
+        Ok(RouterAgent {
+            addr: addr.into(),
+            cfg,
+            recorder: SketchRecorder::new(hifind_cfg)?,
+            interval: 0,
+            backlog: VecDeque::new(),
+            stream: None,
+            connected_before: false,
+            stats: AgentStats::default(),
+        })
+    }
+
+    /// Records one packet (the hot path; never touches the network).
+    #[inline]
+    pub fn record(&mut self, packet: &Packet) {
+        self.recorder.record(packet);
+    }
+
+    /// Ends the current interval: snapshots the recorder, frames the
+    /// snapshot, enqueues it, and attempts a flush.
+    pub fn end_interval(&mut self) -> ShipReport {
+        let snapshot = self.recorder.take_snapshot();
+        let frame = wire::encode_frame(self.cfg.router_id, self.interval, &snapshot);
+        self.interval += 1;
+        self.stats.frames_enqueued += 1;
+        let mut dropped = 0;
+        while self.backlog.len() >= self.cfg.max_backlog_frames.max(1) {
+            self.backlog.pop_front();
+            self.stats.frames_dropped += 1;
+            dropped += 1;
+        }
+        self.backlog.push_back(frame);
+        let mut report = self.flush();
+        report.dropped += dropped;
+        report
+    }
+
+    /// Tries to ship the whole backlog within the configured attempt and
+    /// backoff budget. Whatever could not be sent stays queued.
+    pub fn flush(&mut self) -> ShipReport {
+        let mut report = ShipReport::default();
+        let mut attempts = 0u32;
+        let mut backoff = self.cfg.initial_backoff;
+        while !self.backlog.is_empty() {
+            if self.stream.is_none() {
+                match self.connect() {
+                    Ok(stream) => {
+                        if self.connected_before {
+                            self.stats.reconnects += 1;
+                        }
+                        self.connected_before = true;
+                        self.stream = Some(stream);
+                    }
+                    Err(_) => {
+                        self.stats.send_failures += 1;
+                        attempts += 1;
+                        if attempts >= self.cfg.max_attempts {
+                            break;
+                        }
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(self.cfg.max_backoff);
+                        continue;
+                    }
+                }
+            }
+            let frame = self.backlog.front().expect("loop guard");
+            let outcome = self
+                .stream
+                .as_mut()
+                .expect("connected above")
+                .write_all(frame);
+            match outcome {
+                Ok(()) => {
+                    self.stats.frames_shipped += 1;
+                    self.stats.bytes_shipped += frame.len() as u64;
+                    report.shipped += 1;
+                    self.backlog.pop_front();
+                    // Progress resets the retry budget.
+                    attempts = 0;
+                    backoff = self.cfg.initial_backoff;
+                }
+                Err(_) => {
+                    // The frame may have been partially written; the
+                    // collector's framing validation discards the torn
+                    // remainder on its side, and the whole frame is
+                    // resent on a fresh connection.
+                    self.stream = None;
+                    self.stats.send_failures += 1;
+                    attempts += 1;
+                    if attempts >= self.cfg.max_attempts {
+                        break;
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.cfg.max_backoff);
+                }
+            }
+        }
+        report.queued = self.backlog.len();
+        report
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let mut last_err = None;
+        for addr in std::net::ToSocketAddrs::to_socket_addrs(&self.addr.as_str())? {
+            match TcpStream::connect_timeout(&addr, self.cfg.io_timeout) {
+                Ok(stream) => {
+                    stream.set_write_timeout(Some(self.cfg.io_timeout))?;
+                    stream.set_nodelay(true)?;
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "address resolved to nothing")
+        }))
+    }
+
+    /// Frames waiting for a reachable collector.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Intervals ended so far (the next frame's interval index).
+    pub fn intervals_ended(&self) -> u64 {
+        self.interval
+    }
+
+    /// Lifetime shipping counters.
+    pub fn stats(&self) -> &AgentStats {
+        &self.stats
+    }
+
+    /// Final flush, then closes the connection and returns the stats.
+    pub fn finish(mut self) -> AgentStats {
+        self.flush();
+        drop(self.stream.take());
+        self.stats
+    }
+}

@@ -9,9 +9,11 @@
 use hifind::mitigate::{plan, MitigationPolicy};
 use hifind::postprocess::correlate_block_scans;
 use hifind::{AlertKind, HiFind, HiFindConfig, Phase, RunReport};
+use hifind_collect::{AgentConfig, Collector, CollectorConfig, RouterAgent};
 use hifind_flow::Trace;
-use hifind_trafficgen::presets;
+use hifind_trafficgen::{presets, split_per_packet};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 hifind — DoS-resilient flow-level intrusion detection (ICDCS'06 reproduction)
@@ -21,6 +23,11 @@ USAGE:
     hifind info     --trace FILE [--metrics-json FILE]
     hifind detect   --trace FILE [--seed N] [--interval-secs N] [--threshold-per-sec F]
                     [--phases] [--mitigate] [--stats] [--metrics-json FILE]
+    hifind collect  --listen ADDR --routers N [--seed N] [--interval-secs N]
+                    [--threshold-per-sec F] [--straggler-ms N] [--reorder-window N]
+                    [--linger-ms N] [--metrics-json FILE]
+    hifind agent    --connect ADDR --trace FILE [--router-id N] [--split I/N]
+                    [--seed N] [--interval-secs N]
 
     Trace files ending in .csv use the human-readable CSV format
     (ts_ms,src,sport,dst,dport,kind,direction); anything else uses the
@@ -30,6 +37,10 @@ COMMANDS:
     generate   synthesize a workload trace (binary .hfnd format)
     info       print trace statistics
     detect     run the full three-phase pipeline and print final alerts
+    collect    run the central collection site: accept router agents over
+               TCP, combine their per-interval sketches, detect on the sum
+    agent      replay a trace as one edge router, shipping per-interval
+               sketch snapshots to a collector
 
 OPTIONS:
     --preset             workload preset: nu (campus mix), lbl (scan-heavy lab),
@@ -42,8 +53,25 @@ OPTIONS:
     --mitigate           print the derived mitigation plan
     --stats              print the run telemetry summary (phase latencies,
                          alert funnel, sketch health)
-    --metrics-json FILE  write machine-readable run telemetry (detect) or
-                         trace statistics (info) as JSON
+    --metrics-json FILE  write machine-readable run telemetry (detect),
+                         trace statistics (info), or the collection report
+                         (collect) as JSON
+    --listen ADDR        collector bind address (e.g. 127.0.0.1:7400)
+    --routers N          routers the collector expects per interval
+    --straggler-ms N     how long to hold an incomplete interval before
+                         detecting on quorum (default 2000)
+    --reorder-window N   max intervals buffered out of order (default 8)
+    --linger-ms N        reconnect grace once all routers left (default 400)
+    --connect ADDR       collector address an agent ships to
+    --router-id N        this agent's id in frame headers (defaults to the
+                         --split part index, else 0)
+    --split I/N          replay only part I (0-based) of a per-packet split
+                         of the trace across N routers; also the default
+                         router id, so N agents launched with parts 0..N
+                         identify distinctly without extra flags
+
+    All roles derive sketch seeds from --seed; agents and their collector
+    must share it, or frames are rejected by configuration fingerprint.
 ";
 
 struct Args {
@@ -99,6 +127,8 @@ fn run() -> Result<(), String> {
         "generate" => generate(&args),
         "info" => info(&args),
         "detect" => detect(&args),
+        "collect" => collect(&args),
+        "agent" => agent(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -251,6 +281,138 @@ fn detect(args: &Args) -> Result<(), String> {
             write_json(path, report)?;
             eprintln!("run telemetry written to {path}");
         }
+    }
+    Ok(())
+}
+
+/// Parses a `--split I/N` operand into `(part, routers)`.
+fn parse_split(raw: &str) -> Result<(usize, usize), String> {
+    let (i, n) = raw
+        .split_once('/')
+        .ok_or_else(|| format!("invalid --split '{raw}' (expected I/N, e.g. 0/3)"))?;
+    let part: usize = i
+        .parse()
+        .map_err(|_| format!("invalid --split part '{i}'"))?;
+    let routers: usize = n
+        .parse()
+        .map_err(|_| format!("invalid --split router count '{n}'"))?;
+    if routers == 0 || part >= routers {
+        return Err(format!(
+            "--split part {part} out of range for {routers} routers"
+        ));
+    }
+    Ok((part, routers))
+}
+
+/// Shared detection configuration of the networked roles.
+fn networked_config(args: &Args) -> Result<HiFindConfig, String> {
+    let seed: u64 = args.get_parsed("seed", 2026)?;
+    let interval_secs: u64 = args.get_parsed("interval-secs", 60)?;
+    let threshold: f64 = args.get_parsed("threshold-per-sec", 1.0)?;
+    let mut cfg = HiFindConfig::paper(seed);
+    cfg.interval_ms = interval_secs.max(1) * 1000;
+    cfg.threshold_per_sec = threshold;
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn collect(args: &Args) -> Result<(), String> {
+    let listen = args.get("listen").ok_or("missing --listen ADDR")?;
+    let routers: usize = args.get_parsed("routers", 0)?;
+    if routers == 0 {
+        return Err("missing --routers N (how many agents to expect)".into());
+    }
+    let metrics_json = metrics_json_path(args)?;
+    let cfg = networked_config(args)?;
+    let mut ccfg = CollectorConfig::new(routers);
+    ccfg.straggler_deadline = Duration::from_millis(args.get_parsed("straggler-ms", 2000u64)?);
+    ccfg.reorder_window = args.get_parsed("reorder-window", 8u64)?;
+    ccfg.linger = Duration::from_millis(args.get_parsed("linger-ms", 400u64)?);
+    let handle =
+        Collector::bind(listen, cfg, ccfg, None).map_err(|e| format!("cannot start: {e}"))?;
+    eprintln!(
+        "collecting on {} from {routers} router(s); finishes once all have \
+         connected and disconnected",
+        handle.local_addr()
+    );
+    let report = handle.wait();
+    println!(
+        "{} intervals ({} complete, {} partial, {} gaps); {} frames, {} bytes, \
+         {} late, {} rejected; routers seen: {:?}",
+        report.intervals_flushed,
+        report.complete_intervals,
+        report.partial_intervals,
+        report.gap_intervals,
+        report.frames_received,
+        report.bytes_received,
+        report.frames_late,
+        report.frames_rejected,
+        report.routers_seen,
+    );
+    if report.log.final_alerts().is_empty() {
+        println!("no intrusions detected");
+    } else {
+        println!("{} final alerts:", report.log.final_alerts().len());
+        for alert in report.log.final_alerts() {
+            println!("  {alert}");
+        }
+    }
+    if let Some(path) = metrics_json {
+        write_json(&path, &report)?;
+        eprintln!("collection report written to {path}");
+    }
+    Ok(())
+}
+
+fn agent(args: &Args) -> Result<(), String> {
+    let addr = args.get("connect").ok_or("missing --connect ADDR")?;
+    let trace = load_trace(args)?;
+    let cfg = networked_config(args)?;
+    let split = args.get("split").map(parse_split).transpose()?;
+    // Without a distinct id per agent the collector sees every frame as
+    // router 0 and never assembles a complete interval, so the split part
+    // doubles as the default id; --router-id still overrides.
+    let default_id = split.map_or(0, |(part, _)| part as u32);
+    let router_id: u32 = args.get_parsed("router-id", default_id)?;
+    let trace = match split {
+        Some((part, routers)) => {
+            let seed: u64 = args.get_parsed("seed", 2026)?;
+            split_per_packet(&trace, routers, seed ^ 0x5011).swap_remove(part)
+        }
+        None => trace,
+    };
+    let mut agent = RouterAgent::new(addr, &cfg, AgentConfig::new(router_id))
+        .map_err(|e| format!("cannot build recorder: {e}"))?;
+    for window in trace.intervals(cfg.interval_ms) {
+        for p in window.packets {
+            agent.record(p);
+        }
+        let shipped = agent.end_interval();
+        if shipped.queued > 0 {
+            eprintln!(
+                "interval {}: {} frame(s) backlogged (collector unreachable?)",
+                agent.intervals_ended() - 1,
+                shipped.queued
+            );
+        }
+    }
+    let stats = agent.finish();
+    println!(
+        "router {router_id}: {} intervals, {} frames shipped ({} bytes), \
+         {} dropped, {} reconnects, {} send failures",
+        stats.frames_enqueued,
+        stats.frames_shipped,
+        stats.bytes_shipped,
+        stats.frames_dropped,
+        stats.reconnects,
+        stats.send_failures,
+    );
+    if stats.frames_shipped < stats.frames_enqueued {
+        return Err(format!(
+            "{} of {} frames never reached the collector",
+            stats.frames_enqueued - stats.frames_shipped,
+            stats.frames_enqueued
+        ));
     }
     Ok(())
 }
@@ -456,6 +618,96 @@ mod tests {
         assert!(text.starts_with("ts_ms,src,sport"));
         info(&args(&["--trace", out_str])).unwrap();
         detect(&args(&["--trace", out_str])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn split_operand_parses_and_validates() {
+        assert_eq!(parse_split("0/3").unwrap(), (0, 3));
+        assert_eq!(parse_split("2/3").unwrap(), (2, 3));
+        assert!(parse_split("3/3").unwrap_err().contains("out of range"));
+        assert!(parse_split("0/0").unwrap_err().contains("out of range"));
+        assert!(parse_split("nope").unwrap_err().contains("expected I/N"));
+        assert!(parse_split("a/3").unwrap_err().contains("part"));
+        assert!(parse_split("1/b").unwrap_err().contains("router count"));
+    }
+
+    #[test]
+    fn collect_and_agent_validate_their_flags() {
+        assert!(collect(&args(&[])).unwrap_err().contains("--listen"));
+        assert!(collect(&args(&["--listen", "127.0.0.1:0"]))
+            .unwrap_err()
+            .contains("--routers"));
+        assert!(agent(&args(&[])).unwrap_err().contains("--connect"));
+        assert!(agent(&args(&["--connect", "127.0.0.1:1"]))
+            .unwrap_err()
+            .contains("--trace"));
+    }
+
+    #[test]
+    fn collect_and_agent_round_trip_over_loopback() {
+        let dir = std::env::temp_dir().join(format!("hifind-cli-net-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.hfnd");
+        let report = dir.join("report.json");
+        generate(&args(&[
+            "--preset",
+            "dos",
+            "--scale",
+            "0.02",
+            "--seed",
+            "3",
+            "--out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The collect command blocks until both agents finish, so it runs
+        // on its own thread while this one drives the agents.
+        let listen = "127.0.0.1:47411";
+        // The agents replay sequentially, so the collector must buffer the
+        // whole first agent's run: widen the reorder window and deadline
+        // beyond the trace length so only router identity is under test.
+        let collect_args: Vec<String> = [
+            "--listen",
+            listen,
+            "--routers",
+            "2",
+            "--seed",
+            "3",
+            "--reorder-window",
+            "64",
+            "--straggler-ms",
+            "30000",
+            "--metrics-json",
+            report.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let collector = std::thread::spawn(move || collect(&Args::parse(&collect_args)));
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // No --router-id: the split part must serve as the id, or both
+        // agents collide on router 0 and no interval ever completes.
+        for part in ["0/2", "1/2"] {
+            agent(&args(&[
+                "--connect",
+                listen,
+                "--trace",
+                trace.to_str().unwrap(),
+                "--split",
+                part,
+                "--seed",
+                "3",
+            ]))
+            .unwrap();
+        }
+        collector.join().unwrap().unwrap();
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("intervals_flushed"), "{json}");
+        assert!(
+            json.contains("\"partial_intervals\": 0") || json.contains("\"partial_intervals\":0"),
+            "both agents should be distinct routers: {json}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

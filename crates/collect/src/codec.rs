@@ -1,0 +1,365 @@
+//! Compact binary encoding of [`IntervalSnapshot`].
+//!
+//! Sketch grids are overwhelmingly zero outside attack hot spots, so
+//! counters are written as zig-zag LEB128 varints: a zero bucket costs one
+//! byte instead of eight, shrinking a paper-config snapshot well below its
+//! in-memory size. Bloom filter words and hash seeds are high-entropy and
+//! are written as raw little-endian `u64`s.
+//!
+//! The decoder is built for untrusted input: every read is bounds-checked,
+//! declared sizes are capped before allocation, and all failures are typed
+//! [`CodecError`]s — malformed bytes can never panic or exhaust memory.
+
+use hifind::IntervalSnapshot;
+use hifind_hashing::BloomFilter;
+use hifind_sketch::CounterGrid;
+
+/// Upper bound on `stages × buckets` of a single decoded grid (16 Mi
+/// counters = 128 MiB); rejects absurd declared shapes before allocating.
+const MAX_GRID_CELLS: u64 = 1 << 24;
+
+/// Upper bound on decoded Bloom filter words (8 Mi words = 64 MiB).
+const MAX_BLOOM_WORDS: u64 = 1 << 23;
+
+/// Upper bound on decoded Bloom hash seeds.
+const MAX_BLOOM_SEEDS: u64 = 64;
+
+/// A malformed snapshot payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended inside the named field.
+    Truncated { at: &'static str },
+    /// A varint ran past 10 bytes (cannot be a `u64`).
+    VarintOverflow { at: &'static str },
+    /// Bytes remained after the last field.
+    TrailingBytes { extra: usize },
+    /// A declared element count exceeds its sanity cap.
+    Oversized {
+        at: &'static str,
+        declared: u64,
+        max: u64,
+    },
+    /// A decoded grid violated [`CounterGrid`] invariants.
+    Grid { which: &'static str, detail: String },
+    /// The decoded Bloom filter parts violated [`BloomFilter`] invariants.
+    Bloom(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { at } => write!(f, "payload truncated at {at}"),
+            CodecError::VarintOverflow { at } => write!(f, "varint overflow at {at}"),
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after snapshot")
+            }
+            CodecError::Oversized { at, declared, max } => {
+                write!(f, "{at} declares {declared} elements (cap {max})")
+            }
+            CodecError::Grid { which, detail } => write!(f, "grid {which}: {detail}"),
+            CodecError::Bloom(detail) => write!(f, "bloom filter: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked cursor over the payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn uvarint(&mut self, at: &'static str) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(CodecError::Truncated { at });
+            };
+            self.pos += 1;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err(CodecError::VarintOverflow { at });
+            }
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn ivarint(&mut self, at: &'static str) -> Result<i64, CodecError> {
+        Ok(unzigzag(self.uvarint(at)?))
+    }
+
+    fn u64(&mut self, at: &'static str) -> Result<u64, CodecError> {
+        let end = self.pos.checked_add(8).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(CodecError::Truncated { at });
+        };
+        let v = u64::from_le_bytes(self.bytes[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn counted(&mut self, at: &'static str, declared: u64, max: u64) -> Result<usize, CodecError> {
+        if declared > max {
+            return Err(CodecError::Oversized { at, declared, max });
+        }
+        Ok(declared as usize)
+    }
+}
+
+fn encode_grid(out: &mut Vec<u8>, grid: &CounterGrid) {
+    put_uvarint(out, grid.stages() as u64);
+    put_uvarint(out, grid.buckets() as u64);
+    for stage in 0..grid.stages() {
+        for &v in grid.stage(stage) {
+            put_uvarint(out, zigzag(v));
+        }
+    }
+}
+
+fn decode_grid(r: &mut Reader<'_>, which: &'static str) -> Result<CounterGrid, CodecError> {
+    let stages = r.uvarint(which)?;
+    let buckets = r.uvarint(which)?;
+    let cells = stages.checked_mul(buckets).ok_or(CodecError::Oversized {
+        at: which,
+        declared: u64::MAX,
+        max: MAX_GRID_CELLS,
+    })?;
+    let cells = r.counted(which, cells, MAX_GRID_CELLS)?;
+    let mut data = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        data.push(r.ivarint(which)?);
+    }
+    CounterGrid::from_data(stages as usize, buckets as usize, data).map_err(|e| CodecError::Grid {
+        which,
+        detail: e.to_string(),
+    })
+}
+
+/// Serializes a snapshot into the payload format (no frame header; see
+/// [`crate::wire::encode_frame`] for the full frame).
+pub fn encode_snapshot(snap: &IntervalSnapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 << 16);
+    put_u64(&mut out, snap.fingerprint);
+    put_uvarint(&mut out, snap.syn_count);
+    put_uvarint(&mut out, snap.syn_ack_count);
+    put_uvarint(&mut out, snap.fin_rst_count);
+    for grid in grids(snap) {
+        encode_grid(&mut out, grid);
+    }
+    let bloom = &snap.active_services;
+    put_uvarint(&mut out, bloom.bit_words().len() as u64);
+    put_uvarint(&mut out, bloom.hash_seeds().len() as u64);
+    put_uvarint(&mut out, bloom.inserted());
+    for &w in bloom.bit_words() {
+        put_u64(&mut out, w);
+    }
+    for &s in bloom.hash_seeds() {
+        put_u64(&mut out, s);
+    }
+    out
+}
+
+/// Parses a payload produced by [`encode_snapshot`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] describing the first structural violation;
+/// never panics on malformed input.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<IntervalSnapshot, CodecError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let fingerprint = r.u64("fingerprint")?;
+    let syn_count = r.uvarint("syn_count")?;
+    let syn_ack_count = r.uvarint("syn_ack_count")?;
+    let fin_rst_count = r.uvarint("fin_rst_count")?;
+    let rs_sip_dport = decode_grid(&mut r, "rs_sip_dport")?;
+    let rs_sip_dport_verifier = decode_grid(&mut r, "rs_sip_dport_verifier")?;
+    let rs_dip_dport = decode_grid(&mut r, "rs_dip_dport")?;
+    let rs_dip_dport_verifier = decode_grid(&mut r, "rs_dip_dport_verifier")?;
+    let rs_sip_dip = decode_grid(&mut r, "rs_sip_dip")?;
+    let rs_sip_dip_verifier = decode_grid(&mut r, "rs_sip_dip_verifier")?;
+    let os = decode_grid(&mut r, "os")?;
+    let twod_sipdport_dip = decode_grid(&mut r, "twod_sipdport_dip")?;
+    let twod_sipdip_dport = decode_grid(&mut r, "twod_sipdip_dport")?;
+    let words = r.uvarint("bloom_words")?;
+    let words = r.counted("bloom_words", words, MAX_BLOOM_WORDS)?;
+    let seeds = r.uvarint("bloom_seeds")?;
+    let seeds = r.counted("bloom_seeds", seeds, MAX_BLOOM_SEEDS)?;
+    let inserted = r.uvarint("bloom_inserted")?;
+    let mut bits = Vec::with_capacity(words);
+    for _ in 0..words {
+        bits.push(r.u64("bloom_words")?);
+    }
+    let mut hash_seeds = Vec::with_capacity(seeds);
+    for _ in 0..seeds {
+        hash_seeds.push(r.u64("bloom_seeds")?);
+    }
+    let active_services =
+        BloomFilter::from_parts(bits, hash_seeds, inserted).map_err(CodecError::Bloom)?;
+    if r.pos != bytes.len() {
+        return Err(CodecError::TrailingBytes {
+            extra: bytes.len() - r.pos,
+        });
+    }
+    Ok(IntervalSnapshot {
+        rs_sip_dport,
+        rs_sip_dport_verifier,
+        rs_dip_dport,
+        rs_dip_dport_verifier,
+        rs_sip_dip,
+        rs_sip_dip_verifier,
+        os,
+        twod_sipdport_dip,
+        twod_sipdip_dport,
+        active_services,
+        syn_count,
+        syn_ack_count,
+        fin_rst_count,
+        fingerprint,
+    })
+}
+
+fn grids(snap: &IntervalSnapshot) -> [&CounterGrid; 9] {
+    [
+        &snap.rs_sip_dport,
+        &snap.rs_sip_dport_verifier,
+        &snap.rs_dip_dport,
+        &snap.rs_dip_dport_verifier,
+        &snap.rs_sip_dip,
+        &snap.rs_sip_dip_verifier,
+        &snap.os,
+        &snap.twod_sipdport_dip,
+        &snap.twod_sipdip_dport,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind::{HiFindConfig, SketchRecorder};
+    use hifind_flow::Packet;
+
+    fn sample_snapshot(seed: u64, packets: u32) -> IntervalSnapshot {
+        let cfg = HiFindConfig::small(seed);
+        let mut r = SketchRecorder::new(&cfg).unwrap();
+        for i in 0..packets {
+            r.record(&Packet::syn(
+                u64::from(i),
+                [10, 0, (i >> 8) as u8, i as u8].into(),
+                2000,
+                [129, 105, 0, 1].into(),
+                80,
+            ));
+            if i % 3 == 0 {
+                r.record(&Packet::syn_ack(
+                    u64::from(i),
+                    [10, 0, (i >> 8) as u8, i as u8].into(),
+                    2000,
+                    [129, 105, 0, 1].into(),
+                    80,
+                ));
+            }
+        }
+        r.take_snapshot()
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let snap = sample_snapshot(7, 400);
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn sparse_grids_compress_far_below_memory_size() {
+        let snap = sample_snapshot(8, 200);
+        let bytes = encode_snapshot(&snap);
+        assert!(
+            bytes.len() * 4 < snap.wire_size_bytes(),
+            "varint payload {} should be well under the {}-byte raw size",
+            bytes.len(),
+            snap.wire_size_bytes()
+        );
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0, 1, -1, i64::MAX, i64::MIN, 4242, -4242] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_typed_error() {
+        let bytes = encode_snapshot(&sample_snapshot(9, 50));
+        // Cutting at every 97th prefix keeps the test fast but still
+        // sweeps all field kinds.
+        for cut in (0..bytes.len()).step_by(97) {
+            let err = decode_snapshot(&bytes[..cut]).expect_err("truncated must fail");
+            assert!(
+                matches!(
+                    err,
+                    CodecError::Truncated { .. }
+                        | CodecError::Grid { .. }
+                        | CodecError::Bloom(_)
+                        | CodecError::TrailingBytes { .. }
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_snapshot(&sample_snapshot(10, 20));
+        bytes.push(0);
+        assert_eq!(
+            decode_snapshot(&bytes),
+            Err(CodecError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn absurd_declared_sizes_rejected_before_allocation() {
+        // fingerprint (8 bytes) + three counters + a grid declaring
+        // u64::MAX stages.
+        let mut bytes = Vec::new();
+        put_u64(&mut bytes, 0);
+        for _ in 0..3 {
+            put_uvarint(&mut bytes, 0);
+        }
+        put_uvarint(&mut bytes, u64::MAX);
+        put_uvarint(&mut bytes, u64::MAX);
+        let err = decode_snapshot(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            CodecError::Oversized { .. } | CodecError::VarintOverflow { .. }
+        ));
+    }
+}

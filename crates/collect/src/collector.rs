@@ -1,0 +1,652 @@
+//! The central collection site: TCP acceptor, per-router readers, and the
+//! interval aligner that feeds [`DetectionCore`].
+//!
+//! # Threading
+//!
+//! * **acceptor** — non-blocking `accept` loop; spawns one reader per
+//!   connection and exits on shutdown.
+//! * **readers** (one per connection) — accumulate bytes with a short read
+//!   timeout (so shutdown is never blocked on a silent peer), slice out
+//!   complete frames, validate them ([`crate::wire`]), and forward decoded
+//!   snapshots over a bounded channel — TCP backpressure, not unbounded
+//!   queueing, absorbs a router that outpaces detection.
+//! * **aligner** — owns the [`DetectionCore`]. Frames for the same
+//!   interval are combined *incrementally on arrival* (one accumulated
+//!   snapshot per pending interval, never a list), so collector memory is
+//!   bounded by the reorder window, not by router count.
+//!
+//! # Graceful degradation
+//!
+//! The aligner never waits indefinitely for anyone. An interval flushes as
+//! soon as every expected router reported; otherwise after
+//! [`CollectorConfig::straggler_deadline`] it flushes with whatever quorum
+//! arrived and the missing contributions are counted. An interval no
+//! router reported (a gap while later intervals stream in) is synthesized
+//! as an all-zero snapshot so the forecast models stay time-aligned. A
+//! crashed router therefore costs observability of its traffic slice —
+//! never liveness of the pipeline.
+
+use crate::wire::{self, WireError, HEADER_LEN};
+use crate::CollectError;
+use hifind::pipeline::DetectionCore;
+use hifind::report::AlertLog;
+use hifind::{HiFindConfig, IntervalSnapshot, SketchRecorder};
+use hifind_telemetry::{exponential_buckets, Counter, Gauge, Histogram, Registry, TelemetryError};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Collection-site policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CollectorConfig {
+    /// Routers expected to report each interval. Detection flushes early
+    /// when all of them did; the deadline below covers the rest.
+    pub expected_routers: usize,
+    /// How long to hold an incomplete interval open once it has any data
+    /// (or once later intervals prove it was skipped) before flushing on
+    /// quorum.
+    pub straggler_deadline: Duration,
+    /// Maximum intervals held pending at once; beyond this the oldest is
+    /// force-flushed regardless of deadline (bounds memory under heavy
+    /// inter-router skew).
+    pub reorder_window: u64,
+    /// Per-frame payload cap handed to the wire layer.
+    pub max_payload_bytes: u32,
+    /// After every expected router has connected and all have
+    /// disconnected, how long to wait for reconnects before finishing.
+    pub linger: Duration,
+}
+
+impl CollectorConfig {
+    /// Sensible defaults for `expected_routers` reporters.
+    pub fn new(expected_routers: usize) -> Self {
+        CollectorConfig {
+            expected_routers: expected_routers.max(1),
+            straggler_deadline: Duration::from_secs(2),
+            reorder_window: 8,
+            max_payload_bytes: wire::DEFAULT_MAX_PAYLOAD,
+            linger: Duration::from_millis(400),
+        }
+    }
+}
+
+/// What one collection run saw and decided.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct CollectionReport {
+    /// Intervals fed to the detection pipeline.
+    pub intervals_flushed: u64,
+    /// Intervals with every expected router reporting.
+    pub complete_intervals: u64,
+    /// Intervals flushed on quorum after the straggler deadline.
+    pub partial_intervals: u64,
+    /// Intervals no router reported (synthesized as all-zero).
+    pub gap_intervals: u64,
+    /// Missing router-interval contributions across partial intervals.
+    pub straggler_slots: u64,
+    /// Valid frames combined into intervals.
+    pub frames_received: u64,
+    /// Frames for intervals already flushed, and duplicate
+    /// router-interval frames (both dropped).
+    pub frames_late: u64,
+    /// Frames rejected for wire/codec/fingerprint violations.
+    pub frames_rejected: u64,
+    /// Payload + header bytes of valid frames.
+    pub bytes_received: u64,
+    /// Distinct router ids that contributed at least one valid frame.
+    pub routers_seen: Vec<u32>,
+    /// The full alert log of the aggregated detection run.
+    pub log: AlertLog,
+}
+
+/// Best-effort collector metrics (`hifind_collect_*`).
+struct CollectorTelemetry {
+    routers_connected: Arc<Gauge>,
+    frames_received: Arc<Counter>,
+    frames_late: Arc<Counter>,
+    frames_rejected: Arc<Counter>,
+    straggler_slots: Arc<Counter>,
+    bytes_received: Arc<Counter>,
+    combine_seconds: Arc<Histogram>,
+}
+
+impl CollectorTelemetry {
+    fn new(registry: &Registry) -> Result<Self, TelemetryError> {
+        Ok(CollectorTelemetry {
+            routers_connected: registry.gauge(
+                "hifind_collect_routers_connected",
+                "Router agent connections currently open",
+            )?,
+            frames_received: registry.counter(
+                "hifind_collect_frames_received_total",
+                "Valid snapshot frames combined into intervals",
+            )?,
+            frames_late: registry.counter(
+                "hifind_collect_frames_late_total",
+                "Frames dropped as late or duplicate",
+            )?,
+            frames_rejected: registry.counter(
+                "hifind_collect_frames_rejected_total",
+                "Frames rejected for wire, codec or fingerprint violations",
+            )?,
+            straggler_slots: registry.counter(
+                "hifind_collect_straggler_slots_total",
+                "Missing router-interval contributions at flush time",
+            )?,
+            bytes_received: registry.counter(
+                "hifind_collect_bytes_received_total",
+                "Bytes of valid frames received",
+            )?,
+            combine_seconds: registry.histogram(
+                "hifind_collect_combine_seconds",
+                "Latency of combining one router snapshot into its interval",
+                exponential_buckets(1e-6, 4.0, 11),
+            )?,
+        })
+    }
+}
+
+/// Reader → aligner messages.
+enum Event {
+    Connected,
+    Frame {
+        router_id: u32,
+        interval: u64,
+        snapshot: Box<IntervalSnapshot>,
+        frame_bytes: u64,
+    },
+    Rejected(WireError),
+    Disconnected,
+}
+
+/// One interval being assembled.
+struct Pending {
+    combined: IntervalSnapshot,
+    routers: Vec<u32>,
+    first_seen: Instant,
+}
+
+/// The collection daemon. [`Collector::bind`] starts it; the returned
+/// [`CollectorHandle`] stops or awaits it.
+pub struct Collector;
+
+impl Collector {
+    /// Binds `addr` and starts the acceptor and aligner threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bind errors, invalid `cfg`, or (when `registry` is given)
+    /// metric registration clashes.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cfg: HiFindConfig,
+        collector_cfg: CollectorConfig,
+        registry: Option<Registry>,
+    ) -> Result<CollectorHandle, CollectError> {
+        let telemetry = registry.as_ref().map(CollectorTelemetry::new).transpose()?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        // A small bound: senders (readers) block — and thus stop reading
+        // their sockets — when detection falls behind, pushing the
+        // backpressure onto TCP instead of collector memory.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Event>(32);
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let max_payload = collector_cfg.max_payload_bytes;
+            std::thread::spawn(move || accept_loop(listener, tx, shutdown, max_payload))
+        };
+        let aligner = {
+            let shutdown = Arc::clone(&shutdown);
+            let mut aligner = Aligner::new(cfg, collector_cfg, telemetry)?;
+            std::thread::spawn(move || aligner.run(rx, shutdown))
+        };
+        Ok(CollectorHandle {
+            local_addr,
+            shutdown,
+            acceptor,
+            aligner,
+        })
+    }
+}
+
+/// A running collector.
+pub struct CollectorHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: JoinHandle<()>,
+    aligner: JoinHandle<CollectionReport>,
+}
+
+impl CollectorHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signals shutdown and returns the report once both threads exit.
+    /// Pending intervals are flushed (partial where needed) first.
+    pub fn stop(self) -> CollectionReport {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join()
+    }
+
+    /// Waits for the natural end of the run: every expected router has
+    /// connected, all have disconnected, and the linger window has passed
+    /// with no reconnects.
+    pub fn wait(self) -> CollectionReport {
+        self.join()
+    }
+
+    fn join(self) -> CollectionReport {
+        let report = self.aligner.join().expect("aligner thread must not panic");
+        // The aligner is done; release the acceptor too.
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.acceptor
+            .join()
+            .expect("acceptor thread must not panic");
+        report
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: SyncSender<Event>,
+    shutdown: Arc<AtomicBool>,
+    max_payload: u32,
+) {
+    let mut readers = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = tx.clone();
+                let shutdown = Arc::clone(&shutdown);
+                readers.push(std::thread::spawn(move || {
+                    reader_loop(stream, tx, shutdown, max_payload)
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    drop(tx);
+    for r in readers {
+        let _ = r.join();
+    }
+}
+
+/// Reads one connection, slicing validated frames out of a growing buffer
+/// so short read timeouts (needed for prompt shutdown) can never split a
+/// frame.
+fn reader_loop(
+    mut stream: TcpStream,
+    tx: SyncSender<Event>,
+    shutdown: Arc<AtomicBool>,
+    max_payload: u32,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    if tx.send(Event::Connected).is_err() {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    'conn: while !shutdown.load(Ordering::SeqCst) {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                loop {
+                    if buf.len() < HEADER_LEN {
+                        break;
+                    }
+                    let header_bytes: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().unwrap();
+                    let header = match wire::parse_header(&header_bytes, max_payload) {
+                        Ok(h) => h,
+                        Err(e) => {
+                            // Framing is lost; drop the connection.
+                            let _ = tx.send(Event::Rejected(e));
+                            break 'conn;
+                        }
+                    };
+                    let frame_len = HEADER_LEN + header.payload_len as usize;
+                    if buf.len() < frame_len {
+                        break;
+                    }
+                    let event = match wire::decode_payload(&header, &buf[HEADER_LEN..frame_len]) {
+                        Ok(snapshot) => Event::Frame {
+                            router_id: header.router_id,
+                            interval: header.interval,
+                            snapshot: Box::new(snapshot),
+                            frame_bytes: frame_len as u64,
+                        },
+                        // Framing itself is intact (length checked out),
+                        // so a bad payload skips one frame, not the
+                        // connection.
+                        Err(e) => Event::Rejected(e),
+                    };
+                    buf.drain(..frame_len);
+                    if tx.send(event).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
+    let _ = tx.send(Event::Disconnected);
+}
+
+struct Aligner {
+    core: DetectionCore,
+    cfg: CollectorConfig,
+    fingerprint: u64,
+    /// All-zero snapshot cloned for gap intervals.
+    template: IntervalSnapshot,
+    pending: BTreeMap<u64, Pending>,
+    next_interval: u64,
+    report: CollectionReport,
+    telemetry: Option<CollectorTelemetry>,
+    live_connections: usize,
+    ever_connected: usize,
+    last_disconnect: Option<Instant>,
+}
+
+impl Aligner {
+    fn new(
+        cfg: HiFindConfig,
+        collector_cfg: CollectorConfig,
+        telemetry: Option<CollectorTelemetry>,
+    ) -> Result<Self, CollectError> {
+        let template = SketchRecorder::new(&cfg)?.take_snapshot();
+        Ok(Aligner {
+            fingerprint: cfg.fingerprint(),
+            core: DetectionCore::new(cfg)?,
+            cfg: collector_cfg,
+            template,
+            pending: BTreeMap::new(),
+            next_interval: 0,
+            report: CollectionReport::default(),
+            telemetry,
+            live_connections: 0,
+            ever_connected: 0,
+            last_disconnect: None,
+        })
+    }
+
+    fn run(&mut self, rx: Receiver<Event>, shutdown: Arc<AtomicBool>) -> CollectionReport {
+        let tick = (self.cfg.straggler_deadline / 4).max(Duration::from_millis(10));
+        loop {
+            match rx.recv_timeout(tick) {
+                Ok(event) => self.handle(event),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            self.flush_ready(false);
+            if shutdown.load(Ordering::SeqCst) || self.finished() {
+                break;
+            }
+        }
+        // Drain whatever the readers already decoded, then flush every
+        // pending interval — partial or not, detection never hangs.
+        while let Ok(event) = rx.try_recv() {
+            self.handle(event);
+        }
+        self.flush_ready(true);
+        std::mem::take(&mut self.report)
+    }
+
+    /// Natural end of a run: the full fleet connected at some point, all
+    /// of it left, and nobody reconnected for a linger window.
+    fn finished(&self) -> bool {
+        self.live_connections == 0
+            && self.ever_connected >= self.cfg.expected_routers
+            && self
+                .last_disconnect
+                .is_some_and(|t| t.elapsed() >= self.cfg.linger)
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Connected => {
+                self.live_connections += 1;
+                self.ever_connected += 1;
+                if let Some(t) = &self.telemetry {
+                    t.routers_connected.set(self.live_connections as i64);
+                }
+            }
+            Event::Disconnected => {
+                self.live_connections = self.live_connections.saturating_sub(1);
+                if self.live_connections == 0 {
+                    self.last_disconnect = Some(Instant::now());
+                }
+                if let Some(t) = &self.telemetry {
+                    t.routers_connected.set(self.live_connections as i64);
+                }
+            }
+            Event::Rejected(err) => {
+                eprintln!("[hifind-collect] rejected frame: {err}");
+                self.report.frames_rejected += 1;
+                if let Some(t) = &self.telemetry {
+                    t.frames_rejected.inc();
+                }
+            }
+            Event::Frame {
+                router_id,
+                interval,
+                snapshot,
+                frame_bytes,
+            } => self.handle_frame(router_id, interval, *snapshot, frame_bytes),
+        }
+    }
+
+    fn handle_frame(
+        &mut self,
+        router_id: u32,
+        interval: u64,
+        snapshot: IntervalSnapshot,
+        frame_bytes: u64,
+    ) {
+        if snapshot.fingerprint != self.fingerprint {
+            // A router recording under different seeds or shapes: its
+            // counters are meaningless here, reject them all.
+            self.report.frames_rejected += 1;
+            if let Some(t) = &self.telemetry {
+                t.frames_rejected.inc();
+            }
+            return;
+        }
+        if interval < self.next_interval {
+            self.late_frame();
+            return;
+        }
+        let combine_start = Instant::now();
+        match self.pending.entry(interval) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(Pending {
+                    combined: snapshot,
+                    routers: vec![router_id],
+                    first_seen: Instant::now(),
+                });
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                let pending = slot.get_mut();
+                if pending.routers.contains(&router_id) {
+                    self.late_frame();
+                    return;
+                }
+                if pending.combined.combine_into(&snapshot).is_err() {
+                    // Unreachable given the fingerprint gate, but a typed
+                    // rejection beats a poisoned aggregate.
+                    self.report.frames_rejected += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.frames_rejected.inc();
+                    }
+                    return;
+                }
+                pending.routers.push(router_id);
+            }
+        }
+        self.report.frames_received += 1;
+        self.report.bytes_received += frame_bytes;
+        if !self.report.routers_seen.contains(&router_id) {
+            self.report.routers_seen.push(router_id);
+        }
+        if let Some(t) = &self.telemetry {
+            t.frames_received.inc();
+            t.bytes_received.add(frame_bytes);
+            t.combine_seconds.observe_duration(combine_start.elapsed());
+        }
+    }
+
+    fn late_frame(&mut self) {
+        self.report.frames_late += 1;
+        if let Some(t) = &self.telemetry {
+            t.frames_late.inc();
+        }
+    }
+
+    /// Flushes every interval that is complete, expired, or forced out of
+    /// the reorder window; with `drain` flushes everything pending.
+    fn flush_ready(&mut self, drain: bool) {
+        loop {
+            let over_window = self.pending.len() as u64 > self.cfg.reorder_window;
+            match self.pending.get(&self.next_interval) {
+                Some(p) => {
+                    let complete = p.routers.len() >= self.cfg.expected_routers;
+                    let expired = p.first_seen.elapsed() >= self.cfg.straggler_deadline;
+                    if !(complete || expired || over_window || drain) {
+                        return;
+                    }
+                    let p = self
+                        .pending
+                        .remove(&self.next_interval)
+                        .expect("checked above");
+                    self.report.intervals_flushed += 1;
+                    if complete {
+                        self.report.complete_intervals += 1;
+                    } else {
+                        self.report.partial_intervals += 1;
+                        let missing = (self.cfg.expected_routers - p.routers.len()) as u64;
+                        self.report.straggler_slots += missing;
+                        if let Some(t) = &self.telemetry {
+                            t.straggler_slots.add(missing);
+                        }
+                    }
+                    self.core.process_snapshot(&p.combined);
+                }
+                None => {
+                    // A gap: only flush it once later intervals prove the
+                    // stream moved past it (and the hold policy agrees).
+                    let Some((&oldest, held)) = self.pending.iter().next() else {
+                        return;
+                    };
+                    debug_assert!(oldest > self.next_interval);
+                    let expired = held.first_seen.elapsed() >= self.cfg.straggler_deadline;
+                    if !(expired || over_window || drain) {
+                        return;
+                    }
+                    self.report.intervals_flushed += 1;
+                    self.report.gap_intervals += 1;
+                    self.report.straggler_slots += self.cfg.expected_routers as u64;
+                    if let Some(t) = &self.telemetry {
+                        t.straggler_slots.add(self.cfg.expected_routers as u64);
+                    }
+                    let gap = self.template.clone();
+                    self.core.process_snapshot(&gap);
+                }
+            }
+            self.next_interval += 1;
+            self.report.log = self.core.log().clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{AgentConfig, RouterAgent};
+    use hifind_flow::Packet;
+
+    fn local_collector(
+        cfg: HiFindConfig,
+        ccfg: CollectorConfig,
+        registry: Option<Registry>,
+    ) -> CollectorHandle {
+        Collector::bind("127.0.0.1:0", cfg, ccfg, registry).expect("bind loopback")
+    }
+
+    #[test]
+    fn single_agent_round_trip() {
+        let cfg = HiFindConfig::small(11);
+        let handle = local_collector(cfg, CollectorConfig::new(1), None);
+        let addr = handle.local_addr().to_string();
+        let mut agent = RouterAgent::new(addr, &cfg, AgentConfig::new(1)).unwrap();
+        for iv in 0..3u64 {
+            for i in 0..50u32 {
+                agent.record(&Packet::syn(
+                    iv,
+                    [10, 0, 0, i as u8].into(),
+                    2000,
+                    [129, 105, 0, 1].into(),
+                    80,
+                ));
+            }
+            agent.end_interval();
+        }
+        agent.finish();
+        let report = handle.wait();
+        assert_eq!(report.frames_received, 3);
+        assert_eq!(report.intervals_flushed, 3);
+        assert_eq!(report.complete_intervals, 3);
+        assert_eq!(report.partial_intervals, 0);
+        assert_eq!(report.routers_seen, vec![1]);
+        assert!(report.bytes_received > 0);
+    }
+
+    #[test]
+    fn mis_seeded_router_is_rejected_not_combined() {
+        let cfg = HiFindConfig::small(12);
+        let rogue_cfg = HiFindConfig::small(13);
+        let handle = local_collector(cfg, CollectorConfig::new(1), None);
+        let addr = handle.local_addr().to_string();
+        let mut rogue = RouterAgent::new(addr, &rogue_cfg, AgentConfig::new(9)).unwrap();
+        rogue.end_interval();
+        rogue.finish();
+        let report = handle.wait();
+        assert_eq!(report.frames_received, 0);
+        assert_eq!(report.frames_rejected, 1);
+        assert!(report.routers_seen.is_empty());
+    }
+
+    #[test]
+    fn stop_flushes_pending_intervals() {
+        let cfg = HiFindConfig::small(14);
+        let mut ccfg = CollectorConfig::new(2);
+        ccfg.straggler_deadline = Duration::from_secs(60); // never expires
+        let handle = local_collector(cfg, ccfg, None);
+        let addr = handle.local_addr().to_string();
+        // Only one of the two expected routers ever reports.
+        let mut agent = RouterAgent::new(addr, &cfg, AgentConfig::new(1)).unwrap();
+        agent.end_interval();
+        agent.finish();
+        std::thread::sleep(Duration::from_millis(150));
+        let report = handle.stop();
+        assert_eq!(report.intervals_flushed, 1);
+        assert_eq!(report.partial_intervals, 1);
+        assert_eq!(report.straggler_slots, 1);
+    }
+}

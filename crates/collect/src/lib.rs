@@ -1,0 +1,88 @@
+//! Networked sketch collection (paper §3.1, §5.3.2, operationalised).
+//!
+//! HiFIND's aggregation story rests on sketch linearity: each edge router
+//! records traffic into a [`hifind::SketchRecorder`] and ships only its
+//! per-interval [`hifind::IntervalSnapshot`] — counters, no packets — to a
+//! central site, where the sum of snapshots is detected on exactly as if
+//! one router had seen all traffic. The core crates prove that property
+//! in-process; this crate makes it *networked*:
+//!
+//! * [`codec`] — a compact binary encoding of [`hifind::IntervalSnapshot`]
+//!   (zig-zag varint counters; mostly-zero sketch grids shrink by an order
+//!   of magnitude versus their in-memory size).
+//! * [`wire`] — versioned, length-prefixed, CRC-checked framing with the
+//!   record-plane configuration fingerprint in every header, so a
+//!   mis-seeded router is rejected before its counters can poison the sum.
+//! * [`collector`] — a threaded TCP daemon that accepts N router agents,
+//!   aligns their frames per interval inside a bounded reorder window, and
+//!   feeds the combined snapshot to the standard detection pipeline.
+//!   After a straggler deadline it degrades gracefully: detection proceeds
+//!   on the routers that reported, stragglers are counted, and a dead
+//!   router can never stall the pipeline.
+//! * [`agent`] — the router side: wraps a recorder, encodes each
+//!   interval's snapshot, and ships it with bounded retry, exponential
+//!   backoff, reconnection, and a bounded backlog that survives collector
+//!   restarts (oldest intervals are dropped first when it overflows).
+//!
+//! The `hifind` CLI binary (also hosted by this crate) exposes the two
+//! roles as `hifind collect` and `hifind agent`.
+
+pub mod agent;
+pub mod codec;
+pub mod collector;
+pub mod wire;
+
+pub use agent::{AgentConfig, AgentStats, RouterAgent, ShipReport};
+pub use codec::CodecError;
+pub use collector::{CollectionReport, Collector, CollectorConfig, CollectorHandle};
+pub use wire::{FrameHeader, WireError, HEADER_LEN, PROTOCOL_VERSION};
+
+/// Any failure in the collection subsystem.
+#[derive(Debug)]
+pub enum CollectError {
+    /// Socket-level failure (bind, connect, read, write).
+    Io(std::io::Error),
+    /// Frame-level failure (framing, CRC, version, fingerprint, codec).
+    Wire(WireError),
+    /// Sketch-level failure (configuration, combining).
+    Sketch(hifind_sketch::SketchError),
+    /// Metric registration clash.
+    Telemetry(hifind_telemetry::TelemetryError),
+}
+
+impl std::fmt::Display for CollectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectError::Io(e) => write!(f, "i/o error: {e}"),
+            CollectError::Wire(e) => write!(f, "wire error: {e}"),
+            CollectError::Sketch(e) => write!(f, "sketch error: {e}"),
+            CollectError::Telemetry(e) => write!(f, "telemetry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectError {}
+
+impl From<std::io::Error> for CollectError {
+    fn from(e: std::io::Error) -> Self {
+        CollectError::Io(e)
+    }
+}
+
+impl From<WireError> for CollectError {
+    fn from(e: WireError) -> Self {
+        CollectError::Wire(e)
+    }
+}
+
+impl From<hifind_sketch::SketchError> for CollectError {
+    fn from(e: hifind_sketch::SketchError) -> Self {
+        CollectError::Sketch(e)
+    }
+}
+
+impl From<hifind_telemetry::TelemetryError> for CollectError {
+    fn from(e: hifind_telemetry::TelemetryError) -> Self {
+        CollectError::Telemetry(e)
+    }
+}

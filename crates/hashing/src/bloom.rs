@@ -103,6 +103,43 @@ impl BloomFilter {
         self.inserted = 0;
     }
 
+    /// The raw bit words (64 bits each), for wire codecs.
+    pub fn bit_words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// The per-hash-function seeds, for wire codecs.
+    pub fn hash_seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Rebuilds a filter from its serialized parts (the decode half of a
+    /// wire codec, so it validates instead of panicking).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated structural constraint:
+    /// the word count must be a power of two (≥ 1 word = 64 bits) and at
+    /// least one hash seed is required.
+    pub fn from_parts(bits: Vec<u64>, seeds: Vec<u64>, inserted: u64) -> Result<Self, String> {
+        if bits.is_empty() || !bits.len().is_power_of_two() {
+            return Err(format!(
+                "bloom word count {} is not a power of two >= 1",
+                bits.len()
+            ));
+        }
+        if seeds.is_empty() {
+            return Err("bloom filter needs at least one hash seed".into());
+        }
+        let mask = (bits.len() as u64) * 64 - 1;
+        Ok(BloomFilter {
+            bits,
+            mask,
+            seeds,
+            inserted,
+        })
+    }
+
     /// Memory footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.bits.len() * 8
@@ -159,5 +196,30 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_bad_size() {
         let _ = BloomFilter::new(1000, 3, 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut b = BloomFilter::new(1 << 10, 3, 9);
+        for k in 0..50u64 {
+            b.insert(k * 31);
+        }
+        let back = BloomFilter::from_parts(
+            b.bit_words().to_vec(),
+            b.hash_seeds().to_vec(),
+            b.inserted(),
+        )
+        .unwrap();
+        assert_eq!(back, b);
+        for k in 0..50u64 {
+            assert!(back.contains(k * 31));
+        }
+    }
+
+    #[test]
+    fn from_parts_validates_structure() {
+        assert!(BloomFilter::from_parts(vec![], vec![1], 0).is_err());
+        assert!(BloomFilter::from_parts(vec![0; 3], vec![1], 0).is_err());
+        assert!(BloomFilter::from_parts(vec![0; 4], vec![], 0).is_err());
     }
 }

@@ -35,20 +35,23 @@ use hifind_sketch::SketchError;
 #[derive(Clone, Debug)]
 pub struct HiFindAggregator {
     core: DetectionCore,
+    fingerprint: u64,
 }
 
 impl HiFindAggregator {
     /// Builds the aggregation site. All routers must use recorders built
-    /// from the *same* configuration (same seeds → same hash functions);
-    /// combining snapshots from differently-seeded recorders is rejected
-    /// at combine time by grid-shape checks and produces garbage estimates
-    /// otherwise — always share the configuration object.
+    /// from the *same* configuration (same seeds → same hash functions).
+    /// Every snapshot carries its configuration fingerprint
+    /// ([`HiFindConfig::fingerprint`]); snapshots from differently-seeded
+    /// or differently-shaped recorders are rejected with
+    /// [`SketchError::FingerprintMismatch`] before any combining happens.
     ///
     /// # Errors
     ///
     /// Propagates configuration errors.
     pub fn new(cfg: HiFindConfig) -> Result<Self, SketchError> {
         Ok(HiFindAggregator {
+            fingerprint: cfg.fingerprint(),
             core: DetectionCore::new(cfg)?,
         })
     }
@@ -58,13 +61,22 @@ impl HiFindAggregator {
     ///
     /// # Errors
     ///
-    /// Returns [`SketchError::CombineEmpty`] for an empty slice and
-    /// [`SketchError::CombineMismatch`] if snapshot shapes differ.
+    /// Returns [`SketchError::CombineEmpty`] for an empty slice,
+    /// [`SketchError::FingerprintMismatch`] if any snapshot was recorded
+    /// under a configuration other than this site's, and
+    /// [`SketchError::CombineMismatch`] if hand-assembled snapshot shapes
+    /// differ.
     pub fn process_interval(
         &mut self,
         snapshots: &[IntervalSnapshot],
     ) -> Result<IntervalOutcome, SketchError> {
         let (first, rest) = snapshots.split_first().ok_or(SketchError::CombineEmpty)?;
+        if first.fingerprint != self.fingerprint {
+            return Err(SketchError::FingerprintMismatch {
+                expected: self.fingerprint,
+                got: first.fingerprint,
+            });
+        }
         let mut combined = first.clone();
         for s in rest {
             combined.combine_into(s)?;
@@ -193,6 +205,24 @@ mod tests {
             "aggregate must still detect the flood"
         );
         assert!(site.log().count(Phase::Final, AlertKind::HScan) >= 1);
+    }
+
+    #[test]
+    fn foreign_config_snapshots_rejected() {
+        // A router running a different seed must be rejected at the site
+        // even if it is the only reporter (no pairwise combine happens).
+        let site_cfg = HiFindConfig::small(60);
+        let rogue_cfg = HiFindConfig::small(61);
+        let mut site = HiFindAggregator::new(site_cfg).unwrap();
+        let mut rogue = SketchRecorder::new(&rogue_cfg).unwrap();
+        let err = site.process_interval(&[rogue.take_snapshot()]).unwrap_err();
+        assert_eq!(
+            err,
+            SketchError::FingerprintMismatch {
+                expected: site_cfg.fingerprint(),
+                got: rogue_cfg.fingerprint(),
+            }
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! HiFIND system configuration.
 
-use hifind_sketch::{InferOptions, KaryConfig, RsConfig, TwoDConfig};
+use hifind_sketch::{ConfigDigest, InferOptions, KaryConfig, RsConfig, TwoDConfig};
 use serde::{Deserialize, Serialize};
 
 /// Full configuration of a HiFIND instance.
@@ -118,6 +118,28 @@ impl HiFindConfig {
         c
     }
 
+    /// Digest of the *record-plane* configuration: every parameter two
+    /// recorders must share for their [`crate::IntervalSnapshot`]s to be
+    /// combinable — the derived sketch configurations (shapes **and**
+    /// seeds) and the active-service Bloom geometry. Snapshots carry this
+    /// fingerprint and [`crate::IntervalSnapshot::combine_into`] rejects
+    /// mismatches, so differently-seeded recorders can never silently sum
+    /// into garbage. Detection-plane parameters (interval width,
+    /// thresholds, classifier knobs) are deliberately excluded: they live
+    /// at the aggregation site and need not match across routers.
+    pub fn fingerprint(&self) -> u64 {
+        let mut d = ConfigDigest::new();
+        d.write_u64(self.seed); // the Bloom hash seeds derive from this
+        self.rs_sip_dport_config().digest_into(&mut d);
+        self.rs_dip_dport_config().digest_into(&mut d);
+        self.rs_sip_dip_config().digest_into(&mut d);
+        self.os.digest_into(&mut d);
+        self.twod_sipdport_dip_config().digest_into(&mut d);
+        self.twod_sipdip_dport_config().digest_into(&mut d);
+        d.write_usize(self.active_service_bloom_bits);
+        d.finish()
+    }
+
     /// The per-interval detection threshold (at least 1).
     pub fn interval_threshold(&self) -> i64 {
         ((self.threshold_per_sec * self.interval_ms as f64 / 1000.0).round() as i64).max(1)
@@ -208,6 +230,29 @@ mod tests {
         let mut cfg = HiFindConfig::paper(1);
         cfg.classify_top_p = 100_000;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_record_plane_only() {
+        // Same config → same fingerprint; different seed → different.
+        assert_eq!(
+            HiFindConfig::paper(1).fingerprint(),
+            HiFindConfig::paper(1).fingerprint()
+        );
+        assert_ne!(
+            HiFindConfig::paper(1).fingerprint(),
+            HiFindConfig::paper(2).fingerprint()
+        );
+        // Shape changes are visible too.
+        let mut cfg = HiFindConfig::paper(1);
+        cfg.os.buckets <<= 1;
+        assert_ne!(cfg.fingerprint(), HiFindConfig::paper(1).fingerprint());
+        // Detection-plane knobs do not affect combinability.
+        let mut cfg = HiFindConfig::paper(1);
+        cfg.interval_ms = 5_000;
+        cfg.threshold_per_sec = 9.0;
+        cfg.classify_phi = 0.5;
+        assert_eq!(cfg.fingerprint(), HiFindConfig::paper(1).fingerprint());
     }
 
     #[test]

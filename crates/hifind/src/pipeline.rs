@@ -215,9 +215,19 @@ impl HiFind {
     /// Publishes live metrics (packet counts, sampled record latency,
     /// phase latencies, alert counters, sketch-health gauges) into
     /// `registry` from now on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hifind_telemetry::TelemetryError::KindMismatch`] if a
+    /// `hifind_*` metric name already exists in `registry` under another
+    /// kind; the pipeline stays uninstrumented and keeps working.
     #[cfg(feature = "telemetry")]
-    pub fn attach_telemetry(&mut self, registry: hifind_telemetry::Registry) {
-        self.telemetry = Some(crate::telemetry_ext::PipelineTelemetry::new(registry));
+    pub fn attach_telemetry(
+        &mut self,
+        registry: hifind_telemetry::Registry,
+    ) -> Result<(), hifind_telemetry::TelemetryError> {
+        self.telemetry = Some(crate::telemetry_ext::PipelineTelemetry::new(registry)?);
+        Ok(())
     }
 
     /// Stops publishing live metrics; recording reverts to the

@@ -42,6 +42,12 @@ pub struct IntervalSnapshot {
     pub syn_ack_count: u64,
     /// Total FIN+RST this interval (for the CPM comparison harness).
     pub fin_rst_count: u64,
+    /// Record-plane configuration fingerprint
+    /// ([`HiFindConfig::fingerprint`]): shapes **and** seeds of every
+    /// sketch this snapshot was recorded with. Combining checks it first,
+    /// so same-shape/different-seed snapshots are rejected instead of
+    /// summing counters of unrelated key sets.
+    pub fingerprint: u64,
 }
 
 impl IntervalSnapshot {
@@ -50,9 +56,18 @@ impl IntervalSnapshot {
     ///
     /// # Errors
     ///
-    /// Returns [`SketchError::CombineMismatch`] if grid shapes differ
-    /// (recorders built from different configurations).
+    /// Returns [`SketchError::FingerprintMismatch`] if the two snapshots
+    /// were recorded under different configurations or seeds, and
+    /// [`SketchError::CombineMismatch`] if grid shapes differ (possible
+    /// only for hand-assembled snapshots, since the fingerprint already
+    /// covers shapes).
     pub fn combine_into(&mut self, other: &IntervalSnapshot) -> Result<(), SketchError> {
+        if self.fingerprint != other.fingerprint {
+            return Err(SketchError::FingerprintMismatch {
+                expected: self.fingerprint,
+                got: other.fingerprint,
+            });
+        }
         self.rs_sip_dport.add_assign(&other.rs_sip_dport)?;
         self.rs_sip_dport_verifier
             .add_assign(&other.rs_sip_dport_verifier)?;
@@ -114,6 +129,7 @@ pub struct SketchRecorder {
     syn_count: u64,
     syn_ack_count: u64,
     fin_rst_count: u64,
+    fingerprint: u64,
 }
 
 impl SketchRecorder {
@@ -125,6 +141,7 @@ impl SketchRecorder {
     /// combinations).
     pub fn new(cfg: &HiFindConfig) -> Result<Self, SketchError> {
         Ok(SketchRecorder {
+            fingerprint: cfg.fingerprint(),
             rs_sip_dport: ReversibleSketch::new(cfg.rs_sip_dport_config())?,
             rs_dip_dport: ReversibleSketch::new(cfg.rs_dip_dport_config())?,
             rs_sip_dip: ReversibleSketch::new(cfg.rs_sip_dip_config())?,
@@ -202,6 +219,7 @@ impl SketchRecorder {
             syn_count: self.syn_count,
             syn_ack_count: self.syn_ack_count,
             fin_rst_count: self.fin_rst_count,
+            fingerprint: self.fingerprint,
         };
         self.rs_sip_dport.clear();
         self.rs_dip_dport.clear();
@@ -213,6 +231,12 @@ impl SketchRecorder {
         self.syn_ack_count = 0;
         self.fin_rst_count = 0;
         snap
+    }
+
+    /// The record-plane configuration fingerprint stamped on every
+    /// snapshot (see [`HiFindConfig::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Total recording memory in bytes (§5.5.1; the Table 9 model applies
@@ -355,6 +379,26 @@ mod tests {
         let mut sa = a.take_snapshot();
         let sb = b.take_snapshot();
         assert!(sa.combine_into(&sb).is_err());
+    }
+
+    #[test]
+    fn combine_rejects_same_shape_different_seed() {
+        // Identical shapes, different hash functions: the case the
+        // grid-shape checks cannot catch and that used to combine into
+        // garbage. The fingerprint rejects it with a named error.
+        let cfg_a = HiFindConfig::small(1);
+        let cfg_b = HiFindConfig::small(2);
+        let mut a = SketchRecorder::new(&cfg_a).unwrap();
+        let mut b = SketchRecorder::new(&cfg_b).unwrap();
+        let mut sa = a.take_snapshot();
+        let sb = b.take_snapshot();
+        assert_eq!(
+            sa.combine_into(&sb),
+            Err(SketchError::FingerprintMismatch {
+                expected: cfg_a.fingerprint(),
+                got: cfg_b.fingerprint(),
+            })
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::recorder::{IntervalSnapshot, SketchRecorder};
 use crate::run_report::snapshot_health;
 use hifind_flow::Packet;
 use hifind_sketch::health::register_health_gauges;
-use hifind_telemetry::{exponential_buckets, Counter, Gauge, Histogram, Registry};
+use hifind_telemetry::{exponential_buckets, Counter, Gauge, Histogram, Registry, TelemetryError};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -47,6 +47,10 @@ pub struct PipelineTelemetry {
     seq: u64,
     // Packets counted locally but not yet flushed to `packets_total`.
     pending_packets: u64,
+    // Failed best-effort metric publications (name/kind clashes with
+    // metrics someone else put in the shared registry). Monitoring must
+    // never abort detection, so these are counted, not propagated.
+    publish_errors: u64,
 }
 
 impl std::fmt::Debug for PipelineTelemetry {
@@ -57,59 +61,66 @@ impl std::fmt::Debug for PipelineTelemetry {
 
 impl PipelineTelemetry {
     /// Registers all pipeline metrics in `registry`.
-    pub fn new(registry: Registry) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::KindMismatch`] if any `hifind_*` pipeline
+    /// metric name is already registered in `registry` under a different
+    /// kind — the caller keeps running uninstrumented instead of aborting.
+    pub fn new(registry: Registry) -> Result<Self, TelemetryError> {
         // Record path: 32ns .. ~33µs. Interval phases: 1µs .. ~17s.
         let record_buckets = exponential_buckets(32e-9, 4.0, 11);
         let phase_buckets = exponential_buckets(1e-6, 4.0, 13);
         let h = |name: &str, help: &str, buckets: &[f64]| {
             registry.histogram(name, help, buckets.to_vec())
         };
-        PipelineTelemetry {
+        Ok(PipelineTelemetry {
             packets_total: registry
-                .counter("hifind_packets_total", "Packets offered to the recorder"),
+                .counter("hifind_packets_total", "Packets offered to the recorder")?,
             record_seconds: h(
                 "hifind_record_seconds",
                 "Sampled per-packet record latency (1/64 packets)",
                 &record_buckets,
-            ),
+            )?,
             forecast_seconds: h(
                 "hifind_forecast_seconds",
                 "Per-interval EWMA forecast latency",
                 &phase_buckets,
-            ),
+            )?,
             detect_seconds: h(
                 "hifind_detect_seconds",
                 "Per-interval phase-1 detection latency",
                 &phase_buckets,
-            ),
+            )?,
             classify_seconds: h(
                 "hifind_classify_seconds",
                 "Per-interval phase-2 classification latency",
                 &phase_buckets,
-            ),
+            )?,
             flood_filter_seconds: h(
                 "hifind_flood_filter_seconds",
                 "Per-interval phase-3 flood-filter latency",
                 &phase_buckets,
-            ),
+            )?,
             interval_seconds: h(
                 "hifind_interval_seconds",
                 "Whole per-interval processing latency",
                 &phase_buckets,
-            ),
+            )?,
             intervals_total: registry
-                .counter("hifind_intervals_total", "Detection intervals processed"),
-            alerts_raw_total: registry.counter("hifind_alerts_raw_total", "Phase-1 raw alerts"),
+                .counter("hifind_intervals_total", "Detection intervals processed")?,
+            alerts_raw_total: registry.counter("hifind_alerts_raw_total", "Phase-1 raw alerts")?,
             alerts_classified_total: registry
-                .counter("hifind_alerts_classified_total", "Phase-2 surviving alerts"),
+                .counter("hifind_alerts_classified_total", "Phase-2 surviving alerts")?,
             alerts_final_total: registry
-                .counter("hifind_alerts_final_total", "Phase-3 final alerts"),
+                .counter("hifind_alerts_final_total", "Phase-3 final alerts")?,
             syn_count_gauge: registry
-                .gauge("hifind_interval_syns", "SYNs recorded in the last interval"),
+                .gauge("hifind_interval_syns", "SYNs recorded in the last interval")?,
             registry,
             seq: 0,
             pending_packets: 0,
-        }
+            publish_errors: 0,
+        })
     }
 
     /// The registry everything is published into.
@@ -159,8 +170,16 @@ impl PipelineTelemetry {
         self.alerts_final_total.add(outcome.fin.len() as u64);
         self.syn_count_gauge.set(snapshot.syn_count as i64);
         for health in snapshot_health(snapshot, saturation_threshold) {
-            register_health_gauges(&self.registry, &health);
+            if register_health_gauges(&self.registry, &health).is_err() {
+                self.publish_errors += 1;
+            }
         }
+    }
+
+    /// Best-effort publications that failed (e.g. a health gauge name was
+    /// already registered as a different metric kind).
+    pub fn publish_errors(&self) -> u64 {
+        self.publish_errors
     }
 }
 
@@ -176,7 +195,7 @@ mod tests {
     fn pipeline_publishes_into_registry() {
         let registry = Registry::new();
         let mut ids = HiFind::new(HiFindConfig::small(3)).unwrap();
-        ids.attach_telemetry(registry.clone());
+        ids.attach_telemetry(registry.clone()).unwrap();
         let victim: Ip4 = [129, 105, 0, 1].into();
         for iv in 0..3u64 {
             for i in 0..200u32 {

@@ -1,0 +1,173 @@
+//! Configuration fingerprints: a compact identity for "may these sketches
+//! be combined?".
+//!
+//! Sketch linearity only holds between sketches built from the *same*
+//! configuration: identical shapes **and** identical seeds (seeds select
+//! the hash functions). Shape mismatches are caught structurally by
+//! [`crate::CounterGrid::add_assign`], but two sketches with the same
+//! shape and different seeds combine without complaint into garbage —
+//! every bucket sums counts of unrelated key sets.
+//!
+//! A [`ConfigDigest`] folds every combining-relevant parameter (shapes,
+//! seeds, options) into a single `u64` that travels with snapshots and
+//! wire frames. Receivers compare fingerprints before combining and reject
+//! mismatches with [`crate::SketchError::FingerprintMismatch`] instead of
+//! silently producing wrong estimates — the failure mode the distributed
+//! collector (one central site, many independently-configured routers)
+//! makes likely in practice.
+
+use crate::kary::KaryConfig;
+use crate::reversible::RsConfig;
+use crate::twod::TwoDConfig;
+
+/// An FNV-1a (64-bit) accumulator over configuration words.
+///
+/// FNV is not cryptographic — the fingerprint guards against
+/// *misconfiguration*, not against an adversary crafting a colliding
+/// configuration (who could more simply replay valid frames).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConfigDigest(u64);
+
+impl Default for ConfigDigest {
+    fn default() -> Self {
+        ConfigDigest::new()
+    }
+}
+
+impl ConfigDigest {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// A fresh digest at the FNV offset basis.
+    pub fn new() -> Self {
+        ConfigDigest(Self::OFFSET)
+    }
+
+    /// Folds one 64-bit word into the digest, byte by byte.
+    pub fn write_u64(&mut self, word: u64) -> &mut Self {
+        for b in word.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Folds a `usize` (as `u64`, so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Folds a boolean flag.
+    pub fn write_bool(&mut self, v: bool) -> &mut Self {
+        self.write_u64(u64::from(v))
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl RsConfig {
+    /// Folds every combining-relevant field into `digest`.
+    pub fn digest_into(&self, digest: &mut ConfigDigest) {
+        digest
+            .write_u64(0x5253) // domain tag "RS"
+            .write_u64(u64::from(self.key_bits))
+            .write_usize(self.stages)
+            .write_usize(self.buckets)
+            .write_u64(self.seed)
+            .write_bool(self.mangle)
+            .write_usize(self.verifier_buckets.map_or(0, |b| b + 1));
+    }
+}
+
+impl KaryConfig {
+    /// Folds every combining-relevant field into `digest`.
+    pub fn digest_into(&self, digest: &mut ConfigDigest) {
+        digest
+            .write_u64(0x4B41) // domain tag "KA"
+            .write_usize(self.stages)
+            .write_usize(self.buckets)
+            .write_u64(self.seed);
+    }
+}
+
+impl TwoDConfig {
+    /// Folds every combining-relevant field into `digest`.
+    pub fn digest_into(&self, digest: &mut ConfigDigest) {
+        digest
+            .write_u64(0x3244) // domain tag "2D"
+            .write_usize(self.stages)
+            .write_usize(self.x_buckets)
+            .write_usize(self.y_buckets)
+            .write_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs_fp(cfg: &RsConfig) -> u64 {
+        let mut d = ConfigDigest::new();
+        cfg.digest_into(&mut d);
+        d.finish()
+    }
+
+    #[test]
+    fn identical_configs_agree() {
+        let a = RsConfig::paper_48bit(7);
+        let b = RsConfig::paper_48bit(7);
+        assert_eq!(rs_fp(&a), rs_fp(&b));
+    }
+
+    #[test]
+    fn seed_change_changes_fingerprint() {
+        // The garbage-combine case the shape checks cannot catch.
+        assert_ne!(
+            rs_fp(&RsConfig::paper_48bit(1)),
+            rs_fp(&RsConfig::paper_48bit(2))
+        );
+    }
+
+    #[test]
+    fn shape_change_changes_fingerprint() {
+        let a = RsConfig::paper_48bit(1);
+        let mut b = a;
+        b.buckets <<= 1;
+        assert_ne!(rs_fp(&a), rs_fp(&b));
+        let mut c = a;
+        c.verifier_buckets = None;
+        assert_ne!(rs_fp(&a), rs_fp(&c));
+        let mut d = a;
+        d.mangle = !d.mangle;
+        assert_ne!(rs_fp(&a), rs_fp(&d));
+    }
+
+    #[test]
+    fn kary_and_twod_digests_differ_by_field() {
+        let mut d1 = ConfigDigest::new();
+        KaryConfig::paper_os(3).digest_into(&mut d1);
+        let mut d2 = ConfigDigest::new();
+        KaryConfig::paper_os(4).digest_into(&mut d2);
+        assert_ne!(d1.finish(), d2.finish());
+
+        let mut t1 = ConfigDigest::new();
+        TwoDConfig::paper(3).digest_into(&mut t1);
+        let mut t2 = ConfigDigest::new();
+        let mut cfg = TwoDConfig::paper(3);
+        cfg.y_buckets += 1;
+        cfg.digest_into(&mut t2);
+        assert_ne!(t1.finish(), t2.finish());
+    }
+
+    #[test]
+    fn digest_order_matters() {
+        // Folding the same words in a different order must not collide —
+        // the digest is a sequence hash, not a set hash.
+        let a = ConfigDigest::new().write_u64(1).write_u64(2).finish();
+        let b = ConfigDigest::new().write_u64(2).write_u64(1).finish();
+        assert_ne!(a, b);
+    }
+}

@@ -34,6 +34,36 @@ impl CounterGrid {
         }
     }
 
+    /// Builds a grid from row-major counter data (`data[stage * buckets +
+    /// bucket]`) — the decode half of a wire codec, so it validates instead
+    /// of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::BadConfig`] if either dimension is zero or
+    /// `data.len() != stages * buckets`.
+    pub fn from_data(stages: usize, buckets: usize, data: Vec<i64>) -> Result<Self, SketchError> {
+        if stages == 0 || buckets == 0 {
+            return Err(SketchError::BadConfig(
+                "grid needs at least one stage and one bucket".into(),
+            ));
+        }
+        let expected = stages
+            .checked_mul(buckets)
+            .ok_or_else(|| SketchError::BadConfig("grid dimensions overflow".into()))?;
+        if data.len() != expected {
+            return Err(SketchError::BadConfig(format!(
+                "grid data length {} != {stages} stages × {buckets} buckets",
+                data.len()
+            )));
+        }
+        Ok(CounterGrid {
+            stages,
+            buckets,
+            data,
+        })
+    }
+
     /// Number of hash stages.
     #[inline]
     pub fn stages(&self) -> usize {
@@ -301,5 +331,17 @@ mod tests {
     #[should_panic(expected = "at least one stage")]
     fn zero_stage_panics() {
         let _ = CounterGrid::new(0, 4);
+    }
+
+    #[test]
+    fn from_data_round_trips_and_validates() {
+        let mut g = CounterGrid::new(2, 3);
+        g.add(0, 1, 5);
+        g.add(1, 2, -7);
+        let data: Vec<i64> = (0..2).flat_map(|s| g.stage(s).to_vec()).collect();
+        let back = CounterGrid::from_data(2, 3, data).unwrap();
+        assert_eq!(back, g);
+        assert!(CounterGrid::from_data(0, 3, vec![]).is_err());
+        assert!(CounterGrid::from_data(2, 3, vec![0; 5]).is_err());
     }
 }

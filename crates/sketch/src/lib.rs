@@ -38,12 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fingerprint;
 pub mod grid;
 pub mod health;
 pub mod kary;
 pub mod reversible;
 pub mod twod;
 
+pub use fingerprint::ConfigDigest;
 pub use grid::CounterGrid;
 pub use health::{DriftStats, GridHealth, InferenceHealth, SketchHealth};
 pub use kary::{KaryConfig, KarySketch};
@@ -63,6 +65,17 @@ pub enum SketchError {
     CombineMismatch,
     /// Attempted to combine an empty list of sketches.
     CombineEmpty,
+    /// Attempted to combine snapshots whose configuration fingerprints
+    /// (shape **and** seed digests, see [`fingerprint`]) disagree. Unlike
+    /// [`SketchError::CombineMismatch`] this also catches same-shape,
+    /// different-seed recorders, which would otherwise sum counters of
+    /// unrelated key sets into garbage estimates.
+    FingerprintMismatch {
+        /// The fingerprint of the combining side.
+        expected: u64,
+        /// The fingerprint that arrived.
+        got: u64,
+    },
 }
 
 impl fmt::Display for SketchError {
@@ -73,6 +86,11 @@ impl fmt::Display for SketchError {
                 f.write_str("sketches must share configuration and seed to be combined")
             }
             SketchError::CombineEmpty => f.write_str("cannot combine zero sketches"),
+            SketchError::FingerprintMismatch { expected, got } => write!(
+                f,
+                "configuration fingerprint mismatch: expected {expected:#018x}, got {got:#018x} \
+                 (recorders must share configuration and seed)"
+            ),
         }
     }
 }

@@ -26,7 +26,7 @@ pub mod registry;
 pub mod timer;
 
 pub use metrics::{exponential_buckets, linear_buckets, Counter, Gauge, Histogram};
-pub use registry::{MetricSnapshot, Registry, RegistrySnapshot};
+pub use registry::{MetricKind, MetricSnapshot, Registry, RegistrySnapshot, TelemetryError};
 pub use timer::ScopeTimer;
 
 #[cfg(test)]
@@ -37,7 +37,9 @@ mod tests {
     #[test]
     fn concurrent_counter_increments_are_all_counted() {
         let registry = Registry::new();
-        let counter = registry.counter("packets_total", "Packets recorded");
+        let counter = registry
+            .counter("packets_total", "Packets recorded")
+            .unwrap();
         const THREADS: usize = 8;
         const PER_THREAD: u64 = 10_000;
         std::thread::scope(|s| {
@@ -99,9 +101,13 @@ mod tests {
     #[test]
     fn registry_snapshot_serde_round_trip() {
         let registry = Registry::new();
-        registry.counter("alerts_total", "Alerts emitted").add(17);
+        registry
+            .counter("alerts_total", "Alerts emitted")
+            .unwrap()
+            .add(17);
         registry
             .gauge("occupancy_ppm", "Bucket occupancy")
+            .unwrap()
             .set(250_000);
         registry
             .histogram(
@@ -109,6 +115,7 @@ mod tests {
                 "Detect phase latency",
                 vec![0.001, 0.01, 0.1],
             )
+            .unwrap()
             .observe(0.005);
 
         let snap = registry.snapshot();
@@ -118,19 +125,51 @@ mod tests {
     }
 
     #[test]
+    fn kind_mismatch_is_a_typed_error_not_a_panic() {
+        let registry = Registry::new();
+        registry.counter("hifind_events", "Events").unwrap();
+        // Re-registering under the same kind fetches the same metric.
+        registry.counter("hifind_events", "Events").unwrap().add(2);
+        assert_eq!(
+            registry.counter("hifind_events", "ignored").unwrap().get(),
+            2
+        );
+        // A different kind under the same name is rejected, not aborted.
+        let err = registry.gauge("hifind_events", "Events").unwrap_err();
+        assert_eq!(
+            err,
+            TelemetryError::KindMismatch {
+                name: "hifind_events".into(),
+                registered: MetricKind::Counter,
+                requested: MetricKind::Gauge,
+            }
+        );
+        assert!(err.to_string().contains("hifind_events"));
+        assert!(registry
+            .histogram("hifind_events", "Events", vec![1.0])
+            .is_err());
+        // The original metric is untouched by the failed registrations.
+        assert_eq!(registry.counter("hifind_events", "").unwrap().get(), 2);
+    }
+
+    #[test]
     fn prometheus_text_golden() {
         let registry = Registry::new();
         registry
             .counter("hifind_packets_total", "Packets recorded")
+            .unwrap()
             .add(3);
         registry
             .gauge("hifind_saturation_ppm", "Sketch saturation")
+            .unwrap()
             .set(1200);
-        let h = registry.histogram(
-            "hifind_detect_seconds",
-            "Detect phase latency",
-            vec![0.01, 0.1],
-        );
+        let h = registry
+            .histogram(
+                "hifind_detect_seconds",
+                "Detect phase latency",
+                vec![0.01, 0.1],
+            )
+            .unwrap();
         h.observe(0.005);
         h.observe(0.05);
         h.observe(0.5);

@@ -69,6 +69,14 @@ impl Counter {
     }
 }
 
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
 /// Last-written signed value (occupancy, saturation, rates scaled to ppm).
 #[derive(Default)]
 pub struct Gauge {
@@ -99,6 +107,12 @@ impl Gauge {
     }
 }
 
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge").field("value", &self.get()).finish()
+    }
+}
+
 /// Fixed-bucket distribution with atomic bucket counts.
 ///
 /// Bucket `i` counts observations `<= upper_bounds[i]` and `> upper_bounds[i-1]`
@@ -113,6 +127,14 @@ pub struct Histogram {
     /// Sum of observations in units of 1e-9 (nanoseconds when observing
     /// seconds), stored as fixed point to stay atomic.
     sum_nanos: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Histogram {

@@ -2,12 +2,79 @@
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::{Arc, Mutex};
+
+/// The three metric kinds a [`Registry`] can hold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Last-written value.
+    Gauge,
+    /// Bucketed distribution.
+    Histogram,
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        })
+    }
+}
+
+/// Errors from metric registration.
+///
+/// A monitoring layer must never abort the process it observes, so kind
+/// clashes are reported to the caller instead of panicking; callers decide
+/// whether to propagate, skip the metric, or count the failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TelemetryError {
+    /// The name is already registered with a different metric kind.
+    KindMismatch {
+        /// The clashing metric name.
+        name: String,
+        /// Kind already in the registry.
+        registered: MetricKind,
+        /// Kind this registration asked for.
+        requested: MetricKind,
+    },
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::KindMismatch {
+                name,
+                registered,
+                requested,
+            } => write!(
+                f,
+                "metric {name} already registered as a {registered}, cannot re-register as a {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
 
 enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
 }
 
 struct Entry {
@@ -19,7 +86,9 @@ struct Entry {
 ///
 /// Registration takes a short lock; updates through the returned `Arc`
 /// handles are lock-free. Registering the same name twice returns the
-/// existing metric (and panics if the kind differs — that is always a bug).
+/// existing metric; asking for a different kind under an existing name is
+/// reported as [`TelemetryError::KindMismatch`] rather than aborting, so a
+/// monitoring mishap can never take the detector down with it.
 #[derive(Clone, Default)]
 pub struct Registry {
     inner: Arc<Mutex<BTreeMap<String, Entry>>>,
@@ -32,42 +101,74 @@ impl Registry {
     }
 
     /// Registers (or fetches) a counter.
-    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+    ///
+    /// # Errors
+    ///
+    /// [`TelemetryError::KindMismatch`] if `name` already names a gauge or
+    /// histogram.
+    pub fn counter(&self, name: &str, help: &str) -> Result<Arc<Counter>, TelemetryError> {
         let mut map = self.inner.lock().unwrap();
         let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
             help: help.to_string(),
             metric: Metric::Counter(Arc::new(Counter::new())),
         });
         match &entry.metric {
-            Metric::Counter(c) => Arc::clone(c),
-            _ => panic!("metric {name} already registered with a different kind"),
+            Metric::Counter(c) => Ok(Arc::clone(c)),
+            other => Err(TelemetryError::KindMismatch {
+                name: name.to_string(),
+                registered: other.kind(),
+                requested: MetricKind::Counter,
+            }),
         }
     }
 
     /// Registers (or fetches) a gauge.
-    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+    ///
+    /// # Errors
+    ///
+    /// [`TelemetryError::KindMismatch`] if `name` already names a counter
+    /// or histogram.
+    pub fn gauge(&self, name: &str, help: &str) -> Result<Arc<Gauge>, TelemetryError> {
         let mut map = self.inner.lock().unwrap();
         let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
             help: help.to_string(),
             metric: Metric::Gauge(Arc::new(Gauge::new())),
         });
         match &entry.metric {
-            Metric::Gauge(g) => Arc::clone(g),
-            _ => panic!("metric {name} already registered with a different kind"),
+            Metric::Gauge(g) => Ok(Arc::clone(g)),
+            other => Err(TelemetryError::KindMismatch {
+                name: name.to_string(),
+                registered: other.kind(),
+                requested: MetricKind::Gauge,
+            }),
         }
     }
 
     /// Registers (or fetches) a histogram with the given bucket bounds.
     /// Bounds are fixed at first registration; later calls ignore theirs.
-    pub fn histogram(&self, name: &str, help: &str, upper_bounds: Vec<f64>) -> Arc<Histogram> {
+    ///
+    /// # Errors
+    ///
+    /// [`TelemetryError::KindMismatch`] if `name` already names a counter
+    /// or gauge.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        upper_bounds: Vec<f64>,
+    ) -> Result<Arc<Histogram>, TelemetryError> {
         let mut map = self.inner.lock().unwrap();
         let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
             help: help.to_string(),
             metric: Metric::Histogram(Arc::new(Histogram::new(upper_bounds))),
         });
         match &entry.metric {
-            Metric::Histogram(h) => Arc::clone(h),
-            _ => panic!("metric {name} already registered with a different kind"),
+            Metric::Histogram(h) => Ok(Arc::clone(h)),
+            other => Err(TelemetryError::KindMismatch {
+                name: name.to_string(),
+                registered: other.kind(),
+                requested: MetricKind::Histogram,
+            }),
         }
     }
 
