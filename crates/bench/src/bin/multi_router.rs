@@ -93,8 +93,9 @@ fn main() {
         }
         for (router_id, snap) in snaps.iter().enumerate() {
             raw_bytes_total += snap.wire_size_bytes() as u64;
-            framed_bytes_total +=
-                wire::encode_frame(router_id as u32, iv as u64, snap).len() as u64;
+            framed_bytes_total += wire::encode_frame(router_id as u32, iv as u64, snap)
+                .expect("snapshot fits a frame")
+                .len() as u64;
             snapshots += 1;
         }
         site.process_interval(&snaps).expect("same configuration");
@@ -254,7 +255,7 @@ fn run_loopback(
     for agent in agents {
         agent.join().expect("agent thread");
     }
-    let report = handle.wait();
+    let report = handle.wait().expect("collector threads");
     let elapsed = start.elapsed();
     let networked: BTreeSet<AlertIdentity> = report
         .log

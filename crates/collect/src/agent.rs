@@ -85,6 +85,31 @@ pub struct ShipReport {
     pub dropped: usize,
 }
 
+/// Why one frame could not be shipped. Internal retry handling consumes
+/// most of these; they surface so callers embedding the agent can log
+/// shipping trouble without the agent ever panicking.
+#[derive(Debug)]
+pub enum AgentError {
+    /// No live connection to the collector.
+    NotConnected,
+    /// The socket write failed (the connection is dropped for reconnect).
+    Io(std::io::Error),
+    /// A snapshot could not be framed (counted as a dropped frame).
+    Encode(wire::WireError),
+}
+
+impl std::fmt::Display for AgentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgentError::NotConnected => write!(f, "not connected to the collector"),
+            AgentError::Io(e) => write!(f, "frame write failed: {e}"),
+            AgentError::Encode(e) => write!(f, "snapshot framing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
 /// A router agent: records packets, ships one frame per interval.
 pub struct RouterAgent {
     addr: String,
@@ -146,12 +171,24 @@ impl RouterAgent {
         self.interval += 1;
         self.stats.frames_enqueued += 1;
         let mut dropped = 0;
-        while self.backlog.len() >= self.cfg.max_backlog_frames.max(1) {
-            self.backlog.pop_front();
-            self.stats.frames_dropped += 1;
-            dropped += 1;
+        match frame {
+            Ok(frame) => {
+                while self.backlog.len() >= self.cfg.max_backlog_frames.max(1) {
+                    self.backlog.pop_front();
+                    self.stats.frames_dropped += 1;
+                    dropped += 1;
+                }
+                self.backlog.push_back(frame);
+            }
+            // An unframeable snapshot (payload beyond the u32 length
+            // field) is a config absurdity, not an attack surface; the
+            // interval is counted as dropped rather than aborting the
+            // data plane.
+            Err(_) => {
+                self.stats.frames_dropped += 1;
+                dropped += 1;
+            }
         }
-        self.backlog.push_back(frame);
         let mut report = self.flush();
         report.dropped += dropped;
         report
@@ -185,18 +222,12 @@ impl RouterAgent {
                     }
                 }
             }
-            let frame = self.backlog.front().expect("loop guard");
-            let outcome = self
-                .stream
-                .as_mut()
-                .expect("connected above")
-                .write_all(frame);
-            match outcome {
-                Ok(()) => {
+            match self.ship_front() {
+                Ok(0) => break,
+                Ok(bytes) => {
                     self.stats.frames_shipped += 1;
-                    self.stats.bytes_shipped += frame.len() as u64;
+                    self.stats.bytes_shipped += bytes;
                     report.shipped += 1;
-                    self.backlog.pop_front();
                     // Progress resets the retry budget.
                     attempts = 0;
                     backoff = self.cfg.initial_backoff;
@@ -219,6 +250,19 @@ impl RouterAgent {
         }
         report.queued = self.backlog.len();
         report
+    }
+
+    /// Writes the front frame of the backlog, returning the bytes shipped
+    /// (`0` when the backlog is empty — nothing to do).
+    fn ship_front(&mut self) -> Result<u64, AgentError> {
+        let stream = self.stream.as_mut().ok_or(AgentError::NotConnected)?;
+        let Some(frame) = self.backlog.front() else {
+            return Ok(0);
+        };
+        stream.write_all(frame).map_err(AgentError::Io)?;
+        let bytes = frame.len() as u64;
+        self.backlog.pop_front();
+        Ok(bytes)
     }
 
     fn connect(&self) -> std::io::Result<TcpStream> {

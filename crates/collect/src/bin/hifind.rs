@@ -335,7 +335,9 @@ fn collect(args: &Args) -> Result<(), String> {
          connected and disconnected",
         handle.local_addr()
     );
-    let report = handle.wait();
+    let report = handle
+        .wait()
+        .map_err(|e| format!("collector failed: {e}"))?;
     println!(
         "{} intervals ({} complete, {} partial, {} gaps); {} frames, {} bytes, \
          {} late, {} rejected; routers seen: {:?}",

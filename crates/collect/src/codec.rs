@@ -64,20 +64,36 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// Bit-level `i64` ↔ `u64` reinterpretation (two's complement). Spelled
+/// through byte arrays rather than `as` so the wire-boundary cast lint
+/// can guarantee no *truncating* conversion hides among reinterprets.
+fn i64_bits(v: i64) -> u64 {
+    u64::from_le_bytes(v.to_le_bytes())
+}
+
+fn u64_bits(u: u64) -> i64 {
+    i64::from_le_bytes(u.to_le_bytes())
+}
+
 fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
+    i64_bits((v << 1) ^ (v >> 63))
 }
 
 fn unzigzag(u: u64) -> i64 {
-    ((u >> 1) as i64) ^ -((u & 1) as i64)
+    u64_bits(u >> 1) ^ -u64_bits(u & 1)
+}
+
+/// The low byte of `v` — an extraction, not a truncating cast.
+fn low_byte(v: u64) -> u8 {
+    v.to_le_bytes()[0]
 }
 
 fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
     while v >= 0x80 {
-        out.push((v as u8) | 0x80);
+        out.push(low_byte(v) | 0x80);
         v >>= 7;
     }
-    out.push(v as u8);
+    out.push(low_byte(v));
 }
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
@@ -119,22 +135,30 @@ impl<'a> Reader<'a> {
         let Some(end) = end else {
             return Err(CodecError::Truncated { at });
         };
-        let v = u64::from_le_bytes(self.bytes[self.pos..end].try_into().unwrap());
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.bytes[self.pos..end]);
         self.pos = end;
-        Ok(v)
+        Ok(u64::from_le_bytes(raw))
     }
 
     fn counted(&mut self, at: &'static str, declared: u64, max: u64) -> Result<usize, CodecError> {
         if declared > max {
             return Err(CodecError::Oversized { at, declared, max });
         }
-        Ok(declared as usize)
+        usize::try_from(declared).map_err(|_| CodecError::Oversized { at, declared, max })
     }
 }
 
+/// A length as the wire's `u64` count. Lengths of in-memory vectors
+/// always fit; saturating (instead of a bare cast) means a pathological
+/// value trips the decoder's sanity caps rather than truncating silently.
+fn len_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
 fn encode_grid(out: &mut Vec<u8>, grid: &CounterGrid) {
-    put_uvarint(out, grid.stages() as u64);
-    put_uvarint(out, grid.buckets() as u64);
+    put_uvarint(out, len_u64(grid.stages()));
+    put_uvarint(out, len_u64(grid.buckets()));
     for stage in 0..grid.stages() {
         for &v in grid.stage(stage) {
             put_uvarint(out, zigzag(v));
@@ -151,11 +175,15 @@ fn decode_grid(r: &mut Reader<'_>, which: &'static str) -> Result<CounterGrid, C
         max: MAX_GRID_CELLS,
     })?;
     let cells = r.counted(which, cells, MAX_GRID_CELLS)?;
+    // Each dimension is checked on its own: `0 × huge` passes the cell
+    // cap, but a bare cast of `huge` could truncate on a narrow target.
+    let stages = r.counted(which, stages, MAX_GRID_CELLS)?;
+    let buckets = r.counted(which, buckets, MAX_GRID_CELLS)?;
     let mut data = Vec::with_capacity(cells);
     for _ in 0..cells {
         data.push(r.ivarint(which)?);
     }
-    CounterGrid::from_data(stages as usize, buckets as usize, data).map_err(|e| CodecError::Grid {
+    CounterGrid::from_data(stages, buckets, data).map_err(|e| CodecError::Grid {
         which,
         detail: e.to_string(),
     })
@@ -173,8 +201,8 @@ pub fn encode_snapshot(snap: &IntervalSnapshot) -> Vec<u8> {
         encode_grid(&mut out, grid);
     }
     let bloom = &snap.active_services;
-    put_uvarint(&mut out, bloom.bit_words().len() as u64);
-    put_uvarint(&mut out, bloom.hash_seeds().len() as u64);
+    put_uvarint(&mut out, len_u64(bloom.bit_words().len()));
+    put_uvarint(&mut out, len_u64(bloom.hash_seeds().len()));
     put_uvarint(&mut out, bloom.inserted());
     for &w in bloom.bit_words() {
         put_u64(&mut out, w);

@@ -233,7 +233,12 @@ impl CollectorHandle {
 
     /// Signals shutdown and returns the report once both threads exit.
     /// Pending intervals are flushed (partial where needed) first.
-    pub fn stop(self) -> CollectionReport {
+    ///
+    /// # Errors
+    ///
+    /// [`CollectError::WorkerPanic`] if a collector thread died; the run's
+    /// report is lost with it.
+    pub fn stop(self) -> Result<CollectionReport, CollectError> {
         self.shutdown.store(true, Ordering::SeqCst);
         self.join()
     }
@@ -241,18 +246,24 @@ impl CollectorHandle {
     /// Waits for the natural end of the run: every expected router has
     /// connected, all have disconnected, and the linger window has passed
     /// with no reconnects.
-    pub fn wait(self) -> CollectionReport {
+    ///
+    /// # Errors
+    ///
+    /// [`CollectError::WorkerPanic`] if a collector thread died; the run's
+    /// report is lost with it.
+    pub fn wait(self) -> Result<CollectionReport, CollectError> {
         self.join()
     }
 
-    fn join(self) -> CollectionReport {
-        let report = self.aligner.join().expect("aligner thread must not panic");
-        // The aligner is done; release the acceptor too.
+    fn join(self) -> Result<CollectionReport, CollectError> {
+        let aligner_outcome = self.aligner.join();
+        // The aligner is done (or dead); release the acceptor either way
+        // so a worker panic cannot leak a spinning accept loop.
         self.shutdown.store(true, Ordering::SeqCst);
-        self.acceptor
-            .join()
-            .expect("acceptor thread must not panic");
-        report
+        let acceptor_outcome = self.acceptor.join();
+        let report = aligner_outcome.map_err(|_| CollectError::WorkerPanic("aligner"))?;
+        acceptor_outcome.map_err(|_| CollectError::WorkerPanic("acceptor"))?;
+        Ok(report)
     }
 }
 
@@ -308,7 +319,11 @@ fn reader_loop(
                     if buf.len() < HEADER_LEN {
                         break;
                     }
-                    let header_bytes: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().unwrap();
+                    let Ok(header_bytes) = <[u8; HEADER_LEN]>::try_from(&buf[..HEADER_LEN]) else {
+                        // Length is guaranteed by the guard above; bail
+                        // rather than panic if that invariant ever breaks.
+                        break 'conn;
+                    };
                     let header = match wire::parse_header(&header_bytes, max_payload) {
                         Ok(h) => h,
                         Err(e) => {
@@ -531,10 +546,9 @@ impl Aligner {
                     if !(complete || expired || over_window || drain) {
                         return;
                     }
-                    let p = self
-                        .pending
-                        .remove(&self.next_interval)
-                        .expect("checked above");
+                    let Some(p) = self.pending.remove(&self.next_interval) else {
+                        return;
+                    };
                     self.report.intervals_flushed += 1;
                     if complete {
                         self.report.complete_intervals += 1;
@@ -608,7 +622,7 @@ mod tests {
             agent.end_interval();
         }
         agent.finish();
-        let report = handle.wait();
+        let report = handle.wait().expect("collector threads");
         assert_eq!(report.frames_received, 3);
         assert_eq!(report.intervals_flushed, 3);
         assert_eq!(report.complete_intervals, 3);
@@ -626,7 +640,7 @@ mod tests {
         let mut rogue = RouterAgent::new(addr, &rogue_cfg, AgentConfig::new(9)).unwrap();
         rogue.end_interval();
         rogue.finish();
-        let report = handle.wait();
+        let report = handle.wait().expect("collector threads");
         assert_eq!(report.frames_received, 0);
         assert_eq!(report.frames_rejected, 1);
         assert!(report.routers_seen.is_empty());
@@ -644,7 +658,7 @@ mod tests {
         agent.end_interval();
         agent.finish();
         std::thread::sleep(Duration::from_millis(150));
-        let report = handle.stop();
+        let report = handle.stop().expect("collector threads");
         assert_eq!(report.intervals_flushed, 1);
         assert_eq!(report.partial_intervals, 1);
         assert_eq!(report.straggler_slots, 1);

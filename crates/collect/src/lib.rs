@@ -32,7 +32,7 @@ pub mod codec;
 pub mod collector;
 pub mod wire;
 
-pub use agent::{AgentConfig, AgentStats, RouterAgent, ShipReport};
+pub use agent::{AgentConfig, AgentError, AgentStats, RouterAgent, ShipReport};
 pub use codec::CodecError;
 pub use collector::{CollectionReport, Collector, CollectorConfig, CollectorHandle};
 pub use wire::{FrameHeader, WireError, HEADER_LEN, PROTOCOL_VERSION};
@@ -48,6 +48,8 @@ pub enum CollectError {
     Sketch(hifind_sketch::SketchError),
     /// Metric registration clash.
     Telemetry(hifind_telemetry::TelemetryError),
+    /// A collector worker thread died; the named thread's report is lost.
+    WorkerPanic(&'static str),
 }
 
 impl std::fmt::Display for CollectError {
@@ -57,6 +59,7 @@ impl std::fmt::Display for CollectError {
             CollectError::Wire(e) => write!(f, "wire error: {e}"),
             CollectError::Sketch(e) => write!(f, "sketch error: {e}"),
             CollectError::Telemetry(e) => write!(f, "telemetry error: {e}"),
+            CollectError::WorkerPanic(thread) => write!(f, "collector {thread} thread panicked"),
         }
     }
 }

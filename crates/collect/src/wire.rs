@@ -54,6 +54,21 @@ pub struct FrameHeader {
     pub crc32: u32,
 }
 
+impl FrameHeader {
+    /// The declared payload length as an index type.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::PayloadTooLarge`] on targets whose `usize` cannot
+    /// hold the 32-bit length (checked, never truncated).
+    pub fn payload_len_usize(&self) -> Result<usize, WireError> {
+        usize::try_from(self.payload_len).map_err(|_| WireError::PayloadTooLarge {
+            len: self.payload_len,
+            max: u32::MAX,
+        })
+    }
+}
+
 /// A malformed or unacceptable frame.
 #[derive(Debug)]
 pub enum WireError {
@@ -63,6 +78,9 @@ pub enum WireError {
     UnsupportedVersion(u16),
     /// The header declares a payload beyond the configured cap.
     PayloadTooLarge { len: u32, max: u32 },
+    /// A snapshot too large to frame at all (payload length must fit the
+    /// header's 32-bit length field).
+    OversizedSnapshot { len: usize },
     /// The stream ended mid-frame.
     TruncatedFrame { expected: usize, got: usize },
     /// Payload bytes do not match the header CRC.
@@ -87,6 +105,12 @@ impl std::fmt::Display for WireError {
             }
             WireError::PayloadTooLarge { len, max } => {
                 write!(f, "payload of {len} bytes exceeds cap of {max}")
+            }
+            WireError::OversizedSnapshot { len } => {
+                write!(
+                    f,
+                    "snapshot encodes to {len} bytes, beyond the u32 length field"
+                )
             }
             WireError::TruncatedFrame { expected, got } => {
                 write!(f, "stream ended mid-frame ({got}/{expected} bytes)")
@@ -123,6 +147,7 @@ const CRC_TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // lint: allow(truncating-cast, const-eval table build — `try_from` is not const; i < 256 fits u32 exactly)
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
@@ -143,15 +168,29 @@ const CRC_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &b in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        // The index is the low byte of the XOR — a value-preserving
+        // extraction, not a truncating cast.
+        crc = (crc >> 8) ^ CRC_TABLE[usize::from((crc ^ u32::from(b)).to_le_bytes()[0])];
     }
     !crc
 }
 
 /// Encodes `snapshot` as one complete frame (header + payload) from
 /// `router_id` for `interval`.
-pub fn encode_frame(router_id: u32, interval: u64, snapshot: &IntervalSnapshot) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`WireError::OversizedSnapshot`] when the encoded payload cannot be
+/// described by the header's 32-bit length field (never the case for any
+/// constructible sketch configuration, but enforced rather than assumed).
+pub fn encode_frame(
+    router_id: u32,
+    interval: u64,
+    snapshot: &IntervalSnapshot,
+) -> Result<Vec<u8>, WireError> {
     let payload = codec::encode_snapshot(snapshot);
+    let payload_len = u32::try_from(payload.len())
+        .map_err(|_| WireError::OversizedSnapshot { len: payload.len() })?;
     let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
     frame.extend_from_slice(&MAGIC);
     frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
@@ -159,10 +198,34 @@ pub fn encode_frame(router_id: u32, interval: u64, snapshot: &IntervalSnapshot) 
     frame.extend_from_slice(&router_id.to_le_bytes());
     frame.extend_from_slice(&interval.to_le_bytes());
     frame.extend_from_slice(&snapshot.fingerprint.to_le_bytes());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload_len.to_le_bytes());
     frame.extend_from_slice(&crc32(&payload).to_le_bytes());
     frame.extend_from_slice(&payload);
-    frame
+    Ok(frame)
+}
+
+/// Little-endian field readers over the fixed-size header. Building the
+/// arrays element-wise keeps every read panic-free by construction (the
+/// offsets are compile-visible constants within `HEADER_LEN`).
+fn le_u16(b: &[u8; HEADER_LEN], at: usize) -> u16 {
+    u16::from_le_bytes([b[at], b[at + 1]])
+}
+
+fn le_u32(b: &[u8; HEADER_LEN], at: usize) -> u32 {
+    u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+fn le_u64(b: &[u8; HEADER_LEN], at: usize) -> u64 {
+    u64::from_le_bytes([
+        b[at],
+        b[at + 1],
+        b[at + 2],
+        b[at + 3],
+        b[at + 4],
+        b[at + 5],
+        b[at + 6],
+        b[at + 7],
+    ])
 }
 
 /// Parses and validates a frame header.
@@ -172,16 +235,15 @@ pub fn encode_frame(router_id: u32, interval: u64, snapshot: &IntervalSnapshot) 
 /// Rejects wrong magic, unknown versions, and payloads beyond
 /// `max_payload`.
 pub fn parse_header(bytes: &[u8; HEADER_LEN], max_payload: u32) -> Result<FrameHeader, WireError> {
-    let word = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
-    let magic: [u8; 4] = bytes[0..4].try_into().unwrap();
+    let magic = [bytes[0], bytes[1], bytes[2], bytes[3]];
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    let version = le_u16(bytes, 4);
     if version != PROTOCOL_VERSION {
         return Err(WireError::UnsupportedVersion(version));
     }
-    let payload_len = word(28);
+    let payload_len = le_u32(bytes, 28);
     if payload_len > max_payload {
         return Err(WireError::PayloadTooLarge {
             len: payload_len,
@@ -190,11 +252,11 @@ pub fn parse_header(bytes: &[u8; HEADER_LEN], max_payload: u32) -> Result<FrameH
     }
     Ok(FrameHeader {
         version,
-        router_id: word(8),
-        interval: u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
-        fingerprint: u64::from_le_bytes(bytes[20..28].try_into().unwrap()),
+        router_id: le_u32(bytes, 8),
+        interval: le_u64(bytes, 12),
+        fingerprint: le_u64(bytes, 20),
         payload_len,
-        crc32: word(32),
+        crc32: le_u32(bytes, 32),
     })
 }
 
@@ -206,9 +268,10 @@ pub fn parse_header(bytes: &[u8; HEADER_LEN], max_payload: u32) -> Result<FrameH
 /// Every corruption mode maps to a distinct [`WireError`] variant; no
 /// input panics.
 pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<IntervalSnapshot, WireError> {
-    if payload.len() != header.payload_len as usize {
+    let expected = header.payload_len_usize()?;
+    if payload.len() != expected {
         return Err(WireError::TruncatedFrame {
-            expected: header.payload_len as usize,
+            expected,
             got: payload.len(),
         });
     }
@@ -254,16 +317,37 @@ pub fn read_frame(
         _ => {}
     }
     let header = parse_header(&header_bytes, max_payload)?;
-    let mut payload = vec![0u8; header.payload_len as usize];
-    let got = read_full(r, &mut payload)?;
-    if got < payload.len() {
-        return Err(WireError::TruncatedFrame {
-            expected: payload.len(),
-            got,
-        });
-    }
+    let payload = read_payload(r, header.payload_len_usize()?)?;
     let snapshot = decode_payload(&header, &payload)?;
     Ok(Some((header, snapshot)))
+}
+
+/// Granularity of payload buffer growth while reading.
+const PAYLOAD_CHUNK: usize = 64 * 1024;
+
+/// Reads exactly `len` payload bytes, growing the buffer chunk by chunk.
+///
+/// The length comes from an attacker-controlled header field that is
+/// validated against the payload cap but **not yet against the CRC** —
+/// so memory is committed only as bytes actually arrive: a peer that
+/// declares a huge payload and then stalls or disconnects costs one
+/// [`PAYLOAD_CHUNK`], not the declared size.
+fn read_payload(r: &mut impl Read, len: usize) -> Result<Vec<u8>, WireError> {
+    let mut payload = Vec::with_capacity(len.min(PAYLOAD_CHUNK));
+    while payload.len() < len {
+        let start = payload.len();
+        let want = (len - start).min(PAYLOAD_CHUNK);
+        payload.resize(start + want, 0);
+        let got = read_full(r, &mut payload[start..])?;
+        payload.truncate(start + got);
+        if got < want {
+            return Err(WireError::TruncatedFrame {
+                expected: len,
+                got: payload.len(),
+            });
+        }
+    }
+    Ok(payload)
 }
 
 /// Fills `buf` as far as the stream allows; returns the bytes read
@@ -312,7 +396,7 @@ mod tests {
     #[test]
     fn frame_round_trips_through_a_reader() {
         let snap = snapshot(3);
-        let frame = encode_frame(7, 42, &snap);
+        let frame = encode_frame(7, 42, &snap).unwrap();
         let mut cursor = &frame[..];
         let (header, back) = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD)
             .unwrap()
@@ -329,7 +413,7 @@ mod tests {
 
     #[test]
     fn corrupt_payload_is_a_crc_error() {
-        let mut frame = encode_frame(1, 0, &snapshot(4));
+        let mut frame = encode_frame(1, 0, &snapshot(4)).unwrap();
         let last = frame.len() - 1;
         frame[last] ^= 0xFF;
         let err = read_frame(&mut &frame[..], DEFAULT_MAX_PAYLOAD).unwrap_err();
@@ -339,13 +423,13 @@ mod tests {
     #[test]
     fn wrong_magic_and_version_are_rejected() {
         let snap = snapshot(5);
-        let mut frame = encode_frame(1, 0, &snap);
+        let mut frame = encode_frame(1, 0, &snap).unwrap();
         frame[0] = b'X';
         assert!(matches!(
             read_frame(&mut &frame[..], DEFAULT_MAX_PAYLOAD).unwrap_err(),
             WireError::BadMagic(_)
         ));
-        let mut frame = encode_frame(1, 0, &snap);
+        let mut frame = encode_frame(1, 0, &snap).unwrap();
         frame[4] = 99;
         assert!(matches!(
             read_frame(&mut &frame[..], DEFAULT_MAX_PAYLOAD).unwrap_err(),
@@ -355,7 +439,7 @@ mod tests {
 
     #[test]
     fn truncated_frame_is_not_a_clean_eof() {
-        let frame = encode_frame(1, 0, &snapshot(6));
+        let frame = encode_frame(1, 0, &snapshot(6)).unwrap();
         for cut in [1, HEADER_LEN - 1, HEADER_LEN, HEADER_LEN + 10] {
             let err = read_frame(&mut &frame[..cut], DEFAULT_MAX_PAYLOAD).unwrap_err();
             assert!(matches!(err, WireError::TruncatedFrame { .. }), "cut {cut}");
@@ -364,7 +448,7 @@ mod tests {
 
     #[test]
     fn oversized_payload_rejected_from_header_alone() {
-        let frame = encode_frame(1, 0, &snapshot(8));
+        let frame = encode_frame(1, 0, &snapshot(8)).unwrap();
         let err = read_frame(&mut &frame[..], 16).unwrap_err();
         assert!(matches!(
             err,
@@ -377,7 +461,7 @@ mod tests {
         // Tamper with the header fingerprint and fix up nothing else: the
         // CRC still passes (it covers only the payload), so the
         // cross-check is what catches it.
-        let mut frame = encode_frame(1, 0, &snapshot(9));
+        let mut frame = encode_frame(1, 0, &snapshot(9)).unwrap();
         frame[20] ^= 0xFF;
         let err = read_frame(&mut &frame[..], DEFAULT_MAX_PAYLOAD).unwrap_err();
         assert!(

@@ -53,7 +53,7 @@ proptest! {
         interval in any::<u64>(),
     ) {
         let snap = arb_snapshot(seed, packets);
-        let frame = hifind_collect::wire::encode_frame(router_id, interval, &snap);
+        let frame = hifind_collect::wire::encode_frame(router_id, interval, &snap).expect("frame encodes");
         let (header, decoded) = read_one(&frame)
             .expect("well-formed frame")
             .expect("not EOF");
@@ -65,7 +65,7 @@ proptest! {
 
         // Aggregation over the wire == aggregation in memory.
         let other = arb_snapshot(seed ^ 0xA5A5, packets / 2 + 1);
-        let other_frame = hifind_collect::wire::encode_frame(router_id, interval, &other);
+        let other_frame = hifind_collect::wire::encode_frame(router_id, interval, &other).expect("frame encodes");
         let (_, other_decoded) = read_one(&other_frame).unwrap().unwrap();
         let mut wire_sum = decoded;
         wire_sum.combine_into(&other_decoded).expect("same config");
@@ -87,7 +87,7 @@ proptest! {
         mask in 1u8..=255,
     ) {
         let snap = arb_snapshot(seed, 120);
-        let mut frame = hifind_collect::wire::encode_frame(7, 3, &snap);
+        let mut frame = hifind_collect::wire::encode_frame(7, 3, &snap).expect("frame encodes");
         let pos = (pos_pick % frame.len() as u64) as usize;
         frame[pos] ^= mask;
         match read_one(&frame) {
@@ -128,7 +128,7 @@ proptest! {
     #[test]
     fn truncation_is_typed_and_eof_is_clean(seed in any::<u64>(), cut_pick in any::<u64>()) {
         let snap = arb_snapshot(seed, 60);
-        let frame = hifind_collect::wire::encode_frame(1, 0, &snap);
+        let frame = hifind_collect::wire::encode_frame(1, 0, &snap).expect("frame encodes");
         let cut = (cut_pick % frame.len() as u64) as usize;
         if cut == 0 {
             prop_assert!(read_one(&[]).expect("clean EOF").is_none());

@@ -115,7 +115,7 @@ fn three_agents_over_tcp_equal_single_router() {
         assert_eq!(stats.frames_shipped, n as u64, "every interval shipped");
         assert_eq!(stats.frames_dropped, 0);
     }
-    let report = handle.wait();
+    let report = handle.wait().expect("collector threads");
 
     // Every interval aligned and complete; nothing late, lost or partial.
     assert_eq!(report.intervals_flushed, n as u64);
@@ -237,7 +237,7 @@ fn dead_agent_degrades_to_quorum_instead_of_stalling() {
 
     // This join is itself the liveness assertion: a collector that waited
     // forever for router 2 would hang the test (CI enforces a timeout).
-    let report = handle.wait();
+    let report = handle.wait().expect("collector threads");
     assert_eq!(report.intervals_flushed, 5, "all intervals still detected");
     assert_eq!(report.complete_intervals, 2);
     assert_eq!(

@@ -184,10 +184,7 @@ impl Zipf {
     /// Samples a rank in `0..n` (0 = most popular).
     pub fn sample(&self, rng: &mut SplitMix64) -> usize {
         let u = rng.f64();
-        match self
-            .cdf
-            .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF is finite"))
-        {
+        match self.cdf.binary_search_by(|probe| probe.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -176,7 +176,10 @@ impl GridForecaster for GridHolt {
                 Some(error)
             }
             (Some(level), _) => {
-                let trend = self.trend.take().expect("trend exists with level");
+                // `level` and `trend` are set together; if the trend were
+                // ever missing, Holt degrades to simple smoothing for one
+                // step instead of panicking.
+                let trend = self.trend.take().unwrap_or_else(|| vec![0.0; level.len()]);
                 let forecast: Vec<f64> = level.iter().zip(&trend).map(|(&l, &t)| l + t).collect();
                 let error = error_grid(observed, &forecast);
                 let new_level: Vec<f64> = obs

@@ -53,10 +53,12 @@ pub fn classify(
     };
 
     for alert in &raw.vscans {
-        let (sip, dip) = (
-            alert.sip.expect("vscan alerts carry sip"),
-            alert.dip.expect("vscan alerts carry dip"),
-        );
+        let (Some(sip), Some(dip)) = (alert.sip, alert.dip) else {
+            // A vscan alert without its keys cannot be classified; fail
+            // open and keep it rather than dropping a detection.
+            out.vscans.push(*alert);
+            continue;
+        };
         let x = SipDip::new(sip, dip).to_u64();
         match detector
             .twod_sipdip_dport()
@@ -68,10 +70,11 @@ pub fn classify(
     }
 
     for alert in &raw.hscans {
-        let (sip, dport) = (
-            alert.sip.expect("hscan alerts carry sip"),
-            alert.dport.expect("hscan alerts carry dport"),
-        );
+        let (Some(sip), Some(dport)) = (alert.sip, alert.dport) else {
+            // Same fail-open policy as above for an unkeyed hscan alert.
+            out.hscans.push(*alert);
+            continue;
+        };
         let x = SipDport::new(sip, dport).to_u64();
         match detector
             .twod_sipdport_dip()

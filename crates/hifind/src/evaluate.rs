@@ -119,13 +119,14 @@ pub fn evaluate(alerts: &[Alert], truth: &GroundTruth) -> EvalSummary {
         };
         match match_alert(alert, truth) {
             Some(e) if e.class.is_attack() && kind_matches_class(alert.kind, e.class) => {
-                // Count each true attack once.
-                let idx = truth
-                    .iter()
-                    .position(|x| std::ptr::eq(x, e))
-                    .expect("entry from this truth");
-                if matched_truth.insert(idx) {
-                    eval.detected += 1;
+                // Count each true attack once. `match_alert` returns a
+                // reference into `truth`, so the position lookup always
+                // succeeds; a miss would only mean a duplicate count was
+                // avoided, so it is silently skipped rather than panicking.
+                if let Some(idx) = truth.iter().position(|x| std::ptr::eq(x, e)) {
+                    if matched_truth.insert(idx) {
+                        eval.detected += 1;
+                    }
                 }
             }
             Some(_) => eval.benign_matches += 1,

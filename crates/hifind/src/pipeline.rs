@@ -89,7 +89,9 @@ impl DetectionCore {
             self.forecasters[5].step(&snapshot.rs_sip_dip_verifier),
         ];
         phase_ns.forecast = started.elapsed().as_nanos() as u64;
-        if errors.iter().any(Option::is_none) {
+        let [Some(rs_sip_dport), Some(rs_sip_dport_verifier), Some(rs_dip_dport), Some(rs_dip_dport_verifier), Some(rs_sip_dip), Some(rs_sip_dip_verifier)] =
+            errors
+        else {
             // Warm-up interval: no forecast yet (paper eq. 1, t = 1).
             phase_ns.total = started.elapsed().as_nanos() as u64;
             return IntervalOutcome {
@@ -97,15 +99,14 @@ impl DetectionCore {
                 phase_ns,
                 ..IntervalOutcome::default()
             };
-        }
-        let mut it = errors.into_iter().map(Option::unwrap);
+        };
         let grids = ErrorGrids {
-            rs_sip_dport: it.next().expect("six error grids"),
-            rs_sip_dport_verifier: it.next().expect("six error grids"),
-            rs_dip_dport: it.next().expect("six error grids"),
-            rs_dip_dport_verifier: it.next().expect("six error grids"),
-            rs_sip_dip: it.next().expect("six error grids"),
-            rs_sip_dip_verifier: it.next().expect("six error grids"),
+            rs_sip_dport,
+            rs_sip_dport_verifier,
+            rs_dip_dport,
+            rs_dip_dport_verifier,
+            rs_sip_dip,
+            rs_sip_dip_verifier,
         };
 
         let forecast_error = vec![

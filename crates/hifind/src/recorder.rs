@@ -190,28 +190,20 @@ impl SketchRecorder {
     /// Ends the interval: returns the snapshot and clears the per-interval
     /// counters (the active-service filter is cumulative and persists).
     pub fn take_snapshot(&mut self) -> IntervalSnapshot {
+        // Paper configurations always attach verifiers; a verifier-less
+        // sketch contributes a minimal zero grid instead of aborting the
+        // data plane, keeping snapshots structurally complete either way.
+        fn verifier_grid(s: &ReversibleSketch) -> CounterGrid {
+            s.verifier()
+                .map_or_else(|| CounterGrid::new(1, 1), |v| v.grid().clone())
+        }
         let snap = IntervalSnapshot {
             rs_sip_dport: self.rs_sip_dport.grid().clone(),
-            rs_sip_dport_verifier: self
-                .rs_sip_dport
-                .verifier()
-                .expect("paper config has verifiers")
-                .grid()
-                .clone(),
+            rs_sip_dport_verifier: verifier_grid(&self.rs_sip_dport),
             rs_dip_dport: self.rs_dip_dport.grid().clone(),
-            rs_dip_dport_verifier: self
-                .rs_dip_dport
-                .verifier()
-                .expect("paper config has verifiers")
-                .grid()
-                .clone(),
+            rs_dip_dport_verifier: verifier_grid(&self.rs_dip_dport),
             rs_sip_dip: self.rs_sip_dip.grid().clone(),
-            rs_sip_dip_verifier: self
-                .rs_sip_dip
-                .verifier()
-                .expect("paper config has verifiers")
-                .grid()
-                .clone(),
+            rs_sip_dip_verifier: verifier_grid(&self.rs_sip_dip),
             os: self.os.grid().clone(),
             twod_sipdport_dip: self.twod_sipdport_dip.grid().clone(),
             twod_sipdip_dport: self.twod_sipdip_dport.grid().clone(),

@@ -211,11 +211,8 @@ mod tests {
         }
         let snap = registry.snapshot();
         let get = |name: &str| {
-            snap.metrics
-                .iter()
-                .find(|m| m.name == name)
+            snap.get(name)
                 .unwrap_or_else(|| panic!("metric {name} missing"))
-                .value
                 .clone()
         };
         assert_eq!(

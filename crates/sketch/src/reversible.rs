@@ -456,15 +456,15 @@ impl ReversibleSketch {
         let grid = CounterGrid::linear_combination(&grids)?;
         let verifier = match &first.verifier {
             Some(_) => {
-                let vs: Vec<(f64, &KarySketch)> = terms
-                    .iter()
-                    .map(|(c, s)| {
-                        (
-                            *c,
-                            s.verifier.as_ref().expect("same config implies verifier"),
-                        )
-                    })
-                    .collect();
+                let mut vs: Vec<(f64, &KarySketch)> = Vec::with_capacity(terms.len());
+                for (c, s) in terms {
+                    // Equal configs imply equal verifier presence; treat
+                    // any divergence as a mismatch, never a panic.
+                    let Some(v) = s.verifier.as_ref() else {
+                        return Err(SketchError::CombineMismatch);
+                    };
+                    vs.push((*c, v));
+                }
                 Some(KarySketch::combine(&vs)?)
             }
             None => None,

@@ -57,6 +57,7 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // relaxed-ok: independent monotone stripe; nothing orders against it
         self.stripe().fetch_add(n, Ordering::Relaxed);
     }
 
@@ -64,6 +65,7 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.stripes
             .iter()
+            // relaxed-ok: scrape-time sum; cross-stripe tearing is acceptable
             .map(|s| s.0.load(Ordering::Relaxed))
             .sum()
     }
@@ -92,17 +94,20 @@ impl Gauge {
     /// Overwrites the value.
     #[inline]
     pub fn set(&self, v: i64) {
+        // relaxed-ok: last-write-wins gauge; readers need no ordering
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adds `delta` (may be negative).
     #[inline]
     pub fn add(&self, delta: i64) {
+        // relaxed-ok: commutative delta on an isolated cell
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
+        // relaxed-ok: monitoring read; staleness is fine
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -132,6 +137,7 @@ pub struct Histogram {
 impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Histogram")
+            // relaxed-ok: debug formatting only
             .field("count", &self.count.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
@@ -166,10 +172,11 @@ impl Histogram {
             .upper_bounds
             .partition_point(|ub| value > *ub)
             .min(self.upper_bounds.len());
+        // relaxed-ok: independent monotone cells; scrapes tolerate skew
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed); // relaxed-ok: same as buckets
         let nanos = (value * 1e9).max(0.0) as u64;
-        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed); // relaxed-ok: same as buckets
     }
 
     /// Records a duration, in seconds.
@@ -185,9 +192,11 @@ impl Histogram {
             bucket_counts: self
                 .buckets
                 .iter()
+                // relaxed-ok: scrape may tear against writers (Prometheus allows it)
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
-            count: self.count.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed), // relaxed-ok: scrape read
+            // relaxed-ok: scrape read
             sum: self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9,
         }
     }

@@ -241,6 +241,15 @@ fn fmt_f64(v: f64) -> String {
 }
 
 impl RegistrySnapshot {
+    /// Looks up a metric's value by name (`None` when absent) — the
+    /// non-panicking primitive behind dashboards and assertions alike.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| &m.value)
+    }
+
     /// Renders the Prometheus text exposition format.
     pub fn to_prometheus_text(&self) -> String {
         use std::fmt::Write as _;

@@ -1,0 +1,163 @@
+//! The checked-in `lint.toml` allowlist.
+//!
+//! Inline `// lint: allow(...)` directives cover single lines; the
+//! allowlist covers exceptions that are structural (a whole generated
+//! file, a rule that cannot apply to one path). It is deliberately a
+//! checked-in file at the workspace root so every exception shows up in
+//! review and `git log lint.toml` is the audit trail.
+//!
+//! Only the needed TOML subset is parsed (the workspace builds offline
+//! with no TOML dependency): `[[allow]]` array-of-tables entries with
+//! string values, comments, and blank lines.
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "hot-path-panic"
+//! path = "crates/flow/src/generated.rs"
+//! pattern = "optional substring the flagged line must contain"
+//! reason = "why this exception is sound"
+//! ```
+
+use crate::rules::{Violation, RULE_IDS};
+
+/// One allowlist entry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry silences.
+    pub rule: String,
+    /// Workspace-relative path the entry applies to.
+    pub path: String,
+    /// Optional substring the flagged source line must contain; an empty
+    /// pattern matches any line in `path`.
+    pub pattern: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// The parsed allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A malformed `lint.toml`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowlistError {
+    /// 1-based line in `lint.toml` (0 for end-of-file problems).
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AllowlistError {}
+
+impl Allowlist {
+    /// Parses the `lint.toml` subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Self, AllowlistError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(done) = current.take() {
+                    entries.push(validated(done, lineno)?);
+                }
+                current = Some(AllowEntry::default());
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(AllowlistError {
+                    line: lineno,
+                    message: format!("unsupported section `{line}`; only `[[allow]]` is known"),
+                });
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(AllowlistError {
+                    line: lineno,
+                    message: format!("expected `key = \"value\"`, got `{line}`"),
+                });
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(AllowlistError {
+                    line: lineno,
+                    message: "key outside an `[[allow]]` entry".to_string(),
+                });
+            };
+            let value = unquote(value.trim()).ok_or_else(|| AllowlistError {
+                line: lineno,
+                message: format!("value for `{}` must be a double-quoted string", key.trim()),
+            })?;
+            match key.trim() {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "pattern" => entry.pattern = value,
+                "reason" => entry.reason = value,
+                other => {
+                    return Err(AllowlistError {
+                        line: lineno,
+                        message: format!(
+                            "unknown key `{other}` (known: rule, path, pattern, reason)"
+                        ),
+                    })
+                }
+            }
+        }
+        if let Some(done) = current.take() {
+            entries.push(validated(done, 0)?);
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// True when some entry covers this violation.
+    pub fn permits(&self, v: &Violation) -> bool {
+        self.entries.iter().any(|e| {
+            e.rule == v.rule
+                && e.path == v.path
+                && (e.pattern.is_empty() || v.snippet.contains(&e.pattern))
+        })
+    }
+}
+
+fn validated(entry: AllowEntry, line: usize) -> Result<AllowEntry, AllowlistError> {
+    if !RULE_IDS.contains(&entry.rule.as_str()) {
+        return Err(AllowlistError {
+            line,
+            message: format!("entry names unknown rule `{}`", entry.rule),
+        });
+    }
+    if entry.path.is_empty() {
+        return Err(AllowlistError {
+            line,
+            message: "entry is missing `path`".to_string(),
+        });
+    }
+    if entry.reason.trim().is_empty() {
+        return Err(AllowlistError {
+            line,
+            message: format!(
+                "entry for `{}` in `{}` has no reason; every exception must say why",
+                entry.rule, entry.path
+            ),
+        });
+    }
+    Ok(entry)
+}
+
+fn unquote(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    // No escape support needed for paths/reasons; reject embedded quotes
+    // so nothing silently truncates.
+    if inner.contains('"') {
+        return None;
+    }
+    Some(inner.to_string())
+}

@@ -1,0 +1,112 @@
+//! `cargo xtask <task>` entry point.
+
+use std::process::ExitCode;
+use xtask::rules::RULE_IDS;
+
+const USAGE: &str = "\
+cargo xtask <task>
+
+Tasks:
+  lint [--rule <id>]   run the static-analysis suite over the workspace
+                       (all rules by default; --rule filters to one)
+  lint --list          list the rules with one-line summaries
+
+See docs/STATIC_ANALYSIS.md for rule rationale and the suppression
+workflow (`// lint: allow(rule, reason)` inline, `lint.toml` for
+file-level exceptions).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown task `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut rule_filter: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in RULE_IDS {
+                    println!("{id:>16}  {}", rule_summary(id));
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--rule" => match iter.next() {
+                Some(id) if RULE_IDS.contains(&id.as_str()) => rule_filter = Some(id.clone()),
+                Some(id) => {
+                    eprintln!("unknown rule `{id}`; try `cargo xtask lint --list`");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--rule needs an argument; try `cargo xtask lint --list`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown lint option `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = xtask::workspace_root();
+    let report = match xtask::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shown: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| rule_filter.as_deref().is_none_or(|r| r == v.rule))
+        .collect();
+    for v in &shown {
+        println!("{v}\n");
+    }
+    if shown.is_empty() {
+        println!(
+            "xtask lint: clean — {} files scanned, {} allowlist entr{}",
+            report.files_scanned,
+            report.allow_entries,
+            if report.allow_entries == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} violation{} in {} files scanned \
+             (suppress a sound exception with `// lint: allow(rule, reason)` or lint.toml)",
+            shown.len(),
+            if shown.len() == 1 { "" } else { "s" },
+            report.files_scanned,
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn rule_summary(id: &str) -> &'static str {
+    match id {
+        "hot-path-panic" => "no unwrap/expect/panic!/unreachable! in hot-path library code",
+        "truncating-cast" => "no bare `as` integer casts in wire/codec boundary files",
+        "atomics-audit" => "every Ordering::Relaxed carries `// relaxed-ok: <reason>`",
+        "bounded-channels" => "no unbounded mpsc::channel in the collector",
+        "joined-threads" => "every thread::spawn handle is bound and joinable",
+        "lint-directive" => "malformed `lint: allow` directives are errors",
+        _ => "",
+    }
+}

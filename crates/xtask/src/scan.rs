@@ -1,0 +1,306 @@
+//! A line-oriented Rust source scanner for lint rules.
+//!
+//! This is not a parser. Rules match on *blanked* source text: string,
+//! byte-string, and char literal contents are replaced by spaces and all
+//! comments are stripped from the code view (their text is kept per line
+//! for directive parsing), so a pattern like `.unwrap()` can only match
+//! real code. A brace-depth pass then marks every line that lives inside
+//! a `#[cfg(test)]` item, because test code is exempt from most rules.
+//!
+//! The trade-off is deliberate: a hand-rolled scanner has zero
+//! dependencies (the vendored/offline policy of this workspace) and is
+//! fast enough to run on every build, at the price of being a token-level
+//! approximation. The unit tests in `rules.rs` pin down the corners that
+//! matter (strings, raw strings, lifetimes, nested test modules).
+
+/// One source line, pre-processed for rule matching.
+#[derive(Clone, Debug)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code with literal contents blanked and comments stripped.
+    pub code: String,
+    /// Concatenated text of `//` comments on this line (doc or not).
+    pub comment: String,
+    /// True when the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// The original line, for diagnostics.
+    pub raw: String,
+}
+
+/// A whole file, scanned.
+#[derive(Clone, Debug, Default)]
+pub struct ScannedFile {
+    pub lines: Vec<Line>,
+}
+
+impl ScannedFile {
+    /// The blanked code of every line joined with `\n` — for rules that
+    /// need to look across line boundaries (e.g. matching parentheses).
+    pub fn code_text(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(&l.code);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    ByteStr,
+    Char,
+}
+
+/// Scans `source` into blanked lines plus per-line comment text.
+pub fn scan(source: &str) -> ScannedFile {
+    let mut lines = Vec::new();
+    let mut mode = Mode::Code;
+    for (idx, raw) in source.lines().enumerate() {
+        let (code, comment, next_mode) = scan_line(raw, mode);
+        mode = next_mode;
+        lines.push(Line {
+            number: idx + 1,
+            code,
+            comment,
+            in_test: false,
+            raw: raw.to_string(),
+        });
+    }
+    mark_test_regions(&mut lines);
+    ScannedFile { lines }
+}
+
+/// Processes one physical line starting in `mode`; returns the blanked
+/// code, the comment text, and the mode the next line starts in.
+fn scan_line(raw: &str, mut mode: Mode) -> (String, String, Mode) {
+    let bytes: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match mode {
+            Mode::Code => match (c, next) {
+                ('/', Some('/')) => {
+                    comment.push_str(&raw[raw.char_indices().nth(i).map_or(0, |(b, _)| b)..]);
+                    mode = Mode::LineComment;
+                    i = bytes.len();
+                }
+                ('/', Some('*')) => {
+                    mode = Mode::BlockComment(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                }
+                ('"', _) => {
+                    code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                }
+                ('r', Some('"' | '#')) if !prev_is_ident(&bytes, i) => {
+                    // Possible raw string: r"..." or r#"..."#.
+                    let mut hashes = 0u8;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            code.push(' ');
+                        }
+                        code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                ('b', Some('"')) if !prev_is_ident(&bytes, i) => {
+                    code.push(' ');
+                    code.push('"');
+                    mode = Mode::ByteStr;
+                    i += 2;
+                }
+                ('\'', _) => {
+                    // Char literal vs lifetime: a literal is 'x' or an
+                    // escape; a lifetime is 'ident with no closing quote.
+                    if next == Some('\\') || (bytes.get(i + 2) == Some(&'\'')) {
+                        code.push('\'');
+                        mode = Mode::Char;
+                        i += 1;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+            Mode::LineComment => unreachable_line_comment(&mut i, &bytes),
+            Mode::BlockComment(depth) => match (c, next) {
+                ('*', Some('/')) => {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                }
+                ('/', Some('*')) => {
+                    mode = Mode::BlockComment(depth + 1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                }
+                _ => {
+                    code.push(' ');
+                    i += 1;
+                }
+            },
+            Mode::Str => match (c, next) {
+                ('\\', Some(_)) => {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                }
+                ('"', _) => {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                }
+                _ => {
+                    code.push(' ');
+                    i += 1;
+                }
+            },
+            Mode::ByteStr => match (c, next) {
+                ('\\', Some(_)) => {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                }
+                ('"', _) => {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                }
+                _ => {
+                    code.push(' ');
+                    i += 1;
+                }
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' && closing_hashes(&bytes, i + 1, hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Char => match (c, next) {
+                ('\\', Some(_)) => {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                }
+                ('\'', _) => {
+                    code.push('\'');
+                    mode = Mode::Code;
+                    i += 1;
+                }
+                _ => {
+                    code.push(' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    // Line comments and char literals never span lines; strings can.
+    let carry = match mode {
+        Mode::LineComment | Mode::Char => Mode::Code,
+        m => m,
+    };
+    (code, comment, carry)
+}
+
+/// `Mode::LineComment` is only entered mid-line and consumes the rest of
+/// the line at the entry site; reaching it per-char would be a scanner
+/// bug. Kept as a named helper so the state machine stays total.
+fn unreachable_line_comment(i: &mut usize, bytes: &[char]) {
+    *i = bytes.len();
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i.checked_sub(1)
+        .and_then(|p| bytes.get(p))
+        .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+}
+
+fn closing_hashes(bytes: &[char], from: usize, hashes: u8) -> bool {
+    (0..hashes as usize).all(|k| bytes.get(from + k) == Some(&'#'))
+}
+
+/// Marks every line inside a `#[cfg(test)]` item (attribute through the
+/// end of the item's brace block, or through the `;` of a `mod x;`).
+fn mark_test_regions(lines: &mut [Line]) {
+    // (depth the test item opened at) for each active region.
+    let mut depth: i64 = 0;
+    let mut test_close_depths: Vec<i64> = Vec::new();
+    // Set when `#[cfg(test)]` was seen and its item's `{` is pending.
+    let mut pending_attr = false;
+    for line in lines.iter_mut() {
+        let code = line.code.clone();
+        if code.contains("#[cfg(test)]") {
+            pending_attr = true;
+        }
+        let mut in_test_here = pending_attr || !test_close_depths.is_empty();
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_attr {
+                        // The test item's block opened; the region lasts
+                        // until depth drops back below this.
+                        test_close_depths.push(depth);
+                        pending_attr = false;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    while test_close_depths.last().is_some_and(|&d| depth < d) {
+                        test_close_depths.pop();
+                    }
+                }
+                ';' if pending_attr => {
+                    // `#[cfg(test)] mod tests;` — the region is the outline
+                    // module file, not anything here.
+                    pending_attr = false;
+                }
+                _ => {}
+            }
+            if pending_attr || !test_close_depths.is_empty() {
+                in_test_here = true;
+            }
+        }
+        line.in_test = in_test_here;
+    }
+}

@@ -1,0 +1,25 @@
+//! The workspace must stay lint-clean. When this fails, run
+//! `cargo xtask lint` for the same findings with fix guidance, and see
+//! docs/STATIC_ANALYSIS.md for the suppression workflow.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = xtask::workspace_root();
+    let report = xtask::lint_workspace(&root).expect("lint driver runs");
+    assert!(
+        report.violations.is_empty(),
+        "{} lint violation(s) — `cargo xtask lint` reproduces this:\n{}",
+        report.violations.len(),
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "only {} files scanned; the workspace walk looks broken",
+        report.files_scanned
+    );
+}
