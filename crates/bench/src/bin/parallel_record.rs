@@ -1,0 +1,209 @@
+//! Sharded vs. serial record-plane throughput, written to
+//! `results/BENCH_parallel_record.json`.
+//!
+//! Measures the serial [`SketchRecorder`] against [`ParallelRecorder`] at
+//! 1, 2, 4 and 8 workers on the same synthetic SYN/SYN-ACK mix (best-of
+//! interleaved passes, each including the interval-close drain/merge), and
+//! cross-checks that a sharded interval's merged snapshot is bit-identical
+//! to the serial one — exiting nonzero on any divergence, which is what
+//! the CI smoke step keys on.
+//!
+//! Run: `cargo run --release -p hifind-bench --bin parallel_record`
+//! (`-- --quick` shrinks the workload for CI smoke).
+//!
+//! Thread-parallel scaling only shows on multi-core hardware; the JSON
+//! records `machine_parallelism` so a single-core result (where sharding
+//! adds channel overhead and no concurrency) is not misread as a
+//! regression.
+
+use hifind::parallel::ParallelRecorder;
+use hifind::{HiFindConfig, SketchRecorder};
+use hifind_bench::harness::{section, write_json};
+use hifind_bench::overhead::synthetic_packets;
+use hifind_flow::Packet;
+use serde::Serialize;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Serial recording throughput measured at the commit before the sharded
+/// record plane and the single-pass hash plan landed (same machine, same
+/// workload: 500k packets, seed 6, `HiFindConfig::paper(9)`, best of 5).
+/// Kept in the JSON so `serial_speedup_vs_pre_pr` is meaningful without
+/// checking out the old commit.
+const PRE_PR_SERIAL_PPS: f64 = 1_188_384.86;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Clone, Debug, Serialize)]
+struct ParallelPoint {
+    workers: usize,
+    /// Best-of recording throughput, interval close included.
+    pps: f64,
+    /// Interval-close drain-and-merge wall time at the last pass.
+    merge_ms: f64,
+    /// `pps / serial_pps` of this run.
+    speedup_vs_serial: f64,
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct ParallelRecordReport {
+    packets: usize,
+    runs: usize,
+    quick: bool,
+    /// `std::thread::available_parallelism()` on the measuring machine —
+    /// with 1, worker threads time-slice one core and sharding can only
+    /// add overhead; the speedups below are machine-bound, not a property
+    /// of the implementation.
+    machine_parallelism: usize,
+    /// Serial throughput measured before this change landed (see
+    /// [`PRE_PR_SERIAL_PPS`]).
+    baseline_pre_pr_serial_pps: f64,
+    /// Serial [`SketchRecorder`] throughput, now (single-pass hash plan),
+    /// interval close included — the figure `speedup_vs_serial` divides by.
+    serial_pps: f64,
+    /// Serial throughput of the record loop alone, measured the way the
+    /// pre-change baseline was (no interval close).
+    serial_record_only_pps: f64,
+    /// `serial_record_only_pps / baseline_pre_pr_serial_pps`.
+    serial_speedup_vs_pre_pr: f64,
+    parallel: Vec<ParallelPoint>,
+    /// Whether the sharded/serial snapshot cross-check ran and matched.
+    divergence_checked: bool,
+}
+
+/// One timed serial pass; returns (pps with interval close, record-only
+/// pps — the protocol the pre-change baseline used).
+fn serial_pass(rec: &mut SketchRecorder, pkts: &[Packet]) -> (f64, f64) {
+    let start = Instant::now();
+    for p in pkts {
+        rec.record(std::hint::black_box(p));
+    }
+    let record_done = Instant::now();
+    let _ = rec.take_snapshot();
+    let end = Instant::now();
+    (
+        pkts.len() as f64 / (end - start).as_secs_f64(),
+        pkts.len() as f64 / (record_done - start).as_secs_f64(),
+    )
+}
+
+/// One timed parallel pass; returns (pps, merge wall ms).
+fn parallel_pass(rec: &mut ParallelRecorder, pkts: &[Packet]) -> (f64, f64) {
+    let start = Instant::now();
+    for p in pkts {
+        rec.record(std::hint::black_box(p));
+    }
+    let record_done = Instant::now();
+    rec.end_interval().expect("shard workers alive");
+    let end = Instant::now();
+    (
+        pkts.len() as f64 / (end - start).as_secs_f64(),
+        (end - record_done).as_secs_f64() * 1e3,
+    )
+}
+
+/// Serial and sharded snapshots must be bit-identical for the same
+/// packets; returns false (→ nonzero exit) on divergence.
+fn divergence_check(cfg: &HiFindConfig, pkts: &[Packet]) -> bool {
+    let mut serial = SketchRecorder::new(cfg).expect("paper config");
+    let mut sharded = ParallelRecorder::new(cfg, 3).expect("paper config");
+    for p in pkts {
+        serial.record(p);
+        sharded.record(p);
+    }
+    let merged = sharded.end_interval().expect("shard workers alive");
+    let expected = serial.take_snapshot();
+    let ok = merged == expected;
+    let _ = sharded.finish();
+    ok
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (packets, runs) = if quick { (100_000, 2) } else { (500_000, 5) };
+    let machine_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cfg = HiFindConfig::paper(9);
+    let pkts = synthetic_packets(packets, 6);
+
+    section("parallel record plane: serial vs sharded throughput");
+    println!("machine parallelism: {machine_parallelism} core(s)");
+
+    if !divergence_check(&cfg, &pkts[..packets.min(50_000)]) {
+        eprintln!("FAIL: sharded snapshot diverges from serial");
+        return ExitCode::FAILURE;
+    }
+    println!("divergence check: sharded == serial (bit-identical)");
+
+    // Long-lived recorders, one warm-up pass each, then interleaved
+    // best-of rounds so machine-wide drift hits every configuration.
+    let mut serial = SketchRecorder::new(&cfg).expect("paper config");
+    let mut sharded: Vec<ParallelRecorder> = WORKER_COUNTS
+        .iter()
+        .map(|&w| ParallelRecorder::new(&cfg, w).expect("paper config"))
+        .collect();
+    serial_pass(&mut serial, &pkts);
+    for rec in &mut sharded {
+        parallel_pass(rec, &pkts);
+    }
+
+    let mut serial_pps = 0.0f64;
+    let mut serial_record_only_pps = 0.0f64;
+    let mut best: Vec<(f64, f64)> = vec![(0.0, 0.0); WORKER_COUNTS.len()];
+    for _ in 0..runs {
+        let (with_close, record_only) = serial_pass(&mut serial, &pkts);
+        serial_pps = serial_pps.max(with_close);
+        serial_record_only_pps = serial_record_only_pps.max(record_only);
+        for (i, rec) in sharded.iter_mut().enumerate() {
+            let (pps, merge_ms) = parallel_pass(rec, &pkts);
+            if pps > best[i].0 {
+                best[i] = (pps, merge_ms);
+            }
+        }
+    }
+    for rec in sharded {
+        let _ = rec.finish();
+    }
+
+    println!(
+        "serial:      {:>7.2}M packets/s with interval close; record loop \
+         alone {:.2}M ({:+.1}% vs pre-change {:.2}M)",
+        serial_pps / 1e6,
+        serial_record_only_pps / 1e6,
+        (serial_record_only_pps / PRE_PR_SERIAL_PPS - 1.0) * 100.0,
+        PRE_PR_SERIAL_PPS / 1e6
+    );
+    let parallel: Vec<ParallelPoint> = WORKER_COUNTS
+        .iter()
+        .zip(&best)
+        .map(|(&workers, &(pps, merge_ms))| {
+            println!(
+                "{workers:>2} workers:  {:>7.2}M packets/s ({:.2}x serial, merge {merge_ms:.2} ms)",
+                pps / 1e6,
+                pps / serial_pps
+            );
+            ParallelPoint {
+                workers,
+                pps,
+                merge_ms,
+                speedup_vs_serial: pps / serial_pps,
+            }
+        })
+        .collect();
+
+    let report = ParallelRecordReport {
+        packets,
+        runs,
+        quick,
+        machine_parallelism,
+        baseline_pre_pr_serial_pps: PRE_PR_SERIAL_PPS,
+        serial_pps,
+        serial_record_only_pps,
+        serial_speedup_vs_pre_pr: serial_record_only_pps / PRE_PR_SERIAL_PPS,
+        parallel,
+        divergence_checked: true,
+    };
+    if !quick {
+        write_json("BENCH_parallel_record", &report);
+    }
+    ExitCode::SUCCESS
+}

@@ -28,6 +28,13 @@ fn main() {
             report.instrumented_pps / 1e6
         );
         println!("overhead:     {:>7.2}% (budget: 5%)", report.overhead_pct);
+        println!(
+            "parallel ({} workers): {:>7.2}M → {:>7.2}M packets/s, {:.2}% overhead",
+            report.parallel_workers,
+            report.parallel_baseline_pps / 1e6,
+            report.parallel_instrumented_pps / 1e6,
+            report.parallel_overhead_pct
+        );
     } else {
         println!("instrumented: not compiled (re-run with --features telemetry)");
     }

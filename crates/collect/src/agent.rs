@@ -15,7 +15,8 @@
 //!   missed intervals in order and realigns via the frame headers.
 
 use crate::wire;
-use hifind::{HiFindConfig, SketchRecorder};
+use hifind::parallel::{ParallelError, ParallelRecorder};
+use hifind::{HiFindConfig, IntervalSnapshot, SketchRecorder};
 use hifind_flow::Packet;
 use hifind_sketch::SketchError;
 use serde::Serialize;
@@ -110,11 +111,37 @@ impl std::fmt::Display for AgentError {
 
 impl std::error::Error for AgentError {}
 
+/// The agent's record plane: one recorder, or a sharded parallel plane
+/// whose merged snapshots are bit-identical to the serial recorder's.
+/// The serial recorder (~1 KB of inline sketch headers) is boxed so the
+/// enum stays small in the `RouterAgent`.
+enum RecordPlane {
+    Serial(Box<SketchRecorder>),
+    Sharded(ParallelRecorder),
+}
+
+impl RecordPlane {
+    #[inline]
+    fn record(&mut self, packet: &Packet) {
+        match self {
+            RecordPlane::Serial(r) => r.record(packet),
+            RecordPlane::Sharded(r) => r.record(packet),
+        }
+    }
+
+    fn take_snapshot(&mut self) -> Result<IntervalSnapshot, ParallelError> {
+        match self {
+            RecordPlane::Serial(r) => Ok(r.take_snapshot()),
+            RecordPlane::Sharded(r) => r.end_interval(),
+        }
+    }
+}
+
 /// A router agent: records packets, ships one frame per interval.
 pub struct RouterAgent {
     addr: String,
     cfg: AgentConfig,
-    recorder: SketchRecorder,
+    recorder: RecordPlane,
     interval: u64,
     backlog: VecDeque<Vec<u8>>,
     stream: Option<TcpStream>,
@@ -145,16 +172,45 @@ impl RouterAgent {
         hifind_cfg: &HiFindConfig,
         cfg: AgentConfig,
     ) -> Result<Self, SketchError> {
-        Ok(RouterAgent {
+        Ok(Self::with_plane(
+            addr,
+            cfg,
+            RecordPlane::Serial(Box::new(SketchRecorder::new(hifind_cfg)?)),
+        ))
+    }
+
+    /// Like [`RouterAgent::new`], but records through a sharded
+    /// [`ParallelRecorder`] with `workers` threads. Frames are
+    /// bit-identical to the serial agent's, so the collector cannot tell
+    /// the difference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recorder construction and thread-spawn errors.
+    pub fn new_parallel(
+        addr: impl Into<String>,
+        hifind_cfg: &HiFindConfig,
+        cfg: AgentConfig,
+        workers: usize,
+    ) -> Result<Self, ParallelError> {
+        Ok(Self::with_plane(
+            addr,
+            cfg,
+            RecordPlane::Sharded(ParallelRecorder::new(hifind_cfg, workers)?),
+        ))
+    }
+
+    fn with_plane(addr: impl Into<String>, cfg: AgentConfig, recorder: RecordPlane) -> Self {
+        RouterAgent {
             addr: addr.into(),
             cfg,
-            recorder: SketchRecorder::new(hifind_cfg)?,
+            recorder,
             interval: 0,
             backlog: VecDeque::new(),
             stream: None,
             connected_before: false,
             stats: AgentStats::default(),
-        })
+        }
     }
 
     /// Records one packet (the hot path; never touches the network).
@@ -166,13 +222,17 @@ impl RouterAgent {
     /// Ends the current interval: snapshots the recorder, frames the
     /// snapshot, enqueues it, and attempts a flush.
     pub fn end_interval(&mut self) -> ShipReport {
-        let snapshot = self.recorder.take_snapshot();
-        let frame = wire::encode_frame(self.cfg.router_id, self.interval, &snapshot);
+        let frame = match self.recorder.take_snapshot() {
+            Ok(s) => wire::encode_frame(self.cfg.router_id, self.interval, &s).ok(),
+            // A lost shard worker yields no merged snapshot; treated like
+            // an unframeable one below.
+            Err(_) => None,
+        };
         self.interval += 1;
         self.stats.frames_enqueued += 1;
         let mut dropped = 0;
         match frame {
-            Ok(frame) => {
+            Some(frame) => {
                 while self.backlog.len() >= self.cfg.max_backlog_frames.max(1) {
                     self.backlog.pop_front();
                     self.stats.frames_dropped += 1;
@@ -181,10 +241,10 @@ impl RouterAgent {
                 self.backlog.push_back(frame);
             }
             // An unframeable snapshot (payload beyond the u32 length
-            // field) is a config absurdity, not an attack surface; the
-            // interval is counted as dropped rather than aborting the
-            // data plane.
-            Err(_) => {
+            // field, a config absurdity) or a lost shard worker is not an
+            // attack surface; the interval is counted as dropped rather
+            // than aborting the data plane.
+            None => {
                 self.stats.frames_dropped += 1;
                 dropped += 1;
             }
@@ -297,10 +357,19 @@ impl RouterAgent {
         &self.stats
     }
 
-    /// Final flush, then closes the connection and returns the stats.
+    /// Final flush, then closes the connection, joins any shard workers,
+    /// and returns the stats.
     pub fn finish(mut self) -> AgentStats {
         self.flush();
         drop(self.stream.take());
-        self.stats
+        let RouterAgent {
+            recorder, stats, ..
+        } = self;
+        if let RecordPlane::Sharded(r) = recorder {
+            // A worker lost earlier already surfaced as a dropped frame;
+            // all that matters here is that every thread is joined.
+            let _ = r.finish();
+        }
+        stats
     }
 }

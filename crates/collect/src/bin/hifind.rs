@@ -8,7 +8,7 @@
 
 use hifind::mitigate::{plan, MitigationPolicy};
 use hifind::postprocess::correlate_block_scans;
-use hifind::{AlertKind, HiFind, HiFindConfig, Phase, RunReport};
+use hifind::{AlertKind, HiFind, HiFindConfig, Phase};
 use hifind_collect::{AgentConfig, Collector, CollectorConfig, RouterAgent};
 use hifind_flow::Trace;
 use hifind_trafficgen::{presets, split_per_packet};
@@ -22,12 +22,12 @@ USAGE:
     hifind generate --preset <nu|lbl|dos> [--scale F] [--seed N] --out FILE
     hifind info     --trace FILE [--metrics-json FILE]
     hifind detect   --trace FILE [--seed N] [--interval-secs N] [--threshold-per-sec F]
-                    [--phases] [--mitigate] [--stats] [--metrics-json FILE]
+                    [--workers N] [--phases] [--mitigate] [--stats] [--metrics-json FILE]
     hifind collect  --listen ADDR --routers N [--seed N] [--interval-secs N]
                     [--threshold-per-sec F] [--straggler-ms N] [--reorder-window N]
                     [--linger-ms N] [--metrics-json FILE]
     hifind agent    --connect ADDR --trace FILE [--router-id N] [--split I/N]
-                    [--seed N] [--interval-secs N]
+                    [--seed N] [--interval-secs N] [--workers N]
 
     Trace files ending in .csv use the human-readable CSV format
     (ts_ms,src,sport,dst,dport,kind,direction); anything else uses the
@@ -49,6 +49,10 @@ OPTIONS:
     --seed N             deterministic seed (default 2026)
     --interval-secs N    detection interval (default 60)
     --threshold-per-sec F  unresponded SYNs per second to alert on (default 1)
+    --workers N          record through N parallel shard threads instead of
+                         the serial recorder; the merged sketches (and so
+                         every alert) are bit-identical to serial
+                         (default 0 = serial)
     --phases             also print per-phase alert counts (Table 4 style)
     --mitigate           print the derived mitigation plan
     --stats              print the run telemetry summary (phase latencies,
@@ -213,30 +217,29 @@ fn detect(args: &Args) -> Result<(), String> {
     cfg.interval_ms = interval_secs.max(1) * 1000;
     cfg.threshold_per_sec = threshold;
     cfg.validate()?;
-    let interval_ms = cfg.interval_ms;
-    let saturation_threshold = cfg.interval_threshold();
+    let workers: usize = args.get_parsed("workers", 0)?;
     let mut ids = HiFind::new(cfg).map_err(|e| e.to_string())?;
 
     // Telemetry is collected whenever someone will consume it.
-    let mut report = (metrics_json.is_some() || args.has("stats")).then(RunReport::new);
-    if let Some(r) = &mut report {
-        r.sketch_memory_bytes = ids.recorder().memory_bytes();
-    }
-    for window in trace.intervals(interval_ms) {
-        for p in window.packets {
-            ids.record(p);
+    let want_report = metrics_json.is_some() || args.has("stats");
+    let (log, report) = match (workers, want_report) {
+        (0, false) => (ids.run_trace(&trace), None),
+        (0, true) => {
+            let (log, r) = ids.run_trace_with_report(&trace);
+            (log, Some(r))
         }
-        match &mut report {
-            Some(r) => {
-                let (outcome, snapshot) = ids.end_interval_with_snapshot();
-                r.record_interval(&outcome, &snapshot, saturation_threshold);
-            }
-            None => {
-                ids.end_interval();
-            }
+        (w, false) => (
+            ids.run_trace_parallel(&trace, w)
+                .map_err(|e| e.to_string())?,
+            None,
+        ),
+        (w, true) => {
+            let (log, r) = ids
+                .run_trace_parallel_with_report(&trace, w)
+                .map_err(|e| e.to_string())?;
+            (log, Some(r))
         }
-    }
-    let log = ids.log().clone();
+    };
 
     if args.has("phases") {
         println!("{:<18}{:>6}{:>10}{:>8}", "type", "raw", "after-2D", "final");
@@ -383,8 +386,14 @@ fn agent(args: &Args) -> Result<(), String> {
         }
         None => trace,
     };
-    let mut agent = RouterAgent::new(addr, &cfg, AgentConfig::new(router_id))
-        .map_err(|e| format!("cannot build recorder: {e}"))?;
+    let workers: usize = args.get_parsed("workers", 0)?;
+    let mut agent = if workers > 0 {
+        RouterAgent::new_parallel(addr, &cfg, AgentConfig::new(router_id), workers)
+            .map_err(|e| format!("cannot build recorder: {e}"))?
+    } else {
+        RouterAgent::new(addr, &cfg, AgentConfig::new(router_id))
+            .map_err(|e| format!("cannot build recorder: {e}"))?
+    };
     for window in trace.intervals(cfg.interval_ms) {
         for p in window.packets {
             agent.record(p);
@@ -432,6 +441,7 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hifind::RunReport;
 
     fn args(list: &[&str]) -> Args {
         Args::parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())

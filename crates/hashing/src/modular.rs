@@ -173,6 +173,20 @@ impl ModularHash {
     pub fn index_chunk(&self, bucket: usize, word_pos: u32) -> u16 {
         ((bucket >> (self.chunk_bits * word_pos)) & ((1 << self.chunk_bits) - 1)) as u16
     }
+
+    /// Bucket from the key's little-endian byte decomposition
+    /// (`key.to_le_bytes()`). Equals [`BucketHasher::bucket`] on the same
+    /// key; a reversible sketch decomposes the mangled key once and feeds
+    /// all of its stages from the shared bytes instead of re-extracting
+    /// them per stage.
+    #[inline]
+    pub fn bucket_of_bytes(&self, bytes: &[u8; 8]) -> usize {
+        let mut idx = 0usize;
+        for (j, table) in self.tables.iter().enumerate() {
+            idx |= (table[bytes[j] as usize] as usize) << (self.chunk_bits as usize * j);
+        }
+        idx
+    }
 }
 
 impl BucketHasher for ModularHash {
@@ -249,6 +263,27 @@ mod tests {
             let b = h.bucket(k);
             assert!(b < 1 << 12);
             assert_eq!(b, h2.bucket(k));
+        }
+    }
+
+    #[test]
+    fn bucket_of_bytes_matches_bucket() {
+        for (bits, m, seed) in [
+            (48u32, 1usize << 12, 10u64),
+            (64, 1 << 16, 11),
+            (16, 1 << 12, 12),
+        ] {
+            let h = mk(bits, m, seed);
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1 << bits) - 1
+            };
+            let mut rng = SplitMix64::new(seed ^ 0xABCD);
+            for _ in 0..200 {
+                let k = rng.next_u64() & mask;
+                assert_eq!(h.bucket_of_bytes(&k.to_le_bytes()), h.bucket(k));
+            }
         }
     }
 

@@ -51,21 +51,38 @@ impl PairwiseHasher {
     pub fn from_seed(seed: u64, num_buckets: usize) -> Self {
         PairwiseHasher::new(&mut SplitMix64::new(seed), num_buckets)
     }
-}
 
-impl BucketHasher for PairwiseHasher {
+    /// The seed-independent pre-mix applied to every key before the
+    /// multiply-shift: it spreads low-entropy keys (ports, small counters)
+    /// and is the same for *every* hasher, so callers updating several
+    /// sketches with one key can compute it once per packet and feed
+    /// [`Self::bucket_premixed`] instead of [`BucketHasher::bucket`].
     #[inline]
-    fn bucket(&self, key: u64) -> usize {
-        // Pre-mix so low-entropy keys (ports, small counters) spread.
+    #[must_use]
+    pub fn premix(key: u64) -> u64 {
         let mut k = key;
         k ^= k >> 33;
-        k = k.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-        let h = k.wrapping_mul(self.a).wrapping_add(self.b);
+        k.wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+    }
+
+    /// Bucket for a key whose [`Self::premix`] was already computed.
+    /// `h.bucket_premixed(PairwiseHasher::premix(k)) == h.bucket(k)` for
+    /// every key.
+    #[inline]
+    pub fn bucket_premixed(&self, premixed: u64) -> usize {
+        let h = premixed.wrapping_mul(self.a).wrapping_add(self.b);
         if self.shift >= 64 {
             0
         } else {
             (h >> self.shift) as usize
         }
+    }
+}
+
+impl BucketHasher for PairwiseHasher {
+    #[inline]
+    fn bucket(&self, key: u64) -> usize {
+        self.bucket_premixed(Self::premix(key))
     }
 
     #[inline]
@@ -119,6 +136,18 @@ mod tests {
         let max = *counts.iter().max().unwrap() as f64;
         let mean = n as f64 / m as f64;
         assert!(max < mean * 2.0, "max load {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn premixed_bucket_matches_plain_bucket() {
+        // The split premix/finish path must agree with bucket() exactly —
+        // the recorder's per-packet hash plan relies on it.
+        for seed in 0..8u64 {
+            let h = PairwiseHasher::from_seed(seed, 1 << (seed % 16 + 1));
+            for k in [0u64, 1, 80, 0xFFFF, 0x1234_5678_9ABC, u64::MAX] {
+                assert_eq!(h.bucket_premixed(PairwiseHasher::premix(k)), h.bucket(k));
+            }
+        }
     }
 
     #[test]

@@ -70,7 +70,9 @@ pub mod evaluate;
 pub mod fp_filter;
 pub mod metrics;
 pub mod mitigate;
+pub mod parallel;
 pub mod pipeline;
+pub mod plan;
 pub mod postprocess;
 pub mod recorder;
 pub mod report;
@@ -82,7 +84,9 @@ pub use aggregate::HiFindAggregator;
 pub use config::HiFindConfig;
 pub use evaluate::{evaluate, EvalSummary};
 pub use mitigate::{plan as mitigation_plan, Action, MitigationPolicy};
+pub use parallel::{ParallelError, ParallelRecorder};
 pub use pipeline::{HiFind, IntervalOutcome};
+pub use plan::HashPlan;
 pub use postprocess::{correlate_block_scans, BlockScanReport};
 pub use recorder::{IntervalSnapshot, SketchRecorder};
 pub use report::{Alert, AlertKind, AlertLog, Phase};

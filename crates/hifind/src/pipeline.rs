@@ -4,6 +4,7 @@ use crate::classify::{classify, ClassifiedDetections};
 use crate::config::HiFindConfig;
 use crate::detector::{Detector, ErrorGrids};
 use crate::fp_filter::FloodFpFilter;
+use crate::parallel::{ParallelError, ParallelRecorder};
 use crate::recorder::{IntervalSnapshot, SketchRecorder};
 use crate::report::{Alert, AlertLog, Phase};
 use crate::run_report::PhaseNanos;
@@ -317,6 +318,79 @@ impl HiFind {
             self.end_interval();
         }
         self.core.log().clone()
+    }
+
+    /// Like [`HiFind::run_trace`], but records each interval through a
+    /// sharded [`ParallelRecorder`] with `n_workers` worker threads.
+    ///
+    /// Sketch linearity makes the merged shard snapshots bit-identical to
+    /// the serial recorder's, so the returned [`AlertLog`] matches
+    /// [`HiFind::run_trace`] exactly; see `docs/PARALLEL_RECORD.md`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelError`] if the recorder cannot be built or a
+    /// worker thread dies mid-run; the detection core keeps whatever
+    /// intervals completed before the failure.
+    pub fn run_trace_parallel(
+        &mut self,
+        trace: &Trace,
+        n_workers: usize,
+    ) -> Result<AlertLog, ParallelError> {
+        self.run_trace_parallel_inner(trace, n_workers, None)
+            .map(|()| self.core.log().clone())
+    }
+
+    /// Like [`HiFind::run_trace_with_report`], on the parallel record
+    /// plane. See [`HiFind::run_trace_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelError`] on recorder build or worker failure.
+    pub fn run_trace_parallel_with_report(
+        &mut self,
+        trace: &Trace,
+        n_workers: usize,
+    ) -> Result<(AlertLog, crate::RunReport), ParallelError> {
+        let mut report = crate::RunReport::new();
+        report.sketch_memory_bytes = self.recorder.memory_bytes();
+        self.run_trace_parallel_inner(trace, n_workers, Some(&mut report))?;
+        Ok((self.core.log().clone(), report))
+    }
+
+    /// Shared driver for the parallel trace runners: shards every interval
+    /// across the workers, merges, and feeds the detection core.
+    fn run_trace_parallel_inner(
+        &mut self,
+        trace: &Trace,
+        n_workers: usize,
+        mut report: Option<&mut crate::RunReport>,
+    ) -> Result<(), ParallelError> {
+        let interval_ms = self.core.config().interval_ms;
+        let threshold = self.core.config().interval_threshold();
+        let mut recorder = ParallelRecorder::new(self.core.config(), n_workers)?;
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = &self.telemetry {
+            // Shard/merge gauges live in the same registry as the pipeline
+            // metrics; a name clash leaves the recorder uninstrumented but
+            // fully functional.
+            let _ = recorder.attach_telemetry(t.registry());
+        }
+        for window in trace.intervals(interval_ms) {
+            for p in window.packets {
+                recorder.record(p);
+            }
+            let snapshot = recorder.end_interval()?;
+            let outcome = self.core.process_snapshot(&snapshot);
+            if let Some(r) = report.as_deref_mut() {
+                r.record_interval(&outcome, &snapshot, threshold);
+            }
+            #[cfg(feature = "telemetry")]
+            if let Some(t) = &mut self.telemetry {
+                t.publish_interval(&outcome, &snapshot, threshold);
+            }
+        }
+        recorder.finish()
     }
 
     /// Like [`HiFind::run_trace`], but also builds the machine-readable

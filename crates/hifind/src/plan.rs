@@ -1,0 +1,136 @@
+//! The per-packet hash plan: single-pass key packing and pre-mixing.
+//!
+//! Six sketches consume every recorded SYN/SYN-ACK, and before this module
+//! each of them re-derived its hash inputs from scratch: the three packed
+//! keys were re-premixed by every pairwise consumer (three verifiers, the
+//! OS sketch and both 2D x-axes — up to 44 redundant pre-mix computations
+//! per packet), and each reversible sketch re-extracted the mangled key's
+//! bytes once per stage. A [`HashPlan`] hoists all of that shared work
+//! into one pass: pack the `{SIP,Dport}`, `{DIP,Dport}` and `{SIP,DIP}`
+//! keys once, compute each key's seed-independent
+//! [`PairwiseHasher::premix`] once (plus the two 2D y-keys), and feed
+//! every sketch's `update_premixed` entry point from the plan.
+//!
+//! What the plan deliberately does *not* share: mangled words (each
+//! reversible sketch manglees with its own secret seed, so the mangled key
+//! is private per sketch — its byte decomposition is hoisted inside
+//! `ReversibleSketch::update_premixed` instead) and the active-service
+//! Bloom digests (structurally different multiply-rotate hashing on a
+//! cold branch). Counter *memory* accesses are unchanged — the plan cuts
+//! redundant ALU hash work, not the paper's per-packet access budget.
+
+use hifind_flow::keys::{DipDport, SipDip, SipDport, SketchKey};
+use hifind_flow::{Oriented, Packet, SegmentKind};
+use hifind_hashing::PairwiseHasher;
+
+/// All hash inputs the record plane shares across its six sketches for one
+/// SYN or SYN/ACK, computed in a single pass over the packet's fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HashPlan {
+    /// `#SYN − #SYN/ACK` contribution (`+1` for SYN, `−1` for SYN/ACK).
+    pub value: i64,
+    /// `true` for a SYN (feeds the OS sketch and SYN counter), `false`
+    /// for a SYN/ACK (feeds the active-service filter).
+    pub is_syn: bool,
+    /// Packed `{SIP, Dport}` key.
+    pub sip_dport: u64,
+    /// Packed `{DIP, Dport}` key.
+    pub dip_dport: u64,
+    /// Packed `{SIP, DIP}` key.
+    pub sip_dip: u64,
+    /// [`PairwiseHasher::premix`] of [`HashPlan::sip_dport`] (verifier and
+    /// 2D x-axis input).
+    pub sip_dport_mix: u64,
+    /// [`PairwiseHasher::premix`] of [`HashPlan::dip_dport`] (verifier and
+    /// OS-sketch input).
+    pub dip_dport_mix: u64,
+    /// [`PairwiseHasher::premix`] of [`HashPlan::sip_dip`] (verifier and
+    /// 2D x-axis input).
+    pub sip_dip_mix: u64,
+    /// [`PairwiseHasher::premix`] of the DIP y-key for the
+    /// `{SIP,Dport} × DIP` 2D sketch.
+    pub dip_mix: u64,
+    /// [`PairwiseHasher::premix`] of the Dport y-key for the
+    /// `{SIP,DIP} × Dport` 2D sketch.
+    pub dport_mix: u64,
+}
+
+impl HashPlan {
+    /// Builds the plan for an oriented SYN or SYN/ACK segment.
+    ///
+    /// Callers must only pass [`SegmentKind::Syn`] / [`SegmentKind::SynAck`]
+    /// segments (other kinds never reach the sketches); the plan of any
+    /// other kind would carry `value == 0` and corrupt nothing, but the
+    /// recorder filters them out before planning.
+    #[inline]
+    #[must_use]
+    pub fn for_oriented(o: &Oriented) -> HashPlan {
+        let sip_dport = SipDport::new(o.client, o.server_port).to_u64();
+        let dip_dport = DipDport::new(o.server, o.server_port).to_u64();
+        let sip_dip = SipDip::new(o.client, o.server).to_u64();
+        HashPlan {
+            value: o.syn_minus_synack(),
+            is_syn: o.kind == SegmentKind::Syn,
+            sip_dport,
+            dip_dport,
+            sip_dip,
+            sip_dport_mix: PairwiseHasher::premix(sip_dport),
+            dip_dport_mix: PairwiseHasher::premix(dip_dport),
+            sip_dip_mix: PairwiseHasher::premix(sip_dip),
+            dip_mix: PairwiseHasher::premix(o.server.raw() as u64),
+            dport_mix: PairwiseHasher::premix(o.server_port as u64),
+        }
+    }
+
+    /// Builds the plan for a packet, or `None` if the packet is not a SYN
+    /// or SYN/ACK (FIN/RST bookkeeping stays in the recorder).
+    #[inline]
+    #[must_use]
+    pub fn for_packet(packet: &Packet) -> Option<HashPlan> {
+        let o = packet.orient()?;
+        match o.kind {
+            SegmentKind::Syn | SegmentKind::SynAck => Some(HashPlan::for_oriented(&o)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind_flow::{Ip4, Packet};
+
+    #[test]
+    fn plan_packs_keys_and_premixes_once() {
+        let c: Ip4 = [10, 0, 0, 7].into();
+        let s: Ip4 = [129, 105, 0, 1].into();
+        let p = Packet::syn(5, c, 4321, s, 80);
+        let plan = HashPlan::for_packet(&p).expect("SYN gets a plan");
+        assert_eq!(plan.value, 1);
+        assert!(plan.is_syn);
+        assert_eq!(plan.sip_dport, SipDport::new(c, 80).to_u64());
+        assert_eq!(plan.dip_dport, DipDport::new(s, 80).to_u64());
+        assert_eq!(plan.sip_dip, SipDip::new(c, s).to_u64());
+        assert_eq!(plan.sip_dport_mix, PairwiseHasher::premix(plan.sip_dport));
+        assert_eq!(plan.dip_dport_mix, PairwiseHasher::premix(plan.dip_dport));
+        assert_eq!(plan.sip_dip_mix, PairwiseHasher::premix(plan.sip_dip));
+        assert_eq!(plan.dip_mix, PairwiseHasher::premix(s.raw() as u64));
+        assert_eq!(plan.dport_mix, PairwiseHasher::premix(80));
+    }
+
+    #[test]
+    fn synack_plan_is_negative_and_not_syn() {
+        let p = Packet::syn_ack(5, [1, 2, 3, 4].into(), 999, [5, 6, 7, 8].into(), 443);
+        let plan = HashPlan::for_packet(&p).expect("SYN/ACK gets a plan");
+        assert_eq!(plan.value, -1);
+        assert!(!plan.is_syn);
+    }
+
+    #[test]
+    fn non_handshake_packets_get_no_plan() {
+        let c: Ip4 = [1, 2, 3, 4].into();
+        let s: Ip4 = [5, 6, 7, 8].into();
+        assert!(HashPlan::for_packet(&Packet::fin(0, c, 999, s, 80)).is_none());
+        assert!(HashPlan::for_packet(&Packet::rst(0, c, 999, s, 80)).is_none());
+    }
+}

@@ -1,7 +1,7 @@
 //! The per-packet data plane: six sketches plus the active-service filter.
 
 use crate::config::HiFindConfig;
-use hifind_flow::keys::{DipDport, SipDip, SipDport, SketchKey};
+use crate::plan::HashPlan;
 use hifind_flow::{Packet, SegmentKind};
 use hifind_hashing::BloomFilter;
 use hifind_sketch::{CounterGrid, KarySketch, ReversibleSketch, SketchError, TwoDSketch};
@@ -116,7 +116,9 @@ impl IntervalSnapshot {
 /// runs once per interval in the background. Per SYN or SYN/ACK it touches
 /// `3 × (6 + 6)` reversible-sketch counters, `6` k-ary counters and
 /// `2 × 5` 2D cells — constant work, independent of the number of flows,
-/// which is the DoS-resilience property (§3.5).
+/// which is the DoS-resilience property (§3.5). Hash inputs are computed
+/// once per packet into a [`HashPlan`] and shared by all six sketches,
+/// so the ALU work per packet is a single pass too.
 #[derive(Clone, Debug)]
 pub struct SketchRecorder {
     rs_sip_dport: ReversibleSketch,
@@ -160,29 +162,36 @@ impl SketchRecorder {
     pub fn record(&mut self, packet: &Packet) {
         let Some(o) = packet.orient() else { return };
         match o.kind {
-            SegmentKind::Syn | SegmentKind::SynAck => {}
-            SegmentKind::Fin | SegmentKind::Rst => {
-                self.fin_rst_count += 1;
-                return;
+            SegmentKind::Syn | SegmentKind::SynAck => {
+                self.record_plan(&HashPlan::for_oriented(&o));
             }
-            SegmentKind::Other => return,
+            SegmentKind::Fin | SegmentKind::Rst => self.fin_rst_count += 1,
+            SegmentKind::Other => {}
         }
-        let v = o.syn_minus_synack();
-        let sip_dport = SipDport::new(o.client, o.server_port).to_u64();
-        let dip_dport = DipDport::new(o.server, o.server_port).to_u64();
-        let sip_dip = SipDip::new(o.client, o.server).to_u64();
-        self.rs_sip_dport.update(sip_dport, v);
-        self.rs_dip_dport.update(dip_dport, v);
-        self.rs_sip_dip.update(sip_dip, v);
+    }
+
+    /// Applies one prepared [`HashPlan`]: the single-pass hot path. Keys
+    /// are packed and pre-mixed exactly once (in the plan) and every
+    /// sketch consumes the shared digests, instead of each of the six
+    /// re-deriving them.
+    #[inline]
+    pub fn record_plan(&mut self, plan: &HashPlan) {
+        let v = plan.value;
+        self.rs_sip_dport
+            .update_premixed(plan.sip_dport, plan.sip_dport_mix, v);
+        self.rs_dip_dport
+            .update_premixed(plan.dip_dport, plan.dip_dport_mix, v);
+        self.rs_sip_dip
+            .update_premixed(plan.sip_dip, plan.sip_dip_mix, v);
         self.twod_sipdport_dip
-            .update(sip_dport, o.server.raw() as u64, v);
+            .update_premixed(plan.sip_dport_mix, plan.dip_mix, v);
         self.twod_sipdip_dport
-            .update(sip_dip, o.server_port as u64, v);
-        if o.kind == SegmentKind::Syn {
-            self.os.update(dip_dport, 1);
+            .update_premixed(plan.sip_dip_mix, plan.dport_mix, v);
+        if plan.is_syn {
+            self.os.update_premixed(plan.dip_dport_mix, 1);
             self.syn_count += 1;
         } else {
-            self.active_services.insert(dip_dport);
+            self.active_services.insert(plan.dip_dport);
             self.syn_ack_count += 1;
         }
     }
@@ -257,6 +266,7 @@ impl SketchRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hifind_flow::keys::{DipDport, SketchKey};
     use hifind_flow::{Ip4, Packet};
 
     fn cfg() -> HiFindConfig {
@@ -391,6 +401,71 @@ mod tests {
                 got: cfg_b.fingerprint(),
             })
         );
+    }
+
+    #[test]
+    fn plan_driven_record_matches_per_sketch_updates() {
+        // Guards the hash-plan refactor against silent hash divergence:
+        // the recorder (single-pass plan) must produce bit-identical grids
+        // to six independently-driven sketches using the plain `update`
+        // entry points on the same keys.
+        use hifind_flow::keys::{SipDip, SipDport};
+        use hifind_flow::rng::SplitMix64;
+        use hifind_sketch::{KarySketch, ReversibleSketch, TwoDSketch};
+
+        let config = cfg();
+        let mut r = SketchRecorder::new(&config).unwrap();
+        let mut rs_sip_dport = ReversibleSketch::new(config.rs_sip_dport_config()).unwrap();
+        let mut rs_dip_dport = ReversibleSketch::new(config.rs_dip_dport_config()).unwrap();
+        let mut rs_sip_dip = ReversibleSketch::new(config.rs_sip_dip_config()).unwrap();
+        let mut os = KarySketch::new(config.os).unwrap();
+        let mut twod_a = TwoDSketch::new(config.twod_sipdport_dip_config()).unwrap();
+        let mut twod_b = TwoDSketch::new(config.twod_sipdip_dport_config()).unwrap();
+
+        let mut rng = SplitMix64::new(31);
+        for i in 0..3000u64 {
+            let c = Ip4::new(rng.next_u32());
+            let s = Ip4::new(0x8169_0000 | (rng.next_u32() & 0xFF));
+            let port = 1 + (rng.next_u32() & 0x3FF) as u16;
+            let p = if rng.chance(0.4) {
+                Packet::syn_ack(i, c, 999, s, port)
+            } else {
+                Packet::syn(i, c, 999, s, port)
+            };
+            r.record(&p);
+            let o = p.orient().unwrap();
+            let v = o.syn_minus_synack();
+            let sip_dport = SipDport::new(o.client, o.server_port).to_u64();
+            let dip_dport = DipDport::new(o.server, o.server_port).to_u64();
+            let sip_dip = SipDip::new(o.client, o.server).to_u64();
+            rs_sip_dport.update(sip_dport, v);
+            rs_dip_dport.update(dip_dport, v);
+            rs_sip_dip.update(sip_dip, v);
+            twod_a.update(sip_dport, o.server.raw() as u64, v);
+            twod_b.update(sip_dip, o.server_port as u64, v);
+            if o.kind == SegmentKind::Syn {
+                os.update(dip_dport, 1);
+            }
+        }
+        let snap = r.take_snapshot();
+        assert_eq!(&snap.rs_sip_dport, rs_sip_dport.grid());
+        assert_eq!(
+            Some(&snap.rs_sip_dport_verifier),
+            rs_sip_dport.verifier().map(|v| v.grid())
+        );
+        assert_eq!(&snap.rs_dip_dport, rs_dip_dport.grid());
+        assert_eq!(
+            Some(&snap.rs_dip_dport_verifier),
+            rs_dip_dport.verifier().map(|v| v.grid())
+        );
+        assert_eq!(&snap.rs_sip_dip, rs_sip_dip.grid());
+        assert_eq!(
+            Some(&snap.rs_sip_dip_verifier),
+            rs_sip_dip.verifier().map(|v| v.grid())
+        );
+        assert_eq!(&snap.os, os.grid());
+        assert_eq!(&snap.twod_sipdport_dip, twod_a.grid());
+        assert_eq!(&snap.twod_sipdip_dport, twod_b.grid());
     }
 
     #[test]

@@ -107,8 +107,17 @@ impl KarySketch {
     /// UPDATE: adds `delta` to the key's bucket in every stage.
     #[inline]
     pub fn update(&mut self, key: u64, delta: i64) {
+        self.update_premixed(PairwiseHasher::premix(key), delta);
+    }
+
+    /// UPDATE from a precomputed [`PairwiseHasher::premix`] of the key.
+    /// Identical to [`KarySketch::update`] on the premixed key; callers
+    /// updating several sketches per packet (the recorder's hash plan)
+    /// premix each key once and share it across all of them.
+    #[inline]
+    pub fn update_premixed(&mut self, premixed: u64, delta: i64) {
         for (stage, h) in self.hashers.iter().enumerate() {
-            self.grid.add(stage, h.bucket(key), delta);
+            self.grid.add(stage, h.bucket_premixed(premixed), delta);
         }
         self.total += delta;
     }
@@ -201,6 +210,12 @@ impl KarySketch {
     }
 
     /// Number of counter memory accesses per update (one per stage).
+    ///
+    /// This counts *counter* accesses only, which is what the paper's
+    /// per-packet budget measures. Sharing hash work across sketches (the
+    /// recorder's per-packet hash plan, [`KarySketch::update_premixed`])
+    /// removes redundant ALU work but touches exactly the same counters,
+    /// so this figure is identical on both update paths.
     pub fn accesses_per_update(&self) -> usize {
         self.config.stages
     }
@@ -333,6 +348,21 @@ mod tests {
         s.clear();
         assert_eq!(s.total(), 0);
         assert!(s.grid().is_zero());
+    }
+
+    #[test]
+    fn premixed_update_matches_plain_update() {
+        let mut plain = small();
+        let mut premixed = small();
+        let mut rng = SplitMix64::new(17);
+        for _ in 0..2000 {
+            let k = rng.next_u64();
+            let v = (rng.below(9) as i64) - 4;
+            plain.update(k, v);
+            premixed.update_premixed(PairwiseHasher::premix(k), v);
+        }
+        assert_eq!(premixed.grid(), plain.grid());
+        assert_eq!(premixed.total(), plain.total());
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::kary::{KaryConfig, KarySketch};
 use crate::{median_i64, SketchError};
 use hifind_flow::keys::SketchKey;
 use hifind_flow::rng::SplitMix64;
-use hifind_hashing::{BucketHasher, Mangler, ModularHash};
+use hifind_hashing::{BucketHasher, Mangler, ModularHash, PairwiseHasher};
 use serde::{Deserialize, Serialize};
 
 /// Configuration for a [`ReversibleSketch`].
@@ -226,12 +226,27 @@ impl ReversibleSketch {
     /// Debug-panics if `key` has bits above the configured width.
     #[inline]
     pub fn update(&mut self, key: u64, delta: i64) {
-        let mangled = self.mangler.mangle(key);
+        self.update_premixed(key, PairwiseHasher::premix(key), delta);
+    }
+
+    /// UPDATE with the key's [`PairwiseHasher::premix`] already computed
+    /// (it only feeds the verification sketch; the main grid hashes the
+    /// *mangled* key, which is private to this sketch's seed). The mangled
+    /// key's byte decomposition is computed once here and shared across
+    /// all modular stages. Identical counters to [`ReversibleSketch::update`].
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `key` has bits above the configured width.
+    #[inline]
+    pub fn update_premixed(&mut self, key: u64, premixed: u64, delta: i64) {
+        let mangled_bytes = self.mangler.mangle(key).to_le_bytes();
         for (stage, h) in self.hashes.iter().enumerate() {
-            self.grid.add(stage, h.bucket(mangled), delta);
+            self.grid
+                .add(stage, h.bucket_of_bytes(&mangled_bytes), delta);
         }
         if let Some(v) = &mut self.verifier {
-            v.update(key, delta);
+            v.update_premixed(premixed, delta);
         }
         self.total += delta;
     }
@@ -732,6 +747,31 @@ mod tests {
         let mut rs = ReversibleSketch::new(small_cfg(8)).unwrap();
         let key = SipDip::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into()); // 64-bit
         rs.update_key(&key, 1);
+    }
+
+    #[test]
+    fn premixed_update_matches_plain_update() {
+        // Main grid *and* verifier grid must be bit-identical across the
+        // two update paths for every verifier configuration.
+        for verifier_buckets in [Some(1 << 12), None] {
+            let mut cfg = small_cfg(71);
+            cfg.verifier_buckets = verifier_buckets;
+            let mut plain = ReversibleSketch::new(cfg).unwrap();
+            let mut premixed = ReversibleSketch::new(cfg).unwrap();
+            let mut rng = SplitMix64::new(72);
+            for _ in 0..2000 {
+                let k = rng.next_u64() & ((1 << 48) - 1);
+                let v = (rng.below(7) as i64) - 3;
+                plain.update(k, v);
+                premixed.update_premixed(k, PairwiseHasher::premix(k), v);
+            }
+            assert_eq!(premixed.grid(), plain.grid());
+            assert_eq!(
+                premixed.verifier().map(|v| v.grid()),
+                plain.verifier().map(|v| v.grid())
+            );
+            assert_eq!(premixed.total(), plain.total());
+        }
     }
 
     #[test]

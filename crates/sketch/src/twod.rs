@@ -124,9 +124,22 @@ impl TwoDSketch {
     /// access per matrix (paper §5.5.2: 5 accesses per packet).
     #[inline]
     pub fn update(&mut self, x_key: u64, y_key: u64, delta: i64) {
+        self.update_premixed(
+            PairwiseHasher::premix(x_key),
+            PairwiseHasher::premix(y_key),
+            delta,
+        );
+    }
+
+    /// UPDATE from precomputed [`PairwiseHasher::premix`] values of the x-
+    /// and y-keys. Identical to [`TwoDSketch::update`]; the recorder's
+    /// per-packet hash plan premixes each key once and shares it across
+    /// every sketch that consumes it.
+    #[inline]
+    pub fn update_premixed(&mut self, x_premixed: u64, y_premixed: u64, delta: i64) {
         for stage in 0..self.config.stages {
-            let x = self.x_hashers[stage].bucket(x_key);
-            let y = self.y_hashers[stage].bucket(y_key);
+            let x = self.x_hashers[stage].bucket_premixed(x_premixed);
+            let y = self.y_hashers[stage].bucket_premixed(y_premixed);
             self.grid.add(stage, x * self.config.y_buckets + y, delta);
         }
         self.total += delta;
@@ -454,6 +467,21 @@ mod tests {
             TwoDSketch::combine(&[(1.0, &a), (1.0, &b)]).unwrap_err(),
             SketchError::CombineMismatch
         );
+    }
+
+    #[test]
+    fn premixed_update_matches_plain_update() {
+        let mut plain = small();
+        let mut premixed = small();
+        let mut rng = SplitMix64::new(23);
+        for _ in 0..2000 {
+            let x = rng.next_u64();
+            let y = rng.below(65536);
+            plain.update(x, y, 1);
+            premixed.update_premixed(PairwiseHasher::premix(x), PairwiseHasher::premix(y), 1);
+        }
+        assert_eq!(premixed.grid(), plain.grid());
+        assert_eq!(premixed.total(), plain.total());
     }
 
     #[test]
