@@ -14,7 +14,9 @@
 //!   backlog survives in between — a restarted collector receives the
 //!   missed intervals in order and realigns via the frame headers.
 
+use crate::checkpoint::{self, AgentCheckpoint, CheckpointError};
 use crate::wire;
+use crate::CollectError;
 use hifind::parallel::{ParallelError, ParallelRecorder};
 use hifind::{HiFindConfig, IntervalSnapshot, SketchRecorder};
 use hifind_flow::Packet;
@@ -141,6 +143,7 @@ impl RecordPlane {
 pub struct RouterAgent {
     addr: String,
     cfg: AgentConfig,
+    fingerprint: u64,
     recorder: RecordPlane,
     interval: u64,
     backlog: VecDeque<Vec<u8>>,
@@ -175,6 +178,7 @@ impl RouterAgent {
         Ok(Self::with_plane(
             addr,
             cfg,
+            hifind_cfg.fingerprint(),
             RecordPlane::Serial(Box::new(SketchRecorder::new(hifind_cfg)?)),
         ))
     }
@@ -196,14 +200,21 @@ impl RouterAgent {
         Ok(Self::with_plane(
             addr,
             cfg,
+            hifind_cfg.fingerprint(),
             RecordPlane::Sharded(ParallelRecorder::new(hifind_cfg, workers)?),
         ))
     }
 
-    fn with_plane(addr: impl Into<String>, cfg: AgentConfig, recorder: RecordPlane) -> Self {
+    fn with_plane(
+        addr: impl Into<String>,
+        cfg: AgentConfig,
+        fingerprint: u64,
+        recorder: RecordPlane,
+    ) -> Self {
         RouterAgent {
             addr: addr.into(),
             cfg,
+            fingerprint,
             recorder,
             interval: 0,
             backlog: VecDeque::new(),
@@ -340,6 +351,91 @@ impl RouterAgent {
         Err(last_err.unwrap_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::NotFound, "address resolved to nothing")
         }))
+    }
+
+    /// Points the agent at a different collector address (e.g. a restarted
+    /// site on a new port). Any open connection is dropped; the backlog is
+    /// kept and ships to the new address on the next flush.
+    pub fn set_collector_addr(&mut self, addr: impl Into<String>) {
+        self.addr = addr.into();
+        self.stream = None;
+    }
+
+    /// Snapshots the agent's durable state: identity, interval counter,
+    /// and the still-unshipped backlog frames (verbatim, so a restarted
+    /// agent re-ships exactly what this one still owed the collector).
+    /// The in-progress interval's packet counters are *not* included —
+    /// they belong to the data plane, which a restart inherently loses.
+    pub fn checkpoint(&self) -> AgentCheckpoint {
+        AgentCheckpoint {
+            fingerprint: self.fingerprint,
+            router_id: self.cfg.router_id,
+            interval: self.interval,
+            backlog: self.backlog.iter().cloned().collect(),
+        }
+    }
+
+    /// Writes the agent checkpoint to `path` atomically.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces filesystem failures as [`CheckpointError::Io`].
+    pub fn save_checkpoint(&self, path: &std::path::Path) -> Result<(), CheckpointError> {
+        checkpoint::write_agent_checkpoint(path, &self.checkpoint())
+    }
+
+    /// Rebuilds an agent from a checkpoint: same router id, same interval
+    /// numbering, and the checkpointed backlog queued for shipping. The
+    /// record plane starts fresh (serial), under `hifind_cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a checkpoint whose fingerprint does not match `hifind_cfg`
+    /// or whose router id does not match `cfg.router_id`; propagates
+    /// recorder construction errors.
+    pub fn resume(
+        addr: impl Into<String>,
+        hifind_cfg: &HiFindConfig,
+        cfg: AgentConfig,
+        ckpt: &AgentCheckpoint,
+    ) -> Result<Self, CollectError> {
+        let expected = hifind_cfg.fingerprint();
+        if ckpt.fingerprint != expected {
+            return Err(CollectError::Checkpoint(
+                CheckpointError::FingerprintMismatch {
+                    expected,
+                    got: ckpt.fingerprint,
+                },
+            ));
+        }
+        if ckpt.router_id != cfg.router_id {
+            return Err(CollectError::Checkpoint(CheckpointError::Invalid {
+                at: "router_id",
+                detail: format!(
+                    "checkpoint is for router {}, agent configured as router {}",
+                    ckpt.router_id, cfg.router_id
+                ),
+            }));
+        }
+        let mut agent = RouterAgent::new(addr, hifind_cfg, cfg).map_err(CollectError::Sketch)?;
+        agent.interval = ckpt.interval;
+        agent.backlog = ckpt.backlog.iter().cloned().collect();
+        Ok(agent)
+    }
+
+    /// Like [`RouterAgent::resume`], reading the checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read, validation, and construction failures.
+    pub fn resume_from_file(
+        addr: impl Into<String>,
+        hifind_cfg: &HiFindConfig,
+        cfg: AgentConfig,
+        path: &std::path::Path,
+    ) -> Result<Self, CollectError> {
+        let ckpt = checkpoint::read_agent_checkpoint(path)?;
+        Self::resume(addr, hifind_cfg, cfg, &ckpt)
     }
 
     /// Frames waiting for a reachable collector.

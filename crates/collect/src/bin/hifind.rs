@@ -9,7 +9,7 @@
 use hifind::mitigate::{plan, MitigationPolicy};
 use hifind::postprocess::correlate_block_scans;
 use hifind::{AlertKind, HiFind, HiFindConfig, Phase};
-use hifind_collect::{AgentConfig, Collector, CollectorConfig, RouterAgent};
+use hifind_collect::{AgentConfig, CheckpointPolicy, Collector, CollectorConfig, RouterAgent};
 use hifind_flow::Trace;
 use hifind_trafficgen::{presets, split_per_packet};
 use std::process::ExitCode;
@@ -25,9 +25,11 @@ USAGE:
                     [--workers N] [--phases] [--mitigate] [--stats] [--metrics-json FILE]
     hifind collect  --listen ADDR --routers N [--seed N] [--interval-secs N]
                     [--threshold-per-sec F] [--straggler-ms N] [--reorder-window N]
-                    [--linger-ms N] [--metrics-json FILE]
+                    [--linger-ms N] [--checkpoint FILE] [--checkpoint-every N]
+                    [--resume FILE] [--metrics-json FILE]
     hifind agent    --connect ADDR --trace FILE [--router-id N] [--split I/N]
                     [--seed N] [--interval-secs N] [--workers N]
+                    [--checkpoint FILE] [--resume FILE]
 
     Trace files ending in .csv use the human-readable CSV format
     (ts_ms,src,sport,dst,dport,kind,direction); anything else uses the
@@ -66,6 +68,18 @@ OPTIONS:
                          detecting on quorum (default 2000)
     --reorder-window N   max intervals buffered out of order (default 8)
     --linger-ms N        reconnect grace once all routers left (default 400)
+    --checkpoint FILE    persist state to FILE: the collector writes its
+                         detection state every --checkpoint-every intervals
+                         (and at run end); an agent writes its shipping
+                         state (interval counter + unshipped backlog) when
+                         its replay ends
+    --checkpoint-every N collector checkpoint cadence in flushed intervals
+                         (default 8; 0 = only at run end)
+    --resume FILE        restore state from a checkpoint written by the
+                         same role under the same --seed; a restarted
+                         collector resumes its forecast baselines, streaks
+                         and alert log and produces the same final alerts
+                         as an uninterrupted run
     --connect ADDR       collector address an agent ships to
     --router-id N        this agent's id in frame headers (defaults to the
                          --split part index, else 0)
@@ -331,6 +345,14 @@ fn collect(args: &Args) -> Result<(), String> {
     ccfg.straggler_deadline = Duration::from_millis(args.get_parsed("straggler-ms", 2000u64)?);
     ccfg.reorder_window = args.get_parsed("reorder-window", 8u64)?;
     ccfg.linger = Duration::from_millis(args.get_parsed("linger-ms", 400u64)?);
+    if let Some(path) = args.get("checkpoint") {
+        let mut policy = CheckpointPolicy::new(path);
+        policy.every_intervals = args.get_parsed("checkpoint-every", 8u64)?;
+        ccfg.checkpoint = Some(policy);
+    }
+    if let Some(path) = args.get("resume") {
+        ccfg.resume_from = Some(path.into());
+    }
     let handle =
         Collector::bind(listen, cfg, ccfg, None).map_err(|e| format!("cannot start: {e}"))?;
     eprintln!(
@@ -354,6 +376,15 @@ fn collect(args: &Args) -> Result<(), String> {
         report.frames_rejected,
         report.routers_seen,
     );
+    if let Some(iv) = report.resumed_at_interval {
+        eprintln!("resumed from checkpoint at interval {iv}");
+    }
+    if report.checkpoints_written > 0 || report.checkpoint_errors > 0 {
+        eprintln!(
+            "{} checkpoint(s) written, {} write failure(s)",
+            report.checkpoints_written, report.checkpoint_errors
+        );
+    }
     if report.log.final_alerts().is_empty() {
         println!("no intrusions detected");
     } else {
@@ -387,7 +418,18 @@ fn agent(args: &Args) -> Result<(), String> {
         None => trace,
     };
     let workers: usize = args.get_parsed("workers", 0)?;
-    let mut agent = if workers > 0 {
+    let mut agent = if let Some(path) = args.get("resume") {
+        if workers > 0 {
+            return Err("--resume restores the serial record plane; drop --workers".into());
+        }
+        RouterAgent::resume_from_file(
+            addr,
+            &cfg,
+            AgentConfig::new(router_id),
+            std::path::Path::new(path),
+        )
+        .map_err(|e| format!("cannot resume agent: {e}"))?
+    } else if workers > 0 {
         RouterAgent::new_parallel(addr, &cfg, AgentConfig::new(router_id), workers)
             .map_err(|e| format!("cannot build recorder: {e}"))?
     } else {
@@ -406,6 +448,15 @@ fn agent(args: &Args) -> Result<(), String> {
                 shipped.queued
             );
         }
+    }
+    if let Some(path) = args.get("checkpoint") {
+        // Flush first so the checkpoint holds only what truly could not
+        // ship; whatever remains is re-shipped by a resumed agent.
+        agent.flush();
+        agent
+            .save_checkpoint(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write agent checkpoint: {e}"))?;
+        eprintln!("agent checkpoint written to {path}");
     }
     let stats = agent.finish();
     println!(

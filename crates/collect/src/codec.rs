@@ -75,11 +75,11 @@ fn u64_bits(u: u64) -> i64 {
     i64::from_le_bytes(u.to_le_bytes())
 }
 
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     i64_bits((v << 1) ^ (v >> 63))
 }
 
-fn unzigzag(u: u64) -> i64 {
+pub(crate) fn unzigzag(u: u64) -> i64 {
     u64_bits(u >> 1) ^ -u64_bits(u & 1)
 }
 
@@ -88,7 +88,7 @@ fn low_byte(v: u64) -> u8 {
     v.to_le_bytes()[0]
 }
 
-fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
     while v >= 0x80 {
         out.push(low_byte(v) | 0x80);
         v >>= 7;
@@ -96,18 +96,33 @@ fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
     out.push(low_byte(v));
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// A bounds-checked cursor over the payload.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn uvarint(&mut self, at: &'static str) -> Result<u64, CodecError> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub(crate) fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Advances past `n` bytes the caller already sliced out directly
+    /// (clamped to the buffer end).
+    pub(crate) fn skip(&mut self, n: usize) {
+        self.pos = self.pos.saturating_add(n).min(self.bytes.len());
+    }
+
+    pub(crate) fn uvarint(&mut self, at: &'static str) -> Result<u64, CodecError> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
@@ -126,11 +141,11 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn ivarint(&mut self, at: &'static str) -> Result<i64, CodecError> {
+    pub(crate) fn ivarint(&mut self, at: &'static str) -> Result<i64, CodecError> {
         Ok(unzigzag(self.uvarint(at)?))
     }
 
-    fn u64(&mut self, at: &'static str) -> Result<u64, CodecError> {
+    pub(crate) fn u64(&mut self, at: &'static str) -> Result<u64, CodecError> {
         let end = self.pos.checked_add(8).filter(|&e| e <= self.bytes.len());
         let Some(end) = end else {
             return Err(CodecError::Truncated { at });
@@ -141,7 +156,12 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(raw))
     }
 
-    fn counted(&mut self, at: &'static str, declared: u64, max: u64) -> Result<usize, CodecError> {
+    pub(crate) fn counted(
+        &mut self,
+        at: &'static str,
+        declared: u64,
+        max: u64,
+    ) -> Result<usize, CodecError> {
         if declared > max {
             return Err(CodecError::Oversized { at, declared, max });
         }
@@ -152,7 +172,7 @@ impl<'a> Reader<'a> {
 /// A length as the wire's `u64` count. Lengths of in-memory vectors
 /// always fit; saturating (instead of a bare cast) means a pathological
 /// value trips the decoder's sanity caps rather than truncating silently.
-fn len_u64(n: usize) -> u64 {
+pub(crate) fn len_u64(n: usize) -> u64 {
     u64::try_from(n).unwrap_or(u64::MAX)
 }
 

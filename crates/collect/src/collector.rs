@@ -26,24 +26,45 @@
 //! crashed router therefore costs observability of its traffic slice —
 //! never liveness of the pipeline.
 
+use crate::checkpoint;
 use crate::wire::{self, WireError, HEADER_LEN};
 use crate::CollectError;
 use hifind::pipeline::DetectionCore;
 use hifind::report::AlertLog;
-use hifind::{HiFindConfig, IntervalSnapshot, SketchRecorder};
+use hifind::{HiFindConfig, IntervalSnapshot};
 use hifind_telemetry::{exponential_buckets, Counter, Gauge, Histogram, Registry, TelemetryError};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// When and where the aligner persists its detection state.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file, overwritten atomically on every write.
+    pub path: PathBuf,
+    /// Write after every N flushed intervals (`0` = only at run end).
+    pub every_intervals: u64,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoints to `path` every 8 flushed intervals.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy {
+            path: path.into(),
+            every_intervals: 8,
+        }
+    }
+}
+
 /// Collection-site policy knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CollectorConfig {
     /// Routers expected to report each interval. Detection flushes early
     /// when all of them did; the deadline below covers the rest.
@@ -61,6 +82,14 @@ pub struct CollectorConfig {
     /// After every expected router has connected and all have
     /// disconnected, how long to wait for reconnects before finishing.
     pub linger: Duration,
+    /// Periodic detection-state checkpointing (plus one final write at run
+    /// end). Write failures are counted, never fatal.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Resume detection state from this checkpoint file at startup. A
+    /// missing, corrupt, or mis-fingerprinted file fails
+    /// [`Collector::bind`] with a typed error rather than silently
+    /// starting fresh.
+    pub resume_from: Option<PathBuf>,
 }
 
 impl CollectorConfig {
@@ -72,6 +101,8 @@ impl CollectorConfig {
             reorder_window: 8,
             max_payload_bytes: wire::DEFAULT_MAX_PAYLOAD,
             linger: Duration::from_millis(400),
+            checkpoint: None,
+            resume_from: None,
         }
     }
 }
@@ -100,6 +131,13 @@ pub struct CollectionReport {
     pub bytes_received: u64,
     /// Distinct router ids that contributed at least one valid frame.
     pub routers_seen: Vec<u32>,
+    /// Checkpoints successfully written this run.
+    pub checkpoints_written: u64,
+    /// Checkpoint writes that failed (the run continues regardless).
+    pub checkpoint_errors: u64,
+    /// Interval the run resumed at, when started with
+    /// [`CollectorConfig::resume_from`].
+    pub resumed_at_interval: Option<u64>,
     /// The full alert log of the aggregated detection run.
     pub log: AlertLog,
 }
@@ -113,6 +151,10 @@ struct CollectorTelemetry {
     straggler_slots: Arc<Counter>,
     bytes_received: Arc<Counter>,
     combine_seconds: Arc<Histogram>,
+    checkpoint_written: Arc<Counter>,
+    checkpoint_write_errors: Arc<Counter>,
+    checkpoint_resumed: Arc<Counter>,
+    checkpoint_last_interval: Arc<Gauge>,
 }
 
 impl CollectorTelemetry {
@@ -146,6 +188,22 @@ impl CollectorTelemetry {
                 "hifind_collect_combine_seconds",
                 "Latency of combining one router snapshot into its interval",
                 exponential_buckets(1e-6, 4.0, 11),
+            )?,
+            checkpoint_written: registry.counter(
+                "hifind_checkpoint_written_total",
+                "Detection-state checkpoints written successfully",
+            )?,
+            checkpoint_write_errors: registry.counter(
+                "hifind_checkpoint_write_errors_total",
+                "Detection-state checkpoint writes that failed",
+            )?,
+            checkpoint_resumed: registry.counter(
+                "hifind_checkpoint_resumed_total",
+                "Collector starts that resumed from a checkpoint",
+            )?,
+            checkpoint_last_interval: registry.gauge(
+                "hifind_checkpoint_last_interval",
+                "Interval count covered by the most recent checkpoint",
             )?,
         })
     }
@@ -369,8 +427,6 @@ struct Aligner {
     core: DetectionCore,
     cfg: CollectorConfig,
     fingerprint: u64,
-    /// All-zero snapshot cloned for gap intervals.
-    template: IntervalSnapshot,
     pending: BTreeMap<u64, Pending>,
     next_interval: u64,
     report: CollectionReport,
@@ -386,15 +442,27 @@ impl Aligner {
         collector_cfg: CollectorConfig,
         telemetry: Option<CollectorTelemetry>,
     ) -> Result<Self, CollectError> {
-        let template = SketchRecorder::new(&cfg)?.take_snapshot();
+        let mut report = CollectionReport::default();
+        let core = match &collector_cfg.resume_from {
+            Some(path) => {
+                let ckpt = checkpoint::read_core_checkpoint(path)?;
+                let core = DetectionCore::restore(cfg, &ckpt)?;
+                report.resumed_at_interval = Some(core.intervals_processed());
+                if let Some(t) = &telemetry {
+                    t.checkpoint_resumed.inc();
+                }
+                core
+            }
+            None => DetectionCore::new(cfg)?,
+        };
+        let next_interval = core.intervals_processed();
         Ok(Aligner {
             fingerprint: cfg.fingerprint(),
-            core: DetectionCore::new(cfg)?,
+            core,
             cfg: collector_cfg,
-            template,
             pending: BTreeMap::new(),
-            next_interval: 0,
-            report: CollectionReport::default(),
+            next_interval,
+            report,
             telemetry,
             live_connections: 0,
             ever_connected: 0,
@@ -421,7 +489,42 @@ impl Aligner {
             self.handle(event);
         }
         self.flush_ready(true);
+        // One final checkpoint so a clean shutdown is always resumable
+        // from its very last interval.
+        self.maybe_checkpoint(true);
         std::mem::take(&mut self.report)
+    }
+
+    /// Writes a checkpoint if the policy says one is due (`force` writes
+    /// whenever a policy exists). Failures are counted and logged; the
+    /// run always continues.
+    fn maybe_checkpoint(&mut self, force: bool) {
+        let Some(policy) = &self.cfg.checkpoint else {
+            return;
+        };
+        let due = force
+            || (policy.every_intervals > 0
+                && self.next_interval.is_multiple_of(policy.every_intervals));
+        if !due {
+            return;
+        }
+        match checkpoint::write_core_checkpoint(&policy.path, &self.core.checkpoint()) {
+            Ok(()) => {
+                self.report.checkpoints_written += 1;
+                if let Some(t) = &self.telemetry {
+                    t.checkpoint_written.inc();
+                    t.checkpoint_last_interval
+                        .set(i64::try_from(self.next_interval).unwrap_or(i64::MAX));
+                }
+            }
+            Err(e) => {
+                eprintln!("[hifind-collect] checkpoint write failed: {e}");
+                self.report.checkpoint_errors += 1;
+                if let Some(t) = &self.telemetry {
+                    t.checkpoint_write_errors.inc();
+                }
+            }
+        }
     }
 
     /// Natural end of a run: the full fleet connected at some point, all
@@ -579,12 +682,19 @@ impl Aligner {
                     if let Some(t) = &self.telemetry {
                         t.straggler_slots.add(self.cfg.expected_routers as u64);
                     }
-                    let gap = self.template.clone();
-                    self.core.process_snapshot(&gap);
+                    // No observation exists for this interval. Advancing
+                    // the interval counter without stepping the
+                    // forecasters keeps the EWMA baseline frozen at its
+                    // pre-outage value — synthesizing an all-zero
+                    // snapshot here would drag the forecast toward zero
+                    // and spike the error on the first real interval
+                    // after the outage (spurious alerts on resume).
+                    self.core.process_gap();
                 }
             }
             self.next_interval += 1;
             self.report.log = self.core.log().clone();
+            self.maybe_checkpoint(false);
         }
     }
 }

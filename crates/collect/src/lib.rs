@@ -23,18 +23,32 @@
 //!   interval's snapshot, and ships it with bounded retry, exponential
 //!   backoff, reconnection, and a bounded backlog that survives collector
 //!   restarts (oldest intervals are dropped first when it overflows).
+//! * [`checkpoint`] — versioned, CRC-checked durability for detection and
+//!   agent state: a restarted collection site resumes from its latest
+//!   checkpoint and produces the same final alerts as an uninterrupted
+//!   run.
+//! * [`faults`] — a seeded, deterministic fault-injection proxy (drop,
+//!   duplicate, reorder, delay, truncate, bit-flip, connection kill)
+//!   that sits between agents and the collector in tests, exercising the
+//!   quorum/gap degradation policies above.
 //!
 //! The `hifind` CLI binary (also hosted by this crate) exposes the two
 //! roles as `hifind collect` and `hifind agent`.
 
 pub mod agent;
+pub mod checkpoint;
 pub mod codec;
 pub mod collector;
+pub mod faults;
 pub mod wire;
 
 pub use agent::{AgentConfig, AgentError, AgentStats, RouterAgent, ShipReport};
+pub use checkpoint::{AgentCheckpoint, CheckpointError};
 pub use codec::CodecError;
-pub use collector::{CollectionReport, Collector, CollectorConfig, CollectorHandle};
+pub use collector::{
+    CheckpointPolicy, CollectionReport, Collector, CollectorConfig, CollectorHandle,
+};
+pub use faults::{FaultPlan, FaultProxy, FaultStats};
 pub use wire::{FrameHeader, WireError, HEADER_LEN, PROTOCOL_VERSION};
 
 /// Any failure in the collection subsystem.
@@ -48,6 +62,9 @@ pub enum CollectError {
     Sketch(hifind_sketch::SketchError),
     /// Metric registration clash.
     Telemetry(hifind_telemetry::TelemetryError),
+    /// A checkpoint could not be read at resume time (writing failures
+    /// during a run are counted, not fatal).
+    Checkpoint(CheckpointError),
     /// A collector worker thread died; the named thread's report is lost.
     WorkerPanic(&'static str),
 }
@@ -59,6 +76,7 @@ impl std::fmt::Display for CollectError {
             CollectError::Wire(e) => write!(f, "wire error: {e}"),
             CollectError::Sketch(e) => write!(f, "sketch error: {e}"),
             CollectError::Telemetry(e) => write!(f, "telemetry error: {e}"),
+            CollectError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             CollectError::WorkerPanic(thread) => write!(f, "collector {thread} thread panicked"),
         }
     }
@@ -87,5 +105,11 @@ impl From<hifind_sketch::SketchError> for CollectError {
 impl From<hifind_telemetry::TelemetryError> for CollectError {
     fn from(e: hifind_telemetry::TelemetryError) -> Self {
         CollectError::Telemetry(e)
+    }
+}
+
+impl From<CheckpointError> for CollectError {
+    fn from(e: CheckpointError) -> Self {
+        CollectError::Checkpoint(e)
     }
 }

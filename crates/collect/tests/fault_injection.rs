@@ -1,0 +1,402 @@
+//! Deterministic fault injection between agents and the collector.
+//!
+//! Every fault class the [`hifind_collect::faults`] proxy can inject —
+//! drop, duplicate, reorder, delay, truncate, bit-flip, connection kill —
+//! gets a scenario here, each asserting the paper's resilience posture:
+//! the collection site *degrades* (gaps, partial intervals, rejected
+//! frames, all counted in the report and telemetry) and never panics,
+//! stalls, or silently combines corrupt counters. Faults that preserve
+//! frame content (duplicate, reorder, delay) must additionally leave the
+//! final alerts identical to an undisturbed run.
+
+use hifind::report::Phase;
+use hifind::{HiFind, HiFindConfig};
+use hifind_collect::{AgentConfig, Collector, CollectorConfig, FaultPlan, FaultProxy, RouterAgent};
+use hifind_flow::{Ip4, Packet, Trace};
+use hifind_telemetry::registry::MetricValue;
+use hifind_telemetry::Registry;
+use std::time::Duration;
+
+type AlertIdentity = (
+    hifind::report::AlertKind,
+    Option<u32>,
+    Option<u32>,
+    Option<u16>,
+);
+
+fn alert_identities(log: &hifind::report::AlertLog, phase: Phase) -> Vec<AlertIdentity> {
+    let mut ids: Vec<_> = log.alerts(phase).iter().map(|a| a.identity()).collect();
+    ids.sort();
+    ids
+}
+
+fn counter(registry: &Registry, name: &str) -> u64 {
+    match registry
+        .snapshot()
+        .metrics
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+        .value
+    {
+        MetricValue::Counter { value } => value,
+        ref other => panic!("{name}: expected counter, got {other:?}"),
+    }
+}
+
+/// Five intervals of benign traffic with a SYN flood from interval 2 on.
+fn flood_trace(cfg: &HiFindConfig) -> Trace {
+    let mut t = Trace::new();
+    let victim: Ip4 = [129, 105, 0, 1].into();
+    for iv in 0..5u64 {
+        let b = iv * cfg.interval_ms;
+        for i in 0..30u32 {
+            let c: Ip4 = [9, 9, 9, (i % 100) as u8].into();
+            t.push(Packet::syn(b + u64::from(i) * 7, c, 4000, victim, 80));
+            t.push(Packet::syn_ack(
+                b + u64::from(i) * 7 + 1,
+                c,
+                4000,
+                victim,
+                80,
+            ));
+        }
+        if iv >= 2 {
+            for i in 0..400u32 {
+                t.push(Packet::syn(
+                    b + 300 + u64::from(i),
+                    Ip4::new(0x5100_0000 + i),
+                    2000,
+                    victim,
+                    80,
+                ));
+            }
+        }
+    }
+    t.sort_by_time();
+    t
+}
+
+/// `n` identical light benign intervals — cheap frames for the scenarios
+/// where only the transport (not detection content) is under test.
+fn steady_windows(n: usize) -> Vec<Vec<Packet>> {
+    (0..n)
+        .map(|_| {
+            let mut w = Vec::new();
+            for i in 0..40u32 {
+                let c: Ip4 = [9, 9, (i % 3) as u8, (i % 100) as u8].into();
+                let s: Ip4 = [129, 105, 0, (i % 5) as u8].into();
+                w.push(Packet::syn(u64::from(i), c, 4000 + i as u16, s, 80));
+                w.push(Packet::syn_ack(u64::from(i) + 1, c, 4000 + i as u16, s, 80));
+            }
+            w
+        })
+        .collect()
+}
+
+fn flood_windows(cfg: &HiFindConfig) -> Vec<Vec<Packet>> {
+    let trace = flood_trace(cfg);
+    let mut out = vec![Vec::new(); 5];
+    for p in trace.iter() {
+        out[(p.ts_ms / cfg.interval_ms) as usize].push(*p);
+    }
+    out
+}
+
+/// Everything one faulted run produced.
+struct FaultedRun {
+    report: hifind_collect::CollectionReport,
+    stats: hifind_collect::FaultStats,
+    registry: Registry,
+}
+
+/// Runs one agent shipping `windows` through a fault proxy with `plan`
+/// into a single-router collector; `deadline` tunes how fast missing
+/// frames degrade to gaps. The run itself is the no-panic assertion:
+/// both the collector's threads and the proxy's are joined and their
+/// typed reports returned.
+fn run_faulted(
+    cfg: HiFindConfig,
+    windows: &[Vec<Packet>],
+    plan: FaultPlan,
+    deadline: Duration,
+) -> FaultedRun {
+    let registry = Registry::new();
+    let mut ccfg = CollectorConfig::new(1);
+    ccfg.straggler_deadline = deadline;
+    ccfg.linger = Duration::from_millis(300);
+    let handle =
+        Collector::bind("127.0.0.1:0", cfg, ccfg, Some(registry.clone())).expect("bind loopback");
+    let proxy = FaultProxy::spawn(handle.local_addr(), plan, Some(&registry)).expect("spawn proxy");
+    let mut agent = RouterAgent::new(proxy.local_addr().to_string(), &cfg, AgentConfig::new(0))
+        .expect("agent config");
+    for window in windows {
+        for p in window {
+            agent.record(p);
+        }
+        agent.end_interval();
+    }
+    agent.finish();
+    let report = handle.wait().expect("collector never panics under faults");
+    let stats = proxy.stop().expect("proxy never panics");
+    FaultedRun {
+        report,
+        stats,
+        registry,
+    }
+}
+
+#[test]
+fn faithful_proxy_is_transparent() {
+    let cfg = HiFindConfig::small(2026);
+    let mut single = HiFind::new(cfg).expect("config");
+    let reference = single.run_trace(&flood_trace(&cfg));
+    let run = run_faulted(
+        cfg,
+        &flood_windows(&cfg),
+        FaultPlan::new(1),
+        Duration::from_secs(30),
+    );
+    assert_eq!(run.stats.frames_seen, 5);
+    assert_eq!(
+        run.stats.dropped + run.stats.duplicated + run.stats.reordered,
+        0
+    );
+    assert_eq!(run.report.complete_intervals, 5);
+    for phase in [Phase::Raw, Phase::AfterClassification, Phase::Final] {
+        assert_eq!(
+            alert_identities(&reference, phase),
+            alert_identities(&run.report.log, phase),
+            "a no-fault proxy must be invisible at phase {phase:?}"
+        );
+    }
+    assert!(
+        !alert_identities(&reference, Phase::Raw).is_empty(),
+        "the flood must trigger detection for the equivalences here to bite"
+    );
+}
+
+#[test]
+fn dropped_frames_become_counted_gaps() {
+    let cfg = HiFindConfig::small(3);
+    let mut plan = FaultPlan::new(0xD0);
+    plan.drop_ppm = 500_000;
+    let run = run_faulted(cfg, &steady_windows(12), plan, Duration::from_millis(200));
+    assert!(
+        run.stats.dropped > 0 && run.stats.dropped < run.stats.frames_seen,
+        "seed must exercise both paths: {:?}",
+        run.stats
+    );
+    // Every surviving frame is accepted; every dropped one degrades to a
+    // gap (or a never-proven trailing interval), never a stall or panic.
+    assert_eq!(
+        run.report.frames_received,
+        run.stats.frames_seen - run.stats.dropped
+    );
+    assert_eq!(run.report.complete_intervals, run.report.frames_received);
+    assert_eq!(
+        run.report.gap_intervals,
+        run.report.intervals_flushed - run.report.complete_intervals
+    );
+    assert_eq!(
+        counter(&run.registry, "hifind_collect_fault_dropped_total"),
+        run.stats.dropped
+    );
+}
+
+#[test]
+fn duplicated_frames_are_counted_late_and_detection_is_unchanged() {
+    let cfg = HiFindConfig::small(2026);
+    let mut single = HiFind::new(cfg).expect("config");
+    let reference = single.run_trace(&flood_trace(&cfg));
+    let mut plan = FaultPlan::new(0xD1);
+    plan.dup_ppm = 600_000;
+    let run = run_faulted(cfg, &flood_windows(&cfg), plan, Duration::from_secs(30));
+    assert!(run.stats.duplicated > 0, "{:?}", run.stats);
+    assert_eq!(run.report.frames_late, run.stats.duplicated);
+    assert_eq!(run.report.complete_intervals, 5);
+    for phase in [Phase::Raw, Phase::AfterClassification, Phase::Final] {
+        assert_eq!(
+            alert_identities(&reference, phase),
+            alert_identities(&run.report.log, phase),
+            "duplicates must be deduplicated, not double-combined (phase {phase:?})"
+        );
+    }
+    assert_eq!(
+        counter(&run.registry, "hifind_collect_fault_duplicated_total"),
+        run.stats.duplicated
+    );
+}
+
+#[test]
+fn reordered_frames_realign_inside_the_window() {
+    let cfg = HiFindConfig::small(2026);
+    let mut single = HiFind::new(cfg).expect("config");
+    let reference = single.run_trace(&flood_trace(&cfg));
+    let mut plan = FaultPlan::new(0xD2);
+    plan.reorder_ppm = 600_000;
+    let run = run_faulted(cfg, &flood_windows(&cfg), plan, Duration::from_secs(30));
+    assert!(run.stats.reordered > 0, "{:?}", run.stats);
+    assert_eq!(run.report.complete_intervals, 5);
+    for phase in [Phase::Raw, Phase::AfterClassification, Phase::Final] {
+        assert_eq!(
+            alert_identities(&reference, phase),
+            alert_identities(&run.report.log, phase),
+            "interval-indexed frames must realign after reordering (phase {phase:?})"
+        );
+    }
+    assert_eq!(
+        counter(&run.registry, "hifind_collect_fault_reordered_total"),
+        run.stats.reordered
+    );
+}
+
+#[test]
+fn delayed_frames_still_align() {
+    let cfg = HiFindConfig::small(2026);
+    let mut single = HiFind::new(cfg).expect("config");
+    let reference = single.run_trace(&flood_trace(&cfg));
+    let mut plan = FaultPlan::new(0xD3);
+    plan.delay_ppm = 600_000;
+    plan.delay = Duration::from_millis(30);
+    let run = run_faulted(cfg, &flood_windows(&cfg), plan, Duration::from_secs(30));
+    assert!(run.stats.delayed > 0, "{:?}", run.stats);
+    assert_eq!(run.report.complete_intervals, 5);
+    for phase in [Phase::Raw, Phase::AfterClassification, Phase::Final] {
+        assert_eq!(
+            alert_identities(&reference, phase),
+            alert_identities(&run.report.log, phase),
+            "delays inside the straggler deadline are invisible (phase {phase:?})"
+        );
+    }
+    assert_eq!(
+        counter(&run.registry, "hifind_collect_fault_delayed_total"),
+        run.stats.delayed
+    );
+}
+
+#[test]
+fn truncated_frames_tear_the_connection_not_the_collector() {
+    let cfg = HiFindConfig::small(5);
+    let mut plan = FaultPlan::new(0xD4);
+    plan.truncate_ppm = 300_000;
+    let run = run_faulted(cfg, &steady_windows(12), plan, Duration::from_millis(200));
+    assert!(run.stats.truncated > 0, "{:?}", run.stats);
+    assert!(
+        run.stats.conn_kills >= run.stats.truncated,
+        "truncation tears the connection: {:?}",
+        run.stats
+    );
+    // The half-written frame can never be combined: the collector sees a
+    // mid-frame hangup and discards the fragment.
+    assert!(run.report.frames_received < run.stats.frames_seen);
+    assert_eq!(
+        counter(&run.registry, "hifind_collect_fault_truncated_total"),
+        run.stats.truncated
+    );
+}
+
+#[test]
+fn bitflipped_frames_are_rejected_by_crc_not_combined() {
+    let cfg = HiFindConfig::small(7);
+    let mut plan = FaultPlan::new(0xD5);
+    plan.bitflip_ppm = 400_000;
+    let run = run_faulted(cfg, &steady_windows(12), plan, Duration::from_millis(200));
+    assert!(run.stats.bitflipped > 0, "{:?}", run.stats);
+    // Single-bit payload corruption is always caught by the frame CRC and
+    // surfaces as a typed rejection, never as poisoned counters.
+    assert_eq!(run.report.frames_rejected, run.stats.bitflipped);
+    assert_eq!(
+        run.report.frames_received,
+        run.stats.frames_seen - run.stats.bitflipped
+    );
+    assert_eq!(
+        counter(&run.registry, "hifind_collect_fault_bitflipped_total"),
+        run.stats.bitflipped
+    );
+    assert_eq!(
+        counter(&run.registry, "hifind_collect_frames_rejected_total"),
+        run.stats.bitflipped
+    );
+}
+
+#[test]
+fn connection_kills_force_reconnects_not_stalls() {
+    let cfg = HiFindConfig::small(11);
+    let mut plan = FaultPlan::new(0xD6);
+    plan.kill_conn_every_frames = 3;
+    let run = run_faulted(cfg, &steady_windows(12), plan, Duration::from_millis(300));
+    assert!(run.stats.conn_kills > 0, "{:?}", run.stats);
+    // The agent reconnects through the proxy and keeps shipping; frames
+    // buffered inside a killed connection may be lost, but the interval
+    // grid keeps advancing and the run terminates.
+    assert!(run.report.frames_received > 0);
+    assert_eq!(
+        run.report.gap_intervals,
+        run.report.intervals_flushed - run.report.complete_intervals
+    );
+    assert_eq!(
+        counter(&run.registry, "hifind_collect_fault_conn_kills_total"),
+        run.stats.conn_kills
+    );
+}
+
+/// All fault classes at once, across two seeds: the collector's only
+/// obligations under arbitrary transport chaos are to terminate, to keep
+/// every degradation counted, and to never accept a corrupt frame.
+#[test]
+fn chaos_mix_terminates_with_consistent_accounting() {
+    for seed in [31u64, 32] {
+        let cfg = HiFindConfig::small(13);
+        let mut plan = FaultPlan::new(seed);
+        plan.drop_ppm = 120_000;
+        plan.dup_ppm = 120_000;
+        plan.reorder_ppm = 120_000;
+        plan.delay_ppm = 120_000;
+        plan.delay = Duration::from_millis(10);
+        plan.truncate_ppm = 60_000;
+        plan.bitflip_ppm = 120_000;
+        plan.kill_conn_every_frames = 7;
+        let run = run_faulted(cfg, &steady_windows(12), plan, Duration::from_millis(200));
+        let s = run.stats;
+        assert!(
+            s.dropped
+                + s.duplicated
+                + s.reordered
+                + s.delayed
+                + s.truncated
+                + s.bitflipped
+                + s.conn_kills
+                > 0,
+            "chaos seed {seed} injected nothing: {s:?}"
+        );
+        // Telemetry and the proxy's own stats must tell the same story.
+        for (metric, value) in [
+            ("hifind_collect_fault_frames_total", s.frames_seen),
+            ("hifind_collect_fault_dropped_total", s.dropped),
+            ("hifind_collect_fault_duplicated_total", s.duplicated),
+            ("hifind_collect_fault_reordered_total", s.reordered),
+            ("hifind_collect_fault_delayed_total", s.delayed),
+            ("hifind_collect_fault_truncated_total", s.truncated),
+            ("hifind_collect_fault_bitflipped_total", s.bitflipped),
+            ("hifind_collect_fault_conn_kills_total", s.conn_kills),
+        ] {
+            assert_eq!(
+                counter(&run.registry, metric),
+                value,
+                "seed {seed}: {metric}"
+            );
+        }
+        // Accounting closes: every flushed interval is complete, partial,
+        // or an explicit gap; corrupt frames were rejected, not combined.
+        assert_eq!(
+            run.report.intervals_flushed,
+            run.report.complete_intervals + run.report.partial_intervals + run.report.gap_intervals,
+            "seed {seed}: {:?}",
+            run.report
+        );
+        // Every counted bit-flip was forwarded and rejected; a flipped
+        // frame that was *also* duplicated is rejected twice.
+        assert!(run.report.frames_rejected >= s.bitflipped, "seed {seed}");
+    }
+}

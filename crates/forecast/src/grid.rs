@@ -33,6 +33,23 @@ pub struct GridEwma {
     shape: Option<(usize, usize)>,
 }
 
+/// The full internal state of a [`GridEwma`], exposed so detection
+/// checkpoints can persist a forecaster mid-stream and restore it
+/// bit-exactly (`f64` state is preserved verbatim, so a restored model
+/// produces byte-identical error grids from the same future inputs).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GridEwmaState {
+    /// Smoothing factor α.
+    pub alpha: f64,
+    /// Last observed grid, flattened stage-major (`None` before warm-up).
+    pub prev_observed: Option<Vec<f64>>,
+    /// Last forecast grid, flattened stage-major (`None` until the second
+    /// interval).
+    pub prev_forecast: Option<Vec<f64>>,
+    /// Grid shape `(stages, buckets)` pinned by the first observation.
+    pub shape: Option<(usize, usize)>,
+}
+
 impl GridEwma {
     /// Creates an element-wise EWMA with smoothing factor `alpha ∈ [0, 1]`.
     ///
@@ -55,6 +72,62 @@ impl GridEwma {
     /// The smoothing factor.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// Snapshots the complete model state for checkpointing.
+    pub fn state(&self) -> GridEwmaState {
+        GridEwmaState {
+            alpha: self.alpha,
+            prev_observed: self.prev_observed.clone(),
+            prev_forecast: self.prev_forecast.clone(),
+            shape: self.shape,
+        }
+    }
+
+    /// Rebuilds a model from a [`GridEwmaState`] snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the state is internally
+    /// inconsistent: α outside `[0, 1]`, a state vector whose length does
+    /// not match the recorded shape, a forecast without an observation, or
+    /// a non-finite state element (all of which would poison every later
+    /// error grid).
+    pub fn from_state(state: GridEwmaState) -> Result<Self, String> {
+        if !state.alpha.is_finite() || !(0.0..=1.0).contains(&state.alpha) {
+            return Err(format!("alpha {} outside [0, 1]", state.alpha));
+        }
+        if state.prev_observed.is_some() != state.shape.is_some() {
+            return Err("observation history and shape must be set together".into());
+        }
+        if state.prev_forecast.is_some() && state.prev_observed.is_none() {
+            return Err("forecast state without an observed grid".into());
+        }
+        if let Some((stages, buckets)) = state.shape {
+            let cells = stages.checked_mul(buckets).ok_or("shape overflows")?;
+            for (name, vec) in [
+                ("prev_observed", &state.prev_observed),
+                ("prev_forecast", &state.prev_forecast),
+            ] {
+                if let Some(v) = vec {
+                    if v.len() != cells {
+                        return Err(format!(
+                            "{name} holds {} cells for a {stages}×{buckets} grid",
+                            v.len()
+                        ));
+                    }
+                    if v.iter().any(|x| !x.is_finite()) {
+                        return Err(format!("{name} contains a non-finite value"));
+                    }
+                }
+            }
+        }
+        Ok(GridEwma {
+            alpha: state.alpha,
+            prev_observed: state.prev_observed,
+            prev_forecast: state.prev_forecast,
+            shape: state.shape,
+        })
     }
 
     fn check_shape(&mut self, g: &CounterGrid) {

@@ -42,7 +42,7 @@ pub mod scalar;
 pub mod seasonal;
 pub mod stats;
 
-pub use grid::{GridEwma, GridForecaster, GridHolt};
+pub use grid::{GridEwma, GridEwmaState, GridForecaster, GridHolt};
 pub use scalar::{Ewma, Holt, ScalarForecaster};
 pub use seasonal::HoltWinters;
 pub use stats::ErrorStats;

@@ -29,6 +29,19 @@ pub struct FloodFpFilter {
     streaks: HashMap<(u32, u16), (u64, u32)>,
 }
 
+/// One in-flight persistence streak, as exported for checkpointing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FloodStreak {
+    /// Victim address (raw `u32`).
+    pub dip: u32,
+    /// Victim port.
+    pub dport: u16,
+    /// Last interval this candidate was flagged in.
+    pub last_interval: u64,
+    /// Consecutive flagged intervals ending at `last_interval`.
+    pub count: u32,
+}
+
 /// Phase-3 outcome for one interval.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FilteredFloodings {
@@ -38,6 +51,9 @@ pub struct FilteredFloodings {
     pub dropped_inactive: Vec<Alert>,
     /// Dropped: SYN/SYN-ACK ratio too low (server still answering).
     pub dropped_ratio: Vec<Alert>,
+    /// Dropped: candidate carried no victim endpoint, so neither heuristic
+    /// can examine it (a classifier bug upstream, not a ratio verdict).
+    pub dropped_unattributable: Vec<Alert>,
     /// Dropped (for now): not yet persistent — may confirm next interval.
     pub pending_persistence: Vec<Alert>,
 }
@@ -64,8 +80,9 @@ impl FloodFpFilter {
             let (Some(dip), Some(dport)) = (alert.dip, alert.dport) else {
                 // Flooding alerts always carry the victim endpoint; a
                 // candidate without one cannot be checked and is dropped
-                // conservatively.
-                out.dropped_ratio.push(*alert);
+                // conservatively — into its own bucket, so run reports
+                // don't mistake it for a ratio verdict.
+                out.dropped_unattributable.push(*alert);
                 continue;
             };
             let key = DipDport::new(dip, dport);
@@ -96,7 +113,12 @@ impl FloodFpFilter {
                 .entry((dip.raw(), dport))
                 .or_insert((interval, 0));
             let (last, count) = *entry;
-            let new_count = if interval == last || interval == last + 1 {
+            let new_count = if interval == last {
+                // Duplicate candidate in the same interval: the streak may
+                // advance at most once per interval (count == 0 marks a
+                // fresh entry that hasn't been counted yet).
+                count.max(1)
+            } else if interval == last + 1 {
                 count + 1
             } else {
                 1
@@ -114,6 +136,36 @@ impl FloodFpFilter {
     /// Number of candidate streaks currently tracked.
     pub fn tracked(&self) -> usize {
         self.streaks.len()
+    }
+
+    /// Exports every in-flight streak, sorted by `(dip, dport)` so two
+    /// filters with equal state export byte-identical lists (checkpoints
+    /// must be deterministic).
+    pub fn export_streaks(&self) -> Vec<FloodStreak> {
+        let mut out: Vec<FloodStreak> = self
+            .streaks
+            .iter()
+            .map(|(&(dip, dport), &(last_interval, count))| FloodStreak {
+                dip,
+                dport,
+                last_interval,
+                count,
+            })
+            .collect();
+        out.sort_unstable_by_key(|s| (s.dip, s.dport));
+        out
+    }
+
+    /// Rebuilds a filter from exported streaks. Later entries win on a
+    /// duplicate `(dip, dport)` identity.
+    pub fn from_streaks(streaks: impl IntoIterator<Item = FloodStreak>) -> Self {
+        let mut filter = FloodFpFilter::new();
+        for s in streaks {
+            filter
+                .streaks
+                .insert((s.dip, s.dport), (s.last_interval, s.count));
+        }
+        filter
     }
 }
 
@@ -239,6 +291,77 @@ mod tests {
             r5.confirmed.is_empty(),
             "non-consecutive bursts must not confirm: {r5:?}"
         );
+    }
+
+    #[test]
+    fn duplicate_candidates_in_one_interval_count_once() {
+        // Regression: a noisy interval that lists the same (dip, dport)
+        // twice used to bump the streak per duplicate, confirming a flood
+        // before flood_persist_intervals distinct intervals elapsed.
+        let cfg = HiFindConfig::small(36);
+        assert!(cfg.flood_persist_intervals >= 2);
+        let mut rec = SketchRecorder::new(&cfg).unwrap();
+        let det = Detector::new(&cfg).unwrap();
+        let mut filter = FloodFpFilter::new();
+        let victim: Ip4 = [129, 105, 0, 6].into();
+        let warm = flooded_snapshot(&cfg, &mut rec, victim, 80, 0, 20);
+        filter.filter(&det, &warm, 0, &[]);
+        let snap = flooded_snapshot(&cfg, &mut rec, victim, 80, 400, 2);
+        let dupes = vec![flood_alert(victim, 80, 1); cfg.flood_persist_intervals as usize + 2];
+        let r1 = filter.filter(&det, &snap, 1, &dupes);
+        assert!(
+            r1.confirmed.is_empty(),
+            "duplicates in one interval must not satisfy persistence: {r1:?}"
+        );
+        assert_eq!(r1.pending_persistence.len(), dupes.len());
+        // The streak still advances normally across real intervals.
+        let snap2 = flooded_snapshot(&cfg, &mut rec, victim, 80, 400, 2);
+        let r2 = filter.filter(&det, &snap2, 2, &[flood_alert(victim, 80, 2)]);
+        assert_eq!(r2.confirmed.len(), 1, "{r2:?}");
+    }
+
+    #[test]
+    fn unattributable_candidate_gets_its_own_bucket() {
+        // Regression: candidates without a victim endpoint were misfiled
+        // into dropped_ratio, inflating the ratio-drop count.
+        let cfg = HiFindConfig::small(37);
+        let mut rec = SketchRecorder::new(&cfg).unwrap();
+        let det = Detector::new(&cfg).unwrap();
+        let mut filter = FloodFpFilter::new();
+        let snap = rec.take_snapshot();
+        let mut bare = flood_alert([10, 0, 0, 1].into(), 80, 0);
+        bare.dip = None;
+        bare.dport = None;
+        let r = filter.filter(&det, &snap, 0, &[bare]);
+        assert_eq!(r.dropped_unattributable.len(), 1);
+        assert!(r.dropped_ratio.is_empty(), "{r:?}");
+        assert_eq!(filter.tracked(), 0);
+    }
+
+    #[test]
+    fn streak_export_restore_round_trip() {
+        // A restored filter must resume in-flight streaks exactly: one
+        // more flagged interval confirms, same as without the restart.
+        let cfg = HiFindConfig::small(38);
+        let mut rec = SketchRecorder::new(&cfg).unwrap();
+        let det = Detector::new(&cfg).unwrap();
+        let mut filter = FloodFpFilter::new();
+        let victim: Ip4 = [129, 105, 0, 8].into();
+        let warm = flooded_snapshot(&cfg, &mut rec, victim, 80, 0, 20);
+        filter.filter(&det, &warm, 0, &[]);
+        let snap1 = flooded_snapshot(&cfg, &mut rec, victim, 80, 400, 2);
+        let r1 = filter.filter(&det, &snap1, 1, &[flood_alert(victim, 80, 1)]);
+        assert!(r1.confirmed.is_empty());
+
+        let exported = filter.export_streaks();
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].count, 1);
+        let mut restored = FloodFpFilter::from_streaks(exported.clone());
+        assert_eq!(restored.export_streaks(), exported);
+
+        let snap2 = flooded_snapshot(&cfg, &mut rec, victim, 80, 400, 2);
+        let r2 = restored.filter(&det, &snap2, 2, &[flood_alert(victim, 80, 2)]);
+        assert_eq!(r2.confirmed.len(), 1, "{r2:?}");
     }
 
     #[test]

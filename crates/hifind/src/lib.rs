@@ -85,7 +85,7 @@ pub use config::HiFindConfig;
 pub use evaluate::{evaluate, EvalSummary};
 pub use mitigate::{plan as mitigation_plan, Action, MitigationPolicy};
 pub use parallel::{ParallelError, ParallelRecorder};
-pub use pipeline::{HiFind, IntervalOutcome};
+pub use pipeline::{CoreCheckpoint, DetectionCore, HiFind, IntervalOutcome};
 pub use plan::HashPlan;
 pub use postprocess::{correlate_block_scans, BlockScanReport};
 pub use recorder::{IntervalSnapshot, SketchRecorder};

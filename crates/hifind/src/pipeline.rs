@@ -3,14 +3,15 @@
 use crate::classify::{classify, ClassifiedDetections};
 use crate::config::HiFindConfig;
 use crate::detector::{Detector, ErrorGrids};
-use crate::fp_filter::FloodFpFilter;
+use crate::fp_filter::{FloodFpFilter, FloodStreak};
 use crate::parallel::{ParallelError, ParallelRecorder};
 use crate::recorder::{IntervalSnapshot, SketchRecorder};
 use crate::report::{Alert, AlertLog, Phase};
 use crate::run_report::PhaseNanos;
 use hifind_flow::Trace;
-use hifind_forecast::{ErrorStats, GridEwma, GridForecaster};
+use hifind_forecast::{ErrorStats, GridEwma, GridEwmaState, GridForecaster};
 use hifind_sketch::SketchError;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// The interval-level detection engine: forecasting, three-step detection,
@@ -168,6 +169,22 @@ impl DetectionCore {
         }
     }
 
+    /// Skips one interval for which no observation exists (a collection
+    /// outage): the interval number advances so persistence streaks and
+    /// alert timestamps stay aligned with wall-clock intervals, but the
+    /// forecasters are **not** stepped — the EWMA baseline freezes at its
+    /// pre-outage value instead of being dragged toward zero by synthetic
+    /// empty snapshots, so the first real interval after the gap is judged
+    /// against the last trusted forecast and raises no spurious alert.
+    pub fn process_gap(&mut self) -> IntervalOutcome {
+        let interval = self.interval;
+        self.interval += 1;
+        IntervalOutcome {
+            interval,
+            ..IntervalOutcome::default()
+        }
+    }
+
     /// The deduplicated alert log across all processed intervals.
     pub fn log(&self) -> &AlertLog {
         &self.log
@@ -177,6 +194,92 @@ impl DetectionCore {
     pub fn intervals_processed(&self) -> u64 {
         self.interval
     }
+
+    /// Snapshots every piece of cross-interval detection state into a
+    /// serializable [`CoreCheckpoint`]. Restoring it with
+    /// [`DetectionCore::restore`] under the same configuration resumes the
+    /// run exactly: identical future inputs yield identical alerts.
+    pub fn checkpoint(&self) -> CoreCheckpoint {
+        CoreCheckpoint {
+            fingerprint: self.config().fingerprint(),
+            interval: self.interval,
+            forecasters: self.forecasters.iter().map(GridEwma::state).collect(),
+            streaks: self.flood_filter.export_streaks(),
+            raw_alerts: self.log.alerts(Phase::Raw).to_vec(),
+            classified_alerts: self.log.alerts(Phase::AfterClassification).to_vec(),
+            final_alerts: self.log.alerts(Phase::Final).to_vec(),
+        }
+    }
+
+    /// Rebuilds a core from a checkpoint taken under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::FingerprintMismatch`] when the checkpoint
+    /// was taken under a different record-plane configuration (its
+    /// forecasts and streaks would be meaningless against sketches of
+    /// another shape/seed), and [`SketchError::BadConfig`] when the
+    /// checkpoint's internal state is inconsistent (wrong forecaster
+    /// count, malformed EWMA state).
+    pub fn restore(cfg: HiFindConfig, ckpt: &CoreCheckpoint) -> Result<Self, SketchError> {
+        let expected = cfg.fingerprint();
+        if ckpt.fingerprint != expected {
+            return Err(SketchError::FingerprintMismatch {
+                expected,
+                got: ckpt.fingerprint,
+            });
+        }
+        let mut core = DetectionCore::new(cfg)?;
+        if ckpt.forecasters.len() != core.forecasters.len() {
+            return Err(SketchError::BadConfig(format!(
+                "checkpoint holds {} forecaster states, the core needs {}",
+                ckpt.forecasters.len(),
+                core.forecasters.len()
+            )));
+        }
+        for (slot, state) in core.forecasters.iter_mut().zip(&ckpt.forecasters) {
+            *slot = GridEwma::from_state(state.clone()).map_err(SketchError::BadConfig)?;
+        }
+        core.flood_filter = FloodFpFilter::from_streaks(ckpt.streaks.iter().copied());
+        // Replaying through record() rebuilds the dedup indexes the log's
+        // serialized form skips; checkpointed lists are already unique per
+        // identity, so each replayed alert lands verbatim and in order.
+        for a in &ckpt.raw_alerts {
+            core.log.record(Phase::Raw, *a);
+        }
+        for a in &ckpt.classified_alerts {
+            core.log.record(Phase::AfterClassification, *a);
+        }
+        for a in &ckpt.final_alerts {
+            core.log.record(Phase::Final, *a);
+        }
+        core.interval = ckpt.interval;
+        Ok(core)
+    }
+}
+
+/// Everything a [`DetectionCore`] carries across intervals, in a
+/// serializable form. Produced by [`DetectionCore::checkpoint`], consumed
+/// by [`DetectionCore::restore`]; `crates/collect` wraps it in a
+/// versioned, CRC-checked container for on-disk durability.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoreCheckpoint {
+    /// Record-plane fingerprint of the configuration the state was built
+    /// under ([`HiFindConfig::fingerprint`]); restore refuses a mismatch.
+    pub fingerprint: u64,
+    /// Intervals processed when the checkpoint was taken.
+    pub interval: u64,
+    /// State of the six reversible-sketch grid forecasters, in
+    /// [`DetectionCore::process_snapshot`] order.
+    pub forecasters: Vec<GridEwmaState>,
+    /// In-flight flooding persistence streaks, sorted by identity.
+    pub streaks: Vec<FloodStreak>,
+    /// Deduplicated phase-1 alerts.
+    pub raw_alerts: Vec<Alert>,
+    /// Deduplicated phase-2 alerts.
+    pub classified_alerts: Vec<Alert>,
+    /// Deduplicated phase-3 (final) alerts.
+    pub final_alerts: Vec<Alert>,
 }
 
 /// The complete single-router HiFIND system: recorder + detection engine.
@@ -598,5 +701,104 @@ mod tests {
             core.process_snapshot(&snap);
         }
         assert_eq!(core.intervals_processed(), 3);
+    }
+
+    /// One interval of steady benign traffic into `rec`.
+    fn steady_interval(rec: &mut SketchRecorder) -> IntervalSnapshot {
+        for i in 0..40u32 {
+            let c: Ip4 = [9, 9, (i % 3) as u8, (i % 100) as u8].into();
+            let s: Ip4 = [129, 105, 0, (i % 5) as u8].into();
+            rec.record(&Packet::syn(i as u64, c, 4000 + i as u16, s, 80));
+            rec.record(&Packet::syn_ack(i as u64 + 1, c, 4000 + i as u16, s, 80));
+        }
+        rec.take_snapshot()
+    }
+
+    #[test]
+    fn gap_intervals_do_not_pollute_the_forecast() {
+        // Regression: a collection outage used to be synthesized as
+        // all-zero snapshots through process_snapshot, dragging the EWMA
+        // baseline toward zero so the first real interval after the outage
+        // spiked the forecast error. A 3-interval outage over steady
+        // traffic must raise nothing.
+        let config = cfg();
+        let mut rec = SketchRecorder::new(&config).unwrap();
+        let mut core = DetectionCore::new(config).unwrap();
+        for _ in 0..4 {
+            let snap = steady_interval(&mut rec);
+            core.process_snapshot(&snap);
+        }
+        for _ in 0..3 {
+            let out = core.process_gap();
+            assert!(out.raw.is_empty());
+        }
+        assert_eq!(core.intervals_processed(), 7);
+        for _ in 0..3 {
+            let snap = steady_interval(&mut rec);
+            let out = core.process_snapshot(&snap);
+            assert!(
+                out.raw.is_empty(),
+                "steady traffic after an outage must not alert: {:?}",
+                out.raw
+            );
+        }
+        assert_eq!(core.intervals_processed(), 10);
+        assert!(core.log().alerts(Phase::Raw).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        // Split a flood trace at every interval boundary: processing
+        // [0, k) → checkpoint → restore → [k, n) must end with the same
+        // alert log as the uninterrupted run.
+        let config = cfg();
+        let (trace, _) = flood_trace(config.interval_ms);
+        let snapshots: Vec<IntervalSnapshot> = {
+            let mut rec = SketchRecorder::new(&config).unwrap();
+            trace
+                .intervals(config.interval_ms)
+                .map(|w| {
+                    for p in w.packets {
+                        rec.record(p);
+                    }
+                    rec.take_snapshot()
+                })
+                .collect()
+        };
+        let mut reference = DetectionCore::new(config).unwrap();
+        for s in &snapshots {
+            reference.process_snapshot(s);
+        }
+        assert!(!reference.log().final_alerts().is_empty());
+        for k in 0..=snapshots.len() {
+            let mut first = DetectionCore::new(config).unwrap();
+            for s in &snapshots[..k] {
+                first.process_snapshot(s);
+            }
+            let ckpt = first.checkpoint();
+            let mut resumed = DetectionCore::restore(config, &ckpt).unwrap();
+            for s in &snapshots[k..] {
+                resumed.process_snapshot(s);
+            }
+            for phase in [Phase::Raw, Phase::AfterClassification, Phase::Final] {
+                assert_eq!(
+                    reference.log().alerts(phase),
+                    resumed.log().alerts(phase),
+                    "kill point {k}, {phase:?}"
+                );
+            }
+            assert_eq!(resumed.intervals_processed(), snapshots.len() as u64);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_foreign_fingerprint() {
+        let core = DetectionCore::new(cfg()).unwrap();
+        let ckpt = core.checkpoint();
+        let other = HiFindConfig::small(41);
+        assert!(matches!(
+            DetectionCore::restore(other, &ckpt),
+            Err(SketchError::FingerprintMismatch { .. })
+        ));
     }
 }

@@ -24,8 +24,11 @@ pub const PANIC_FREE_CRATES: [&str; 6] = [
 
 /// Boundary files that parse raw wire bytes: every integer conversion
 /// must be checked, so no bare `as` casts.
-pub const CAST_CHECKED_FILES: [&str; 2] =
-    ["crates/collect/src/wire.rs", "crates/collect/src/codec.rs"];
+pub const CAST_CHECKED_FILES: [&str; 3] = [
+    "crates/collect/src/wire.rs",
+    "crates/collect/src/codec.rs",
+    "crates/collect/src/checkpoint.rs",
+];
 
 /// One finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -475,6 +478,8 @@ mod tests {
     const HOT: &str = "crates/flow/src/demo.rs";
     const WIRE: &str = "crates/collect/src/wire.rs";
     const COLLECT: &str = "crates/collect/src/demo.rs";
+    const FAULTS: &str = "crates/collect/src/faults.rs";
+    const CHECKPOINT: &str = "crates/collect/src/checkpoint.rs";
 
     fn lint(path: &str, src: &str) -> Vec<Violation> {
         lint_source(path, src, &Allowlist::default())
@@ -622,6 +627,27 @@ mod tests {
         assert!(lint(HOT, src).is_empty());
         let bounded = "fn f() { let (tx, rx) = std::sync::mpsc::sync_channel::<u8>(32); }\n";
         assert!(lint(COLLECT, bounded).is_empty());
+    }
+
+    #[test]
+    fn fault_and_checkpoint_modules_are_inside_the_lint_perimeter() {
+        // The fault proxy spawns threads and shares counters; the
+        // checkpoint codec parses untrusted on-disk bytes. Both must sit
+        // inside the same perimeter as the rest of the collect crate —
+        // a rename that silently moved them out would gut the rules.
+        let chan =
+            "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u8>(); tx.send(1); rx.recv(); }\n";
+        assert_eq!(rules_of(&lint(FAULTS, chan)), vec!["bounded-channels"]);
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(rules_of(&lint(FAULTS, spawn)), vec!["joined-threads"]);
+        let relaxed = "fn f(x: &std::sync::atomic::AtomicU64) { x.load(Ordering::Relaxed); }\n";
+        assert_eq!(rules_of(&lint(FAULTS, relaxed)), vec!["atomics-audit"]);
+        let cast = "fn f(x: u64) -> usize { x as usize }\n";
+        assert_eq!(rules_of(&lint(CHECKPOINT, cast)), vec!["truncating-cast"]);
+        assert!(
+            lint(FAULTS, cast).is_empty(),
+            "faults.rs is not a byte-parsing boundary"
+        );
     }
 
     #[test]
