@@ -6,6 +6,11 @@
 //! recording throughput (enforced by a test in `src/overhead.rs`). This
 //! binary records the measured numbers so regressions show up as a diff.
 //!
+//! The whole measurement runs with the idle operator plane alive — an
+//! embedded HTTP server nobody scrapes, an open structured event log,
+//! and an in-memory history ring — so the recorded numbers reflect a
+//! real `--http`/`--event-log` deployment, not a stripped-down process.
+//!
 //! Run: `cargo run --release -p hifind-bench --features telemetry --bin telemetry_overhead`
 //!
 //! Without `--features telemetry` only the baseline side is measured.
@@ -16,6 +21,14 @@ use hifind_bench::overhead::measure_overhead;
 fn main() {
     section("telemetry overhead on the record path");
     let report = measure_overhead(500_000, 5);
+    println!(
+        "idle operator plane (HTTP server + event log): {}",
+        if report.idle_operator_plane {
+            "up"
+        } else {
+            "unavailable"
+        }
+    );
     println!(
         "baseline:     {:>7.2}M packets/s (best of {} runs, {} packets each)",
         report.baseline_pps / 1e6,

@@ -14,12 +14,56 @@ use hifind::parallel::ParallelRecorder;
 use hifind::{HiFind, HiFindConfig};
 use hifind_flow::rng::SplitMix64;
 use hifind_flow::{Ip4, Packet};
+use hifind_obsv::{ApiState, EventLog, HistoryConfig, HistoryStore, HttpServer, ObsvHub};
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Shard workers used for the parallel-path overhead measurement. Two is
 /// the smallest count that exercises real cross-thread dispatch.
 const OVERHEAD_WORKERS: usize = 2;
+
+/// The idle operator plane held alive across a measurement: an embedded
+/// HTTP server bound to a loopback port nobody scrapes, an open event
+/// log on a temp file, and an in-memory history ring. A production
+/// deployment runs all three next to the recorder, so the overhead
+/// numbers are only honest if the measurement does too — the plane's
+/// threads must not perturb the record path just by existing.
+struct IdlePlane {
+    server: HttpServer,
+    events_path: std::path::PathBuf,
+}
+
+impl IdlePlane {
+    fn start(cfg: &HiFindConfig) -> Option<IdlePlane> {
+        let events_path = std::env::temp_dir().join(format!(
+            "hifind-overhead-events-{}.jsonl",
+            std::process::id()
+        ));
+        let events = EventLog::open(&events_path, cfg.fingerprint()).ok()?;
+        let history = Arc::new(
+            HistoryStore::open(HistoryConfig::in_memory(4), cfg.fingerprint(), None).ok()?,
+        );
+        let hub = Arc::new(ObsvHub::new(*cfg, history, Some(events)));
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            ApiState {
+                hub,
+                registry: None,
+            },
+        )
+        .ok()?;
+        Some(IdlePlane {
+            server,
+            events_path,
+        })
+    }
+
+    fn stop(self) {
+        self.server.stop();
+        std::fs::remove_file(&self.events_path).ok();
+    }
+}
 
 /// A synthetic SYN/SYN-ACK mix sized for throughput measurement (the same
 /// shape `benches/recording.rs` uses).
@@ -143,6 +187,9 @@ pub struct OverheadReport {
     pub runs: usize,
     /// Whether the instrumented side was compiled (`telemetry` feature).
     pub telemetry_compiled: bool,
+    /// Whether the idle operator plane (embedded HTTP server + open event
+    /// log + in-memory history) was up for the whole measurement.
+    pub idle_operator_plane: bool,
     /// Best-of recording throughput with telemetry detached.
     pub baseline_pps: f64,
     /// Best-of recording throughput with a live registry attached
@@ -165,17 +212,24 @@ pub struct OverheadReport {
     pub parallel_overhead_pct: f64,
 }
 
-/// Measures baseline vs. instrumented recording throughput.
+/// Measures baseline vs. instrumented recording throughput, with the
+/// idle operator plane running alongside (as a real deployment would).
 pub fn measure_overhead(packets: usize, runs: usize) -> OverheadReport {
     let pkts = synthetic_packets(packets, 6);
+    let plane = IdlePlane::start(&HiFindConfig::paper(9));
+    let idle_operator_plane = plane.is_some();
     let (baseline_pps, instrumented_pps) = paired_record_pps(&pkts, runs);
     let (parallel_baseline_pps, parallel_instrumented_pps) =
         paired_parallel_record_pps(&pkts, runs);
+    if let Some(plane) = plane {
+        plane.stop();
+    }
     let telemetry_compiled = cfg!(feature = "telemetry");
     OverheadReport {
         packets,
         runs,
         telemetry_compiled,
+        idle_operator_plane,
         baseline_pps,
         instrumented_pps,
         overhead_pct: (baseline_pps - instrumented_pps) / baseline_pps * 100.0,

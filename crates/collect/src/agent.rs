@@ -150,6 +150,7 @@ pub struct RouterAgent {
     stream: Option<TcpStream>,
     connected_before: bool,
     stats: AgentStats,
+    observer: Option<std::sync::Arc<dyn crate::observer::CollectObserver>>,
 }
 
 impl std::fmt::Debug for RouterAgent {
@@ -221,7 +222,14 @@ impl RouterAgent {
             stream: None,
             connected_before: false,
             stats: AgentStats::default(),
+            observer: None,
         }
+    }
+
+    /// Attaches an observer notified on reconnects. Callbacks run inline
+    /// on the shipping path, so they must stay cheap.
+    pub fn set_observer(&mut self, observer: std::sync::Arc<dyn crate::observer::CollectObserver>) {
+        self.observer = Some(observer);
     }
 
     /// Records one packet (the hot path; never touches the network).
@@ -277,6 +285,9 @@ impl RouterAgent {
                     Ok(stream) => {
                         if self.connected_before {
                             self.stats.reconnects += 1;
+                            if let Some(obs) = &self.observer {
+                                obs.agent_reconnected(self.cfg.router_id, self.stats.reconnects);
+                            }
                         }
                         self.connected_before = true;
                         self.stream = Some(stream);

@@ -30,6 +30,10 @@ pub const CORE_MAGIC: [u8; 4] = *b"HFC1";
 /// Magic of a router-agent checkpoint file.
 pub const AGENT_MAGIC: [u8; 4] = *b"HFA1";
 
+/// Magic of an interval-history segment file (written by `hifind-obsv`,
+/// same container framing as checkpoints).
+pub const HISTORY_MAGIC: [u8; 4] = *b"HFH1";
+
 /// Checkpoint container format version.
 pub const CHECKPOINT_VERSION: u16 = 1;
 
@@ -153,8 +157,9 @@ pub struct AgentCheckpoint {
     pub backlog: Vec<Vec<u8>>,
 }
 
-/// Wraps an encoded payload in the versioned CRC-checked container.
-fn encode_container(magic: [u8; 4], fingerprint: u64, payload: &[u8]) -> Vec<u8> {
+/// Wraps an encoded payload in the versioned CRC-checked container shared
+/// by checkpoints and history segments.
+pub fn encode_container(magic: [u8; 4], fingerprint: u64, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(CONTAINER_HEADER_LEN + payload.len());
     out.extend_from_slice(&magic);
     out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
@@ -171,7 +176,11 @@ fn encode_container(magic: [u8; 4], fingerprint: u64, payload: &[u8]) -> Vec<u8>
 }
 
 /// Validates the container and hands back `(fingerprint, payload)`.
-fn decode_container(
+///
+/// A magic outside the known container family is [`CheckpointError::Magic`]
+/// (not a container at all); a known magic other than `expected_magic` is
+/// [`CheckpointError::WrongKind`] (a container of the wrong flavour).
+pub fn decode_container(
     expected_magic: [u8; 4],
     bytes: &[u8],
 ) -> Result<(u64, &[u8]), CheckpointError> {
@@ -183,7 +192,7 @@ fn decode_container(
     };
     let field = |range: std::ops::Range<usize>| -> &[u8] { &header[range] };
     let magic: [u8; 4] = field(0..4).try_into().unwrap_or([0; 4]);
-    if magic != CORE_MAGIC && magic != AGENT_MAGIC {
+    if magic != CORE_MAGIC && magic != AGENT_MAGIC && magic != HISTORY_MAGIC {
         return Err(CheckpointError::Magic(magic));
     }
     if magic != expected_magic {
@@ -536,8 +545,12 @@ pub fn decode_agent_checkpoint(bytes: &[u8]) -> Result<AgentCheckpoint, Checkpoi
 
 /// Atomically writes `bytes` to `path` (temp file in the same directory,
 /// then rename), so a crash mid-write can never corrupt an existing
-/// checkpoint.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+/// checkpoint or history segment.
+///
+/// # Errors
+///
+/// Surfaces filesystem failures as [`CheckpointError::Io`].
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path.file_name().ok_or_else(|| {
         CheckpointError::Io(std::io::Error::new(

@@ -27,6 +27,7 @@
 //! never liveness of the pipeline.
 
 use crate::checkpoint;
+use crate::observer::CollectObserver;
 use crate::wire::{self, WireError, HEADER_LEN};
 use crate::CollectError;
 use hifind::pipeline::DetectionCore;
@@ -64,7 +65,7 @@ impl CheckpointPolicy {
 }
 
 /// Collection-site policy knobs.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct CollectorConfig {
     /// Routers expected to report each interval. Detection flushes early
     /// when all of them did; the deadline below covers the rest.
@@ -90,6 +91,26 @@ pub struct CollectorConfig {
     /// [`Collector::bind`] with a typed error rather than silently
     /// starting fresh.
     pub resume_from: Option<PathBuf>,
+    /// Hooks invoked at collection-plane transitions (interval close, gap
+    /// synthesis, checkpoint write/resume, frame rejection); `None`
+    /// observes nothing. Callbacks run inline on the aligner thread, so
+    /// they must stay cheap.
+    pub observer: Option<Arc<dyn CollectObserver>>,
+}
+
+impl std::fmt::Debug for CollectorConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectorConfig")
+            .field("expected_routers", &self.expected_routers)
+            .field("straggler_deadline", &self.straggler_deadline)
+            .field("reorder_window", &self.reorder_window)
+            .field("max_payload_bytes", &self.max_payload_bytes)
+            .field("linger", &self.linger)
+            .field("checkpoint", &self.checkpoint)
+            .field("resume_from", &self.resume_from)
+            .field("observer", &self.observer.as_ref().map(|_| "Some(..)"))
+            .finish()
+    }
 }
 
 impl CollectorConfig {
@@ -103,6 +124,7 @@ impl CollectorConfig {
             linger: Duration::from_millis(400),
             checkpoint: None,
             resume_from: None,
+            observer: None,
         }
     }
 }
@@ -451,6 +473,9 @@ impl Aligner {
                 if let Some(t) = &telemetry {
                     t.checkpoint_resumed.inc();
                 }
+                if let Some(obs) = &collector_cfg.observer {
+                    obs.resumed(core.intervals_processed(), path);
+                }
                 core
             }
             None => DetectionCore::new(cfg)?,
@@ -516,6 +541,9 @@ impl Aligner {
                     t.checkpoint_last_interval
                         .set(i64::try_from(self.next_interval).unwrap_or(i64::MAX));
                 }
+                if let Some(obs) = &self.cfg.observer {
+                    obs.checkpoint_written(self.next_interval, &policy.path);
+                }
             }
             Err(e) => {
                 eprintln!("[hifind-collect] checkpoint write failed: {e}");
@@ -561,6 +589,9 @@ impl Aligner {
                 if let Some(t) = &self.telemetry {
                     t.frames_rejected.inc();
                 }
+                if let Some(obs) = &self.cfg.observer {
+                    obs.frame_rejected(&err);
+                }
             }
             Event::Frame {
                 router_id,
@@ -584,6 +615,12 @@ impl Aligner {
             self.report.frames_rejected += 1;
             if let Some(t) = &self.telemetry {
                 t.frames_rejected.inc();
+            }
+            if let Some(obs) = &self.cfg.observer {
+                obs.frame_rejected(&WireError::FingerprintMismatch {
+                    header: self.fingerprint,
+                    payload: snapshot.fingerprint,
+                });
             }
             return;
         }
@@ -663,7 +700,16 @@ impl Aligner {
                             t.straggler_slots.add(missing);
                         }
                     }
-                    self.core.process_snapshot(&p.combined);
+                    let outcome = self.core.process_snapshot(&p.combined);
+                    if let Some(obs) = &self.cfg.observer {
+                        obs.interval_closed(
+                            self.next_interval,
+                            &p.combined,
+                            &outcome,
+                            p.routers.len(),
+                            self.cfg.expected_routers,
+                        );
+                    }
                 }
                 None => {
                     // A gap: only flush it once later intervals prove the
@@ -689,7 +735,10 @@ impl Aligner {
                     // snapshot here would drag the forecast toward zero
                     // and spike the error on the first real interval
                     // after the outage (spurious alerts on resume).
-                    self.core.process_gap();
+                    let outcome = self.core.process_gap();
+                    if let Some(obs) = &self.cfg.observer {
+                        obs.gap_synthesized(self.next_interval, &outcome);
+                    }
                 }
             }
             self.next_interval += 1;

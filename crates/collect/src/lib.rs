@@ -40,6 +40,7 @@ pub mod checkpoint;
 pub mod codec;
 pub mod collector;
 pub mod faults;
+pub mod observer;
 pub mod wire;
 
 pub use agent::{AgentConfig, AgentError, AgentStats, RouterAgent, ShipReport};
@@ -49,6 +50,7 @@ pub use collector::{
     CheckpointPolicy, CollectionReport, Collector, CollectorConfig, CollectorHandle,
 };
 pub use faults::{FaultPlan, FaultProxy, FaultStats};
+pub use observer::CollectObserver;
 pub use wire::{FrameHeader, WireError, HEADER_LEN, PROTOCOL_VERSION};
 
 /// Any failure in the collection subsystem.

@@ -139,6 +139,30 @@ impl LatencyHistogram {
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Bucket-bound quantile estimate (`q` in `[0, 1]`), or `None` when
+    /// empty. Reports the upper bound of the bucket holding the q-th
+    /// observation, tightened to the tracked true extremes: never below
+    /// `min_ns`, and the overflow bucket reports `max_ns` instead of
+    /// infinity.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                let bound = match self.upper_bounds_ns.get(i) {
+                    Some(ub) => (*ub).min(self.max_ns.max(self.min_ns)),
+                    None => self.max_ns,
+                };
+                return Some(bound.max(self.min_ns));
+            }
+        }
+        None
+    }
 }
 
 /// Latency distribution per pipeline phase across the whole run.
@@ -236,7 +260,11 @@ impl RunReport {
             self.alert_totals.fin,
             self.alert_totals.reclassified
         );
-        let _ = writeln!(out, "phase latency (mean/max per interval):");
+        let _ = writeln!(
+            out,
+            "phase latency per interval ({:<13} {:>10} {:>10} {:>10} {:>10} {:>10}):",
+            "phase", "mean", "p50", "p95", "p99", "max"
+        );
         for (name, h) in [
             ("forecast", &self.phase_latency.forecast),
             ("detect", &self.phase_latency.detect),
@@ -244,10 +272,14 @@ impl RunReport {
             ("flood_filter", &self.phase_latency.flood_filter),
             ("total", &self.phase_latency.total),
         ] {
+            let q = |q: f64| h.quantile_ns(q).unwrap_or(0) as f64 / 1e6;
             let _ = writeln!(
                 out,
-                "  {name:<13} {:>10.3} ms {:>10.3} ms",
+                "  {name:<13} {:>7.3} ms {:>7.3} ms {:>7.3} ms {:>7.3} ms {:>7.3} ms",
                 h.mean_ns() as f64 / 1e6,
+                q(0.50),
+                q(0.95),
+                q(0.99),
                 h.max_ns as f64 / 1e6,
             );
         }
@@ -362,5 +394,39 @@ mod tests {
     fn empty_report_summarizes_without_panic() {
         let text = RunReport::new().summary_text();
         assert!(text.contains("0 intervals"));
+    }
+
+    #[test]
+    fn latency_quantiles_walk_the_buckets() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile_ns(0.5), None, "empty histogram has no quantiles");
+        // 98 fast observations in the first bucket, 2 slow outliers.
+        for _ in 0..98 {
+            h.observe(800);
+        }
+        h.observe(3_000_000);
+        h.observe(9_000_000);
+        // p50/p95 land in the first bucket; its 1µs bound is tightened
+        // to nothing below min_ns.
+        assert_eq!(h.quantile_ns(0.50), Some(1_000));
+        assert_eq!(h.quantile_ns(0.95), Some(1_000));
+        // p99 reaches the outliers' bucket (bound 4.096ms).
+        assert_eq!(h.quantile_ns(0.99), Some(4_096_000));
+        // p100's bucket bound (16.4ms) is tightened to the true max.
+        assert_eq!(h.quantile_ns(1.0), Some(9_000_000));
+        // A single observation pins every quantile to its own bucket,
+        // clamped to the true extreme.
+        let mut one = LatencyHistogram::default();
+        one.observe(500);
+        assert_eq!(one.quantile_ns(0.5), Some(500));
+    }
+
+    #[test]
+    fn summary_text_reports_tail_latencies() {
+        let report = run_small_flood();
+        let text = report.summary_text();
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("p95"), "{text}");
+        assert!(text.contains("p99"), "{text}");
     }
 }

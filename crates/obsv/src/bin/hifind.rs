@@ -11,8 +11,11 @@ use hifind::postprocess::correlate_block_scans;
 use hifind::{AlertKind, HiFind, HiFindConfig, Phase};
 use hifind_collect::{AgentConfig, CheckpointPolicy, Collector, CollectorConfig, RouterAgent};
 use hifind_flow::Trace;
+use hifind_obsv::{ApiState, EventLog, HistoryConfig, HistoryStore, HttpServer, ObsvHub};
+use hifind_telemetry::Registry;
 use hifind_trafficgen::{presets, split_per_packet};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -26,10 +29,11 @@ USAGE:
     hifind collect  --listen ADDR --routers N [--seed N] [--interval-secs N]
                     [--threshold-per-sec F] [--straggler-ms N] [--reorder-window N]
                     [--linger-ms N] [--checkpoint FILE] [--checkpoint-every N]
-                    [--resume FILE] [--metrics-json FILE]
+                    [--resume FILE] [--metrics-json FILE] [--http ADDR]
+                    [--history-dir DIR] [--event-log FILE]
     hifind agent    --connect ADDR --trace FILE [--router-id N] [--split I/N]
                     [--seed N] [--interval-secs N] [--workers N]
-                    [--checkpoint FILE] [--resume FILE]
+                    [--checkpoint FILE] [--resume FILE] [--event-log FILE]
 
     Trace files ending in .csv use the human-readable CSV format
     (ts_ms,src,sport,dst,dport,kind,direction); anything else uses the
@@ -80,6 +84,24 @@ OPTIONS:
                          collector resumes its forecast baselines, streaks
                          and alert log and produces the same final alerts
                          as an uninterrupted run
+    --http ADDR          serve the operator API on ADDR (e.g. 127.0.0.1:9100):
+                         GET /metrics (Prometheus text, including a
+                         hifind_build_info gauge whose help string carries
+                         the crate version and compiled features, and a
+                         hifind_process_start_time_seconds gauge),
+                         GET /healthz, GET /api/alerts,
+                         GET /api/intervals?from=&to=, GET /api/sketch-health,
+                         and POST /api/replay (re-run an archived interval
+                         window under overridden detection thresholds)
+    --history-dir DIR    archive every closed interval's combined sketch
+                         snapshot into DIR as CRC-checked segment files, so
+                         /api/intervals and /api/replay can reach intervals
+                         that have left the in-memory ring
+    --event-log FILE     append one schema-versioned JSON object per
+                         collection-plane transition (interval close, alert
+                         raise/suppress, gap synthesis, checkpoint
+                         write/resume, frame rejection, agent reconnect) to
+                         FILE; see docs/OBSERVABILITY.md for the schema
     --connect ADDR       collector address an agent ships to
     --router-id N        this agent's id in frame headers (defaults to the
                          --split part index, else 0)
@@ -333,6 +355,33 @@ fn networked_config(args: &Args) -> Result<HiFindConfig, String> {
     Ok(cfg)
 }
 
+/// Registers the build-identity gauges `/metrics` serves: a constant-1
+/// `hifind_build_info` whose help text carries the crate version and the
+/// compiled feature set, plus the process start time in unix seconds.
+fn register_build_info(registry: &Registry) -> Result<(), hifind_telemetry::TelemetryError> {
+    let features = if cfg!(feature = "telemetry") {
+        "telemetry"
+    } else {
+        "default"
+    };
+    let help = format!(
+        "constant 1; build identity: version={} features={features}",
+        env!("CARGO_PKG_VERSION")
+    );
+    registry.gauge("hifind_build_info", &help)?.set(1);
+    let start = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| i64::try_from(d.as_secs()).unwrap_or(i64::MAX))
+        .unwrap_or(0);
+    registry
+        .gauge(
+            "hifind_process_start_time_seconds",
+            "unix time this process started",
+        )?
+        .set(start);
+    Ok(())
+}
+
 fn collect(args: &Args) -> Result<(), String> {
     let listen = args.get("listen").ok_or("missing --listen ADDR")?;
     let routers: usize = args.get_parsed("routers", 0)?;
@@ -353,8 +402,54 @@ fn collect(args: &Args) -> Result<(), String> {
     if let Some(path) = args.get("resume") {
         ccfg.resume_from = Some(path.into());
     }
+
+    // Observability plane: history archive, event log, HTTP API.
+    let http_addr = args.get("http").map(String::from);
+    if args.has("http") && http_addr.is_none() {
+        return Err("--http needs an ADDR operand (e.g. 127.0.0.1:9100)".into());
+    }
+    let registry = http_addr.as_ref().map(|_| Registry::new());
+    let wants_obsv = http_addr.is_some() || args.has("history-dir") || args.has("event-log");
+    let mut hub = None;
+    if wants_obsv {
+        let hcfg = match args.get("history-dir") {
+            Some(dir) => HistoryConfig::with_dir(dir),
+            None => HistoryConfig::default(),
+        };
+        let history = Arc::new(
+            HistoryStore::open(hcfg, cfg.fingerprint(), registry.as_ref())
+                .map_err(|e| format!("cannot open history store: {e}"))?,
+        );
+        let events = match args.get("event-log") {
+            Some(path) => Some(
+                EventLog::open(std::path::Path::new(path), cfg.fingerprint())
+                    .map_err(|e| format!("cannot open event log {path}: {e}"))?,
+            ),
+            None => None,
+        };
+        let h = Arc::new(ObsvHub::new(cfg, history, events));
+        ccfg.observer = Some(h.clone());
+        hub = Some(h);
+    }
+    let server = match (&http_addr, &hub) {
+        (Some(addr), Some(hub)) => {
+            if let Some(r) = &registry {
+                register_build_info(r).map_err(|e| format!("cannot register metrics: {e}"))?;
+            }
+            let state = ApiState {
+                hub: Arc::clone(hub),
+                registry: registry.clone().map(Arc::new),
+            };
+            let server =
+                HttpServer::bind(addr, state).map_err(|e| format!("cannot serve --http: {e}"))?;
+            eprintln!("operator API on http://{}", server.local_addr());
+            Some(server)
+        }
+        _ => None,
+    };
+
     let handle =
-        Collector::bind(listen, cfg, ccfg, None).map_err(|e| format!("cannot start: {e}"))?;
+        Collector::bind(listen, cfg, ccfg, registry).map_err(|e| format!("cannot start: {e}"))?;
     eprintln!(
         "collecting on {} from {routers} router(s); finishes once all have \
          connected and disconnected",
@@ -363,6 +458,17 @@ fn collect(args: &Args) -> Result<(), String> {
     let report = handle
         .wait()
         .map_err(|e| format!("collector failed: {e}"))?;
+    if let Some(server) = server {
+        server.stop();
+    }
+    if let Some(h) = &hub {
+        // Persist the partial warm-tier spill; without this, intervals
+        // that left the hot ring but had not filled a segment would be
+        // lost on shutdown.
+        if let Err(e) = h.history().flush() {
+            eprintln!("history flush failed: {e}");
+        }
+    }
     println!(
         "{} intervals ({} complete, {} partial, {} gaps); {} frames, {} bytes, \
          {} late, {} rejected; routers seen: {:?}",
@@ -436,6 +542,17 @@ fn agent(args: &Args) -> Result<(), String> {
         RouterAgent::new(addr, &cfg, AgentConfig::new(router_id))
             .map_err(|e| format!("cannot build recorder: {e}"))?
     };
+    if let Some(path) = args.get("event-log") {
+        let events = EventLog::open(std::path::Path::new(path), cfg.fingerprint())
+            .map_err(|e| format!("cannot open event log {path}: {e}"))?;
+        // The agent side only emits transition events; a minimal
+        // in-memory history satisfies the hub without archiving.
+        let history = Arc::new(
+            HistoryStore::open(HistoryConfig::in_memory(1), cfg.fingerprint(), None)
+                .map_err(|e| format!("cannot set up event log: {e}"))?,
+        );
+        agent.set_observer(Arc::new(ObsvHub::new(cfg, history, Some(events))));
+    }
     for window in trace.intervals(cfg.interval_ms) {
         for p in window.packets {
             agent.record(p);
@@ -771,6 +888,130 @@ mod tests {
             json.contains("\"partial_intervals\": 0") || json.contains("\"partial_intervals\":0"),
             "both agents should be distinct routers: {json}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// One raw HTTP/1.1 GET against the operator API; returns (status, body).
+    fn http_get(addr: &str, path: &str) -> (u16, String) {
+        use std::io::{Read as _, Write as _};
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        let body = match raw.find("\r\n\r\n") {
+            Some(i) => raw[i + 4..].to_string(),
+            None => String::new(),
+        };
+        (status, body)
+    }
+
+    #[test]
+    fn collect_with_http_api_answers_scrapes_mid_run() {
+        let dir = std::env::temp_dir().join(format!("hifind-cli-http-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.hfnd");
+        let events = dir.join("events.jsonl");
+        let history = dir.join("history");
+        generate(&args(&[
+            "--preset",
+            "dos",
+            "--scale",
+            "0.02",
+            "--seed",
+            "3",
+            "--out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let listen = "127.0.0.1:47413";
+        let http = "127.0.0.1:47414";
+        let collect_args: Vec<String> = [
+            "--listen",
+            listen,
+            "--routers",
+            "2",
+            "--seed",
+            "3",
+            "--reorder-window",
+            "64",
+            "--straggler-ms",
+            "30000",
+            "--http",
+            http,
+            "--history-dir",
+            history.to_str().unwrap(),
+            "--event-log",
+            events.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let collector = std::thread::spawn(move || collect(&Args::parse(&collect_args)));
+        // The API binds before the collector socket, so once it answers
+        // the agents can connect too.
+        let mut up = false;
+        for _ in 0..200 {
+            if std::net::TcpStream::connect(http).is_ok() {
+                up = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert!(up, "operator API never came up on {http}");
+        agent(&args(&[
+            "--connect",
+            listen,
+            "--trace",
+            trace.to_str().unwrap(),
+            "--split",
+            "0/2",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        // Mid-run — the collector is alive and waiting on router 1. Both
+        // scrape endpoints must answer with non-empty, parseable bodies.
+        let (status, metrics) = http_get(http, "/metrics");
+        assert_eq!(status, 200, "{metrics}");
+        assert!(
+            metrics.contains("# TYPE hifind_build_info gauge"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("hifind_build_info 1"), "{metrics}");
+        assert!(
+            metrics.contains("# TYPE hifind_history_archived_total counter"),
+            "{metrics}"
+        );
+        let (status, alerts) = http_get(http, "/api/alerts");
+        assert_eq!(status, 200, "{alerts}");
+        let parsed: serde_json::Value = serde_json::from_str(&alerts).unwrap();
+        assert!(parsed.as_map().is_some(), "{alerts}");
+        agent(&args(&[
+            "--connect",
+            listen,
+            "--trace",
+            trace.to_str().unwrap(),
+            "--split",
+            "1/2",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        collector.join().unwrap().unwrap();
+        // The run is over: the event log recorded transitions and the
+        // history directory was created. (This short trace fits in the
+        // hot ring; warm segment files are covered by tests/replay.rs.)
+        assert!(std::fs::metadata(&events).unwrap().len() > 0);
+        assert!(history.is_dir());
         std::fs::remove_dir_all(&dir).ok();
     }
 

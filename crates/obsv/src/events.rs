@@ -1,0 +1,200 @@
+//! Structured JSONL event log.
+//!
+//! One schema-versioned JSON object per line, one line per significant
+//! collection-plane transition: interval close, alert raise/suppress, gap
+//! synthesis, checkpoint write/resume, fault/frame rejection, agent
+//! reconnect. Every record carries the interval index and the
+//! record-plane configuration fingerprint (as a hex string — JSON
+//! numbers lose precision past 2^53), so agent-side and collector-side
+//! logs of one deployment can be joined offline on
+//! `(fingerprint, interval)`.
+//!
+//! The full field-by-field schema is documented in
+//! `docs/OBSERVABILITY.md`; bump [`EVENT_SCHEMA_VERSION`] on any
+//! incompatible change.
+
+use serde::{Serialize, Value};
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Version stamped into every record's `v` field.
+pub const EVENT_SCHEMA_VERSION: u32 = 1;
+
+/// One event record. Fields that do not apply to an event kind are
+/// omitted from the JSON entirely, so consumers can treat presence as
+/// meaning (`Serialize` is hand-written to that end — the vendored derive
+/// would emit `null`s).
+#[derive(Clone, Debug, Default)]
+pub struct EventRecord {
+    /// Schema version ([`EVENT_SCHEMA_VERSION`]).
+    pub v: u32,
+    /// Event kind, e.g. `"interval_closed"`.
+    pub event: &'static str,
+    /// Interval index the event belongs to (the latest flushed interval
+    /// for events without one of their own).
+    pub interval: u64,
+    /// Record-plane configuration fingerprint, hex with `0x` prefix.
+    pub fingerprint: String,
+    /// Milliseconds since the event log was opened.
+    pub uptime_ms: u64,
+    /// Routers that contributed to the interval (`interval_closed`).
+    pub routers: Option<u64>,
+    /// Routers expected per interval (`interval_closed`).
+    pub expected: Option<u64>,
+    /// Phase-1 raw alerts this interval (`interval_closed`).
+    pub alerts_raw: Option<u64>,
+    /// Final alerts this interval (`interval_closed`).
+    pub alerts_final: Option<u64>,
+    /// Alert description (`alert_raised` / `alert_suppressed`).
+    pub alert: Option<String>,
+    /// File path (`checkpoint_written` / `resumed`).
+    pub path: Option<String>,
+    /// Rejection reason (`frame_rejected`).
+    pub error: Option<String>,
+    /// Router id (`agent_reconnected`).
+    pub router_id: Option<u32>,
+    /// Lifetime reconnect count (`agent_reconnected`).
+    pub reconnects: Option<u64>,
+}
+
+impl Serialize for EventRecord {
+    fn to_value(&self) -> Value {
+        let mut map: Vec<(String, Value)> = vec![
+            ("v".to_string(), self.v.to_value()),
+            ("event".to_string(), Value::Str(self.event.to_string())),
+            ("interval".to_string(), self.interval.to_value()),
+            (
+                "fingerprint".to_string(),
+                Value::Str(self.fingerprint.clone()),
+            ),
+            ("uptime_ms".to_string(), self.uptime_ms.to_value()),
+        ];
+        let mut opt_u64 = |key: &str, v: &Option<u64>| {
+            if let Some(v) = v {
+                map.push((key.to_string(), v.to_value()));
+            }
+        };
+        opt_u64("routers", &self.routers);
+        opt_u64("expected", &self.expected);
+        opt_u64("alerts_raw", &self.alerts_raw);
+        opt_u64("alerts_final", &self.alerts_final);
+        if let Some(a) = &self.alert {
+            map.push(("alert".to_string(), Value::Str(a.clone())));
+        }
+        if let Some(p) = &self.path {
+            map.push(("path".to_string(), Value::Str(p.clone())));
+        }
+        if let Some(e) = &self.error {
+            map.push(("error".to_string(), Value::Str(e.clone())));
+        }
+        if let Some(r) = self.router_id {
+            map.push(("router_id".to_string(), r.to_value()));
+        }
+        if let Some(r) = self.reconnects {
+            map.push(("reconnects".to_string(), r.to_value()));
+        }
+        Value::Map(map)
+    }
+}
+
+/// An append-only JSONL writer. Writes are flushed per event — events
+/// are per-interval, not per-packet, so durability wins over batching.
+/// Write failures are swallowed: the event log is observability, and
+/// observability must never take the detector down with it.
+pub struct EventLog {
+    file: Mutex<std::fs::File>,
+    fingerprint: String,
+    started: std::time::Instant,
+}
+
+impl EventLog {
+    /// Opens (or creates, appending) the log at `path` for events under
+    /// `fingerprint`.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the underlying open failure.
+    pub fn open(path: &Path, fingerprint: u64) -> Result<Self, std::io::Error> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(EventLog {
+            file: Mutex::new(file),
+            fingerprint: format!("{fingerprint:#018x}"),
+            started: std::time::Instant::now(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, std::fs::File> {
+        // Poisoning cannot corrupt an append-only fd; keep logging.
+        self.file.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A record pre-filled with schema version, fingerprint, and uptime;
+    /// the caller sets kind-specific fields before [`EventLog::emit`].
+    pub fn record(&self, event: &'static str, interval: u64) -> EventRecord {
+        EventRecord {
+            v: EVENT_SCHEMA_VERSION,
+            event,
+            interval,
+            fingerprint: self.fingerprint.clone(),
+            uptime_ms: u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            ..EventRecord::default()
+        }
+    }
+
+    /// Serializes and appends one record as a single line.
+    pub fn emit(&self, record: &EventRecord) {
+        let Ok(mut line) = serde_json::to_string(record) else {
+            return;
+        };
+        line.push('\n');
+        let mut file = self.lock();
+        let _ = file.write_all(line.as_bytes());
+        let _ = file.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_one_json_object_per_line() {
+        let path = std::env::temp_dir().join(format!("hifind-events-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = EventLog::open(&path, 0xABCD).unwrap();
+        let mut rec = log.record("interval_closed", 7);
+        rec.routers = Some(2);
+        rec.expected = Some(2);
+        log.emit(&rec);
+        log.emit(&log.record("gap_synthesized", 8));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: Value = serde_json::from_str(lines[0]).expect("first line parses");
+        assert_eq!(first.get("v"), Some(&Value::UInt(1)));
+        assert_eq!(
+            first.get("event").and_then(Value::as_str),
+            Some("interval_closed")
+        );
+        assert_eq!(first.get("interval"), Some(&Value::UInt(7)));
+        assert_eq!(
+            first.get("fingerprint").and_then(Value::as_str),
+            Some("0x000000000000abcd")
+        );
+        assert_eq!(first.get("routers"), Some(&Value::UInt(2)));
+        let second: Value = serde_json::from_str(lines[1]).expect("second line parses");
+        assert_eq!(
+            second.get("event").and_then(Value::as_str),
+            Some("gap_synthesized")
+        );
+        assert!(
+            second.get("routers").is_none(),
+            "inapplicable fields are omitted"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

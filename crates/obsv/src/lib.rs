@@ -1,0 +1,30 @@
+//! Operator observability plane for HiFIND.
+//!
+//! Three pieces, layered strictly *above* the collection plane so the
+//! detector never depends on its own monitoring:
+//!
+//! - [`history`] — a tiered interval-history store: a hot in-memory ring
+//!   of recent [`hifind::IntervalSnapshot`]s backed by a warm tier of
+//!   CRC-checked segment files (the same container format as
+//!   checkpoints), with byte-budget retention.
+//! - [`http`] — an embedded, dependency-free HTTP/1.1 server exposing
+//!   Prometheus `/metrics`, liveness, alert/interval/sketch-health query
+//!   endpoints, and `POST /api/replay`: re-running an archived window
+//!   through a fresh detection core under overridden thresholds.
+//! - [`events`] — a structured JSONL event log, one schema-versioned
+//!   record per collection-plane transition.
+//!
+//! [`ObsvHub`] ties them together by implementing
+//! [`hifind_collect::CollectObserver`]; hand it to
+//! [`hifind_collect::CollectorConfig`] and every closed interval is
+//! archived, mirrored into the live alert log, and logged.
+
+pub mod events;
+pub mod history;
+pub mod http;
+pub mod hub;
+
+pub use events::{EventLog, EventRecord, EVENT_SCHEMA_VERSION};
+pub use history::{HistoryConfig, HistoryError, HistoryStore, IntervalSummary};
+pub use http::{ApiState, HttpServer};
+pub use hub::{replay_window, ObsvHub, ReplayError, ReplayOutput, ReplayOverrides};

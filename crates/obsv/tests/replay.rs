@@ -1,0 +1,244 @@
+//! End-to-end acceptance for the observability plane.
+//!
+//! A generated attack trace is detected live while every interval is
+//! archived through the tiered history store (sized so most of the run
+//! spills to warm segment files). The embedded HTTP API then replays the
+//! archived window with the original thresholds — and must reproduce the
+//! live alert log bit for bit — and again with a far stricter threshold,
+//! which must provably change the alert set. The query endpoints and the
+//! JSONL event log are checked along the way.
+
+use hifind::pipeline::DetectionCore;
+use hifind::{HiFindConfig, SketchRecorder};
+use hifind_collect::CollectObserver;
+use hifind_obsv::{ApiState, EventLog, HistoryConfig, HistoryStore, HttpServer, ObsvHub};
+use hifind_telemetry::Registry;
+use hifind_trafficgen::presets;
+use serde::{Serialize, Value};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Minimal HTTP/1.1 client: one request, reads to EOF (the server sends
+/// `Connection: close`), returns (status, body).
+fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to API");
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {raw}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get_json(addr: &str, path: &str) -> Value {
+    let (status, body) = request(addr, "GET", path, None);
+    assert_eq!(status, 200, "GET {path}: {body}");
+    serde_json::from_str(&body).unwrap_or_else(|e| panic!("GET {path} not JSON ({e}): {body}"))
+}
+
+fn post_json(addr: &str, path: &str, body: &str) -> Value {
+    let (status, text) = request(addr, "POST", path, Some(body));
+    assert_eq!(status, 200, "POST {path}: {text}");
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("POST {path} not JSON ({e}): {text}"))
+}
+
+fn seq_len(v: Option<&Value>) -> usize {
+    v.and_then(Value::as_seq).map_or(0, <[Value]>::len)
+}
+
+#[test]
+fn archived_window_replays_bit_identical_and_stricter_threshold_changes_alerts() {
+    let seed = 2026;
+    // Same shape as the collect-plane loopback test: CI-sized sketches
+    // with a threshold sensitive enough that the scaled-down trace
+    // actually alerts — a zero-alert bit-identical replay would be
+    // vacuous.
+    let mut cfg = HiFindConfig::small(seed);
+    cfg.interval_ms = 60_000;
+    cfg.threshold_per_sec = 0.25;
+    let (trace, _) = presets::nu_like(seed).scaled(0.05).generate();
+    assert!(!trace.is_empty());
+
+    let dir = std::env::temp_dir().join(format!("hifind-obsv-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let event_path = dir.join("events.jsonl");
+
+    // A tiny hot ring and short segments force most of the run through
+    // the warm tier, so the replay crosses segment files, not just RAM.
+    let mut hcfg = HistoryConfig::with_dir(&dir);
+    hcfg.hot_capacity = 2;
+    hcfg.segment_intervals = 4;
+    // Bit-identity needs the full run retained: lift the byte budget so
+    // retention never evicts the earliest segments out from under us.
+    hcfg.max_warm_bytes = 1 << 30;
+    let registry = Registry::new();
+    let history = Arc::new(
+        HistoryStore::open(hcfg, cfg.fingerprint(), Some(&registry)).expect("open history"),
+    );
+    let events = EventLog::open(&event_path, cfg.fingerprint()).expect("open event log");
+    let hub = Arc::new(ObsvHub::new(cfg, Arc::clone(&history), Some(events)));
+
+    // Live run: record each window, detect, and hand every closed
+    // interval to the hub exactly as the collector would.
+    let mut recorder = SketchRecorder::new(&cfg).expect("recorder");
+    let mut core = DetectionCore::new(cfg).expect("core");
+    let mut last_interval = 0;
+    for window in trace.intervals(cfg.interval_ms) {
+        for p in window.packets {
+            recorder.record(p);
+        }
+        let snapshot = recorder.take_snapshot();
+        let outcome = core.process_snapshot(&snapshot);
+        hub.interval_closed(window.index, &snapshot, &outcome, 1, 1);
+        last_interval = window.index;
+    }
+    let live = core.log().clone();
+    assert!(
+        !live.alerts(hifind::Phase::Raw).is_empty(),
+        "trace must trigger detection for bit-identity to mean anything"
+    );
+    assert!(last_interval >= 8, "need enough intervals to spill");
+
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        ApiState {
+            hub: Arc::clone(&hub),
+            registry: Some(Arc::new(registry)),
+        },
+    )
+    .expect("bind API");
+    let addr = server.local_addr().to_string();
+
+    // Replay under the original thresholds: bit-identical alert log.
+    let replay = post_json(
+        &addr,
+        "/api/replay",
+        &format!("{{\"from\":0,\"to\":{last_interval}}}"),
+    );
+    assert_eq!(
+        replay.get("intervals_replayed"),
+        Some(&Value::UInt(last_interval + 1)),
+        "every archived interval must be found: {replay:?}"
+    );
+    assert_eq!(replay.get("gaps"), Some(&Value::UInt(0)));
+    assert_eq!(
+        replay.get("alerts"),
+        Some(&live.to_value()),
+        "replay with original thresholds must reproduce the live alert log bit for bit"
+    );
+
+    // Replay under a far stricter threshold: the alert set must change.
+    let strict = post_json(
+        &addr,
+        "/api/replay",
+        &format!("{{\"from\":0,\"to\":{last_interval},\"threshold_per_sec\":1000.0}}"),
+    );
+    assert_ne!(
+        strict.get("alerts"),
+        Some(&live.to_value()),
+        "a 4000x stricter threshold must change the alert set"
+    );
+    let live_value = live.to_value();
+    assert!(
+        seq_len(strict.get("alerts").and_then(|a| a.get("raw"))) < seq_len(live_value.get("raw")),
+        "stricter threshold must raise fewer raw alerts"
+    );
+
+    // The live alert mirror serves the same log the detection core built.
+    let alerts = get_json(&addr, "/api/alerts");
+    assert_eq!(alerts, live_value, "alert mirror must match the live log");
+
+    // Interval summaries cover the whole archived window across tiers.
+    let intervals = get_json(&addr, &format!("/api/intervals?from=0&to={last_interval}"));
+    assert_eq!(
+        intervals.get("count"),
+        Some(&Value::UInt(last_interval + 1))
+    );
+    let summaries = intervals
+        .get("intervals")
+        .and_then(Value::as_seq)
+        .expect("intervals array");
+    assert!(
+        summaries
+            .iter()
+            .any(|s| s.get("tier").and_then(Value::as_str) == Some("warm")),
+        "short hot ring must have spilled intervals to the warm tier"
+    );
+    assert!(
+        summaries
+            .iter()
+            .any(|s| s.get("tier").and_then(Value::as_str) == Some("hot")),
+        "latest intervals stay in the hot ring"
+    );
+
+    // Sketch health of the latest archived interval: all six grids.
+    let health = get_json(&addr, "/api/sketch-health");
+    assert_eq!(health.get("interval"), Some(&Value::UInt(last_interval)));
+    assert_eq!(
+        seq_len(health.get("sketches")),
+        6,
+        "one health entry per named grid: {health:?}"
+    );
+
+    // Liveness and scrape endpoints.
+    let healthz = get_json(&addr, "/healthz");
+    assert_eq!(healthz.get("status").and_then(Value::as_str), Some("ok"));
+    let (status, metrics) = request(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("# TYPE hifind_history_archived_total counter"),
+        "history metrics must be exposed: {metrics}"
+    );
+    assert!(
+        metrics.contains(&format!(
+            "hifind_history_archived_total {}",
+            last_interval + 1
+        )),
+        "{metrics}"
+    );
+
+    // Unknown routes and bad methods fail typed, not hang.
+    let (status, _) = request(&addr, "GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _) = request(&addr, "POST", "/metrics", None);
+    assert_eq!(status, 405);
+    let (status, body) = request(&addr, "POST", "/api/replay", Some("{\"from\":5}"));
+    assert_eq!(status, 400, "{body}");
+
+    server.stop();
+
+    // The event log recorded one interval_closed per interval, each
+    // stamped with the schema version and config fingerprint.
+    let text = std::fs::read_to_string(&event_path).expect("event log");
+    let records: Vec<Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("event line parses"))
+        .collect();
+    let closed = records
+        .iter()
+        .filter(|r| r.get("event").and_then(Value::as_str) == Some("interval_closed"))
+        .count();
+    assert_eq!(closed as u64, last_interval + 1);
+    let fp = format!("{:#018x}", cfg.fingerprint());
+    assert!(
+        records.iter().all(|r| r.get("v") == Some(&Value::UInt(1))
+            && r.get("fingerprint").and_then(Value::as_str) == Some(&fp)),
+        "every record carries schema version and fingerprint"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

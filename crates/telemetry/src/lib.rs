@@ -192,4 +192,47 @@ hifind_saturation_ppm 1200
 ";
         assert_eq!(text, expected);
     }
+
+    #[test]
+    fn prometheus_help_escapes_newlines_and_backslashes() {
+        let registry = Registry::new();
+        registry
+            .counter(
+                "hifind_odd_help_total",
+                "first line\nsecond line with a \\ backslash",
+            )
+            .unwrap()
+            .add(1);
+        let text = registry.snapshot().to_prometheus_text();
+        let expected = "\
+# HELP hifind_odd_help_total first line\\nsecond line with a \\\\ backslash
+# TYPE hifind_odd_help_total counter
+hifind_odd_help_total 1
+";
+        assert_eq!(text, expected);
+        // Line-oriented invariant: nothing but the sample line escapes
+        // the comment prefix, no matter what the help text contains.
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn prometheus_histogram_emits_spec_ordered_series() {
+        // An empty histogram must still expose the full bucket series,
+        // the +Inf bucket, then _sum and _count — in that order.
+        let registry = Registry::new();
+        registry
+            .histogram("hifind_empty_seconds", "Never observed", vec![0.5, 5.0])
+            .unwrap();
+        let text = registry.snapshot().to_prometheus_text();
+        let expected = "\
+# HELP hifind_empty_seconds Never observed
+# TYPE hifind_empty_seconds histogram
+hifind_empty_seconds_bucket{le=\"0.5\"} 0
+hifind_empty_seconds_bucket{le=\"5\"} 0
+hifind_empty_seconds_bucket{le=\"+Inf\"} 0
+hifind_empty_seconds_sum 0
+hifind_empty_seconds_count 0
+";
+        assert_eq!(text, expected);
+    }
 }

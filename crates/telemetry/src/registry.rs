@@ -255,7 +255,7 @@ impl RegistrySnapshot {
         use std::fmt::Write as _;
         let mut out = String::new();
         for m in &self.metrics {
-            let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+            let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
             match &m.value {
                 MetricValue::Counter { value } => {
                     let _ = writeln!(out, "# TYPE {} counter", m.name);
@@ -290,4 +290,11 @@ impl RegistrySnapshot {
 /// `le` labels keep their natural float rendering (`0.01`, not `1e-2`).
 fn fmt_f64_le(v: f64) -> String {
     format!("{v}")
+}
+
+/// Escapes a HELP string per the exposition format: backslash and
+/// newline would otherwise break the line-oriented parse (a raw newline
+/// in help text turns the rest of the string into a bogus sample line).
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
 }

@@ -13,21 +13,23 @@ use crate::scan::{scan, ScannedFile};
 /// Library crates whose non-test code must be panic-free: these sit on
 /// the record/decode/detect hot paths that process attacker-influenced
 /// traffic, where an abort is a DoS primitive (PAPER.md §1, §5).
-pub const PANIC_FREE_CRATES: [&str; 6] = [
+pub const PANIC_FREE_CRATES: [&str; 7] = [
     "crates/flow/src",
     "crates/sketch/src",
     "crates/hashing/src",
     "crates/forecast/src",
     "crates/hifind/src",
     "crates/collect/src",
+    "crates/obsv/src",
 ];
 
 /// Boundary files that parse raw wire bytes: every integer conversion
 /// must be checked, so no bare `as` casts.
-pub const CAST_CHECKED_FILES: [&str; 3] = [
+pub const CAST_CHECKED_FILES: [&str; 4] = [
     "crates/collect/src/wire.rs",
     "crates/collect/src/codec.rs",
     "crates/collect/src/checkpoint.rs",
+    "crates/obsv/src/history.rs",
 ];
 
 /// One finding.
@@ -338,12 +340,13 @@ fn atomics_audit(rel_path: &str, file: &ScannedFile, out: &mut Vec<Violation>) {
     }
 }
 
-/// Rule `bounded-channels`: the collector absorbs backpressure in TCP,
-/// never in memory — an unbounded `mpsc::channel` between reader and
-/// aligner would let one fast router queue unbounded snapshots and undo
-/// the DoS-resilience story. Use `mpsc::sync_channel` with a small bound.
+/// Rule `bounded-channels`: the collector and the observability plane
+/// absorb backpressure in TCP, never in memory — an unbounded
+/// `mpsc::channel` between reader and aligner (or acceptor and HTTP
+/// worker) would let one fast peer queue unbounded work and undo the
+/// DoS-resilience story. Use `mpsc::sync_channel` with a small bound.
 fn bounded_channels(rel_path: &str, file: &ScannedFile, out: &mut Vec<Violation>) {
-    if !rel_path.starts_with("crates/collect/src") {
+    if !rel_path.starts_with("crates/collect/src") && !rel_path.starts_with("crates/obsv/src") {
         return;
     }
     for line in file.lines.iter().filter(|l| !l.in_test) {
@@ -647,6 +650,29 @@ mod tests {
         assert!(
             lint(FAULTS, cast).is_empty(),
             "faults.rs is not a byte-parsing boundary"
+        );
+    }
+
+    #[test]
+    fn obsv_modules_are_inside_the_lint_perimeter() {
+        // The observability plane accepts untrusted HTTP connections and
+        // parses on-disk history segments; it must sit inside the same
+        // perimeter as the collect crate — a rename that silently moved
+        // it out would gut the rules.
+        const OBSV: &str = "crates/obsv/src/http.rs";
+        const HISTORY: &str = "crates/obsv/src/history.rs";
+        let chan =
+            "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u8>(); tx.send(1); rx.recv(); }\n";
+        assert_eq!(rules_of(&lint(OBSV, chan)), vec!["bounded-channels"]);
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(rules_of(&lint(OBSV, spawn)), vec!["joined-threads"]);
+        let unwrap = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(rules_of(&lint(OBSV, unwrap)), vec!["hot-path-panic"]);
+        let cast = "fn f(x: u64) -> usize { x as usize }\n";
+        assert_eq!(rules_of(&lint(HISTORY, cast)), vec!["truncating-cast"]);
+        assert!(
+            lint(OBSV, cast).is_empty(),
+            "http.rs is not a byte-parsing boundary"
         );
     }
 
