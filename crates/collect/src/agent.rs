@@ -2,9 +2,10 @@
 //!
 //! A [`RouterAgent`] wraps the per-packet [`SketchRecorder`] — the only
 //! thing HiFIND asks of an edge router — and turns each interval's
-//! snapshot into one wire frame. Shipping is engineered for an unreliable
-//! collector, because a detection site restart must never ripple back
-//! into the data plane:
+//! snapshot into one wire frame. Shipping runs through the shared
+//! [`crate::ship::Shipper`], engineered for an unreliable collector,
+//! because a detection site restart must never ripple back into the data
+//! plane:
 //!
 //! * frames queue in a **bounded backlog** (oldest dropped first on
 //!   overflow, since fresher intervals matter more to detection);
@@ -15,6 +16,7 @@
 //!   missed intervals in order and realigns via the frame headers.
 
 use crate::checkpoint::{self, AgentCheckpoint, CheckpointError};
+use crate::ship::{ShipConfig, Shipper};
 use crate::wire;
 use crate::CollectError;
 use hifind::parallel::{ParallelError, ParallelRecorder};
@@ -22,9 +24,6 @@ use hifind::{HiFindConfig, IntervalSnapshot, SketchRecorder};
 use hifind_flow::Packet;
 use hifind_sketch::SketchError;
 use serde::Serialize;
-use std::collections::VecDeque;
-use std::io::Write;
-use std::net::TcpStream;
 use std::time::Duration;
 
 /// Shipping policy of one router agent.
@@ -58,9 +57,20 @@ impl AgentConfig {
             io_timeout: Duration::from_secs(5),
         }
     }
+
+    /// The shipping-policy subset of this configuration.
+    pub fn ship(&self) -> ShipConfig {
+        ShipConfig {
+            max_backlog_frames: self.max_backlog_frames,
+            max_attempts: self.max_attempts,
+            initial_backoff: self.initial_backoff,
+            max_backoff: self.max_backoff,
+            io_timeout: self.io_timeout,
+        }
+    }
 }
 
-/// Lifetime shipping counters of one agent.
+/// Lifetime shipping counters of one agent (or aggregator upstream path).
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct AgentStats {
     /// Frames produced by [`RouterAgent::end_interval`].
@@ -141,25 +151,20 @@ impl RecordPlane {
 
 /// A router agent: records packets, ships one frame per interval.
 pub struct RouterAgent {
-    addr: String,
     cfg: AgentConfig,
     fingerprint: u64,
     recorder: RecordPlane,
     interval: u64,
-    backlog: VecDeque<Vec<u8>>,
-    stream: Option<TcpStream>,
-    connected_before: bool,
-    stats: AgentStats,
-    observer: Option<std::sync::Arc<dyn crate::observer::CollectObserver>>,
+    shipper: Shipper,
 }
 
 impl std::fmt::Debug for RouterAgent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RouterAgent")
-            .field("addr", &self.addr)
+            .field("addr", &self.shipper.addr())
             .field("router_id", &self.cfg.router_id)
             .field("interval", &self.interval)
-            .field("backlog", &self.backlog.len())
+            .field("backlog", &self.shipper.backlog_len())
             .finish_non_exhaustive()
     }
 }
@@ -212,24 +217,20 @@ impl RouterAgent {
         fingerprint: u64,
         recorder: RecordPlane,
     ) -> Self {
+        let shipper = Shipper::new(addr, cfg.router_id, cfg.ship());
         RouterAgent {
-            addr: addr.into(),
             cfg,
             fingerprint,
             recorder,
             interval: 0,
-            backlog: VecDeque::new(),
-            stream: None,
-            connected_before: false,
-            stats: AgentStats::default(),
-            observer: None,
+            shipper,
         }
     }
 
     /// Attaches an observer notified on reconnects. Callbacks run inline
     /// on the shipping path, so they must stay cheap.
     pub fn set_observer(&mut self, observer: std::sync::Arc<dyn crate::observer::CollectObserver>) {
-        self.observer = Some(observer);
+        self.shipper.set_observer(observer);
     }
 
     /// Records one packet (the hot path; never touches the network).
@@ -248,23 +249,15 @@ impl RouterAgent {
             Err(_) => None,
         };
         self.interval += 1;
-        self.stats.frames_enqueued += 1;
         let mut dropped = 0;
         match frame {
-            Some(frame) => {
-                while self.backlog.len() >= self.cfg.max_backlog_frames.max(1) {
-                    self.backlog.pop_front();
-                    self.stats.frames_dropped += 1;
-                    dropped += 1;
-                }
-                self.backlog.push_back(frame);
-            }
+            Some(frame) => dropped += self.shipper.enqueue(frame),
             // An unframeable snapshot (payload beyond the u32 length
             // field, a config absurdity) or a lost shard worker is not an
             // attack surface; the interval is counted as dropped rather
             // than aborting the data plane.
             None => {
-                self.stats.frames_dropped += 1;
+                self.shipper.count_unframeable();
                 dropped += 1;
             }
         }
@@ -276,100 +269,14 @@ impl RouterAgent {
     /// Tries to ship the whole backlog within the configured attempt and
     /// backoff budget. Whatever could not be sent stays queued.
     pub fn flush(&mut self) -> ShipReport {
-        let mut report = ShipReport::default();
-        let mut attempts = 0u32;
-        let mut backoff = self.cfg.initial_backoff;
-        while !self.backlog.is_empty() {
-            if self.stream.is_none() {
-                match self.connect() {
-                    Ok(stream) => {
-                        if self.connected_before {
-                            self.stats.reconnects += 1;
-                            if let Some(obs) = &self.observer {
-                                obs.agent_reconnected(self.cfg.router_id, self.stats.reconnects);
-                            }
-                        }
-                        self.connected_before = true;
-                        self.stream = Some(stream);
-                    }
-                    Err(_) => {
-                        self.stats.send_failures += 1;
-                        attempts += 1;
-                        if attempts >= self.cfg.max_attempts {
-                            break;
-                        }
-                        std::thread::sleep(backoff);
-                        backoff = (backoff * 2).min(self.cfg.max_backoff);
-                        continue;
-                    }
-                }
-            }
-            match self.ship_front() {
-                Ok(0) => break,
-                Ok(bytes) => {
-                    self.stats.frames_shipped += 1;
-                    self.stats.bytes_shipped += bytes;
-                    report.shipped += 1;
-                    // Progress resets the retry budget.
-                    attempts = 0;
-                    backoff = self.cfg.initial_backoff;
-                }
-                Err(_) => {
-                    // The frame may have been partially written; the
-                    // collector's framing validation discards the torn
-                    // remainder on its side, and the whole frame is
-                    // resent on a fresh connection.
-                    self.stream = None;
-                    self.stats.send_failures += 1;
-                    attempts += 1;
-                    if attempts >= self.cfg.max_attempts {
-                        break;
-                    }
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(self.cfg.max_backoff);
-                }
-            }
-        }
-        report.queued = self.backlog.len();
-        report
-    }
-
-    /// Writes the front frame of the backlog, returning the bytes shipped
-    /// (`0` when the backlog is empty — nothing to do).
-    fn ship_front(&mut self) -> Result<u64, AgentError> {
-        let stream = self.stream.as_mut().ok_or(AgentError::NotConnected)?;
-        let Some(frame) = self.backlog.front() else {
-            return Ok(0);
-        };
-        stream.write_all(frame).map_err(AgentError::Io)?;
-        let bytes = frame.len() as u64;
-        self.backlog.pop_front();
-        Ok(bytes)
-    }
-
-    fn connect(&self) -> std::io::Result<TcpStream> {
-        let mut last_err = None;
-        for addr in std::net::ToSocketAddrs::to_socket_addrs(&self.addr.as_str())? {
-            match TcpStream::connect_timeout(&addr, self.cfg.io_timeout) {
-                Ok(stream) => {
-                    stream.set_write_timeout(Some(self.cfg.io_timeout))?;
-                    stream.set_nodelay(true)?;
-                    return Ok(stream);
-                }
-                Err(e) => last_err = Some(e),
-            }
-        }
-        Err(last_err.unwrap_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::NotFound, "address resolved to nothing")
-        }))
+        self.shipper.flush()
     }
 
     /// Points the agent at a different collector address (e.g. a restarted
     /// site on a new port). Any open connection is dropped; the backlog is
     /// kept and ships to the new address on the next flush.
     pub fn set_collector_addr(&mut self, addr: impl Into<String>) {
-        self.addr = addr.into();
-        self.stream = None;
+        self.shipper.set_addr(addr);
     }
 
     /// Snapshots the agent's durable state: identity, interval counter,
@@ -382,7 +289,7 @@ impl RouterAgent {
             fingerprint: self.fingerprint,
             router_id: self.cfg.router_id,
             interval: self.interval,
-            backlog: self.backlog.iter().cloned().collect(),
+            backlog: self.shipper.backlog_frames(),
         }
     }
 
@@ -430,7 +337,7 @@ impl RouterAgent {
         }
         let mut agent = RouterAgent::new(addr, hifind_cfg, cfg).map_err(CollectError::Sketch)?;
         agent.interval = ckpt.interval;
-        agent.backlog = ckpt.backlog.iter().cloned().collect();
+        agent.shipper.restore_backlog(&ckpt.backlog);
         Ok(agent)
     }
 
@@ -451,7 +358,7 @@ impl RouterAgent {
 
     /// Frames waiting for a reachable collector.
     pub fn backlog_len(&self) -> usize {
-        self.backlog.len()
+        self.shipper.backlog_len()
     }
 
     /// Intervals ended so far (the next frame's interval index).
@@ -461,18 +368,16 @@ impl RouterAgent {
 
     /// Lifetime shipping counters.
     pub fn stats(&self) -> &AgentStats {
-        &self.stats
+        self.shipper.stats()
     }
 
     /// Final flush, then closes the connection, joins any shard workers,
     /// and returns the stats.
     pub fn finish(mut self) -> AgentStats {
-        self.flush();
-        drop(self.stream.take());
-        let RouterAgent {
-            recorder, stats, ..
-        } = self;
-        if let RecordPlane::Sharded(r) = recorder {
+        self.shipper.flush();
+        self.shipper.close();
+        let stats = self.shipper.stats().clone();
+        if let RecordPlane::Sharded(r) = self.recorder {
             // A worker lost earlier already surfaced as a dropped frame;
             // all that matters here is that every thread is joined.
             let _ = r.finish();

@@ -1,19 +1,22 @@
-//! The central collection site: TCP acceptor, per-router readers, and the
+//! The central collection site: an event-driven connection engine and the
 //! interval aligner that feeds [`DetectionCore`].
 //!
 //! # Threading
 //!
-//! * **acceptor** — non-blocking `accept` loop; spawns one reader per
-//!   connection and exits on shutdown.
-//! * **readers** (one per connection) — accumulate bytes with a short read
-//!   timeout (so shutdown is never blocked on a silent peer), slice out
-//!   complete frames, validate them ([`crate::wire`]), and forward decoded
-//!   snapshots over a bounded channel — TCP backpressure, not unbounded
-//!   queueing, absorbs a router that outpaces detection.
+//! * **engine** (one thread, [`crate::engine`]) — a readiness-driven poll
+//!   loop over the listener, a wakeup pipe, and every downstream
+//!   connection; per-connection buffers and frame state machines slice
+//!   out complete frames, validate them ([`crate::wire`]), and forward
+//!   decoded snapshots over a bounded channel — TCP backpressure, not
+//!   unbounded queueing, absorbs a router that outpaces detection. No
+//!   thread is spawned per connection, so fan-in scales to hundreds of
+//!   routers per node.
 //! * **aligner** — owns the [`DetectionCore`]. Frames for the same
 //!   interval are combined *incrementally on arrival* (one accumulated
 //!   snapshot per pending interval, never a list), so collector memory is
-//!   bounded by the reorder window, not by router count.
+//!   bounded by the reorder window, not by router count. The alignment
+//!   policy itself lives in [`crate::align`], shared with the mid-tier
+//!   [`crate::aggregator`] so every tier degrades identically.
 //!
 //! # Graceful degradation
 //!
@@ -21,26 +24,26 @@
 //! soon as every expected router reported; otherwise after
 //! [`CollectorConfig::straggler_deadline`] it flushes with whatever quorum
 //! arrived and the missing contributions are counted. An interval no
-//! router reported (a gap while later intervals stream in) is synthesized
-//! as an all-zero snapshot so the forecast models stay time-aligned. A
-//! crashed router therefore costs observability of its traffic slice —
-//! never liveness of the pipeline.
+//! router reported (a gap while later intervals stream in) advances the
+//! grid via [`DetectionCore::process_gap`]. A crashed router therefore
+//! costs observability of its traffic slice — never liveness of the
+//! pipeline.
 
+use crate::align::{AlignPolicy, Flush, FlushKind, IntervalAligner, OfferOutcome};
 use crate::checkpoint;
+use crate::engine::{EngineConfig, EngineHandle, Event, PollEngine};
 use crate::observer::CollectObserver;
-use crate::wire::{self, WireError, HEADER_LEN};
+use crate::wire::{self, WireError};
 use crate::CollectError;
 use hifind::pipeline::DetectionCore;
 use hifind::report::AlertLog;
 use hifind::{HiFindConfig, IntervalSnapshot};
 use hifind_telemetry::{exponential_buckets, Counter, Gauge, Histogram, Registry, TelemetryError};
 use serde::Serialize;
-use std::collections::BTreeMap;
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -164,23 +167,24 @@ pub struct CollectionReport {
     pub log: AlertLog,
 }
 
-/// Best-effort collector metrics (`hifind_collect_*`).
-struct CollectorTelemetry {
-    routers_connected: Arc<Gauge>,
-    frames_received: Arc<Counter>,
-    frames_late: Arc<Counter>,
-    frames_rejected: Arc<Counter>,
-    straggler_slots: Arc<Counter>,
-    bytes_received: Arc<Counter>,
-    combine_seconds: Arc<Histogram>,
-    checkpoint_written: Arc<Counter>,
-    checkpoint_write_errors: Arc<Counter>,
-    checkpoint_resumed: Arc<Counter>,
-    checkpoint_last_interval: Arc<Gauge>,
+/// Best-effort collection-tier metrics (`hifind_collect_*`), shared with
+/// the mid-tier aggregator so every tier exports the same series.
+pub(crate) struct CollectorTelemetry {
+    pub(crate) routers_connected: Arc<Gauge>,
+    pub(crate) frames_received: Arc<Counter>,
+    pub(crate) frames_late: Arc<Counter>,
+    pub(crate) frames_rejected: Arc<Counter>,
+    pub(crate) straggler_slots: Arc<Counter>,
+    pub(crate) bytes_received: Arc<Counter>,
+    pub(crate) combine_seconds: Arc<Histogram>,
+    pub(crate) checkpoint_written: Arc<Counter>,
+    pub(crate) checkpoint_write_errors: Arc<Counter>,
+    pub(crate) checkpoint_resumed: Arc<Counter>,
+    pub(crate) checkpoint_last_interval: Arc<Gauge>,
 }
 
 impl CollectorTelemetry {
-    fn new(registry: &Registry) -> Result<Self, TelemetryError> {
+    pub(crate) fn new(registry: &Registry) -> Result<Self, TelemetryError> {
         Ok(CollectorTelemetry {
             routers_connected: registry.gauge(
                 "hifind_collect_routers_connected",
@@ -231,32 +235,12 @@ impl CollectorTelemetry {
     }
 }
 
-/// Reader → aligner messages.
-enum Event {
-    Connected,
-    Frame {
-        router_id: u32,
-        interval: u64,
-        snapshot: Box<IntervalSnapshot>,
-        frame_bytes: u64,
-    },
-    Rejected(WireError),
-    Disconnected,
-}
-
-/// One interval being assembled.
-struct Pending {
-    combined: IntervalSnapshot,
-    routers: Vec<u32>,
-    first_seen: Instant,
-}
-
 /// The collection daemon. [`Collector::bind`] starts it; the returned
 /// [`CollectorHandle`] stops or awaits it.
 pub struct Collector;
 
 impl Collector {
-    /// Binds `addr` and starts the acceptor and aligner threads.
+    /// Binds `addr` and starts the engine and aligner threads.
     ///
     /// # Errors
     ///
@@ -270,19 +254,21 @@ impl Collector {
     ) -> Result<CollectorHandle, CollectError> {
         let telemetry = registry.as_ref().map(CollectorTelemetry::new).transpose()?;
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        // A small bound: senders (readers) block — and thus stop reading
-        // their sockets — when detection falls behind, pushing the
-        // backpressure onto TCP instead of collector memory.
+        // A small bound: the engine blocks — and thus stops reading its
+        // sockets — when detection falls behind, pushing the backpressure
+        // onto TCP instead of collector memory.
         let (tx, rx) = std::sync::mpsc::sync_channel::<Event>(32);
-
-        let acceptor = {
-            let shutdown = Arc::clone(&shutdown);
-            let max_payload = collector_cfg.max_payload_bytes;
-            std::thread::spawn(move || accept_loop(listener, tx, shutdown, max_payload))
-        };
+        let engine = PollEngine::spawn(
+            listener,
+            tx,
+            Arc::clone(&shutdown),
+            EngineConfig {
+                max_payload: collector_cfg.max_payload_bytes,
+                tick: Duration::from_millis(50),
+            },
+        )?;
         let aligner = {
             let shutdown = Arc::clone(&shutdown);
             let mut aligner = Aligner::new(cfg, collector_cfg, telemetry)?;
@@ -291,7 +277,7 @@ impl Collector {
         Ok(CollectorHandle {
             local_addr,
             shutdown,
-            acceptor,
+            engine,
             aligner,
         })
     }
@@ -301,7 +287,7 @@ impl Collector {
 pub struct CollectorHandle {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    acceptor: JoinHandle<()>,
+    engine: EngineHandle,
     aligner: JoinHandle<CollectionReport>,
 }
 
@@ -312,7 +298,9 @@ impl CollectorHandle {
     }
 
     /// Signals shutdown and returns the report once both threads exit.
-    /// Pending intervals are flushed (partial where needed) first.
+    /// Pending intervals are flushed (partial where needed) first. The
+    /// engine's wakeup pipe makes the stop prompt — no waiting out an
+    /// accept or read timeout tick.
     ///
     /// # Errors
     ///
@@ -320,6 +308,7 @@ impl CollectorHandle {
     /// report is lost with it.
     pub fn stop(self) -> Result<CollectionReport, CollectError> {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.engine.wake();
         self.join()
     }
 
@@ -337,120 +326,22 @@ impl CollectorHandle {
 
     fn join(self) -> Result<CollectionReport, CollectError> {
         let aligner_outcome = self.aligner.join();
-        // The aligner is done (or dead); release the acceptor either way
-        // so a worker panic cannot leak a spinning accept loop.
+        // The aligner is done (or dead); release the engine either way so
+        // a worker panic cannot leak a spinning poll loop.
         self.shutdown.store(true, Ordering::SeqCst);
-        let acceptor_outcome = self.acceptor.join();
+        self.engine.wake();
+        let engine_outcome = self.engine.join();
         let report = aligner_outcome.map_err(|_| CollectError::WorkerPanic("aligner"))?;
-        acceptor_outcome.map_err(|_| CollectError::WorkerPanic("acceptor"))?;
+        engine_outcome?;
         Ok(report)
     }
-}
-
-fn accept_loop(
-    listener: TcpListener,
-    tx: SyncSender<Event>,
-    shutdown: Arc<AtomicBool>,
-    max_payload: u32,
-) {
-    let mut readers = Vec::new();
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let tx = tx.clone();
-                let shutdown = Arc::clone(&shutdown);
-                readers.push(std::thread::spawn(move || {
-                    reader_loop(stream, tx, shutdown, max_payload)
-                }));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => break,
-        }
-    }
-    drop(tx);
-    for r in readers {
-        let _ = r.join();
-    }
-}
-
-/// Reads one connection, slicing validated frames out of a growing buffer
-/// so short read timeouts (needed for prompt shutdown) can never split a
-/// frame.
-fn reader_loop(
-    mut stream: TcpStream,
-    tx: SyncSender<Event>,
-    shutdown: Arc<AtomicBool>,
-    max_payload: u32,
-) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    if tx.send(Event::Connected).is_err() {
-        return;
-    }
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 64 * 1024];
-    'conn: while !shutdown.load(Ordering::SeqCst) {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                loop {
-                    if buf.len() < HEADER_LEN {
-                        break;
-                    }
-                    let Ok(header_bytes) = <[u8; HEADER_LEN]>::try_from(&buf[..HEADER_LEN]) else {
-                        // Length is guaranteed by the guard above; bail
-                        // rather than panic if that invariant ever breaks.
-                        break 'conn;
-                    };
-                    let header = match wire::parse_header(&header_bytes, max_payload) {
-                        Ok(h) => h,
-                        Err(e) => {
-                            // Framing is lost; drop the connection.
-                            let _ = tx.send(Event::Rejected(e));
-                            break 'conn;
-                        }
-                    };
-                    let frame_len = HEADER_LEN + header.payload_len as usize;
-                    if buf.len() < frame_len {
-                        break;
-                    }
-                    let event = match wire::decode_payload(&header, &buf[HEADER_LEN..frame_len]) {
-                        Ok(snapshot) => Event::Frame {
-                            router_id: header.router_id,
-                            interval: header.interval,
-                            snapshot: Box::new(snapshot),
-                            frame_bytes: frame_len as u64,
-                        },
-                        // Framing itself is intact (length checked out),
-                        // so a bad payload skips one frame, not the
-                        // connection.
-                        Err(e) => Event::Rejected(e),
-                    };
-                    buf.drain(..frame_len);
-                    if tx.send(event).is_err() {
-                        return;
-                    }
-                }
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) => {}
-            Err(_) => break,
-        }
-    }
-    let _ = tx.send(Event::Disconnected);
 }
 
 struct Aligner {
     core: DetectionCore,
     cfg: CollectorConfig,
     fingerprint: u64,
-    pending: BTreeMap<u64, Pending>,
-    next_interval: u64,
+    aligner: IntervalAligner,
     report: CollectionReport,
     telemetry: Option<CollectorTelemetry>,
     live_connections: usize,
@@ -480,13 +371,19 @@ impl Aligner {
             }
             None => DetectionCore::new(cfg)?,
         };
-        let next_interval = core.intervals_processed();
+        let aligner = IntervalAligner::new(
+            AlignPolicy {
+                expected: collector_cfg.expected_routers,
+                straggler_deadline: collector_cfg.straggler_deadline,
+                reorder_window: collector_cfg.reorder_window,
+            },
+            core.intervals_processed(),
+        );
         Ok(Aligner {
             fingerprint: cfg.fingerprint(),
             core,
             cfg: collector_cfg,
-            pending: BTreeMap::new(),
-            next_interval,
+            aligner,
             report,
             telemetry,
             live_connections: 0,
@@ -496,7 +393,12 @@ impl Aligner {
     }
 
     fn run(&mut self, rx: Receiver<Event>, shutdown: Arc<AtomicBool>) -> CollectionReport {
-        let tick = (self.cfg.straggler_deadline / 4).max(Duration::from_millis(10));
+        // The tick bounds two latencies while the channel is quiet:
+        // noticing a straggler deadline and noticing natural finish
+        // (everyone disconnected + linger). Cap it so a long straggler
+        // deadline cannot leave a finished run parked for minutes.
+        let tick = (self.cfg.straggler_deadline / 4)
+            .clamp(Duration::from_millis(10), Duration::from_secs(1));
         loop {
             match rx.recv_timeout(tick) {
                 Ok(event) => self.handle(event),
@@ -508,7 +410,7 @@ impl Aligner {
                 break;
             }
         }
-        // Drain whatever the readers already decoded, then flush every
+        // Drain whatever the engine already decoded, then flush every
         // pending interval — partial or not, detection never hangs.
         while let Ok(event) = rx.try_recv() {
             self.handle(event);
@@ -527,9 +429,9 @@ impl Aligner {
         let Some(policy) = &self.cfg.checkpoint else {
             return;
         };
+        let next_interval = self.aligner.next_interval();
         let due = force
-            || (policy.every_intervals > 0
-                && self.next_interval.is_multiple_of(policy.every_intervals));
+            || (policy.every_intervals > 0 && next_interval.is_multiple_of(policy.every_intervals));
         if !due {
             return;
         }
@@ -539,10 +441,10 @@ impl Aligner {
                 if let Some(t) = &self.telemetry {
                     t.checkpoint_written.inc();
                     t.checkpoint_last_interval
-                        .set(i64::try_from(self.next_interval).unwrap_or(i64::MAX));
+                        .set(i64::try_from(next_interval).unwrap_or(i64::MAX));
                 }
                 if let Some(obs) = &self.cfg.observer {
-                    obs.checkpoint_written(self.next_interval, &policy.path);
+                    obs.checkpoint_written(next_interval, &policy.path);
                 }
             }
             Err(e) => {
@@ -624,46 +526,29 @@ impl Aligner {
             }
             return;
         }
-        if interval < self.next_interval {
-            self.late_frame();
-            return;
-        }
         let combine_start = Instant::now();
-        match self.pending.entry(interval) {
-            std::collections::btree_map::Entry::Vacant(slot) => {
-                slot.insert(Pending {
-                    combined: snapshot,
-                    routers: vec![router_id],
-                    first_seen: Instant::now(),
-                });
-            }
-            std::collections::btree_map::Entry::Occupied(mut slot) => {
-                let pending = slot.get_mut();
-                if pending.routers.contains(&router_id) {
-                    self.late_frame();
-                    return;
+        match self.aligner.offer(router_id, interval, snapshot) {
+            OfferOutcome::Accepted => {
+                self.report.frames_received += 1;
+                self.report.bytes_received += frame_bytes;
+                if !self.report.routers_seen.contains(&router_id) {
+                    self.report.routers_seen.push(router_id);
                 }
-                if pending.combined.combine_into(&snapshot).is_err() {
-                    // Unreachable given the fingerprint gate, but a typed
-                    // rejection beats a poisoned aggregate.
-                    self.report.frames_rejected += 1;
-                    if let Some(t) = &self.telemetry {
-                        t.frames_rejected.inc();
-                    }
-                    return;
+                if let Some(t) = &self.telemetry {
+                    t.frames_received.inc();
+                    t.bytes_received.add(frame_bytes);
+                    t.combine_seconds.observe_duration(combine_start.elapsed());
                 }
-                pending.routers.push(router_id);
             }
-        }
-        self.report.frames_received += 1;
-        self.report.bytes_received += frame_bytes;
-        if !self.report.routers_seen.contains(&router_id) {
-            self.report.routers_seen.push(router_id);
-        }
-        if let Some(t) = &self.telemetry {
-            t.frames_received.inc();
-            t.bytes_received.add(frame_bytes);
-            t.combine_seconds.observe_duration(combine_start.elapsed());
+            OfferOutcome::Late | OfferOutcome::Duplicate => self.late_frame(),
+            OfferOutcome::CombineFailed => {
+                // Unreachable given the fingerprint gate, but a typed
+                // rejection beats a poisoned aggregate.
+                self.report.frames_rejected += 1;
+                if let Some(t) = &self.telemetry {
+                    t.frames_rejected.inc();
+                }
+            }
         }
     }
 
@@ -674,76 +559,61 @@ impl Aligner {
         }
     }
 
-    /// Flushes every interval that is complete, expired, or forced out of
-    /// the reorder window; with `drain` flushes everything pending.
+    /// Flushes every interval the aligner deems ready; with `drain`
+    /// flushes everything pending.
     fn flush_ready(&mut self, drain: bool) {
-        loop {
-            let over_window = self.pending.len() as u64 > self.cfg.reorder_window;
-            match self.pending.get(&self.next_interval) {
-                Some(p) => {
-                    let complete = p.routers.len() >= self.cfg.expected_routers;
-                    let expired = p.first_seen.elapsed() >= self.cfg.straggler_deadline;
-                    if !(complete || expired || over_window || drain) {
-                        return;
-                    }
-                    let Some(p) = self.pending.remove(&self.next_interval) else {
-                        return;
-                    };
-                    self.report.intervals_flushed += 1;
-                    if complete {
-                        self.report.complete_intervals += 1;
-                    } else {
-                        self.report.partial_intervals += 1;
-                        let missing = (self.cfg.expected_routers - p.routers.len()) as u64;
-                        self.report.straggler_slots += missing;
-                        if let Some(t) = &self.telemetry {
-                            t.straggler_slots.add(missing);
-                        }
-                    }
-                    let outcome = self.core.process_snapshot(&p.combined);
-                    if let Some(obs) = &self.cfg.observer {
-                        obs.interval_closed(
-                            self.next_interval,
-                            &p.combined,
-                            &outcome,
-                            p.routers.len(),
-                            self.cfg.expected_routers,
-                        );
+        while let Some(flush) = self.aligner.pop_ready(drain) {
+            self.report.intervals_flushed += 1;
+            match &flush.kind {
+                FlushKind::Complete => self.report.complete_intervals += 1,
+                FlushKind::Partial { missing } => {
+                    self.report.partial_intervals += 1;
+                    self.report.straggler_slots += missing;
+                    if let Some(t) = &self.telemetry {
+                        t.straggler_slots.add(*missing);
                     }
                 }
-                None => {
-                    // A gap: only flush it once later intervals prove the
-                    // stream moved past it (and the hold policy agrees).
-                    let Some((&oldest, held)) = self.pending.iter().next() else {
-                        return;
-                    };
-                    debug_assert!(oldest > self.next_interval);
-                    let expired = held.first_seen.elapsed() >= self.cfg.straggler_deadline;
-                    if !(expired || over_window || drain) {
-                        return;
-                    }
-                    self.report.intervals_flushed += 1;
+                FlushKind::Gap => {
                     self.report.gap_intervals += 1;
                     self.report.straggler_slots += self.cfg.expected_routers as u64;
                     if let Some(t) = &self.telemetry {
                         t.straggler_slots.add(self.cfg.expected_routers as u64);
                     }
-                    // No observation exists for this interval. Advancing
-                    // the interval counter without stepping the
-                    // forecasters keeps the EWMA baseline frozen at its
-                    // pre-outage value — synthesizing an all-zero
-                    // snapshot here would drag the forecast toward zero
-                    // and spike the error on the first real interval
-                    // after the outage (spurious alerts on resume).
-                    let outcome = self.core.process_gap();
-                    if let Some(obs) = &self.cfg.observer {
-                        obs.gap_synthesized(self.next_interval, &outcome);
-                    }
                 }
             }
-            self.next_interval += 1;
+            self.process_flush(&flush);
             self.report.log = self.core.log().clone();
             self.maybe_checkpoint(false);
+        }
+    }
+
+    fn process_flush(&mut self, flush: &Flush) {
+        match &flush.payload {
+            Some((combined, contributors)) => {
+                let outcome = self.core.process_snapshot(combined);
+                if let Some(obs) = &self.cfg.observer {
+                    obs.interval_closed(
+                        flush.interval,
+                        combined,
+                        &outcome,
+                        *contributors,
+                        self.cfg.expected_routers,
+                    );
+                }
+            }
+            None => {
+                // No observation exists for this interval. Advancing the
+                // interval counter without stepping the forecasters keeps
+                // the EWMA baseline frozen at its pre-outage value —
+                // synthesizing an all-zero snapshot here would drag the
+                // forecast toward zero and spike the error on the first
+                // real interval after the outage (spurious alerts on
+                // resume).
+                let outcome = self.core.process_gap();
+                if let Some(obs) = &self.cfg.observer {
+                    obs.gap_synthesized(flush.interval, &outcome);
+                }
+            }
         }
     }
 }
@@ -753,6 +623,7 @@ mod tests {
     use super::*;
     use crate::agent::{AgentConfig, RouterAgent};
     use hifind_flow::Packet;
+    use std::net::TcpStream;
 
     fn local_collector(
         cfg: HiFindConfig,
@@ -821,5 +692,27 @@ mod tests {
         assert_eq!(report.intervals_flushed, 1);
         assert_eq!(report.partial_intervals, 1);
         assert_eq!(report.straggler_slots, 1);
+    }
+
+    #[test]
+    fn stop_is_prompt_even_with_an_idle_connection_open() {
+        let cfg = HiFindConfig::small(15);
+        let mut ccfg = CollectorConfig::new(2);
+        // Long deadlines everywhere: only the wakeup pipe can explain a
+        // fast stop.
+        ccfg.straggler_deadline = Duration::from_secs(60);
+        ccfg.linger = Duration::from_secs(60);
+        let handle = local_collector(cfg, ccfg, None);
+        let idle = TcpStream::connect(handle.local_addr()).expect("connect");
+        std::thread::sleep(Duration::from_millis(100));
+        let start = Instant::now();
+        let report = handle.stop().expect("collector threads");
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "stop took {:?}; the engine wakeup is not prompt",
+            start.elapsed()
+        );
+        assert_eq!(report.intervals_flushed, 0);
+        drop(idle);
     }
 }

@@ -1,0 +1,629 @@
+//! The event-driven connection engine shared by the root collector and
+//! mid-tier aggregators.
+//!
+//! One thread owns every socket of a collection node: a readiness loop
+//! (`poll(2)` over nonblocking fds) multiplexes the listener, a wakeup
+//! pipe, and all downstream connections. Each connection carries its own
+//! read buffer and a typed frame state machine ([`FrameAssembler`]); no
+//! thread is ever spawned per connection, so a node holding hundreds of
+//! downstream agents costs one engine thread, not hundreds of stacks.
+//!
+//! Decoded frames flow to the consumer (the aligner or merger thread)
+//! over a bounded channel. A consumer that falls behind blocks the
+//! engine's `send`, which stops all socket reads — backpressure lands on
+//! TCP instead of collector memory. That is a deliberate trade against
+//! the old thread-per-connection design, where one slow consumer stalled
+//! readers one at a time; the bounded channel absorbs bursts and
+//! detection is per-interval work, so the engine never waits long.
+//!
+//! Shutdown is prompt: [`EngineHandle::wake`] writes one byte into the
+//! wakeup pipe, which the poll set always watches, so `stop()` never
+//! waits out an accept or read timeout tick.
+
+use crate::wire::{self, FrameHeader, WireError, HEADER_LEN};
+use crate::CollectError;
+use hifind::IntervalSnapshot;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Engine → consumer messages, one per connection transition or frame.
+pub(crate) enum Event {
+    /// A downstream node connected.
+    Connected,
+    /// A validated, decoded snapshot frame.
+    Frame {
+        /// Sender id from the frame header.
+        router_id: u32,
+        /// Interval index from the frame header.
+        interval: u64,
+        /// The decoded snapshot (boxed: ~1 KB of inline sketch headers).
+        snapshot: Box<IntervalSnapshot>,
+        /// Header + payload size on the wire.
+        frame_bytes: u64,
+    },
+    /// A frame failed wire validation and was discarded.
+    Rejected(WireError),
+    /// A downstream node disconnected (or its stream turned fatal).
+    Disconnected,
+}
+
+/// Engine policy knobs.
+pub(crate) struct EngineConfig {
+    /// Per-frame payload cap handed to the wire layer.
+    pub max_payload: u32,
+    /// Poll timeout: the worst-case latency of noticing the shutdown
+    /// flag if the wakeup byte is ever lost (belt and braces).
+    pub tick: Duration,
+}
+
+/// A typed per-connection frame state machine: bytes accumulate in one
+/// growing buffer and frames are sliced out whole, so arbitrary TCP
+/// segmentation can never split a frame.
+pub(crate) struct FrameAssembler {
+    buf: Vec<u8>,
+    state: FrameState,
+    max_payload: u32,
+}
+
+/// Where the assembler stands in the current frame.
+enum FrameState {
+    /// Waiting for a complete 36-byte header.
+    Header,
+    /// Header parsed; waiting for its declared payload.
+    Payload(FrameHeader),
+}
+
+/// One assembler step.
+pub(crate) enum Step {
+    /// Not enough buffered bytes to advance; read more.
+    Need,
+    /// A complete, validated frame.
+    Frame {
+        /// Sender id from the frame header.
+        router_id: u32,
+        /// Interval index from the frame header.
+        interval: u64,
+        /// The decoded snapshot.
+        snapshot: Box<IntervalSnapshot>,
+        /// Header + payload size on the wire.
+        frame_bytes: u64,
+    },
+    /// The framing was intact (lengths checked out) but the payload was
+    /// bad; this frame is skipped, the connection survives.
+    Skip(WireError),
+    /// Framing itself is lost; the connection must be dropped.
+    Fatal(WireError),
+}
+
+impl FrameAssembler {
+    pub(crate) fn new(max_payload: u32) -> Self {
+        FrameAssembler {
+            buf: Vec::new(),
+            state: FrameState::Header,
+            max_payload,
+        }
+    }
+
+    /// Appends freshly read bytes.
+    pub(crate) fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Advances the state machine by at most one frame.
+    pub(crate) fn step(&mut self) -> Step {
+        let header = match self.state {
+            FrameState::Header => {
+                if self.buf.len() < HEADER_LEN {
+                    return Step::Need;
+                }
+                let Ok(header_bytes) = <[u8; HEADER_LEN]>::try_from(&self.buf[..HEADER_LEN]) else {
+                    // Length is guaranteed by the guard above; bail rather
+                    // than panic if that invariant ever breaks.
+                    return Step::Fatal(WireError::TruncatedFrame {
+                        expected: HEADER_LEN,
+                        got: self.buf.len(),
+                    });
+                };
+                match wire::parse_header(&header_bytes, self.max_payload) {
+                    Ok(h) => {
+                        self.state = FrameState::Payload(h);
+                        h
+                    }
+                    Err(e) => return Step::Fatal(e),
+                }
+            }
+            FrameState::Payload(h) => h,
+        };
+        let payload_len = match header.payload_len_usize() {
+            Ok(len) => len,
+            Err(e) => {
+                self.state = FrameState::Header;
+                return Step::Fatal(e);
+            }
+        };
+        let frame_len = HEADER_LEN + payload_len;
+        if self.buf.len() < frame_len {
+            return Step::Need;
+        }
+        let decoded = wire::decode_payload(&header, &self.buf[HEADER_LEN..frame_len]);
+        self.buf.drain(..frame_len);
+        self.state = FrameState::Header;
+        match decoded {
+            Ok(snapshot) => Step::Frame {
+                router_id: header.router_id,
+                interval: header.interval,
+                snapshot: Box::new(snapshot),
+                frame_bytes: u64::try_from(frame_len).unwrap_or(u64::MAX),
+            },
+            Err(e) => Step::Skip(e),
+        }
+    }
+}
+
+/// The write end of the engine's wakeup pipe. Writing a byte makes the
+/// poll loop return immediately, so shutdown never waits out a tick.
+#[cfg(unix)]
+pub(crate) struct Waker {
+    tx: std::os::unix::net::UnixStream,
+}
+
+#[cfg(unix)]
+impl Waker {
+    pub(crate) fn wake(&self) {
+        use std::io::Write as _;
+        // A full pipe means a wakeup is already pending; either way the
+        // poll loop gets woken, so the result is irrelevant.
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+#[cfg(unix)]
+struct WakeReader {
+    rx: std::os::unix::net::UnixStream,
+}
+
+#[cfg(unix)]
+impl WakeReader {
+    fn drain(&self) {
+        let mut sink = [0u8; 64];
+        while matches!((&self.rx).read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(unix)]
+fn wake_pair() -> std::io::Result<(Waker, WakeReader)> {
+    let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx }, WakeReader { rx }))
+}
+
+/// Portable fallback: without a pollable pipe the engine falls back to
+/// its tick, so `wake` is a no-op and shutdown costs one tick at worst.
+#[cfg(not(unix))]
+pub(crate) struct Waker;
+
+#[cfg(not(unix))]
+impl Waker {
+    pub(crate) fn wake(&self) {}
+}
+
+#[cfg(not(unix))]
+struct WakeReader;
+
+#[cfg(not(unix))]
+impl WakeReader {
+    fn drain(&self) {}
+}
+
+#[cfg(not(unix))]
+fn wake_pair() -> std::io::Result<(Waker, WakeReader)> {
+    Ok((Waker, WakeReader))
+}
+
+#[cfg(unix)]
+mod sys {
+    //! Minimal FFI binding to `poll(2)`. The libc crate is not vendored,
+    //! and `std` exposes no readiness API, so this is the one unsafe
+    //! corner of the collection plane; it is confined to this module.
+
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    /// `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    pub(super) struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    /// Readable-data event bit (same value on Linux and the BSDs).
+    pub(super) const POLLIN: i16 = 0x001;
+
+    #[cfg(target_os = "linux")]
+    type Nfds = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type Nfds = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: Nfds, timeout: std::os::raw::c_int) -> std::os::raw::c_int;
+    }
+
+    /// Waits up to `timeout_ms` for readiness on `fds`, returning how
+    /// many entries have non-zero `revents`.
+    ///
+    /// # Errors
+    ///
+    /// The `poll(2)` errno as an [`io::Error`] (including `Interrupted`,
+    /// which callers treat as an empty round).
+    pub(super) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        let nfds =
+            Nfds::try_from(fds.len()).map_err(|_| io::Error::from(io::ErrorKind::InvalidInput))?;
+        // SAFETY: `fds` is a live, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd structs matching the kernel ABI; `nfds` is
+        // its exact length, so the kernel reads and writes (revents only)
+        // strictly inside the slice for the duration of the call.
+        let rc = unsafe { poll(fds.as_mut_ptr(), nfds, timeout_ms) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            usize::try_from(rc).map_err(|_| io::Error::from(io::ErrorKind::InvalidData))
+        }
+    }
+}
+
+/// One downstream connection owned by the engine.
+struct Conn {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    open: bool,
+}
+
+/// Readiness of (wakeup pipe, listener, each connection) after one wait.
+#[cfg(unix)]
+fn wait_ready(
+    wake_rx: &WakeReader,
+    listener: &TcpListener,
+    conns: &[Conn],
+    tick: Duration,
+) -> (bool, bool, Vec<bool>) {
+    use std::os::unix::io::AsRawFd as _;
+    let mut fds = Vec::with_capacity(conns.len() + 2);
+    fds.push(sys::PollFd {
+        fd: wake_rx.rx.as_raw_fd(),
+        events: sys::POLLIN,
+        revents: 0,
+    });
+    fds.push(sys::PollFd {
+        fd: listener.as_raw_fd(),
+        events: sys::POLLIN,
+        revents: 0,
+    });
+    for c in conns {
+        fds.push(sys::PollFd {
+            fd: c.stream.as_raw_fd(),
+            events: sys::POLLIN,
+            revents: 0,
+        });
+    }
+    let timeout = i32::try_from(tick.as_millis()).unwrap_or(i32::MAX);
+    match sys::poll_fds(&mut fds, timeout) {
+        Ok(0) => (false, false, vec![false; conns.len()]),
+        Ok(_) => {
+            // Any revents bit (data, hangup, error) warrants a read: the
+            // read itself surfaces hangups as Ok(0) and errors as Err.
+            let ready = fds[2..].iter().map(|f| f.revents != 0).collect();
+            (fds[0].revents != 0, fds[1].revents != 0, ready)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            (false, false, vec![false; conns.len()])
+        }
+        Err(_) => {
+            // poll(2) itself failing (fd-limit pressure, ENOMEM): degrade
+            // to a scan round so the engine stays live rather than spin.
+            std::thread::sleep(Duration::from_millis(2));
+            (true, true, vec![true; conns.len()])
+        }
+    }
+}
+
+/// Portable fallback: a short scan tick over the nonblocking sockets.
+#[cfg(not(unix))]
+fn wait_ready(
+    _wake_rx: &WakeReader,
+    _listener: &TcpListener,
+    conns: &[Conn],
+    tick: Duration,
+) -> (bool, bool, Vec<bool>) {
+    std::thread::sleep(tick.min(Duration::from_millis(5)));
+    (true, true, vec![true; conns.len()])
+}
+
+/// The connection engine. [`PollEngine::spawn`] starts its one thread.
+pub(crate) struct PollEngine;
+
+impl PollEngine {
+    /// Takes ownership of `listener` and runs the readiness loop until
+    /// `shutdown` is set (and [`EngineHandle::wake`] is called) or every
+    /// event receiver is gone.
+    ///
+    /// # Errors
+    ///
+    /// Socket-option and wakeup-pipe creation failures.
+    pub(crate) fn spawn(
+        listener: TcpListener,
+        tx: SyncSender<Event>,
+        shutdown: Arc<AtomicBool>,
+        cfg: EngineConfig,
+    ) -> Result<EngineHandle, CollectError> {
+        listener.set_nonblocking(true)?;
+        let (waker, wake_rx) = wake_pair()?;
+        let thread = std::thread::spawn(move || run(listener, wake_rx, tx, shutdown, cfg));
+        Ok(EngineHandle { waker, thread })
+    }
+}
+
+/// A running engine: wake it, then join it.
+pub(crate) struct EngineHandle {
+    waker: Waker,
+    thread: JoinHandle<()>,
+}
+
+impl EngineHandle {
+    /// Interrupts the poll loop immediately (used with the shutdown flag
+    /// for prompt stops).
+    pub(crate) fn wake(&self) {
+        self.waker.wake();
+    }
+
+    /// Joins the engine thread.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectError::WorkerPanic`] if the engine thread died.
+    pub(crate) fn join(self) -> Result<(), CollectError> {
+        self.thread
+            .join()
+            .map_err(|_| CollectError::WorkerPanic("engine"))
+    }
+}
+
+fn run(
+    listener: TcpListener,
+    wake_rx: WakeReader,
+    tx: SyncSender<Event>,
+    shutdown: Arc<AtomicBool>,
+    cfg: EngineConfig,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        let (waker_ready, listener_ready, conn_ready) =
+            wait_ready(&wake_rx, &listener, &conns, cfg.tick);
+        if waker_ready {
+            wake_rx.drain();
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Service existing connections first; `conn_ready` is indexed
+        // against the list as it stood when we polled.
+        let mut any_closed = false;
+        for (i, ready) in conn_ready.iter().enumerate() {
+            let Some(conn) = conns.get_mut(i) else {
+                break;
+            };
+            if !*ready {
+                continue;
+            }
+            match service(conn, &tx) {
+                Flow::Keep => {}
+                Flow::Close => {
+                    conn.open = false;
+                    any_closed = true;
+                    if tx.send(Event::Disconnected).is_err() {
+                        return;
+                    }
+                }
+                Flow::Exit => return,
+            }
+        }
+        if any_closed {
+            conns.retain(|c| c.open);
+        }
+        if listener_ready {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            // A socket we cannot make nonblocking would
+                            // stall the whole loop; refuse it.
+                            continue;
+                        }
+                        if tx.send(Event::Connected).is_err() {
+                            return;
+                        }
+                        conns.push(Conn {
+                            stream,
+                            assembler: FrameAssembler::new(cfg.max_payload),
+                            open: true,
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    // Transient per-connection accept failures
+                    // (ECONNABORTED and friends): retry next round.
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    // Dropping `tx` tells the consumer no more events are coming.
+}
+
+/// What to do with a connection after servicing it.
+#[derive(PartialEq, Eq)]
+enum Flow {
+    Keep,
+    Close,
+    /// Every event receiver is gone; the engine itself should exit.
+    Exit,
+}
+
+/// Reads one ready connection until it would block (bounded per round so
+/// one firehose peer cannot starve the rest — poll is level-triggered,
+/// leftover bytes surface again next round) and forwards decoded frames.
+fn service(conn: &mut Conn, tx: &SyncSender<Event>) -> Flow {
+    let mut chunk = [0u8; 64 * 1024];
+    for _ in 0..8 {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return Flow::Close,
+            Ok(n) => {
+                conn.assembler.extend(&chunk[..n]);
+                loop {
+                    match conn.assembler.step() {
+                        Step::Need => break,
+                        Step::Frame {
+                            router_id,
+                            interval,
+                            snapshot,
+                            frame_bytes,
+                        } => {
+                            let event = Event::Frame {
+                                router_id,
+                                interval,
+                                snapshot,
+                                frame_bytes,
+                            };
+                            if tx.send(event).is_err() {
+                                return Flow::Exit;
+                            }
+                        }
+                        // Framing intact, payload bad: skip the frame.
+                        Step::Skip(e) => {
+                            if tx.send(Event::Rejected(e)).is_err() {
+                                return Flow::Exit;
+                            }
+                        }
+                        // Framing lost: drop the connection.
+                        Step::Fatal(e) => {
+                            if tx.send(Event::Rejected(e)).is_err() {
+                                return Flow::Exit;
+                            }
+                            return Flow::Close;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Flow::Keep,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Flow::Close,
+        }
+    }
+    Flow::Keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind::{HiFindConfig, SketchRecorder};
+
+    fn sample_frame() -> (Vec<u8>, u64) {
+        let cfg = HiFindConfig::small(3);
+        let mut rec = SketchRecorder::new(&cfg).unwrap();
+        let snap = rec.take_snapshot();
+        let frame = wire::encode_frame(9, 4, &snap).unwrap();
+        let len = frame.len() as u64;
+        (frame, len)
+    }
+
+    #[test]
+    fn assembler_survives_any_byte_segmentation() {
+        let (frame, frame_len) = sample_frame();
+        let mut doubled = frame.clone();
+        doubled.extend_from_slice(&frame);
+        for chunk_size in [1, 7, 36, 37, 1024] {
+            let mut asm = FrameAssembler::new(wire::DEFAULT_MAX_PAYLOAD);
+            let mut frames = 0;
+            for chunk in doubled.chunks(chunk_size) {
+                asm.extend(chunk);
+                loop {
+                    match asm.step() {
+                        Step::Need => break,
+                        Step::Frame {
+                            router_id,
+                            interval,
+                            frame_bytes,
+                            ..
+                        } => {
+                            assert_eq!(router_id, 9);
+                            assert_eq!(interval, 4);
+                            assert_eq!(frame_bytes, frame_len);
+                            frames += 1;
+                        }
+                        Step::Skip(e) | Step::Fatal(e) => panic!("unexpected rejection: {e}"),
+                    }
+                }
+            }
+            assert_eq!(frames, 2, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_bad_magic_fatally() {
+        let (mut frame, _) = sample_frame();
+        frame[0] = b'X';
+        let mut asm = FrameAssembler::new(wire::DEFAULT_MAX_PAYLOAD);
+        asm.extend(&frame);
+        assert!(matches!(asm.step(), Step::Fatal(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn assembler_skips_corrupt_payload_but_keeps_framing() {
+        let (frame, _) = sample_frame();
+        let mut corrupted = frame.clone();
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0xFF; // flip a payload byte: CRC mismatch
+        corrupted.extend_from_slice(&frame); // a good frame follows
+        let mut asm = FrameAssembler::new(wire::DEFAULT_MAX_PAYLOAD);
+        asm.extend(&corrupted);
+        assert!(matches!(asm.step(), Step::Skip(_)));
+        assert!(matches!(asm.step(), Step::Frame { .. }));
+        assert!(matches!(asm.step(), Step::Need));
+    }
+
+    #[test]
+    fn wake_interrupts_the_poll_loop_promptly() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Event>(4);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let engine = PollEngine::spawn(
+            listener,
+            tx,
+            Arc::clone(&shutdown),
+            EngineConfig {
+                max_payload: wire::DEFAULT_MAX_PAYLOAD,
+                // A tick long enough that only the waker can explain a
+                // fast exit.
+                tick: Duration::from_secs(5),
+            },
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let start = std::time::Instant::now();
+        shutdown.store(true, Ordering::SeqCst);
+        engine.wake();
+        engine.join().unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "engine took {:?} to stop; the wakeup pipe is not working",
+            start.elapsed()
+        );
+        drop(rx);
+    }
+}

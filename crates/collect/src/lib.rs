@@ -13,12 +13,22 @@
 //! * [`wire`] — versioned, length-prefixed, CRC-checked framing with the
 //!   record-plane configuration fingerprint in every header, so a
 //!   mis-seeded router is rejected before its counters can poison the sum.
-//! * [`collector`] — a threaded TCP daemon that accepts N router agents,
-//!   aligns their frames per interval inside a bounded reorder window, and
-//!   feeds the combined snapshot to the standard detection pipeline.
-//!   After a straggler deadline it degrades gracefully: detection proceeds
-//!   on the routers that reported, stragglers are counted, and a dead
-//!   router can never stall the pipeline.
+//! * [`collector`] — the root collection daemon: an event-driven
+//!   connection engine (one poll thread for all sockets, no thread per
+//!   connection) accepts N downstream nodes, aligns their frames per
+//!   interval inside a bounded reorder window, and feeds the combined
+//!   snapshot to the standard detection pipeline. After a straggler
+//!   deadline it degrades gracefully: detection proceeds on the routers
+//!   that reported, stragglers are counted, and a dead router can never
+//!   stall the pipeline.
+//! * [`aggregator`] — the mid-tier role for tree-structured collection:
+//!   the same engine and alignment machinery, but instead of detecting it
+//!   COMBINEs its children's snapshots and re-emits one summed frame
+//!   upstream through the shared shipping path, scaling fan-in
+//!   multiplicatively while staying bit-identical to a flat deployment
+//!   (sketch linearity).
+//! * [`ship`] — the bounded-backlog retry/backoff upstream shipping path
+//!   shared by router agents and aggregators.
 //! * [`agent`] — the router side: wraps a recorder, encodes each
 //!   interval's snapshot, and ships it with bounded retry, exponential
 //!   backoff, reconnection, and a bounded backlog that survives collector
@@ -36,14 +46,19 @@
 //! roles as `hifind collect` and `hifind agent`.
 
 pub mod agent;
+pub mod aggregator;
+pub(crate) mod align;
 pub mod checkpoint;
 pub mod codec;
 pub mod collector;
+pub(crate) mod engine;
 pub mod faults;
 pub mod observer;
+pub mod ship;
 pub mod wire;
 
 pub use agent::{AgentConfig, AgentError, AgentStats, RouterAgent, ShipReport};
+pub use aggregator::{Aggregator, AggregatorConfig, AggregatorHandle, AggregatorReport};
 pub use checkpoint::{AgentCheckpoint, CheckpointError};
 pub use codec::CodecError;
 pub use collector::{
@@ -51,6 +66,7 @@ pub use collector::{
 };
 pub use faults::{FaultPlan, FaultProxy, FaultStats};
 pub use observer::CollectObserver;
+pub use ship::{ShipConfig, Shipper};
 pub use wire::{FrameHeader, WireError, HEADER_LEN, PROTOCOL_VERSION};
 
 /// Any failure in the collection subsystem.

@@ -64,4 +64,25 @@ pub trait CollectObserver: Send + Sync {
     fn agent_reconnected(&self, router_id: u32, reconnects: u64) {
         let _ = (router_id, reconnects);
     }
+
+    /// A mid-tier aggregator (`node_id`) combined `contributors` of
+    /// `expected` child snapshots for `interval` and forwarded the sum
+    /// upstream.
+    fn snapshot_forwarded(
+        &self,
+        node_id: u32,
+        interval: u64,
+        snapshot: &IntervalSnapshot,
+        contributors: usize,
+        expected: usize,
+    ) {
+        let _ = (node_id, interval, snapshot, contributors, expected);
+    }
+
+    /// No child of aggregator `node_id` reported for `interval`: the tier
+    /// forwarded *nothing* (never an all-zero snapshot), leaving gap
+    /// synthesis to the upstream tier's own quorum machinery.
+    fn tier_gap(&self, node_id: u32, interval: u64) {
+        let _ = (node_id, interval);
+    }
 }

@@ -9,12 +9,16 @@
 //! frame content (duplicate, reorder, delay) must additionally leave the
 //! final alerts identical to an undisturbed run.
 
-use hifind::report::Phase;
+use hifind::report::{AlertKind, Phase};
 use hifind::{HiFind, HiFindConfig};
-use hifind_collect::{AgentConfig, Collector, CollectorConfig, FaultPlan, FaultProxy, RouterAgent};
+use hifind_collect::{
+    AgentConfig, Aggregator, AggregatorConfig, CheckpointPolicy, CollectObserver, Collector,
+    CollectorConfig, FaultPlan, FaultProxy, RouterAgent,
+};
 use hifind_flow::{Ip4, Packet, Trace};
 use hifind_telemetry::registry::MetricValue;
 use hifind_telemetry::Registry;
+use std::sync::Mutex;
 use std::time::Duration;
 
 type AlertIdentity = (
@@ -339,6 +343,229 @@ fn connection_kills_force_reconnects_not_stalls() {
         counter(&run.registry, "hifind_collect_fault_conn_kills_total"),
         run.stats.conn_kills
     );
+}
+
+/// Drives one agent through `windows` against `addr`, ending one
+/// interval per window, and returns it unfinished (connection open).
+fn drive_windows(agent: &mut RouterAgent, windows: &[Vec<Packet>]) {
+    for window in windows {
+        for p in window {
+            agent.record(p);
+        }
+        agent.end_interval();
+    }
+}
+
+/// Every final alert must be the flood itself — a degraded tier must
+/// never invent detections out of the traffic it *lost*.
+fn assert_flood_only(log: &hifind::report::AlertLog) {
+    let finals = log.alerts(Phase::Final);
+    assert!(
+        !finals.is_empty(),
+        "the flood must still be detected through the degraded tier"
+    );
+    for alert in finals {
+        assert_eq!(
+            alert.identity().0,
+            AlertKind::SynFlooding,
+            "spurious non-flood alert after tier degradation: {alert:?}"
+        );
+    }
+}
+
+/// A mid-tier aggregator's upstream connection is killed mid-interval by
+/// the fault proxy: the frame the proxy swallowed degrades that interval
+/// to a quorum flush at the root — counted, never a stall or a spurious
+/// alert — while the other aggregator's tier is untouched.
+#[test]
+fn mid_tier_upstream_kill_degrades_to_partials_at_the_root() {
+    let cfg = HiFindConfig::small(2026);
+    let registry = Registry::new();
+    let mut rcfg = CollectorConfig::new(2);
+    rcfg.straggler_deadline = Duration::from_secs(60);
+    rcfg.reorder_window = 64;
+    let root = Collector::bind("127.0.0.1:0", cfg, rcfg, Some(registry.clone())).expect("root");
+    let root_addr = root.local_addr();
+    // Keeps the root from lingering out between one tier's disconnect and
+    // the next tier's connect.
+    let hold = std::net::TcpStream::connect(root_addr).expect("hold connection");
+
+    // Aggregator A ships upstream through a proxy that kills the
+    // connection on its fourth frame; aggregator B ships directly.
+    let mut plan = FaultPlan::new(0xA6);
+    plan.kill_conn_every_frames = 3;
+    let proxy = FaultProxy::spawn(root_addr, plan, None).expect("proxy");
+    let tier = |node: u32, upstream: String| {
+        let mut acfg = AggregatorConfig::new(node, 2);
+        acfg.straggler_deadline = Duration::from_secs(60);
+        acfg.reorder_window = 64;
+        Aggregator::bind("127.0.0.1:0", upstream, cfg, acfg, None).expect("aggregator")
+    };
+    let a = tier(100, proxy.local_addr().to_string());
+    let b = tier(200, root_addr.to_string());
+
+    // A's tier carries benign traffic only; the flood rides B's tier, so
+    // the kill on A's upstream can only ever *lose* benign evidence.
+    let steady = steady_windows(5);
+    let flood = flood_windows(&cfg);
+    for (windows, addr, id) in [
+        (&steady, a.local_addr(), 0u32),
+        (&steady, a.local_addr(), 1),
+        (&flood, b.local_addr(), 0),
+        (&steady, b.local_addr(), 1),
+    ] {
+        let mut agent =
+            RouterAgent::new(addr.to_string(), &cfg, AgentConfig::new(id)).expect("config");
+        drive_windows(&mut agent, windows);
+        agent.finish();
+    }
+    let a_report = a.wait().expect("aggregator A");
+    let b_report = b.wait().expect("aggregator B");
+    drop(hold);
+    let report = root.wait().expect("root collector");
+    let stats = proxy.stop().expect("proxy");
+
+    // The kill fired, and it fired on A's path only.
+    assert!(stats.conn_kills >= 1, "{stats:?}");
+    assert_eq!(a_report.intervals_forwarded, 5);
+    assert_eq!(a_report.gap_intervals, 0);
+    assert_eq!(b_report.intervals_forwarded, 5);
+    assert_eq!(b_report.frames_rejected, 0);
+
+    // The swallowed frame(s) degrade those intervals to quorum flushes at
+    // the root; everything else completes, nothing stalls or gaps.
+    assert_eq!(report.intervals_flushed, 5);
+    assert_eq!(report.gap_intervals, 0);
+    assert_eq!(
+        report.complete_intervals + report.partial_intervals,
+        5,
+        "{report:?}"
+    );
+    assert!(
+        report.partial_intervals >= 1,
+        "the kill swallowed at least one of A's sums: {report:?}"
+    );
+    assert_eq!(
+        counter(&registry, "hifind_collect_straggler_slots_total"),
+        report.straggler_slots
+    );
+    assert_flood_only(&report.log);
+}
+
+/// Captures which tier synthesized a gap for which interval.
+#[derive(Default)]
+struct TierTap {
+    gaps: Mutex<Vec<(u32, u64)>>,
+}
+
+impl CollectObserver for TierTap {
+    fn tier_gap(&self, node_id: u32, interval: u64) {
+        self.gaps.lock().unwrap().push((node_id, interval));
+    }
+}
+
+/// A mid-tier aggregator is killed outright between intervals and a
+/// replacement resumes from its checkpoint: the interval lost while the
+/// tier was down is synthesized as a gap *at that tier* (nothing — never
+/// zeros — is forwarded for it), the root degrades that one interval to
+/// quorum, and detection converges with no spurious alerts.
+#[test]
+fn killed_mid_tier_resumes_from_checkpoint_and_synthesizes_the_gap() {
+    let cfg = HiFindConfig::small(2026);
+    let dir = std::env::temp_dir().join(format!("hifind-midtier-kill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("agg.ckpt");
+
+    let mut rcfg = CollectorConfig::new(2);
+    rcfg.straggler_deadline = Duration::from_secs(60);
+    rcfg.reorder_window = 64;
+    let root = Collector::bind("127.0.0.1:0", cfg, rcfg, None).expect("root");
+    let root_addr = root.local_addr().to_string();
+
+    // Node 200 is a plain router shipping the flood directly to the root;
+    // its open connection also keeps the root from lingering out while
+    // node 100's tier is being killed and resumed.
+    let mut flood_router =
+        RouterAgent::new(root_addr.clone(), &cfg, AgentConfig::new(200)).expect("config");
+    drive_windows(&mut flood_router, &flood_windows(&cfg));
+
+    // Node 100: two agents behind an aggregator that checkpoints every
+    // interval. A backlog of one frame means an interval that cannot ship
+    // while the tier is down is genuinely lost, not replayed later.
+    let mut acfg = AggregatorConfig::new(100, 2);
+    acfg.straggler_deadline = Duration::from_secs(60);
+    acfg.reorder_window = 64;
+    let mut policy = CheckpointPolicy::new(&ckpt);
+    policy.every_intervals = 1;
+    acfg.checkpoint = Some(policy);
+    let a1 = Aggregator::bind("127.0.0.1:0", root_addr.clone(), cfg, acfg.clone(), None)
+        .expect("aggregator");
+    let mut agents: Vec<RouterAgent> = (0..2)
+        .map(|id| {
+            let mut agent_cfg = AgentConfig::new(id);
+            agent_cfg.max_backlog_frames = 1;
+            agent_cfg.max_attempts = 2;
+            agent_cfg.initial_backoff = Duration::from_millis(10);
+            agent_cfg.max_backoff = Duration::from_millis(20);
+            RouterAgent::new(a1.local_addr().to_string(), &cfg, agent_cfg).expect("config")
+        })
+        .collect();
+    let steady = steady_windows(5);
+    for agent in &mut agents {
+        drive_windows(agent, &steady[0..2]);
+    }
+    // Let the engine hand the shipped frames to the merger before the
+    // kill; both agents' flushes already returned success.
+    std::thread::sleep(Duration::from_millis(300));
+    let report1 = a1.stop().expect("first incarnation");
+    assert_eq!(report1.frames_received, 4);
+    assert_eq!(report1.intervals_forwarded, 2);
+    assert_eq!(report1.complete_intervals, 2);
+    assert!(report1.checkpoints_written >= 1, "{report1:?}");
+
+    // The tier is down: interval 2 cannot ship anywhere and the one-frame
+    // backlog will evict it when interval 3 arrives.
+    for agent in &mut agents {
+        drive_windows(agent, &steady[2..3]);
+    }
+
+    // A replacement resumes from the checkpoint on a fresh port.
+    let tap = std::sync::Arc::new(TierTap::default());
+    acfg.resume_from = Some(ckpt.clone());
+    acfg.observer = Some(tap.clone());
+    let a2 = Aggregator::bind("127.0.0.1:0", root_addr, cfg, acfg, None).expect("resume");
+    for agent in &mut agents {
+        agent.set_collector_addr(a2.local_addr().to_string());
+    }
+    for mut agent in agents {
+        drive_windows(&mut agent, &steady[3..5]);
+        agent.finish();
+    }
+    let report2 = a2.wait().expect("second incarnation");
+    assert_eq!(report2.resumed_at_interval, Some(2), "{report2:?}");
+    assert_eq!(report2.frames_received, 4, "intervals 3 and 4, twice each");
+    assert_eq!(report2.intervals_forwarded, 2);
+    assert_eq!(
+        report2.gap_intervals, 1,
+        "the lost interval becomes a gap at THIS tier: {report2:?}"
+    );
+    assert_eq!(
+        *tap.gaps.lock().unwrap(),
+        vec![(100, 2)],
+        "the tier forwarded nothing for the lost interval"
+    );
+
+    flood_router.finish();
+    let report = root.wait().expect("root collector");
+    // The root saw node 100 for intervals 0, 1, 3, 4 and node 200 for all
+    // five: exactly one quorum flush, no gaps, no stall.
+    assert_eq!(report.intervals_flushed, 5);
+    assert_eq!(report.complete_intervals, 4);
+    assert_eq!(report.partial_intervals, 1);
+    assert_eq!(report.gap_intervals, 0);
+    assert_eq!(report.straggler_slots, 1);
+    assert_flood_only(&report.log);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// All fault classes at once, across two seeds: the collector's only

@@ -9,7 +9,10 @@
 use hifind::mitigate::{plan, MitigationPolicy};
 use hifind::postprocess::correlate_block_scans;
 use hifind::{AlertKind, HiFind, HiFindConfig, Phase};
-use hifind_collect::{AgentConfig, CheckpointPolicy, Collector, CollectorConfig, RouterAgent};
+use hifind_collect::{
+    AgentConfig, Aggregator, AggregatorConfig, CheckpointPolicy, Collector, CollectorConfig,
+    RouterAgent,
+};
 use hifind_flow::Trace;
 use hifind_obsv::{ApiState, EventLog, HistoryConfig, HistoryStore, HttpServer, ObsvHub};
 use hifind_telemetry::Registry;
@@ -31,6 +34,11 @@ USAGE:
                     [--linger-ms N] [--checkpoint FILE] [--checkpoint-every N]
                     [--resume FILE] [--metrics-json FILE] [--http ADDR]
                     [--history-dir DIR] [--event-log FILE]
+    hifind aggregate --listen ADDR --upstream ADDR --quorum N [--node-id N]
+                    [--seed N] [--interval-secs N] [--threshold-per-sec F]
+                    [--straggler-ms N] [--reorder-window N] [--linger-ms N]
+                    [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
+                    [--metrics-json FILE] [--http ADDR] [--event-log FILE]
     hifind agent    --connect ADDR --trace FILE [--router-id N] [--split I/N]
                     [--seed N] [--interval-secs N] [--workers N]
                     [--checkpoint FILE] [--resume FILE] [--event-log FILE]
@@ -45,6 +53,10 @@ COMMANDS:
     detect     run the full three-phase pipeline and print final alerts
     collect    run the central collection site: accept router agents over
                TCP, combine their per-interval sketches, detect on the sum
+    aggregate  run a mid-tier aggregation node: accept N downstream agents
+               or aggregators, sum each interval's sketches (sketch
+               linearity keeps the tree bit-identical to a flat run), and
+               ship one combined frame upstream per interval
     agent      replay a trace as one edge router, shipping per-interval
                sketch snapshots to a collector
 
@@ -102,6 +114,13 @@ OPTIONS:
                          raise/suppress, gap synthesis, checkpoint
                          write/resume, frame rejection, agent reconnect) to
                          FILE; see docs/OBSERVABILITY.md for the schema
+    --upstream ADDR      parent address an aggregator ships its combined
+                         frames to (the root collector or another
+                         aggregator)
+    --quorum N           downstream nodes an aggregator expects per interval
+    --node-id N          an aggregator's id in upstream frame headers
+                         (default 0); give each node of one tier a distinct
+                         id, or the parent sees their frames collide
     --connect ADDR       collector address an agent ships to
     --router-id N        this agent's id in frame headers (defaults to the
                          --split part index, else 0)
@@ -168,6 +187,7 @@ fn run() -> Result<(), String> {
         "info" => info(&args),
         "detect" => detect(&args),
         "collect" => collect(&args),
+        "aggregate" => aggregate(&args),
         "agent" => agent(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -427,7 +447,7 @@ fn collect(args: &Args) -> Result<(), String> {
             ),
             None => None,
         };
-        let h = Arc::new(ObsvHub::new(cfg, history, events));
+        let h = Arc::new(ObsvHub::new(cfg, history, events).with_identity("collector", 0));
         ccfg.observer = Some(h.clone());
         hub = Some(h);
     }
@@ -506,6 +526,124 @@ fn collect(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn aggregate(args: &Args) -> Result<(), String> {
+    let listen = args.get("listen").ok_or("missing --listen ADDR")?;
+    let upstream = args.get("upstream").ok_or("missing --upstream ADDR")?;
+    let quorum: usize = args.get_parsed("quorum", 0)?;
+    if quorum == 0 {
+        return Err("missing --quorum N (how many downstream nodes to expect)".into());
+    }
+    let metrics_json = metrics_json_path(args)?;
+    let cfg = networked_config(args)?;
+    let node_id: u32 = args.get_parsed("node-id", 0)?;
+    let mut acfg = AggregatorConfig::new(node_id, quorum);
+    acfg.straggler_deadline = Duration::from_millis(args.get_parsed("straggler-ms", 2000u64)?);
+    acfg.reorder_window = args.get_parsed("reorder-window", 8u64)?;
+    acfg.linger = Duration::from_millis(args.get_parsed("linger-ms", 400u64)?);
+    if let Some(path) = args.get("checkpoint") {
+        let mut policy = CheckpointPolicy::new(path);
+        policy.every_intervals = args.get_parsed("checkpoint-every", 8u64)?;
+        acfg.checkpoint = Some(policy);
+    }
+    if let Some(path) = args.get("resume") {
+        acfg.resume_from = Some(path.into());
+    }
+
+    // Observability plane: same hub as the collector, minus detection —
+    // forwarded snapshots land in the history ring via snapshot_forwarded.
+    let http_addr = args.get("http").map(String::from);
+    if args.has("http") && http_addr.is_none() {
+        return Err("--http needs an ADDR operand (e.g. 127.0.0.1:9101)".into());
+    }
+    let registry = http_addr.as_ref().map(|_| Registry::new());
+    let wants_obsv = http_addr.is_some() || args.has("event-log");
+    let mut hub = None;
+    if wants_obsv {
+        let history = Arc::new(
+            HistoryStore::open(
+                HistoryConfig::default(),
+                cfg.fingerprint(),
+                registry.as_ref(),
+            )
+            .map_err(|e| format!("cannot open history store: {e}"))?,
+        );
+        let events = match args.get("event-log") {
+            Some(path) => Some(
+                EventLog::open(std::path::Path::new(path), cfg.fingerprint())
+                    .map_err(|e| format!("cannot open event log {path}: {e}"))?,
+            ),
+            None => None,
+        };
+        let h = Arc::new(ObsvHub::new(cfg, history, events).with_identity("aggregator", node_id));
+        acfg.observer = Some(h.clone());
+        hub = Some(h);
+    }
+    let server = match (&http_addr, &hub) {
+        (Some(addr), Some(hub)) => {
+            if let Some(r) = &registry {
+                register_build_info(r).map_err(|e| format!("cannot register metrics: {e}"))?;
+            }
+            let state = ApiState {
+                hub: Arc::clone(hub),
+                registry: registry.clone().map(Arc::new),
+            };
+            let server =
+                HttpServer::bind(addr, state).map_err(|e| format!("cannot serve --http: {e}"))?;
+            eprintln!("operator API on http://{}", server.local_addr());
+            Some(server)
+        }
+        _ => None,
+    };
+
+    let handle = Aggregator::bind(listen, upstream, cfg, acfg, registry)
+        .map_err(|e| format!("cannot start: {e}"))?;
+    eprintln!(
+        "aggregating on {} from {quorum} downstream node(s), shipping to {upstream} \
+         as node {node_id}; finishes once all have connected and disconnected",
+        handle.local_addr()
+    );
+    let report = handle
+        .wait()
+        .map_err(|e| format!("aggregator failed: {e}"))?;
+    if let Some(server) = server {
+        server.stop();
+    }
+    println!(
+        "node {}: {} intervals forwarded ({} complete, {} partial, {} gaps); \
+         {} frames in, {} bytes, {} late, {} rejected; children seen: {:?}",
+        report.node_id,
+        report.intervals_forwarded,
+        report.complete_intervals,
+        report.partial_intervals,
+        report.gap_intervals,
+        report.frames_received,
+        report.bytes_received,
+        report.frames_late,
+        report.frames_rejected,
+        report.children_seen,
+    );
+    if let Some(iv) = report.resumed_at_interval {
+        eprintln!("resumed from checkpoint at interval {iv}");
+    }
+    if report.checkpoints_written > 0 || report.checkpoint_errors > 0 {
+        eprintln!(
+            "{} checkpoint(s) written, {} write failure(s)",
+            report.checkpoints_written, report.checkpoint_errors
+        );
+    }
+    if let Some(path) = metrics_json {
+        write_json(&path, &report)?;
+        eprintln!("aggregation report written to {path}");
+    }
+    if report.frames_unshipped > 0 {
+        return Err(format!(
+            "{} combined frame(s) never reached the upstream at {upstream}",
+            report.frames_unshipped
+        ));
+    }
+    Ok(())
+}
+
 fn agent(args: &Args) -> Result<(), String> {
     let addr = args.get("connect").ok_or("missing --connect ADDR")?;
     let trace = load_trace(args)?;
@@ -551,7 +689,9 @@ fn agent(args: &Args) -> Result<(), String> {
             HistoryStore::open(HistoryConfig::in_memory(1), cfg.fingerprint(), None)
                 .map_err(|e| format!("cannot set up event log: {e}"))?,
         );
-        agent.set_observer(Arc::new(ObsvHub::new(cfg, history, Some(events))));
+        agent.set_observer(Arc::new(
+            ObsvHub::new(cfg, history, Some(events)).with_identity("agent", router_id),
+        ));
     }
     for window in trace.intervals(cfg.interval_ms) {
         for p in window.packets {
@@ -822,6 +962,125 @@ mod tests {
         assert!(agent(&args(&["--connect", "127.0.0.1:1"]))
             .unwrap_err()
             .contains("--trace"));
+        assert!(aggregate(&args(&[])).unwrap_err().contains("--listen"));
+        assert!(aggregate(&args(&["--listen", "127.0.0.1:0"]))
+            .unwrap_err()
+            .contains("--upstream"));
+        assert!(aggregate(&args(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--upstream",
+            "127.0.0.1:1"
+        ]))
+        .unwrap_err()
+        .contains("--quorum"));
+    }
+
+    /// Three tiers over real loopback sockets, end to end through the CLI:
+    /// four agents feed two mid-tier aggregators which feed one root
+    /// collector. Sketch linearity means the root must assemble every
+    /// interval completely — any partial interval would mean a tier
+    /// dropped or mis-aligned frames.
+    #[test]
+    fn three_tier_loopback_smoke() {
+        let dir = std::env::temp_dir().join(format!("hifind-cli-tree-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.hfnd");
+        let report = dir.join("root.json");
+        generate(&args(&[
+            "--preset",
+            "dos",
+            "--scale",
+            "0.02",
+            "--seed",
+            "3",
+            "--out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let root = "127.0.0.1:47420";
+        let mids = ["127.0.0.1:47421", "127.0.0.1:47422"];
+        // Agents replay sequentially, so every tier must buffer a whole
+        // child's run: widen the reorder window and straggler deadline
+        // beyond the trace length at every tier.
+        let root_args: Vec<String> = [
+            "--listen",
+            root,
+            "--routers",
+            "2",
+            "--seed",
+            "3",
+            "--reorder-window",
+            "64",
+            "--straggler-ms",
+            "30000",
+            "--metrics-json",
+            report.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let collector = std::thread::spawn(move || collect(&Args::parse(&root_args)));
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let aggs: Vec<_> = mids
+            .iter()
+            .enumerate()
+            .map(|(i, listen)| {
+                let a: Vec<String> = [
+                    "--listen",
+                    listen,
+                    "--upstream",
+                    root,
+                    "--quorum",
+                    "2",
+                    "--node-id",
+                    &i.to_string(),
+                    "--seed",
+                    "3",
+                    "--reorder-window",
+                    "64",
+                    "--straggler-ms",
+                    "30000",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+                std::thread::spawn(move || aggregate(&Args::parse(&a)))
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // Four agents, split 4 ways: parts 0/1 feed the first aggregator,
+        // parts 2/3 the second. Router ids must be distinct per parent.
+        for (part, mid) in [(0, 0), (1, 0), (2, 1), (3, 1)] {
+            agent(&args(&[
+                "--connect",
+                mids[mid],
+                "--trace",
+                trace.to_str().unwrap(),
+                "--split",
+                &format!("{part}/4"),
+                "--router-id",
+                &(part % 2).to_string(),
+                "--seed",
+                "3",
+            ]))
+            .unwrap();
+        }
+        for h in aggs {
+            h.join().unwrap().unwrap();
+        }
+        collector.join().unwrap().unwrap();
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("intervals_flushed"), "{json}");
+        assert!(
+            json.contains("\"partial_intervals\": 0") || json.contains("\"partial_intervals\":0"),
+            "every interval must assemble completely through both tiers: {json}"
+        );
+        assert!(
+            json.contains("\"gap_intervals\": 0") || json.contains("\"gap_intervals\":0"),
+            "no tier should have synthesized a gap: {json}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -986,7 +1245,11 @@ mod tests {
             metrics.contains("# TYPE hifind_build_info gauge"),
             "{metrics}"
         );
-        assert!(metrics.contains("hifind_build_info 1"), "{metrics}");
+        // The collect role stamps its tier identity onto every series.
+        assert!(
+            metrics.contains("hifind_build_info{tier=\"collector\",node_id=\"0\"} 1"),
+            "{metrics}"
+        );
         assert!(
             metrics.contains("# TYPE hifind_history_archived_total counter"),
             "{metrics}"

@@ -38,6 +38,12 @@ pub struct EventRecord {
     pub fingerprint: String,
     /// Milliseconds since the event log was opened.
     pub uptime_ms: u64,
+    /// Collection tier of the emitting process (`"collector"`,
+    /// `"aggregator"`, or `"agent"`); absent for single-process runs.
+    pub tier: Option<String>,
+    /// Node id within the tier (router id or aggregator node id);
+    /// absent for single-process runs.
+    pub node_id: Option<u32>,
     /// Routers that contributed to the interval (`interval_closed`).
     pub routers: Option<u64>,
     /// Routers expected per interval (`interval_closed`).
@@ -70,6 +76,12 @@ impl Serialize for EventRecord {
             ),
             ("uptime_ms".to_string(), self.uptime_ms.to_value()),
         ];
+        if let Some(t) = &self.tier {
+            map.push(("tier".to_string(), Value::Str(t.clone())));
+        }
+        if let Some(n) = self.node_id {
+            map.push(("node_id".to_string(), n.to_value()));
+        }
         let mut opt_u64 = |key: &str, v: &Option<u64>| {
             if let Some(v) = v {
                 map.push((key.to_string(), v.to_value()));
@@ -169,6 +181,8 @@ mod tests {
         let mut rec = log.record("interval_closed", 7);
         rec.routers = Some(2);
         rec.expected = Some(2);
+        rec.tier = Some("aggregator".to_string());
+        rec.node_id = Some(42);
         log.emit(&rec);
         log.emit(&log.record("gap_synthesized", 8));
         let text = std::fs::read_to_string(&path).unwrap();
@@ -186,6 +200,11 @@ mod tests {
             Some("0x000000000000abcd")
         );
         assert_eq!(first.get("routers"), Some(&Value::UInt(2)));
+        assert_eq!(
+            first.get("tier").and_then(Value::as_str),
+            Some("aggregator")
+        );
+        assert_eq!(first.get("node_id"), Some(&Value::UInt(42)));
         let second: Value = serde_json::from_str(lines[1]).expect("second line parses");
         assert_eq!(
             second.get("event").and_then(Value::as_str),
@@ -194,6 +213,10 @@ mod tests {
         assert!(
             second.get("routers").is_none(),
             "inapplicable fields are omitted"
+        );
+        assert!(
+            second.get("tier").is_none() && second.get("node_id").is_none(),
+            "identity fields are omitted when unset"
         );
         let _ = std::fs::remove_file(&path);
     }

@@ -413,7 +413,14 @@ fn metrics(state: &ApiState) -> Result<Response, HttpError> {
         ));
     };
     state.hub.history().refresh_gauges();
-    let text = registry.snapshot().to_prometheus_text();
+    let snapshot = registry.snapshot();
+    let text = match state.hub.identity() {
+        Some((tier, node_id)) => snapshot.to_prometheus_text_labeled(&[
+            ("tier", tier.to_string()),
+            ("node_id", node_id.to_string()),
+        ]),
+        None => snapshot.to_prometheus_text(),
+    };
     Ok(Response::text(200, "OK", "text/plain; version=0.0.4", text))
 }
 

@@ -28,6 +28,7 @@ pub struct ObsvHub {
     alerts: Mutex<AlertLog>,
     last_interval: AtomicU64,
     intervals_closed: AtomicU64,
+    identity: Option<(&'static str, u32)>,
 }
 
 impl ObsvHub {
@@ -40,7 +41,23 @@ impl ObsvHub {
             alerts: Mutex::new(AlertLog::new()),
             last_interval: AtomicU64::new(0),
             intervals_closed: AtomicU64::new(0),
+            identity: None,
         }
+    }
+
+    /// Stamps a collection-tier identity (`"collector"`, `"aggregator"`,
+    /// or `"agent"`, plus the node id within that tier) into every event
+    /// record this hub emits and onto the `/metrics` labels, so logs and
+    /// scrapes from a multi-tier deployment stay distinguishable.
+    #[must_use]
+    pub fn with_identity(mut self, tier: &'static str, node_id: u32) -> Self {
+        self.identity = Some((tier, node_id));
+        self
+    }
+
+    /// The tier identity, when one was stamped.
+    pub fn identity(&self) -> Option<(&'static str, u32)> {
+        self.identity
     }
 
     /// The configuration this hub's deployment detects under.
@@ -82,14 +99,19 @@ impl ObsvHub {
     }
 
     fn record(&self, event: &'static str, interval: u64) -> crate::events::EventRecord {
-        match &self.events {
+        let mut rec = match &self.events {
             Some(log) => log.record(event, interval),
             None => crate::events::EventRecord {
                 event,
                 interval,
                 ..crate::events::EventRecord::default()
             },
+        };
+        if let Some((tier, node_id)) = self.identity {
+            rec.tier = Some(tier.to_string());
+            rec.node_id = Some(node_id);
         }
+        rec
     }
 }
 
@@ -184,6 +206,38 @@ impl CollectObserver for ObsvHub {
         let mut rec = self.record("agent_reconnected", self.last_interval());
         rec.router_id = Some(router_id);
         rec.reconnects = Some(reconnects);
+        self.emit(rec);
+    }
+
+    fn snapshot_forwarded(
+        &self,
+        node_id: u32,
+        interval: u64,
+        snapshot: &IntervalSnapshot,
+        contributors: usize,
+        expected: usize,
+    ) {
+        // relaxed-ok: independent monotone cells; readers tolerate skew
+        self.last_interval.store(interval, Ordering::Relaxed);
+        // relaxed-ok: same as above
+        self.intervals_closed.fetch_add(1, Ordering::Relaxed);
+        // Archive the forwarded sum, so a mid-tier node's /api/intervals
+        // and /api/replay see its subtree exactly as the upstream does.
+        if let Err(e) = self.history.append(interval, snapshot) {
+            eprintln!("[hifind-obsv] history append failed: {e}");
+        }
+        let mut rec = self.record("snapshot_forwarded", interval);
+        rec.router_id = Some(node_id);
+        rec.routers = Some(u64::try_from(contributors).unwrap_or(u64::MAX));
+        rec.expected = Some(u64::try_from(expected).unwrap_or(u64::MAX));
+        self.emit(rec);
+    }
+
+    fn tier_gap(&self, node_id: u32, interval: u64) {
+        // relaxed-ok: monotone bookkeeping; readers tolerate skew
+        self.last_interval.store(interval, Ordering::Relaxed);
+        let mut rec = self.record("tier_gap", interval);
+        rec.router_id = Some(node_id);
         self.emit(rec);
     }
 }

@@ -252,34 +252,67 @@ impl RegistrySnapshot {
 
     /// Renders the Prometheus text exposition format.
     pub fn to_prometheus_text(&self) -> String {
+        self.to_prometheus_text_labeled(&[])
+    }
+
+    /// Like [`RegistrySnapshot::to_prometheus_text`], but with `labels`
+    /// attached to every sample line (merged before `le` on histogram
+    /// buckets). An empty slice renders byte-identically to the unlabeled
+    /// form. Used by multi-tier deployments to stamp `tier`/`node_id`
+    /// onto every series one process exports.
+    pub fn to_prometheus_text_labeled(&self, labels: &[(&str, String)]) -> String {
         use std::fmt::Write as _;
+        let base = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        // Suffix for label-less sample lines; prefix inside a histogram
+        // bucket's existing `{...}`.
+        let plain = if base.is_empty() {
+            String::new()
+        } else {
+            format!("{{{base}}}")
+        };
+        let bucket_prefix = if base.is_empty() {
+            String::new()
+        } else {
+            format!("{base},")
+        };
         let mut out = String::new();
         for m in &self.metrics {
             let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
             match &m.value {
                 MetricValue::Counter { value } => {
                     let _ = writeln!(out, "# TYPE {} counter", m.name);
-                    let _ = writeln!(out, "{} {}", m.name, value);
+                    let _ = writeln!(out, "{}{} {}", m.name, plain, value);
                 }
                 MetricValue::Gauge { value } => {
                     let _ = writeln!(out, "# TYPE {} gauge", m.name);
-                    let _ = writeln!(out, "{} {}", m.name, value);
+                    let _ = writeln!(out, "{}{} {}", m.name, plain, value);
                 }
                 MetricValue::Histogram(h) => {
                     let _ = writeln!(out, "# TYPE {} histogram", m.name);
                     let cumulative = h.cumulative();
                     for (ub, c) in h.upper_bounds.iter().zip(&cumulative) {
-                        let _ =
-                            writeln!(out, "{}_bucket{{le=\"{}\"}} {}", m.name, fmt_f64_le(*ub), c);
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{{{}le=\"{}\"}} {}",
+                            m.name,
+                            bucket_prefix,
+                            fmt_f64_le(*ub),
+                            c
+                        );
                     }
                     let _ = writeln!(
                         out,
-                        "{}_bucket{{le=\"+Inf\"}} {}",
+                        "{}_bucket{{{}le=\"+Inf\"}} {}",
                         m.name,
+                        bucket_prefix,
                         cumulative.last().copied().unwrap_or(0)
                     );
-                    let _ = writeln!(out, "{}_sum {}", m.name, fmt_f64(h.sum));
-                    let _ = writeln!(out, "{}_count {}", m.name, h.count);
+                    let _ = writeln!(out, "{}_sum{} {}", m.name, plain, fmt_f64(h.sum));
+                    let _ = writeln!(out, "{}_count{} {}", m.name, plain, h.count);
                 }
             }
         }
@@ -297,4 +330,67 @@ fn fmt_f64_le(v: f64) -> String {
 /// in help text turns the rest of the string into a bogus sample line).
 fn escape_help(help: &str) -> String {
     help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be escaped inside the quoted value.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod label_tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let registry = Registry::new();
+        registry.counter("demo_total", "a counter").unwrap().add(3);
+        registry.gauge("demo_gauge", "a gauge").unwrap().set(-2);
+        let h = registry
+            .histogram("demo_seconds", "a histogram", vec![0.5, 1.0])
+            .unwrap();
+        h.observe(0.25);
+        h.observe(2.0);
+        registry
+    }
+
+    #[test]
+    fn empty_labels_render_byte_identical_to_unlabeled() {
+        let snap = sample_registry().snapshot();
+        assert_eq!(
+            snap.to_prometheus_text(),
+            snap.to_prometheus_text_labeled(&[])
+        );
+    }
+
+    #[test]
+    fn labels_attach_to_every_sample_line() {
+        let snap = sample_registry().snapshot();
+        let text = snap.to_prometheus_text_labeled(&[
+            ("tier", "aggregator".to_string()),
+            ("node_id", "7".to_string()),
+        ]);
+        assert!(text.contains("demo_total{tier=\"aggregator\",node_id=\"7\"} 3"));
+        assert!(text.contains("demo_gauge{tier=\"aggregator\",node_id=\"7\"} -2"));
+        assert!(
+            text.contains("demo_seconds_bucket{tier=\"aggregator\",node_id=\"7\",le=\"0.5\"} 1")
+        );
+        assert!(
+            text.contains("demo_seconds_bucket{tier=\"aggregator\",node_id=\"7\",le=\"+Inf\"} 2")
+        );
+        assert!(text.contains("demo_seconds_sum{tier=\"aggregator\",node_id=\"7\"} 2.25"));
+        assert!(text.contains("demo_seconds_count{tier=\"aggregator\",node_id=\"7\"} 2"));
+        // HELP/TYPE comment lines never carry labels.
+        assert!(text.contains("# TYPE demo_total counter\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let snap = sample_registry().snapshot();
+        let text = snap.to_prometheus_text_labeled(&[("who", "a\"b\\c\nd".to_string())]);
+        assert!(text.contains("demo_total{who=\"a\\\"b\\\\c\\nd\"} 3"));
+    }
 }
