@@ -227,6 +227,7 @@ fn wake_pair() -> std::io::Result<(Waker, WakeReader)> {
 }
 
 #[cfg(unix)]
+#[allow(unsafe_code)] // the crate-level deny's one hole: the poll(2) FFI
 mod sys {
     //! Minimal FFI binding to `poll(2)`. The libc crate is not vendored,
     //! and `std` exposes no readiness API, so this is the one unsafe
@@ -327,6 +328,7 @@ fn wait_ready(
         Err(_) => {
             // poll(2) itself failing (fd-limit pressure, ENOMEM): degrade
             // to a scan round so the engine stays live rather than spin.
+            // lint: allow(poll-loop-purity, bounded 2ms pause replacing the timed wait when poll itself fails — the alternative is a busy spin)
             std::thread::sleep(Duration::from_millis(2));
             (true, true, vec![true; conns.len()])
         }
@@ -341,6 +343,7 @@ fn wait_ready(
     conns: &[Conn],
     tick: Duration,
 ) -> (bool, bool, Vec<bool>) {
+    // lint: allow(poll-loop-purity, the portable build has no poll — this bounded tick sleep IS the wait primitive)
     std::thread::sleep(tick.min(Duration::from_millis(5)));
     (true, true, vec![true; conns.len()])
 }

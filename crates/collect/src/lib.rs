@@ -45,6 +45,11 @@
 //! The `hifind` CLI binary (also hosted by this crate) exposes the two
 //! roles as `hifind collect` and `hifind agent`.
 
+// `deny`, not `forbid`: the poll(2) FFI module in `engine` carries a
+// scoped `#[allow(unsafe_code)]` — the one sanctioned hole, mirrored by
+// the `[[unsafe-file]]` perimeter in lint.toml.
+#![deny(unsafe_code)]
+
 pub mod agent;
 pub mod aggregator;
 pub(crate) mod align;

@@ -95,7 +95,7 @@ impl ExactChangeTable {
     /// Closes the current interval and returns keys whose forecast error is
     /// at least `threshold`.
     pub fn end_interval_threshold(&mut self, threshold: i64) -> Vec<(u64, i64)> {
-        self.ticks += 1;
+        self.ticks = self.ticks.saturating_add(1);
         self.peak_entries = self
             .peak_entries
             .max(self.current.len())

@@ -108,7 +108,7 @@ impl ScalarForecaster for HoltWinters {
             + (1.0 - self.alpha) * (self.level + self.trend);
         self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
         self.season[s] = self.gamma * (observed - self.level) + (1.0 - self.gamma) * self.season[s];
-        self.t += 1;
+        self.t = self.t.saturating_add(1);
         Some(error)
     }
 

@@ -38,14 +38,14 @@ impl ErrorStats {
         let mut cells = 0usize;
         for stage in 0..error_grid.stages() {
             for &v in error_grid.stage(stage) {
-                cells += 1;
+                cells = cells.saturating_add(1);
                 if v != 0 {
-                    nonzero += 1;
+                    nonzero = nonzero.saturating_add(1);
                 }
                 abs_sum += v.abs() as f64;
                 sq_sum += (v as f64) * (v as f64);
                 max_abs = max_abs.max(v.abs());
-                bias += v;
+                bias = bias.saturating_add(v);
             }
         }
         if cells == 0 {

@@ -6,6 +6,8 @@
 //! $ hifind detect   --trace campus.hfnd --mitigate
 //! ```
 
+#![forbid(unsafe_code)]
+
 use hifind::mitigate::{plan, MitigationPolicy};
 use hifind::postprocess::correlate_block_scans;
 use hifind::{AlertKind, HiFind, HiFindConfig, Phase};

@@ -115,6 +115,7 @@ impl Serialize for EventRecord {
 /// Write failures are swallowed: the event log is observability, and
 /// observability must never take the detector down with it.
 pub struct EventLog {
+    // lock-order: obsv.event_log
     file: Mutex<std::fs::File>,
     fingerprint: String,
     started: std::time::Instant,

@@ -219,6 +219,7 @@ struct Inner {
 pub struct HistoryStore {
     cfg: HistoryConfig,
     fingerprint: u64,
+    // lock-order: obsv.history
     inner: Mutex<Inner>,
     telemetry: Option<HistoryTelemetry>,
 }

@@ -191,7 +191,7 @@ impl HttpServer {
         // Bounded hand-off: at most 2 connections queued per worker;
         // beyond that, accept() sheds instead of queueing unboundedly.
         let (tx, rx) = sync_channel::<TcpStream>(WORKERS * 2);
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(Mutex::new(rx)); // lock-order: obsv.http_accept
         let mut workers = Vec::with_capacity(WORKERS);
         for _ in 0..WORKERS {
             let rx = Arc::clone(&rx);

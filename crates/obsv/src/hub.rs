@@ -25,6 +25,7 @@ pub struct ObsvHub {
     cfg: HiFindConfig,
     history: Arc<HistoryStore>,
     events: Option<EventLog>,
+    // lock-order: obsv.alerts
     alerts: Mutex<AlertLog>,
     last_interval: AtomicU64,
     intervals_closed: AtomicU64,

@@ -19,6 +19,8 @@
 //! [`hifind_collect::CollectorConfig`] and every closed interval is
 //! archived, mirrored into the live alert log, and logged.
 
+#![forbid(unsafe_code)]
+
 pub mod events;
 pub mod history;
 pub mod http;

@@ -85,7 +85,8 @@ impl CounterGrid {
     /// Adds `delta` to one counter.
     #[inline]
     pub fn add(&mut self, stage: usize, bucket: usize, delta: i64) {
-        self.data[stage * self.buckets + bucket] += delta;
+        let cell = &mut self.data[stage * self.buckets + bucket];
+        *cell = cell.saturating_add(delta);
     }
 
     /// Borrows one stage's counters.
@@ -118,7 +119,7 @@ impl CounterGrid {
     pub fn add_assign(&mut self, other: &CounterGrid) -> Result<(), SketchError> {
         self.check_shape(other)?;
         for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
         Ok(())
     }
@@ -131,7 +132,7 @@ impl CounterGrid {
     pub fn sub_assign(&mut self, other: &CounterGrid) -> Result<(), SketchError> {
         self.check_shape(other)?;
         for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a -= b;
+            *a = a.saturating_sub(*b);
         }
         Ok(())
     }

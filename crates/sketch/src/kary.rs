@@ -119,7 +119,7 @@ impl KarySketch {
         for (stage, h) in self.hashers.iter().enumerate() {
             self.grid.add(stage, h.bucket_premixed(premixed), delta);
         }
-        self.total += delta;
+        self.total = self.total.saturating_add(delta);
     }
 
     /// ESTIMATE: the median over stages of the per-stage unbiased estimator

@@ -248,7 +248,7 @@ impl ReversibleSketch {
         if let Some(v) = &mut self.verifier {
             v.update_premixed(premixed, delta);
         }
-        self.total += delta;
+        self.total = self.total.saturating_add(delta);
     }
 
     /// UPDATE with a typed flow key.
@@ -383,15 +383,15 @@ impl ReversibleSketch {
             let mut next = Vec::new();
             'outer: for cand in &candidates {
                 for byte in 0usize..256 {
-                    stats.candidates_explored += 1;
+                    stats.candidates_explored = stats.candidates_explored.saturating_add(1);
                     let mut alive = 0usize;
                     let mut dead = 0usize;
                     for s in 0..stages {
                         let m = &masks[s][word][chunk_of[s][byte] as usize];
                         if cand.masks[s].and_into(m, &mut scratch[s]) {
-                            alive += 1;
+                            alive = alive.saturating_add(1);
                         } else {
-                            dead += 1;
+                            dead = dead.saturating_add(1);
                             if dead > allowed_dead {
                                 // Cannot reach min_stages any more.
                                 break;
@@ -436,13 +436,13 @@ impl ReversibleSketch {
             }
             let estimate = self.estimate_grid(grid, key);
             if estimate < threshold {
-                stats.rejected_by_estimate += 1;
+                stats.rejected_by_estimate = stats.rejected_by_estimate.saturating_add(1);
                 continue;
             }
             if opts.use_verifier {
                 if let (Some(v), Some(vg)) = (&self.verifier, verifier_grid) {
                     if v.estimate_grid(vg, key) < threshold {
-                        stats.rejected_by_verifier += 1;
+                        stats.rejected_by_verifier = stats.rejected_by_verifier.saturating_add(1);
                         continue;
                     }
                 }

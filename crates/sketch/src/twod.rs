@@ -142,7 +142,7 @@ impl TwoDSketch {
             let y = self.y_hashers[stage].bucket_premixed(y_premixed);
             self.grid.add(stage, x * self.config.y_buckets + y, delta);
         }
-        self.total += delta;
+        self.total = self.total.saturating_add(delta);
     }
 
     /// The column of `y_buckets` cell values selected by `x_key` in one
@@ -223,8 +223,8 @@ impl TwoDSketch {
         let mut dispersed = 0usize;
         for stage in 0..self.config.stages {
             match self.concentration_grid(grid, stage, x_key, top_p) {
-                Some(ratio) if ratio > phi => concentrated += 1,
-                Some(_) => dispersed += 1,
+                Some(ratio) if ratio > phi => concentrated = concentrated.saturating_add(1),
+                Some(_) => dispersed = dispersed.saturating_add(1),
                 None => {}
             }
         }

@@ -21,6 +21,8 @@
 //! on drop) or the sampling variant the recorder hot path uses via
 //! [`Histogram::observe_duration`].
 
+#![forbid(unsafe_code)]
+
 pub mod metrics;
 pub mod registry;
 pub mod timer;

@@ -91,6 +91,7 @@ struct Entry {
 /// monitoring mishap can never take the detector down with it.
 #[derive(Clone, Default)]
 pub struct Registry {
+    // lock-order: telemetry.registry
     inner: Arc<Mutex<BTreeMap<String, Entry>>>,
 }
 

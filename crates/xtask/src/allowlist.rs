@@ -7,8 +7,9 @@
 //! review and `git log lint.toml` is the audit trail.
 //!
 //! Only the needed TOML subset is parsed (the workspace builds offline
-//! with no TOML dependency): `[[allow]]` array-of-tables entries with
-//! string values, comments, and blank lines.
+//! with no TOML dependency): `[[allow]]` and `[[unsafe-file]]`
+//! array-of-tables entries with string values, comments, and blank
+//! lines.
 //!
 //! ```toml
 //! [[allow]]
@@ -16,7 +17,15 @@
 //! path = "crates/flow/src/generated.rs"
 //! pattern = "optional substring the flagged line must contain"
 //! reason = "why this exception is sound"
+//!
+//! [[unsafe-file]]
+//! path = "crates/collect/src/engine.rs"
+//! reason = "poll(2) FFI; the only unsafe block in the workspace"
 //! ```
+//!
+//! `[[unsafe-file]]` entries define the `unsafe-perimeter` pass's
+//! allowed set: `unsafe` anywhere else is a violation, and an entry
+//! whose file contains no `unsafe` is flagged as stale.
 
 use crate::rules::{Violation, RULE_IDS};
 
@@ -34,10 +43,20 @@ pub struct AllowEntry {
     pub reason: String,
 }
 
+/// One `[[unsafe-file]]` perimeter entry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UnsafeFileEntry {
+    /// Workspace-relative path allowed to contain `unsafe`.
+    pub path: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
 /// The parsed allowlist.
 #[derive(Clone, Debug, Default)]
 pub struct Allowlist {
     pub entries: Vec<AllowEntry>,
+    pub unsafe_files: Vec<UnsafeFileEntry>,
 }
 
 /// A malformed `lint.toml`.
@@ -56,28 +75,41 @@ impl std::fmt::Display for AllowlistError {
 
 impl std::error::Error for AllowlistError {}
 
+/// The entry currently being accumulated by the parser.
+enum Current {
+    Allow(AllowEntry),
+    UnsafeFile(UnsafeFileEntry),
+}
+
 impl Allowlist {
     /// Parses the `lint.toml` subset described in the module docs.
     pub fn parse(text: &str) -> Result<Self, AllowlistError> {
-        let mut entries: Vec<AllowEntry> = Vec::new();
-        let mut current: Option<AllowEntry> = None;
+        let mut list = Allowlist::default();
+        let mut current: Option<Current> = None;
         for (idx, raw) in text.lines().enumerate() {
             let line = raw.trim();
             let lineno = idx + 1;
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            if line == "[[allow]]" {
+            if line == "[[allow]]" || line == "[[unsafe-file]]" {
                 if let Some(done) = current.take() {
-                    entries.push(validated(done, lineno)?);
+                    list.finish(done, lineno)?;
                 }
-                current = Some(AllowEntry::default());
+                current = Some(if line == "[[allow]]" {
+                    Current::Allow(AllowEntry::default())
+                } else {
+                    Current::UnsafeFile(UnsafeFileEntry::default())
+                });
                 continue;
             }
             if line.starts_with('[') {
                 return Err(AllowlistError {
                     line: lineno,
-                    message: format!("unsupported section `{line}`; only `[[allow]]` is known"),
+                    message: format!(
+                        "unsupported section `{line}`; only `[[allow]]` and `[[unsafe-file]]` \
+                         are known"
+                    ),
                 });
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -89,32 +121,81 @@ impl Allowlist {
             let Some(entry) = current.as_mut() else {
                 return Err(AllowlistError {
                     line: lineno,
-                    message: "key outside an `[[allow]]` entry".to_string(),
+                    message: "key outside an `[[allow]]` or `[[unsafe-file]]` entry".to_string(),
                 });
             };
             let value = unquote(value.trim()).ok_or_else(|| AllowlistError {
                 line: lineno,
                 message: format!("value for `{}` must be a double-quoted string", key.trim()),
             })?;
-            match key.trim() {
-                "rule" => entry.rule = value,
-                "path" => entry.path = value,
-                "pattern" => entry.pattern = value,
-                "reason" => entry.reason = value,
-                other => {
-                    return Err(AllowlistError {
-                        line: lineno,
-                        message: format!(
-                            "unknown key `{other}` (known: rule, path, pattern, reason)"
-                        ),
-                    })
-                }
+            let key = key.trim();
+            match entry {
+                Current::Allow(e) => match key {
+                    "rule" => e.rule = value,
+                    "path" => e.path = value,
+                    "pattern" => e.pattern = value,
+                    "reason" => e.reason = value,
+                    other => {
+                        return Err(AllowlistError {
+                            line: lineno,
+                            message: format!(
+                                "unknown key `{other}` in `[[allow]]` (known: rule, path, \
+                                 pattern, reason)"
+                            ),
+                        })
+                    }
+                },
+                Current::UnsafeFile(e) => match key {
+                    "path" => e.path = value,
+                    "reason" => e.reason = value,
+                    other => {
+                        return Err(AllowlistError {
+                            line: lineno,
+                            message: format!(
+                                "unknown key `{other}` in `[[unsafe-file]]` (known: path, reason)"
+                            ),
+                        })
+                    }
+                },
             }
         }
         if let Some(done) = current.take() {
-            entries.push(validated(done, 0)?);
+            list.finish(done, 0)?;
         }
-        Ok(Allowlist { entries })
+        Ok(list)
+    }
+
+    /// Validates and stores a finished entry, rejecting duplicates.
+    fn finish(&mut self, done: Current, line: usize) -> Result<(), AllowlistError> {
+        match done {
+            Current::Allow(entry) => {
+                let entry = validated(entry, line)?;
+                if self.entries.iter().any(|e| {
+                    e.rule == entry.rule && e.path == entry.path && e.pattern == entry.pattern
+                }) {
+                    return Err(AllowlistError {
+                        line,
+                        message: format!(
+                            "duplicate `[[allow]]` entry for rule `{}` in `{}`; merge the \
+                             reasons into one entry",
+                            entry.rule, entry.path
+                        ),
+                    });
+                }
+                self.entries.push(entry);
+            }
+            Current::UnsafeFile(entry) => {
+                let entry = validated_unsafe(entry, line)?;
+                if self.unsafe_files.iter().any(|e| e.path == entry.path) {
+                    return Err(AllowlistError {
+                        line,
+                        message: format!("duplicate `[[unsafe-file]]` entry for `{}`", entry.path),
+                    });
+                }
+                self.unsafe_files.push(entry);
+            }
+        }
+        Ok(())
     }
 
     /// True when some entry covers this violation.
@@ -152,6 +233,29 @@ fn validated(entry: AllowEntry, line: usize) -> Result<AllowEntry, AllowlistErro
     Ok(entry)
 }
 
+fn validated_unsafe(
+    entry: UnsafeFileEntry,
+    line: usize,
+) -> Result<UnsafeFileEntry, AllowlistError> {
+    if entry.path.is_empty() {
+        return Err(AllowlistError {
+            line,
+            message: "`[[unsafe-file]]` entry is missing `path`".to_string(),
+        });
+    }
+    if entry.reason.trim().is_empty() {
+        return Err(AllowlistError {
+            line,
+            message: format!(
+                "`[[unsafe-file]]` entry for `{}` has no reason; every perimeter file must \
+                 say why unsafe is required",
+                entry.path
+            ),
+        });
+    }
+    Ok(entry)
+}
+
 fn unquote(value: &str) -> Option<String> {
     let inner = value.strip_prefix('"')?.strip_suffix('"')?;
     // No escape support needed for paths/reasons; reject embedded quotes
@@ -160,4 +264,144 @@ fn unquote(value: &str) -> Option<String> {
         return None;
     }
     Some(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn err(text: &str) -> AllowlistError {
+        Allowlist::parse(text).expect_err("parse must fail")
+    }
+
+    #[test]
+    fn valid_allow_and_unsafe_file_entries_parse() {
+        let toml = "# comment\n\
+             [[allow]]\n\
+             rule = \"hot-path-panic\"\n\
+             path = \"crates/flow/src/a.rs\"\n\
+             reason = \"sound because reasons\"\n\
+             \n\
+             [[unsafe-file]]\n\
+             path = \"crates/collect/src/engine.rs\"\n\
+             reason = \"poll ffi\"\n";
+        let list = Allowlist::parse(toml).expect("valid");
+        assert_eq!(list.entries.len(), 1);
+        assert_eq!(list.unsafe_files.len(), 1);
+        assert_eq!(list.unsafe_files[0].path, "crates/collect/src/engine.rs");
+    }
+
+    #[test]
+    fn malformed_section_headers_are_rejected() {
+        let e = err("[allow]\nrule = \"hot-path-panic\"\n");
+        assert!(e.message.contains("unsupported section"), "{e}");
+        let e = err("[[allowx]]\nrule = \"hot-path-panic\"\n");
+        assert!(e.message.contains("unsupported section"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn keys_outside_an_entry_are_rejected() {
+        let e = err("rule = \"hot-path-panic\"\n");
+        assert!(e.message.contains("outside"), "{e}");
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let e = err("[[allow]]\nrule = \"hot-path-panic\"\npath = \"crates/flow/src/a.rs\"\n");
+        assert!(e.message.contains("no reason"), "{e}");
+        let e = err("[[unsafe-file]]\npath = \"crates/collect/src/engine.rs\"\n");
+        assert!(e.message.contains("no reason"), "{e}");
+    }
+
+    #[test]
+    fn missing_path_is_rejected() {
+        let e = err("[[allow]]\nrule = \"hot-path-panic\"\nreason = \"why\"\n");
+        assert!(e.message.contains("missing `path`"), "{e}");
+        let e = err("[[unsafe-file]]\nreason = \"why\"\n");
+        assert!(e.message.contains("missing `path`"), "{e}");
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let e = err("[[allow]]\nrule = \"no-such\"\npath = \"a\"\nreason = \"r\"\n");
+        assert!(e.message.contains("unknown rule"), "{e}");
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_per_section() {
+        let e = err("[[allow]]\nrule = \"hot-path-panic\"\nseverity = \"high\"\n");
+        assert!(e.message.contains("unknown key `severity`"), "{e}");
+        let e = err("[[unsafe-file]]\npattern = \"x\"\n");
+        assert!(e.message.contains("unknown key `pattern`"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_allow_entries_are_rejected() {
+        let one = "[[allow]]\n\
+             rule = \"hot-path-panic\"\n\
+             path = \"crates/flow/src/a.rs\"\n\
+             reason = \"first\"\n";
+        let dup = format!("{one}{}", one.replace("first", "second"));
+        let e = err(&dup);
+        assert!(e.message.contains("duplicate `[[allow]]`"), "{e}");
+        // Same rule+path with a *different* pattern is a narrower entry,
+        // not a duplicate.
+        let narrowed = format!(
+            "{one}[[allow]]\n\
+             rule = \"hot-path-panic\"\n\
+             path = \"crates/flow/src/a.rs\"\n\
+             pattern = \"x.unwrap()\"\n\
+             reason = \"second\"\n"
+        );
+        assert!(Allowlist::parse(&narrowed).is_ok());
+    }
+
+    #[test]
+    fn duplicate_unsafe_file_entries_are_rejected() {
+        let toml = "[[unsafe-file]]\n\
+             path = \"crates/collect/src/engine.rs\"\n\
+             reason = \"one\"\n\
+             [[unsafe-file]]\n\
+             path = \"crates/collect/src/engine.rs\"\n\
+             reason = \"two\"\n";
+        let e = err(toml);
+        assert!(e.message.contains("duplicate `[[unsafe-file]]`"), "{e}");
+    }
+
+    #[test]
+    fn unquoted_and_quote_embedded_values_are_rejected() {
+        let e = err("[[allow]]\nrule = hot-path-panic\n");
+        assert!(e.message.contains("double-quoted"), "{e}");
+        let e = err("[[allow]]\nrule = \"a\"b\"\n");
+        assert!(e.message.contains("double-quoted"), "{e}");
+    }
+
+    #[test]
+    fn pattern_narrowing_limits_suppression_to_matching_snippets() {
+        let toml = "[[allow]]\n\
+             rule = \"hot-path-panic\"\n\
+             path = \"crates/flow/src/a.rs\"\n\
+             pattern = \"x.unwrap()\"\n\
+             reason = \"narrow\"\n";
+        let list = Allowlist::parse(toml).expect("valid");
+        let matching = Violation {
+            path: "crates/flow/src/a.rs".to_string(),
+            line: 1,
+            rule: "hot-path-panic",
+            message: String::new(),
+            snippet: "let v = x.unwrap();".to_string(),
+        };
+        let other_line = Violation {
+            snippet: "let v = y.unwrap();".to_string(),
+            ..matching.clone()
+        };
+        let other_file = Violation {
+            path: "crates/flow/src/b.rs".to_string(),
+            ..matching.clone()
+        };
+        assert!(list.permits(&matching));
+        assert!(!list.permits(&other_line));
+        assert!(!list.permits(&other_file));
+    }
 }

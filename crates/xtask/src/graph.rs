@@ -1,0 +1,1252 @@
+//! The cross-file workspace model behind the concurrency passes.
+//!
+//! Per-file rules (see [`crate::rules`]) can only see one file at a time;
+//! the concurrency properties this workspace cares about — lock ordering,
+//! purity of the poll dispatch path — are properties of *paths through
+//! the call graph*, which may cross files and crates. This module builds
+//! a token-level model of the whole workspace out of the same blanked
+//! line scanner the per-file rules use:
+//!
+//! * every function (free or method, with its impl type, parameter
+//!   types, and return type as raw text),
+//! * every call site, resolved to candidate workspace functions
+//!   (receiver-typed where a type can be inferred from `self`, params,
+//!   struct fields, or `let` bindings; same-crate name match otherwise),
+//! * every `Mutex` declaration (struct field or `let` binding) together
+//!   with its `// lock-order:` annotation,
+//! * every lock acquisition (`<receiver>.lock()`), attributed to a
+//!   declared `Mutex` and given a release line (end of the binding's
+//!   enclosing block, a `drop(guard)`, or the same line for
+//!   temporaries).
+//!
+//! Like the line scanner this is an *approximation*, not a compiler:
+//! resolution is deliberately conservative (an untypable method call
+//! resolves to every same-crate function of that name) so that the
+//! passes over-approximate reachability rather than miss an edge. The
+//! seeded-violation self-tests in `passes/` pin the corners down.
+
+use crate::scan::{scan, ScannedFile};
+
+/// Primitive scalar types accepted as field types by `field_shaped`.
+const PRIMITIVES: [&str; 16] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64", "bool", "char",
+];
+
+/// Rust keywords that can precede `(` without being a call.
+const NON_CALL_KEYWORDS: [&str; 16] = [
+    "fn", "if", "else", "match", "while", "for", "loop", "return", "move", "let", "in", "ref",
+    "where", "impl", "dyn", "as",
+];
+
+/// One scanned workspace file.
+pub struct FileModel {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Crate directory name under `crates/` (e.g. `collect`).
+    pub krate: String,
+    /// The blanked, comment-split line view.
+    pub scanned: ScannedFile,
+    /// True for `tests/`, `benches/`, `examples/` exercise code.
+    pub exercise: bool,
+}
+
+/// A struct/enum definition site (for receiver typing).
+#[derive(Clone, Debug)]
+pub struct TypeDef {
+    pub name: String,
+    pub file: usize,
+}
+
+/// `name: Type` pair harvested from struct fields and fn params.
+#[derive(Clone, Debug)]
+pub struct FieldDecl {
+    pub name: String,
+    pub ty: String,
+    pub file: usize,
+}
+
+/// One declared `Mutex` (struct field or `let` binding).
+#[derive(Clone, Debug)]
+pub struct MutexDecl {
+    pub file: usize,
+    pub line: usize,
+    /// The field or binding identifier (`inner`, `rx`, ...).
+    pub ident: String,
+    /// The `// lock-order:` name, when annotated.
+    pub name: Option<String>,
+    /// The raw source line, for diagnostics.
+    pub snippet: String,
+}
+
+/// A declared ordering edge `before < after` from an annotation chain.
+#[derive(Clone, Debug)]
+pub struct LockConstraint {
+    pub before: String,
+    pub after: String,
+    pub file: usize,
+    pub line: usize,
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    pub line: usize,
+    /// Order key within the line (acquisitions sort before calls).
+    pub seq: usize,
+    /// Callee name as written.
+    pub name: String,
+    /// Resolved candidate functions (indices into `functions`).
+    pub targets: Vec<usize>,
+    /// Scope-end line if the result is `let`-bound (guard-returning
+    /// callees keep their locks held until here); same line otherwise.
+    pub release_line: usize,
+}
+
+/// One lock acquisition inside a function body.
+#[derive(Clone, Debug)]
+pub struct AcqSite {
+    pub line: usize,
+    /// Order key within the line (acquisitions sort before calls).
+    pub seq: usize,
+    /// The declared mutex acquired; `None` when the receiver could not
+    /// be attributed to any declaration (a pass-level violation).
+    pub lock: Option<usize>,
+    /// Receiver text, for diagnostics.
+    pub receiver: String,
+    /// Line after which the guard is no longer held.
+    pub release_line: usize,
+}
+
+/// One function (free fn or method) in the workspace.
+pub struct Function {
+    pub file: usize,
+    pub name: String,
+    /// `Some("HistoryStore")` for methods in `impl HistoryStore` /
+    /// `impl Trait for HistoryStore` blocks.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub start: usize,
+    /// Last body line (== `start` for bodyless declarations).
+    pub end: usize,
+    pub in_test: bool,
+    /// `(name, type)` pairs from the signature (excluding `self`).
+    pub params: Vec<(String, String)>,
+    /// Raw return-type text (`""` when omitted).
+    pub ret: String,
+    pub calls: Vec<CallSite>,
+    pub acquisitions: Vec<AcqSite>,
+    /// Typed `let` bindings seen in the body: `(name, type)`.
+    typed_lets: Vec<(String, String)>,
+}
+
+impl Function {
+    /// True when calling this function hands the caller a live guard.
+    pub fn returns_guard(&self) -> bool {
+        self.ret.contains("MutexGuard")
+    }
+}
+
+/// The whole-workspace model.
+pub struct WorkspaceModel {
+    pub files: Vec<FileModel>,
+    pub functions: Vec<Function>,
+    pub mutexes: Vec<MutexDecl>,
+    pub constraints: Vec<LockConstraint>,
+    types: Vec<TypeDef>,
+    fields: Vec<FieldDecl>,
+}
+
+impl WorkspaceModel {
+    /// Builds the model from `(path, source)` pairs (workspace-relative
+    /// forward-slash paths). Non-`crates/` files are ignored.
+    pub fn build(sources: &[(String, String)]) -> WorkspaceModel {
+        let mut model = WorkspaceModel {
+            files: Vec::new(),
+            functions: Vec::new(),
+            mutexes: Vec::new(),
+            constraints: Vec::new(),
+            types: Vec::new(),
+            fields: Vec::new(),
+        };
+        for (path, source) in sources {
+            if !path.starts_with("crates/") || !path.ends_with(".rs") {
+                continue;
+            }
+            let krate = path.split('/').nth(1).unwrap_or_default().to_string();
+            let exercise = ["/tests/", "/benches/", "/examples/"]
+                .iter()
+                .any(|e| path.contains(e));
+            model.files.push(FileModel {
+                path: path.clone(),
+                krate,
+                scanned: scan(source),
+                exercise,
+            });
+        }
+        for idx in 0..model.files.len() {
+            if model.files[idx].exercise {
+                continue;
+            }
+            model.extract_file(idx);
+        }
+        model.resolve();
+        model
+    }
+
+    /// The scanned view of a file by path, when the model holds it.
+    pub fn scanned(&self, path: &str) -> Option<&ScannedFile> {
+        self.files
+            .iter()
+            .find(|f| f.path == path)
+            .map(|f| &f.scanned)
+    }
+
+    /// Function index by `(path, name)`, first match.
+    pub fn function(&self, path: &str, name: &str) -> Option<usize> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name && self.files[f.file].path == path)
+    }
+
+    // ----- extraction ---------------------------------------------------
+
+    /// Extracts types, fields, mutex declarations, and functions (with
+    /// their call/acquisition events) from one file.
+    fn extract_file(&mut self, file: usize) {
+        let lines: Vec<(usize, String, String, bool)> = self.files[file]
+            .scanned
+            .lines
+            .iter()
+            .map(|l| (l.number, l.code.clone(), l.comment.clone(), l.in_test))
+            .collect();
+
+        // Pass 1: type definitions, `name: Type` pairs, mutex decls.
+        for (number, code, _comment, _in_test) in &lines {
+            let trimmed = code.trim();
+            for kw in ["struct ", "enum ", "union "] {
+                if let Some(rest) = trimmed
+                    .strip_prefix("pub ")
+                    .unwrap_or(trimmed)
+                    .strip_prefix(kw)
+                {
+                    if let Some(name) = leading_ident(rest) {
+                        self.types.push(TypeDef {
+                            name: name.to_string(),
+                            file,
+                        });
+                    }
+                }
+            }
+            if let Some((name, ty)) = field_shaped(trimmed) {
+                if ty.contains("Mutex<") {
+                    let raw = self.files[file].scanned.lines[number - 1].raw.clone();
+                    self.push_mutex(file, *number, &name, &raw);
+                }
+                self.fields.push(FieldDecl { name, ty, file });
+            }
+            // `let`-bound mutexes: `let rx = Arc::new(Mutex::new(..))`.
+            if trimmed.starts_with("let ") && code.contains("Mutex::new(") {
+                if let Some(name) = let_binding_name(trimmed) {
+                    let raw = self.files[file].scanned.lines[number - 1].raw.clone();
+                    self.push_mutex(file, *number, &name, &raw);
+                }
+            }
+        }
+
+        // Pass 2: functions and their bodies.
+        let mut walker = FileWalker::new(file, &lines);
+        walker.walk(self);
+    }
+
+    /// Records a mutex declaration and parses its `// lock-order:`
+    /// annotation (same line or line above).
+    fn push_mutex(&mut self, file: usize, line: usize, ident: &str, raw: &str) {
+        let scanned = &self.files[file].scanned;
+        let same = scanned.lines.get(line - 1).map(|l| l.comment.as_str());
+        let above = line
+            .checked_sub(2)
+            .and_then(|i| scanned.lines.get(i))
+            .map(|l| l.comment.as_str());
+        let mut name = None;
+        for comment in [same, above].into_iter().flatten() {
+            if let Some(chain) = parse_lock_order(comment) {
+                name = chain.first().cloned();
+                for pair in chain.windows(2) {
+                    self.constraints.push(LockConstraint {
+                        before: pair[0].clone(),
+                        after: pair[1].clone(),
+                        file,
+                        line,
+                    });
+                }
+                break;
+            }
+        }
+        self.mutexes.push(MutexDecl {
+            file,
+            line,
+            ident: ident.to_string(),
+            name,
+            snippet: raw.trim().to_string(),
+        });
+    }
+
+    // ----- resolution ---------------------------------------------------
+
+    /// Resolves every call site's candidate targets and every
+    /// acquisition's mutex, now that all declarations are known.
+    fn resolve(&mut self) {
+        for fi in 0..self.functions.len() {
+            let file = self.functions[fi].file;
+            let krate = self.files[file].krate.clone();
+            let calls = std::mem::take(&mut self.functions[fi].calls);
+            let resolved: Vec<CallSite> = calls
+                .into_iter()
+                .map(|mut c| {
+                    c.targets = self.resolve_call(fi, &krate, &c);
+                    c
+                })
+                .collect();
+            self.functions[fi].calls = resolved;
+            let acqs = std::mem::take(&mut self.functions[fi].acquisitions);
+            let resolved: Vec<AcqSite> = acqs
+                .into_iter()
+                .map(|mut a| {
+                    a.lock = self.resolve_lock(file, &krate, &a.receiver);
+                    a
+                })
+                .collect();
+            self.functions[fi].acquisitions = resolved;
+        }
+    }
+
+    /// Candidate functions for one call site.
+    fn resolve_call(&self, caller: usize, krate: &str, call: &CallSite) -> Vec<usize> {
+        let name = call.name.as_str();
+        // `name` arrives as the full written path (e.g. `wire::decode`,
+        // `self.inner.lock`); split into receiver chain + final ident.
+        let (chain, method) = split_chain(name);
+        if chain.is_empty() {
+            // Bare call: free functions, same file first, then crate.
+            let file = self.functions[caller].file;
+            let same_file: Vec<usize> = self
+                .fn_candidates(method, |f| f.file == file && f.impl_type.is_none())
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            return self
+                .fn_candidates(method, |f| {
+                    self.files[f.file].krate == krate && f.impl_type.is_none()
+                })
+                .collect();
+        }
+        if let Some(qual) = chain.strip_suffix("::") {
+            // `A::method` / `module::func`: type methods, module free fns.
+            let seg = qual.rsplit("::").next().unwrap_or(qual);
+            if self.types.iter().any(|t| t.name == seg) {
+                return self
+                    .fn_candidates(method, |f| f.impl_type.as_deref() == Some(seg))
+                    .collect();
+            }
+            let module_file = format!("/{seg}.rs");
+            let in_module: Vec<usize> = self
+                .fn_candidates(method, |f| {
+                    self.files[f.file].path.ends_with(&module_file)
+                        && self.files[f.file].krate == krate
+                })
+                .collect();
+            if !in_module.is_empty() {
+                return in_module;
+            }
+            // `Vec::new`, `u64::try_from`, ... — external, no edge.
+            if seg.chars().next().is_some_and(char::is_uppercase) {
+                return Vec::new();
+            }
+            return Vec::new();
+        }
+        // `recv.method(...)`: type the receiver if possible.
+        let recv = chain.trim_end_matches('.');
+        match self.type_of_chain(caller, recv) {
+            Some(ty) => {
+                let base = base_type(&ty);
+                if self.types.iter().any(|t| t.name == base) {
+                    self.fn_candidates(method, |f| f.impl_type.as_deref() == Some(base.as_str()))
+                        .collect()
+                } else {
+                    // Typed to a non-workspace type: external call.
+                    Vec::new()
+                }
+            }
+            // Untypable receiver: conservatively, every same-crate
+            // function of that name — except when the receiver is an
+            // opaque call result (iterator/builder chains, marked `?`),
+            // whose type is external, and never the enclosing function
+            // itself (real self-recursion has a typed `self` receiver
+            // and resolves above).
+            None => {
+                if recv.is_empty() || recv.contains('?') {
+                    // `?` marker, or a continuation line (`.collect()`)
+                    // whose receiver sits on the line above: both are
+                    // expression results, not nameable workspace values.
+                    return Vec::new();
+                }
+                self.fn_candidates(method, |f| self.files[f.file].krate == krate)
+                    .filter(|&i| i != caller)
+                    .collect()
+            }
+        }
+    }
+
+    fn fn_candidates<'a, P: Fn(&Function) -> bool + 'a>(
+        &'a self,
+        name: &'a str,
+        pred: P,
+    ) -> impl Iterator<Item = usize> + 'a {
+        self.functions
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.name == name && pred(f))
+            .map(|(i, _)| i)
+    }
+
+    /// Attributes a `.lock()` receiver to a declared mutex: same file
+    /// first, then same crate, by field/binding identifier.
+    fn resolve_lock(&self, file: usize, krate: &str, receiver: &str) -> Option<usize> {
+        let ident = receiver.rsplit(['.', ':']).next().unwrap_or(receiver);
+        let same_file = self
+            .mutexes
+            .iter()
+            .position(|m| m.file == file && m.ident == ident);
+        same_file.or_else(|| {
+            self.mutexes
+                .iter()
+                .position(|m| self.files[m.file].krate == krate && m.ident == ident)
+        })
+    }
+
+    /// The innermost function whose span contains `line` of `file`.
+    pub fn function_at(&self, file: usize, line: usize) -> Option<usize> {
+        self.functions
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.file == file && f.start <= line && line <= f.end)
+            .min_by_key(|(_, f)| f.end - f.start)
+            .map(|(i, _)| i)
+    }
+
+    /// Infers the type of a receiver chain (`self`, `self.history`,
+    /// `inner`, ...) inside function `fi`, as raw type text.
+    pub(crate) fn type_of_chain(&self, fi: usize, chain: &str) -> Option<String> {
+        let f = &self.functions[fi];
+        let mut segments = chain.split('.');
+        let head = segments.next()?;
+        let mut ty = if head == "self" {
+            f.impl_type.clone()?
+        } else {
+            self.type_of_ident(fi, head)?
+        };
+        for seg in segments {
+            let base = base_type(&ty);
+            let def_file = self.types.iter().find(|t| t.name == base)?.file;
+            ty = self
+                .fields
+                .iter()
+                .find(|fd| fd.file == def_file && fd.name == seg)?
+                .ty
+                .clone();
+        }
+        Some(ty)
+    }
+
+    /// The type of a bare identifier in `fi`: parameter, typed `let`,
+    /// or (last resort) a same-file `name: Type` pair.
+    fn type_of_ident(&self, fi: usize, ident: &str) -> Option<String> {
+        let f = &self.functions[fi];
+        if let Some((_, ty)) = f.params.iter().find(|(n, _)| n == ident) {
+            return Some(ty.clone());
+        }
+        if let Some((_, ty)) = f.typed_lets.iter().rev().find(|(n, _)| n == ident) {
+            return Some(ty.clone());
+        }
+        self.fields
+            .iter()
+            .find(|fd| fd.file == f.file && fd.name == ident)
+            .map(|fd| fd.ty.clone())
+    }
+}
+
+/// Walks one file's blanked lines, building `Function` entries.
+struct FileWalker<'a> {
+    file: usize,
+    lines: &'a [(usize, String, String, bool)],
+    depth: i64,
+    /// `(type name, depth its `{` opened at)`.
+    impl_stack: Vec<(String, i64)>,
+    /// `(function index, depth its body `{` opened at)`.
+    fn_stack: Vec<(usize, i64)>,
+    /// A `fn` signature being accumulated until its `{` or `;`.
+    pending_sig: Option<PendingSig>,
+    /// Guards awaiting their scope-exit line: `(fn idx, kind, depth)`.
+    open_scopes: Vec<(usize, ScopeKind, i64)>,
+}
+
+enum ScopeKind {
+    Acq(usize),
+    Call(usize),
+}
+
+struct PendingSig {
+    text: String,
+    start_line: usize,
+    in_test: bool,
+}
+
+impl<'a> FileWalker<'a> {
+    fn new(file: usize, lines: &'a [(usize, String, String, bool)]) -> Self {
+        FileWalker {
+            file,
+            lines,
+            depth: 0,
+            impl_stack: Vec::new(),
+            fn_stack: Vec::new(),
+            pending_sig: None,
+            open_scopes: Vec::new(),
+        }
+    }
+
+    fn walk(&mut self, model: &mut WorkspaceModel) {
+        for li in 0..self.lines.len() {
+            let (number, code, _, in_test) = &self.lines[li];
+            let number = *number;
+            let code = code.clone();
+            // Detect `impl Type` openers before brace bookkeeping.
+            if self.pending_sig.is_none() {
+                if let Some(ty) = impl_type_of(code.trim()) {
+                    // Registered when its `{` arrives; store depth then.
+                    self.impl_stack.push((ty, i64::MIN));
+                }
+            }
+            // Detect a starting `fn` signature.
+            if self.pending_sig.is_none() {
+                if let Some(at) = find_fn_keyword(&code) {
+                    self.pending_sig = Some(PendingSig {
+                        text: code[at..].to_string(),
+                        start_line: number,
+                        in_test: *in_test,
+                    });
+                    self.scan_braces(model, &code[..at], number);
+                    self.finish_sig_if_ready(model, number);
+                    continue;
+                }
+            } else {
+                let sig = self.pending_sig.as_mut().expect("pending sig");
+                sig.text.push(' ');
+                sig.text.push_str(&code);
+                self.finish_sig_if_ready(model, number);
+                continue;
+            }
+            self.scan_braces(model, &code, number);
+        }
+        // Close any function still open at EOF.
+        let eof = self.lines.last().map_or(1, |l| l.0);
+        while let Some((fi, _)) = self.fn_stack.pop() {
+            model.functions[fi].end = eof;
+        }
+        for (fi, kind, _) in self.open_scopes.drain(..) {
+            set_release(model, fi, &kind, eof);
+        }
+    }
+
+    /// Completes a pending signature once its `{` (body) or `;`
+    /// (declaration only) shows up in the accumulated text.
+    fn finish_sig_if_ready(&mut self, model: &mut WorkspaceModel, number: usize) {
+        let Some(sig) = &self.pending_sig else { return };
+        let body_at = sig_terminator(&sig.text);
+        let Some((term_idx, has_body)) = body_at else {
+            return;
+        };
+        let sig = self.pending_sig.take().expect("pending sig");
+        let header = &sig.text[..term_idx];
+        let (name, params, ret) = parse_signature(header);
+        let impl_type = self.impl_stack.last().map(|(t, _)| t.clone());
+        let fi = model.functions.len();
+        model.functions.push(Function {
+            file: self.file,
+            name,
+            impl_type,
+            start: sig.start_line,
+            end: sig.start_line,
+            in_test: sig.in_test,
+            params,
+            ret,
+            calls: Vec::new(),
+            acquisitions: Vec::new(),
+            typed_lets: Vec::new(),
+        });
+        if has_body {
+            // Process the remainder of the line from the body brace on;
+            // the brace itself pushes the fn onto the stack.
+            let rest = &sig.text[term_idx..];
+            self.fn_stack.push((fi, self.depth + 1));
+            self.depth += 1; // the `{`
+            let rest_after_brace = &rest[1..];
+            self.scan_braces(model, rest_after_brace, number);
+        }
+    }
+
+    /// Brace bookkeeping plus, when inside a function body, event
+    /// extraction for the slice of (blanked) code handed in.
+    fn scan_braces(&mut self, model: &mut WorkspaceModel, code: &str, number: usize) {
+        if let Some(&(fi, _)) = self.fn_stack.last() {
+            self.extract_events(model, fi, code, number);
+        }
+        // Register impl blocks waiting for their `{`.
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    self.depth += 1;
+                    if let Some(last) = self.impl_stack.last_mut() {
+                        if last.1 == i64::MIN {
+                            last.1 = self.depth;
+                        }
+                    }
+                }
+                '}' => {
+                    // Close any guard scopes opened at this depth.
+                    let depth = self.depth;
+                    let mut idx = 0;
+                    while idx < self.open_scopes.len() {
+                        if self.open_scopes[idx].2 >= depth {
+                            let (fi, kind, _) = self.open_scopes.remove(idx);
+                            set_release(model, fi, &kind, number);
+                        } else {
+                            idx += 1;
+                        }
+                    }
+                    self.depth -= 1;
+                    while self
+                        .fn_stack
+                        .last()
+                        .is_some_and(|&(_, open)| self.depth < open)
+                    {
+                        let (fi, _) = self.fn_stack.pop().expect("fn stack");
+                        model.functions[fi].end = number;
+                    }
+                    while self
+                        .impl_stack
+                        .last()
+                        .is_some_and(|&(_, open)| open != i64::MIN && self.depth < open)
+                    {
+                        self.impl_stack.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Finds calls, acquisitions, typed lets, and `drop()`s in one line
+    /// slice belonging to function `fi`.
+    fn extract_events(&mut self, model: &mut WorkspaceModel, fi: usize, code: &str, number: usize) {
+        let trimmed = code.trim_start();
+        let let_binding = trimmed
+            .strip_prefix("let ")
+            .and_then(|r| let_binding_name(trimmed).map(|n| (n, r)));
+        // Typed let: `let x: T = ...` (also `let mut x: T`).
+        if let Some((name, _)) = &let_binding {
+            if let Some(colon) = trimmed.find(':') {
+                let after = &trimmed[colon + 1..];
+                if let Some(eq) = after.find('=') {
+                    let ty = after[..eq].trim().to_string();
+                    if !ty.is_empty() {
+                        model.functions[fi].typed_lets.push((name.clone(), ty));
+                    }
+                }
+            } else if let Some(eq) = trimmed.find('=') {
+                // `let x = Type { ..` / `let x = Type::ctor(..)` /
+                // `let mut n = 0u64;` (suffixed literal).
+                let rhs = trimmed[eq + 1..].trim_start();
+                if let Some(ident) = leading_ident(rhs) {
+                    if ident.chars().next().is_some_and(char::is_uppercase) {
+                        let next = rhs[ident.len()..].trim_start();
+                        if next.starts_with('{') || next.starts_with("::") {
+                            model.functions[fi]
+                                .typed_lets
+                                .push((name.clone(), ident.to_string()));
+                        }
+                    } else if ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                        let suffix =
+                            ident.trim_start_matches(|c: char| c.is_ascii_digit() || c == '_');
+                        if PRIMITIVES.contains(&suffix) {
+                            model.functions[fi]
+                                .typed_lets
+                                .push((name.clone(), suffix.to_string()));
+                        }
+                    }
+                }
+            }
+        }
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = 0usize;
+        let mut seq = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if !(c.is_alphabetic() || c == '_') {
+                i += 1;
+                continue;
+            }
+            // Read an identifier (absorbing a path/receiver chain that
+            // precedes it is done below via back-scan at call time).
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let ident: String = chars[start..i].iter().collect();
+            // Skip whitespace to see what follows.
+            let mut j = i;
+            while j < chars.len() && chars[j].is_whitespace() {
+                j += 1;
+            }
+            if chars.get(j) != Some(&'(') {
+                continue;
+            }
+            if NON_CALL_KEYWORDS.contains(&ident.as_str()) {
+                continue;
+            }
+            // Back-scan the receiver chain: `a.b.`, `a::`, `self.x.`.
+            let chain = receiver_chain(&chars, start);
+            let full = format!("{chain}{ident}");
+            if ident == "drop" && chain.is_empty() {
+                // `drop(g)`: releases `g` early. Close matching scopes.
+                let arg: String = chars[j + 1..]
+                    .iter()
+                    .take_while(|c| **c != ')')
+                    .collect::<String>()
+                    .trim()
+                    .to_string();
+                let _ = arg; // release tracked by scope end; a `drop` at
+                             // the same depth closes at the same `}`.
+                continue;
+            }
+            // A binding anywhere on the line (`let g =`, `if let Ok(g) =`,
+            // `while let`) keeps a returned guard alive to scope end;
+            // over-holding is the conservative direction for lock order.
+            let bound = code.contains("let ");
+            if ident == "lock" && !chain.is_empty() {
+                // `.lock()` — either a mutex acquisition or a call to a
+                // workspace `lock` helper; decide by receiver.
+                let recv = chain.trim_end_matches(['.', ':']).to_string();
+                if self.is_mutex_receiver(model, fi, &recv) {
+                    let acq = AcqSite {
+                        line: number,
+                        seq,
+                        lock: None, // resolved later
+                        receiver: recv,
+                        release_line: number,
+                    };
+                    seq += 1;
+                    let idx = model.functions[fi].acquisitions.len();
+                    model.functions[fi].acquisitions.push(acq);
+                    if bound {
+                        self.open_scopes.push((fi, ScopeKind::Acq(idx), self.depth));
+                    }
+                    continue;
+                }
+            }
+            let call = CallSite {
+                line: number,
+                seq,
+                name: full,
+                targets: Vec::new(),
+                release_line: number,
+            };
+            seq += 1;
+            let idx = model.functions[fi].calls.len();
+            model.functions[fi].calls.push(call);
+            if bound {
+                self.open_scopes
+                    .push((fi, ScopeKind::Call(idx), self.depth));
+            }
+        }
+    }
+
+    /// True when `recv` names a declared mutex (field or binding) or is
+    /// typed to something containing `Mutex<`.
+    fn is_mutex_receiver(&self, model: &WorkspaceModel, fi: usize, recv: &str) -> bool {
+        let ident = recv.rsplit(['.', ':']).next().unwrap_or(recv);
+        let file = model.functions[fi].file;
+        let krate = &model.files[file].krate;
+        if model
+            .mutexes
+            .iter()
+            .any(|m| m.ident == ident && (m.file == file || model.files[m.file].krate == *krate))
+        {
+            return true;
+        }
+        model
+            .type_of_chain(fi, recv)
+            .is_some_and(|ty| ty.contains("Mutex<"))
+    }
+}
+
+fn set_release(model: &mut WorkspaceModel, fi: usize, kind: &ScopeKind, line: usize) {
+    match kind {
+        ScopeKind::Acq(idx) => {
+            if let Some(a) = model.functions[fi].acquisitions.get_mut(*idx) {
+                a.release_line = line.max(a.line);
+            }
+        }
+        ScopeKind::Call(idx) => {
+            if let Some(c) = model.functions[fi].calls.get_mut(*idx) {
+                c.release_line = line.max(c.line);
+            }
+        }
+    }
+}
+
+// ----- small parsing helpers ------------------------------------------
+
+/// `// lock-order: a.b < c.d < e` → `["a.b", "c.d", "e"]`.
+pub fn parse_lock_order(comment: &str) -> Option<Vec<String>> {
+    let at = comment.find("lock-order:")?;
+    if !comment[..at]
+        .chars()
+        .all(|c| c == '/' || c == '!' || c.is_whitespace())
+    {
+        return None;
+    }
+    let rest = &comment[at + "lock-order:".len()..];
+    let names: Vec<String> = rest
+        .split('<')
+        .map(|s| s.trim().to_string())
+        .take_while(|s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '.' || c == '-')
+        })
+        .collect();
+    if names.is_empty() {
+        None
+    } else {
+        Some(names)
+    }
+}
+
+/// Leading identifier of `s`, if any.
+fn leading_ident(s: &str) -> Option<&str> {
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !(c.is_alphanumeric() || *c == '_'))
+        .map_or(s.len(), |(i, _)| i);
+    if end == 0 {
+        None
+    } else {
+        Some(&s[..end])
+    }
+}
+
+/// Matches `pub? name: Type,`-shaped lines (struct fields, multi-line fn
+/// params). Rejects struct-literal lines (`name: value(...)`) by
+/// refusing parentheses in the type.
+fn field_shaped(trimmed: &str) -> Option<(String, String)> {
+    let rest = trimmed
+        .strip_prefix("pub(crate) ")
+        .or_else(|| trimmed.strip_prefix("pub(super) "))
+        .or_else(|| trimmed.strip_prefix("pub "))
+        .unwrap_or(trimmed);
+    let name = leading_ident(rest)?;
+    let after = rest[name.len()..].trim_start();
+    let ty = after.strip_prefix(':')?.trim();
+    let ty = ty.strip_suffix(',').unwrap_or(ty).trim();
+    if ty.is_empty() || ty.contains('(') || ty.contains('"') || ty.contains('=') {
+        return None;
+    }
+    // Require type-shaped text so struct-literal *values* (`path: path,`,
+    // lowercase idents) don't pollute the field map with garbage types.
+    let type_shaped = ty.starts_with(|c: char| c.is_uppercase())
+        || ty.starts_with('&')
+        || ty.starts_with('[')
+        || ty.contains('<')
+        || ty.starts_with("std::")
+        || ty.starts_with("crate::")
+        || PRIMITIVES.contains(&ty);
+    if !type_shaped {
+        return None;
+    }
+    // Keywords never open a field.
+    if [
+        "let", "pub", "fn", "if", "match", "return", "else", "use", "mod", "for", "while",
+    ]
+    .contains(&name)
+    {
+        return None;
+    }
+    Some((name.to_string(), ty.to_string()))
+}
+
+/// `let mut? name ...` → binding name (single-identifier patterns only).
+fn let_binding_name(trimmed: &str) -> Option<String> {
+    let rest = trimmed.strip_prefix("let ")?.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    leading_ident(rest).map(str::to_string)
+}
+
+/// `impl Foo {` / `impl Trait for Foo {` / `impl<T> Foo<T> {` → `Foo`.
+fn impl_type_of(trimmed: &str) -> Option<String> {
+    let rest = trimmed.strip_prefix("impl")?;
+    let rest = if let Some(r) = rest.strip_prefix('<') {
+        // Skip the generic parameter list.
+        let mut depth = 1;
+        let mut cut = r.len();
+        for (i, c) in r.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        &r[cut..]
+    } else if rest.starts_with(' ') {
+        rest
+    } else {
+        return None;
+    };
+    let rest = rest.trim_start();
+    // `impl Trait for Type` → the Type; otherwise the first type.
+    let target = match rest.find(" for ") {
+        Some(at) => &rest[at + 5..],
+        None => rest,
+    };
+    let target = target.trim_start();
+    let name = leading_ident(target)?;
+    Some(name.to_string())
+}
+
+/// Position just past `fn` where a function keyword starts, if the line
+/// declares one (word-boundary checked; `fn` in idents like `fn_x` or
+/// paths does not count).
+fn find_fn_keyword(code: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(at) = code[from..].find("fn ") {
+        let abs = from + at;
+        let before_ok =
+            abs == 0 || !(bytes[abs - 1].is_ascii_alphanumeric() || bytes[abs - 1] == b'_');
+        if before_ok {
+            // Must be followed by an identifier (not `fn(` pointer types).
+            let after = code[abs + 3..].trim_start();
+            if after
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
+            {
+                return Some(abs);
+            }
+        }
+        from = abs + 3;
+    }
+    None
+}
+
+/// Finds the signature terminator in accumulated text: byte index of the
+/// body `{` (true) or the `;` of a bodyless declaration (false). The
+/// terminator must sit outside parens/generics so `where` clauses and
+/// default-arg braces don't confuse it.
+fn sig_terminator(text: &str) -> Option<(usize, bool)> {
+    let mut paren = 0i64;
+    let mut angle = 0i64;
+    let mut seen_paren = false;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' => {
+                paren += 1;
+                seen_paren = true;
+            }
+            ')' => paren -= 1,
+            '<' => angle += 1,
+            // `->` is not a generic close.
+            '>' if !text[..i].ends_with('-') => angle -= 1,
+            '{' if paren == 0 && seen_paren => return Some((i, true)),
+            ';' if paren == 0 && angle <= 0 && seen_paren => return Some((i, false)),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses `fn name<...>(params) -> Ret` header text.
+fn parse_signature(header: &str) -> (String, Vec<(String, String)>, String) {
+    let after_fn = header
+        .find("fn ")
+        .map(|i| &header[i + 3..])
+        .unwrap_or(header);
+    let name = leading_ident(after_fn.trim_start())
+        .unwrap_or_default()
+        .to_string();
+    let params_start = after_fn.find('(').map(|i| i + 1).unwrap_or(0);
+    let mut depth = 1i64;
+    let mut params_end = after_fn.len();
+    for (i, c) in after_fn[params_start..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    params_end = params_start + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let params_text = &after_fn[params_start..params_end];
+    let mut params = Vec::new();
+    for part in split_top_level(params_text) {
+        let part = part.trim();
+        if part.is_empty() || part == "self" || part.ends_with("self") {
+            continue;
+        }
+        if let Some((n, t)) = part.split_once(':') {
+            if let Some(ident) = leading_ident(n.trim().strip_prefix("mut ").unwrap_or(n.trim())) {
+                params.push((ident.to_string(), t.trim().to_string()));
+            }
+        }
+    }
+    let ret = after_fn[params_end..]
+        .split_once("->")
+        .map(|(_, r)| r.trim().to_string())
+        .unwrap_or_default();
+    (name, params, ret)
+}
+
+/// Splits on commas at zero paren/angle/bracket depth.
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' | '<' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            '>' if !text[..i].ends_with('-') => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&text[start..]);
+    out
+}
+
+/// Back-scans the receiver chain ending just before char `at`:
+/// `self.inner.` for `self.inner.lock`, `wire::` for `wire::decode`.
+/// Returns `""` for bare calls, and a chain ending in `.`/`::` or `.`
+/// when a receiver exists. Chains through `)`/`]` (call results) yield
+/// the opaque marker `"?."` so callers know the receiver is untypable.
+fn receiver_chain(chars: &[char], at: usize) -> String {
+    let mut i = at;
+    let mut chain = String::new();
+    loop {
+        // Expect `.` or `::` immediately before the current segment.
+        if i >= 1 && chars[i - 1] == '.' {
+            i -= 1;
+            chain.insert(0, '.');
+        } else if i >= 2 && chars[i - 1] == ':' && chars[i - 2] == ':' {
+            i -= 2;
+            chain.insert_str(0, "::");
+        } else {
+            break;
+        }
+        // Read the segment before the separator.
+        if i >= 1 && (chars[i - 1] == ')' || chars[i - 1] == ']') {
+            chain.insert(0, '?');
+            break;
+        }
+        let end = i;
+        while i >= 1 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+            i -= 1;
+        }
+        if i == end {
+            break;
+        }
+        let seg: String = chars[i..end].iter().collect();
+        chain.insert_str(0, &seg);
+    }
+    chain
+}
+
+/// Final path segment of a type, wrappers stripped: `&Arc<HistoryStore>`
+/// → `HistoryStore`, `MutexGuard<'_, Inner>` → `Inner`.
+fn base_type(ty: &str) -> String {
+    let mut t = ty.trim();
+    loop {
+        t = t.trim_start_matches('&').trim_start_matches("mut ").trim();
+        let mut unwrapped = false;
+        for wrapper in ["Arc<", "Rc<", "Box<", "Option<", "MutexGuard<"] {
+            if let Some(rest) = t.strip_prefix(wrapper) {
+                let inner = rest.strip_suffix('>').unwrap_or(rest);
+                // `MutexGuard<'_, Inner>`: skip the lifetime.
+                t = inner
+                    .rsplit_once(',')
+                    .map(|(_, x)| x)
+                    .unwrap_or(inner)
+                    .trim();
+                unwrapped = true;
+                break;
+            }
+        }
+        if !unwrapped {
+            break;
+        }
+    }
+    // Drop generics and leading path.
+    let t = t.split('<').next().unwrap_or(t);
+    let t = t.rsplit("::").next().unwrap_or(t);
+    t.trim().to_string()
+}
+
+/// The split of a written call path into (receiver chain, final ident).
+fn split_chain(full: &str) -> (String, &str) {
+    if let Some(at) = full.rfind("::") {
+        (full[..at + 2].to_string(), &full[at + 2..])
+    } else if let Some(at) = full.rfind('.') {
+        (full[..at + 1].to_string(), &full[at + 1..])
+    } else {
+        (String::new(), full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_of(files: &[(&str, &str)]) -> WorkspaceModel {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        WorkspaceModel::build(&sources)
+    }
+
+    #[test]
+    fn functions_and_methods_are_extracted_with_impl_types() {
+        let m = model_of(&[(
+            "crates/demo/src/lib.rs",
+            "struct Store { inner: u64 }\n\
+             impl Store {\n\
+                 fn get(&self) -> u64 { self.inner }\n\
+             }\n\
+             fn free(x: u64) -> u64 { x }\n",
+        )]);
+        assert_eq!(m.functions.len(), 2);
+        let get = &m.functions[0];
+        assert_eq!(get.name, "get");
+        assert_eq!(get.impl_type.as_deref(), Some("Store"));
+        let free = &m.functions[1];
+        assert_eq!(free.name, "free");
+        assert!(free.impl_type.is_none());
+        assert_eq!(free.params, vec![("x".to_string(), "u64".to_string())]);
+    }
+
+    #[test]
+    fn calls_resolve_by_receiver_type_and_by_name() {
+        let m = model_of(&[(
+            "crates/demo/src/lib.rs",
+            "struct A;\n\
+             impl A {\n\
+                 fn ping(&self) {}\n\
+             }\n\
+             fn caller(a: &A) { a.ping(); helper(); }\n\
+             fn helper() {}\n",
+        )]);
+        let caller = m.function("crates/demo/src/lib.rs", "caller").unwrap();
+        let calls = &m.functions[caller].calls;
+        assert_eq!(calls.len(), 2);
+        let ping = m.function("crates/demo/src/lib.rs", "ping").unwrap();
+        let helper = m.function("crates/demo/src/lib.rs", "helper").unwrap();
+        assert_eq!(calls[0].targets, vec![ping]);
+        assert_eq!(calls[1].targets, vec![helper]);
+    }
+
+    #[test]
+    fn mutex_fields_and_annotations_are_collected() {
+        let m = model_of(&[(
+            "crates/demo/src/lib.rs",
+            "struct S {\n\
+                 // lock-order: demo.inner < demo.outer\n\
+                 inner: Mutex<u64>,\n\
+                 // lock-order: demo.outer\n\
+                 outer: Mutex<u64>,\n\
+             }\n",
+        )]);
+        assert_eq!(m.mutexes.len(), 2);
+        assert_eq!(m.mutexes[0].name.as_deref(), Some("demo.inner"));
+        assert_eq!(m.mutexes[1].name.as_deref(), Some("demo.outer"));
+        assert_eq!(m.constraints.len(), 1);
+        assert_eq!(m.constraints[0].before, "demo.inner");
+        assert_eq!(m.constraints[0].after, "demo.outer");
+    }
+
+    #[test]
+    fn acquisitions_resolve_to_declared_mutexes_with_scoped_release() {
+        let m = model_of(&[(
+            "crates/demo/src/lib.rs",
+            "struct S {\n\
+                 // lock-order: demo.inner\n\
+                 inner: Mutex<u64>,\n\
+             }\n\
+             impl S {\n\
+                 fn f(&self) {\n\
+                     let g = self.inner.lock();\n\
+                     touch(&g);\n\
+                 }\n\
+             }\n\
+             fn touch(_: &u64) {}\n",
+        )]);
+        let f = m.function("crates/demo/src/lib.rs", "f").unwrap();
+        let acqs = &m.functions[f].acquisitions;
+        assert_eq!(acqs.len(), 1);
+        assert_eq!(acqs[0].lock, Some(0));
+        assert!(
+            acqs[0].release_line > acqs[0].line,
+            "let-bound guard held past its line: {acqs:?}"
+        );
+    }
+
+    #[test]
+    fn guard_returning_helpers_are_recognized() {
+        let m = model_of(&[(
+            "crates/demo/src/lib.rs",
+            "struct S {\n\
+                 // lock-order: demo.inner\n\
+                 inner: Mutex<u64>,\n\
+             }\n\
+             impl S {\n\
+                 fn lock(&self) -> MutexGuard<'_, u64> {\n\
+                     self.inner.lock().unwrap()\n\
+                 }\n\
+             }\n",
+        )]);
+        let lockfn = m.function("crates/demo/src/lib.rs", "lock").unwrap();
+        assert!(m.functions[lockfn].returns_guard());
+        assert_eq!(m.functions[lockfn].acquisitions.len(), 1);
+    }
+
+    #[test]
+    fn exercise_files_grow_no_functions() {
+        let m = model_of(&[("crates/demo/tests/int.rs", "fn helper() {}\n")]);
+        assert!(m.functions.is_empty());
+        assert_eq!(m.files.len(), 1);
+        assert!(m.files[0].exercise);
+    }
+}

@@ -1,19 +1,36 @@
 //! `cargo xtask` — repo-owned developer tooling.
 //!
-//! The only task so far is `lint`: a custom static-analysis pass that
+//! The only task so far is `lint`: a custom static-analysis suite that
 //! enforces the workspace's DoS-resilience invariants at the source
 //! level (see `docs/STATIC_ANALYSIS.md` for the rules and the rationale
-//! tying each one back to the paper). The engine is a dependency-free
-//! token scanner: it builds in well under a second, runs offline, and is
-//! wired into CI as a blocking step.
+//! tying each one back to the paper). Two layers share one engine:
+//! per-file token rules over each file's blanked line view, and
+//! cross-file workspace passes (lock-order, poll-loop purity,
+//! overflow-audit, unsafe-perimeter) over the call-graph model in
+//! [`graph`]. Everything is dependency-free: it builds in well under a
+//! second, runs offline, and is wired into CI as a blocking step.
+
+#![forbid(unsafe_code)]
 
 pub mod allowlist;
+pub mod graph;
+pub mod passes;
 pub mod rules;
 pub mod scan;
 
 use allowlist::Allowlist;
+use graph::WorkspaceModel;
 use rules::Violation;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Wall time one rule or pass took over the whole workspace.
+#[derive(Debug, Clone)]
+pub struct RuleTiming {
+    /// Rule id, or `workspace-graph` for model construction.
+    pub rule: String,
+    pub micros: u128,
+}
 
 /// Outcome of linting the whole workspace.
 #[derive(Debug, Default)]
@@ -22,8 +39,75 @@ pub struct LintReport {
     pub violations: Vec<Violation>,
     /// Rust files inspected.
     pub files_scanned: usize,
-    /// Allowlist entries loaded from `lint.toml`.
+    /// Allowlist entries loaded from `lint.toml` (`[[allow]]` plus
+    /// `[[unsafe-file]]`).
     pub allow_entries: usize,
+    /// Per-rule wall time, in report order.
+    pub timings: Vec<RuleTiming>,
+}
+
+impl LintReport {
+    /// Machine-readable form for CI annotation tooling. Hand-rolled
+    /// (the workspace builds offline with no serde in xtask); keys are
+    /// stable API for `.github/workflows/ci.yml`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"allow_entries\": {},\n", self.allow_entries));
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \
+                 \"snippet\": {}}}",
+                json_str(v.rule),
+                json_str(&v.path),
+                v.line,
+                json_str(&v.message),
+                json_str(&v.snippet),
+            ));
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"timings\": [");
+        for (i, t) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"micros\": {}}}",
+                json_str(&t.rule),
+                t.micros
+            ));
+        }
+        if !self.timings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with the escapes the report can actually contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Any failure of the lint *driver* (rule findings are data, not errors).
@@ -64,24 +148,83 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, XtaskError> {
         Err(e) => return Err(XtaskError::Io(allow_path, e)),
     };
     let mut report = LintReport {
-        allow_entries: allowlist.entries.len(),
+        allow_entries: allowlist.entries.len() + allowlist.unsafe_files.len(),
         ..LintReport::default()
     };
     let mut files = Vec::new();
     collect_rust_files(&root.join("crates"), &mut files)?;
     files.sort();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in files {
         let source = std::fs::read_to_string(&path).map_err(|e| XtaskError::Io(path.clone(), e))?;
-        let rel = relative_path(root, &path);
-        report
-            .violations
-            .extend(rules::lint_source(&rel, &source, &allowlist));
-        report.files_scanned += 1;
+        sources.push((relative_path(root, &path), source));
     }
+    report.files_scanned = sources.len();
+
+    // One scan per file; per-file rules and workspace passes share it.
+    let start = Instant::now();
+    let model = WorkspaceModel::build(&sources);
+    report.timings.push(RuleTiming {
+        rule: "workspace-graph".to_string(),
+        micros: start.elapsed().as_micros(),
+    });
+
+    let mut found: Vec<Violation> = Vec::new();
+    for (id, rule) in rules::FILE_RULES {
+        let start = Instant::now();
+        for file in &model.files {
+            if file.exercise {
+                continue;
+            }
+            rule(&file.path, &file.scanned, &mut found);
+        }
+        report.timings.push(RuleTiming {
+            rule: id.to_string(),
+            micros: start.elapsed().as_micros(),
+        });
+    }
+    for (id, pass) in [
+        (
+            "lock-order",
+            run_lock_order as fn(&WorkspaceModel, &Allowlist, &mut Vec<Violation>),
+        ),
+        ("poll-loop-purity", run_poll_purity),
+        ("overflow-audit", run_overflow),
+        ("unsafe-perimeter", run_unsafe_perimeter),
+    ] {
+        let start = Instant::now();
+        pass(&model, &allowlist, &mut found);
+        report.timings.push(RuleTiming {
+            rule: id.to_string(),
+            micros: start.elapsed().as_micros(),
+        });
+    }
+
+    found.retain(|v| match model.scanned(&v.path) {
+        Some(file) => !rules::suppressed(v, file, &allowlist),
+        None => !allowlist.permits(v),
+    });
+    report.violations = found;
     report
         .violations
-        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(report)
+}
+
+fn run_lock_order(model: &WorkspaceModel, _allow: &Allowlist, out: &mut Vec<Violation>) {
+    passes::lock_order::check(model, out);
+}
+
+fn run_poll_purity(model: &WorkspaceModel, _allow: &Allowlist, out: &mut Vec<Violation>) {
+    passes::poll_purity::check(model, out);
+}
+
+fn run_overflow(model: &WorkspaceModel, _allow: &Allowlist, out: &mut Vec<Violation>) {
+    passes::overflow::check(model, out);
+}
+
+fn run_unsafe_perimeter(model: &WorkspaceModel, allow: &Allowlist, out: &mut Vec<Violation>) {
+    passes::unsafe_perimeter::check(model, &allow.unsafe_files, out);
 }
 
 fn relative_path(root: &Path, path: &Path) -> String {
@@ -119,4 +262,44 @@ pub fn workspace_root() -> PathBuf {
         .nth(2)
         .map(Path::to_path_buf)
         .unwrap_or_else(|| PathBuf::from("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_escapes_and_round_trips_structure() {
+        let report = LintReport {
+            violations: vec![Violation {
+                path: "crates/a/src/lib.rs".to_string(),
+                line: 3,
+                rule: "hot-path-panic",
+                message: "say \"no\" to\npanics".to_string(),
+                snippet: "x.unwrap()\t// tab".to_string(),
+            }],
+            files_scanned: 2,
+            allow_entries: 1,
+            timings: vec![RuleTiming {
+                rule: "hot-path-panic".to_string(),
+                micros: 1234,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("say \\\"no\\\" to\\npanics"));
+        assert!(json.contains("x.unwrap()\\t// tab"));
+        assert!(json.contains("\"micros\": 1234"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_serializes_to_empty_arrays() {
+        let json = LintReport::default().to_json();
+        assert!(json.contains("\"violations\": []"));
+        assert!(json.contains("\"timings\": []"));
+    }
 }

@@ -1,5 +1,7 @@
 //! `cargo xtask <task>` entry point.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use xtask::rules::RULE_IDS;
 
@@ -9,11 +11,14 @@ cargo xtask <task>
 Tasks:
   lint [--rule <id>]   run the static-analysis suite over the workspace
                        (all rules by default; --rule filters to one)
+  lint --json          emit the machine-readable report on stdout
+                       (rule, file, line, message, snippet, timings)
+  lint --timings       print per-rule wall time after the report
   lint --list          list the rules with one-line summaries
 
 See docs/STATIC_ANALYSIS.md for rule rationale and the suppression
 workflow (`// lint: allow(rule, reason)` inline, `lint.toml` for
-file-level exceptions).
+file-level exceptions and the `[[unsafe-file]]` perimeter).
 ";
 
 fn main() -> ExitCode {
@@ -33,6 +38,8 @@ fn main() -> ExitCode {
 
 fn lint(args: &[String]) -> ExitCode {
     let mut rule_filter: Option<String> = None;
+    let mut json = false;
+    let mut timings = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -42,6 +49,8 @@ fn lint(args: &[String]) -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--json" => json = true,
+            "--timings" => timings = true,
             "--rule" => match iter.next() {
                 Some(id) if RULE_IDS.contains(&id.as_str()) => rule_filter = Some(id.clone()),
                 Some(id) => {
@@ -60,22 +69,34 @@ fn lint(args: &[String]) -> ExitCode {
         }
     }
     let root = xtask::workspace_root();
-    let report = match xtask::lint_workspace(&root) {
+    let mut report = match xtask::lint_workspace(&root) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("xtask lint: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let shown: Vec<_> = report
-        .violations
-        .iter()
-        .filter(|v| rule_filter.as_deref().is_none_or(|r| r == v.rule))
-        .collect();
-    for v in &shown {
+    if let Some(rule) = &rule_filter {
+        report.violations.retain(|v| v.rule == rule);
+    }
+    if json {
+        print!("{}", report.to_json());
+        return if report.violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    for v in &report.violations {
         println!("{v}\n");
     }
-    if shown.is_empty() {
+    if timings {
+        println!("per-rule wall time:");
+        for t in &report.timings {
+            println!("{:>18}  {:>8} us", t.rule, t.micros);
+        }
+    }
+    if report.violations.is_empty() {
         println!(
             "xtask lint: clean — {} files scanned, {} allowlist entr{}",
             report.files_scanned,
@@ -91,8 +112,12 @@ fn lint(args: &[String]) -> ExitCode {
         println!(
             "xtask lint: {} violation{} in {} files scanned \
              (suppress a sound exception with `// lint: allow(rule, reason)` or lint.toml)",
-            shown.len(),
-            if shown.len() == 1 { "" } else { "s" },
+            report.violations.len(),
+            if report.violations.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
             report.files_scanned,
         );
         ExitCode::FAILURE
@@ -107,6 +132,10 @@ fn rule_summary(id: &str) -> &'static str {
         "bounded-channels" => "no unbounded mpsc::channel in the collector",
         "joined-threads" => "every thread::spawn handle is bound and joinable",
         "lint-directive" => "malformed `lint: allow` directives are errors",
+        "lock-order" => "global lock graph must match the declared `// lock-order:` hierarchy",
+        "poll-loop-purity" => "no blocking calls reachable from the engine poll dispatch loop",
+        "overflow-audit" => "counter arithmetic in sketch hot paths must saturate or justify",
+        "unsafe-perimeter" => "`unsafe` only in files listed by lint.toml [[unsafe-file]]",
         _ => "",
     }
 }

@@ -1,0 +1,591 @@
+//! Pass `lock-order`: the global lock-acquisition graph must be
+//! consistent with the declared hierarchy.
+//!
+//! Every `Mutex` declaration carries a `// lock-order: <name>`
+//! annotation naming its place in the hierarchy; a chain form
+//! `// lock-order: a < b < c` additionally declares that `a` may be
+//! held while acquiring `b`, and `b` while acquiring `c`. The pass
+//! extracts every acquisition per function, propagates lock sets
+//! through the call graph to a fixpoint, walks each function's
+//! acquire/call events with guard scopes modeled, and then demands
+//! that every *observed* held→acquired edge is covered by the declared
+//! (acyclic) ordering. An edge between locks with no declared
+//! relationship is a violation too: the hierarchy must be explicit,
+//! not inferred, so an inversion shows up as a diff on the annotation
+//! rather than a runtime deadlock two tiers deep.
+
+use crate::graph::WorkspaceModel;
+use crate::rules::Violation;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const RULE: &str = "lock-order";
+
+/// One observed held→acquired edge, with its site.
+struct Edge {
+    held: usize,
+    acquired: usize,
+    func: usize,
+    line: usize,
+}
+
+pub fn check(model: &WorkspaceModel, out: &mut Vec<Violation>) {
+    // --- declarations: every mutex annotated, names unique ------------
+    let mut names: BTreeMap<&str, usize> = BTreeMap::new();
+    for (mi, m) in model.mutexes.iter().enumerate() {
+        let path = model.files[m.file].path.clone();
+        match &m.name {
+            None => out.push(violation(
+                path,
+                m.line,
+                format!(
+                    "`Mutex` `{}` has no `// lock-order: <name>` annotation; every lock must \
+                     declare its place in the hierarchy (chain form `// lock-order: a < b` \
+                     declares that `a` may be held while acquiring `b`)",
+                    m.ident
+                ),
+                &m.snippet,
+            )),
+            Some(name) => {
+                if let Some(prev) = names.insert(name.as_str(), mi) {
+                    let prev = &model.mutexes[prev];
+                    out.push(violation(
+                        path,
+                        m.line,
+                        format!(
+                            "lock-order name `{name}` is already used by `{}` at {}:{}; names \
+                             must be unique so the hierarchy is unambiguous",
+                            prev.ident, model.files[prev.file].path, prev.line
+                        ),
+                        &m.snippet,
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- declared constraints: known names, acyclic -------------------
+    let mut declared: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for c in &model.constraints {
+        for name in [&c.before, &c.after] {
+            if !names.contains_key(name.as_str()) {
+                out.push(violation(
+                    model.files[c.file].path.clone(),
+                    c.line,
+                    format!(
+                        "lock-order constraint references `{name}`, but no `Mutex` declares \
+                         that name"
+                    ),
+                    "",
+                ));
+            }
+        }
+        declared
+            .entry(c.before.as_str())
+            .or_default()
+            .insert(c.after.as_str());
+    }
+    if let Some(cycle) = find_cycle(&declared) {
+        // Report at the first constraint participating in the cycle.
+        let site = model
+            .constraints
+            .iter()
+            .find(|c| cycle.contains(&c.before.as_str()))
+            .expect("cycle implies a constraint");
+        out.push(violation(
+            model.files[site.file].path.clone(),
+            site.line,
+            format!(
+                "declared lock-order hierarchy is cyclic ({}); a cycle in the declaration \
+                 means no safe acquisition order exists",
+                cycle.join(" < ")
+            ),
+            "",
+        ));
+        // A cyclic declaration makes conformance checking meaningless.
+        return;
+    }
+    let reach = transitive_closure(&declared);
+
+    // --- transitive lock sets per function ----------------------------
+    let nfun = model.functions.len();
+    let mut sets: Vec<BTreeSet<usize>> = (0..nfun)
+        .map(|fi| {
+            model.functions[fi]
+                .acquisitions
+                .iter()
+                .filter_map(|a| a.lock)
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for fi in 0..nfun {
+            let mut add: BTreeSet<usize> = BTreeSet::new();
+            for call in &model.functions[fi].calls {
+                for &t in &call.targets {
+                    add.extend(sets[t].iter().copied());
+                }
+            }
+            for l in add {
+                changed |= sets[fi].insert(l);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- event walk: observed edges, re-entrancy, unattributable ------
+    let mut edges: Vec<Edge> = Vec::new();
+    for (fi, f) in model.functions.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let path = &model.files[f.file].path;
+        // Merge acquisitions and calls into line order; on one line,
+        // acquisitions first (arguments are evaluated before the call).
+        enum Ev<'a> {
+            A(&'a crate::graph::AcqSite),
+            C(&'a crate::graph::CallSite),
+        }
+        let mut events: Vec<(usize, u8, usize, Ev)> = f
+            .acquisitions
+            .iter()
+            .map(|a| (a.line, 0u8, a.seq, Ev::A(a)))
+            .chain(f.calls.iter().map(|c| (c.line, 1u8, c.seq, Ev::C(c))))
+            .collect();
+        events.sort_by_key(|(line, kind, seq, _)| (*line, *kind, *seq));
+        // Held guards: (lock, release line).
+        let mut held: Vec<(usize, usize)> = Vec::new();
+        for (line, _, _, ev) in events {
+            held.retain(|&(_, release)| release >= line);
+            match ev {
+                Ev::A(a) => {
+                    let Some(lock) = a.lock else {
+                        out.push(violation(
+                            path.clone(),
+                            a.line,
+                            format!(
+                                "`.lock()` on `{}` cannot be attributed to any declared \
+                                 `Mutex`; declare the lock (with a `// lock-order:` \
+                                 annotation) where it is created",
+                                a.receiver
+                            ),
+                            &snippet_at(model, f.file, a.line),
+                        ));
+                        continue;
+                    };
+                    for &(h, _) in &held {
+                        if h == lock {
+                            out.push(violation(
+                                path.clone(),
+                                a.line,
+                                format!(
+                                    "`{}` is re-acquired while already held in `{}`; a \
+                                     second `.lock()` on the same std Mutex deadlocks",
+                                    lock_name(model, lock),
+                                    f.name
+                                ),
+                                &snippet_at(model, f.file, a.line),
+                            ));
+                        } else {
+                            edges.push(Edge {
+                                held: h,
+                                acquired: lock,
+                                func: fi,
+                                line: a.line,
+                            });
+                        }
+                    }
+                    held.push((lock, a.release_line));
+                }
+                Ev::C(c) => {
+                    let mut callee: BTreeSet<usize> = BTreeSet::new();
+                    let mut guard = false;
+                    for &t in &c.targets {
+                        callee.extend(sets[t].iter().copied());
+                        guard |= model.functions[t].returns_guard();
+                    }
+                    if callee.is_empty() {
+                        continue;
+                    }
+                    for &(h, _) in &held {
+                        for &l in &callee {
+                            if h == l {
+                                out.push(violation(
+                                    path.clone(),
+                                    c.line,
+                                    format!(
+                                        "call to `{}` may re-acquire `{}` which `{}` already \
+                                         holds here; a second `.lock()` on the same std Mutex \
+                                         deadlocks",
+                                        c.name,
+                                        lock_name(model, l),
+                                        f.name
+                                    ),
+                                    &snippet_at(model, f.file, c.line),
+                                ));
+                            } else {
+                                edges.push(Edge {
+                                    held: h,
+                                    acquired: l,
+                                    func: fi,
+                                    line: c.line,
+                                });
+                            }
+                        }
+                    }
+                    if guard {
+                        for &l in &callee {
+                            held.push((l, c.release_line));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- conformance: every observed edge is declared -----------------
+    let mut reported: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
+    for e in edges {
+        let (Some(h), Some(a)) = (
+            model.mutexes[e.held].name.as_deref(),
+            model.mutexes[e.acquired].name.as_deref(),
+        ) else {
+            continue; // unannotated locks already violated above
+        };
+        let permitted = reach.get(h).is_some_and(|r| r.contains(a));
+        if !permitted && reported.insert((e.held, e.acquired, e.line)) {
+            let f = &model.functions[e.func];
+            out.push(violation(
+                model.files[f.file].path.clone(),
+                e.line,
+                format!(
+                    "`{a}` is acquired while `{h}` is held (in `{}`), but the declared \
+                     hierarchy does not permit `{h} < {a}`; either reorder the acquisitions \
+                     or extend the `// lock-order:` chain at one of the declarations",
+                    f.name
+                ),
+                &snippet_at(model, f.file, e.line),
+            ));
+        }
+    }
+}
+
+fn violation(path: String, line: usize, message: String, snippet: &str) -> Violation {
+    Violation {
+        path,
+        line,
+        rule: RULE,
+        message,
+        snippet: snippet.to_string(),
+    }
+}
+
+fn lock_name(model: &WorkspaceModel, lock: usize) -> String {
+    let m = &model.mutexes[lock];
+    m.name.clone().unwrap_or_else(|| m.ident.clone())
+}
+
+fn snippet_at(model: &WorkspaceModel, file: usize, line: usize) -> String {
+    model.files[file]
+        .scanned
+        .lines
+        .get(line - 1)
+        .map(|l| l.raw.trim().to_string())
+        .unwrap_or_default()
+}
+
+/// Returns the node names of some cycle in `adj`, if one exists.
+fn find_cycle<'a>(adj: &BTreeMap<&'a str, BTreeSet<&'a str>>) -> Option<Vec<&'a str>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    fn dfs<'a>(
+        node: &'a str,
+        adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<&'a str>> {
+        marks.insert(node, Mark::Grey);
+        stack.push(node);
+        for &next in adj.get(node).into_iter().flatten() {
+            match marks.get(next).copied().unwrap_or(Mark::White) {
+                Mark::Grey => {
+                    let from = stack.iter().position(|&n| n == next).unwrap_or(0);
+                    return Some(stack[from..].to_vec());
+                }
+                Mark::White => {
+                    if let Some(cycle) = dfs(next, adj, marks, stack) {
+                        return Some(cycle);
+                    }
+                }
+                Mark::Black => {}
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Black);
+        None
+    }
+    let mut marks: BTreeMap<&str, Mark> = BTreeMap::new();
+    for &node in adj.keys() {
+        if marks.get(node).copied().unwrap_or(Mark::White) == Mark::White {
+            let mut stack = Vec::new();
+            if let Some(cycle) = dfs(node, adj, &mut marks, &mut stack) {
+                return Some(cycle);
+            }
+        }
+    }
+    None
+}
+
+/// Reachability closure of the declared ordering.
+fn transitive_closure<'a>(
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+) -> BTreeMap<&'a str, BTreeSet<&'a str>> {
+    let mut reach: BTreeMap<&str, BTreeSet<&str>> = adj.clone();
+    loop {
+        let mut changed = false;
+        let keys: Vec<&str> = reach.keys().copied().collect();
+        for k in keys {
+            let step: BTreeSet<&str> = reach[k]
+                .iter()
+                .flat_map(|n| reach.get(n).into_iter().flatten().copied())
+                .collect();
+            for n in step {
+                changed |= reach.get_mut(k).expect("key exists").insert(n);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Violation> {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        let model = WorkspaceModel::build(&sources);
+        let mut out = Vec::new();
+        check(&model, &mut out);
+        out
+    }
+
+    const TWO_LOCKS: &str = "struct S {\n\
+             // lock-order: t.a < t.b\n\
+             a: Mutex<u64>,\n\
+             // lock-order: t.b\n\
+             b: Mutex<u64>,\n\
+         }\n";
+
+    #[test]
+    fn seeded_cycle_between_two_locks_is_detected() {
+        // `f` nests a-then-b (declared), `g` nests b-then-a: the classic
+        // two-lock deadlock. The b→a edge is not covered by `t.a < t.b`.
+        let src = format!(
+            "{TWO_LOCKS}\
+             impl S {{\n\
+                 fn f(&self) {{\n\
+                     let ga = self.a.lock();\n\
+                     let gb = self.b.lock();\n\
+                 }}\n\
+                 fn g(&self) {{\n\
+                     let gb = self.b.lock();\n\
+                     let ga = self.a.lock();\n\
+                 }}\n\
+             }}\n"
+        );
+        let found = run(&[("crates/demo/src/lib.rs", &src)]);
+        assert_eq!(found.len(), 1, "exactly the inverted edge: {found:?}");
+        assert!(found[0]
+            .message
+            .contains("`t.a` is acquired while `t.b` is held"));
+        assert!(found[0].message.contains("in `g`"));
+    }
+
+    #[test]
+    fn declared_order_and_conforming_code_are_clean() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             impl S {{\n\
+                 fn f(&self) {{\n\
+                     let ga = self.a.lock();\n\
+                     let gb = self.b.lock();\n\
+                 }}\n\
+             }}\n"
+        );
+        let found = run(&[("crates/demo/src/lib.rs", &src)]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn inversion_through_the_call_graph_is_detected() {
+        // `g` holds t.b and calls `deep`, which (transitively) acquires
+        // t.a — the inversion only exists across function boundaries.
+        let src = format!(
+            "{TWO_LOCKS}\
+             impl S {{\n\
+                 fn g(&self) {{\n\
+                     let gb = self.b.lock();\n\
+                     self.deep();\n\
+                 }}\n\
+                 fn deep(&self) {{\n\
+                     self.deeper();\n\
+                 }}\n\
+                 fn deeper(&self) {{\n\
+                     let ga = self.a.lock();\n\
+                 }}\n\
+             }}\n"
+        );
+        let found = run(&[("crates/demo/src/lib.rs", &src)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0]
+            .message
+            .contains("`t.a` is acquired while `t.b` is held"));
+    }
+
+    #[test]
+    fn reacquiring_a_held_lock_is_a_deadlock_violation() {
+        let src = "struct S {\n\
+                 // lock-order: t.a\n\
+                 a: Mutex<u64>,\n\
+             }\n\
+             impl S {\n\
+                 fn f(&self) {\n\
+                     let g1 = self.a.lock();\n\
+                     let g2 = self.a.lock();\n\
+                 }\n\
+             }\n";
+        let found = run(&[("crates/demo/src/lib.rs", src)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("re-acquired"));
+    }
+
+    #[test]
+    fn guard_released_by_scope_permits_sequential_use() {
+        // a is released (block end) before b is taken: no edge at all,
+        // so no declaration between them is needed.
+        let src = "struct S {\n\
+                 // lock-order: t.a\n\
+                 a: Mutex<u64>,\n\
+                 // lock-order: t.b\n\
+                 b: Mutex<u64>,\n\
+             }\n\
+             impl S {\n\
+                 fn f(&self) {\n\
+                     {\n\
+                         let ga = self.a.lock();\n\
+                     }\n\
+                     let gb = self.b.lock();\n\
+                 }\n\
+             }\n";
+        let found = run(&[("crates/demo/src/lib.rs", src)]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn unannotated_mutex_is_flagged() {
+        let src = "struct S {\n\
+                 a: Mutex<u64>,\n\
+             }\n";
+        let found = run(&[("crates/demo/src/lib.rs", src)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("no `// lock-order:"));
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn cyclic_declaration_is_rejected() {
+        let src = "struct S {\n\
+                 // lock-order: t.a < t.b\n\
+                 a: Mutex<u64>,\n\
+                 // lock-order: t.b < t.a\n\
+                 b: Mutex<u64>,\n\
+             }\n";
+        let found = run(&[("crates/demo/src/lib.rs", src)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("cyclic"));
+    }
+
+    #[test]
+    fn duplicate_lock_names_are_rejected() {
+        let src = "struct S {\n\
+                 // lock-order: t.a\n\
+                 a: Mutex<u64>,\n\
+                 // lock-order: t.a\n\
+                 b: Mutex<u64>,\n\
+             }\n";
+        let found = run(&[("crates/demo/src/lib.rs", src)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("already used"));
+    }
+
+    #[test]
+    fn constraint_naming_an_unknown_lock_is_flagged() {
+        let src = "struct S {\n\
+                 // lock-order: t.a < t.ghost\n\
+                 a: Mutex<u64>,\n\
+             }\n";
+        let found = run(&[("crates/demo/src/lib.rs", src)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("t.ghost"));
+    }
+
+    #[test]
+    fn guard_returning_helper_propagates_the_held_lock() {
+        // `outer` holds t.b (via the helper) and then locks t.a — the
+        // inversion must be seen through the MutexGuard-returning helper.
+        let src = "struct S {\n\
+                 // lock-order: t.a < t.b\n\
+                 a: Mutex<u64>,\n\
+                 // lock-order: t.b\n\
+                 b: Mutex<u64>,\n\
+             }\n\
+             impl S {\n\
+                 fn lock_b(&self) -> MutexGuard<'_, u64> {\n\
+                     self.b.lock().unwrap()\n\
+                 }\n\
+                 fn outer(&self) {\n\
+                     let gb = self.lock_b();\n\
+                     let ga = self.a.lock();\n\
+                 }\n\
+             }\n";
+        let found = run(&[("crates/demo/src/lib.rs", src)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0]
+            .message
+            .contains("`t.a` is acquired while `t.b` is held"));
+    }
+
+    #[test]
+    fn cross_file_edges_within_a_crate_are_seen() {
+        // Lock declarations and the inverted use live in different files
+        // of the same crate.
+        let decl = "pub struct S {\n\
+                 // lock-order: t.a < t.b\n\
+                 pub a: Mutex<u64>,\n\
+                 // lock-order: t.b\n\
+                 pub b: Mutex<u64>,\n\
+             }\n";
+        let usefile = "fn invert(s: &S) {\n\
+                 let gb = s.b.lock();\n\
+                 let ga = s.a.lock();\n\
+             }\n";
+        let found = run(&[
+            ("crates/demo/src/decl.rs", decl),
+            ("crates/demo/src/use_site.rs", usefile),
+        ]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].path.ends_with("use_site.rs"));
+    }
+}

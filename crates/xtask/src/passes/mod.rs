@@ -1,0 +1,14 @@
+//! Cross-file analysis passes over the [`crate::graph::WorkspaceModel`].
+//!
+//! Per-file rules (see [`crate::rules`]) catch token-level hazards; the
+//! passes here catch *path* hazards that only exist across function and
+//! file boundaries: lock-order inversions, blocking calls reachable from
+//! the poll dispatch loop, unchecked counter arithmetic in the sketch
+//! hot paths, and `unsafe` outside the declared perimeter. Each pass
+//! emits ordinary [`crate::rules::Violation`]s, so suppression (inline
+//! `// lint: allow(...)` and `lint.toml`) works uniformly.
+
+pub mod lock_order;
+pub mod overflow;
+pub mod poll_purity;
+pub mod unsafe_perimeter;

@@ -1,0 +1,483 @@
+//! Pass `overflow-audit`: counter arithmetic in the sketch hot paths
+//! must be explicit about wraparound.
+//!
+//! The sketch/forecast/flowtable counters absorb attacker-driven
+//! traffic volumes; in release builds a bare `+=` wraps silently,
+//! turning a flooding source into a counter that *shrinks* — precisely
+//! the blind spot a change-detection IDS cannot afford (saturating
+//! counters are the discipline the invertible-sketch literature
+//! assumes). The pass flags unchecked `+=`/`-=`/`*=` (and plain `=`
+//! with top-level `+`/`*` on the right) when the left side resolves to
+//! an integer-typed field, local, or element, unless the line uses
+//! `saturating_*`/`wrapping_*`/`checked_*` or carries an inline
+//! justification. Float accumulators (EWMA math) are out of scope by
+//! type. Index arithmetic inside `[...]` is not the accumulator itself
+//! and is ignored here.
+
+use crate::graph::WorkspaceModel;
+use crate::rules::Violation;
+
+pub const RULE: &str = "overflow-audit";
+
+/// Hot-path directories audited by this pass.
+pub const PERIMETER: [&str; 3] = [
+    "crates/sketch/src/",
+    "crates/forecast/src/",
+    "crates/flowtable/src/",
+];
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+#[derive(PartialEq)]
+enum Class {
+    Int,
+    Float,
+    Unknown,
+}
+
+pub fn check(model: &WorkspaceModel, out: &mut Vec<Violation>) {
+    for (fx, file) in model.files.iter().enumerate() {
+        if !PERIMETER.iter().any(|p| file.path.starts_with(p)) || file.exercise {
+            continue;
+        }
+        for li in 0..file.scanned.lines.len() {
+            let line = &file.scanned.lines[li];
+            if line.in_test {
+                continue;
+            }
+            scan_line(
+                model,
+                fx,
+                &file.path,
+                line.number,
+                &line.code,
+                &line.raw,
+                out,
+            );
+        }
+    }
+}
+
+fn scan_line(
+    model: &WorkspaceModel,
+    fx: usize,
+    path: &str,
+    number: usize,
+    code: &str,
+    raw: &str,
+    out: &mut Vec<Violation>,
+) {
+    for (op_at, op) in compound_ops(code) {
+        let Some(lhs) = lhs_chain(code, op_at) else {
+            continue;
+        };
+        if audit_target(model, fx, number, &lhs, code) {
+            out.push(violation(path, number, op, &lhs.chain, raw));
+        }
+    }
+    // Plain `x = a + b` / `x = a * b` on an integer target.
+    if let Some(eq) = plain_assign(code) {
+        if rhs_has_hot_arith(&code[eq + 1..]) {
+            if let Some(lhs) = lhs_chain(code, eq) {
+                if !lhs.deref && audit_target_strict(model, fx, number, &lhs, code) {
+                    out.push(violation(path, number, "=", &lhs.chain, raw));
+                }
+            }
+        }
+    }
+}
+
+fn violation(path: &str, line: usize, op: &str, chain: &str, raw: &str) -> Violation {
+    Violation {
+        path: path.to_string(),
+        line,
+        rule: RULE,
+        message: format!(
+            "unchecked `{op}` on counter-typed `{chain}` in a sketch hot path wraps silently \
+             under flood traffic; use `saturating_*`/`wrapping_*`/`checked_*` (or justify with \
+             `// lint: allow(overflow-audit, <why wraparound is impossible>)`)"
+        ),
+        snippet: raw.trim().to_string(),
+    }
+}
+
+/// Whether the resolved left side warrants a finding for a compound op:
+/// integers do; floats never; unresolved only when written through a
+/// deref (`*slot += x`, the sketch bucket idiom) with no float evidence.
+fn audit_target(model: &WorkspaceModel, fx: usize, line: usize, lhs: &Lhs, code: &str) -> bool {
+    match classify(model, fx, line, lhs) {
+        Class::Int => true,
+        Class::Float => false,
+        Class::Unknown => lhs.deref && !float_hint(code),
+    }
+}
+
+/// Strict variant for plain `=`: only a positively integer-typed target.
+fn audit_target_strict(
+    model: &WorkspaceModel,
+    fx: usize,
+    line: usize,
+    lhs: &Lhs,
+    code: &str,
+) -> bool {
+    classify(model, fx, line, lhs) == Class::Int && !float_hint(code)
+}
+
+fn classify(model: &WorkspaceModel, fx: usize, line: usize, lhs: &Lhs) -> Class {
+    let Some(fi) = model.function_at(fx, line) else {
+        return Class::Unknown;
+    };
+    let Some(ty) = model.type_of_chain(fi, &lhs.chain) else {
+        return Class::Unknown;
+    };
+    let ty = if lhs.indexed {
+        match element_type(&ty) {
+            Some(elem) => elem,
+            None => return Class::Unknown,
+        }
+    } else {
+        ty
+    };
+    if contains_type_word(&ty, &["f32", "f64"]) {
+        Class::Float
+    } else if contains_type_word(&ty, &INT_TYPES) {
+        Class::Int
+    } else {
+        Class::Unknown
+    }
+}
+
+/// `Vec<i64>` → `i64`, `[u32; 8]` / `Box<[u64]>` → element type.
+fn element_type(ty: &str) -> Option<String> {
+    if let Some(at) = ty.find("Vec<") {
+        let inner = &ty[at + 4..];
+        return Some(inner.trim_end_matches('>').to_string());
+    }
+    if let Some(at) = ty.find('[') {
+        let inner = &ty[at + 1..];
+        let end = inner.find([';', ']'])?;
+        return Some(inner[..end].trim().to_string());
+    }
+    None
+}
+
+fn contains_type_word(ty: &str, words: &[&str]) -> bool {
+    ty.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .any(|w| words.contains(&w))
+}
+
+/// Evidence the line is float math (` as f64`, a float literal).
+fn float_hint(code: &str) -> bool {
+    if code.contains("as f64") || code.contains("as f32") {
+        return true;
+    }
+    let bytes = code.as_bytes();
+    bytes
+        .windows(3)
+        .any(|w| w[1] == b'.' && w[0].is_ascii_digit() && w[2].is_ascii_digit())
+}
+
+/// Positions and spellings of compound arithmetic ops on the line.
+fn compound_ops(code: &str) -> Vec<(usize, &'static str)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &bytes[i..i + 2];
+        let op = match two {
+            b"+=" => Some("+="),
+            b"-=" => Some("-="),
+            b"*=" => Some("*="),
+            _ => None,
+        };
+        if let Some(op) = op {
+            // `-=`-lookalikes such as `->` are impossible here, but make
+            // sure the previous char is not an operator (rules out `<<=`
+            // handled below and degenerate `=+=` text).
+            let prev_op = i > 0 && matches!(bytes[i - 1], b'+' | b'-' | b'*' | b'<' | b'>' | b'=');
+            if !prev_op {
+                out.push((i, op));
+            }
+            i += 2;
+            continue;
+        }
+        if bytes[i..].starts_with(b"<<=") {
+            out.push((i, "<<="));
+            i += 3;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Position of a plain `=` assignment (not `==`, `!=`, `<=`, `>=`, or a
+/// compound op), if the line has one.
+fn plain_assign(code: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    for i in 0..bytes.len() {
+        if bytes[i] != b'=' {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| bytes[p]);
+        let next = bytes.get(i + 1);
+        let prev_bad = matches!(
+            prev,
+            Some(b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^')
+        );
+        if !prev_bad && next != Some(&b'=') && next != Some(&b'>') {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// True when the right side has a top-level ` + ` or ` * ` outside any
+/// `[...]` index expression and no checked-arithmetic call.
+fn rhs_has_hot_arith(rhs: &str) -> bool {
+    for guard in ["saturating_", "wrapping_", "checked_"] {
+        if rhs.contains(guard) {
+            return false;
+        }
+    }
+    let bytes = rhs.as_bytes();
+    let mut bracket = 0i64;
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'+' | b'*' if bracket == 0 => {
+                // Spaced binary form only: `a + b`, not `+=`, `*ptr`,
+                // `a.iter()` deref chains, or unary minus contexts.
+                let spaced = i > 0 && bytes[i - 1] == b' ' && bytes.get(i + 1) == Some(&b' ');
+                if spaced {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// A parsed assignment target.
+struct Lhs {
+    /// Receiver chain with index expressions removed: `self.data`.
+    chain: String,
+    /// The target was indexed (`x[i] += ...`).
+    indexed: bool,
+    /// The target was written through a deref (`*slot += ...`).
+    deref: bool,
+}
+
+/// Walks backwards from the operator to recover the assignment target.
+fn lhs_chain(code: &str, op_at: usize) -> Option<Lhs> {
+    let chars: Vec<char> = code[..op_at].chars().collect();
+    let mut i = chars.len();
+    // Skip trailing whitespace.
+    while i > 0 && chars[i - 1].is_whitespace() {
+        i -= 1;
+    }
+    let mut indexed = false;
+    let mut parts: Vec<String> = Vec::new();
+    loop {
+        if i > 0 && chars[i - 1] == ']' {
+            // Skip the whole index expression.
+            indexed = true;
+            let mut depth = 0i64;
+            while i > 0 {
+                match chars[i - 1] {
+                    ']' => depth += 1,
+                    '[' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i -= 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i -= 1;
+            }
+            continue;
+        }
+        let end = i;
+        while i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+            i -= 1;
+        }
+        if i == end {
+            break;
+        }
+        parts.push(chars[i..end].iter().collect());
+        if i > 0 && chars[i - 1] == '.' {
+            i -= 1;
+            continue;
+        }
+        break;
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    let deref = i > 0 && chars[i - 1] == '*';
+    parts.reverse();
+    Some(Lhs {
+        chain: parts.join("."),
+        indexed,
+        deref,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Violation> {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        let model = WorkspaceModel::build(&sources);
+        let mut out = Vec::new();
+        check(&model, &mut out);
+        out
+    }
+
+    const SKETCH: &str = "crates/sketch/src/fixture.rs";
+
+    #[test]
+    fn seeded_unchecked_add_on_counter_field_is_detected() {
+        let src = "pub struct K {\n\
+                 total: u64,\n\
+             }\n\
+             impl K {\n\
+                 fn bump(&mut self, d: u64) {\n\
+                     self.total += d;\n\
+                 }\n\
+             }\n";
+        let found = run(&[(SKETCH, src)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("`+=`"));
+        assert!(found[0].message.contains("self.total"));
+        assert_eq!(found[0].line, 6);
+    }
+
+    #[test]
+    fn saturating_form_is_clean() {
+        let src = "pub struct K {\n\
+                 total: u64,\n\
+             }\n\
+             impl K {\n\
+                 fn bump(&mut self, d: u64) {\n\
+                     self.total = self.total.saturating_add(d);\n\
+                 }\n\
+             }\n";
+        assert!(run(&[(SKETCH, src)]).is_empty());
+    }
+
+    #[test]
+    fn float_accumulators_are_out_of_scope() {
+        let src = "pub struct E {\n\
+                 level: f64,\n\
+             }\n\
+             impl E {\n\
+                 fn update(&mut self, o: f64) {\n\
+                     self.level += o;\n\
+                     self.level = self.level * 0.9 + o * 0.1;\n\
+                 }\n\
+             }\n";
+        assert!(run(&[(SKETCH, src)]).is_empty());
+    }
+
+    #[test]
+    fn indexed_integer_buckets_are_detected_with_index_math_ignored() {
+        let src = "pub struct G {\n\
+                 data: Vec<i64>,\n\
+                 buckets: usize,\n\
+             }\n\
+             impl G {\n\
+                 fn add(&mut self, stage: usize, b: usize, d: i64) {\n\
+                     self.data[stage * self.buckets + b] += d;\n\
+                 }\n\
+             }\n";
+        let found = run(&[(SKETCH, src)]);
+        assert_eq!(
+            found.len(),
+            1,
+            "index `*`/`+` must not double-count: {found:?}"
+        );
+        assert!(found[0].message.contains("self.data"));
+    }
+
+    #[test]
+    fn deref_write_without_float_evidence_is_detected() {
+        let src = "fn combine(a: &mut [i64], b: &[i64]) {\n\
+                 for (x, y) in a.iter_mut().zip(b) {\n\
+                     *x += *y;\n\
+                 }\n\
+             }\n";
+        let found = run(&[(SKETCH, src)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("`+=`"));
+    }
+
+    #[test]
+    fn deref_write_with_float_evidence_is_clean() {
+        let src = "fn decay(a: &mut [f64]) {\n\
+                 for x in a.iter_mut() {\n\
+                     *x += 0.5;\n\
+                 }\n\
+             }\n";
+        assert!(run(&[(SKETCH, src)]).is_empty());
+    }
+
+    #[test]
+    fn suffixed_integer_locals_are_detected() {
+        let src = "fn count(xs: &[u8]) -> u64 {\n\
+                 let mut alive = 0u64;\n\
+                 for _x in xs {\n\
+                     alive += 1;\n\
+                 }\n\
+                 alive\n\
+             }\n";
+        let found = run(&[(SKETCH, src)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("alive"));
+    }
+
+    #[test]
+    fn plain_assignment_with_hot_arithmetic_is_detected() {
+        let src = "pub struct K {\n\
+                 total: u64,\n\
+             }\n\
+             impl K {\n\
+                 fn fold(&mut self, a: u64, b: u64) {\n\
+                     self.total = a + b;\n\
+                 }\n\
+             }\n";
+        let found = run(&[(SKETCH, src)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("`=`"));
+    }
+
+    #[test]
+    fn files_outside_the_perimeter_are_ignored() {
+        let src = "pub struct K { total: u64 }\n\
+             impl K {\n\
+                 fn bump(&mut self, d: u64) { self.total += d; }\n\
+             }\n";
+        assert!(run(&[("crates/collect/src/fixture.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "pub fn noop() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 struct K { total: u64 }\n\
+                 fn f(k: &mut K) { k.total += 1; }\n\
+             }\n";
+        assert!(run(&[(SKETCH, src)]).is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! Pass `poll-loop-purity`: nothing reachable from the poll dispatch
+//! loop may block.
+//!
+//! The connection engine multiplexes every peer on one thread behind
+//! poll(2); a single blocking call anywhere in the dispatch path stalls
+//! *all* tiers at once — exactly the outage the paper's resilience claim
+//! forbids. The pass walks the call graph from the dispatch root
+//! (`run` in `crates/collect/src/engine.rs`) and flags blocking
+//! primitives in any reachable function: blocking reads/writes
+//! (`read_exact`/`write_all`/`read_to_end`/`read_to_string`), sleeps,
+//! unbounded `recv()`, condvar waits, and any lock acquisition (a lock
+//! held across dispatch turns one slow handler into a pipeline stall).
+//!
+//! Deliberately *not* flagged: `send` on the bounded `sync_channel` —
+//! that block is the engine's designed backpressure release valve (the
+//! module docs in `engine.rs` own this trade-off).
+//!
+//! If the root cannot be resolved (file or function renamed), that is
+//! itself a violation: a silently vacuous pass is worse than none.
+
+use crate::graph::WorkspaceModel;
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+
+pub const RULE: &str = "poll-loop-purity";
+
+/// The dispatch roots: `(workspace-relative path, function name)`.
+pub const ROOTS: [(&str, &str); 1] = [("crates/collect/src/engine.rs", "run")];
+
+/// Blocking tokens looked for in reachable code: `(needle, label)`.
+/// Needles starting with `.` are method calls matched verbatim; bare
+/// needles are matched with a word boundary before them.
+const BLOCKING: [(&str, &str); 7] = [
+    (".read_exact(", "blocking `read_exact`"),
+    (".read_to_end(", "blocking `read_to_end`"),
+    (".read_to_string(", "blocking `read_to_string`"),
+    (".write_all(", "blocking `write_all`"),
+    (".recv()", "unbounded blocking `recv()`"),
+    (".wait(", "condvar `wait`"),
+    ("sleep(", "`sleep`"),
+];
+
+pub fn check(model: &WorkspaceModel, out: &mut Vec<Violation>) {
+    check_roots(model, &ROOTS, out);
+}
+
+/// The pass body, parameterized over roots so self-tests can seed a mock
+/// dispatch path.
+pub fn check_roots(model: &WorkspaceModel, roots: &[(&str, &str)], out: &mut Vec<Violation>) {
+    // Resolve roots; a missing root is a violation, not a silent pass.
+    let mut queue: Vec<usize> = Vec::new();
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    for (path, name) in roots {
+        match model.function(path, name) {
+            Some(fi) => queue.push(fi),
+            None => out.push(Violation {
+                path: path.to_string(),
+                line: 1,
+                rule: RULE,
+                message: format!(
+                    "poll dispatch root `{name}` not found in `{path}`; the purity pass \
+                     would be vacuous — update `passes::poll_purity::ROOTS` to the renamed \
+                     dispatch entry point"
+                ),
+                snippet: String::new(),
+            }),
+        }
+    }
+    let mut visited: Vec<usize> = queue.clone();
+    while let Some(fi) = queue.pop() {
+        for call in &model.functions[fi].calls {
+            for &t in &call.targets {
+                if model.functions[t].in_test || visited.contains(&t) {
+                    continue;
+                }
+                parent.insert(t, fi);
+                visited.push(t);
+                queue.push(t);
+            }
+        }
+    }
+
+    for &fi in &visited {
+        let f = &model.functions[fi];
+        let route = route_to_root(model, fi, &parent);
+        let scanned = &model.files[f.file].scanned;
+        let path = &model.files[f.file].path;
+        for line in &scanned.lines {
+            if line.number < f.start || line.number > f.end || line.in_test {
+                continue;
+            }
+            for (needle, label) in BLOCKING {
+                if contains_token(&line.code, needle) {
+                    out.push(Violation {
+                        path: path.clone(),
+                        line: line.number,
+                        rule: RULE,
+                        message: format!(
+                            "{label} is reachable from the poll dispatch loop ({route}); \
+                             the engine thread must never block outside poll(2) itself"
+                        ),
+                        snippet: line.raw.trim().to_string(),
+                    });
+                    break; // one finding per line
+                }
+            }
+        }
+        for a in &f.acquisitions {
+            out.push(Violation {
+                path: path.clone(),
+                line: a.line,
+                rule: RULE,
+                message: format!(
+                    "lock acquisition on `{}` is reachable from the poll dispatch loop \
+                     ({route}); a lock held across dispatch stalls every connection at once",
+                    a.receiver
+                ),
+                snippet: scanned
+                    .lines
+                    .get(a.line - 1)
+                    .map(|l| l.raw.trim().to_string())
+                    .unwrap_or_default(),
+            });
+        }
+    }
+}
+
+/// `run → wait_ready → helper` style route for diagnostics.
+fn route_to_root(model: &WorkspaceModel, fi: usize, parent: &BTreeMap<usize, usize>) -> String {
+    let mut chain = vec![model.functions[fi].name.clone()];
+    let mut cur = fi;
+    while let Some(&p) = parent.get(&cur) {
+        chain.push(model.functions[p].name.clone());
+        cur = p;
+        if chain.len() > 16 {
+            break;
+        }
+    }
+    chain.reverse();
+    chain.join(" -> ")
+}
+
+/// Method needles (`.x(`) match verbatim; bare needles need a non-ident
+/// character (or line start) before them so `xsleep(` never matches.
+fn contains_token(code: &str, needle: &str) -> bool {
+    if needle.starts_with('.') {
+        return code.contains(needle);
+    }
+    let mut from = 0;
+    while let Some(at) = code[from..].find(needle) {
+        let abs = from + at;
+        let boundary = abs == 0
+            || !code.as_bytes()[abs - 1].is_ascii_alphanumeric()
+                && code.as_bytes()[abs - 1] != b'_';
+        if boundary {
+            return true;
+        }
+        from = abs + needle.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)], roots: &[(&str, &str)]) -> Vec<Violation> {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        let model = WorkspaceModel::build(&sources);
+        let mut out = Vec::new();
+        check_roots(&model, roots, &mut out);
+        out
+    }
+
+    const MOCK: &str = "crates/demo/src/engine.rs";
+
+    #[test]
+    fn seeded_blocking_call_in_dispatch_helper_is_detected() {
+        // `dispatch` itself is clean; the blocking read hides one call
+        // down, in `drain` — reachability must cross the function edge.
+        let src = "fn dispatch(s: &mut Conn) {\n\
+                 drain(s);\n\
+             }\n\
+             fn drain(s: &mut Conn) {\n\
+                 let mut buf = [0u8; 4];\n\
+                 s.sock.read_exact(&mut buf);\n\
+             }\n";
+        let found = run(&[(MOCK, src)], &[(MOCK, "dispatch")]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("read_exact"));
+        assert!(found[0].message.contains("dispatch -> drain"));
+        assert_eq!(found[0].line, 6);
+    }
+
+    #[test]
+    fn sleep_and_unbounded_recv_are_detected() {
+        let src = "fn dispatch() {\n\
+                 std::thread::sleep(TICK);\n\
+                 helper();\n\
+             }\n\
+             fn helper(rx: &Receiver<u8>) {\n\
+                 let _v = rx.recv();\n\
+             }\n";
+        let found = run(&[(MOCK, src)], &[(MOCK, "dispatch")]);
+        let msgs: Vec<&str> = found.iter().map(|v| v.message.as_str()).collect();
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(msgs.iter().any(|m| m.contains("`sleep`")));
+        assert!(msgs.iter().any(|m| m.contains("recv()")));
+    }
+
+    #[test]
+    fn lock_acquisition_on_the_dispatch_path_is_detected() {
+        let src = "struct Shared {\n\
+                 // lock-order: demo.state\n\
+                 state: Mutex<u64>,\n\
+             }\n\
+             impl Shared {\n\
+                 fn dispatch(&self) {\n\
+                     let g = self.state.lock();\n\
+                 }\n\
+             }\n";
+        let found = run(&[(MOCK, src)], &[(MOCK, "dispatch")]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("lock acquisition"));
+    }
+
+    #[test]
+    fn non_blocking_variants_are_not_flagged() {
+        let src = "fn dispatch(rx: &Receiver<u8>) {\n\
+                 let _a = rx.try_recv();\n\
+                 let _b = rx.recv_timeout(TICK);\n\
+             }\n";
+        let found = run(&[(MOCK, src)], &[(MOCK, "dispatch")]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn send_backpressure_is_deliberately_permitted() {
+        let src = "fn dispatch(tx: &SyncSender<u8>) {\n\
+                 let _ = tx.send(1);\n\
+             }\n";
+        let found = run(&[(MOCK, src)], &[(MOCK, "dispatch")]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn unreachable_blocking_code_is_not_flagged() {
+        let src = "fn dispatch() {}\n\
+             fn offline_worker(s: &mut Conn) {\n\
+                 s.sock.read_exact(&mut [0u8; 4]);\n\
+             }\n";
+        let found = run(&[(MOCK, src)], &[(MOCK, "dispatch")]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn missing_root_is_a_violation_not_a_silent_pass() {
+        let found = run(&[(MOCK, "fn other() {}\n")], &[(MOCK, "dispatch")]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("not found"));
+    }
+
+    #[test]
+    fn real_engine_root_is_resolvable() {
+        // Pin the production ROOTS constant against the actual engine
+        // source so a rename breaks this test, not the pass's coverage.
+        let root = crate::workspace_root();
+        let engine = root.join("crates/collect/src/engine.rs");
+        let source = std::fs::read_to_string(&engine).expect("engine.rs readable");
+        let model = WorkspaceModel::build(&[(ROOTS[0].0.to_string(), source)]);
+        assert!(
+            model.function(ROOTS[0].0, ROOTS[0].1).is_some(),
+            "poll dispatch root {}::{} must exist",
+            ROOTS[0].0,
+            ROOTS[0].1
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Pass `unsafe-perimeter`: `unsafe` may appear only in files named by
+//! `lint.toml` `[[unsafe-file]]` entries.
+//!
+//! The compiler-side twin of this pass is `#![forbid(unsafe_code)]` /
+//! `#![deny(unsafe_code)]` in every crate root; the lint-side pass
+//! closes the gaps the attributes cannot cover (integration tests and
+//! benches are separate compilation units, a future crate could forget
+//! the attribute) and makes the perimeter a *reviewed file*: widening
+//! it means a `lint.toml` diff with a reason, not a scattered
+//! `#[allow]`. A perimeter entry whose file no longer contains any
+//! `unsafe` is also flagged, so the perimeter can only ever shrink
+//! silently, never grow.
+
+use crate::allowlist::UnsafeFileEntry;
+use crate::graph::WorkspaceModel;
+use crate::rules::Violation;
+
+pub const RULE: &str = "unsafe-perimeter";
+
+pub fn check(model: &WorkspaceModel, perimeter: &[UnsafeFileEntry], out: &mut Vec<Violation>) {
+    let mut used: Vec<bool> = vec![false; perimeter.len()];
+    for file in &model.files {
+        let allowed = perimeter.iter().position(|e| e.path == file.path);
+        for line in &file.scanned.lines {
+            if !has_unsafe_token(&line.code) {
+                continue;
+            }
+            match allowed {
+                Some(idx) => used[idx] = true,
+                None => out.push(Violation {
+                    path: file.path.clone(),
+                    line: line.number,
+                    rule: RULE,
+                    message: "`unsafe` outside the declared perimeter; only files listed in \
+                              lint.toml `[[unsafe-file]]` entries may contain unsafe code \
+                              (currently the poll(2) FFI) — widening the perimeter is a \
+                              reviewed lint.toml change, not a local exception"
+                        .to_string(),
+                    snippet: line.raw.trim().to_string(),
+                }),
+            }
+        }
+    }
+    for (idx, entry) in perimeter.iter().enumerate() {
+        if !used[idx] {
+            out.push(Violation {
+                path: entry.path.clone(),
+                line: 1,
+                rule: RULE,
+                message: format!(
+                    "stale perimeter entry: lint.toml lists `{}` as an unsafe file but it \
+                     contains no `unsafe` code; remove the `[[unsafe-file]]` entry so the \
+                     perimeter stays minimal",
+                    entry.path
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+}
+
+/// `unsafe` as a standalone word in (blanked) code. `unsafe_code` inside
+/// `#![deny(unsafe_code)]` does not match: the boundary check sees `_`.
+fn has_unsafe_token(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(at) = code[from..].find("unsafe") {
+        let abs = from + at;
+        let end = abs + "unsafe".len();
+        let before_ok =
+            abs == 0 || !(bytes[abs - 1].is_ascii_alphanumeric() || bytes[abs - 1] == b'_');
+        let after_ok =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)], perimeter: &[(&str, &str)]) -> Vec<Violation> {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        let model = WorkspaceModel::build(&sources);
+        let perimeter: Vec<UnsafeFileEntry> = perimeter
+            .iter()
+            .map(|(p, r)| UnsafeFileEntry {
+                path: p.to_string(),
+                reason: r.to_string(),
+            })
+            .collect();
+        let mut out = Vec::new();
+        check(&model, &perimeter, &mut out);
+        out
+    }
+
+    const FFI: &str = "crates/demo/src/engine.rs";
+    const OTHER: &str = "crates/demo/src/other.rs";
+    const UNSAFE_SRC: &str = "fn poll_once(fds: &mut [PollFd]) -> i32 {\n\
+             let rc = unsafe { poll(fds.as_mut_ptr(), fds.len(), 0) };\n\
+             rc\n\
+         }\n";
+
+    #[test]
+    fn seeded_unsafe_outside_perimeter_is_detected() {
+        let found = run(&[(OTHER, UNSAFE_SRC)], &[(FFI, "poll ffi")]);
+        // One violation for the stray unsafe, one for the now-stale
+        // perimeter entry that covers nothing.
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().any(|v| v.path == OTHER && v.line == 2));
+        assert!(found.iter().any(|v| v.message.contains("stale perimeter")));
+    }
+
+    #[test]
+    fn unsafe_inside_perimeter_is_clean() {
+        let found = run(&[(FFI, UNSAFE_SRC)], &[(FFI, "poll ffi")]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn unsafe_in_test_files_is_still_outside_the_perimeter() {
+        // `#![forbid(unsafe_code)]` in lib.rs does not cover integration
+        // tests (separate crate targets); the pass must.
+        let found = run(
+            &[("crates/demo/tests/int.rs", UNSAFE_SRC)],
+            &[(FFI, "poll ffi")],
+        );
+        assert!(found
+            .iter()
+            .any(|v| v.path == "crates/demo/tests/int.rs" && v.rule == RULE));
+    }
+
+    #[test]
+    fn the_attribute_spelling_does_not_match() {
+        let src = "#![deny(unsafe_code)]\n#[allow(unsafe_code)]\nmod sys;\n";
+        let found = run(&[(OTHER, src)], &[]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn stale_perimeter_entry_is_flagged() {
+        let found = run(&[(FFI, "fn safe_only() {}\n")], &[(FFI, "poll ffi")]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("stale perimeter"));
+    }
+}

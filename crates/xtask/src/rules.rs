@@ -61,15 +61,42 @@ impl std::fmt::Display for Violation {
     }
 }
 
-/// Rule ids, in report order.
-pub const RULE_IDS: [&str; 6] = [
+/// Rule ids, in report order. The first six are per-file token rules;
+/// the last four are cross-file workspace passes (see [`crate::passes`]).
+pub const RULE_IDS: [&str; 10] = [
     "hot-path-panic",
     "truncating-cast",
     "atomics-audit",
     "bounded-channels",
     "joined-threads",
     "lint-directive",
+    "lock-order",
+    "poll-loop-purity",
+    "overflow-audit",
+    "unsafe-perimeter",
 ];
+
+/// A per-file rule body.
+pub(crate) type RuleFn = fn(&str, &ScannedFile, &mut Vec<Violation>);
+
+/// The per-file rules, in report order, for the workspace driver (which
+/// scans each file once and times each rule individually).
+pub(crate) const FILE_RULES: [(&str, RuleFn); 6] = [
+    ("hot-path-panic", hot_path_panic),
+    ("truncating-cast", truncating_cast),
+    ("atomics-audit", atomics_audit),
+    ("bounded-channels", bounded_channels),
+    ("joined-threads", joined_threads),
+    ("lint-directive", malformed_directives),
+];
+
+/// Exercise code (integration tests, benches, examples) is exempt from
+/// the per-file rules: it is not attacker-reachable library code.
+pub(crate) fn exercise_path(rel_path: &str) -> bool {
+    ["/tests/", "/benches/", "/examples/"]
+        .iter()
+        .any(|e| rel_path.contains(e))
+}
 
 /// Lints one file. `rel_path` uses forward slashes relative to the
 /// workspace root (e.g. `crates/collect/src/wire.rs`).
@@ -79,25 +106,20 @@ pub fn lint_source(rel_path: &str, source: &str, allowlist: &Allowlist) -> Vec<V
     }
     // Integration tests, benches, and examples are exercise code, not
     // attacker-reachable library paths.
-    for exempt in ["/tests/", "/benches/", "/examples/"] {
-        if rel_path.contains(exempt) {
-            return Vec::new();
-        }
+    if exercise_path(rel_path) {
+        return Vec::new();
     }
     let file = scan(source);
     let mut found = Vec::new();
-    hot_path_panic(rel_path, &file, &mut found);
-    truncating_cast(rel_path, &file, &mut found);
-    atomics_audit(rel_path, &file, &mut found);
-    bounded_channels(rel_path, &file, &mut found);
-    joined_threads(rel_path, &file, &mut found);
-    malformed_directives(rel_path, &file, &mut found);
+    for (_, rule) in FILE_RULES {
+        rule(rel_path, &file, &mut found);
+    }
     found.retain(|v| !suppressed(v, &file, allowlist));
     found
 }
 
 /// True when the finding carries a valid inline or allowlist suppression.
-fn suppressed(v: &Violation, file: &ScannedFile, allowlist: &Allowlist) -> bool {
+pub(crate) fn suppressed(v: &Violation, file: &ScannedFile, allowlist: &Allowlist) -> bool {
     if v.rule == "lint-directive" {
         return allowlist.permits(v); // malformed directives can only be allowlisted
     }
