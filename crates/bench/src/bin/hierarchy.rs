@@ -73,6 +73,13 @@ struct TopologyResult {
 #[derive(Serialize)]
 struct HierarchyBench {
     quick: bool,
+    /// Sketch kernel every COMBINE in this process dispatched to
+    /// (`hifind_sketch::simd::kernel()`), so the tier latencies are
+    /// attributable to a code path.
+    kernel: String,
+    /// ISA CPUID detection reported, independent of any
+    /// `HIFIND_FORCE_KERNEL` override.
+    detected_isa: String,
     agents: usize,
     fan_outs: Vec<usize>,
     results: Vec<TopologyResult>,
@@ -127,6 +134,8 @@ fn main() {
         "BENCH_hierarchy",
         &HierarchyBench {
             quick,
+            kernel: hifind_sketch::simd::kernel().isa().name().to_string(),
+            detected_isa: hifind_sketch::simd::detect_isa().name().to_string(),
             agents: AGENTS,
             fan_outs: FAN_OUTS.to_vec(),
             results,

@@ -1,12 +1,18 @@
-//! Sharded vs. serial record-plane throughput, written to
-//! `results/BENCH_parallel_record.json`.
+//! Sharded vs. serial record-plane throughput per sketch kernel, written
+//! to `results/BENCH_parallel_record.json`.
 //!
-//! Measures the serial [`SketchRecorder`] against [`ParallelRecorder`] at
-//! 1, 2, 4 and 8 workers on the same synthetic SYN/SYN-ACK mix (best-of
-//! interleaved passes, each including the interval-close drain/merge), and
-//! cross-checks that a sharded interval's merged snapshot is bit-identical
-//! to the serial one — exiting nonzero on any divergence, which is what
-//! the CI smoke step keys on.
+//! For every kernel this CPU can run (scalar always, AVX2 when CPUID says
+//! so) the bench measures the serial [`SketchRecorder`] — batched
+//! `record_all` path and the old per-packet protocol — against
+//! [`ParallelRecorder`] at 1, 2, 4 and 8 workers on the same synthetic
+//! SYN/SYN-ACK mix (best-of interleaved passes, each including the
+//! interval-close drain/merge). Interval closes are taken through
+//! [`ParallelRecorder::end_interval_with_stats`], so each row carries the
+//! per-phase merge breakdown (per-shard drain wait, single cache-blocked
+//! combine time, counter bytes touched) instead of one opaque merge blob.
+//! Every kernel's run cross-checks that a sharded interval's merged
+//! snapshot is bit-identical to the serial one — exiting nonzero on any
+//! divergence, which is what the CI smoke step keys on.
 //!
 //! Run: `cargo run --release -p hifind-bench --bin parallel_record`
 //! (`-- --quick` shrinks the workload for CI smoke).
@@ -21,6 +27,7 @@ use hifind::{HiFindConfig, SketchRecorder};
 use hifind_bench::harness::{section, write_json};
 use hifind_bench::overhead::synthetic_packets;
 use hifind_flow::Packet;
+use hifind_sketch::simd::{detect_isa, kernel_for, set_kernel, Isa};
 use serde::Serialize;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -28,9 +35,15 @@ use std::time::Instant;
 /// Serial recording throughput measured at the commit before the sharded
 /// record plane and the single-pass hash plan landed (same machine, same
 /// workload: 500k packets, seed 6, `HiFindConfig::paper(9)`, best of 5).
-/// Kept in the JSON so `serial_speedup_vs_pre_pr` is meaningful without
+/// Kept in the JSON so the speedup columns are meaningful without
 /// checking out the old commit.
 const PRE_PR_SERIAL_PPS: f64 = 1_188_384.86;
+
+/// Serial record-only throughput and 8-worker merge wall time measured at
+/// the PR 4 commit (scalar per-packet recording, pairwise merges) — the
+/// baselines the SIMD acceptance criteria compare against.
+const PR4_SERIAL_RECORD_ONLY_PPS: f64 = 1_670_725.35;
+const PR4_MERGE_MS_8_WORKERS: f64 = 226.59;
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -39,10 +52,40 @@ struct ParallelPoint {
     workers: usize,
     /// Best-of recording throughput, interval close included.
     pps: f64,
-    /// Interval-close drain-and-merge wall time at the last pass.
-    merge_ms: f64,
-    /// `pps / serial_pps` of this run.
+    /// `pps / serial_pps` of this kernel's serial row.
     speedup_vs_serial: f64,
+    /// Per-shard drain wait in ms (time blocked receiving each shard's
+    /// snapshot, shard order) at the best pass.
+    recv_ms: Vec<f64>,
+    /// The single cache-blocked combine of all shard snapshots, ms.
+    combine_ms: f64,
+    /// Counter bytes that combine touched (every source grid read once,
+    /// destination read + written once).
+    combine_bytes: u64,
+    /// `combine_bytes / combine_ms` as GB/s — the merge's effective
+    /// memory bandwidth.
+    combine_gb_per_s: f64,
+    /// Total interval-close wall (drain + combine): what the pre-SIMD
+    /// bench reported as its single `merge_ms` blob.
+    merge_ms: f64,
+}
+
+/// One kernel's complete row set.
+#[derive(Clone, Debug, Serialize)]
+struct KernelReport {
+    /// Kernel these rows ran on (`scalar` / `avx2`).
+    kernel: String,
+    /// Serial throughput with interval close, batched `record_all` path.
+    serial_pps: f64,
+    /// Batched record loop alone (no interval close) — the headline
+    /// record-path number.
+    serial_record_only_pps: f64,
+    /// Per-packet `record()` loop alone — the PR 4 measurement protocol,
+    /// kept for like-for-like comparison with the old baseline.
+    serial_per_packet_pps: f64,
+    /// `serial_record_only_pps / baseline_pr4_serial_record_only_pps`.
+    speedup_vs_pr4: f64,
+    parallel: Vec<ParallelPoint>,
 }
 
 #[derive(Clone, Debug, Serialize)]
@@ -55,29 +98,29 @@ struct ParallelRecordReport {
     /// add overhead; the speedups below are machine-bound, not a property
     /// of the implementation.
     machine_parallelism: usize,
-    /// Serial throughput measured before this change landed (see
+    /// ISA CPUID detection reported on this machine.
+    detected_isa: String,
+    /// Kernel the process would dispatch to by default (env override or
+    /// CPUID); each `kernels` row says which kernel it actually ran.
+    default_kernel: String,
+    /// Serial throughput measured before the hash-plan change landed (see
     /// [`PRE_PR_SERIAL_PPS`]).
     baseline_pre_pr_serial_pps: f64,
-    /// Serial [`SketchRecorder`] throughput, now (single-pass hash plan),
-    /// interval close included — the figure `speedup_vs_serial` divides by.
-    serial_pps: f64,
-    /// Serial throughput of the record loop alone, measured the way the
-    /// pre-change baseline was (no interval close).
-    serial_record_only_pps: f64,
-    /// `serial_record_only_pps / baseline_pre_pr_serial_pps`.
-    serial_speedup_vs_pre_pr: f64,
-    parallel: Vec<ParallelPoint>,
-    /// Whether the sharded/serial snapshot cross-check ran and matched.
+    /// PR 4 scalar baselines the SIMD work is measured against.
+    baseline_pr4_serial_record_only_pps: f64,
+    baseline_pr4_merge_ms_8_workers: f64,
+    /// One entry per kernel this machine can run.
+    kernels: Vec<KernelReport>,
+    /// Whether the sharded/serial snapshot cross-check ran and matched
+    /// for every kernel.
     divergence_checked: bool,
 }
 
-/// One timed serial pass; returns (pps with interval close, record-only
-/// pps — the protocol the pre-change baseline used).
+/// One timed serial pass over the batched `record_all` path; returns
+/// (pps with interval close, record-only pps).
 fn serial_pass(rec: &mut SketchRecorder, pkts: &[Packet]) -> (f64, f64) {
     let start = Instant::now();
-    for p in pkts {
-        rec.record(std::hint::black_box(p));
-    }
+    rec.record_all(std::hint::black_box(pkts));
     let record_done = Instant::now();
     let _ = rec.take_snapshot();
     let end = Instant::now();
@@ -87,17 +130,33 @@ fn serial_pass(rec: &mut SketchRecorder, pkts: &[Packet]) -> (f64, f64) {
     )
 }
 
-/// One timed parallel pass; returns (pps, merge wall ms).
-fn parallel_pass(rec: &mut ParallelRecorder, pkts: &[Packet]) -> (f64, f64) {
+/// Record-only throughput of the per-packet `record()` loop — the PR 4
+/// measurement protocol (snapshot taken afterwards, untimed, to reset).
+fn serial_per_packet_pass(rec: &mut SketchRecorder, pkts: &[Packet]) -> f64 {
+    let start = Instant::now();
+    for p in pkts {
+        rec.record(std::hint::black_box(p));
+    }
+    let pps = pkts.len() as f64 / start.elapsed().as_secs_f64();
+    let _ = rec.take_snapshot();
+    pps
+}
+
+/// One timed parallel pass; returns (pps, merge breakdown of the close).
+fn parallel_pass(
+    rec: &mut ParallelRecorder,
+    pkts: &[Packet],
+) -> (f64, hifind::parallel::MergeStats, f64) {
     let start = Instant::now();
     for p in pkts {
         rec.record(std::hint::black_box(p));
     }
     let record_done = Instant::now();
-    rec.end_interval().expect("shard workers alive");
+    let (_snap, stats) = rec.end_interval_with_stats().expect("shard workers alive");
     let end = Instant::now();
     (
         pkts.len() as f64 / (end - start).as_secs_f64(),
+        stats,
         (end - record_done).as_secs_f64() * 1e3,
     )
 }
@@ -106,16 +165,133 @@ fn parallel_pass(rec: &mut ParallelRecorder, pkts: &[Packet]) -> (f64, f64) {
 /// packets; returns false (→ nonzero exit) on divergence.
 fn divergence_check(cfg: &HiFindConfig, pkts: &[Packet]) -> bool {
     let mut serial = SketchRecorder::new(cfg).expect("paper config");
+    let mut batched = SketchRecorder::new(cfg).expect("paper config");
     let mut sharded = ParallelRecorder::new(cfg, 3).expect("paper config");
     for p in pkts {
         serial.record(p);
         sharded.record(p);
     }
+    batched.record_all(pkts);
     let merged = sharded.end_interval().expect("shard workers alive");
     let expected = serial.take_snapshot();
-    let ok = merged == expected;
+    let ok = merged == expected && batched.take_snapshot() == expected;
     let _ = sharded.finish();
     ok
+}
+
+/// Measures every row for the currently-selected kernel.
+fn bench_kernel(
+    name: &str,
+    cfg: &HiFindConfig,
+    pkts: &[Packet],
+    runs: usize,
+) -> Option<KernelReport> {
+    section(&format!("record plane on the {name} kernel"));
+    if !divergence_check(cfg, &pkts[..pkts.len().min(50_000)]) {
+        eprintln!("FAIL: sharded/batched snapshot diverges from serial on {name}");
+        return None;
+    }
+    println!("divergence check: batched == sharded == serial (bit-identical)");
+
+    // Long-lived recorders, one warm-up pass each, then interleaved
+    // best-of rounds so machine-wide drift hits every configuration.
+    let mut serial = SketchRecorder::new(cfg).expect("paper config");
+    let mut sharded: Vec<ParallelRecorder> = WORKER_COUNTS
+        .iter()
+        .map(|&w| ParallelRecorder::new(cfg, w).expect("paper config"))
+        .collect();
+    serial_pass(&mut serial, pkts);
+    for rec in &mut sharded {
+        parallel_pass(rec, pkts);
+    }
+
+    let mut serial_pps = 0.0f64;
+    let mut serial_record_only_pps = 0.0f64;
+    let mut serial_per_packet_pps = 0.0f64;
+    struct Best {
+        pps: f64,
+        stats: hifind::parallel::MergeStats,
+        merge_ms: f64,
+    }
+    let mut best: Vec<Best> = WORKER_COUNTS
+        .iter()
+        .map(|_| Best {
+            pps: 0.0,
+            stats: hifind::parallel::MergeStats::default(),
+            merge_ms: 0.0,
+        })
+        .collect();
+    for _ in 0..runs {
+        let (with_close, record_only) = serial_pass(&mut serial, pkts);
+        serial_pps = serial_pps.max(with_close);
+        serial_record_only_pps = serial_record_only_pps.max(record_only);
+        serial_per_packet_pps =
+            serial_per_packet_pps.max(serial_per_packet_pass(&mut serial, pkts));
+        for (i, rec) in sharded.iter_mut().enumerate() {
+            let (pps, stats, merge_ms) = parallel_pass(rec, pkts);
+            if pps > best[i].pps {
+                best[i] = Best {
+                    pps,
+                    stats,
+                    merge_ms,
+                };
+            }
+        }
+    }
+    for rec in sharded {
+        let _ = rec.finish();
+    }
+
+    println!(
+        "serial:      {:>7.2}M packets/s with interval close; batched record \
+         loop alone {:.2}M ({:.2}x PR 4 scalar {:.2}M; per-packet loop {:.2}M)",
+        serial_pps / 1e6,
+        serial_record_only_pps / 1e6,
+        serial_record_only_pps / PR4_SERIAL_RECORD_ONLY_PPS,
+        PR4_SERIAL_RECORD_ONLY_PPS / 1e6,
+        serial_per_packet_pps / 1e6,
+    );
+    let parallel: Vec<ParallelPoint> = WORKER_COUNTS
+        .iter()
+        .zip(&best)
+        .map(|(&workers, b)| {
+            let recv_ms: Vec<f64> = b.stats.recv_ns.iter().map(|&ns| ns as f64 / 1e6).collect();
+            let combine_ms = b.stats.combine_ns as f64 / 1e6;
+            let combine_gb_per_s = if b.stats.combine_ns > 0 {
+                b.stats.combine_bytes as f64 / (b.stats.combine_ns as f64 / 1e9) / 1e9
+            } else {
+                0.0
+            };
+            println!(
+                "{workers:>2} workers:  {:>7.2}M packets/s ({:.2}x serial); close: drain \
+                 {:.2} ms + combine {:.2} ms ({:.2} GB touched at {combine_gb_per_s:.1} GB/s)",
+                b.pps / 1e6,
+                b.pps / serial_pps,
+                recv_ms.iter().sum::<f64>(),
+                combine_ms,
+                b.stats.combine_bytes as f64 / 1e9,
+            );
+            ParallelPoint {
+                workers,
+                pps: b.pps,
+                speedup_vs_serial: b.pps / serial_pps,
+                recv_ms,
+                combine_ms,
+                combine_bytes: b.stats.combine_bytes,
+                combine_gb_per_s,
+                merge_ms: b.merge_ms,
+            }
+        })
+        .collect();
+
+    Some(KernelReport {
+        kernel: name.to_string(),
+        serial_pps,
+        serial_record_only_pps,
+        serial_per_packet_pps,
+        speedup_vs_pr4: serial_record_only_pps / PR4_SERIAL_RECORD_ONLY_PPS,
+        parallel,
+    })
 }
 
 fn main() -> ExitCode {
@@ -125,81 +301,47 @@ fn main() -> ExitCode {
     let cfg = HiFindConfig::paper(9);
     let pkts = synthetic_packets(packets, 6);
 
-    section("parallel record plane: serial vs sharded throughput");
+    section("parallel record plane: serial vs sharded throughput, per kernel");
     println!("machine parallelism: {machine_parallelism} core(s)");
+    let default_kernel = hifind_sketch::simd::kernel().isa();
+    println!(
+        "kernels: detected_isa={} default={}",
+        detect_isa().name(),
+        default_kernel.name()
+    );
 
-    if !divergence_check(&cfg, &pkts[..packets.min(50_000)]) {
-        eprintln!("FAIL: sharded snapshot diverges from serial");
-        return ExitCode::FAILURE;
+    // Scalar first (always runnable), then AVX2 when the CPU has it. In
+    // quick mode only the default kernel runs, keeping the CI smoke short.
+    let mut candidates = vec![Isa::Scalar, Isa::Avx2];
+    if quick {
+        candidates = vec![default_kernel];
     }
-    println!("divergence check: sharded == serial (bit-identical)");
-
-    // Long-lived recorders, one warm-up pass each, then interleaved
-    // best-of rounds so machine-wide drift hits every configuration.
-    let mut serial = SketchRecorder::new(&cfg).expect("paper config");
-    let mut sharded: Vec<ParallelRecorder> = WORKER_COUNTS
-        .iter()
-        .map(|&w| ParallelRecorder::new(&cfg, w).expect("paper config"))
-        .collect();
-    serial_pass(&mut serial, &pkts);
-    for rec in &mut sharded {
-        parallel_pass(rec, &pkts);
-    }
-
-    let mut serial_pps = 0.0f64;
-    let mut serial_record_only_pps = 0.0f64;
-    let mut best: Vec<(f64, f64)> = vec![(0.0, 0.0); WORKER_COUNTS.len()];
-    for _ in 0..runs {
-        let (with_close, record_only) = serial_pass(&mut serial, &pkts);
-        serial_pps = serial_pps.max(with_close);
-        serial_record_only_pps = serial_record_only_pps.max(record_only);
-        for (i, rec) in sharded.iter_mut().enumerate() {
-            let (pps, merge_ms) = parallel_pass(rec, &pkts);
-            if pps > best[i].0 {
-                best[i] = (pps, merge_ms);
-            }
+    let mut kernels = Vec::new();
+    for isa in candidates {
+        if kernel_for(isa).is_none() {
+            println!("skipping {}: not supported by this CPU", isa.name());
+            continue;
+        }
+        assert!(set_kernel(isa), "kernel_for said {isa} was runnable");
+        match bench_kernel(isa.name(), &cfg, &pkts, runs) {
+            Some(report) => kernels.push(report),
+            None => return ExitCode::FAILURE,
         }
     }
-    for rec in sharded {
-        let _ = rec.finish();
-    }
-
-    println!(
-        "serial:      {:>7.2}M packets/s with interval close; record loop \
-         alone {:.2}M ({:+.1}% vs pre-change {:.2}M)",
-        serial_pps / 1e6,
-        serial_record_only_pps / 1e6,
-        (serial_record_only_pps / PRE_PR_SERIAL_PPS - 1.0) * 100.0,
-        PRE_PR_SERIAL_PPS / 1e6
-    );
-    let parallel: Vec<ParallelPoint> = WORKER_COUNTS
-        .iter()
-        .zip(&best)
-        .map(|(&workers, &(pps, merge_ms))| {
-            println!(
-                "{workers:>2} workers:  {:>7.2}M packets/s ({:.2}x serial, merge {merge_ms:.2} ms)",
-                pps / 1e6,
-                pps / serial_pps
-            );
-            ParallelPoint {
-                workers,
-                pps,
-                merge_ms,
-                speedup_vs_serial: pps / serial_pps,
-            }
-        })
-        .collect();
+    // Leave the process-wide selection back at the default.
+    set_kernel(default_kernel);
 
     let report = ParallelRecordReport {
         packets,
         runs,
         quick,
         machine_parallelism,
+        detected_isa: detect_isa().name().to_string(),
+        default_kernel: default_kernel.name().to_string(),
         baseline_pre_pr_serial_pps: PRE_PR_SERIAL_PPS,
-        serial_pps,
-        serial_record_only_pps,
-        serial_speedup_vs_pre_pr: serial_record_only_pps / PRE_PR_SERIAL_PPS,
-        parallel,
+        baseline_pr4_serial_record_only_pps: PR4_SERIAL_RECORD_ONLY_PPS,
+        baseline_pr4_merge_ms_8_workers: PR4_MERGE_MS_8_WORKERS,
+        kernels,
         divergence_checked: true,
     };
     if !quick {

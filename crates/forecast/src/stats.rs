@@ -29,35 +29,45 @@ pub struct ErrorStats {
 impl ErrorStats {
     /// Measures an error grid (as returned by
     /// [`crate::GridForecaster::step`]).
+    ///
+    /// Each stage row is condensed by the dispatched
+    /// [`hifind_sketch::SketchKernel::row_moments`] (the vectorized
+    /// L2-norm/threshold scan), then the per-stage moments are folded in
+    /// stage order. The floating-point sums follow the kernels' fixed
+    /// 4-lane association, so the result is bit-identical whichever ISA is
+    /// selected.
     pub fn measure(error_grid: &CounterGrid) -> Self {
-        let mut nonzero = 0usize;
+        let kernel = hifind_sketch::simd::kernel();
+        let mut nonzero = 0u64;
         let mut abs_sum = 0.0f64;
         let mut sq_sum = 0.0f64;
-        let mut max_abs = 0i64;
-        let mut bias = 0i64;
+        let mut max_abs = 0u64;
+        let mut bias_sum = 0.0f64;
         let mut cells = 0usize;
         for stage in 0..error_grid.stages() {
-            for &v in error_grid.stage(stage) {
-                cells = cells.saturating_add(1);
-                if v != 0 {
-                    nonzero = nonzero.saturating_add(1);
-                }
-                abs_sum += v.abs() as f64;
-                sq_sum += (v as f64) * (v as f64);
-                max_abs = max_abs.max(v.abs());
-                bias = bias.saturating_add(v);
-            }
+            let row = error_grid.stage(stage);
+            let m = kernel.row_moments(row);
+            cells = cells.saturating_add(row.len());
+            nonzero = nonzero.saturating_add(m.nonzero);
+            abs_sum += m.abs_sum;
+            sq_sum += m.sq_sum;
+            max_abs = max_abs.max(m.max_abs);
+            bias_sum += m.bias_sum;
         }
         if cells == 0 {
             return ErrorStats::default();
         }
         ErrorStats {
             cells,
-            nonzero,
+            nonzero: usize::try_from(nonzero).unwrap_or(usize::MAX),
             mean_abs: abs_sum / cells as f64,
             rms: (sq_sum / cells as f64).sqrt(),
-            max_abs,
-            bias,
+            // Magnitudes come back as u64 (`unsigned_abs`, total even for
+            // i64::MIN); clamp the one unrepresentable value.
+            max_abs: i64::try_from(max_abs).unwrap_or(i64::MAX),
+            // Signed bias accumulated in f64 (exact up to ±2^53 total);
+            // the float→int cast saturates at the i64 rails.
+            bias: bias_sum as i64,
         }
     }
 }

@@ -65,6 +65,17 @@ impl PairwiseHasher {
         k.wrapping_mul(0xFF51_AFD7_ED55_8CCD)
     }
 
+    /// The multiply-shift parameters `(a, b, shift)` behind
+    /// [`Self::bucket_premixed`], for kernels that finish a whole batch of
+    /// premixed keys at once: `bucket = ((premixed·a + b) mod 2⁶⁴) >> shift`
+    /// with `shift >= 64` mapping everything to bucket 0. Any batch finish
+    /// must agree with [`Self::bucket_premixed`] bit-for-bit.
+    #[inline]
+    #[must_use]
+    pub fn coefficients(&self) -> (u64, u64, u32) {
+        (self.a, self.b, self.shift)
+    }
+
     /// Bucket for a key whose [`Self::premix`] was already computed.
     /// `h.bucket_premixed(PairwiseHasher::premix(k)) == h.bucket(k)` for
     /// every key.

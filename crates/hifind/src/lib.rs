@@ -84,9 +84,9 @@ pub use aggregate::HiFindAggregator;
 pub use config::HiFindConfig;
 pub use evaluate::{evaluate, EvalSummary};
 pub use mitigate::{plan as mitigation_plan, Action, MitigationPolicy};
-pub use parallel::{ParallelError, ParallelRecorder};
+pub use parallel::{MergeStats, ParallelError, ParallelRecorder};
 pub use pipeline::{CoreCheckpoint, DetectionCore, HiFind, IntervalOutcome};
-pub use plan::HashPlan;
+pub use plan::{HashPlan, PlanBatch};
 pub use postprocess::{correlate_block_scans, BlockScanReport};
 pub use recorder::{IntervalSnapshot, SketchRecorder};
 pub use report::{Alert, AlertKind, AlertLog, Phase};

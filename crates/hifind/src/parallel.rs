@@ -31,13 +31,12 @@ use hifind_sketch::SketchError;
 use std::fmt;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 #[cfg(feature = "telemetry")]
 use hifind_telemetry::{exponential_buckets, Counter, Gauge, Histogram, Registry, TelemetryError};
 #[cfg(feature = "telemetry")]
 use std::sync::Arc;
-#[cfg(feature = "telemetry")]
-use std::time::Instant;
 
 /// Packets per batch shipped to a worker. Large enough that channel
 /// synchronization amortizes to well under a nanosecond per packet, small
@@ -92,6 +91,36 @@ impl std::error::Error for ParallelError {
 impl From<SketchError> for ParallelError {
     fn from(e: SketchError) -> Self {
         ParallelError::Build(e)
+    }
+}
+
+/// Per-phase breakdown of one interval close, from
+/// [`ParallelRecorder::end_interval_with_stats`].
+///
+/// The close has two phases: *drain* (wait for each shard to finish its
+/// queued batches and ship its snapshot) and *combine* (fold every shard
+/// snapshot into one with the cache-blocked
+/// [`IntervalSnapshot::combine_many`]). The bench's merge tables are built
+/// from these numbers instead of a single opaque merge time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MergeStats {
+    /// Nanoseconds spent waiting for + receiving each shard's snapshot, in
+    /// shard order. Dominated by the slowest shard's queued work; receives
+    /// after the first mostly measure channel latency.
+    pub recv_ns: Vec<u64>,
+    /// Nanoseconds in the single cache-blocked combine of all snapshots.
+    pub combine_ns: u64,
+    /// Counter bytes the combine touched: every source grid read once
+    /// plus the destination read and written once, summed over all grids
+    /// (see [`IntervalSnapshot::combine_many`]).
+    pub combine_bytes: u64,
+}
+
+impl MergeStats {
+    /// Total nanoseconds waiting on shard snapshots (the drain phase).
+    #[must_use]
+    pub fn recv_total_ns(&self) -> u64 {
+        self.recv_ns.iter().sum()
     }
 }
 
@@ -276,6 +305,24 @@ impl ParallelRecorder {
     /// is incomplete — discard the recorder); [`ParallelError::Merge`] on
     /// snapshot mismatch, which same-config shards cannot produce.
     pub fn end_interval(&mut self) -> Result<IntervalSnapshot, ParallelError> {
+        self.end_interval_with_stats().map(|(snap, _)| snap)
+    }
+
+    /// [`ParallelRecorder::end_interval`] with the per-phase
+    /// [`MergeStats`] breakdown (shard drain vs combine, bytes touched).
+    ///
+    /// All shard snapshots are collected first and then folded in **one**
+    /// cache-blocked [`IntervalSnapshot::combine_many`] pass — each
+    /// destination tile is loaded once and every shard's tile added into
+    /// it, rather than streaming the full destination through cache once
+    /// per shard as pairwise merging would.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ParallelRecorder::end_interval`].
+    pub fn end_interval_with_stats(
+        &mut self,
+    ) -> Result<(IntervalSnapshot, MergeStats), ParallelError> {
         for i in 0..self.shards.len() {
             self.dispatch(i);
         }
@@ -288,20 +335,31 @@ impl ParallelRecorder {
         }
         #[cfg(feature = "telemetry")]
         let merge_start = self.telemetry.as_ref().map(|_| Instant::now());
-        let mut merged: Option<IntervalSnapshot> = None;
+        let mut stats = MergeStats {
+            recv_ns: Vec::with_capacity(self.shards.len()),
+            ..MergeStats::default()
+        };
+        let mut snaps: Vec<IntervalSnapshot> = Vec::with_capacity(self.shards.len());
         for (i, shard) in self.shards.iter().enumerate() {
+            let wait = Instant::now();
             let snap = shard
                 .snap_rx
                 .recv()
                 .map_err(|_| ParallelError::WorkerLost { worker: i })?;
-            match &mut merged {
-                None => merged = Some(snap),
-                Some(acc) => acc.combine_into(&snap).map_err(ParallelError::Merge)?,
-            }
+            stats.recv_ns.push(wait.elapsed().as_nanos() as u64);
+            snaps.push(snap);
         }
         if let Some(worker) = self.lost {
             return Err(ParallelError::WorkerLost { worker });
         }
+        let combine_start = Instant::now();
+        let (first, rest) = snaps
+            .split_first_mut()
+            .ok_or(ParallelError::WorkerLost { worker: 0 })?;
+        let sources: Vec<&IntervalSnapshot> = rest.iter().collect();
+        stats.combine_bytes = first.combine_many(&sources).map_err(ParallelError::Merge)?;
+        stats.combine_ns = combine_start.elapsed().as_nanos() as u64;
+        let merged = snaps.swap_remove(0);
         #[cfg(feature = "telemetry")]
         if let Some(t) = &mut self.telemetry {
             t.shard_packets.add(std::mem::take(&mut t.pending_packets));
@@ -311,7 +369,7 @@ impl ParallelRecorder {
                 t.merge_seconds.observe_duration(start.elapsed());
             }
         }
-        merged.ok_or(ParallelError::WorkerLost { worker: 0 })
+        Ok((merged, stats))
     }
 
     /// Registers the `hifind_record_*` shard/merge metrics in `registry`
@@ -412,9 +470,9 @@ fn shard_loop(
     while let Ok(job) = jobs.recv() {
         match job {
             Job::Batch(packets) => {
-                for p in &packets {
-                    recorder.record(p);
-                }
+                // Batched SIMD record path; bit-identical to per-packet
+                // `record` (see `SketchRecorder::record_all`).
+                recorder.record_all(&packets);
             }
             Job::EndInterval => {
                 if snapshots.send(recorder.take_snapshot()).is_err() {
@@ -496,6 +554,24 @@ mod tests {
         let m = par.end_interval().unwrap();
         assert_eq!(m.active_services, s.active_services);
         assert_eq!(m, s);
+        par.finish().unwrap();
+    }
+
+    #[test]
+    fn stats_variant_returns_same_snapshot_plus_phase_breakdown() {
+        let config = cfg();
+        let mut serial = SketchRecorder::new(&config).unwrap();
+        let mut par = ParallelRecorder::with_batch_size(&config, 3, 32).unwrap();
+        for p in &mixed_packets(1500, 11) {
+            serial.record(p);
+            par.record(p);
+        }
+        let (snap, stats) = par.end_interval_with_stats().unwrap();
+        assert_eq!(snap, serial.take_snapshot());
+        assert_eq!(stats.recv_ns.len(), 3);
+        assert!(stats.recv_total_ns() > 0);
+        // 2 sources folded into the first shard's snapshot.
+        assert!(stats.combine_bytes > 0);
         par.finish().unwrap();
     }
 

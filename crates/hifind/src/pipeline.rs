@@ -358,6 +358,22 @@ impl HiFind {
         self.recorder.record(packet);
     }
 
+    /// Records a slice of packets through the batched SIMD path
+    /// ([`SketchRecorder::record_all`]), bit-identical to per-packet
+    /// [`HiFind::record`]. With live telemetry attached it falls back to
+    /// the instrumented per-packet path, since that path is what meters
+    /// packets into the registry.
+    pub fn record_all(&mut self, packets: &[hifind_flow::Packet]) {
+        #[cfg(feature = "telemetry")]
+        if self.telemetry.is_some() {
+            for p in packets {
+                self.record(p);
+            }
+            return;
+        }
+        self.recorder.record_all(packets);
+    }
+
     /// Ends the current interval: snapshots the sketches and runs the
     /// detection pipeline.
     pub fn end_interval(&mut self) -> IntervalOutcome {
@@ -415,9 +431,7 @@ impl HiFind {
     pub fn run_trace(&mut self, trace: &Trace) -> AlertLog {
         let interval_ms = self.core.config().interval_ms;
         for window in trace.intervals(interval_ms) {
-            for p in window.packets {
-                self.record(p);
-            }
+            self.record_all(window.packets);
             self.end_interval();
         }
         self.core.log().clone()
@@ -506,9 +520,7 @@ impl HiFind {
         let mut report = crate::RunReport::new();
         report.sketch_memory_bytes = self.recorder.memory_bytes();
         for window in trace.intervals(interval_ms) {
-            for p in window.packets {
-                self.record(p);
-            }
+            self.record_all(window.packets);
             let (outcome, snapshot) = self.end_interval_with_snapshot();
             report.record_interval(&outcome, &snapshot, threshold);
         }

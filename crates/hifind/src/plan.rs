@@ -95,6 +95,118 @@ impl HashPlan {
     }
 }
 
+/// A structure-of-arrays batch of [`HashPlan`]s: the contiguous premix
+/// columns the SIMD kernels consume.
+///
+/// The per-packet [`HashPlan`] keeps hash work single-pass; the batch goes
+/// one step further and lays each shared digest out as its own contiguous
+/// column, so [`crate::SketchRecorder::record_batch`] can hand every sketch
+/// a `&[u64]` premix slice and let the dispatched
+/// [`hifind_sketch::SketchKernel`] finish bucket indices four packets at a
+/// time. SYN-only columns (the OS sketch input) and SYN/ACK-only columns
+/// (the active-service Bloom keys) are split out at push time, so the batch
+/// consumers never re-branch on `is_syn`.
+///
+/// Column order within the batch is packet arrival order, which keeps the
+/// batched path bit-identical to per-packet recording: each sketch sees the
+/// same update sequence it would have seen packet-by-packet.
+#[derive(Clone, Debug, Default)]
+pub struct PlanBatch {
+    /// `#SYN − #SYN/ACK` per packet (every value sketch's delta).
+    pub(crate) values: Vec<i64>,
+    /// Packed `{SIP,Dport}` keys (reversible-sketch mangling input).
+    pub(crate) sip_dport: Vec<u64>,
+    /// Premixed `{SIP,Dport}` (verifier + 2D x-axis).
+    pub(crate) sip_dport_mix: Vec<u64>,
+    /// Packed `{DIP,Dport}` keys.
+    pub(crate) dip_dport: Vec<u64>,
+    /// Premixed `{DIP,Dport}` (verifier; OS input for SYNs).
+    pub(crate) dip_dport_mix: Vec<u64>,
+    /// Packed `{SIP,DIP}` keys.
+    pub(crate) sip_dip: Vec<u64>,
+    /// Premixed `{SIP,DIP}` (verifier + 2D x-axis).
+    pub(crate) sip_dip_mix: Vec<u64>,
+    /// Premixed DIP y-keys for the `{SIP,Dport} × DIP` 2D sketch.
+    pub(crate) dip_mix: Vec<u64>,
+    /// Premixed Dport y-keys for the `{SIP,DIP} × Dport` 2D sketch.
+    pub(crate) dport_mix: Vec<u64>,
+    /// Premixed `{DIP,Dport}` of the SYNs only (OS-sketch column).
+    pub(crate) os_mix: Vec<u64>,
+    /// All-ones deltas matching [`PlanBatch::os_mix`] (`#SYN` counting).
+    pub(crate) os_ones: Vec<i64>,
+    /// Packed `{DIP,Dport}` of the SYN/ACKs only (Bloom-filter keys).
+    pub(crate) synack_keys: Vec<u64>,
+}
+
+impl PlanBatch {
+    /// An empty batch with room for `n` plans in every shared column.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> PlanBatch {
+        PlanBatch {
+            values: Vec::with_capacity(n),
+            sip_dport: Vec::with_capacity(n),
+            sip_dport_mix: Vec::with_capacity(n),
+            dip_dport: Vec::with_capacity(n),
+            dip_dport_mix: Vec::with_capacity(n),
+            sip_dip: Vec::with_capacity(n),
+            sip_dip_mix: Vec::with_capacity(n),
+            dip_mix: Vec::with_capacity(n),
+            dport_mix: Vec::with_capacity(n),
+            os_mix: Vec::with_capacity(n),
+            os_ones: Vec::with_capacity(n),
+            synack_keys: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends one plan, splitting its SYN-only / SYN-ACK-only columns.
+    #[inline]
+    pub fn push(&mut self, plan: &HashPlan) {
+        self.values.push(plan.value);
+        self.sip_dport.push(plan.sip_dport);
+        self.sip_dport_mix.push(plan.sip_dport_mix);
+        self.dip_dport.push(plan.dip_dport);
+        self.dip_dport_mix.push(plan.dip_dport_mix);
+        self.sip_dip.push(plan.sip_dip);
+        self.sip_dip_mix.push(plan.sip_dip_mix);
+        self.dip_mix.push(plan.dip_mix);
+        self.dport_mix.push(plan.dport_mix);
+        if plan.is_syn {
+            self.os_mix.push(plan.dip_dport_mix);
+            self.os_ones.push(1);
+        } else {
+            self.synack_keys.push(plan.dip_dport);
+        }
+    }
+
+    /// Number of plans in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no plans have been pushed since the last clear.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Empties every column, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.sip_dport.clear();
+        self.sip_dport_mix.clear();
+        self.dip_dport.clear();
+        self.dip_dport_mix.clear();
+        self.sip_dip.clear();
+        self.sip_dip_mix.clear();
+        self.dip_mix.clear();
+        self.dport_mix.clear();
+        self.os_mix.clear();
+        self.os_ones.clear();
+        self.synack_keys.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +236,27 @@ mod tests {
         let plan = HashPlan::for_packet(&p).expect("SYN/ACK gets a plan");
         assert_eq!(plan.value, -1);
         assert!(!plan.is_syn);
+    }
+
+    #[test]
+    fn batch_splits_syn_and_synack_columns() {
+        let c: Ip4 = [1, 2, 3, 4].into();
+        let s: Ip4 = [5, 6, 7, 8].into();
+        let syn = HashPlan::for_packet(&Packet::syn(0, c, 999, s, 80)).unwrap();
+        let sa = HashPlan::for_packet(&Packet::syn_ack(1, c, 999, s, 80)).unwrap();
+        let mut b = PlanBatch::with_capacity(2);
+        b.push(&syn);
+        b.push(&sa);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.values, vec![1, -1]);
+        assert_eq!(b.sip_dport_mix, vec![syn.sip_dport_mix, sa.sip_dport_mix]);
+        // SYN-only and SYN/ACK-only columns are split at push time.
+        assert_eq!(b.os_mix, vec![syn.dip_dport_mix]);
+        assert_eq!(b.os_ones, vec![1]);
+        assert_eq!(b.synack_keys, vec![sa.dip_dport]);
+        b.clear();
+        assert!(b.is_empty());
+        assert!(b.os_mix.is_empty() && b.synack_keys.is_empty());
     }
 
     #[test]

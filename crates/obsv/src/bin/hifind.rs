@@ -401,6 +401,16 @@ fn register_build_info(registry: &Registry) -> Result<(), hifind_telemetry::Tele
             "unix time this process started",
         )?
         .set(start);
+    // Which sketch kernel this process dispatches to (selected once at
+    // startup from HIFIND_FORCE_KERNEL / CPUID): a constant-1 gauge whose
+    // help text names the code path, so scraped perf is attributable.
+    let kernel_help = format!(
+        "constant 1; sketch kernel info: {}",
+        hifind_sketch::simd::kernel_info_string()
+    );
+    registry
+        .gauge("hifind_sketch_kernel_info", &kernel_help)?
+        .set(1);
     Ok(())
 }
 

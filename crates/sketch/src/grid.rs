@@ -1,7 +1,15 @@
 //! The counter storage shared by all sketch variants.
 
+use crate::simd;
 use crate::SketchError;
 use serde::{Deserialize, Serialize};
+
+/// Elements per combine tile: 2048 × 8 B = 16 KiB, so the destination block
+/// stays resident in L1 while each source block streams through exactly
+/// once. Multi-source merges ([`CounterGrid::add_assign_many`], the weighted
+/// [`CounterGrid::linear_combination`]) walk the grid tile-by-tile with an
+/// inner loop over sources instead of striding the full grid once per term.
+const COMBINE_BLOCK: usize = 2048;
 
 /// A dense `stages × buckets` grid of signed 64-bit counters with linear
 /// operations.
@@ -95,10 +103,19 @@ impl CounterGrid {
         &self.data[stage * self.buckets..(stage + 1) * self.buckets]
     }
 
+    /// Mutably borrows one stage's counters (the batched-UPDATE scatter
+    /// target; the sketch types own the hashing that picks the cells).
+    #[inline]
+    pub fn stage_mut(&mut self, stage: usize) -> &mut [i64] {
+        &mut self.data[stage * self.buckets..(stage + 1) * self.buckets]
+    }
+
     /// Sum of one stage's counters (the total update mass; identical across
     /// stages for a single sketch, used by the unbiased estimator).
+    /// Wrapping mod 2⁶⁴, which is order-independent and therefore identical
+    /// under every [`crate::simd`] kernel.
     pub fn stage_sum(&self, stage: usize) -> i64 {
-        self.stage(stage).iter().sum()
+        simd::kernel().sum_wrapping(self.stage(stage))
     }
 
     /// Zeroes all counters.
@@ -118,8 +135,34 @@ impl CounterGrid {
     /// Returns [`SketchError::CombineMismatch`] on shape mismatch.
     pub fn add_assign(&mut self, other: &CounterGrid) -> Result<(), SketchError> {
         self.check_shape(other)?;
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a = a.saturating_add(*b);
+        simd::kernel().add_saturating(&mut self.data, &other.data);
+        Ok(())
+    }
+
+    /// `self += Σ otherᵢ`, the multi-source COMBINE the parallel recorder's
+    /// interval close and the aggregation tiers pay for: cache-blocked
+    /// ([`COMBINE_BLOCK`]-element tiles, inner loop over sources) so the
+    /// destination tile is read and written once per merge instead of once
+    /// per source. Bit-identical to folding [`CounterGrid::add_assign`]
+    /// over `others` in order — saturating adds to independent cells
+    /// commute across tiles and per-cell source order is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::CombineMismatch`] on any shape mismatch
+    /// (checked up front; `self` is untouched on error).
+    pub fn add_assign_many(&mut self, others: &[&CounterGrid]) -> Result<(), SketchError> {
+        for other in others {
+            self.check_shape(other)?;
+        }
+        let kernel = simd::kernel();
+        let mut start = 0;
+        while start < self.data.len() {
+            let end = (start + COMBINE_BLOCK).min(self.data.len());
+            for other in others {
+                kernel.add_saturating(&mut self.data[start..end], &other.data[start..end]);
+            }
+            start = end;
         }
         Ok(())
     }
@@ -131,9 +174,7 @@ impl CounterGrid {
     /// Returns [`SketchError::CombineMismatch`] on shape mismatch.
     pub fn sub_assign(&mut self, other: &CounterGrid) -> Result<(), SketchError> {
         self.check_shape(other)?;
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a = a.saturating_sub(*b);
-        }
+        simd::kernel().sub_saturating(&mut self.data, &other.data);
         Ok(())
     }
 
@@ -148,8 +189,19 @@ impl CounterGrid {
         Ok(out)
     }
 
-    /// Linear combination `Σ cᵢ · gridᵢ`, rounding each element to the
-    /// nearest integer.
+    /// Linear combination `Σ cᵢ · gridᵢ`.
+    ///
+    /// When every coefficient is exactly `1.0` — the COMBINE every
+    /// aggregation path in the system actually issues — this takes the
+    /// integer fast path ([`CounterGrid::add_assign_many`]): exact
+    /// saturating sums, bit-identical to updating one sketch with the
+    /// merged traffic, so COMBINE linearity holds even for counters beyond
+    /// 2⁵³ where an f64 accumulator would round.
+    ///
+    /// The general weighted path accumulates `Σ cᵢ·vᵢ` in f64 per element
+    /// and rounds to the nearest integer, walking the grid in
+    /// [`COMBINE_BLOCK`]-element tiles (source order per element is
+    /// preserved, so the tiling does not change a single bit of output).
     ///
     /// # Errors
     ///
@@ -157,17 +209,37 @@ impl CounterGrid {
     /// [`SketchError::CombineMismatch`] on shape mismatch.
     pub fn linear_combination(terms: &[(f64, &CounterGrid)]) -> Result<CounterGrid, SketchError> {
         let (_, first) = terms.first().ok_or(SketchError::CombineEmpty)?;
-        let mut acc = vec![0.0f64; first.data.len()];
-        for (c, g) in terms {
+        for (_, g) in terms {
             first.check_shape(g)?;
-            for (a, &v) in acc.iter_mut().zip(&g.data) {
-                *a += c * v as f64;
+        }
+        if terms.iter().all(|(c, _)| *c == 1.0) {
+            let mut out = terms[0].1.clone();
+            let rest: Vec<&CounterGrid> = terms[1..].iter().map(|(_, g)| *g).collect();
+            out.add_assign_many(&rest)?;
+            return Ok(out);
+        }
+        let len = first.data.len();
+        let mut data = vec![0i64; len];
+        let mut acc = [0.0f64; COMBINE_BLOCK];
+        let mut start = 0;
+        while start < len {
+            let end = (start + COMBINE_BLOCK).min(len);
+            let block = &mut acc[..end - start];
+            block.fill(0.0);
+            for (c, g) in terms {
+                for (a, &v) in block.iter_mut().zip(&g.data[start..end]) {
+                    *a += c * v as f64;
+                }
             }
+            for (d, &a) in data[start..end].iter_mut().zip(block.iter()) {
+                *d = a.round() as i64;
+            }
+            start = end;
         }
         Ok(CounterGrid {
             stages: first.stages,
             buckets: first.buckets,
-            data: acc.into_iter().map(|v| v.round() as i64).collect(),
+            data,
         })
     }
 
@@ -332,6 +404,62 @@ mod tests {
     #[should_panic(expected = "at least one stage")]
     fn zero_stage_panics() {
         let _ = CounterGrid::new(0, 4);
+    }
+
+    #[test]
+    fn add_assign_many_matches_sequential_folds() {
+        // Cover lengths straddling tile boundaries and SIMD lane counts.
+        for buckets in [1usize, 3, 4, 5, 63, 64, 2047, 2048, 2049, 5000] {
+            let mut grids = Vec::new();
+            for g in 0..3u64 {
+                let mut grid = CounterGrid::new(2, buckets);
+                for i in 0..buckets {
+                    let v = ((i as i64).wrapping_mul(2_654_435_761)).wrapping_add(g as i64);
+                    grid.add(0, i, v);
+                    grid.add(1, i, v.wrapping_neg());
+                }
+                grids.push(grid);
+            }
+            // Saturating rails must behave identically on both paths.
+            grids[0].add(0, 0, i64::MAX);
+            grids[1].add(0, 0, i64::MAX);
+            let mut blocked = grids[0].clone();
+            blocked.add_assign_many(&[&grids[1], &grids[2]]).unwrap();
+            let mut folded = grids[0].clone();
+            folded.add_assign(&grids[1]).unwrap();
+            folded.add_assign(&grids[2]).unwrap();
+            assert_eq!(blocked, folded, "buckets={buckets}");
+        }
+    }
+
+    #[test]
+    fn add_assign_many_rejects_any_shape_mismatch() {
+        let mut a = CounterGrid::new(2, 4);
+        let ok = CounterGrid::new(2, 4);
+        let bad = CounterGrid::new(2, 8);
+        assert_eq!(
+            a.add_assign_many(&[&ok, &bad]),
+            Err(SketchError::CombineMismatch)
+        );
+        // Checked up front: the destination must be untouched.
+        assert!(a.is_zero());
+        a.add_assign_many(&[]).unwrap();
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn unit_coefficients_take_the_exact_integer_path() {
+        // Counters beyond 2^53 lose bits in an f64 accumulator; the unit
+        // fast path must sum them exactly (and saturate exactly).
+        let mut a = CounterGrid::new(1, 2);
+        let mut b = CounterGrid::new(1, 2);
+        a.add(0, 0, (1 << 60) + 1);
+        b.add(0, 0, 1);
+        a.add(0, 1, i64::MAX);
+        b.add(0, 1, 5);
+        let lc = CounterGrid::linear_combination(&[(1.0, &a), (1.0, &b)]).unwrap();
+        assert_eq!(lc.get(0, 0), (1 << 60) + 2);
+        assert_eq!(lc.get(0, 1), i64::MAX);
     }
 
     #[test]

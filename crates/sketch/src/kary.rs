@@ -1,6 +1,7 @@
 //! The original k-ary sketch (Krishnamurthy et al., IMC'03).
 
 use crate::grid::CounterGrid;
+use crate::simd::UPDATE_CHUNK;
 use crate::{median_i64, SketchError};
 use hifind_flow::rng::SplitMix64;
 use hifind_hashing::{BucketHasher, PairwiseHasher};
@@ -122,6 +123,53 @@ impl KarySketch {
         self.total = self.total.saturating_add(delta);
     }
 
+    /// Batched UPDATE: applies `deltas[i]` under key premix `premixed[i]`
+    /// for the whole batch, bit-identical to calling
+    /// [`KarySketch::update_premixed`] once per element in order.
+    ///
+    /// The batch is processed stage-major in [`UPDATE_CHUNK`]-packet runs.
+    /// Each run makes two passes: first the [`crate::simd`] kernel finishes
+    /// the chunk's bucket indices for *every* stage and issues prefetch
+    /// hints for all of them ([`crate::simd::SketchKernel::prefetch_buckets`]),
+    /// then the scatter walks the stages applying the saturating adds — so
+    /// on a sketch whose working set dwarfs L2 the misses of all stages
+    /// stream in concurrently while the remaining indices are still being
+    /// hashed, instead of each stage paying its latency on demand.
+    /// Reordering packet × stage iteration is safe because every counter
+    /// belongs to exactly one stage and within a stage packets are applied
+    /// in order, so each cell sees the same saturating-add sequence as the
+    /// serial path.
+    pub fn update_batch_premixed(&mut self, premixed: &[u64], deltas: &[i64]) {
+        debug_assert_eq!(premixed.len(), deltas.len());
+        let n = premixed.len().min(deltas.len());
+        let kernel = crate::simd::kernel();
+        let stages = self.hashers.len();
+        let mut idx = vec![0u64; stages * UPDATE_CHUNK];
+        let mut start = 0;
+        while start < n {
+            let end = (start + UPDATE_CHUNK).min(n);
+            let pre = &premixed[start..end];
+            let del = &deltas[start..end];
+            for (stage, h) in self.hashers.iter().enumerate() {
+                let (a, b, shift) = h.coefficients();
+                let buf = &mut idx[stage * UPDATE_CHUNK..][..pre.len()];
+                kernel.buckets_premixed(pre, a, b, shift, buf);
+                kernel.prefetch_buckets(self.grid.stage(stage), buf);
+            }
+            for stage in 0..stages {
+                let row = self.grid.stage_mut(stage);
+                for (&bucket, &d) in idx[stage * UPDATE_CHUNK..][..pre.len()].iter().zip(del) {
+                    let cell = &mut row[bucket as usize];
+                    *cell = cell.saturating_add(d);
+                }
+            }
+            for &d in del {
+                self.total = self.total.saturating_add(d);
+            }
+            start = end;
+        }
+    }
+
     /// ESTIMATE: the median over stages of the per-stage unbiased estimator
     /// `(v_bucket − total/m) / (1 − 1/m)`.
     pub fn estimate(&self, key: u64) -> i64 {
@@ -135,13 +183,33 @@ impl KarySketch {
     ///
     /// Panics in debug builds if the grid shape differs from this sketch's.
     pub fn estimate_grid(&self, grid: &CounterGrid, key: u64) -> i64 {
+        self.estimate_grid_with_sums(grid, key, &self.stage_sums(grid))
+    }
+
+    /// The per-stage sums of `grid`, for amortizing many
+    /// [`KarySketch::estimate_grid_with_sums`] calls against the same grid
+    /// (inference estimates every candidate key; the sums are identical for
+    /// all of them and cost a full grid walk each time otherwise).
+    pub fn stage_sums(&self, grid: &CounterGrid) -> Vec<i64> {
+        (0..grid.stages()).map(|s| grid.stage_sum(s)).collect()
+    }
+
+    /// [`KarySketch::estimate_grid`] with the per-stage sums precomputed by
+    /// [`KarySketch::stage_sums`]; bit-identical to `estimate_grid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the grid shape or `sums` length differs
+    /// from this sketch's configuration.
+    pub fn estimate_grid_with_sums(&self, grid: &CounterGrid, key: u64, sums: &[i64]) -> i64 {
         debug_assert_eq!(grid.stages(), self.config.stages);
         debug_assert_eq!(grid.buckets(), self.config.buckets);
+        debug_assert_eq!(sums.len(), self.config.stages);
         let m = self.config.buckets as f64;
         let mut estimates: Vec<i64> = Vec::with_capacity(self.config.stages);
-        for (stage, h) in self.hashers.iter().enumerate() {
+        for ((stage, h), &stage_sum) in self.hashers.iter().enumerate().zip(sums) {
             let v = grid.get(stage, h.bucket(key)) as f64;
-            let sum = grid.stage_sum(stage) as f64;
+            let sum = stage_sum as f64;
             let unbiased = (v - sum / m) / (1.0 - 1.0 / m);
             estimates.push(unbiased.round() as i64);
         }
@@ -363,6 +431,51 @@ mod tests {
         }
         assert_eq!(premixed.grid(), plain.grid());
         assert_eq!(premixed.total(), plain.total());
+    }
+
+    #[test]
+    fn batched_update_matches_serial_update() {
+        // Non-multiple-of-chunk batch length, mixed-sign deltas, and a
+        // saturating cell: the batched path must be bit-identical.
+        let mut serial = small();
+        let mut batched = small();
+        let mut rng = SplitMix64::new(23);
+        let mut premixed = Vec::new();
+        let mut deltas = Vec::new();
+        for i in 0..(3 * 64 + 17) {
+            let k = rng.next_u64();
+            premixed.push(PairwiseHasher::premix(k));
+            deltas.push(if i == 5 {
+                i64::MAX
+            } else {
+                (rng.below(9) as i64) - 4
+            });
+        }
+        for (&p, &d) in premixed.iter().zip(&deltas) {
+            serial.update_premixed(p, d);
+        }
+        batched.update_batch_premixed(&premixed, &deltas);
+        assert_eq!(batched.grid(), serial.grid());
+        assert_eq!(batched.total(), serial.total());
+        // Empty batch is a no-op.
+        batched.update_batch_premixed(&[], &[]);
+        assert_eq!(batched.grid(), serial.grid());
+    }
+
+    #[test]
+    fn estimate_with_precomputed_sums_matches_estimate() {
+        let mut s = small();
+        let mut rng = SplitMix64::new(29);
+        for _ in 0..3000 {
+            s.update(rng.next_u64(), 1);
+        }
+        let sums = s.stage_sums(s.grid());
+        for key in [0u64, 7777, u64::MAX, 42] {
+            assert_eq!(
+                s.estimate_grid_with_sums(s.grid(), key, &sums),
+                s.estimate(key)
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::grid::CounterGrid;
 use crate::kary::{KaryConfig, KarySketch};
+use crate::simd::UPDATE_CHUNK;
 use crate::{median_i64, SketchError};
 use hifind_flow::keys::SketchKey;
 use hifind_flow::rng::SplitMix64;
@@ -251,6 +252,66 @@ impl ReversibleSketch {
         self.total = self.total.saturating_add(delta);
     }
 
+    /// Batched UPDATE: applies `deltas[i]` under `keys[i]` (with
+    /// `premixed[i]` its [`PairwiseHasher::premix`], feeding the verifier),
+    /// bit-identical to calling [`ReversibleSketch::update_premixed`] once
+    /// per element in order.
+    ///
+    /// The modular stage hashes are byte-table lookups that live in L1, so
+    /// unlike the k-ary/2D batches there is no SIMD hash finish here; the
+    /// win is memory-level parallelism. Each chunk makes two passes: the
+    /// first mangles the keys and resolves every stage's bucket indices,
+    /// prefetching all of the touched counters
+    /// ([`crate::simd::SketchKernel::prefetch_buckets`]); the second
+    /// scatters the saturating adds stage-major with the misses of all
+    /// stages already streaming in — on the paper's 2^16-bucket 64-bit
+    /// sketch (a 3 MiB grid) this, not the hashing, is the entire cost.
+    /// The verifier (if any) consumes the premix batch through the k-ary
+    /// SIMD path.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if any key has bits above the configured width.
+    pub fn update_batch(&mut self, keys: &[u64], premixed: &[u64], deltas: &[i64]) {
+        debug_assert_eq!(keys.len(), premixed.len());
+        debug_assert_eq!(keys.len(), deltas.len());
+        let n = keys.len().min(premixed.len()).min(deltas.len());
+        let kernel = crate::simd::kernel();
+        let stages = self.hashes.len();
+        let mut mangled = [[0u8; 8]; UPDATE_CHUNK];
+        let mut idx = vec![0u64; stages * UPDATE_CHUNK];
+        let mut start = 0;
+        while start < n {
+            let end = (start + UPDATE_CHUNK).min(n);
+            let chunk = &keys[start..end];
+            let del = &deltas[start..end];
+            for (slot, &key) in mangled.iter_mut().zip(chunk) {
+                *slot = self.mangler.mangle(key).to_le_bytes();
+            }
+            for (stage, h) in self.hashes.iter().enumerate() {
+                let buf = &mut idx[stage * UPDATE_CHUNK..][..chunk.len()];
+                for (slot, bytes) in buf.iter_mut().zip(&mangled[..chunk.len()]) {
+                    *slot = h.bucket_of_bytes(bytes) as u64;
+                }
+                kernel.prefetch_buckets(self.grid.stage(stage), buf);
+            }
+            for stage in 0..stages {
+                let row = self.grid.stage_mut(stage);
+                for (&bucket, &d) in idx[stage * UPDATE_CHUNK..][..chunk.len()].iter().zip(del) {
+                    let cell = &mut row[bucket as usize];
+                    *cell = cell.saturating_add(d);
+                }
+            }
+            if let Some(v) = &mut self.verifier {
+                v.update_batch_premixed(&premixed[start..end], del);
+            }
+            for &d in del {
+                self.total = self.total.saturating_add(d);
+            }
+            start = end;
+        }
+    }
+
     /// UPDATE with a typed flow key.
     ///
     /// # Panics
@@ -275,14 +336,24 @@ impl ReversibleSketch {
     /// interpreted through this sketch's hash functions: the median over
     /// stages of the unbiased per-stage estimator.
     pub fn estimate_grid(&self, grid: &CounterGrid, key: u64) -> i64 {
+        let sums: Vec<i64> = (0..grid.stages()).map(|s| grid.stage_sum(s)).collect();
+        self.estimate_grid_with_sums(grid, key, &sums)
+    }
+
+    /// [`ReversibleSketch::estimate_grid`] with the per-stage sums
+    /// precomputed; bit-identical, and what inference uses so that
+    /// estimating hundreds of candidate keys walks the grid once instead
+    /// of once per candidate.
+    fn estimate_grid_with_sums(&self, grid: &CounterGrid, key: u64, sums: &[i64]) -> i64 {
         debug_assert_eq!(grid.stages(), self.config.stages);
         debug_assert_eq!(grid.buckets(), self.config.buckets);
+        debug_assert_eq!(sums.len(), self.config.stages);
         let mangled = self.mangler.mangle(key);
         let m = self.config.buckets as f64;
         let mut estimates: Vec<i64> = Vec::with_capacity(self.config.stages);
-        for (stage, h) in self.hashes.iter().enumerate() {
+        for ((stage, h), &stage_sum) in self.hashes.iter().enumerate().zip(sums) {
             let v = grid.get(stage, h.bucket(mangled)) as f64;
-            let sum = grid.stage_sum(stage) as f64;
+            let sum = stage_sum as f64;
             estimates.push(((v - sum / m) / (1.0 - 1.0 / m)).round() as i64);
         }
         median_i64(&mut estimates)
@@ -316,14 +387,15 @@ impl ReversibleSketch {
         let min_stages = stages.saturating_sub(opts.miss_stages).max(1);
         let mut stats = InferStats::default();
 
-        // 1. Heavy buckets per stage.
+        // 1. Heavy buckets per stage — the full-grid threshold scan, done
+        // by the SIMD kernel (4 lanes per compare on AVX2, ascending
+        // indices either way).
+        let kernel = crate::simd::kernel();
         let heavy: Vec<Vec<u32>> = (0..stages)
             .map(|s| {
-                grid.stage(s)
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(b, &v)| if v >= threshold { Some(b as u32) } else { None })
-                    .collect()
+                let mut out = Vec::new();
+                kernel.heavy_buckets(grid.stage(s), threshold, &mut out);
+                out
             })
             .collect();
         stats.heavy_buckets = heavy.iter().map(Vec::len).collect();
@@ -426,7 +498,14 @@ impl ReversibleSketch {
             }
         }
 
-        // 4. Un-mangle, estimate, verify, sort.
+        // 4. Un-mangle, estimate, verify, sort. The per-stage sums of both
+        // grids are identical for every candidate, so compute each set
+        // once instead of re-walking the grids per candidate.
+        let grid_sums: Vec<i64> = (0..stages).map(|s| grid.stage_sum(s)).collect();
+        let verifier_sums: Option<Vec<i64>> = match (opts.use_verifier, &self.verifier) {
+            (true, Some(v)) => verifier_grid.map(|vg| v.stage_sums(vg)),
+            _ => None,
+        };
         let mut keys = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for cand in candidates {
@@ -434,14 +513,16 @@ impl ReversibleSketch {
             if !seen.insert(key) {
                 continue;
             }
-            let estimate = self.estimate_grid(grid, key);
+            let estimate = self.estimate_grid_with_sums(grid, key, &grid_sums);
             if estimate < threshold {
                 stats.rejected_by_estimate = stats.rejected_by_estimate.saturating_add(1);
                 continue;
             }
             if opts.use_verifier {
-                if let (Some(v), Some(vg)) = (&self.verifier, verifier_grid) {
-                    if v.estimate_grid(vg, key) < threshold {
+                if let (Some(v), Some(vg), Some(vsums)) =
+                    (&self.verifier, verifier_grid, &verifier_sums)
+                {
+                    if v.estimate_grid_with_sums(vg, key, vsums) < threshold {
                         stats.rejected_by_verifier = stats.rejected_by_verifier.saturating_add(1);
                         continue;
                     }
@@ -771,6 +852,39 @@ mod tests {
                 plain.verifier().map(|v| v.grid())
             );
             assert_eq!(premixed.total(), plain.total());
+        }
+    }
+
+    #[test]
+    fn batched_update_matches_serial_update() {
+        // Main grid, verifier grid, and total must be bit-identical to the
+        // serial path, with and without a verifier, on a batch length that
+        // is not a multiple of the chunk size.
+        for verifier_buckets in [Some(1 << 12), None] {
+            let mut cfg = small_cfg(81);
+            cfg.verifier_buckets = verifier_buckets;
+            let mut serial = ReversibleSketch::new(cfg).unwrap();
+            let mut batched = ReversibleSketch::new(cfg).unwrap();
+            let mut rng = SplitMix64::new(82);
+            let mut keys = Vec::new();
+            let mut premixed = Vec::new();
+            let mut deltas = Vec::new();
+            for _ in 0..(64 + 21) {
+                let k = rng.next_u64() & ((1 << 48) - 1);
+                keys.push(k);
+                premixed.push(PairwiseHasher::premix(k));
+                deltas.push((rng.below(9) as i64) - 4);
+            }
+            for ((&k, &p), &d) in keys.iter().zip(&premixed).zip(&deltas) {
+                serial.update_premixed(k, p, d);
+            }
+            batched.update_batch(&keys, &premixed, &deltas);
+            assert_eq!(batched.grid(), serial.grid());
+            assert_eq!(
+                batched.verifier().map(|v| v.grid()),
+                serial.verifier().map(|v| v.grid())
+            );
+            assert_eq!(batched.total(), serial.total());
         }
     }
 

@@ -13,6 +13,7 @@
 //! matrices decides (paper's `p = 5` of 64, `φ = 0.8`).
 
 use crate::grid::CounterGrid;
+use crate::simd::UPDATE_CHUNK;
 use crate::SketchError;
 use hifind_flow::rng::SplitMix64;
 use hifind_hashing::{BucketHasher, PairwiseHasher};
@@ -143,6 +144,64 @@ impl TwoDSketch {
             self.grid.add(stage, x * self.config.y_buckets + y, delta);
         }
         self.total = self.total.saturating_add(delta);
+    }
+
+    /// Batched UPDATE: applies `deltas[i]` at `(x_premixed[i],
+    /// y_premixed[i])`, bit-identical to calling
+    /// [`TwoDSketch::update_premixed`] once per element in order.
+    ///
+    /// Stage-major over [`UPDATE_CHUNK`]-packet runs like
+    /// [`crate::KarySketch::update_batch_premixed`]: a first pass finishes
+    /// the chunk's x- and y-bucket indices for every stage (two kernel
+    /// calls each), folds them into flat matrix indices and prefetches all
+    /// of the touched cells, then the scatter pass applies the saturating
+    /// adds with the misses of every stage already streaming in. Per-cell
+    /// delta order matches the serial path (each cell lives in one stage;
+    /// within a stage packets apply in order).
+    pub fn update_batch_premixed(
+        &mut self,
+        x_premixed: &[u64],
+        y_premixed: &[u64],
+        deltas: &[i64],
+    ) {
+        debug_assert_eq!(x_premixed.len(), y_premixed.len());
+        debug_assert_eq!(x_premixed.len(), deltas.len());
+        let n = x_premixed.len().min(y_premixed.len()).min(deltas.len());
+        let kernel = crate::simd::kernel();
+        let y_buckets = self.config.y_buckets;
+        let stages = self.config.stages;
+        let mut xi = [0u64; UPDATE_CHUNK];
+        let mut yi = [0u64; UPDATE_CHUNK];
+        let mut idx = vec![0u64; stages * UPDATE_CHUNK];
+        let mut start = 0;
+        while start < n {
+            let end = (start + UPDATE_CHUNK).min(n);
+            let xs = &x_premixed[start..end];
+            let ys = &y_premixed[start..end];
+            let del = &deltas[start..end];
+            for stage in 0..stages {
+                let (xa, xb, xshift) = self.x_hashers[stage].coefficients();
+                let (ya, yb, yshift) = self.y_hashers[stage].coefficients();
+                kernel.buckets_premixed(xs, xa, xb, xshift, &mut xi[..xs.len()]);
+                kernel.buckets_premixed(ys, ya, yb, yshift, &mut yi[..ys.len()]);
+                let buf = &mut idx[stage * UPDATE_CHUNK..][..xs.len()];
+                for ((flat, &x), &y) in buf.iter_mut().zip(&xi[..xs.len()]).zip(&yi[..ys.len()]) {
+                    *flat = x * y_buckets as u64 + y;
+                }
+                kernel.prefetch_buckets(self.grid.stage(stage), buf);
+            }
+            for stage in 0..stages {
+                let row = self.grid.stage_mut(stage);
+                for (&flat, &d) in idx[stage * UPDATE_CHUNK..][..xs.len()].iter().zip(del) {
+                    let cell = &mut row[flat as usize];
+                    *cell = cell.saturating_add(d);
+                }
+            }
+            for &d in del {
+                self.total = self.total.saturating_add(d);
+            }
+            start = end;
+        }
     }
 
     /// The column of `y_buckets` cell values selected by `x_key` in one
@@ -482,6 +541,31 @@ mod tests {
         }
         assert_eq!(premixed.grid(), plain.grid());
         assert_eq!(premixed.total(), plain.total());
+    }
+
+    #[test]
+    fn batched_update_matches_serial_update() {
+        let mut serial = small();
+        let mut batched = small();
+        let mut rng = SplitMix64::new(31);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut deltas = Vec::new();
+        for i in 0..(2 * 64 + 9) {
+            xs.push(PairwiseHasher::premix(rng.below(100)));
+            ys.push(PairwiseHasher::premix(rng.below(1000)));
+            deltas.push(if i == 3 {
+                i64::MAX
+            } else {
+                (rng.below(7) as i64) - 3
+            });
+        }
+        for ((&x, &y), &d) in xs.iter().zip(&ys).zip(&deltas) {
+            serial.update_premixed(x, y, d);
+        }
+        batched.update_batch_premixed(&xs, &ys, &deltas);
+        assert_eq!(batched.grid(), serial.grid());
+        assert_eq!(batched.total(), serial.total());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!
 //! [[unsafe-file]]
 //! path = "crates/collect/src/engine.rs"
-//! reason = "poll(2) FFI; the only unsafe block in the workspace"
+//! reason = "poll(2) FFI; see the file's safety argument"
 //! ```
 //!
 //! `[[unsafe-file]]` entries define the `unsafe-perimeter` pass's

@@ -33,8 +33,8 @@ pub fn check(model: &WorkspaceModel, perimeter: &[UnsafeFileEntry], out: &mut Ve
                     rule: RULE,
                     message: "`unsafe` outside the declared perimeter; only files listed in \
                               lint.toml `[[unsafe-file]]` entries may contain unsafe code \
-                              (currently the poll(2) FFI) — widening the perimeter is a \
-                              reviewed lint.toml change, not a local exception"
+                              (currently the poll(2) FFI and the AVX2 kernel) — widening the \
+                              perimeter is a reviewed lint.toml change, not a local exception"
                         .to_string(),
                     snippet: line.raw.trim().to_string(),
                 }),
@@ -142,6 +142,33 @@ mod tests {
         let src = "#![deny(unsafe_code)]\n#[allow(unsafe_code)]\nmod sys;\n";
         let found = run(&[(OTHER, src)], &[]);
         assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn simd_kernel_unsafe_outside_its_one_file_is_detected() {
+        // The SIMD perimeter mirrors the real workspace layout: only
+        // `crates/sketch/src/simd/avx2.rs` may hold intrinsics. A second
+        // kernel file sprouting `unsafe` (or unsafe leaking into the
+        // dispatcher module) must be flagged even though it lives in the
+        // same directory as the allowed file.
+        const AVX2: &str = "crates/sketch/src/simd/avx2.rs";
+        const INTRINSIC: &str = "fn sum(row: &[i64]) -> i64 {\n\
+             unsafe { sum_wrapping(row) }\n\
+         }\n";
+        let found = run(
+            &[
+                (AVX2, INTRINSIC),
+                ("crates/sketch/src/simd/mod.rs", INTRINSIC),
+                ("crates/sketch/src/simd/avx512.rs", INTRINSIC),
+            ],
+            &[(AVX2, "avx2 kernel intrinsics")],
+        );
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found
+            .iter()
+            .all(|v| v.rule == RULE && v.path.starts_with("crates/sketch/src/simd/")));
+        assert!(found.iter().any(|v| v.path.ends_with("mod.rs")));
+        assert!(found.iter().any(|v| v.path.ends_with("avx512.rs")));
     }
 
     #[test]
