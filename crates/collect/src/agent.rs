@@ -43,6 +43,11 @@ pub struct AgentConfig {
     pub max_backoff: Duration,
     /// Socket connect and write timeout.
     pub io_timeout: Duration,
+    /// Codec ids this agent offers, in preference order. The default
+    /// offers [`wire::CODEC_V2`] and falls back to v1 automatically when
+    /// the collector does not negotiate; `vec![wire::CODEC_V1]` pins the
+    /// agent to legacy framing.
+    pub codecs: Vec<u8>,
 }
 
 impl AgentConfig {
@@ -55,6 +60,7 @@ impl AgentConfig {
             initial_backoff: Duration::from_millis(50),
             max_backoff: Duration::from_secs(2),
             io_timeout: Duration::from_secs(5),
+            codecs: vec![wire::CODEC_V2, wire::CODEC_V1],
         }
     }
 
@@ -66,6 +72,7 @@ impl AgentConfig {
             initial_backoff: self.initial_backoff,
             max_backoff: self.max_backoff,
             io_timeout: self.io_timeout,
+            codecs: self.codecs.clone(),
         }
     }
 }
@@ -85,6 +92,12 @@ pub struct AgentStats {
     pub reconnects: u64,
     /// Failed connect or write attempts.
     pub send_failures: u64,
+    /// Intervals encoded as v2 keyframes.
+    pub frames_v2_keyframes: u64,
+    /// Intervals encoded as v2 deltas against an acked baseline.
+    pub frames_v2_deltas: u64,
+    /// Backlogged v2 frames rewritten as v1 for a downgraded session.
+    pub frames_transcoded: u64,
 }
 
 /// What one flush (or interval end) managed to ship.
@@ -239,31 +252,23 @@ impl RouterAgent {
         self.recorder.record(packet);
     }
 
-    /// Ends the current interval: snapshots the recorder, frames the
-    /// snapshot, enqueues it, and attempts a flush.
+    /// Ends the current interval: snapshots the recorder, encodes the
+    /// snapshot in the negotiated codec, enqueues it, and attempts a
+    /// flush.
     pub fn end_interval(&mut self) -> ShipReport {
-        let frame = match self.recorder.take_snapshot() {
-            Ok(s) => wire::encode_frame(self.cfg.router_id, self.interval, &s).ok(),
-            // A lost shard worker yields no merged snapshot; treated like
-            // an unframeable one below.
-            Err(_) => None,
-        };
+        let interval = self.interval;
         self.interval += 1;
-        let mut dropped = 0;
-        match frame {
-            Some(frame) => dropped += self.shipper.enqueue(frame),
-            // An unframeable snapshot (payload beyond the u32 length
-            // field, a config absurdity) or a lost shard worker is not an
-            // attack surface; the interval is counted as dropped rather
-            // than aborting the data plane.
-            None => {
+        match self.recorder.take_snapshot() {
+            Ok(s) => self.shipper.ship_snapshot(interval, &s),
+            // A lost shard worker yields no merged snapshot; the interval
+            // is counted as dropped rather than aborting the data plane.
+            Err(_) => {
                 self.shipper.count_unframeable();
-                dropped += 1;
+                let mut report = self.flush();
+                report.dropped += 1;
+                report
             }
         }
-        let mut report = self.flush();
-        report.dropped += dropped;
-        report
     }
 
     /// Tries to ship the whole backlog within the configured attempt and

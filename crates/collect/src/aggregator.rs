@@ -77,8 +77,13 @@ pub struct AggregatorConfig {
     /// Hooks invoked at tier transitions (snapshot forwarded, tier gap,
     /// frame rejection, checkpoint write/resume, upstream reconnect).
     pub observer: Option<Arc<dyn CollectObserver>>,
-    /// Upstream shipping policy (backlog, attempts, backoff, timeouts).
+    /// Upstream shipping policy (backlog, attempts, backoff, timeouts,
+    /// and the codecs offered upstream).
     pub ship: ShipConfig,
+    /// Codec ids accepted from downstream children, in preference order.
+    /// Independent of `ship.codecs`: a tier can accept v2 below while a
+    /// legacy root above forces its own uplink down to v1.
+    pub codecs: Vec<u8>,
 }
 
 impl std::fmt::Debug for AggregatorConfig {
@@ -94,6 +99,7 @@ impl std::fmt::Debug for AggregatorConfig {
             .field("resume_from", &self.resume_from)
             .field("observer", &self.observer.as_ref().map(|_| "Some(..)"))
             .field("ship", &self.ship)
+            .field("codecs", &self.codecs)
             .finish()
     }
 }
@@ -113,6 +119,7 @@ impl AggregatorConfig {
             resume_from: None,
             observer: None,
             ship: ShipConfig::default(),
+            codecs: vec![wire::CODEC_V2, wire::CODEC_V1],
         }
     }
 }
@@ -139,6 +146,12 @@ pub struct AggregatorReport {
     pub frames_late: u64,
     /// Child frames rejected for wire/codec/fingerprint violations.
     pub frames_rejected: u64,
+    /// Accepted child frames that arrived in the legacy v1 codec.
+    pub frames_codec_v1: u64,
+    /// Accepted v2 keyframes from children.
+    pub frames_v2_keyframes: u64,
+    /// Accepted v2 delta frames from children.
+    pub frames_v2_deltas: u64,
     /// Payload + header bytes of valid child frames.
     pub bytes_received: u64,
     /// Distinct child ids that contributed at least one valid frame.
@@ -218,6 +231,7 @@ impl Aggregator {
             EngineConfig {
                 max_payload: agg_cfg.max_payload_bytes,
                 tick: Duration::from_millis(50),
+                codecs: agg_cfg.codecs.clone(),
             },
         )?;
         let merger = {
@@ -473,7 +487,9 @@ impl Merger {
                 interval,
                 snapshot,
                 frame_bytes,
-            } => self.handle_frame(router_id, interval, *snapshot, frame_bytes),
+                codec,
+                delta,
+            } => self.handle_frame(router_id, interval, *snapshot, frame_bytes, codec, delta),
         }
     }
 
@@ -497,6 +513,8 @@ impl Merger {
         interval: u64,
         snapshot: IntervalSnapshot,
         frame_bytes: u64,
+        codec: u8,
+        delta: bool,
     ) {
         if snapshot.fingerprint != self.fingerprint {
             // A child recording under different seeds or shapes cannot be
@@ -513,12 +531,22 @@ impl Merger {
             OfferOutcome::Accepted => {
                 self.report.frames_received += 1;
                 self.report.bytes_received += frame_bytes;
+                match (codec, delta) {
+                    (wire::CODEC_V2, true) => self.report.frames_v2_deltas += 1,
+                    (wire::CODEC_V2, false) => self.report.frames_v2_keyframes += 1,
+                    _ => self.report.frames_codec_v1 += 1,
+                }
                 if !self.report.children_seen.contains(&child_id) {
                     self.report.children_seen.push(child_id);
                 }
                 if let Some(t) = &self.telemetry {
                     t.base.frames_received.inc();
                     t.base.bytes_received.add(frame_bytes);
+                    match (codec, delta) {
+                        (wire::CODEC_V2, true) => t.base.frames_v2_deltas.inc(),
+                        (wire::CODEC_V2, false) => t.base.frames_v2_keyframes.inc(),
+                        _ => t.base.frames_codec_v1.inc(),
+                    }
                     t.base
                         .combine_seconds
                         .observe_duration(combine_start.elapsed());
@@ -580,30 +608,22 @@ impl Merger {
             }
             return;
         };
-        match wire::encode_frame(self.cfg.node_id, flush.interval, &combined) {
-            Ok(frame) => {
-                self.shipper.enqueue(frame);
-                let _ = self.shipper.flush();
-                self.report.intervals_forwarded += 1;
-                if let Some(t) = &self.telemetry {
-                    t.forwarded.inc();
-                }
-                if let Some(obs) = &self.cfg.observer {
-                    obs.snapshot_forwarded(
-                        self.cfg.node_id,
-                        flush.interval,
-                        &combined,
-                        contributors,
-                        self.cfg.expected_children,
-                    );
-                }
-            }
-            Err(_) => {
-                // An unframeable sum (payload beyond the u32 length
-                // field, a config absurdity) is counted as dropped, never
-                // fatal to the tier.
-                self.shipper.count_unframeable();
-            }
+        // The shipper re-encodes the sum in whatever codec its upstream
+        // negotiated (keeping its own delta chain against that peer) and
+        // counts an unframeable sum as a dropped interval itself.
+        let _ = self.shipper.ship_snapshot(flush.interval, &combined);
+        self.report.intervals_forwarded += 1;
+        if let Some(t) = &self.telemetry {
+            t.forwarded.inc();
+        }
+        if let Some(obs) = &self.cfg.observer {
+            obs.snapshot_forwarded(
+                self.cfg.node_id,
+                flush.interval,
+                &combined,
+                contributors,
+                self.cfg.expected_children,
+            );
         }
     }
 }

@@ -16,13 +16,13 @@ use hifind_sketch::CounterGrid;
 
 /// Upper bound on `stages × buckets` of a single decoded grid (16 Mi
 /// counters = 128 MiB); rejects absurd declared shapes before allocating.
-const MAX_GRID_CELLS: u64 = 1 << 24;
+pub(crate) const MAX_GRID_CELLS: u64 = 1 << 24;
 
 /// Upper bound on decoded Bloom filter words (8 Mi words = 64 MiB).
-const MAX_BLOOM_WORDS: u64 = 1 << 23;
+pub(crate) const MAX_BLOOM_WORDS: u64 = 1 << 23;
 
 /// Upper bound on decoded Bloom hash seeds.
-const MAX_BLOOM_SEEDS: u64 = 64;
+pub(crate) const MAX_BLOOM_SEEDS: u64 = 64;
 
 /// A malformed snapshot payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,6 +43,14 @@ pub enum CodecError {
     Grid { which: &'static str, detail: String },
     /// The decoded Bloom filter parts violated [`BloomFilter`] invariants.
     Bloom(String),
+    /// A v2 payload's flag byte set bits this decoder does not know.
+    BadFlags { flags: u64 },
+    /// A v2 delta referenced a baseline interval the receiver no longer
+    /// (or never) retained; the sender recovers by keyframing.
+    DeltaBaselineMissing { baseline: u64 },
+    /// A v2 delta's shapes (grid dimensions, Bloom geometry) disagree
+    /// with its baseline, so residuals cannot be applied.
+    DeltaShapeMismatch { at: &'static str },
 }
 
 impl std::fmt::Display for CodecError {
@@ -58,6 +66,15 @@ impl std::fmt::Display for CodecError {
             }
             CodecError::Grid { which, detail } => write!(f, "grid {which}: {detail}"),
             CodecError::Bloom(detail) => write!(f, "bloom filter: {detail}"),
+            CodecError::BadFlags { flags } => {
+                write!(f, "unknown payload flag bits {flags:#x}")
+            }
+            CodecError::DeltaBaselineMissing { baseline } => {
+                write!(f, "delta baseline interval {baseline} not retained")
+            }
+            CodecError::DeltaShapeMismatch { at } => {
+                write!(f, "delta and baseline disagree on {at} shape")
+            }
         }
     }
 }
@@ -116,10 +133,24 @@ impl<'a> Reader<'a> {
         self.pos
     }
 
-    /// Advances past `n` bytes the caller already sliced out directly
-    /// (clamped to the buffer end).
-    pub(crate) fn skip(&mut self, n: usize) {
-        self.pos = self.pos.saturating_add(n).min(self.bytes.len());
+    /// Advances past `n` bytes the caller already sliced out directly.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than `n` bytes remain — a
+    /// short payload must surface as an error at the field that ran out,
+    /// never silently masquerade as fully consumed (clamping to the
+    /// buffer end would make the final trailing-bytes check pass on a
+    /// truncated payload).
+    pub(crate) fn skip(&mut self, n: usize, at: &'static str) -> Result<(), CodecError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                self.pos = end;
+                Ok(())
+            }
+            None => Err(CodecError::Truncated { at }),
+        }
     }
 
     pub(crate) fn uvarint(&mut self, at: &'static str) -> Result<u64, CodecError> {
@@ -292,7 +323,10 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<IntervalSnapshot, CodecError> {
     })
 }
 
-fn grids(snap: &IntervalSnapshot) -> [&CounterGrid; 9] {
+/// The nine sketch grids of a snapshot in their canonical wire order,
+/// shared with the v2 codec ([`crate::codec_v2`]) so both encodings walk
+/// the same layout.
+pub(crate) fn grids(snap: &IntervalSnapshot) -> [&CounterGrid; 9] {
     [
         &snap.rs_sip_dport,
         &snap.rs_sip_dport_verifier,
@@ -381,6 +415,28 @@ mod tests {
                 "cut at {cut}: unexpected {err:?}"
             );
         }
+    }
+
+    /// Regression: `Reader::skip` used to clamp past the end of the
+    /// buffer, so a payload truncated inside a skipped region looked
+    /// fully consumed and sailed through the trailing-bytes check.
+    #[test]
+    fn skip_past_end_is_a_typed_truncation() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        r.skip(2, "head").expect("in-bounds skip");
+        assert_eq!(r.position(), 2);
+        assert_eq!(
+            r.skip(2, "tail"),
+            Err(CodecError::Truncated { at: "tail" }),
+            "skipping past the end must be a typed error"
+        );
+        assert_eq!(r.position(), 2, "a failed skip must not move the cursor");
+        r.skip(1, "last").expect("exact-to-end skip");
+        assert_eq!(
+            r.skip(usize::MAX, "overflow"),
+            Err(CodecError::Truncated { at: "overflow" }),
+            "a skip that would overflow the cursor must fail, not wrap"
+        );
     }
 
     #[test]

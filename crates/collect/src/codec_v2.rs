@@ -1,0 +1,930 @@
+//! Codec v2: sparse + delta snapshot payloads.
+//!
+//! The v1 payload ([`crate::codec`]) spends one byte per counter even when
+//! a bucket is zero — and outside attack hot spots almost every bucket is.
+//! v2 attacks the two remaining cost centres:
+//!
+//! * **Sparse stages** — each grid stage (and the Bloom word array) is
+//!   encoded either densely (v1-style varints) or as runs of non-zero
+//!   values with zero-gap prefixes, whichever is smaller *for that stage*.
+//!   A quiet stage costs two bytes instead of one byte per bucket.
+//! * **Delta frames** — the cumulative active-service Bloom filter
+//!   (megabytes of raw words in a long run) may be encoded as an XOR
+//!   residual against the previous **acked** interval: just the bits
+//!   newly set this interval. Grids and packet counters reset every
+//!   interval, so a residual against a cleared array would span the
+//!   union of old and new support and only ever grow the payload — they
+//!   stay absolute (sparse) in both modes. Periodic keyframes bound how
+//!   much history a fresh collector needs.
+//!
+//! The delta chain is *ack-gated*: the sender only emits a delta against a
+//! baseline the collector has explicitly acknowledged decoding
+//! ([`crate::wire::encode_ack`]), and falls back to a keyframe whenever
+//! the ack has not arrived. Every frame that reaches a decoder is
+//! therefore decodable on its own chain state — drops, reordering and
+//! duplication can break nothing; at worst they cost compression.
+//!
+//! Wire layout of a v2 payload (CRC-covered by the frame header):
+//!
+//! ```text
+//! flags              u8       bit0: 1 = delta, others must be zero
+//! [delta] baseline   uvarint  interval the residuals are relative to
+//! fingerprint        u64      absolute in both modes
+//! syn/syn_ack/fin_rst uvarint absolute in both modes
+//! 9 × grid:                   absolute in both modes
+//!   stages, buckets  uvarint
+//!   per stage: mode  u8       0 = dense, 1 = sparse
+//!     dense:  buckets × zigzag varint
+//!     sparse: nruns uvarint, runs of (gap uvarint, len uvarint, len × zigzag varint)
+//! bloom:
+//!   words, seeds     uvarint
+//!   inserted                  keyframe: uvarint · delta: zigzag residual
+//!   mode             u8       0 = dense, 1 = sparse
+//!     dense:  words × raw u64 (keyframe: absolute · delta: XOR vs baseline)
+//!     sparse: nruns uvarint, runs of (gap uvarint, len uvarint, len × raw u64)
+//!   seeds × raw u64  absolute in both modes
+//! ```
+//!
+//! All residual arithmetic is wrapping, so `i64::MIN`/`i64::MAX` counters
+//! round-trip exactly. The decoder carries the same defensive posture as
+//! v1: bounds-checked reads, declared sizes capped before allocation, and
+//! typed [`CodecError`]s for every failure.
+
+use crate::codec::{
+    self, put_u64, put_uvarint, zigzag, CodecError, Reader, MAX_BLOOM_SEEDS, MAX_BLOOM_WORDS,
+    MAX_GRID_CELLS,
+};
+use hifind::IntervalSnapshot;
+use hifind_hashing::BloomFilter;
+use hifind_sketch::CounterGrid;
+use std::collections::BTreeMap;
+
+/// Payload flag bit: this frame carries residuals vs. a baseline.
+const FLAG_DELTA: u8 = 0x01;
+
+/// Stage/bloom encoding mode bytes.
+const MODE_DENSE: u8 = 0;
+const MODE_SPARSE: u8 = 1;
+
+/// Keyframe cadence: after this many consecutive deltas the encoder emits
+/// a full keyframe even when the chain is intact, so a collector that
+/// lost its retention (restart, eviction) is guaranteed a fresh baseline
+/// within a bounded number of intervals.
+pub const DEFAULT_KEYFRAME_EVERY: u32 = 8;
+
+/// How many decoded intervals the receiver retains per router as delta
+/// baselines. Reordered or duplicated frames only ever reference recent
+/// intervals (the sender's baseline is always its previous interval), so
+/// a short window suffices.
+const RETAIN_PER_ROUTER: usize = 4;
+
+/// Upper bound on distinct router ids holding retention state, so a flood
+/// of forged router ids cannot grow receiver memory without bound.
+const MAX_CHAIN_ROUTERS: usize = 1024;
+
+/// Number of bytes `put_uvarint` would emit for `v`.
+fn uvarint_len(v: u64) -> usize {
+    let bits = 64 - v.leading_zeros();
+    usize::try_from(bits.div_ceil(7)).unwrap_or(10).max(1)
+}
+
+fn wrapping_diff_u64(new: u64, old: u64) -> i64 {
+    i64::from_le_bytes(new.wrapping_sub(old).to_le_bytes())
+}
+
+fn wrapping_apply_u64(old: u64, residual: i64) -> u64 {
+    old.wrapping_add(u64::from_le_bytes(residual.to_le_bytes()))
+}
+
+/// Encodes one value array as whichever of dense/sparse is smaller.
+/// `values` are already residuals in delta mode; zero means "unchanged".
+fn encode_stage_i64(out: &mut Vec<u8>, values: &[i64]) {
+    // Cost the dense form without materialising it.
+    let dense_size: usize = values.iter().map(|&v| uvarint_len(zigzag(v))).sum();
+    // Build the sparse form: runs of consecutive non-zeros.
+    let mut sparse = Vec::new();
+    let mut nruns = 0u64;
+    let mut i = 0usize;
+    let mut last_end = 0usize;
+    while i < values.len() {
+        if values[i] == 0 {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < values.len() && values[i] != 0 {
+            i += 1;
+        }
+        put_uvarint(&mut sparse, codec::len_u64(start - last_end));
+        put_uvarint(&mut sparse, codec::len_u64(i - start));
+        for &v in &values[start..i] {
+            put_uvarint(&mut sparse, zigzag(v));
+        }
+        last_end = i;
+        nruns += 1;
+    }
+    let sparse_size = uvarint_len(nruns) + sparse.len();
+    if sparse_size < dense_size {
+        out.push(MODE_SPARSE);
+        put_uvarint(out, nruns);
+        out.extend_from_slice(&sparse);
+    } else {
+        out.push(MODE_DENSE);
+        for &v in values {
+            put_uvarint(out, zigzag(v));
+        }
+    }
+}
+
+/// Decodes one stage into `into` (pre-sized, zero-filled).
+fn decode_stage_i64(
+    r: &mut Reader<'_>,
+    into: &mut [i64],
+    which: &'static str,
+) -> Result<(), CodecError> {
+    match r.uvarint(which)? {
+        m if m == u64::from(MODE_DENSE) => {
+            for slot in into.iter_mut() {
+                *slot = r.ivarint(which)?;
+            }
+            Ok(())
+        }
+        m if m == u64::from(MODE_SPARSE) => {
+            let nruns = r.uvarint(which)?;
+            let nruns = r.counted(which, nruns, codec::len_u64(into.len()))?;
+            let mut pos = 0usize;
+            for _ in 0..nruns {
+                let gap = r.uvarint(which)?;
+                let len = r.uvarint(which)?;
+                let gap = r.counted(which, gap, codec::len_u64(into.len()))?;
+                let len = r.counted(which, len, codec::len_u64(into.len()))?;
+                let start = pos.checked_add(gap).filter(|&s| s <= into.len());
+                let end = start
+                    .and_then(|s| s.checked_add(len))
+                    .filter(|&e| e <= into.len());
+                let (Some(start), Some(end)) = (start, end) else {
+                    return Err(CodecError::Truncated { at: which });
+                };
+                for slot in &mut into[start..end] {
+                    *slot = r.ivarint(which)?;
+                }
+                pos = end;
+            }
+            Ok(())
+        }
+        other => Err(CodecError::Grid {
+            which,
+            detail: format!("unknown stage mode byte {other}"),
+        }),
+    }
+}
+
+/// Same dense/sparse choice for raw `u64` Bloom words (absolute in
+/// keyframes, XOR residuals in deltas; zero means "unchanged").
+fn encode_words(out: &mut Vec<u8>, words: &[u64]) {
+    let dense_size = words.len().saturating_mul(8);
+    let mut sparse = Vec::new();
+    let mut nruns = 0u64;
+    let mut i = 0usize;
+    let mut last_end = 0usize;
+    while i < words.len() {
+        if words[i] == 0 {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < words.len() && words[i] != 0 {
+            i += 1;
+        }
+        put_uvarint(&mut sparse, codec::len_u64(start - last_end));
+        put_uvarint(&mut sparse, codec::len_u64(i - start));
+        for &w in &words[start..i] {
+            put_u64(&mut sparse, w);
+        }
+        last_end = i;
+        nruns += 1;
+    }
+    let sparse_size = uvarint_len(nruns) + sparse.len();
+    if sparse_size < dense_size {
+        out.push(MODE_SPARSE);
+        put_uvarint(out, nruns);
+        out.extend_from_slice(&sparse);
+    } else {
+        out.push(MODE_DENSE);
+        for &w in words {
+            put_u64(out, w);
+        }
+    }
+}
+
+fn decode_words(
+    r: &mut Reader<'_>,
+    into: &mut [u64],
+    which: &'static str,
+) -> Result<(), CodecError> {
+    match r.uvarint(which)? {
+        m if m == u64::from(MODE_DENSE) => {
+            for slot in into.iter_mut() {
+                *slot = r.u64(which)?;
+            }
+            Ok(())
+        }
+        m if m == u64::from(MODE_SPARSE) => {
+            let nruns = r.uvarint(which)?;
+            let nruns = r.counted(which, nruns, codec::len_u64(into.len()))?;
+            let mut pos = 0usize;
+            for _ in 0..nruns {
+                let gap = r.uvarint(which)?;
+                let len = r.uvarint(which)?;
+                let gap = r.counted(which, gap, codec::len_u64(into.len()))?;
+                let len = r.counted(which, len, codec::len_u64(into.len()))?;
+                let start = pos.checked_add(gap).filter(|&s| s <= into.len());
+                let end = start
+                    .and_then(|s| s.checked_add(len))
+                    .filter(|&e| e <= into.len());
+                let (Some(start), Some(end)) = (start, end) else {
+                    return Err(CodecError::Truncated { at: which });
+                };
+                for slot in &mut into[start..end] {
+                    *slot = r.u64(which)?;
+                }
+                pos = end;
+            }
+            Ok(())
+        }
+        other => Err(CodecError::Bloom(format!("unknown word mode byte {other}"))),
+    }
+}
+
+const GRID_NAMES: [&str; 9] = [
+    "rs_sip_dport",
+    "rs_sip_dport_verifier",
+    "rs_dip_dport",
+    "rs_dip_dport_verifier",
+    "rs_sip_dip",
+    "rs_sip_dip_verifier",
+    "os",
+    "twod_sipdport_dip",
+    "twod_sipdip_dport",
+];
+
+/// Serializes `snap` as a standalone v2 keyframe payload.
+pub fn encode_keyframe(snap: &IntervalSnapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 << 12);
+    out.push(0u8); // flags: keyframe
+    put_u64(&mut out, snap.fingerprint);
+    put_uvarint(&mut out, snap.syn_count);
+    put_uvarint(&mut out, snap.syn_ack_count);
+    put_uvarint(&mut out, snap.fin_rst_count);
+    for grid in codec::grids(snap) {
+        put_uvarint(&mut out, codec::len_u64(grid.stages()));
+        put_uvarint(&mut out, codec::len_u64(grid.buckets()));
+        for stage in 0..grid.stages() {
+            encode_stage_i64(&mut out, grid.stage(stage));
+        }
+    }
+    let bloom = &snap.active_services;
+    put_uvarint(&mut out, codec::len_u64(bloom.bit_words().len()));
+    put_uvarint(&mut out, codec::len_u64(bloom.hash_seeds().len()));
+    put_uvarint(&mut out, bloom.inserted());
+    encode_words(&mut out, bloom.bit_words());
+    for &s in bloom.hash_seeds() {
+        put_u64(&mut out, s);
+    }
+    out
+}
+
+/// Serializes `snap` as a delta against `base` (the snapshot of interval
+/// `base_interval`, which the receiver must still retain): grids and
+/// packet counters are absolute exactly as in a keyframe, and only the
+/// cumulative Bloom filter carries residuals.
+///
+/// # Errors
+///
+/// [`CodecError::DeltaShapeMismatch`] when the two snapshots disagree on
+/// Bloom geometry — XOR residuals between different shapes are
+/// meaningless.
+pub fn encode_delta(
+    snap: &IntervalSnapshot,
+    base: &IntervalSnapshot,
+    base_interval: u64,
+) -> Result<Vec<u8>, CodecError> {
+    let (bloom, base_bloom) = (&snap.active_services, &base.active_services);
+    if bloom.bit_words().len() != base_bloom.bit_words().len()
+        || bloom.hash_seeds() != base_bloom.hash_seeds()
+    {
+        return Err(CodecError::DeltaShapeMismatch { at: "bloom" });
+    }
+    let mut out = Vec::with_capacity(1 << 12);
+    out.push(FLAG_DELTA);
+    put_uvarint(&mut out, base_interval);
+    put_u64(&mut out, snap.fingerprint);
+    put_uvarint(&mut out, snap.syn_count);
+    put_uvarint(&mut out, snap.syn_ack_count);
+    put_uvarint(&mut out, snap.fin_rst_count);
+    for grid in codec::grids(snap) {
+        put_uvarint(&mut out, codec::len_u64(grid.stages()));
+        put_uvarint(&mut out, codec::len_u64(grid.buckets()));
+        for stage in 0..grid.stages() {
+            encode_stage_i64(&mut out, grid.stage(stage));
+        }
+    }
+    put_uvarint(&mut out, codec::len_u64(bloom.bit_words().len()));
+    put_uvarint(&mut out, codec::len_u64(bloom.hash_seeds().len()));
+    put_uvarint(
+        &mut out,
+        zigzag(wrapping_diff_u64(bloom.inserted(), base_bloom.inserted())),
+    );
+    let xored: Vec<u64> = bloom
+        .bit_words()
+        .iter()
+        .zip(base_bloom.bit_words())
+        .map(|(&n, &o)| n ^ o)
+        .collect();
+    encode_words(&mut out, &xored);
+    for &s in bloom.hash_seeds() {
+        put_u64(&mut out, s);
+    }
+    Ok(out)
+}
+
+/// What the leading flag byte of a v2 payload declares.
+pub enum V2Kind {
+    /// A standalone snapshot.
+    Keyframe,
+    /// Residuals against the named baseline interval.
+    Delta {
+        /// Interval the residuals are relative to.
+        baseline: u64,
+    },
+}
+
+/// Reads just the flags (and baseline interval, for deltas) so a caller
+/// can fetch chain state before committing to a full decode.
+///
+/// # Errors
+///
+/// Typed [`CodecError`]s for an empty payload, unknown flag bits, or a
+/// truncated baseline varint.
+pub fn peek_kind(payload: &[u8]) -> Result<V2Kind, CodecError> {
+    let mut r = Reader::new(payload);
+    let flags = r.uvarint("flags")?;
+    match flags {
+        0 => Ok(V2Kind::Keyframe),
+        f if f == u64::from(FLAG_DELTA) => Ok(V2Kind::Delta {
+            baseline: r.uvarint("baseline_interval")?,
+        }),
+        other => Err(CodecError::BadFlags {
+            flags: other.min(u64::from(u8::MAX)),
+        }),
+    }
+}
+
+/// Shared body decode: `base` is `Some` exactly when the payload is a
+/// delta (the caller already routed on [`peek_kind`]).
+fn decode_body(
+    payload: &[u8],
+    base: Option<&IntervalSnapshot>,
+) -> Result<IntervalSnapshot, CodecError> {
+    let mut r = Reader::new(payload);
+    let flags = r.uvarint("flags")?;
+    if flags > u64::from(FLAG_DELTA) {
+        return Err(CodecError::BadFlags {
+            flags: flags.min(u64::from(u8::MAX)),
+        });
+    }
+    let is_delta = flags == u64::from(FLAG_DELTA);
+    if is_delta != base.is_some() {
+        return Err(CodecError::DeltaShapeMismatch { at: "flags" });
+    }
+    if is_delta {
+        let _baseline = r.uvarint("baseline_interval")?;
+    }
+    let fingerprint = r.u64("fingerprint")?;
+    let syn_count = r.uvarint("syn_count")?;
+    let syn_ack_count = r.uvarint("syn_ack_count")?;
+    let fin_rst_count = r.uvarint("fin_rst_count")?;
+    let mut grids: Vec<CounterGrid> = Vec::with_capacity(9);
+    for which in GRID_NAMES.iter().copied() {
+        let stages = r.uvarint(which)?;
+        let buckets = r.uvarint(which)?;
+        let cells = stages.checked_mul(buckets).ok_or(CodecError::Oversized {
+            at: which,
+            declared: u64::MAX,
+            max: MAX_GRID_CELLS,
+        })?;
+        let cells = r.counted(which, cells, MAX_GRID_CELLS)?;
+        let stages = r.counted(which, stages, MAX_GRID_CELLS)?;
+        let buckets = r.counted(which, buckets, MAX_GRID_CELLS)?;
+        let mut data = vec![0i64; cells];
+        for stage in 0..stages {
+            let row = &mut data[stage * buckets..(stage + 1) * buckets];
+            decode_stage_i64(&mut r, row, which)?;
+        }
+        grids.push(CounterGrid::from_data(stages, buckets, data).map_err(|e| {
+            CodecError::Grid {
+                which,
+                detail: e.to_string(),
+            }
+        })?);
+    }
+    let words = r.uvarint("bloom_words")?;
+    let words = r.counted("bloom_words", words, MAX_BLOOM_WORDS)?;
+    let seeds = r.uvarint("bloom_seeds")?;
+    let seeds = r.counted("bloom_seeds", seeds, MAX_BLOOM_SEEDS)?;
+    let base_bloom = base.map(|b| &b.active_services);
+    if let Some(bb) = base_bloom {
+        if bb.bit_words().len() != words || bb.hash_seeds().len() != seeds {
+            return Err(CodecError::DeltaShapeMismatch { at: "bloom" });
+        }
+    }
+    let inserted = match base_bloom {
+        Some(bb) => wrapping_apply_u64(bb.inserted(), r.ivarint("bloom_inserted")?),
+        None => r.uvarint("bloom_inserted")?,
+    };
+    let mut bits = vec![0u64; words];
+    decode_words(&mut r, &mut bits, "bloom_words")?;
+    if let Some(bb) = base_bloom {
+        for (slot, &old) in bits.iter_mut().zip(bb.bit_words()) {
+            *slot ^= old;
+        }
+    }
+    let mut hash_seeds = Vec::with_capacity(seeds);
+    for _ in 0..seeds {
+        hash_seeds.push(r.u64("bloom_seeds")?);
+    }
+    let active_services =
+        BloomFilter::from_parts(bits, hash_seeds, inserted).map_err(CodecError::Bloom)?;
+    if r.position() != payload.len() {
+        return Err(CodecError::TrailingBytes {
+            extra: payload.len() - r.position(),
+        });
+    }
+    let mut it = grids.into_iter();
+    let mut next = || it.next().unwrap_or_else(|| CounterGrid::new(1, 1));
+    Ok(IntervalSnapshot {
+        rs_sip_dport: next(),
+        rs_sip_dport_verifier: next(),
+        rs_dip_dport: next(),
+        rs_dip_dport_verifier: next(),
+        rs_sip_dip: next(),
+        rs_sip_dip_verifier: next(),
+        os: next(),
+        twod_sipdport_dip: next(),
+        twod_sipdip_dport: next(),
+        active_services,
+        syn_count,
+        syn_ack_count,
+        fin_rst_count,
+        fingerprint,
+    })
+}
+
+/// Parses a standalone v2 keyframe payload.
+///
+/// # Errors
+///
+/// Typed [`CodecError`]s for every structural violation; a delta payload
+/// fed here fails with [`CodecError::DeltaShapeMismatch`] at `flags`.
+pub fn decode_keyframe(payload: &[u8]) -> Result<IntervalSnapshot, CodecError> {
+    decode_body(payload, None)
+}
+
+/// Parses a v2 delta payload by applying its residuals onto `base`.
+///
+/// # Errors
+///
+/// Typed [`CodecError`]s, including shape mismatches against `base`.
+pub fn decode_delta(
+    payload: &[u8],
+    base: &IntervalSnapshot,
+) -> Result<IntervalSnapshot, CodecError> {
+    decode_body(payload, Some(base))
+}
+
+/// What one v2 decode through a [`ChainStore`] produced.
+pub struct ChainDecoded {
+    /// The reconstructed snapshot.
+    pub snapshot: IntervalSnapshot,
+    /// Whether the wire form was a delta (for telemetry).
+    pub was_delta: bool,
+}
+
+/// Receiver-side retention of recently decoded intervals, keyed by router
+/// id, serving as delta baselines and duplicate-replay sources.
+///
+/// Entries are stored as encoded keyframe payloads (tens of kilobytes
+/// sparse) rather than decoded snapshots (tens of megabytes of counters),
+/// and re-decoded on demand; both depth per router and the router count
+/// are capped.
+#[derive(Default)]
+pub struct ChainStore {
+    per_router: BTreeMap<u32, BTreeMap<u64, Vec<u8>>>,
+}
+
+impl ChainStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ChainStore::default()
+    }
+
+    fn insert(&mut self, router_id: u32, interval: u64, keyframe_payload: Vec<u8>) {
+        if !self.per_router.contains_key(&router_id) && self.per_router.len() >= MAX_CHAIN_ROUTERS {
+            // A flood of forged router ids must not grow memory without
+            // bound; evict the lowest id (deterministic, and a real
+            // router that loses its chain simply costs one keyframe).
+            let evict = self.per_router.keys().next().copied();
+            if let Some(evict) = evict {
+                self.per_router.remove(&evict);
+            }
+        }
+        let chain = self.per_router.entry(router_id).or_default();
+        chain.insert(interval, keyframe_payload);
+        while chain.len() > RETAIN_PER_ROUTER {
+            let drop = chain.keys().next().copied();
+            match drop {
+                Some(k) => chain.remove(&k),
+                None => break,
+            };
+        }
+    }
+
+    fn retained(&self, router_id: u32, interval: u64) -> Option<&Vec<u8>> {
+        self.per_router.get(&router_id)?.get(&interval)
+    }
+
+    /// Decodes one v2 payload for `(router_id, interval)`, updating the
+    /// retention so later deltas can chain off it.
+    ///
+    /// A delta for an interval that is *already retained* (a duplicated
+    /// or re-shipped frame) is answered from retention, so replays carry
+    /// their original content no matter what happened to the chain since.
+    ///
+    /// # Errors
+    ///
+    /// All structural [`CodecError`]s, plus
+    /// [`CodecError::DeltaBaselineMissing`] when a delta references an
+    /// interval this store no longer (or never) retained.
+    pub fn decode(
+        &mut self,
+        router_id: u32,
+        interval: u64,
+        payload: &[u8],
+    ) -> Result<ChainDecoded, CodecError> {
+        match peek_kind(payload)? {
+            V2Kind::Keyframe => {
+                let snapshot = decode_keyframe(payload)?;
+                self.insert(router_id, interval, payload.to_vec());
+                Ok(ChainDecoded {
+                    snapshot,
+                    was_delta: false,
+                })
+            }
+            V2Kind::Delta { baseline } => {
+                if let Some(replay) = self.retained(router_id, interval) {
+                    // Already decoded this interval once; hand back the
+                    // retained content (the aligner will classify it as
+                    // late/duplicate by interval).
+                    let snapshot = decode_keyframe(replay)?;
+                    return Ok(ChainDecoded {
+                        snapshot,
+                        was_delta: true,
+                    });
+                }
+                let Some(base_bytes) = self.retained(router_id, baseline) else {
+                    return Err(CodecError::DeltaBaselineMissing { baseline });
+                };
+                let base = decode_keyframe(base_bytes)?;
+                let snapshot = decode_delta(payload, &base)?;
+                self.insert(router_id, interval, encode_keyframe(&snapshot));
+                Ok(ChainDecoded {
+                    snapshot,
+                    was_delta: true,
+                })
+            }
+        }
+    }
+}
+
+/// What [`SnapshotEncoder::encode`] produced for one interval.
+pub struct EncodedV2 {
+    /// The payload to ship (delta or keyframe form).
+    pub payload: Vec<u8>,
+    /// The standalone keyframe form of the same snapshot — identical to
+    /// `payload` for keyframes; for deltas, the form safe to checkpoint
+    /// or re-ship after a collector restart.
+    pub keyframe: Vec<u8>,
+    /// Whether `payload` is a delta.
+    pub is_delta: bool,
+}
+
+/// Sender-side v2 encoder: retains the last encoded interval (as its
+/// keyframe payload) and emits a delta against it only when the caller
+/// has seen the collector's ack for exactly that interval — otherwise a
+/// keyframe. Periodic keyframes ([`DEFAULT_KEYFRAME_EVERY`]) bound loss
+/// recovery regardless of acks.
+pub struct SnapshotEncoder {
+    keyframe_every: u32,
+    since_keyframe: u32,
+    last: Option<(u64, Vec<u8>)>,
+}
+
+impl Default for SnapshotEncoder {
+    fn default() -> Self {
+        SnapshotEncoder::new(DEFAULT_KEYFRAME_EVERY)
+    }
+}
+
+impl SnapshotEncoder {
+    /// An encoder emitting a keyframe at least every `keyframe_every`
+    /// frames (`0` behaves as `1`: every frame a keyframe).
+    pub fn new(keyframe_every: u32) -> Self {
+        SnapshotEncoder {
+            keyframe_every: keyframe_every.max(1),
+            since_keyframe: 0,
+            last: None,
+        }
+    }
+
+    /// Drops the retained baseline, forcing the next frame to be a
+    /// keyframe (used when the upstream session is torn down).
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.since_keyframe = 0;
+    }
+
+    /// Encodes `snap` for `interval`. `acked` is the highest interval the
+    /// collector has acknowledged decoding this session (`None` before
+    /// the first ack).
+    pub fn encode(
+        &mut self,
+        interval: u64,
+        snap: &IntervalSnapshot,
+        acked: Option<u64>,
+    ) -> EncodedV2 {
+        let keyframe = encode_keyframe(snap);
+        let delta = match (&self.last, acked) {
+            (Some((base_iv, base_bytes)), Some(acked_iv))
+                if acked_iv >= *base_iv && self.since_keyframe < self.keyframe_every =>
+            {
+                decode_keyframe(base_bytes)
+                    .ok()
+                    .and_then(|base| encode_delta(snap, &base, *base_iv).ok())
+                    .map(|payload| (*base_iv, payload))
+            }
+            _ => None,
+        };
+        self.last = Some((interval, keyframe.clone()));
+        match delta {
+            // A delta that does not actually save bytes (attack churn
+            // touching most buckets) is pointless risk; ship the keyframe.
+            Some((_, payload)) if payload.len() < keyframe.len() => {
+                self.since_keyframe += 1;
+                EncodedV2 {
+                    payload,
+                    keyframe,
+                    is_delta: true,
+                }
+            }
+            _ => {
+                self.since_keyframe = 0;
+                EncodedV2 {
+                    payload: keyframe.clone(),
+                    keyframe,
+                    is_delta: false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hifind::{HiFindConfig, SketchRecorder};
+    use hifind_flow::Packet;
+
+    fn sample(seed: u64, packets: u32) -> IntervalSnapshot {
+        let cfg = HiFindConfig::small(seed);
+        let mut r = SketchRecorder::new(&cfg).unwrap();
+        for i in 0..packets {
+            r.record(&Packet::syn(
+                u64::from(i),
+                [10, 0, (i >> 8) as u8, i as u8].into(),
+                2000,
+                [129, 105, 0, 1].into(),
+                80,
+            ));
+        }
+        r.take_snapshot()
+    }
+
+    /// A pair of successive snapshots from one recorder (so the Bloom
+    /// filter is cumulative across them, like real intervals).
+    fn sample_pair(seed: u64) -> (IntervalSnapshot, IntervalSnapshot) {
+        let cfg = HiFindConfig::small(seed);
+        let mut r = SketchRecorder::new(&cfg).unwrap();
+        for i in 0..300u32 {
+            r.record(&Packet::syn(
+                u64::from(i),
+                [10, 0, 0, i as u8].into(),
+                2000,
+                [129, 105, 0, 1].into(),
+                80,
+            ));
+            r.record(&Packet::syn_ack(
+                u64::from(i),
+                [10, 0, 0, i as u8].into(),
+                2000,
+                [129, 105, 0, 1].into(),
+                80,
+            ));
+        }
+        let a = r.take_snapshot();
+        for i in 0..40u32 {
+            r.record(&Packet::syn(
+                1000 + u64::from(i),
+                [10, 1, 0, i as u8].into(),
+                2100,
+                [129, 105, 0, 2].into(),
+                443,
+            ));
+        }
+        (a, r.take_snapshot())
+    }
+
+    #[test]
+    fn keyframe_round_trip_is_exact() {
+        for packets in [0, 1, 50, 500] {
+            let snap = sample(7, packets);
+            let back = decode_keyframe(&encode_keyframe(&snap)).unwrap();
+            assert_eq!(back, snap, "{packets} packets");
+        }
+    }
+
+    #[test]
+    fn delta_round_trip_is_exact() {
+        let (base, snap) = sample_pair(11);
+        let payload = encode_delta(&snap, &base, 0).unwrap();
+        let back = decode_delta(&payload, &base).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn delta_shrinks_the_cumulative_bloom() {
+        let (base, snap) = sample_pair(12);
+        let keyframe = encode_keyframe(&snap);
+        let delta = encode_delta(&snap, &base, 0).unwrap();
+        assert!(
+            delta.len() < keyframe.len(),
+            "delta {} should be under the keyframe {}",
+            delta.len(),
+            keyframe.len()
+        );
+    }
+
+    #[test]
+    fn sparse_keyframe_is_far_below_v1() {
+        let snap = sample(13, 60);
+        let v1 = crate::codec::encode_snapshot(&snap);
+        let v2 = encode_keyframe(&snap);
+        assert!(
+            v2.len() * 4 < v1.len(),
+            "sparse keyframe {} should be well under the dense v1 payload {}",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn extreme_counters_round_trip_through_both_modes() {
+        use hifind_hashing::BloomFilter;
+        use hifind_sketch::CounterGrid;
+        let grid = |vals: Vec<i64>| CounterGrid::from_data(1, vals.len(), vals).unwrap();
+        let mk = |values: [i64; 4], counts: [u64; 3]| IntervalSnapshot {
+            rs_sip_dport: grid(values.to_vec()),
+            rs_sip_dport_verifier: grid(vec![0; 4]),
+            rs_dip_dport: grid(vec![0; 4]),
+            rs_dip_dport_verifier: grid(vec![0; 4]),
+            rs_sip_dip: grid(vec![0; 4]),
+            rs_sip_dip_verifier: grid(vec![0; 4]),
+            os: grid(vec![0; 4]),
+            twod_sipdport_dip: grid(vec![0; 4]),
+            twod_sipdip_dport: grid(vec![0; 4]),
+            active_services: BloomFilter::from_parts(vec![u64::MAX, 0], vec![1, 2], u64::MAX)
+                .unwrap(),
+            syn_count: counts[0],
+            syn_ack_count: counts[1],
+            fin_rst_count: counts[2],
+            fingerprint: 0xDEAD_BEEF,
+        };
+        let base = mk([i64::MAX, i64::MIN, -1, 0], [u64::MAX, 0, 7]);
+        let snap = mk([i64::MIN, i64::MAX, 1, 0], [0, u64::MAX, 9]);
+        assert_eq!(decode_keyframe(&encode_keyframe(&snap)).unwrap(), snap);
+        assert_eq!(decode_keyframe(&encode_keyframe(&base)).unwrap(), base);
+        let delta = encode_delta(&snap, &base, 3).unwrap();
+        assert_eq!(decode_delta(&delta, &base).unwrap(), snap);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_typed_never_a_panic() {
+        let (base, snap) = sample_pair(14);
+        for payload in [
+            encode_keyframe(&snap),
+            encode_delta(&snap, &base, 0).unwrap(),
+        ] {
+            for cut in (0..payload.len()).step_by(13) {
+                let kind = peek_kind(&payload).unwrap();
+                let r = match kind {
+                    V2Kind::Keyframe => decode_keyframe(&payload[..cut]),
+                    V2Kind::Delta { .. } => decode_delta(&payload[..cut], &base),
+                };
+                assert!(r.is_err(), "cut at {cut} must fail");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_flags_and_mode_bytes_are_typed_errors() {
+        let snap = sample(15, 20);
+        let mut payload = encode_keyframe(&snap);
+        payload[0] = 0x40;
+        assert!(matches!(
+            decode_keyframe(&payload),
+            Err(CodecError::BadFlags { .. })
+        ));
+        assert!(matches!(
+            peek_kind(&payload),
+            Err(CodecError::BadFlags { .. })
+        ));
+        assert!(peek_kind(&[]).is_err());
+    }
+
+    #[test]
+    fn chain_store_decodes_deltas_and_replays_duplicates() {
+        let (a, b) = sample_pair(16);
+        let mut chains = ChainStore::new();
+        let key = encode_keyframe(&a);
+        let out = chains.decode(9, 0, &key).unwrap();
+        assert!(!out.was_delta);
+        assert_eq!(out.snapshot, a);
+        let delta = encode_delta(&b, &a, 0).unwrap();
+        let out = chains.decode(9, 1, &delta).unwrap();
+        assert!(out.was_delta);
+        assert_eq!(out.snapshot, b);
+        // A duplicated delivery of the same delta replays the retained
+        // content instead of re-applying residuals onto the wrong base.
+        let dup = chains.decode(9, 1, &delta).unwrap();
+        assert_eq!(dup.snapshot, b);
+        // A delta whose baseline was never seen is a typed chain break.
+        let orphan = encode_delta(&b, &a, 40).unwrap();
+        assert!(matches!(
+            chains.decode(9, 41, &orphan),
+            Err(CodecError::DeltaBaselineMissing { baseline: 40 })
+        ));
+        // Other routers never share chain state.
+        assert!(matches!(
+            chains.decode(10, 1, &delta),
+            Err(CodecError::DeltaBaselineMissing { .. })
+        ));
+    }
+
+    #[test]
+    fn chain_store_retention_is_bounded() {
+        let snap = sample(17, 10);
+        let key = encode_keyframe(&snap);
+        let mut chains = ChainStore::new();
+        for iv in 0..20u64 {
+            chains.decode(1, iv, &key).unwrap();
+        }
+        assert!(chains.per_router.get(&1).unwrap().len() <= RETAIN_PER_ROUTER);
+        for router in 0..2000u32 {
+            chains.decode(router, 0, &key).unwrap();
+        }
+        assert!(chains.per_router.len() <= MAX_CHAIN_ROUTERS);
+    }
+
+    #[test]
+    fn encoder_is_ack_gated_and_keyframes_periodically() {
+        let (a, b) = sample_pair(18);
+        let mut enc = SnapshotEncoder::new(3);
+        // No ack yet: keyframe.
+        let e0 = enc.encode(0, &a, None);
+        assert!(!e0.is_delta);
+        // Ack for interval 0 seen: interval 1 may delta against it.
+        let e1 = enc.encode(1, &b, Some(0));
+        assert!(e1.is_delta);
+        assert_eq!(decode_delta(&e1.payload, &a).unwrap(), b);
+        assert_eq!(decode_keyframe(&e1.keyframe).unwrap(), b);
+        // Two more acked deltas, then the periodic keyframe fires.
+        assert!(enc.encode(2, &b, Some(1)).is_delta);
+        assert!(enc.encode(3, &b, Some(2)).is_delta);
+        assert!(!enc.encode(4, &b, Some(3)).is_delta, "keyframe_every=3");
+        // Stale ack (previous interval unacked): keyframe.
+        assert!(!enc.encode(5, &b, Some(3)).is_delta);
+        // Reset forces a keyframe even with a fresh ack.
+        assert!(enc.encode(6, &b, Some(5)).is_delta);
+        enc.reset();
+        assert!(!enc.encode(7, &b, Some(6)).is_delta);
+    }
+}

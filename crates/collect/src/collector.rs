@@ -99,6 +99,11 @@ pub struct CollectorConfig {
     /// observes nothing. Callbacks run inline on the aligner thread, so
     /// they must stay cheap.
     pub observer: Option<Arc<dyn CollectObserver>>,
+    /// Codec ids accepted from downstream agents, in preference order.
+    /// The default speaks both v2 and v1; `vec![wire::CODEC_V1]` makes
+    /// this node byte-for-byte a legacy v1 collector (hellos rejected as
+    /// bad magic), which is how cross-version interop is tested.
+    pub codecs: Vec<u8>,
 }
 
 impl std::fmt::Debug for CollectorConfig {
@@ -112,6 +117,7 @@ impl std::fmt::Debug for CollectorConfig {
             .field("checkpoint", &self.checkpoint)
             .field("resume_from", &self.resume_from)
             .field("observer", &self.observer.as_ref().map(|_| "Some(..)"))
+            .field("codecs", &self.codecs)
             .finish()
     }
 }
@@ -128,6 +134,7 @@ impl CollectorConfig {
             checkpoint: None,
             resume_from: None,
             observer: None,
+            codecs: vec![wire::CODEC_V2, wire::CODEC_V1],
         }
     }
 }
@@ -154,6 +161,12 @@ pub struct CollectionReport {
     pub frames_rejected: u64,
     /// Payload + header bytes of valid frames.
     pub bytes_received: u64,
+    /// Valid frames that arrived in the dense v1 codec.
+    pub frames_codec_v1: u64,
+    /// Valid v2 keyframes.
+    pub frames_v2_keyframes: u64,
+    /// Valid v2 delta frames.
+    pub frames_v2_deltas: u64,
     /// Distinct router ids that contributed at least one valid frame.
     pub routers_seen: Vec<u32>,
     /// Checkpoints successfully written this run.
@@ -176,6 +189,9 @@ pub(crate) struct CollectorTelemetry {
     pub(crate) frames_rejected: Arc<Counter>,
     pub(crate) straggler_slots: Arc<Counter>,
     pub(crate) bytes_received: Arc<Counter>,
+    pub(crate) frames_codec_v1: Arc<Counter>,
+    pub(crate) frames_v2_keyframes: Arc<Counter>,
+    pub(crate) frames_v2_deltas: Arc<Counter>,
     pub(crate) combine_seconds: Arc<Histogram>,
     pub(crate) checkpoint_written: Arc<Counter>,
     pub(crate) checkpoint_write_errors: Arc<Counter>,
@@ -209,6 +225,18 @@ impl CollectorTelemetry {
             bytes_received: registry.counter(
                 "hifind_collect_bytes_received_total",
                 "Bytes of valid frames received",
+            )?,
+            frames_codec_v1: registry.counter(
+                "hifind_collect_frames_codec_v1_total",
+                "Valid frames received in the dense v1 codec",
+            )?,
+            frames_v2_keyframes: registry.counter(
+                "hifind_collect_frames_v2_keyframes_total",
+                "Valid codec-v2 keyframes received",
+            )?,
+            frames_v2_deltas: registry.counter(
+                "hifind_collect_frames_v2_deltas_total",
+                "Valid codec-v2 delta frames received",
             )?,
             combine_seconds: registry.histogram(
                 "hifind_collect_combine_seconds",
@@ -267,6 +295,7 @@ impl Collector {
             EngineConfig {
                 max_payload: collector_cfg.max_payload_bytes,
                 tick: Duration::from_millis(50),
+                codecs: collector_cfg.codecs.clone(),
             },
         )?;
         let aligner = {
@@ -500,7 +529,9 @@ impl Aligner {
                 interval,
                 snapshot,
                 frame_bytes,
-            } => self.handle_frame(router_id, interval, *snapshot, frame_bytes),
+                codec,
+                delta,
+            } => self.handle_frame(router_id, interval, *snapshot, frame_bytes, codec, delta),
         }
     }
 
@@ -510,6 +541,8 @@ impl Aligner {
         interval: u64,
         snapshot: IntervalSnapshot,
         frame_bytes: u64,
+        codec: u8,
+        delta: bool,
     ) {
         if snapshot.fingerprint != self.fingerprint {
             // A router recording under different seeds or shapes: its
@@ -531,12 +564,22 @@ impl Aligner {
             OfferOutcome::Accepted => {
                 self.report.frames_received += 1;
                 self.report.bytes_received += frame_bytes;
+                match (codec, delta) {
+                    (wire::CODEC_V2, true) => self.report.frames_v2_deltas += 1,
+                    (wire::CODEC_V2, false) => self.report.frames_v2_keyframes += 1,
+                    _ => self.report.frames_codec_v1 += 1,
+                }
                 if !self.report.routers_seen.contains(&router_id) {
                     self.report.routers_seen.push(router_id);
                 }
                 if let Some(t) = &self.telemetry {
                     t.frames_received.inc();
                     t.bytes_received.add(frame_bytes);
+                    match (codec, delta) {
+                        (wire::CODEC_V2, true) => t.frames_v2_deltas.inc(),
+                        (wire::CODEC_V2, false) => t.frames_v2_keyframes.inc(),
+                        _ => t.frames_codec_v1.inc(),
+                    }
                     t.combine_seconds.observe_duration(combine_start.elapsed());
                 }
             }

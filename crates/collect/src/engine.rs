@@ -9,24 +9,29 @@
 //! downstream agents costs one engine thread, not hundreds of stacks.
 //!
 //! Decoded frames flow to the consumer (the aligner or merger thread)
-//! over a bounded channel. A consumer that falls behind blocks the
-//! engine's `send`, which stops all socket reads — backpressure lands on
-//! TCP instead of collector memory. That is a deliberate trade against
-//! the old thread-per-connection design, where one slow consumer stalled
-//! readers one at a time; the bounded channel absorbs bursts and
-//! detection is per-interval work, so the engine never waits long.
+//! over a bounded channel. A consumer that falls behind backpressures
+//! the engine: events it cannot `try_send` park in a small pending queue
+//! and every connection that has produced data frames leaves the poll
+//! set until the queue drains, so backpressure lands on TCP instead of
+//! collector memory. Crucially the engine thread itself never blocks —
+//! the control plane (accepting connections, answering codec hellos,
+//! flushing interval acks) stays live however far behind detection runs.
+//! A v2 agent reconnecting into a backpressured collector still gets its
+//! hello answered instead of timing out into v1 fallback or retry loops.
 //!
 //! Shutdown is prompt: [`EngineHandle::wake`] writes one byte into the
 //! wakeup pipe, which the poll set always watches, so `stop()` never
 //! waits out an accept or read timeout tick.
 
+use crate::codec_v2::ChainStore;
 use crate::wire::{self, FrameHeader, WireError, HEADER_LEN};
 use crate::CollectError;
 use hifind::IntervalSnapshot;
-use std::io::Read;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::SyncSender;
+use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -45,6 +50,10 @@ pub(crate) enum Event {
         snapshot: Box<IntervalSnapshot>,
         /// Header + payload size on the wire.
         frame_bytes: u64,
+        /// Which codec the payload arrived in.
+        codec: u8,
+        /// Whether a v2 payload was a delta (false for keyframes and v1).
+        delta: bool,
     },
     /// A frame failed wire validation and was discarded.
     Rejected(WireError),
@@ -59,6 +68,24 @@ pub(crate) struct EngineConfig {
     /// Poll timeout: the worst-case latency of noticing the shutdown
     /// flag if the wakeup byte is ever lost (belt and braces).
     pub tick: Duration,
+    /// Codec ids this node accepts, in preference order. A list without
+    /// [`wire::CODEC_V2`] makes the node behave exactly like a legacy
+    /// v1 build: hellos die as bad magic and version-2 frames as
+    /// unsupported versions.
+    pub codecs: Vec<u8>,
+}
+
+impl EngineConfig {
+    /// Highest-preference codec shared with a peer advertising `theirs`,
+    /// falling back to v1 (which every build speaks and no hello is ever
+    /// sent for).
+    fn pick_codec(&self, theirs: &[u8]) -> u8 {
+        self.codecs
+            .iter()
+            .copied()
+            .find(|c| theirs.contains(c))
+            .unwrap_or(wire::CODEC_V1)
+    }
 }
 
 /// A typed per-connection frame state machine: bytes accumulate in one
@@ -68,6 +95,11 @@ pub(crate) struct FrameAssembler {
     buf: Vec<u8>,
     state: FrameState,
     max_payload: u32,
+    /// Whether this node understands v2 at all. When false the assembler
+    /// is byte-for-byte a legacy v1 endpoint: a hello is bad magic, a
+    /// version-2 header an unsupported version — which is exactly how
+    /// agents detect a v1-only collector and fall back.
+    accept_v2: bool,
 }
 
 /// Where the assembler stands in the current frame.
@@ -92,7 +124,13 @@ pub(crate) enum Step {
         snapshot: Box<IntervalSnapshot>,
         /// Header + payload size on the wire.
         frame_bytes: u64,
+        /// Which codec the payload arrived in.
+        codec: u8,
+        /// Whether a v2 payload was a delta.
+        delta: bool,
     },
+    /// The peer's hello: the codec ids it advertised.
+    Hello(Vec<u8>),
     /// The framing was intact (lengths checked out) but the payload was
     /// bad; this frame is skipped, the connection survives.
     Skip(WireError),
@@ -101,11 +139,12 @@ pub(crate) enum Step {
 }
 
 impl FrameAssembler {
-    pub(crate) fn new(max_payload: u32) -> Self {
+    pub(crate) fn new(max_payload: u32, accept_v2: bool) -> Self {
         FrameAssembler {
             buf: Vec::new(),
             state: FrameState::Header,
             max_payload,
+            accept_v2,
         }
     }
 
@@ -114,10 +153,47 @@ impl FrameAssembler {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Whether undecoded bytes are sitting in the buffer. A connection
+    /// whose service round stopped early (consumer backpressure) holds
+    /// whole frames here that no poll readiness will ever announce.
+    fn has_buffered(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Tries to slice a complete hello off the front of the buffer.
+    /// `None` means "not a hello" (fall through to frame parsing);
+    /// `Some(Need)` means one is forming but incomplete.
+    fn try_hello(&mut self) -> Option<Step> {
+        if !self.accept_v2 || self.buf.len() < 4 || self.buf[..4] != wire::HELLO_MAGIC {
+            return None;
+        }
+        if self.buf.len() < wire::HELLO_BASE_LEN {
+            return Some(Step::Need);
+        }
+        let count = usize::from(u16::from_le_bytes([self.buf[6], self.buf[7]]));
+        let total = wire::HELLO_BASE_LEN + count;
+        if self.buf.len() < total {
+            return Some(Step::Need);
+        }
+        let parsed = wire::parse_hello(&self.buf[..total]);
+        match parsed {
+            Ok(codecs) => {
+                self.buf.drain(..total);
+                Some(Step::Hello(codecs))
+            }
+            // A corrupt hello means the peer's first bytes are already
+            // untrustworthy; framing cannot recover.
+            Err(e) => Some(Step::Fatal(e)),
+        }
+    }
+
     /// Advances the state machine by at most one frame.
-    pub(crate) fn step(&mut self) -> Step {
+    pub(crate) fn step(&mut self, chains: &mut ChainStore) -> Step {
         let header = match self.state {
             FrameState::Header => {
+                if let Some(step) = self.try_hello() {
+                    return step;
+                }
                 if self.buf.len() < HEADER_LEN {
                     return Step::Need;
                 }
@@ -130,6 +206,9 @@ impl FrameAssembler {
                     });
                 };
                 match wire::parse_header(&header_bytes, self.max_payload) {
+                    Ok(h) if h.version == wire::PROTOCOL_VERSION_2 && !self.accept_v2 => {
+                        return Step::Fatal(WireError::UnsupportedVersion(h.version));
+                    }
                     Ok(h) => {
                         self.state = FrameState::Payload(h);
                         h
@@ -150,15 +229,22 @@ impl FrameAssembler {
         if self.buf.len() < frame_len {
             return Step::Need;
         }
-        let decoded = wire::decode_payload(&header, &self.buf[HEADER_LEN..frame_len]);
+        let payload = &self.buf[HEADER_LEN..frame_len];
+        let decoded = if header.version == wire::PROTOCOL_VERSION_2 {
+            wire::decode_payload_v2(&header, payload, chains)
+        } else {
+            wire::decode_payload(&header, payload).map(|snapshot| (snapshot, false))
+        };
         self.buf.drain(..frame_len);
         self.state = FrameState::Header;
         match decoded {
-            Ok(snapshot) => Step::Frame {
+            Ok((snapshot, delta)) => Step::Frame {
                 router_id: header.router_id,
                 interval: header.interval,
                 snapshot: Box::new(snapshot),
                 frame_bytes: u64::try_from(frame_len).unwrap_or(u64::MAX),
+                codec: header.codec,
+                delta,
             },
             Err(e) => Step::Skip(e),
         }
@@ -284,6 +370,62 @@ struct Conn {
     stream: TcpStream,
     assembler: FrameAssembler,
     open: bool,
+    /// Codec granted to this peer by accepting its hello (`None` until —
+    /// or ever, for a v1 peer that never sends one).
+    negotiated: Option<u8>,
+    /// Bytes queued for the peer (accept + acks), written opportunistically
+    /// with nonblocking writes so the engine never stalls on a peer.
+    out: Vec<u8>,
+    /// The write side died (peer gone or closed). Control messages stop;
+    /// the read side keeps draining whatever the peer already sent.
+    write_dead: bool,
+    /// The peer has produced at least one data frame. While the consumer
+    /// is backpressured, greeted connections leave the poll set (their
+    /// bytes wait in TCP); ungreeted ones — fresh peers mid-handshake —
+    /// stay serviced so hellos are always answered promptly.
+    greeted: bool,
+}
+
+/// Cap on a connection's queued outbound control bytes. Acks beyond it
+/// are dropped — the peer simply keyframes until the queue drains, so
+/// an unreadable peer costs compression, never engine memory or time.
+const MAX_OUT_BUFFER: usize = 4096;
+
+impl Conn {
+    /// Queues `msg` unless the buffer is at its cap or the peer is gone.
+    fn queue(&mut self, msg: &[u8]) {
+        if !self.write_dead && self.out.len().saturating_add(msg.len()) <= MAX_OUT_BUFFER {
+            self.out.extend_from_slice(msg);
+        }
+    }
+
+    /// Writes as much queued output as the socket will take right now.
+    ///
+    /// A dead write side (a peer that shipped its frames and closed) only
+    /// disables further control messages — it must NOT close the
+    /// connection: frames the peer sent before closing may still sit in
+    /// our receive buffer, and acks are mere compression hints.
+    fn flush_out(&mut self) {
+        while !self.out.is_empty() {
+            match self.stream.write(&self.out) {
+                Ok(n) if n > 0 => {
+                    self.out.drain(..n);
+                }
+                Ok(_) => {
+                    self.write_dead = true;
+                    self.out.clear();
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.write_dead = true;
+                    self.out.clear();
+                    return;
+                }
+            }
+        }
+    }
 }
 
 /// Readiness of (wakeup pipe, listener, each connection) after one wait.
@@ -292,6 +434,7 @@ fn wait_ready(
     wake_rx: &WakeReader,
     listener: &TcpListener,
     conns: &[Conn],
+    watch: &[bool],
     tick: Duration,
 ) -> (bool, bool, Vec<bool>) {
     use std::os::unix::io::AsRawFd as _;
@@ -306,12 +449,19 @@ fn wait_ready(
         events: sys::POLLIN,
         revents: 0,
     });
-    for c in conns {
-        fds.push(sys::PollFd {
-            fd: c.stream.as_raw_fd(),
-            events: sys::POLLIN,
-            revents: 0,
-        });
+    // Unwatched (backpressure-paused) connections are left out of the
+    // poll set entirely: their readable bytes would otherwise make every
+    // poll return instantly and spin the loop while the consumer drains.
+    let mut watched = Vec::with_capacity(conns.len());
+    for (i, c) in conns.iter().enumerate() {
+        if watch[i] {
+            watched.push(i);
+            fds.push(sys::PollFd {
+                fd: c.stream.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+        }
     }
     let timeout = i32::try_from(tick.as_millis()).unwrap_or(i32::MAX);
     match sys::poll_fds(&mut fds, timeout) {
@@ -319,7 +469,12 @@ fn wait_ready(
         Ok(_) => {
             // Any revents bit (data, hangup, error) warrants a read: the
             // read itself surfaces hangups as Ok(0) and errors as Err.
-            let ready = fds[2..].iter().map(|f| f.revents != 0).collect();
+            let mut ready = vec![false; conns.len()];
+            for (slot, f) in fds[2..].iter().enumerate() {
+                if f.revents != 0 {
+                    ready[watched[slot]] = true;
+                }
+            }
             (fds[0].revents != 0, fds[1].revents != 0, ready)
         }
         Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
@@ -330,7 +485,7 @@ fn wait_ready(
             // to a scan round so the engine stays live rather than spin.
             // lint: allow(poll-loop-purity, bounded 2ms pause replacing the timed wait when poll itself fails — the alternative is a busy spin)
             std::thread::sleep(Duration::from_millis(2));
-            (true, true, vec![true; conns.len()])
+            (true, true, watch.to_vec())
         }
     }
 }
@@ -340,12 +495,13 @@ fn wait_ready(
 fn wait_ready(
     _wake_rx: &WakeReader,
     _listener: &TcpListener,
-    conns: &[Conn],
+    _conns: &[Conn],
+    watch: &[bool],
     tick: Duration,
 ) -> (bool, bool, Vec<bool>) {
     // lint: allow(poll-loop-purity, the portable build has no poll — this bounded tick sleep IS the wait primitive)
     std::thread::sleep(tick.min(Duration::from_millis(5)));
-    (true, true, vec![true; conns.len()])
+    (true, true, watch.to_vec())
 }
 
 /// The connection engine. [`PollEngine::spawn`] starts its one thread.
@@ -405,9 +561,36 @@ fn run(
     cfg: EngineConfig,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
+    // Delta baselines for every downstream, shared across connections so
+    // a sender that reconnects (same router id) can still be served —
+    // though its fresh session always opens with a keyframe anyway.
+    let mut chains = ChainStore::new();
+    // Events the consumer had no channel room for. While non-empty the
+    // engine is backpressured: greeted connections pause, control stays
+    // live. Bounded in practice by one service burst per fresh peer.
+    let mut pending: VecDeque<Event> = VecDeque::new();
+    // Round-robin origin for the per-round service order (see below).
+    let mut rr: usize = 0;
+    let accept_v2 = cfg.codecs.contains(&wire::CODEC_V2);
     while !shutdown.load(Ordering::SeqCst) {
+        // Retry parked events first, preserving delivery order.
+        while let Some(ev) = pending.pop_front() {
+            match tx.try_send(ev) {
+                Ok(()) => {}
+                Err(TrySendError::Full(ev)) => {
+                    pending.push_front(ev);
+                    break;
+                }
+                Err(TrySendError::Disconnected(_)) => return,
+            }
+        }
+        let backpressured = !pending.is_empty();
+        let watch: Vec<bool> = conns
+            .iter()
+            .map(|c| !(backpressured && c.greeted))
+            .collect();
         let (waker_ready, listener_ready, conn_ready) =
-            wait_ready(&wake_rx, &listener, &conns, cfg.tick);
+            wait_ready(&wake_rx, &listener, &conns, &watch, cfg.tick);
         if waker_ready {
             wake_rx.drain();
         }
@@ -415,26 +598,43 @@ fn run(
             break;
         }
         // Service existing connections first; `conn_ready` is indexed
-        // against the list as it stood when we polled.
+        // against the list as it stood when we polled. The starting
+        // index rotates every round: service order decides who gets the
+        // consumer channel's free slots, and a fixed order would let
+        // connection 0 deliver several intervals per round while the
+        // rest park one event each — skewing per-router delivery far
+        // enough apart to overflow the aligner's reorder window.
         let mut any_closed = false;
-        for (i, ready) in conn_ready.iter().enumerate() {
-            let Some(conn) = conns.get_mut(i) else {
-                break;
+        for k in 0..conns.len() {
+            let i = (rr + k) % conns.len();
+            let ready = &conn_ready[i];
+            let conn = &mut conns[i];
+            // Leftover assembler bytes (a service round cut short by
+            // backpressure) are as serviceable as fresh socket data —
+            // poll will never announce them, so check explicitly.
+            let leftover = !backpressured && conn.assembler.has_buffered();
+            let flow = if *ready || leftover {
+                service(conn, &tx, &mut pending, &mut chains, &cfg)
+            } else {
+                // Nothing to read (or paused); retry any queued
+                // accept/acks that hit WouldBlock earlier.
+                conn.flush_out();
+                Flow::Keep
             };
-            if !*ready {
-                continue;
-            }
-            match service(conn, &tx) {
+            match flow {
                 Flow::Keep => {}
                 Flow::Close => {
                     conn.open = false;
                     any_closed = true;
-                    if tx.send(Event::Disconnected).is_err() {
+                    if !emit(&tx, &mut pending, Event::Disconnected) {
                         return;
                     }
                 }
                 Flow::Exit => return,
             }
+        }
+        if !conns.is_empty() {
+            rr = (rr + 1) % conns.len();
         }
         if any_closed {
             conns.retain(|c| c.open);
@@ -448,13 +648,17 @@ fn run(
                             // stall the whole loop; refuse it.
                             continue;
                         }
-                        if tx.send(Event::Connected).is_err() {
+                        if !emit(&tx, &mut pending, Event::Connected) {
                             return;
                         }
                         conns.push(Conn {
                             stream,
-                            assembler: FrameAssembler::new(cfg.max_payload),
+                            assembler: FrameAssembler::new(cfg.max_payload, accept_v2),
                             open: true,
+                            negotiated: None,
+                            out: Vec::new(),
+                            write_dead: false,
+                            greeted: false,
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -469,6 +673,23 @@ fn run(
     // Dropping `tx` tells the consumer no more events are coming.
 }
 
+/// Delivers `ev` without ever blocking the engine thread: straight to
+/// the channel when the queue is clear, parked behind earlier events
+/// otherwise (order is preserved either way). Returns `false` only when
+/// every receiver is gone and the engine should exit.
+fn emit(tx: &SyncSender<Event>, pending: &mut VecDeque<Event>, ev: Event) -> bool {
+    if pending.is_empty() {
+        match tx.try_send(ev) {
+            Ok(()) => {}
+            Err(TrySendError::Full(ev)) => pending.push_back(ev),
+            Err(TrySendError::Disconnected(_)) => return false,
+        }
+    } else {
+        pending.push_back(ev);
+    }
+    true
+}
+
 /// What to do with a connection after servicing it.
 #[derive(PartialEq, Eq)]
 enum Flow {
@@ -478,57 +699,169 @@ enum Flow {
     Exit,
 }
 
-/// Reads one ready connection until it would block (bounded per round so
-/// one firehose peer cannot starve the rest — poll is level-triggered,
-/// leftover bytes surface again next round) and forwards decoded frames.
-fn service(conn: &mut Conn, tx: &SyncSender<Event>) -> Flow {
+/// What a decode pass over a connection's assembler ended with.
+enum Drain {
+    /// Stopped at the event cap or at `Need` (more bytes required).
+    Paused,
+    /// Framing lost: the connection must close.
+    Fatal,
+    /// Every event receiver is gone; the engine itself should exit.
+    Exit,
+}
+
+/// Decodes whatever complete frames sit in `conn`'s assembler, emitting
+/// their events, until the buffer runs dry, the framing turns fatal, or
+/// (with a cap) `cap` data events have been emitted. Hellos are answered
+/// and decoded v2 frames acked via the connection's out-buffer; neither
+/// counts against the cap. Returns the data events emitted and why the
+/// pass stopped.
+fn drain_steps(
+    conn: &mut Conn,
+    tx: &SyncSender<Event>,
+    pending: &mut VecDeque<Event>,
+    chains: &mut ChainStore,
+    cfg: &EngineConfig,
+    cap: Option<usize>,
+) -> (usize, Drain) {
+    let mut emitted = 0usize;
+    loop {
+        if cap.is_some_and(|c| emitted >= c) {
+            return (emitted, Drain::Paused);
+        }
+        match conn.assembler.step(chains) {
+            Step::Need => return (emitted, Drain::Paused),
+            Step::Hello(theirs) => {
+                let chosen = cfg.pick_codec(&theirs);
+                conn.negotiated = Some(chosen);
+                conn.queue(&wire::encode_accept(chosen));
+            }
+            Step::Frame {
+                router_id,
+                interval,
+                snapshot,
+                frame_bytes,
+                codec,
+                delta,
+            } => {
+                conn.greeted = true;
+                // Acks exist solely to unlock the sender's delta chain;
+                // a v1 frame on a v2 session (a replayed pre-upgrade
+                // backlog) needs none.
+                if conn.negotiated == Some(wire::CODEC_V2) && codec == wire::CODEC_V2 {
+                    conn.queue(&wire::encode_ack(interval));
+                }
+                let event = Event::Frame {
+                    router_id,
+                    interval,
+                    snapshot,
+                    frame_bytes,
+                    codec,
+                    delta,
+                };
+                if !emit(tx, pending, event) {
+                    return (emitted, Drain::Exit);
+                }
+                emitted += 1;
+            }
+            // Framing intact, payload bad: skip the frame.
+            Step::Skip(e) => {
+                conn.greeted = true;
+                if !emit(tx, pending, Event::Rejected(e)) {
+                    return (emitted, Drain::Exit);
+                }
+                emitted += 1;
+            }
+            // Framing lost: drop the connection.
+            Step::Fatal(e) => {
+                conn.greeted = true;
+                if !emit(tx, pending, Event::Rejected(e)) {
+                    return (emitted, Drain::Exit);
+                }
+                return (emitted, Drain::Fatal);
+            }
+        }
+    }
+}
+
+/// Services one connection: decodes leftover buffered frames, then reads
+/// until it would block (bounded per round so one firehose peer cannot
+/// starve the rest — poll is level-triggered, leftover bytes surface
+/// again next round). The round ends as soon as ONE data event is
+/// emitted: delivery fairness across senders is exactly the per-round
+/// event budget, and a conn allowed to burst until the channel filled
+/// would race whole intervals ahead of its peers and overflow the
+/// aligner's reorder window. Decoding ahead of a full consumer would
+/// also just move backpressure off TCP and into engine memory. The one
+/// exception is EOF or a fatal socket error: there will be no further
+/// rounds for this connection, so everything the peer shipped before
+/// closing drains uncapped — the pending queue absorbs it.
+fn service(
+    conn: &mut Conn,
+    tx: &SyncSender<Event>,
+    pending: &mut VecDeque<Event>,
+    chains: &mut ChainStore,
+    cfg: &EngineConfig,
+) -> Flow {
     let mut chunk = [0u8; 64 * 1024];
-    for _ in 0..8 {
-        match conn.stream.read(&mut chunk) {
-            Ok(0) => return Flow::Close,
-            Ok(n) => {
-                conn.assembler.extend(&chunk[..n]);
-                loop {
-                    match conn.assembler.step() {
-                        Step::Need => break,
-                        Step::Frame {
-                            router_id,
-                            interval,
-                            snapshot,
-                            frame_bytes,
-                        } => {
-                            let event = Event::Frame {
-                                router_id,
-                                interval,
-                                snapshot,
-                                frame_bytes,
-                            };
-                            if tx.send(event).is_err() {
-                                return Flow::Exit;
-                            }
+    let mut flow = Flow::Keep;
+    // Leftovers first: an earlier capped round may have left complete
+    // frames in the assembler that no poll readiness will announce.
+    let spent = match drain_steps(conn, tx, pending, chains, cfg, Some(1)) {
+        (_, Drain::Exit) => return Flow::Exit,
+        (_, Drain::Fatal) => {
+            conn.flush_out();
+            return Flow::Close;
+        }
+        (n, Drain::Paused) => n >= 1,
+    };
+    if !spent {
+        'read: for _ in 0..8 {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    if matches!(
+                        drain_steps(conn, tx, pending, chains, cfg, None),
+                        (_, Drain::Exit)
+                    ) {
+                        return Flow::Exit;
+                    }
+                    flow = Flow::Close;
+                    break 'read;
+                }
+                Ok(n) => {
+                    conn.assembler.extend(&chunk[..n]);
+                    match drain_steps(conn, tx, pending, chains, cfg, Some(1)) {
+                        (_, Drain::Exit) => return Flow::Exit,
+                        (_, Drain::Fatal) => {
+                            flow = Flow::Close;
+                            break 'read;
                         }
-                        // Framing intact, payload bad: skip the frame.
-                        Step::Skip(e) => {
-                            if tx.send(Event::Rejected(e)).is_err() {
-                                return Flow::Exit;
+                        (k, Drain::Paused) => {
+                            if k >= 1 {
+                                break 'read;
                             }
-                        }
-                        // Framing lost: drop the connection.
-                        Step::Fatal(e) => {
-                            if tx.send(Event::Rejected(e)).is_err() {
-                                return Flow::Exit;
-                            }
-                            return Flow::Close;
                         }
                     }
                 }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break 'read,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    if matches!(
+                        drain_steps(conn, tx, pending, chains, cfg, None),
+                        (_, Drain::Exit)
+                    ) {
+                        return Flow::Exit;
+                    }
+                    flow = Flow::Close;
+                    break 'read;
+                }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Flow::Keep,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return Flow::Close,
         }
     }
-    Flow::Keep
+    // Push out whatever this round queued (accept, acks) — best effort;
+    // a dead write side never closes a connection that may still hold
+    // readable frames.
+    conn.flush_out();
+    flow
 }
 
 #[cfg(test)]
@@ -551,12 +884,13 @@ mod tests {
         let mut doubled = frame.clone();
         doubled.extend_from_slice(&frame);
         for chunk_size in [1, 7, 36, 37, 1024] {
-            let mut asm = FrameAssembler::new(wire::DEFAULT_MAX_PAYLOAD);
+            let mut asm = FrameAssembler::new(wire::DEFAULT_MAX_PAYLOAD, true);
+            let mut chains = ChainStore::new();
             let mut frames = 0;
             for chunk in doubled.chunks(chunk_size) {
                 asm.extend(chunk);
                 loop {
-                    match asm.step() {
+                    match asm.step(&mut chains) {
                         Step::Need => break,
                         Step::Frame {
                             router_id,
@@ -570,6 +904,7 @@ mod tests {
                             frames += 1;
                         }
                         Step::Skip(e) | Step::Fatal(e) => panic!("unexpected rejection: {e}"),
+                        Step::Hello(_) => panic!("no hello was sent"),
                     }
                 }
             }
@@ -581,9 +916,13 @@ mod tests {
     fn assembler_rejects_bad_magic_fatally() {
         let (mut frame, _) = sample_frame();
         frame[0] = b'X';
-        let mut asm = FrameAssembler::new(wire::DEFAULT_MAX_PAYLOAD);
+        let mut asm = FrameAssembler::new(wire::DEFAULT_MAX_PAYLOAD, true);
+        let mut chains = ChainStore::new();
         asm.extend(&frame);
-        assert!(matches!(asm.step(), Step::Fatal(WireError::BadMagic(_))));
+        assert!(matches!(
+            asm.step(&mut chains),
+            Step::Fatal(WireError::BadMagic(_))
+        ));
     }
 
     #[test]
@@ -593,11 +932,77 @@ mod tests {
         let last = corrupted.len() - 1;
         corrupted[last] ^= 0xFF; // flip a payload byte: CRC mismatch
         corrupted.extend_from_slice(&frame); // a good frame follows
-        let mut asm = FrameAssembler::new(wire::DEFAULT_MAX_PAYLOAD);
+        let mut asm = FrameAssembler::new(wire::DEFAULT_MAX_PAYLOAD, true);
+        let mut chains = ChainStore::new();
         asm.extend(&corrupted);
-        assert!(matches!(asm.step(), Step::Skip(_)));
-        assert!(matches!(asm.step(), Step::Frame { .. }));
-        assert!(matches!(asm.step(), Step::Need));
+        assert!(matches!(asm.step(&mut chains), Step::Skip(_)));
+        assert!(matches!(asm.step(&mut chains), Step::Frame { .. }));
+        assert!(matches!(asm.step(&mut chains), Step::Need));
+    }
+
+    /// A hello arriving in arbitrary fragments negotiates, and the same
+    /// bytes fed to a v1-only assembler die as bad magic — exactly how a
+    /// legacy collector would treat them.
+    #[test]
+    fn hello_is_recognized_only_when_v2_is_enabled() {
+        let hello = wire::encode_hello(&[wire::CODEC_V2, wire::CODEC_V1]);
+        let mut asm = FrameAssembler::new(wire::DEFAULT_MAX_PAYLOAD, true);
+        let mut chains = ChainStore::new();
+        for &b in &hello[..hello.len() - 1] {
+            asm.extend(&[b]);
+            assert!(matches!(asm.step(&mut chains), Step::Need));
+        }
+        asm.extend(&hello[hello.len() - 1..]);
+        match asm.step(&mut chains) {
+            Step::Hello(codecs) => assert_eq!(codecs, vec![wire::CODEC_V2, wire::CODEC_V1]),
+            _ => panic!("expected a hello"),
+        }
+        // A frame following the hello still parses.
+        let (frame, _) = sample_frame();
+        asm.extend(&frame);
+        assert!(matches!(asm.step(&mut chains), Step::Frame { .. }));
+
+        // A v1-only assembler buffers the bare hello (it is shorter than
+        // a frame header, so the agent-side accept timeout is what breaks
+        // the stalemate), and the moment enough bytes follow, the hello
+        // prefix is fatal bad magic — a legacy collector can never
+        // misparse it as a frame.
+        let mut v1_only = FrameAssembler::new(wire::DEFAULT_MAX_PAYLOAD, false);
+        v1_only.extend(&hello);
+        assert!(matches!(v1_only.step(&mut chains), Step::Need));
+        let (frame, _) = sample_frame();
+        v1_only.extend(&frame);
+        assert!(matches!(
+            v1_only.step(&mut chains),
+            Step::Fatal(WireError::BadMagic(_))
+        ));
+    }
+
+    /// A v2 frame fed to a v1-only assembler is an unsupported version.
+    #[test]
+    fn v1_only_assembler_rejects_v2_frames() {
+        let cfg = HiFindConfig::small(3);
+        let mut rec = SketchRecorder::new(&cfg).unwrap();
+        let snap = rec.take_snapshot();
+        let payload = crate::codec_v2::encode_keyframe(&snap);
+        let frame = wire::encode_frame_v2(9, 4, snap.fingerprint, &payload).unwrap();
+        let mut chains = ChainStore::new();
+        let mut v1_only = FrameAssembler::new(wire::DEFAULT_MAX_PAYLOAD, false);
+        v1_only.extend(&frame);
+        assert!(matches!(
+            v1_only.step(&mut chains),
+            Step::Fatal(WireError::UnsupportedVersion(2))
+        ));
+        let mut v2 = FrameAssembler::new(wire::DEFAULT_MAX_PAYLOAD, true);
+        v2.extend(&frame);
+        assert!(matches!(
+            v2.step(&mut chains),
+            Step::Frame {
+                codec: wire::CODEC_V2,
+                delta: false,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -614,6 +1019,7 @@ mod tests {
                 // A tick long enough that only the waker can explain a
                 // fast exit.
                 tick: Duration::from_secs(5),
+                codecs: vec![wire::CODEC_V2, wire::CODEC_V1],
             },
         )
         .unwrap();

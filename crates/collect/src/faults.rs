@@ -318,7 +318,11 @@ fn accept_loop(
 }
 
 /// Relays one agent connection frame by frame until EOF, shutdown, or an
-/// injected/organic connection death.
+/// injected/organic connection death. Collector-to-agent traffic (codec
+/// accepts and interval acks) relays back unfaulted through a paired
+/// thread: the fault model is about data frames, and a control channel
+/// this proxy silently ate would just demote every agent to v1 keyframes
+/// instead of exercising the chain under faults.
 fn relay_connection(mut downstream: TcpStream, upstream_addr: SocketAddr, conn: u64, sh: &Shared) {
     let _ = downstream.set_read_timeout(Some(Duration::from_millis(50)));
     let Ok(mut upstream) = TcpStream::connect_timeout(&upstream_addr, Duration::from_secs(5))
@@ -326,6 +330,66 @@ fn relay_connection(mut downstream: TcpStream, upstream_addr: SocketAddr, conn: 
         return;
     };
     let _ = upstream.set_nodelay(true);
+    let done = Arc::new(AtomicBool::new(false));
+    let reverse = match (upstream.try_clone(), downstream.try_clone()) {
+        (Ok(up), Ok(down)) => {
+            let shutdown = Arc::clone(&sh.shutdown);
+            let done = Arc::clone(&done);
+            Some(std::thread::spawn(move || {
+                reverse_relay(up, down, &shutdown, &done)
+            }))
+        }
+        _ => None,
+    };
+    relay_forward(&mut downstream, &mut upstream, conn, sh);
+    // The agent-facing socket dies now — for injected kills, abruptly;
+    // that is the fault being modelled. The collector-facing socket is
+    // only half-closed: dropping it outright would RST the collector on
+    // its next ack write and wipe relayed frames still sitting unread in
+    // its receive buffer. The reverse thread keeps draining acks until
+    // the collector itself closes the connection.
+    let _ = downstream.shutdown(std::net::Shutdown::Both);
+    let _ = upstream.shutdown(std::net::Shutdown::Write);
+    done.store(true, Ordering::SeqCst);
+    if let Some(handle) = reverse {
+        let _ = handle.join();
+    }
+}
+
+/// Copies collector-to-agent bytes verbatim. Runs until the collector
+/// closes its side (or global shutdown); once `done` marks the agent
+/// side gone, bytes are drained and discarded instead of forwarded.
+fn reverse_relay(
+    mut upstream: TcpStream,
+    mut downstream: TcpStream,
+    shutdown: &AtomicBool,
+    done: &AtomicBool,
+) {
+    let _ = upstream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut chunk = [0u8; 4096];
+    let mut forwarding = true;
+    while !shutdown.load(Ordering::SeqCst) {
+        match upstream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                if forwarding
+                    && (done.load(Ordering::SeqCst) || downstream.write_all(&chunk[..n]).is_err())
+                {
+                    forwarding = false;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// The faulted agent-to-collector direction of one connection.
+fn relay_forward(downstream: &mut TcpStream, upstream: &mut TcpStream, conn: u64, sh: &Shared) {
     let plan = &sh.plan;
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 64 * 1024];
@@ -338,6 +402,24 @@ fn relay_connection(mut downstream: TcpStream, upstream_addr: SocketAddr, conn: 
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
                 loop {
+                    // A codec hello is control traffic, not a frame: it
+                    // passes through whole and unfaulted (and uncounted),
+                    // exactly like the accept flowing the other way.
+                    if buf.starts_with(&wire::HELLO_MAGIC) {
+                        if buf.len() < 8 {
+                            break;
+                        }
+                        let count = usize::from(u16::from_le_bytes([buf[6], buf[7]]));
+                        let total = wire::HELLO_BASE_LEN + count;
+                        if buf.len() < total {
+                            break;
+                        }
+                        let hello: Vec<u8> = buf.drain(..total).collect();
+                        if upstream.write_all(&hello).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
                     if buf.len() < HEADER_LEN {
                         break;
                     }
@@ -435,7 +517,7 @@ fn relay_connection(mut downstream: TcpStream, upstream_addr: SocketAddr, conn: 
                     }
 
                     let dup = plan.fires(class::DUP, conn, idx, plan.dup_ppm);
-                    if write_frame(&mut upstream, &frame, dup, sh).is_err() {
+                    if write_frame(upstream, &frame, dup, sh).is_err() {
                         break 'conn;
                     }
                     if let Some(h) = held.take() {

@@ -55,6 +55,7 @@ pub mod aggregator;
 pub(crate) mod align;
 pub mod checkpoint;
 pub mod codec;
+pub mod codec_v2;
 pub mod collector;
 pub(crate) mod engine;
 pub mod faults;
@@ -71,7 +72,7 @@ pub use collector::{
 };
 pub use faults::{FaultPlan, FaultProxy, FaultStats};
 pub use observer::CollectObserver;
-pub use ship::{ShipConfig, Shipper};
+pub use ship::{BacklogFrame, ShipConfig, Shipper};
 pub use wire::{FrameHeader, WireError, HEADER_LEN, PROTOCOL_VERSION};
 
 /// Any failure in the collection subsystem.

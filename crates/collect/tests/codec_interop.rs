@@ -1,0 +1,377 @@
+//! Cross-version interoperability matrix for the wire codecs.
+//!
+//! The v2 rollout story only works if every pairing in the fleet keeps
+//! collecting during the upgrade window: v1-pinned agents against a v2
+//! collector, v2 agents against a collector that never learned the
+//! hello, mixed fleets, and agents resumed from a checkpoint written by
+//! the other codec generation. Each test here is one cell of that
+//! matrix, over real loopback TCP.
+
+use hifind::report::Phase;
+use hifind::{HiFind, HiFindConfig};
+use hifind_collect::wire::{CODEC_V1, CODEC_V2};
+use hifind_collect::{AgentConfig, Collector, CollectorConfig, RouterAgent};
+use hifind_flow::{Ip4, Packet, Trace};
+use std::net::TcpListener;
+use std::time::Duration;
+
+/// A compact five-interval trace: two benign intervals establish the
+/// forecast baseline, then a SYN flood loud enough to alert through a
+/// three-way split.
+fn flood_trace(cfg: &HiFindConfig) -> Trace {
+    let mut t = Trace::new();
+    let victim: Ip4 = [129, 105, 0, 1].into();
+    for iv in 0..5u64 {
+        let b = iv * cfg.interval_ms;
+        for i in 0..30u32 {
+            let c: Ip4 = [9, 9, 9, (i % 100) as u8].into();
+            t.push(Packet::syn(b + u64::from(i) * 7, c, 4000, victim, 80));
+            t.push(Packet::syn_ack(
+                b + u64::from(i) * 7 + 1,
+                c,
+                4000,
+                victim,
+                80,
+            ));
+        }
+        if iv >= 2 {
+            for i in 0..400u32 {
+                t.push(Packet::syn(
+                    b + 300 + u64::from(i),
+                    Ip4::new(0x5100_0000 + i),
+                    2000,
+                    victim,
+                    80,
+                ));
+            }
+        }
+    }
+    t.sort_by_time();
+    t
+}
+
+/// Buckets a packet list into per-interval windows.
+fn windows_of(packets: &[Packet], interval_ms: u64, n: usize) -> Vec<Vec<Packet>> {
+    let mut windows = vec![Vec::new(); n];
+    for p in packets {
+        windows[(p.ts_ms / interval_ms) as usize].push(*p);
+    }
+    windows
+}
+
+type AlertIdentity = (
+    hifind::report::AlertKind,
+    Option<u32>,
+    Option<u32>,
+    Option<u16>,
+);
+
+fn alert_identities(log: &hifind::report::AlertLog, phase: Phase) -> Vec<AlertIdentity> {
+    let mut ids: Vec<_> = log.alerts(phase).iter().map(|a| a.identity()).collect();
+    ids.sort();
+    ids
+}
+
+/// An address that refuses connections: bind, read the port, drop the
+/// listener.
+fn dead_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    drop(listener);
+    addr
+}
+
+/// An agent config that fails fast against an unreachable collector.
+fn impatient(router_id: u32, codecs: Vec<u8>) -> AgentConfig {
+    let mut acfg = AgentConfig::new(router_id);
+    acfg.max_attempts = 1;
+    acfg.initial_backoff = Duration::from_millis(1);
+    acfg.io_timeout = Duration::from_millis(200);
+    acfg.codecs = codecs;
+    acfg
+}
+
+/// A legacy agent that never heard of v2 ships plain v1 frames into a
+/// v2-capable collector, which must count and decode them unchanged.
+#[test]
+fn v1_pinned_agent_interops_with_v2_collector() {
+    let cfg = HiFindConfig::small(60);
+    let trace = flood_trace(&cfg);
+    let handle = Collector::bind("127.0.0.1:0", cfg, CollectorConfig::new(1), None).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let mut acfg = AgentConfig::new(0);
+    acfg.codecs = vec![CODEC_V1];
+    let mut agent = RouterAgent::new(addr, &cfg, acfg).expect("config");
+    for window in windows_of(
+        &trace.iter().copied().collect::<Vec<_>>(),
+        cfg.interval_ms,
+        5,
+    ) {
+        for p in &window {
+            agent.record(p);
+        }
+        agent.end_interval();
+    }
+    let stats = agent.finish();
+    assert_eq!(stats.frames_shipped, 5);
+    assert_eq!(
+        stats.frames_v2_keyframes, 0,
+        "a pinned agent never speaks v2"
+    );
+    assert_eq!(stats.frames_v2_deltas, 0);
+    let report = handle.wait().expect("collector threads");
+    assert_eq!(report.frames_received, 5);
+    assert_eq!(report.frames_codec_v1, 5);
+    assert_eq!(report.frames_v2_keyframes + report.frames_v2_deltas, 0);
+    assert_eq!(report.frames_rejected, 0);
+    assert!(
+        report
+            .log
+            .count(Phase::Final, hifind::report::AlertKind::SynFlooding)
+            >= 1,
+        "legacy framing must still detect the flood"
+    );
+}
+
+/// A v2 agent dialing a collector that only accepts v1 gets no answer to
+/// its hello; the accept timeout must downgrade the session to v1 and
+/// every interval must still arrive.
+#[test]
+fn v2_agent_falls_back_against_v1_only_collector() {
+    let cfg = HiFindConfig::small(61);
+    let trace = flood_trace(&cfg);
+    let mut ccfg = CollectorConfig::new(1);
+    ccfg.codecs = vec![CODEC_V1];
+    let handle = Collector::bind("127.0.0.1:0", cfg, ccfg, None).expect("bind");
+    let addr = handle.local_addr().to_string();
+    // Short io_timeout bounds the one-time hello stall (the accept wait
+    // is min(hello deadline, io_timeout)).
+    let mut acfg = AgentConfig::new(0);
+    acfg.io_timeout = Duration::from_millis(400);
+    let mut agent = RouterAgent::new(addr, &cfg, acfg).expect("config");
+    for window in windows_of(
+        &trace.iter().copied().collect::<Vec<_>>(),
+        cfg.interval_ms,
+        5,
+    ) {
+        for p in &window {
+            agent.record(p);
+        }
+        agent.end_interval();
+    }
+    let stats = agent.finish();
+    assert_eq!(stats.frames_shipped, 5, "fallback must not lose intervals");
+    assert_eq!(
+        stats.frames_v2_deltas, 0,
+        "no acks ever arrive on a v1 session"
+    );
+    let report = handle.wait().expect("collector threads");
+    assert_eq!(report.frames_received, 5);
+    assert_eq!(report.frames_codec_v1, 5, "everything downgraded to v1");
+    assert_eq!(report.frames_rejected, 0);
+    assert!(
+        report
+            .log
+            .count(Phase::Final, hifind::report::AlertKind::SynFlooding)
+            >= 1
+    );
+}
+
+/// A v2 session on loopback actually reaches the delta steady state:
+/// frames flow, acks flow back, and the encoder starts emitting deltas.
+#[test]
+fn v2_session_reaches_delta_steady_state() {
+    let cfg = HiFindConfig::small(62);
+    let mut ccfg = CollectorConfig::new(1);
+    ccfg.straggler_deadline = Duration::from_secs(30);
+    let handle = Collector::bind("127.0.0.1:0", cfg, ccfg, None).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let mut agent = RouterAgent::new(addr, &cfg, AgentConfig::new(0)).expect("config");
+    let victim: Ip4 = [129, 105, 0, 1].into();
+    // A warm first interval populates the cumulative service Bloom — the
+    // state whose unchanged bulk is exactly what deltas elide.
+    for i in 0..200u32 {
+        let server = Ip4::new(0x8169_0000 + i);
+        let c: Ip4 = [9, 9, (i % 50) as u8, 1].into();
+        agent.record(&Packet::syn(0, c, 4000, server, 80));
+        agent.record(&Packet::syn_ack(1, c, 4000, server, 80));
+    }
+    agent.end_interval();
+    let mut deltas_seen = false;
+    for iv in 1..30u64 {
+        for i in 0..20u32 {
+            let c: Ip4 = [9, 9, 9, (i % 100) as u8].into();
+            agent.record(&Packet::syn(iv * cfg.interval_ms, c, 4000, victim, 80));
+        }
+        agent.end_interval();
+        if agent.stats().frames_v2_deltas > 0 {
+            deltas_seen = true;
+            break;
+        }
+        // Give the collector's ack a moment to cross the loopback.
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        deltas_seen,
+        "acks never promoted the session to deltas: {:?}",
+        agent.stats()
+    );
+    let stats = agent.finish();
+    assert!(
+        stats.frames_v2_keyframes >= 1,
+        "the chain starts on a keyframe"
+    );
+    let report = handle.wait().expect("collector threads");
+    assert_eq!(report.frames_rejected, 0);
+    assert!(report.frames_v2_deltas >= 1, "{report:?}");
+    assert_eq!(
+        report.frames_v2_deltas + report.frames_v2_keyframes,
+        report.frames_received
+    );
+}
+
+/// A mixed fleet — one pinned-v1 agent, two v2 agents — against one v2
+/// collector produces detection identical to a single router that saw
+/// all traffic, while the collector counts each codec separately.
+#[test]
+fn mixed_codec_fleet_matches_single_router_detection() {
+    let cfg = HiFindConfig::small(63);
+    let trace = flood_trace(&cfg);
+
+    let mut single = HiFind::new(cfg).expect("config");
+    let single_log = single.run_trace(&trace);
+
+    let mut ccfg = CollectorConfig::new(3);
+    ccfg.straggler_deadline = Duration::from_secs(60);
+    let handle = Collector::bind("127.0.0.1:0", cfg, ccfg, None).expect("bind");
+    let addr = handle.local_addr().to_string();
+    // Deterministic round-robin split; the codec an interval travels in
+    // must never affect what it adds to the sum.
+    let mut parts: [Vec<Packet>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (i, p) in trace.iter().enumerate() {
+        parts[i % 3].push(*p);
+    }
+    let tick = std::sync::Arc::new(std::sync::Barrier::new(3));
+    let threads: Vec<_> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(id, part)| {
+            let windows = windows_of(&part, cfg.interval_ms, 5);
+            let addr = addr.clone();
+            let tick = std::sync::Arc::clone(&tick);
+            std::thread::spawn(move || {
+                let mut acfg = AgentConfig::new(id as u32);
+                if id == 0 {
+                    acfg.codecs = vec![CODEC_V1];
+                }
+                let mut agent = RouterAgent::new(addr, &cfg, acfg).expect("config");
+                for window in &windows {
+                    tick.wait();
+                    for p in window {
+                        agent.record(p);
+                    }
+                    agent.end_interval();
+                }
+                agent.finish()
+            })
+        })
+        .collect();
+    for t in threads {
+        let stats = t.join().expect("agent thread");
+        assert_eq!(stats.frames_shipped, 5);
+        assert_eq!(stats.frames_dropped, 0);
+    }
+    let report = handle.wait().expect("collector threads");
+    assert_eq!(report.frames_received, 15);
+    assert_eq!(report.frames_rejected, 0);
+    assert_eq!(
+        report.frames_codec_v1, 5,
+        "exactly the pinned agent's share"
+    );
+    assert_eq!(
+        report.frames_v2_keyframes + report.frames_v2_deltas,
+        10,
+        "the v2 agents' share"
+    );
+    for phase in [Phase::Raw, Phase::AfterClassification, Phase::Final] {
+        assert_eq!(
+            alert_identities(&single_log, phase),
+            alert_identities(&report.log, phase),
+            "phase {phase:?} diverged between single-router and mixed-codec runs"
+        );
+    }
+    assert!(!alert_identities(&single_log, Phase::Raw).is_empty());
+}
+
+/// Checkpoints written on one side of the codec upgrade must replay on
+/// the other: a v1 agent's backlog resumed by a v2-capable binary ships
+/// into a v2 session untouched, and a v2 agent's backlog resumed by a
+/// v1-pinned binary is transcoded down — no interval is lost either way.
+#[test]
+fn checkpoint_resume_crosses_codec_generations_both_ways() {
+    let cfg = HiFindConfig::small(64);
+    let victim: Ip4 = [129, 105, 0, 1].into();
+    let record_three = |agent: &mut RouterAgent| {
+        for iv in 0..3u64 {
+            for i in 0..25u32 {
+                agent.record(&Packet::syn(
+                    iv,
+                    Ip4::new(0x0909_0900 + i),
+                    4000,
+                    victim,
+                    80,
+                ));
+            }
+            agent.end_interval();
+        }
+    };
+
+    // Upgrade: backlog written by a v1-pinned agent, resumed v2-capable.
+    let mut old =
+        RouterAgent::new(dead_addr(), &cfg, impatient(0, vec![CODEC_V1])).expect("config");
+    record_three(&mut old);
+    assert_eq!(old.backlog_len(), 3, "nothing shipped to a dead collector");
+    let ckpt = old.checkpoint();
+    assert!(ckpt.backlog.iter().all(|f| f.codec == CODEC_V1));
+    let handle = Collector::bind("127.0.0.1:0", cfg, CollectorConfig::new(1), None).expect("bind");
+    let mut resumed = RouterAgent::resume(
+        handle.local_addr().to_string(),
+        &cfg,
+        AgentConfig::new(0),
+        &ckpt,
+    )
+    .expect("resume");
+    resumed.flush();
+    let stats = resumed.finish();
+    assert_eq!(stats.frames_shipped, 3);
+    assert_eq!(stats.frames_transcoded, 0, "v1 frames ship verbatim");
+    let report = handle.wait().expect("collector threads");
+    assert_eq!(report.frames_received, 3, "{report:?}");
+    assert_eq!(report.frames_codec_v1, 3);
+    assert_eq!(report.frames_rejected, 0);
+
+    // Downgrade: backlog written by a v2 agent, resumed v1-pinned against
+    // a v1-only collector — every frame must be transcoded, not dropped.
+    let mut newer = RouterAgent::new(dead_addr(), &cfg, impatient(1, vec![CODEC_V2, CODEC_V1]))
+        .expect("config");
+    record_three(&mut newer);
+    assert_eq!(newer.backlog_len(), 3);
+    let ckpt = newer.checkpoint();
+    assert!(ckpt.backlog.iter().all(|f| f.codec == CODEC_V2));
+    let mut ccfg = CollectorConfig::new(1);
+    ccfg.codecs = vec![CODEC_V1];
+    let handle = Collector::bind("127.0.0.1:0", cfg, ccfg, None).expect("bind");
+    let mut acfg = AgentConfig::new(1);
+    acfg.codecs = vec![CODEC_V1];
+    let mut resumed =
+        RouterAgent::resume(handle.local_addr().to_string(), &cfg, acfg, &ckpt).expect("resume");
+    resumed.flush();
+    let stats = resumed.finish();
+    assert_eq!(stats.frames_shipped, 3);
+    assert_eq!(stats.frames_transcoded, 3, "v2 backlog rewritten as v1");
+    assert_eq!(stats.frames_dropped, 0);
+    let report = handle.wait().expect("collector threads");
+    assert_eq!(report.frames_received, 3);
+    assert_eq!(report.frames_codec_v1, 3);
+    assert_eq!(report.frames_rejected, 0);
+}

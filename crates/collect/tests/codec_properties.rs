@@ -93,7 +93,7 @@ proptest! {
         match read_one(&frame) {
             Ok(Some((_, decoded))) => {
                 prop_assert!(
-                    (6..20).contains(&pos),
+                    (8..20).contains(&pos),
                     "flip at {pos} outside unauthenticated header metadata was accepted"
                 );
                 prop_assert_eq!(decoded, snap);
@@ -101,8 +101,19 @@ proptest! {
             Ok(None) => prop_assert!(false, "a corrupt frame is not a clean EOF"),
             Err(err) => match pos {
                 0..=3 => prop_assert!(matches!(err, WireError::BadMagic(_)), "{err:?}"),
+                // A version flip can also land on 2, where the zeroed
+                // codec byte is then rejected as an unknown codec id.
                 4..=5 => {
-                    prop_assert!(matches!(err, WireError::UnsupportedVersion(_)), "{err:?}")
+                    prop_assert!(
+                        matches!(
+                            err,
+                            WireError::UnsupportedVersion(_) | WireError::UnknownCodec(_)
+                        ),
+                        "{err:?}"
+                    )
+                }
+                6..=7 => {
+                    prop_assert!(matches!(err, WireError::ReservedBytes(_)), "{err:?}")
                 }
                 20..=27 => prop_assert!(
                     matches!(err, WireError::FingerprintMismatch { .. }),

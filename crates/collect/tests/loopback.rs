@@ -118,8 +118,8 @@ fn three_agents_over_tcp_equal_single_router() {
     let report = handle.wait().expect("collector threads");
 
     // Every interval aligned and complete; nothing late, lost or partial.
-    assert_eq!(report.intervals_flushed, n as u64);
-    assert_eq!(report.complete_intervals, n as u64);
+    assert_eq!(report.intervals_flushed, n as u64, "{report:?}");
+    assert_eq!(report.complete_intervals, n as u64, "{report:?}");
     assert_eq!(report.partial_intervals, 0);
     assert_eq!(report.gap_intervals, 0);
     assert_eq!(report.frames_received, 3 * n as u64);

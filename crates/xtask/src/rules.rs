@@ -27,9 +27,10 @@ pub const PANIC_FREE_CRATES: [&str; 7] = [
 /// must be checked, so no bare `as` casts. The poll engine assembles
 /// frames straight off attacker-reachable sockets and the aggregator
 /// re-encodes what it combined, so both live inside this boundary too.
-pub const CAST_CHECKED_FILES: [&str; 6] = [
+pub const CAST_CHECKED_FILES: [&str; 7] = [
     "crates/collect/src/wire.rs",
     "crates/collect/src/codec.rs",
+    "crates/collect/src/codec_v2.rs",
     "crates/collect/src/checkpoint.rs",
     "crates/collect/src/engine.rs",
     "crates/collect/src/aggregator.rs",
@@ -677,6 +678,17 @@ mod tests {
             lint(FAULTS, cast).is_empty(),
             "faults.rs is not a byte-parsing boundary"
         );
+    }
+
+    #[test]
+    fn codec_v2_is_inside_the_cast_boundary() {
+        // The v2 codec decodes varints, run lengths and bloom residuals
+        // straight out of attacker-reachable frame payloads — the exact
+        // bug class the cast rule exists for. A rename that moved it out
+        // of the perimeter must break here, not silently pass.
+        const CODEC_V2: &str = "crates/collect/src/codec_v2.rs";
+        let cast = "fn f(x: u64) -> usize { x as usize }\n";
+        assert_eq!(rules_of(&lint(CODEC_V2, cast)), vec!["truncating-cast"]);
     }
 
     #[test]
